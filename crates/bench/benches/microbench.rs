@@ -1,0 +1,214 @@
+//! Criterion micro-benchmarks for the core data structures and hot paths.
+//!
+//! These run with `TimeScale::ZERO` — they measure *code* overhead
+//! (latches, mapping table, policy flips, B+Tree descent, WAL framing),
+//! not the emulated device delays the experiment binaries charge.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use spitfire_core::{
+    AccessIntent, BufferManager, BufferManagerConfig, MigrationPolicy, PolicyCell,
+};
+use spitfire_device::{PersistenceTracking, TimeScale};
+use spitfire_index::BTree;
+use spitfire_sync::{AtomicBitmap, ConcurrentMap, RwLatch, VersionLatch};
+use spitfire_txn::{LogRecord, RecordKind, Wal};
+use spitfire_wkld::Zipf;
+
+fn bm(dram_pages: usize, nvm_pages: usize) -> Arc<BufferManager> {
+    let config = BufferManagerConfig::builder()
+        .page_size(4096)
+        .dram_capacity(dram_pages * 4096)
+        .nvm_capacity(nvm_pages * (4096 + 64))
+        .policy(MigrationPolicy::lazy())
+        .time_scale(TimeScale::ZERO)
+        .build()
+        .unwrap();
+    Arc::new(BufferManager::new(config).unwrap())
+}
+
+fn bench_bm_fetch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bm_fetch");
+    // DRAM hit path.
+    let m = bm(64, 128);
+    let pid = m.allocate_page().unwrap();
+    {
+        let guard = m.fetch(pid, AccessIntent::Write).unwrap();
+        guard.write(0, &[1u8; 64]).unwrap();
+    }
+    g.bench_function("dram_hit", |b| {
+        b.iter(|| {
+            let guard = m.fetch(pid, AccessIntent::Read).unwrap();
+            let mut buf = [0u8; 64];
+            guard.read(0, &mut buf).unwrap();
+            buf
+        })
+    });
+    // NVM hit path (never promoted).
+    let m2 = bm(64, 128);
+    m2.set_policy(MigrationPolicy::new(0.0, 0.0, 1.0, 1.0));
+    let pid2 = m2.allocate_page().unwrap();
+    let _ = m2.fetch(pid2, AccessIntent::Read).unwrap();
+    g.bench_function("nvm_hit", |b| {
+        b.iter(|| {
+            let guard = m2.fetch(pid2, AccessIntent::Read).unwrap();
+            let mut buf = [0u8; 64];
+            guard.read(0, &mut buf).unwrap();
+            buf
+        })
+    });
+    // SSD miss + eviction churn.
+    let m3 = bm(4, 8);
+    let pids: Vec<_> = (0..64).map(|_| m3.allocate_page().unwrap()).collect();
+    let mut i = 0;
+    g.bench_function("ssd_miss_churn", |b| {
+        b.iter(|| {
+            i = (i + 17) % pids.len();
+            let guard = m3.fetch(pids[i], AccessIntent::Read).unwrap();
+            guard.page_id()
+        })
+    });
+    g.finish();
+}
+
+fn bench_sync_primitives(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sync");
+    let latch = RwLatch::new();
+    g.bench_function("rwlatch_read", |b| b.iter(|| drop(latch.read())));
+    g.bench_function("rwlatch_write", |b| b.iter(|| drop(latch.write())));
+    let vl = VersionLatch::new();
+    g.bench_function("version_latch_optimistic_read", |b| {
+        b.iter(|| {
+            let v = vl.read_lock().unwrap();
+            vl.read_unlock(v).unwrap();
+        })
+    });
+    let map: ConcurrentMap<u64, u64> = ConcurrentMap::new();
+    for k in 0..10_000 {
+        map.insert(k, k);
+    }
+    let mut k = 0u64;
+    g.bench_function("mapping_table_get", |b| {
+        b.iter(|| {
+            k = (k + 7919) % 10_000;
+            map.get(&k)
+        })
+    });
+    let bitmap = AtomicBitmap::new(4096);
+    g.bench_function("clock_bitmap_set_clear", |b| {
+        b.iter(|| {
+            bitmap.set(1234);
+            bitmap.clear(1234);
+        })
+    });
+    g.finish();
+}
+
+fn bench_policy(c: &mut Criterion) {
+    let cell = PolicyCell::new(MigrationPolicy::lazy());
+    let mut rng = SmallRng::seed_from_u64(1);
+    c.bench_function("policy_flip", |b| {
+        b.iter(|| {
+            let draw: u32 = rng.gen();
+            cell.flip_dr(draw)
+        })
+    });
+}
+
+fn bench_btree(c: &mut Criterion) {
+    let tree = BTree::new(bm(256, 512)).unwrap();
+    for k in 0..50_000u64 {
+        tree.insert(k, k).unwrap();
+    }
+    let mut g = c.benchmark_group("btree");
+    let mut k = 0u64;
+    g.bench_function("get", |b| {
+        b.iter(|| {
+            k = (k + 48271) % 50_000;
+            tree.get(k).unwrap()
+        })
+    });
+    let mut next = 50_000u64;
+    g.bench_function("insert", |b| {
+        b.iter(|| {
+            next += 1;
+            tree.insert(next, next).unwrap()
+        })
+    });
+    g.bench_function("scan_100", |b| {
+        b.iter(|| {
+            k = (k + 48271) % 50_000;
+            tree.scan_from(k, 100).unwrap().len()
+        })
+    });
+    g.finish();
+}
+
+fn bench_wal(c: &mut Criterion) {
+    let wal = Wal::new(16 << 20, 16 * 1024, TimeScale::ZERO, PersistenceTracking::Counters)
+        .unwrap();
+    let record = LogRecord {
+        kind: RecordKind::Update,
+        txn: 1,
+        table: 1,
+        key: 42,
+        rid: 7,
+        prev_rid: u64::MAX,
+        prev_lsn: u64::MAX,
+        payload: vec![0xAB; 128],
+    };
+    c.bench_function("wal_append_128B", |b| b.iter(|| wal.append(&record).unwrap()));
+}
+
+fn bench_zipf(c: &mut Criterion) {
+    let z = Zipf::new(1_000_000, 0.5);
+    let mut rng = SmallRng::seed_from_u64(3);
+    c.bench_function("zipf_sample", |b| b.iter(|| z.sample(&mut rng)));
+}
+
+fn bench_txn(c: &mut Criterion) {
+    use spitfire_txn::{Database, DbConfig};
+    let db = Database::create(bm(256, 512), DbConfig::default()).unwrap();
+    db.create_table(1, 100).unwrap();
+    {
+        let mut t = db.begin();
+        for k in 0..5000u64 {
+            db.insert(&mut t, 1, k, &[7u8; 100]).unwrap();
+        }
+        db.commit(&mut t).unwrap();
+    }
+    let mut g = c.benchmark_group("txn");
+    let mut k = 0u64;
+    g.bench_function("read_txn", |b| {
+        b.iter(|| {
+            k = (k + 2719) % 5000;
+            let t = db.begin();
+            db.read(&t, 1, k).unwrap()
+        })
+    });
+    g.bench_function("update_txn", |b| {
+        b.iter_batched(
+            || {
+                k = (k + 2719) % 5000;
+                k
+            },
+            |key| {
+                let mut t = db.begin();
+                db.update(&mut t, 1, key, &[9u8; 100]).unwrap();
+                db.commit(&mut t).unwrap();
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_bm_fetch, bench_sync_primitives, bench_policy, bench_btree, bench_wal, bench_zipf, bench_txn
+}
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Extension ablation — endurance-aware adaptive tuning.
+//!
+//! §6.3 concludes that "the optimal policy must be chosen depending on the
+//! performance requirements and write endurance characteristics of NVM".
+//! This experiment makes that trade-off mechanical: the simulated-annealing
+//! tuner runs with cost `(1 + λ·w)/T` where `w` is NVM MB written per
+//! operation, for λ ∈ {0, 5, 50}, on YCSB-BA.
+//!
+//! Expectation: larger λ converges to policies with visibly lower NVM
+//! write volume (lazier `N`), trading away some throughput.
+
+use std::time::Duration;
+
+use spitfire_bench::{kops, nvm_bytes_written, quick, three_tier, worker_threads, ycsb_config, Reporter, MB};
+use spitfire_core::adaptive::{AnnealingParams, AnnealingTuner, CostObjective};
+use spitfire_core::MigrationPolicy;
+use spitfire_wkld::{run_epochs, RawYcsb, YcsbMix};
+
+fn main() {
+    let (dram, nvm, db) =
+        if quick() { (MB, 4 * MB, 8 * MB) } else { (2 * MB + MB / 2, 10 * MB, 20 * MB) };
+    let epochs = if quick() { 16 } else { 60 };
+    let epoch_len = Duration::from_millis(if quick() { 250 } else { 500 });
+    let threads = worker_threads();
+
+    let mut r = Reporter::new(
+        "ablation_endurance",
+        "extension of §4 / §6.3 (write-endurance-aware tuning)",
+        "larger lambda converges to lower NVM write volume at some \
+         throughput cost",
+    );
+    r.headers(&[
+        "lambda",
+        "final policy",
+        "last-quarter throughput",
+        "last-quarter NVM MB/op",
+    ]);
+
+    for lambda in [0.0, 5.0, 50.0] {
+        let params = AnnealingParams {
+            objective: if lambda == 0.0 {
+                CostObjective::Throughput
+            } else {
+                CostObjective::ThroughputWithEndurance { lambda }
+            },
+            ..AnnealingParams::default()
+        };
+        let bm = three_tier(dram, nvm, MigrationPolicy::eager());
+        let w = spitfire_bench::with_fast_setup(&bm, || RawYcsb::setup(&bm, ycsb_config(db, 0.3, YcsbMix::Balanced))).expect("setup");
+        let mut tuner = AnnealingTuner::new(MigrationPolicy::eager(), params, 42);
+        bm.set_policy(tuner.candidate());
+
+        let bm_ref = &bm;
+        let w_ref = &w;
+        let mut written_before = nvm_bytes_written(&bm);
+        let mut tail: Vec<(f64, f64)> = Vec::new();
+        run_epochs(
+            threads,
+            7,
+            epoch_len,
+            epochs,
+            |_, rng| w_ref.execute(bm_ref, rng).expect("op"),
+            |sample| {
+                let written_now = nvm_bytes_written(bm_ref);
+                let mb_per_op = (written_now - written_before) as f64
+                    / MB as f64
+                    / (sample.committed.max(1)) as f64;
+                written_before = written_now;
+                let next = tuner.observe_with(sample.throughput, mb_per_op);
+                bm_ref.set_policy(next);
+                tail.push((sample.throughput, mb_per_op));
+            },
+        );
+        let q = (tail.len() / 4).max(1);
+        let late = &tail[tail.len() - q..];
+        let avg_tput = late.iter().map(|(t, _)| t).sum::<f64>() / q as f64;
+        let avg_mb = late.iter().map(|(_, m)| m).sum::<f64>() / q as f64;
+        r.row(&[
+            format!("{lambda}"),
+            tuner.current().to_string(),
+            format!("{} ops/s", kops(avg_tput)),
+            format!("{avg_mb:.4}"),
+        ]);
+    }
+    r.done();
+}

@@ -1,0 +1,45 @@
+//! Figure 6 — Performance impact of bypassing DRAM.
+//!
+//! Sweep the DRAM migration probabilities (`D_r`, `D_w`) in lockstep over
+//! {0, 0.01, 0.1, 1} with NVM kept eager (`N_r = N_w = 1`), under single-
+//! and multi-threaded configurations across YCSB-RO/BA/WH and TPC-C.
+//!
+//! Paper expectation: lazy D (0.01) peaks (≈ +58 % over eager on YCSB-RO);
+//! D = 0 drops ~20 % below the peak because the DRAM buffer is disabled.
+
+use spitfire_bench::{
+    build_policy_workloads, kops, quick, worker_threads, Reporter, MB,
+};
+use spitfire_core::MigrationPolicy;
+
+fn main() {
+    let (dram, nvm, db) = if quick() {
+        (4 * MB, 16 * MB, 32 * MB)
+    } else {
+        // 12.5 GB DRAM / 50 GB NVM / 100 GB DB in the paper, scaled 1000x.
+        (12 * MB + MB / 2, 50 * MB, 100 * MB)
+    };
+    let d_values = [0.0, 0.01, 0.1, 1.0];
+
+    let mut r = Reporter::new(
+        "fig6_bypass_dram",
+        "Figure 6 (§6.3)",
+        "lazy D=0.01 peaks; eager D=1 lower (−58% on YCSB-RO single-thread); \
+         D=0 ~20% below peak",
+    );
+    r.headers(&["workload", "threads", "D=0", "D=0.01", "D=0.1", "D=1"]);
+
+    let workloads = build_policy_workloads(dram, nvm, db);
+    for threads in [1, worker_threads()] {
+        for (label, w) in &workloads {
+            let mut cells = vec![label.to_string(), threads.to_string()];
+            for d in d_values {
+                let policy = MigrationPolicy::new(d, d, 1.0, 1.0);
+                let report = w.run_point(policy, threads);
+                cells.push(format!("{} ops/s", kops(report.throughput())));
+            }
+            r.row(&cells);
+        }
+    }
+    r.done();
+}

@@ -1,0 +1,44 @@
+//! Figure 7 — Performance impact of bypassing NVM.
+//!
+//! Sweep the NVM migration probabilities (`N_r`, `N_w`) in lockstep over
+//! {0, 0.01, 0.1, 1} with DRAM kept eager (`D_r = D_w = 1`).
+//!
+//! Paper expectation: lazy N (0.01) peaks (+25 % over eager on YCSB-RO
+//! single-threaded); N = 0 effectively removes the NVM buffer and loses
+//! 25–103 % depending on thread count.
+
+use spitfire_bench::{
+    build_policy_workloads, kops, quick, worker_threads, Reporter, MB,
+};
+use spitfire_core::MigrationPolicy;
+
+fn main() {
+    let (dram, nvm, db) = if quick() {
+        (4 * MB, 16 * MB, 32 * MB)
+    } else {
+        (12 * MB + MB / 2, 50 * MB, 100 * MB)
+    };
+    let n_values = [0.0, 0.01, 0.1, 1.0];
+
+    let mut r = Reporter::new(
+        "fig7_bypass_nvm",
+        "Figure 7 (§6.3)",
+        "lazy N=0.01 peaks (+25% on YCSB-RO); N=0 loses the NVM buffer \
+         (−25% single-thread, −103% at 16 workers)",
+    );
+    r.headers(&["workload", "threads", "N=0", "N=0.01", "N=0.1", "N=1"]);
+
+    let workloads = build_policy_workloads(dram, nvm, db);
+    for threads in [1, worker_threads()] {
+        for (label, w) in &workloads {
+            let mut cells = vec![label.to_string(), threads.to_string()];
+            for n in n_values {
+                let policy = MigrationPolicy::new(1.0, 1.0, n, n);
+                let report = w.run_point(policy, threads);
+                cells.push(format!("{} ops/s", kops(report.throughput())));
+            }
+            r.row(&cells);
+        }
+    }
+    r.done();
+}

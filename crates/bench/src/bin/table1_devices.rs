@@ -1,0 +1,135 @@
+//! Table 1 — Device characteristics.
+//!
+//! Prints the emulated device profiles and *measures* the cost models to
+//! verify the emulation delivers the latencies and bandwidths the paper
+//! reports for DRAM, Optane DC PMMs, and the Optane SSD.
+
+use std::time::Instant;
+
+use spitfire_bench::{Reporter, MB};
+use spitfire_device::{
+    AccessPattern, DeviceProfile, DramDevice, NvmDevice, PersistenceTracking, SsdDevice, TimeScale,
+};
+
+fn measured_read_latency_ns(mut read: impl FnMut()) -> f64 {
+    const N: u32 = 2000;
+    let start = Instant::now();
+    for _ in 0..N {
+        read();
+    }
+    start.elapsed().as_nanos() as f64 / N as f64
+}
+
+fn measured_bandwidth_gbps(bytes_per_op: usize, ops: u32, mut op: impl FnMut()) -> f64 {
+    let start = Instant::now();
+    for _ in 0..ops {
+        op();
+    }
+    let secs = start.elapsed().as_secs_f64();
+    (bytes_per_op as f64 * ops as f64) / secs / 1e9
+}
+
+fn main() {
+    let mut r = Reporter::new(
+        "table1_devices",
+        "Table 1",
+        "DRAM 80 ns / 180 GB/s; NVM 320 ns random read, 28.8 GB/s random read, \
+         6 GB/s random write; SSD ~12 us, ~2.4 GB/s",
+    );
+    r.headers(&[
+        "device",
+        "profile rand-read lat",
+        "measured lat",
+        "profile rand-read bw",
+        "measured bw",
+        "profile rand-write bw",
+        "measured write bw",
+    ]);
+
+    let dram = DramDevice::new(64 * MB, TimeScale::REAL);
+    let nvm = NvmDevice::new(64 * MB, TimeScale::REAL, PersistenceTracking::Counters);
+    let ssd = SsdDevice::new(16 * 1024, TimeScale::REAL);
+    let page = vec![0u8; 16 * 1024];
+    for pid in 0..64 {
+        ssd.write_page(pid, &page).expect("ssd seed");
+    }
+
+    let mut big = vec![0u8; 256 * 1024];
+
+    // DRAM.
+    let lat = measured_read_latency_ns(|| {
+        let mut b = [0u8; 64];
+        dram.read(4096, &mut b, AccessPattern::Random).unwrap();
+    });
+    let bw = measured_bandwidth_gbps(big.len(), 400, || {
+        dram.read(0, &mut big, AccessPattern::Random).unwrap();
+    });
+    let wbw = measured_bandwidth_gbps(big.len(), 400, || {
+        dram.write(0, &big, AccessPattern::Random).unwrap();
+    });
+    let p = DeviceProfile::dram();
+    r.row(&[
+        "DRAM".into(),
+        format!("{} ns", p.rand_read_latency_ns),
+        format!("{lat:.0} ns"),
+        format!("{:.0} GB/s", p.rand_read_bw as f64 / 1e9),
+        format!("{bw:.0} GB/s"),
+        format!("{:.0} GB/s", p.rand_write_bw as f64 / 1e9),
+        format!("{wbw:.0} GB/s"),
+    ]);
+
+    // NVM.
+    let lat = measured_read_latency_ns(|| {
+        let mut b = [0u8; 64];
+        nvm.read(4096, &mut b, AccessPattern::Random).unwrap();
+    });
+    let bw = measured_bandwidth_gbps(big.len(), 200, || {
+        nvm.read(0, &mut big, AccessPattern::Random).unwrap();
+    });
+    let wbw = measured_bandwidth_gbps(big.len(), 100, || {
+        nvm.write(0, &big, AccessPattern::Random).unwrap();
+    });
+    let p = DeviceProfile::optane_pmm();
+    r.row(&[
+        "NVM (Optane PMM)".into(),
+        format!("{} ns", p.rand_read_latency_ns),
+        format!("{lat:.0} ns"),
+        format!("{:.1} GB/s", p.rand_read_bw as f64 / 1e9),
+        format!("{bw:.1} GB/s"),
+        format!("{:.0} GB/s", p.rand_write_bw as f64 / 1e9),
+        format!("{wbw:.1} GB/s"),
+    ]);
+
+    // SSD.
+    let mut pagebuf = vec![0u8; 16 * 1024];
+    let lat = {
+        const N: u32 = 500;
+        let start = Instant::now();
+        for i in 0..N {
+            ssd.read_page((i % 64) as u64, &mut pagebuf).unwrap();
+        }
+        start.elapsed().as_nanos() as f64 / N as f64
+    };
+    let bw = measured_bandwidth_gbps(16 * 1024, 500, || {
+        ssd.read_page(7, &mut pagebuf).unwrap();
+    });
+    let wbw = measured_bandwidth_gbps(16 * 1024, 500, || {
+        ssd.write_page(7, &page).unwrap();
+    });
+    let p = DeviceProfile::optane_ssd();
+    r.row(&[
+        "SSD (Optane P4800X)".into(),
+        format!("{:.0} us (per 16 KB page incl. transfer)", p.rand_read_latency_ns as f64 / 1000.0),
+        format!("{:.1} us", lat / 1000.0),
+        format!("{:.1} GB/s", p.rand_read_bw as f64 / 1e9),
+        format!("{bw:.1} GB/s"),
+        format!("{:.1} GB/s", p.rand_write_bw as f64 / 1e9),
+        format!("{wbw:.1} GB/s"),
+    ]);
+
+    // Other key attributes (static).
+    println!("   granularity: DRAM 64 B | NVM 256 B | SSD 16 KB");
+    println!("   price $/GB:  DRAM 10.0 | NVM 4.5   | SSD 2.8");
+    println!("   persistent:  DRAM no   | NVM yes   | SSD yes");
+    r.done();
+}

@@ -1,0 +1,48 @@
+//! Table 2 — Inclusivity ratio of the DRAM and NVM buffers.
+//!
+//! Measures `|DRAM ∩ NVM| / |DRAM ∪ NVM|` after running each workload
+//! under the D sweep (N eager) and the N sweep (D eager).
+//!
+//! Paper expectation: ratio grows with the migration probability; lazy
+//! policies (0.01) keep duplication low (≈ 0.06–0.19) while eager reaches
+//! ≈ 0.17–0.25; probability 0 gives ratio 0.
+
+use spitfire_bench::{quick, worker_threads, Reporter, MB};
+use spitfire_core::MigrationPolicy;
+
+fn main() {
+    let (dram, nvm, db) = if quick() {
+        (4 * MB, 16 * MB, 32 * MB)
+    } else {
+        (12 * MB + MB / 2, 50 * MB, 100 * MB)
+    };
+    let probs = [0.0, 0.01, 0.1, 1.0];
+    let threads = worker_threads();
+
+    let mut r = Reporter::new(
+        "table2_inclusivity",
+        "Table 2 (§6.3)",
+        "inclusivity rises with migration probability; 0 -> 0.0, lazy 0.01 \
+         stays low, eager 1.0 highest (0.17-0.25)",
+    );
+    r.headers(&["sweep", "workload", "p=0", "p=0.01", "p=0.1", "p=1"]);
+
+    for (sweep, make_policy) in [
+        ("bypass-DRAM (D)", (|p: f64| MigrationPolicy::new(p, p, 1.0, 1.0)) as fn(f64) -> _),
+        ("bypass-NVM (N)", (|p: f64| MigrationPolicy::new(1.0, 1.0, p, p)) as fn(f64) -> _),
+    ] {
+        for label in spitfire_bench::policy_workload_labels() {
+            let mut cells = vec![sweep.to_string(), label.to_string()];
+            for p in probs {
+                // Fresh instance per point: residency (and therefore the
+                // inclusivity ratio) must reflect this policy alone.
+                let policy = make_policy(p);
+                let w = spitfire_bench::build_one_workload(label, dram, nvm, db, policy);
+                let _ = w.run_point(policy, threads);
+                cells.push(format!("{:.3}", w.bm().inclusivity()));
+            }
+            r.row(&cells);
+        }
+    }
+    r.done();
+}

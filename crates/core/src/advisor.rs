@@ -1,0 +1,225 @@
+//! Storage-system design advisor (paper §5.3, §6.6, §6.7).
+//!
+//! The paper closes with a set of design guidelines for provisioning a
+//! multi-tier hierarchy under a cost budget:
+//!
+//! * highest absolute performance needs DRAM (lowest latency);
+//! * read-intensive workloads: DRAM-NVM-SSD wins on performance/price
+//!   (hot data in DRAM, warm in NVM);
+//! * write-intensive workloads: NVM-SSD wins on performance/price (dirty
+//!   pages are persistent in NVM, so recovery-protocol flushing
+//!   disappears);
+//! * the migration policy must be lazier the smaller DRAM is relative to
+//!   NVM (Figure 9).
+//!
+//! This module encodes those guidelines ([`recommend`]) and provides the
+//! grid-search scaffolding the paper uses to find the best
+//! performance-per-dollar hierarchy empirically ([`GridSearch`]).
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::Hierarchy;
+use crate::policy::MigrationPolicy;
+
+/// A coarse characterization of the target workload.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadProfile {
+    /// Fraction of operations that modify data (YCSB-RO 0.0, BA 0.5,
+    /// WH 0.9, TPC-C 0.88).
+    pub write_fraction: f64,
+    /// Estimated working-set size in bytes.
+    pub working_set: u64,
+    /// Whether the workload needs synchronous durability (log/checkpoint
+    /// pages on the critical path, §3.2).
+    pub durable_writes: bool,
+}
+
+/// The advisor's output: a hierarchy shape and a matching starting policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Recommendation {
+    /// The hierarchy with the best expected performance/price.
+    pub hierarchy: Hierarchy,
+    /// A starting migration policy (hand the tuner this as its initial
+    /// point).
+    pub policy: MigrationPolicy,
+    /// Why (one of the paper's guideline clauses).
+    pub rationale: &'static str,
+}
+
+/// Device prices per byte (Table 1, $/GB scaled to bytes).
+const DRAM_PER_BYTE: f64 = 10.0 / 1e9;
+const NVM_PER_BYTE: f64 = 4.5 / 1e9;
+
+/// Apply the paper's §6.6/§6.7 guidelines to a workload and budget
+/// (dollars available for buffer devices, excluding the SSD).
+pub fn recommend(profile: &WorkloadProfile, buffer_budget_dollars: f64) -> Recommendation {
+    let all_dram_cost = profile.working_set as f64 * DRAM_PER_BYTE;
+    // Cacheable in DRAM within budget: the classic design still wins while
+    // everything fits (Figure 15's small-database regime) — unless
+    // durability pressure favours NVM.
+    if all_dram_cost <= buffer_budget_dollars && profile.write_fraction < 0.5 {
+        return Recommendation {
+            hierarchy: Hierarchy::DramSsd,
+            policy: MigrationPolicy::eager(),
+            rationale: "working set fits in DRAM within budget; DRAM has the lowest latency",
+        };
+    }
+    if profile.write_fraction >= 0.5 && profile.durable_writes {
+        return Recommendation {
+            hierarchy: Hierarchy::NvmSsd,
+            policy: MigrationPolicy::lazy(),
+            rationale: "write-intensive with durability: NVM absorbs persistent writes and \
+                        eliminates recovery-protocol flushing (Figure 14d)",
+        };
+    }
+    Recommendation {
+        hierarchy: Hierarchy::DramNvmSsd,
+        policy: MigrationPolicy::lazy(),
+        rationale: "read-intensive beyond DRAM budget: small DRAM for the hottest data over \
+                    a large NVM buffer (Figures 14b/14c)",
+    }
+}
+
+/// One measured grid-search point (Figure 14).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GridPoint {
+    /// DRAM capacity in bytes.
+    pub dram: u64,
+    /// NVM capacity in bytes.
+    pub nvm: u64,
+    /// Fixed SSD cost in dollars (same for every candidate).
+    pub ssd_cost: f64,
+    /// Measured throughput (operations per second).
+    pub throughput: f64,
+}
+
+impl GridPoint {
+    /// Total hierarchy cost in dollars.
+    pub fn cost(&self) -> f64 {
+        self.dram as f64 * DRAM_PER_BYTE + self.nvm as f64 * NVM_PER_BYTE + self.ssd_cost
+    }
+
+    /// Operations per second per dollar (the paper's selection metric).
+    pub fn perf_per_dollar(&self) -> f64 {
+        self.throughput / self.cost()
+    }
+}
+
+/// Collects measured grid points and answers Figure 14-style queries.
+#[derive(Debug, Default, Clone)]
+pub struct GridSearch {
+    points: Vec<GridPoint>,
+}
+
+impl GridSearch {
+    /// An empty search.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a measured candidate.
+    pub fn add(&mut self, point: GridPoint) {
+        self.points.push(point);
+    }
+
+    /// All recorded points.
+    pub fn points(&self) -> &[GridPoint] {
+        &self.points
+    }
+
+    /// The candidate with the highest performance/price.
+    pub fn best_perf_per_dollar(&self) -> Option<GridPoint> {
+        self.points
+            .iter()
+            .copied()
+            .max_by(|a, b| {
+                a.perf_per_dollar()
+                    .partial_cmp(&b.perf_per_dollar())
+                    .expect("throughputs are finite")
+            })
+    }
+
+    /// The candidate with the highest absolute throughput.
+    pub fn best_throughput(&self) -> Option<GridPoint> {
+        self.points
+            .iter()
+            .copied()
+            .max_by(|a, b| a.throughput.partial_cmp(&b.throughput).expect("finite"))
+    }
+
+    /// The cheapest candidate achieving at least `fraction` of the best
+    /// absolute throughput (the "knee" question: how much hierarchy do I
+    /// actually need?).
+    pub fn cheapest_within(&self, fraction: f64) -> Option<GridPoint> {
+        let best = self.best_throughput()?.throughput;
+        self.points
+            .iter()
+            .copied()
+            .filter(|p| p.throughput >= best * fraction)
+            .min_by(|a, b| a.cost().partial_cmp(&b.cost()).expect("finite"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GB: u64 = 1_000_000_000;
+
+    #[test]
+    fn cacheable_read_workload_gets_dram_ssd() {
+        let rec = recommend(
+            &WorkloadProfile { write_fraction: 0.0, working_set: 4 * GB, durable_writes: false },
+            100.0, // $100 buys 10 GB DRAM
+        );
+        assert_eq!(rec.hierarchy, Hierarchy::DramSsd);
+        assert_eq!(rec.policy, MigrationPolicy::eager());
+    }
+
+    #[test]
+    fn write_heavy_durable_gets_nvm_ssd() {
+        let rec = recommend(
+            &WorkloadProfile { write_fraction: 0.9, working_set: 100 * GB, durable_writes: true },
+            500.0,
+        );
+        assert_eq!(rec.hierarchy, Hierarchy::NvmSsd);
+        assert_eq!(rec.policy, MigrationPolicy::lazy());
+    }
+
+    #[test]
+    fn large_read_workload_gets_three_tiers() {
+        let rec = recommend(
+            &WorkloadProfile { write_fraction: 0.1, working_set: 100 * GB, durable_writes: true },
+            500.0, // can't afford 100 GB of DRAM ($1000)
+        );
+        assert_eq!(rec.hierarchy, Hierarchy::DramNvmSsd);
+        assert_eq!(rec.policy, MigrationPolicy::lazy());
+    }
+
+    #[test]
+    fn grid_point_costs_match_paper_scale() {
+        // Figure 14a's corner: 0 DRAM + 0 NVM over a 200 GB SSD = $560.
+        let p = GridPoint { dram: 0, nvm: 0, ssd_cost: 560.0, throughput: 1000.0 };
+        assert!((p.cost() - 560.0).abs() < 1e-9);
+        // 4 GB DRAM + 40 GB NVM = 40 + 180 + 560 = 780 (Figure 14a).
+        let p = GridPoint { dram: 4 * GB, nvm: 40 * GB, ssd_cost: 560.0, throughput: 1000.0 };
+        assert!((p.cost() - 780.0).abs() < 1e-6, "cost {}", p.cost());
+    }
+
+    #[test]
+    fn grid_search_selects_expected_points() {
+        let mut g = GridSearch::new();
+        g.add(GridPoint { dram: 0, nvm: 80 * GB, ssd_cost: 560.0, throughput: 8000.0 });
+        g.add(GridPoint { dram: 4 * GB, nvm: 80 * GB, ssd_cost: 560.0, throughput: 12000.0 });
+        g.add(GridPoint { dram: 32 * GB, nvm: 160 * GB, ssd_cost: 560.0, throughput: 13000.0 });
+        let best_ppd = g.best_perf_per_dollar().unwrap();
+        assert_eq!(best_ppd.dram, 4 * GB, "small DRAM + big NVM wins perf/price");
+        let best_abs = g.best_throughput().unwrap();
+        assert_eq!(best_abs.dram, 32 * GB, "big hierarchy wins absolute throughput");
+        // 12000 >= 0.9 * 13000 -> the mid configuration is the knee.
+        let knee = g.cheapest_within(0.9).unwrap();
+        assert_eq!(knee.dram, 4 * GB);
+        assert!(g.points().len() == 3);
+        assert!(GridSearch::new().best_throughput().is_none());
+    }
+}

@@ -1,0 +1,357 @@
+//! Buffer manager configuration and builder.
+
+use spitfire_device::{PersistenceTracking, TimeScale};
+
+use crate::policy::MigrationPolicy;
+
+/// Default page size: 16 KB, as in HyMem and the paper's experiments.
+pub const DEFAULT_PAGE_SIZE: usize = 16 * 1024;
+
+/// Which storage hierarchy a configuration describes (paper §6.6 compares
+/// all of these).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Hierarchy {
+    /// Two tiers: DRAM buffer over SSD (the classic design).
+    DramSsd,
+    /// Two tiers: NVM buffer over SSD (app-direct mode).
+    NvmSsd,
+    /// Three tiers: DRAM and NVM buffers over SSD.
+    DramNvmSsd,
+    /// Two tiers, with tier 1 being NVM in *memory mode*: DRAM acts as a
+    /// hardware-managed cache and the DBMS sees one large volatile buffer
+    /// (paper §2.2, Figure 5).
+    MemoryModeSsd,
+}
+
+/// Errors produced by [`BufferManagerConfig::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// Page size must be a power of two of at least 512 bytes.
+    BadPageSize(usize),
+    /// Both buffers were configured with zero capacity.
+    NoBufferCapacity,
+    /// A buffer capacity is smaller than one page.
+    CapacityTooSmall {
+        /// Tier label ("dram" or "nvm").
+        tier: &'static str,
+        /// Configured capacity in bytes.
+        capacity: usize,
+    },
+    /// Fine-grained loading granule must be a power of two in
+    /// `[64, page_size]`.
+    BadGranule(usize),
+    /// Mini pages require fine-grained loading to be enabled.
+    MiniPagesNeedGranule,
+    /// Memory mode needs both a DRAM cache size and NVM capacity.
+    BadMemoryMode,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::BadPageSize(s) => {
+                write!(f, "page size {s} must be a power of two >= 512")
+            }
+            ConfigError::NoBufferCapacity => {
+                write!(f, "at least one of the DRAM and NVM buffers must have capacity")
+            }
+            ConfigError::CapacityTooSmall { tier, capacity } => {
+                write!(f, "{tier} capacity of {capacity} bytes holds no complete page")
+            }
+            ConfigError::BadGranule(g) => {
+                write!(f, "loading granule {g} must be a power of two in [64, page_size]")
+            }
+            ConfigError::MiniPagesNeedGranule => {
+                write!(f, "mini pages require fine-grained loading (set a granule)")
+            }
+            ConfigError::BadMemoryMode => {
+                write!(f, "memory mode requires nonzero DRAM (cache) and NVM capacities")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Configuration for a [`crate::BufferManager`]; construct via
+/// [`BufferManagerConfig::builder`].
+#[derive(Debug, Clone)]
+pub struct BufferManagerConfig {
+    /// Page size in bytes (power of two, ≥ 512).
+    pub page_size: usize,
+    /// DRAM buffer capacity in bytes (0 disables the DRAM buffer). In
+    /// memory mode this is the size of the DRAM cache in front of NVM.
+    pub dram_capacity: usize,
+    /// NVM buffer capacity in bytes (0 disables the NVM buffer). In memory
+    /// mode this is the capacity of the volatile composite device.
+    pub nvm_capacity: usize,
+    /// Initial data migration policy.
+    pub policy: MigrationPolicy,
+    /// Scale for emulated device delays.
+    pub time_scale: TimeScale,
+    /// NVM persistence bookkeeping (enable `Full` for crash tests).
+    pub persistence: PersistenceTracking,
+    /// Fine-grained loading granule in bytes (None = whole-page loading;
+    /// paper §2.1, Figure 11 sweeps 64–512 B).
+    pub fine_grained: Option<usize>,
+    /// Enable the mini-page layout for fine-grained pages (paper §2.1).
+    pub mini_pages: bool,
+    /// Run tier 1 in memory mode (DRAM as hardware cache over NVM).
+    pub memory_mode: bool,
+    /// Capacity of the HyMem admission queue in pages; defaults to half the
+    /// NVM buffer's page count (§6.5).
+    pub admission_queue_capacity: Option<usize>,
+    /// Seed for the policy's coin flips (reproducible experiments).
+    pub seed: u64,
+}
+
+impl BufferManagerConfig {
+    /// Start building a configuration.
+    pub fn builder() -> BufferManagerConfigBuilder {
+        BufferManagerConfigBuilder { config: Self::default_config() }
+    }
+
+    fn default_config() -> Self {
+        BufferManagerConfig {
+            page_size: DEFAULT_PAGE_SIZE,
+            dram_capacity: 64 * 1024 * 1024,
+            nvm_capacity: 256 * 1024 * 1024,
+            policy: MigrationPolicy::lazy(),
+            time_scale: TimeScale::REAL,
+            persistence: PersistenceTracking::Counters,
+            fine_grained: None,
+            mini_pages: false,
+            memory_mode: false,
+            admission_queue_capacity: None,
+            seed: 0x5f17f17e,
+        }
+    }
+
+    /// The hierarchy implied by the configured capacities.
+    pub fn hierarchy(&self) -> Hierarchy {
+        if self.memory_mode {
+            Hierarchy::MemoryModeSsd
+        } else {
+            match (self.dram_capacity > 0, self.nvm_capacity > 0) {
+                (true, true) => Hierarchy::DramNvmSsd,
+                (true, false) => Hierarchy::DramSsd,
+                (false, true) => Hierarchy::NvmSsd,
+                (false, false) => Hierarchy::DramSsd, // rejected by validate()
+            }
+        }
+    }
+
+    /// Number of whole pages the DRAM buffer holds.
+    pub fn dram_pages(&self) -> usize {
+        self.dram_capacity / self.page_size
+    }
+
+    /// Number of whole pages the NVM buffer holds.
+    pub fn nvm_pages(&self) -> usize {
+        self.nvm_capacity / self.page_size
+    }
+
+    /// Check all invariants; called by the manager on build.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if !self.page_size.is_power_of_two() || self.page_size < 512 {
+            return Err(ConfigError::BadPageSize(self.page_size));
+        }
+        if self.memory_mode {
+            if self.dram_capacity == 0 || self.nvm_capacity == 0 {
+                return Err(ConfigError::BadMemoryMode);
+            }
+            if self.nvm_capacity < self.page_size {
+                return Err(ConfigError::CapacityTooSmall {
+                    tier: "nvm",
+                    capacity: self.nvm_capacity,
+                });
+            }
+        } else {
+            if self.dram_capacity == 0 && self.nvm_capacity == 0 {
+                return Err(ConfigError::NoBufferCapacity);
+            }
+            if self.dram_capacity > 0 && self.dram_capacity < self.page_size {
+                return Err(ConfigError::CapacityTooSmall {
+                    tier: "dram",
+                    capacity: self.dram_capacity,
+                });
+            }
+            if self.nvm_capacity > 0 && self.nvm_capacity < self.page_size {
+                return Err(ConfigError::CapacityTooSmall {
+                    tier: "nvm",
+                    capacity: self.nvm_capacity,
+                });
+            }
+        }
+        if let Some(g) = self.fine_grained {
+            if !g.is_power_of_two() || g < 64 || g > self.page_size {
+                return Err(ConfigError::BadGranule(g));
+            }
+            // A mini page (16 granule slots + one header cache line,
+            // Figure 2b) must fit within one slab frame.
+            if self.mini_pages && 16 * g + 64 > self.page_size {
+                return Err(ConfigError::BadGranule(g));
+            }
+        } else if self.mini_pages {
+            return Err(ConfigError::MiniPagesNeedGranule);
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`BufferManagerConfig`].
+#[derive(Debug, Clone)]
+pub struct BufferManagerConfigBuilder {
+    config: BufferManagerConfig,
+}
+
+impl BufferManagerConfigBuilder {
+    /// Set the page size in bytes (power of two, ≥ 512; default 16 KB).
+    pub fn page_size(mut self, bytes: usize) -> Self {
+        self.config.page_size = bytes;
+        self
+    }
+
+    /// Set the DRAM buffer capacity in bytes (0 disables DRAM).
+    pub fn dram_capacity(mut self, bytes: usize) -> Self {
+        self.config.dram_capacity = bytes;
+        self
+    }
+
+    /// Set the NVM buffer capacity in bytes (0 disables NVM).
+    pub fn nvm_capacity(mut self, bytes: usize) -> Self {
+        self.config.nvm_capacity = bytes;
+        self
+    }
+
+    /// Set the initial data migration policy (default: Spitfire-Lazy).
+    pub fn policy(mut self, policy: MigrationPolicy) -> Self {
+        self.config.policy = policy;
+        self
+    }
+
+    /// Set the emulated-delay scale (default: REAL; use ZERO in tests).
+    pub fn time_scale(mut self, scale: TimeScale) -> Self {
+        self.config.time_scale = scale;
+        self
+    }
+
+    /// Set NVM persistence bookkeeping (default: counters only).
+    pub fn persistence(mut self, tracking: PersistenceTracking) -> Self {
+        self.config.persistence = tracking;
+        self
+    }
+
+    /// Enable cache-line-grained loading with the given granule in bytes.
+    pub fn fine_grained(mut self, granule: usize) -> Self {
+        self.config.fine_grained = Some(granule);
+        self
+    }
+
+    /// Enable the mini-page layout (requires [`Self::fine_grained`]).
+    pub fn mini_pages(mut self, enabled: bool) -> Self {
+        self.config.mini_pages = enabled;
+        self
+    }
+
+    /// Run tier 1 in memory mode (DRAM cache over NVM; Figure 5).
+    pub fn memory_mode(mut self, enabled: bool) -> Self {
+        self.config.memory_mode = enabled;
+        self
+    }
+
+    /// Override the admission queue capacity in pages.
+    pub fn admission_queue_capacity(mut self, pages: usize) -> Self {
+        self.config.admission_queue_capacity = Some(pages);
+        self
+    }
+
+    /// Seed the policy coin flips.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Finish, validating invariants.
+    pub fn build(self) -> Result<BufferManagerConfig, ConfigError> {
+        self.config.validate()?;
+        Ok(self.config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_build_is_valid_three_tier() {
+        let c = BufferManagerConfig::builder().build().unwrap();
+        assert_eq!(c.hierarchy(), Hierarchy::DramNvmSsd);
+        assert_eq!(c.page_size, 16 * 1024);
+        assert_eq!(c.dram_pages(), 64 * 1024 * 1024 / (16 * 1024));
+    }
+
+    #[test]
+    fn two_tier_hierarchies() {
+        let c = BufferManagerConfig::builder().nvm_capacity(0).build().unwrap();
+        assert_eq!(c.hierarchy(), Hierarchy::DramSsd);
+        let c = BufferManagerConfig::builder().dram_capacity(0).build().unwrap();
+        assert_eq!(c.hierarchy(), Hierarchy::NvmSsd);
+    }
+
+    #[test]
+    fn zero_capacity_everywhere_is_rejected() {
+        let err =
+            BufferManagerConfig::builder().dram_capacity(0).nvm_capacity(0).build().unwrap_err();
+        assert_eq!(err, ConfigError::NoBufferCapacity);
+    }
+
+    #[test]
+    fn bad_page_sizes_rejected() {
+        assert!(matches!(
+            BufferManagerConfig::builder().page_size(1000).build(),
+            Err(ConfigError::BadPageSize(1000))
+        ));
+        assert!(matches!(
+            BufferManagerConfig::builder().page_size(256).build(),
+            Err(ConfigError::BadPageSize(256))
+        ));
+    }
+
+    #[test]
+    fn sub_page_capacity_rejected() {
+        let err = BufferManagerConfig::builder()
+            .page_size(16 * 1024)
+            .dram_capacity(1024)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::CapacityTooSmall { tier: "dram", capacity: 1024 });
+    }
+
+    #[test]
+    fn granule_validation() {
+        assert!(BufferManagerConfig::builder().fine_grained(256).build().is_ok());
+        assert!(matches!(
+            BufferManagerConfig::builder().fine_grained(48).build(),
+            Err(ConfigError::BadGranule(48))
+        ));
+        assert!(matches!(
+            BufferManagerConfig::builder().page_size(4096).fine_grained(8192).build(),
+            Err(ConfigError::BadGranule(8192))
+        ));
+        assert_eq!(
+            BufferManagerConfig::builder().mini_pages(true).build().unwrap_err(),
+            ConfigError::MiniPagesNeedGranule
+        );
+    }
+
+    #[test]
+    fn memory_mode_requires_both_capacities() {
+        assert!(matches!(
+            BufferManagerConfig::builder().memory_mode(true).dram_capacity(0).build(),
+            Err(ConfigError::BadMemoryMode)
+        ));
+        let c = BufferManagerConfig::builder().memory_mode(true).build().unwrap();
+        assert_eq!(c.hierarchy(), Hierarchy::MemoryModeSsd);
+    }
+}

@@ -1,0 +1,161 @@
+//! Shared page descriptors (paper §5.1, Figure 4).
+//!
+//! The unified mapping table stores one [`SharedPageDesc`] per logical page.
+//! The descriptor records where copies of the page live (DRAM and/or NVM),
+//! how many threads currently use each copy, and whether each copy is
+//! dirty. Migrations move a copy through the [`CopyState::Busy`] /
+//! [`CopyState::Loading`] states, which is the non-blocking formulation of
+//! the paper's per-tier migration latches: a fetch that encounters a copy
+//! in a transitional state waits on the descriptor's condition variable
+//! instead of spinning on a latch, and accesses to the *other* tier's copy
+//! proceed unimpeded — exactly the concurrency the fine-grained latching
+//! protocol of §5.2 is designed to allow.
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::types::{FrameId, PageId};
+
+/// Where a DRAM-resident copy keeps its bytes.
+///
+/// A full frame holds the complete page. Fine-grained and mini layouts
+/// (paper §2.1, Figure 2) hold a partial copy backed by the NVM-resident
+/// page; they are introduced by the `fgpage` module.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum FrameRef {
+    /// A whole-page frame in the tier's pool.
+    Full(FrameId),
+    /// A cache-line-grained page: a full-size frame whose content is loaded
+    /// granule-by-granule from the backing NVM copy.
+    Fine(Box<crate::fgpage::FinePage>),
+    /// A mini page: at most 16 granule slots carved from a shared slab
+    /// frame.
+    Mini(Box<crate::fgpage::MiniPage>),
+}
+
+impl FrameRef {
+    /// The pool frame that backs this reference (the slab frame for minis).
+    pub(crate) fn frame(&self) -> FrameId {
+        match self {
+            FrameRef::Full(f) => *f,
+            FrameRef::Fine(fp) => fp.frame,
+            FrameRef::Mini(mp) => mp.slot.slab,
+        }
+    }
+}
+
+/// Lifecycle of one tier's copy of a page.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum CopyState {
+    /// Being installed by a migration; not yet readable. Waiters block on
+    /// the descriptor condvar until it becomes `Resident`.
+    Loading,
+    /// Present and usable. `pins` counts outstanding guards; `dirty` means
+    /// the copy is newer than the tier below it.
+    Resident {
+        /// Where the bytes live.
+        frame: FrameRef,
+        /// Number of outstanding page guards on this copy.
+        pins: u32,
+        /// Whether this copy must be written down before being dropped.
+        dirty: bool,
+    },
+    /// Under migration (eviction or promotion-source drain): existing pins
+    /// may still drain, but no new pins are granted.
+    Busy {
+        /// Where the bytes live.
+        frame: FrameRef,
+        /// Pins still draining.
+        pins: u32,
+        /// Dirty flag carried through the migration.
+        dirty: bool,
+    },
+}
+
+impl CopyState {
+    /// Pins currently held on this copy.
+    #[cfg(test)]
+    pub(crate) fn pins(&self) -> u32 {
+        match self {
+            CopyState::Loading => 0,
+            CopyState::Resident { pins, .. } | CopyState::Busy { pins, .. } => *pins,
+        }
+    }
+
+    /// Whether this copy is in a transitional state.
+    #[cfg(test)]
+    pub(crate) fn in_transition(&self) -> bool {
+        matches!(self, CopyState::Loading | CopyState::Busy { .. })
+    }
+}
+
+/// Mutable per-page state guarded by the descriptor mutex.
+#[derive(Debug, Default)]
+pub(crate) struct PageState {
+    /// The DRAM-resident copy, if any.
+    pub dram: Option<CopyState>,
+    /// The NVM-resident copy, if any.
+    pub nvm: Option<CopyState>,
+}
+
+impl PageState {
+    /// Copy slot for `tier` (DRAM = tier 1 pool, NVM = tier 2 pool).
+    pub(crate) fn slot_mut(&mut self, dram: bool) -> &mut Option<CopyState> {
+        if dram {
+            &mut self.dram
+        } else {
+            &mut self.nvm
+        }
+    }
+}
+
+/// Shared page descriptor stored in the mapping table (Figure 4).
+#[derive(Debug)]
+pub(crate) struct SharedPageDesc {
+    /// The logical page this descriptor tracks.
+    pub pid: PageId,
+    /// Copy states; all transitions take this mutex (never held across
+    /// device I/O).
+    pub state: Mutex<PageState>,
+    /// Signalled on every state transition; waiters re-check under the
+    /// mutex.
+    pub cond: Condvar,
+}
+
+impl SharedPageDesc {
+    /// A descriptor for `pid` with no resident copies.
+    pub(crate) fn new(pid: PageId) -> Self {
+        SharedPageDesc { pid, state: Mutex::new(PageState::default()), cond: Condvar::new() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn copy_state_helpers() {
+        let r = CopyState::Resident { frame: FrameRef::Full(FrameId(1)), pins: 2, dirty: false };
+        assert_eq!(r.pins(), 2);
+        assert!(!r.in_transition());
+        let b = CopyState::Busy { frame: FrameRef::Full(FrameId(1)), pins: 1, dirty: true };
+        assert!(b.in_transition());
+        assert_eq!(b.pins(), 1);
+        assert!(CopyState::Loading.in_transition());
+        assert_eq!(CopyState::Loading.pins(), 0);
+    }
+
+    #[test]
+    fn slot_mut_selects_tier() {
+        let mut st = PageState::default();
+        *st.slot_mut(true) = Some(CopyState::Loading);
+        assert!(st.dram.is_some());
+        assert!(st.nvm.is_none());
+        *st.slot_mut(false) = Some(CopyState::Loading);
+        assert!(st.nvm.is_some());
+    }
+
+    #[test]
+    fn frame_ref_full_reports_frame() {
+        assert_eq!(FrameRef::Full(FrameId(9)).frame(), FrameId(9));
+    }
+}

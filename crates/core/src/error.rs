@@ -1,0 +1,78 @@
+//! Error type for buffer manager operations.
+
+use crate::config::ConfigError;
+use crate::types::{PageId, Tier};
+
+/// Errors surfaced by the buffer manager.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BufferError {
+    /// A device operation failed.
+    Device(spitfire_device::DeviceError),
+    /// The configuration was invalid.
+    Config(ConfigError),
+    /// Every frame in `tier` is pinned or in transition; the request could
+    /// not obtain a frame after an exhaustive search. Usually means the
+    /// buffer is far too small for the number of concurrently pinned pages.
+    NoFrames {
+        /// The tier whose pool is exhausted.
+        tier: Tier,
+    },
+    /// The page was never allocated (or its backing data is gone).
+    UnknownPage(PageId),
+}
+
+impl std::fmt::Display for BufferError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BufferError::Device(e) => write!(f, "device error: {e}"),
+            BufferError::Config(e) => write!(f, "configuration error: {e}"),
+            BufferError::NoFrames { tier } => {
+                write!(f, "no evictable frames in the {} buffer", tier.label())
+            }
+            BufferError::UnknownPage(pid) => write!(f, "page {pid} was never allocated"),
+        }
+    }
+}
+
+impl std::error::Error for BufferError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BufferError::Device(e) => Some(e),
+            BufferError::Config(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<spitfire_device::DeviceError> for BufferError {
+    fn from(e: spitfire_device::DeviceError) -> Self {
+        BufferError::Device(e)
+    }
+}
+
+impl From<ConfigError> for BufferError {
+    fn from(e: ConfigError) -> Self {
+        BufferError::Config(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e = BufferError::NoFrames { tier: Tier::Dram };
+        assert_eq!(e.to_string(), "no evictable frames in the dram buffer");
+        assert!(e.source().is_none());
+
+        let e: BufferError = spitfire_device::DeviceError::PageNotFound(3).into();
+        assert!(e.to_string().contains("page 3"));
+        assert!(e.source().is_some());
+
+        let e: BufferError = ConfigError::NoBufferCapacity.into();
+        assert!(matches!(e, BufferError::Config(_)));
+        assert_eq!(BufferError::UnknownPage(PageId(9)).to_string(), "page P9 was never allocated");
+    }
+}

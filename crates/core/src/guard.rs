@@ -1,0 +1,121 @@
+//! Pinned-page guards.
+//!
+//! A [`PageGuard`] represents one pinned copy of a page. While a guard is
+//! alive its copy cannot be evicted or migrated. Reads and writes through
+//! the guard are charged to the device the copy resides on — this is how
+//! directly operating on NVM-resident data (paper §3.1) pays NVM latency
+//! instead of DRAM latency.
+
+use spitfire_device::AccessPattern;
+
+use crate::manager::BufferManager;
+use crate::types::{FrameId, PageId, Tier};
+use crate::Result;
+
+/// Which copy the guard pinned and how to reach its bytes.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum GuardKind {
+    /// Full-page copy in the tier-1 (DRAM / memory-mode) pool.
+    FullDram(FrameId),
+    /// Full-page copy in the NVM pool.
+    FullNvm(FrameId),
+    /// Fine-grained or mini copy in DRAM; all access goes through the
+    /// descriptor lock (see `fgpage`).
+    FineGrained,
+}
+
+/// A pinned reference to one resident copy of a page.
+///
+/// Dropping the guard unpins the copy. A thread must not hold two guards on
+/// the same page at once (migrations assume each pin belongs to a distinct
+/// operation).
+pub struct PageGuard<'a> {
+    pub(crate) bm: &'a BufferManager,
+    pub(crate) pid: PageId,
+    pub(crate) kind: GuardKind,
+    /// True if the pinned copy lives in the DRAM slot of the descriptor
+    /// (fine-grained copies always do).
+    pub(crate) in_dram_slot: bool,
+}
+
+impl<'a> PageGuard<'a> {
+    /// The page this guard pins.
+    pub fn page_id(&self) -> PageId {
+        self.pid
+    }
+
+    /// The tier serving this guard's accesses.
+    pub fn tier(&self) -> Tier {
+        match self.kind {
+            GuardKind::FullDram(_) | GuardKind::FineGrained => Tier::Dram,
+            GuardKind::FullNvm(_) => Tier::Nvm,
+        }
+    }
+
+    /// Read `buf.len()` bytes of page content starting at `offset`.
+    pub fn read(&self, offset: usize, buf: &mut [u8]) -> Result<()> {
+        match self.kind {
+            GuardKind::FullDram(f) => {
+                self.bm.tier1_pool().read(f, offset, buf, AccessPattern::Random)
+            }
+            GuardKind::FullNvm(f) => self.bm.nvm_pool().read(f, offset, buf, AccessPattern::Random),
+            GuardKind::FineGrained => self.bm.fg_read(self.pid, offset, buf),
+        }
+    }
+
+    /// Write `data` into the page at `offset`, marking the copy dirty.
+    ///
+    /// Writes to an NVM-resident copy are persisted (`clwb` + `sfence`)
+    /// before returning, matching the paper's durability protocol for the
+    /// NVM buffer (§5.2: NVM-resident pages are never flushed to SSD on
+    /// checkpoint because they are already persistent).
+    pub fn write(&self, offset: usize, data: &[u8]) -> Result<()> {
+        match self.kind {
+            GuardKind::FullDram(f) => {
+                self.bm.tier1_pool().write(f, offset, data, AccessPattern::Random)?;
+            }
+            GuardKind::FullNvm(f) => {
+                let pool = self.bm.nvm_pool();
+                pool.write(f, offset, data, AccessPattern::Random)?;
+                pool.persist(f, offset, data.len())?;
+            }
+            GuardKind::FineGrained => self.bm.fg_write(self.pid, offset, data)?,
+        }
+        if !matches!(self.kind, GuardKind::FineGrained) {
+            self.bm.mark_dirty(self.pid, self.in_dram_slot);
+        }
+        Ok(())
+    }
+
+    /// Read a little-endian `u64` at `offset` (convenience for headers).
+    pub fn read_u64(&self, offset: usize) -> Result<u64> {
+        let mut b = [0u8; 8];
+        self.read(offset, &mut b)?;
+        Ok(u64::from_le_bytes(b))
+    }
+
+    /// Write a little-endian `u64` at `offset`.
+    pub fn write_u64(&self, offset: usize, value: u64) -> Result<()> {
+        self.write(offset, &value.to_le_bytes())
+    }
+
+    /// Page size in bytes (content addressable through this guard).
+    pub fn page_size(&self) -> usize {
+        self.bm.page_size()
+    }
+}
+
+impl Drop for PageGuard<'_> {
+    fn drop(&mut self) {
+        self.bm.unpin(self.pid, self.in_dram_slot);
+    }
+}
+
+impl std::fmt::Debug for PageGuard<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PageGuard")
+            .field("pid", &self.pid)
+            .field("tier", &self.tier())
+            .finish_non_exhaustive()
+    }
+}

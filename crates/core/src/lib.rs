@@ -1,0 +1,91 @@
+//! # Spitfire — a three-tier buffer manager for volatile and non-volatile memory
+//!
+//! This crate is the core of a from-scratch Rust reproduction of
+//! *Spitfire: A Three-Tier Buffer Manager for Volatile and Non-Volatile
+//! Memory* (Zhou, Arulraj, Pavlo, Cohen — SIGMOD 2021): a multi-threaded
+//! buffer manager for a DRAM–NVM–SSD storage hierarchy.
+//!
+//! ## The idea
+//!
+//! Classic buffer managers assume data must be copied to DRAM before the
+//! CPU can touch it. NVM (Intel Optane DC PMMs) breaks that assumption: the
+//! CPU can operate on NVM-resident pages directly, at latencies close to
+//! DRAM. Spitfire therefore makes all four data-placement decisions
+//! *probabilistic* (paper §3):
+//!
+//! | knob  | decision                                                |
+//! |-------|---------------------------------------------------------|
+//! | `D_r` | promote NVM page to DRAM on read                        |
+//! | `D_w` | route a write through DRAM instead of writing NVM       |
+//! | `N_r` | admit an SSD page to NVM (vs. straight to DRAM) on read |
+//! | `N_w` | admit a DRAM-evicted dirty page to NVM (vs. SSD)        |
+//!
+//! Lazy settings (e.g. the Spitfire-Lazy preset ⟨0.01, 0.01, 0.2, 1⟩) keep
+//! only genuinely hot pages in DRAM, reduce DRAM↔NVM traffic, and lower the
+//! duplication between the two buffers (the *inclusivity ratio*, §3.3). An
+//! [`adaptive::AnnealingTuner`] adjusts the policy online (§4).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use spitfire_core::{AccessIntent, BufferManager, BufferManagerConfig, MigrationPolicy};
+//! use spitfire_device::TimeScale;
+//!
+//! let config = BufferManagerConfig::builder()
+//!     .page_size(4096)
+//!     .dram_capacity(16 * 4096)
+//!     .nvm_capacity(64 * 4096)
+//!     .policy(MigrationPolicy::lazy())
+//!     .time_scale(TimeScale::ZERO) // no emulated delays in doc tests
+//!     .build()
+//!     .unwrap();
+//! let bm = BufferManager::new(config).unwrap();
+//!
+//! let pid = bm.allocate_page().unwrap();
+//! {
+//!     let guard = bm.fetch(pid, AccessIntent::Write).unwrap();
+//!     guard.write(0, b"hello, tiered storage").unwrap();
+//! }
+//! let guard = bm.fetch(pid, AccessIntent::Read).unwrap();
+//! let mut buf = [0u8; 21];
+//! guard.read(0, &mut buf).unwrap();
+//! assert_eq!(&buf, b"hello, tiered storage");
+//! ```
+//!
+//! ## Module map
+//!
+//! * [`manager`] / [`BufferManager`] — fetch, migration, eviction (§5).
+//! * [`policy`] — the ⟨D_r, D_w, N_r, N_w⟩ taxonomy (§3) and presets
+//!   (Table 3).
+//! * [`adaptive`] — simulated-annealing policy tuning (§4).
+//! * `fgpage` / `fgops` — cache-line-grained loading and mini pages
+//!   (§2.1, Figures 2/11/12).
+//! * [`metrics`] — tier hits, migration paths, inclusivity ratio (Table 2).
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod adaptive;
+pub mod advisor;
+mod config;
+mod descriptor;
+mod error;
+mod fgops;
+mod fgpage;
+mod guard;
+pub mod manager;
+pub mod metrics;
+pub mod policy;
+mod pool;
+mod types;
+
+pub use config::{BufferManagerConfig, BufferManagerConfigBuilder, ConfigError, Hierarchy};
+pub use error::BufferError;
+pub use guard::PageGuard;
+pub use manager::BufferManager;
+pub use metrics::MetricsSnapshot;
+pub use policy::{MigrationPolicy, NvmAdmission, PolicyCell};
+pub use types::{AccessIntent, MigrationPath, PageId, Tier};
+
+/// Result alias for buffer manager operations.
+pub type Result<T> = std::result::Result<T, BufferError>;

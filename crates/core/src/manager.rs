@@ -1,0 +1,931 @@
+//! The Spitfire buffer manager (paper §5).
+//!
+//! One [`BufferManager`] owns up to two buffer pools (DRAM and NVM) over an
+//! SSD, a unified mapping table of shared page descriptors (Figure 4), the
+//! CLOCK replacement state per pool, and the probabilistic data migration
+//! policy (§3). See the crate docs for the full data-flow picture.
+//!
+//! # Concurrency protocol
+//!
+//! All copy-state transitions take the descriptor mutex, which is never
+//! held across device I/O (except for fine-grained granule loads, whose
+//! I/O is sub-microsecond NVM/DRAM traffic). Migrations mark the involved
+//! copies `Busy`/`Loading` first, perform I/O, then commit the transition —
+//! the non-blocking equivalent of the paper's per-tier migration latches.
+//! Two invariants make this deadlock-free:
+//!
+//! * a thread never holds two descriptor mutexes at once (evictions use
+//!   `try_lock` and skip on failure);
+//! * migrations only start when the source copy has no outstanding pins,
+//!   so no wait ever depends on a guard held by another operation.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use spitfire_device::{AccessPattern, DeviceStats, NvmDevice, SsdDevice};
+use spitfire_sync::{AdmissionQueue, ConcurrentMap};
+
+use crate::config::{BufferManagerConfig, Hierarchy};
+use crate::descriptor::{CopyState, FrameRef, SharedPageDesc};
+use crate::error::BufferError;
+use crate::fgpage::MiniSlabs;
+use crate::guard::{GuardKind, PageGuard};
+use crate::metrics::{inclusivity_ratio, BufferMetrics, MetricsSnapshot};
+use crate::policy::{MigrationPolicy, PolicyCell};
+use crate::pool::Pool;
+use crate::types::{AccessIntent, FrameId, MigrationPath, PageId, Tier};
+use crate::Result;
+
+/// What to do with a DRAM copy selected for eviction (decided under the
+/// descriptor lock, executed without it).
+enum EvictPlan {
+    /// Clean copy: drop it (§3.3 — unmodified pages are simply discarded).
+    Discard,
+    /// Dirty copy with an existing NVM copy: merge the newer bytes into the
+    /// NVM frame.
+    MergeIntoNvm(FrameId),
+    /// Dirty fine-grained copy: write only the dirty granules back to the
+    /// backing NVM frame.
+    WriteBackGranules(FrameId),
+    /// Dirty copy admitted to NVM (coin flip `N_w` or admission queue).
+    AdmitToNvm,
+    /// Dirty copy bypassing NVM, written straight to SSD (§3.4).
+    WriteToSsd,
+}
+
+/// Multi-threaded three-tier buffer manager.
+pub struct BufferManager {
+    config: BufferManagerConfig,
+    pub(crate) mapping: ConcurrentMap<u64, Arc<SharedPageDesc>>,
+    /// Tier-1 pool: DRAM, or the memory-mode composite device.
+    tier1: Option<Pool>,
+    /// Tier-2 pool: app-direct NVM.
+    nvm: Option<Pool>,
+    ssd: SsdDevice,
+    policy: PolicyCell,
+    admission: Option<AdmissionQueue>,
+    pub(crate) metrics: BufferMetrics,
+    next_pid: AtomicU64,
+    rng_state: AtomicU64,
+    pub(crate) mini: Option<MiniSlabs>,
+}
+
+impl BufferManager {
+    /// Build a buffer manager from `config`.
+    pub fn new(config: BufferManagerConfig) -> Result<Self> {
+        config.validate()?;
+        let scale = config.time_scale;
+        let page = config.page_size;
+        let (tier1, nvm) = if config.memory_mode {
+            (Some(Pool::memory_mode(config.nvm_capacity, config.dram_capacity, page, scale)), None)
+        } else {
+            let t1 = (config.dram_capacity > 0).then(|| Pool::dram(config.dram_capacity, page, scale));
+            let t2 = (config.nvm_capacity > 0)
+                .then(|| Pool::nvm(config.nvm_capacity, page, scale, config.persistence));
+            (t1, t2)
+        };
+        let admission = nvm.as_ref().map(|pool| {
+            let cap = config.admission_queue_capacity.unwrap_or(pool.n_frames() / 2).max(1);
+            AdmissionQueue::new(cap)
+        });
+        let mini = config
+            .mini_pages
+            .then(|| MiniSlabs::new(page, config.fine_grained.expect("validated")));
+        Ok(BufferManager {
+            mapping: ConcurrentMap::new(),
+            tier1,
+            nvm,
+            ssd: SsdDevice::new(page, scale),
+            policy: PolicyCell::new(config.policy),
+            admission,
+            metrics: BufferMetrics::new(),
+            next_pid: AtomicU64::new(0),
+            rng_state: AtomicU64::new(config.seed | 1),
+            mini,
+            config,
+        })
+    }
+
+    /// The configuration this manager was built with.
+    pub fn config(&self) -> &BufferManagerConfig {
+        &self.config
+    }
+
+    /// The storage hierarchy in effect.
+    pub fn hierarchy(&self) -> Hierarchy {
+        self.config.hierarchy()
+    }
+
+    /// Page size in bytes.
+    pub fn page_size(&self) -> usize {
+        self.config.page_size
+    }
+
+    /// Number of pages allocated so far.
+    pub fn page_count(&self) -> u64 {
+        self.next_pid.load(Ordering::Acquire)
+    }
+
+    /// The active migration policy.
+    pub fn policy(&self) -> MigrationPolicy {
+        self.policy.load()
+    }
+
+    /// Swap the active migration policy (used by the adaptive tuner, §4).
+    pub fn set_policy(&self, policy: MigrationPolicy) {
+        self.policy.store(policy);
+    }
+
+    /// Change the emulated-delay scale on every device at runtime. Load
+    /// phases run at [`spitfire_device::TimeScale::ZERO`] (no delays),
+    /// measurement at `REAL`; counters are unaffected.
+    pub fn set_time_scale(&self, scale: spitfire_device::TimeScale) {
+        if let Some(p) = &self.tier1 {
+            p.set_time_scale(scale);
+        }
+        if let Some(p) = &self.nvm {
+            p.set_time_scale(scale);
+        }
+        self.ssd.set_time_scale(scale);
+    }
+
+    /// Buffer metrics counters.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    /// Reset buffer metrics and device counters (between experiment
+    /// phases).
+    pub fn reset_metrics(&self) {
+        self.metrics.reset();
+        if let Some(p) = &self.tier1 {
+            p.device_stats().reset();
+        }
+        if let Some(p) = &self.nvm {
+            p.device_stats().reset();
+        }
+        self.ssd.stats().reset();
+    }
+
+    /// Device counters for `tier`, if the tier exists in this hierarchy.
+    pub fn device_stats(&self, tier: Tier) -> Option<Arc<DeviceStats>> {
+        match tier {
+            Tier::Dram => self.tier1.as_ref().map(Pool::device_stats),
+            Tier::Nvm => self.nvm.as_ref().map(Pool::device_stats),
+            Tier::Ssd => Some(self.ssd.stats()),
+        }
+    }
+
+    /// Number of page frames in the DRAM (tier-1) pool.
+    pub fn dram_frames(&self) -> usize {
+        self.tier1.as_ref().map_or(0, Pool::n_frames)
+    }
+
+    /// Number of page frames in the NVM pool.
+    pub fn nvm_frames(&self) -> usize {
+        self.nvm.as_ref().map_or(0, Pool::n_frames)
+    }
+
+    /// Direct handle to the NVM device (recovery tests, WAL sharing).
+    pub fn nvm_device(&self) -> Option<&NvmDevice> {
+        self.nvm.as_ref().and_then(Pool::nvm_device)
+    }
+
+    /// Memory-mode cache hit/miss counters, when running in memory mode.
+    pub fn memory_mode_cache(&self) -> Option<(u64, u64)> {
+        self.tier1
+            .as_ref()
+            .and_then(Pool::memory_mode_device)
+            .map(|d| (d.cache_hits(), d.cache_misses()))
+    }
+
+    pub(crate) fn tier1_pool(&self) -> &Pool {
+        self.tier1.as_ref().expect("tier-1 pool exists for this guard")
+    }
+
+    pub(crate) fn nvm_pool(&self) -> &Pool {
+        self.nvm.as_ref().expect("NVM pool exists for this guard")
+    }
+
+    /// Cheap thread-safe uniform draw (splitmix64 on a shared counter).
+    fn draw(&self) -> u32 {
+        let mut z = self.rng_state.fetch_add(0x9E37_79B9_7F4A_7C15, Ordering::Relaxed);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        (z ^ (z >> 31)) as u32
+    }
+
+    /// Allocate a fresh zeroed page. The page initially resides on SSD
+    /// (paper §1: "initially, a newly-allocated page resides on SSD").
+    pub fn allocate_page(&self) -> Result<PageId> {
+        let pid = PageId(self.next_pid.fetch_add(1, Ordering::AcqRel));
+        let zeros = vec![0u8; self.config.page_size];
+        self.ssd.write_page(pid.0, &zeros)?;
+        Ok(pid)
+    }
+
+    fn descriptor(&self, pid: PageId) -> Result<Arc<SharedPageDesc>> {
+        if pid.0 >= self.next_pid.load(Ordering::Acquire) {
+            return Err(BufferError::UnknownPage(pid));
+        }
+        Ok(self.mapping.get_or_insert_with(pid.0, || Arc::new(SharedPageDesc::new(pid))))
+    }
+
+    /// Fetch `pid` with the given intent, returning a pinned guard on
+    /// whichever tier the migration policy placed the page (§5.1).
+    pub fn fetch(&self, pid: PageId, intent: AccessIntent) -> Result<PageGuard<'_>> {
+        let desc = self.descriptor(pid)?;
+        let mut st = desc.state.lock();
+        loop {
+            // 1. Tier-1 (DRAM) copy.
+            if self.tier1.is_some() {
+                match &mut st.dram {
+                    Some(CopyState::Resident { frame, pins, .. }) => {
+                        *pins += 1;
+                        let kind = match frame {
+                            FrameRef::Full(f) => GuardKind::FullDram(*f),
+                            FrameRef::Fine(_) | FrameRef::Mini(_) => GuardKind::FineGrained,
+                        };
+                        self.tier1_pool().touch(frame.frame());
+                        drop(st);
+                        self.metrics.record_dram_hit();
+                        return Ok(PageGuard { bm: self, pid, kind, in_dram_slot: true });
+                    }
+                    Some(_) => {
+                        desc.cond.wait(&mut st);
+                        continue;
+                    }
+                    None => {}
+                }
+            }
+            // 2. NVM copy.
+            if self.nvm.is_some() {
+                match &mut st.nvm {
+                    Some(CopyState::Resident { frame, pins, dirty }) => {
+                        let f = frame.frame();
+                        let want_promote = self.tier1.is_some() && {
+                            let draw = self.draw();
+                            match intent {
+                                AccessIntent::Read => self.policy.flip_dr(draw),
+                                AccessIntent::Write => self.policy.flip_dw(draw),
+                            }
+                        };
+                        // Promotion needs exclusive access to the NVM copy;
+                        // if it is pinned, serve from NVM instead (§5.2's
+                        // drain, formulated as only starting when drained).
+                        if !want_promote || *pins > 0 {
+                            *pins += 1;
+                            self.nvm_pool().touch(f);
+                            drop(st);
+                            self.metrics.record_nvm_hit();
+                            return Ok(PageGuard {
+                                bm: self,
+                                pid,
+                                kind: GuardKind::FullNvm(f),
+                                in_dram_slot: false,
+                            });
+                        }
+                        let dirty0 = *dirty;
+                        st.nvm = Some(CopyState::Busy {
+                            frame: FrameRef::Full(f),
+                            pins: 0,
+                            dirty: dirty0,
+                        });
+                        st.dram = Some(CopyState::Loading);
+                        drop(st);
+                        match self.promote(&desc, f, dirty0) {
+                            Ok(guard) => return Ok(guard),
+                            Err(e) => {
+                                let mut st = desc.state.lock();
+                                st.dram = None;
+                                let serve_from_nvm =
+                                    matches!(e, BufferError::NoFrames { .. });
+                                st.nvm = Some(CopyState::Resident {
+                                    frame: FrameRef::Full(f),
+                                    pins: u32::from(serve_from_nvm),
+                                    dirty: dirty0,
+                                });
+                                desc.cond.notify_all();
+                                drop(st);
+                                if serve_from_nvm {
+                                    // DRAM had no evictable frame: degrade
+                                    // gracefully to an in-place NVM access.
+                                    self.metrics.record_nvm_hit();
+                                    return Ok(PageGuard {
+                                        bm: self,
+                                        pid,
+                                        kind: GuardKind::FullNvm(f),
+                                        in_dram_slot: false,
+                                    });
+                                }
+                                return Err(e);
+                            }
+                        }
+                    }
+                    Some(_) => {
+                        desc.cond.wait(&mut st);
+                        continue;
+                    }
+                    None => {}
+                }
+            }
+            // 3. Miss: fetch from SSD, placing per the policy (§3.3/§3.2).
+            let to_dram = match (self.tier1.is_some(), self.nvm.is_some()) {
+                (true, false) => true,
+                (false, true) => false,
+                (true, true) => {
+                    let draw = self.draw();
+                    match intent {
+                        AccessIntent::Read => !self.policy.flip_nr(draw),
+                        AccessIntent::Write => self.policy.flip_dw(draw),
+                    }
+                }
+                (false, false) => unreachable!("validated: at least one buffer"),
+            };
+            *st.slot_mut(to_dram) = Some(CopyState::Loading);
+            drop(st);
+            self.metrics.record_ssd_fetch();
+            match self.load_from_ssd(pid, to_dram) {
+                Ok(guard) => return Ok(guard),
+                Err(BufferError::NoFrames { .. })
+                    if self.tier1.is_some() && self.nvm.is_some() =>
+                {
+                    // The chosen pool has no evictable frame (e.g. every NVM
+                    // frame is pinned as fine-grained backing): fall back to
+                    // the other tier. No other thread can have installed a
+                    // copy meanwhile — they all wait on our Loading marker.
+                    let mut st = desc.state.lock();
+                    *st.slot_mut(to_dram) = None;
+                    *st.slot_mut(!to_dram) = Some(CopyState::Loading);
+                    desc.cond.notify_all();
+                    drop(st);
+                    match self.load_from_ssd(pid, !to_dram) {
+                        Ok(guard) => return Ok(guard),
+                        Err(e) => {
+                            let mut st = desc.state.lock();
+                            *st.slot_mut(!to_dram) = None;
+                            desc.cond.notify_all();
+                            return Err(e);
+                        }
+                    }
+                }
+                Err(e) => {
+                    let mut st = desc.state.lock();
+                    *st.slot_mut(to_dram) = None;
+                    desc.cond.notify_all();
+                    return Err(e);
+                }
+            }
+        }
+    }
+
+    /// Copy an NVM-resident page up to DRAM (path ⑥, §3.1). The NVM copy
+    /// is `Busy` and the DRAM slot is `Loading` on entry.
+    fn promote(&self, desc: &SharedPageDesc, nvm_frame: FrameId, nvm_dirty: bool) -> Result<PageGuard<'_>> {
+        if self.config.fine_grained.is_some() {
+            return self.promote_fine(desc, nvm_frame, nvm_dirty);
+        }
+        let dram_frame = self.alloc_frame(true)?;
+        let page = self.config.page_size;
+        with_page_buf(page, |buf| -> Result<()> {
+            self.nvm_pool().read(nvm_frame, 0, buf, AccessPattern::Sequential)?;
+            self.tier1_pool().write(dram_frame, 0, buf, AccessPattern::Sequential)?;
+            Ok(())
+        })?;
+        self.tier1_pool().set_owner(dram_frame, desc.pid);
+        let mut st = desc.state.lock();
+        st.dram = Some(CopyState::Resident { frame: FrameRef::Full(dram_frame), pins: 1, dirty: false });
+        st.nvm = Some(CopyState::Resident { frame: FrameRef::Full(nvm_frame), pins: 0, dirty: nvm_dirty });
+        desc.cond.notify_all();
+        drop(st);
+        self.metrics.record_migration(MigrationPath::NvmToDram);
+        Ok(PageGuard { bm: self, pid: desc.pid, kind: GuardKind::FullDram(dram_frame), in_dram_slot: true })
+    }
+
+    /// Load a page from SSD into the chosen tier (paths ① / ④). The
+    /// destination slot is `Loading` on entry.
+    fn load_from_ssd(&self, pid: PageId, to_dram: bool) -> Result<PageGuard<'_>> {
+        let desc = self.mapping.get(&pid.0).ok_or(BufferError::UnknownPage(pid))?;
+        let page = self.config.page_size;
+        if to_dram {
+            let frame = self.alloc_frame(true)?;
+            with_page_buf(page, |buf| -> Result<()> {
+                self.ssd.read_page(pid.0, buf)?;
+                self.tier1_pool().write(frame, 0, buf, AccessPattern::Sequential)?;
+                Ok(())
+            })?;
+            self.tier1_pool().set_owner(frame, pid);
+            let mut st = desc.state.lock();
+            st.dram = Some(CopyState::Resident { frame: FrameRef::Full(frame), pins: 1, dirty: false });
+            desc.cond.notify_all();
+            drop(st);
+            self.metrics.record_migration(MigrationPath::SsdToDram);
+            Ok(PageGuard { bm: self, pid, kind: GuardKind::FullDram(frame), in_dram_slot: true })
+        } else {
+            let frame = self.alloc_frame(false)?;
+            with_page_buf(page, |buf| -> Result<()> {
+                self.ssd.read_page(pid.0, buf)?;
+                let pool = self.nvm_pool();
+                pool.write(frame, 0, buf, AccessPattern::Sequential)?;
+                pool.persist(frame, 0, page)?;
+                pool.write_frame_header(frame, pid)?;
+                Ok(())
+            })?;
+            self.nvm_pool().set_owner(frame, pid);
+            let mut st = desc.state.lock();
+            st.nvm = Some(CopyState::Resident { frame: FrameRef::Full(frame), pins: 1, dirty: false });
+            desc.cond.notify_all();
+            drop(st);
+            self.metrics.record_migration(MigrationPath::SsdToNvm);
+            Ok(PageGuard { bm: self, pid, kind: GuardKind::FullNvm(frame), in_dram_slot: false })
+        }
+    }
+
+    /// Claim a frame in the requested pool, evicting pages as needed.
+    pub(crate) fn alloc_frame(&self, dram: bool) -> Result<FrameId> {
+        let pool = if dram { self.tier1_pool() } else { self.nvm_pool() };
+        let budget = pool.n_frames() * 4 + 256;
+        for attempt in 0..budget {
+            if let Some(f) = pool.try_alloc() {
+                return Ok(f);
+            }
+            if let Some(victim) = pool.next_victim() {
+                match pool.owner(victim) {
+                    Some(vpid) => {
+                        self.try_evict(dram, victim, vpid);
+                    }
+                    None => {
+                        // Owner-less frames are either mid-install (skip) or
+                        // mini-page slabs (evict member by member).
+                        if dram {
+                            self.try_evict_slab(victim);
+                        }
+                    }
+                }
+            }
+            if attempt % 16 == 15 {
+                std::thread::yield_now();
+            }
+        }
+        Err(BufferError::NoFrames { tier: if dram { Tier::Dram } else { Tier::Nvm } })
+    }
+
+    /// Attempt to evict `vpid`'s copy occupying `victim` in the given pool.
+    /// Returns `true` if the frame was freed.
+    fn try_evict(&self, dram: bool, victim: FrameId, vpid: PageId) -> bool {
+        let Some(desc) = self.mapping.get(&vpid.0) else { return false };
+        if dram {
+            self.try_evict_dram(&desc, victim)
+        } else {
+            self.try_evict_nvm(&desc, victim)
+        }
+    }
+
+    /// Evict every mini page hosted by slab frame `victim`; frees the slab
+    /// once its last occupant leaves.
+    fn try_evict_slab(&self, victim: FrameId) -> bool {
+        let Some(mini) = &self.mini else { return false };
+        if !mini.is_slab(victim) {
+            return false;
+        }
+        let mut freed_any = false;
+        for pid in mini.members_of(victim) {
+            if let Some(desc) = self.mapping.get(&pid.0) {
+                freed_any |= self.try_evict_dram(&desc, victim);
+            }
+        }
+        freed_any
+    }
+
+    /// Evict the DRAM copy of `desc` if it occupies `victim` and is
+    /// evictable right now.
+    fn try_evict_dram(&self, desc: &SharedPageDesc, victim: FrameId) -> bool {
+        let Some(mut st) = desc.state.try_lock() else { return false };
+        let Some(CopyState::Resident { frame, pins: 0, dirty }) = &st.dram else { return false };
+        if frame.frame() != victim {
+            return false;
+        }
+        let fref = frame.clone();
+        let dirty = *dirty;
+        let fine = !matches!(fref, FrameRef::Full(_));
+
+        // Decide the plan while we can still see the NVM slot.
+        let plan = if !dirty {
+            EvictPlan::Discard
+        } else {
+            match &st.nvm {
+                Some(CopyState::Resident { frame: nf, pins, dirty: nvm_dirty }) => {
+                    // Fine-grained copies hold one backing pin on the NVM
+                    // copy; anything beyond that means concurrent readers.
+                    let backing = u32::from(fine);
+                    if *pins > backing {
+                        return false; // skip this victim for now
+                    }
+                    let nvm_frame = nf.frame();
+                    let d = *nvm_dirty;
+                    st.nvm = Some(CopyState::Busy {
+                        frame: FrameRef::Full(nvm_frame),
+                        pins: 0,
+                        dirty: d,
+                    });
+                    if fine {
+                        EvictPlan::WriteBackGranules(nvm_frame)
+                    } else {
+                        EvictPlan::MergeIntoNvm(nvm_frame)
+                    }
+                }
+                Some(_) => return false,
+                None => {
+                    debug_assert!(!fine, "fine copies always have an NVM backing copy");
+                    if self.nvm.is_some() {
+                        let admit = if self.policy.uses_admission_queue() {
+                            self.admission
+                                .as_ref()
+                                .expect("queue exists when NVM pool exists")
+                                .consider(desc.pid.0)
+                        } else {
+                            self.policy.flip_nw(self.draw())
+                        };
+                        if admit {
+                            EvictPlan::AdmitToNvm
+                        } else {
+                            EvictPlan::WriteToSsd
+                        }
+                    } else {
+                        EvictPlan::WriteToSsd
+                    }
+                }
+            }
+        };
+        st.dram = Some(CopyState::Busy { frame: fref.clone(), pins: 0, dirty });
+        drop(st);
+
+        self.execute_dram_eviction(desc, fref, plan);
+        self.metrics.record_dram_eviction();
+        true
+    }
+
+    /// Carry out a DRAM eviction plan (no descriptor lock held during I/O).
+    fn execute_dram_eviction(&self, desc: &SharedPageDesc, fref: FrameRef, plan: EvictPlan) {
+        let page = self.config.page_size;
+        match plan {
+            EvictPlan::Discard => {
+                self.release_dram_copy(desc, fref, None);
+                self.metrics.record_discard();
+            }
+            EvictPlan::MergeIntoNvm(nvm_frame) => {
+                let res = with_page_buf(page, |buf| -> Result<()> {
+                    self.tier1_pool().read(fref.frame(), 0, buf, AccessPattern::Sequential)?;
+                    let pool = self.nvm_pool();
+                    pool.write(nvm_frame, 0, buf, AccessPattern::Sequential)?;
+                    pool.persist(nvm_frame, 0, page)?;
+                    Ok(())
+                });
+                debug_assert!(res.is_ok(), "merge into NVM failed: {res:?}");
+                self.release_dram_copy(
+                    desc,
+                    fref,
+                    Some(CopyState::Resident { frame: FrameRef::Full(nvm_frame), pins: 0, dirty: true }),
+                );
+                self.metrics.record_migration(MigrationPath::DramToNvm);
+            }
+            EvictPlan::WriteBackGranules(nvm_frame) => {
+                self.write_back_granules(desc, &fref, nvm_frame);
+                self.release_dram_copy(
+                    desc,
+                    fref,
+                    Some(CopyState::Resident { frame: FrameRef::Full(nvm_frame), pins: 0, dirty: true }),
+                );
+                self.metrics.record_migration(MigrationPath::DramToNvm);
+            }
+            EvictPlan::AdmitToNvm => {
+                match self.alloc_frame(false) {
+                    Ok(nvm_frame) => {
+                        let res = with_page_buf(page, |buf| -> Result<()> {
+                            self.tier1_pool().read(fref.frame(), 0, buf, AccessPattern::Sequential)?;
+                            let pool = self.nvm_pool();
+                            pool.write(nvm_frame, 0, buf, AccessPattern::Sequential)?;
+                            pool.persist(nvm_frame, 0, page)?;
+                            pool.write_frame_header(nvm_frame, desc.pid)?;
+                            Ok(())
+                        });
+                        debug_assert!(res.is_ok(), "NVM admission failed: {res:?}");
+                        self.nvm_pool().set_owner(nvm_frame, desc.pid);
+                        self.release_dram_copy(
+                            desc,
+                            fref,
+                            Some(CopyState::Resident {
+                                frame: FrameRef::Full(nvm_frame),
+                                pins: 0,
+                                dirty: true,
+                            }),
+                        );
+                        self.metrics.record_migration(MigrationPath::DramToNvm);
+                    }
+                    Err(_) => {
+                        // NVM pool exhausted of evictable frames: fall back
+                        // to the SSD path.
+                        self.write_dram_copy_to_ssd(desc, &fref);
+                        self.release_dram_copy(desc, fref, None);
+                        self.metrics.record_migration(MigrationPath::DramToSsd);
+                    }
+                }
+            }
+            EvictPlan::WriteToSsd => {
+                self.write_dram_copy_to_ssd(desc, &fref);
+                self.release_dram_copy(desc, fref, None);
+                self.metrics.record_migration(MigrationPath::DramToSsd);
+            }
+        }
+    }
+
+    fn write_dram_copy_to_ssd(&self, desc: &SharedPageDesc, fref: &FrameRef) {
+        let page = self.config.page_size;
+        let res = with_page_buf(page, |buf| -> Result<()> {
+            self.tier1_pool().read(fref.frame(), 0, buf, AccessPattern::Sequential)?;
+            self.ssd.write_page(desc.pid.0, buf)?;
+            Ok(())
+        });
+        debug_assert!(res.is_ok(), "SSD write-back failed: {res:?}");
+    }
+
+    /// Finish a DRAM eviction: clear the DRAM slot, restore the NVM slot
+    /// (if a migration touched it), free the frame or mini slot, notify.
+    fn release_dram_copy(&self, desc: &SharedPageDesc, fref: FrameRef, new_nvm: Option<CopyState>) {
+        // Free the frame *after* clearing the slot so a racing fetch cannot
+        // observe a freed frame id in a Resident state.
+        let mut st = desc.state.lock();
+        st.dram = None;
+        let fine = !matches!(fref, FrameRef::Full(_));
+        if let Some(nvm_state) = new_nvm {
+            st.nvm = Some(nvm_state);
+        } else if fine {
+            // Clean fine-grained copy discarded: release the backing pin.
+            if let Some(CopyState::Resident { pins, .. } | CopyState::Busy { pins, .. }) = &mut st.nvm {
+                *pins = pins.saturating_sub(1);
+            }
+        }
+        desc.cond.notify_all();
+        drop(st);
+        match fref {
+            FrameRef::Full(f) => self.tier1_pool().free(f),
+            FrameRef::Fine(fp) => self.tier1_pool().free(fp.frame),
+            FrameRef::Mini(mp) => {
+                let mini = self.mini.as_ref().expect("mini slabs exist for mini pages");
+                if mini.free_slot(mp.slot) {
+                    self.tier1_pool().free(mp.slot.slab);
+                }
+            }
+        }
+    }
+
+    /// Evict the NVM copy of `desc` if it occupies `victim` and is
+    /// evictable (paths ⑤ / discard).
+    fn try_evict_nvm(&self, desc: &SharedPageDesc, victim: FrameId) -> bool {
+        let Some(mut st) = desc.state.try_lock() else { return false };
+        let Some(CopyState::Resident { frame, pins: 0, dirty }) = &st.nvm else { return false };
+        if frame.frame() != victim {
+            return false;
+        }
+        let dirty = *dirty;
+        st.nvm = Some(CopyState::Busy { frame: FrameRef::Full(victim), pins: 0, dirty });
+        drop(st);
+
+        if dirty {
+            let page = self.config.page_size;
+            let res = with_page_buf(page, |buf| -> Result<()> {
+                self.nvm_pool().read(victim, 0, buf, AccessPattern::Sequential)?;
+                self.ssd.write_page(desc.pid.0, buf)?;
+                Ok(())
+            });
+            debug_assert!(res.is_ok(), "NVM->SSD write-back failed: {res:?}");
+            self.metrics.record_migration(MigrationPath::NvmToSsd);
+        }
+        let _ = self.nvm_pool().clear_frame_header(victim);
+        let mut st = desc.state.lock();
+        st.nvm = None;
+        desc.cond.notify_all();
+        drop(st);
+        self.nvm_pool().free(victim);
+        self.metrics.record_nvm_eviction();
+        true
+    }
+
+    /// Drop one pin on the page's copy (guard drop).
+    pub(crate) fn unpin(&self, pid: PageId, in_dram_slot: bool) {
+        let Some(desc) = self.mapping.get(&pid.0) else { return };
+        let mut st = desc.state.lock();
+        let slot = st.slot_mut(in_dram_slot);
+        if let Some(CopyState::Resident { pins, .. } | CopyState::Busy { pins, .. }) = slot {
+            debug_assert!(*pins > 0, "unpin without pin on {pid}");
+            *pins = pins.saturating_sub(1);
+        }
+        desc.cond.notify_all();
+    }
+
+    /// Mark the pinned copy dirty (guard write).
+    pub(crate) fn mark_dirty(&self, pid: PageId, in_dram_slot: bool) {
+        let Some(desc) = self.mapping.get(&pid.0) else { return };
+        let mut st = desc.state.lock();
+        if let Some(CopyState::Resident { dirty, .. } | CopyState::Busy { dirty, .. }) =
+            st.slot_mut(in_dram_slot)
+        {
+            *dirty = true;
+        }
+    }
+
+    /// The inclusivity ratio of the DRAM and NVM buffers (paper §3.3,
+    /// Table 2): pages resident in both, over pages resident in either.
+    pub fn inclusivity(&self) -> f64 {
+        let mut both = 0usize;
+        let mut either = 0usize;
+        self.mapping.for_each(|_, desc| {
+            if let Some(st) = desc.state.try_lock() {
+                let d = st.dram.is_some();
+                let n = st.nvm.is_some();
+                if d || n {
+                    either += 1;
+                }
+                if d && n {
+                    both += 1;
+                }
+            }
+        });
+        inclusivity_ratio(both, either)
+    }
+
+    /// Number of pages currently resident in (DRAM, NVM).
+    pub fn resident_pages(&self) -> (usize, usize) {
+        let mut dram = 0;
+        let mut nvm = 0;
+        self.mapping.for_each(|_, desc| {
+            if let Some(st) = desc.state.try_lock() {
+                dram += usize::from(st.dram.is_some());
+                nvm += usize::from(st.nvm.is_some());
+            }
+        });
+        (dram, nvm)
+    }
+
+    /// Write the dirty DRAM copy of `pid` down to SSD without evicting it
+    /// (checkpointer; paper §5.2 Recovery: DRAM pages are flushed for log
+    /// truncation, NVM pages are not because NVM is persistent). Returns
+    /// `true` if a flush happened; pinned or busy pages are skipped.
+    pub fn flush_page(&self, pid: PageId) -> Result<bool> {
+        let Some(desc) = self.mapping.get(&pid.0) else { return Ok(false) };
+        let mut st = desc.state.lock();
+        let Some(CopyState::Resident { frame, pins: 0, dirty: true }) = &st.dram else {
+            return Ok(false);
+        };
+        let fref = frame.clone();
+        if matches!(fref, FrameRef::Fine(_) | FrameRef::Mini(_)) {
+            // Fine-grained copies flush through their NVM backing on
+            // eviction; the NVM copy is persistent already.
+            return Ok(false);
+        }
+        // If the page also has an NVM copy, reconcile into NVM instead of
+        // SSD — the NVM copy may be stale relative to DRAM, and leaving it
+        // stale-dirty would shadow the flushed version after the clean DRAM
+        // copy is discarded. This also matches the paper's recovery
+        // protocol: NVM-resident modified pages are not flushed to SSD
+        // because NVM is persistent.
+        let nvm_target = match &st.nvm {
+            Some(CopyState::Resident { frame: nf, pins: 0, .. }) => Some(nf.frame()),
+            Some(_) => return Ok(false), // NVM copy pinned or in transition
+            None => None,
+        };
+        st.dram = Some(CopyState::Busy { frame: fref.clone(), pins: 0, dirty: true });
+        if let Some(nf) = nvm_target {
+            st.nvm = Some(CopyState::Busy { frame: FrameRef::Full(nf), pins: 0, dirty: true });
+        }
+        drop(st);
+        match nvm_target {
+            Some(nf) => {
+                let page = self.config.page_size;
+                let res = with_page_buf(page, |buf| -> Result<()> {
+                    self.tier1_pool().read(fref.frame(), 0, buf, AccessPattern::Sequential)?;
+                    let pool = self.nvm_pool();
+                    pool.write(nf, 0, buf, AccessPattern::Sequential)?;
+                    pool.persist(nf, 0, page)?;
+                    Ok(())
+                });
+                debug_assert!(res.is_ok(), "flush merge into NVM failed: {res:?}");
+                let mut st = desc.state.lock();
+                st.dram = Some(CopyState::Resident { frame: fref, pins: 0, dirty: false });
+                st.nvm = Some(CopyState::Resident { frame: FrameRef::Full(nf), pins: 0, dirty: true });
+                desc.cond.notify_all();
+            }
+            None => {
+                self.write_dram_copy_to_ssd(&desc, &fref);
+                let mut st = desc.state.lock();
+                st.dram = Some(CopyState::Resident { frame: fref, pins: 0, dirty: false });
+                desc.cond.notify_all();
+            }
+        }
+        Ok(true)
+    }
+
+    /// Flush every dirty, unpinned DRAM page to SSD. Returns the number of
+    /// pages flushed.
+    pub fn flush_all_dirty(&self) -> Result<usize> {
+        let mut pids = Vec::new();
+        self.mapping.for_each(|pid, _| pids.push(PageId(*pid)));
+        let mut flushed = 0;
+        for pid in pids {
+            if self.flush_page(pid)? {
+                flushed += 1;
+            }
+        }
+        Ok(flushed)
+    }
+
+    /// Simulate a process crash with power loss: volatile state (mapping
+    /// table, DRAM buffer) is discarded and un-persisted NVM writes are
+    /// rolled back. Only meaningful with
+    /// [`spitfire_device::PersistenceTracking::Full`].
+    pub fn simulate_crash(&self) {
+        self.mapping.clear();
+        if let Some(t1) = &self.tier1 {
+            for i in 0..t1.n_frames() {
+                let f = FrameId(i as u32);
+                if t1.owner(f).is_some() {
+                    t1.free(f);
+                }
+            }
+        }
+        if let Some(nvm) = &self.nvm {
+            if let Some(dev) = nvm.nvm_device() {
+                dev.simulate_crash();
+            }
+            for i in 0..nvm.n_frames() {
+                let f = FrameId(i as u32);
+                if nvm.owner(f).is_some() {
+                    nvm.free(f);
+                }
+            }
+        }
+    }
+
+    /// Rebuild the mapping table from the persistent NVM buffer (paper
+    /// §5.2 Recovery, step 1: "scanning the NVM buffer to collect the page
+    /// ids and to construct the mapping table"). Returns the recovered page
+    /// ids. NVM-resident pages are marked dirty: they may be newer than
+    /// their SSD counterparts.
+    pub fn recover_nvm_buffer(&self) -> Vec<PageId> {
+        let Some(nvm) = &self.nvm else { return Vec::new() };
+        let mut recovered = Vec::new();
+        for (frame, pid) in nvm.scan_frame_headers() {
+            nvm.adopt(frame, pid);
+            let desc = self.mapping.get_or_insert_with(pid.0, || Arc::new(SharedPageDesc::new(pid)));
+            let mut st = desc.state.lock();
+            st.nvm = Some(CopyState::Resident { frame: FrameRef::Full(frame), pins: 0, dirty: true });
+            recovered.push(pid);
+            // Ensure the allocator never re-issues a recovered id.
+            self.next_pid.fetch_max(pid.0 + 1, Ordering::AcqRel);
+        }
+        recovered
+    }
+
+    /// Restore the page-id allocator after recovery (ids present only on
+    /// SSD are the caller's to account for, e.g. from a catalog page).
+    pub fn set_next_page_id(&self, next: u64) {
+        self.next_pid.fetch_max(next, Ordering::AcqRel);
+    }
+
+    /// Restore the page-id allocator from the persistent devices: the SSD
+    /// page store plus whatever the NVM scan recovered. Returns the new
+    /// allocator floor.
+    pub fn recover_page_allocator(&self) -> u64 {
+        if let Some(max) = self.ssd.max_page_id() {
+            self.next_pid.fetch_max(max + 1, Ordering::AcqRel);
+        }
+        self.next_pid.load(Ordering::Acquire)
+    }
+}
+
+impl std::fmt::Debug for BufferManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BufferManager")
+            .field("hierarchy", &self.hierarchy())
+            .field("dram_frames", &self.dram_frames())
+            .field("nvm_frames", &self.nvm_frames())
+            .field("pages", &self.page_count())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Run `f` with a thread-local scratch buffer of `len` bytes. Re-entrant:
+/// nested calls each get their own buffer from a per-thread pool.
+pub(crate) fn with_page_buf<T>(len: usize, f: impl FnOnce(&mut [u8]) -> T) -> T {
+    thread_local! {
+        static POOL: std::cell::RefCell<Vec<Vec<u8>>> =
+            const { std::cell::RefCell::new(Vec::new()) };
+    }
+    let mut buf = POOL.with(|p| p.borrow_mut().pop()).unwrap_or_default();
+    if buf.len() < len {
+        buf.resize(len, 0);
+    }
+    let out = f(&mut buf[..len]);
+    POOL.with(|p| p.borrow_mut().push(buf));
+    out
+}

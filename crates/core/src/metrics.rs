@@ -1,0 +1,225 @@
+//! Buffer manager metrics: tier hits, migration-path counters, and the
+//! inclusivity ratio (paper §3.3, Table 2).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use serde::{Deserialize, Serialize};
+
+use crate::types::MigrationPath;
+
+/// Thread-safe counters maintained by the buffer manager.
+#[derive(Debug, Default)]
+pub struct BufferMetrics {
+    dram_hits: AtomicU64,
+    nvm_hits: AtomicU64,
+    ssd_fetches: AtomicU64,
+    migrations: [AtomicU64; MigrationPath::ALL.len()],
+    evictions_dram: AtomicU64,
+    evictions_nvm: AtomicU64,
+    /// DRAM evictions of clean pages that were simply discarded (§3.3).
+    discards: AtomicU64,
+}
+
+fn path_index(path: MigrationPath) -> usize {
+    MigrationPath::ALL
+        .iter()
+        .position(|p| *p == path)
+        .expect("MigrationPath::ALL contains every variant")
+}
+
+impl BufferMetrics {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a request served from the DRAM buffer.
+    pub fn record_dram_hit(&self) {
+        self.dram_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a request served from the NVM buffer (directly, without
+    /// promotion).
+    pub fn record_nvm_hit(&self) {
+        self.nvm_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a request that had to go to SSD.
+    pub fn record_ssd_fetch(&self) {
+        self.ssd_fetches.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a page migration along `path`.
+    pub fn record_migration(&self, path: MigrationPath) {
+        self.migrations[path_index(path)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record an eviction from the DRAM buffer.
+    pub fn record_dram_eviction(&self) {
+        self.evictions_dram.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record an eviction from the NVM buffer.
+    pub fn record_nvm_eviction(&self) {
+        self.evictions_nvm.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a clean DRAM page discarded on eviction.
+    pub fn record_discard(&self) {
+        self.discards.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Point-in-time copy of all counters.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            dram_hits: self.dram_hits.load(Ordering::Relaxed),
+            nvm_hits: self.nvm_hits.load(Ordering::Relaxed),
+            ssd_fetches: self.ssd_fetches.load(Ordering::Relaxed),
+            migrations: MigrationPath::ALL
+                .iter()
+                .map(|p| self.migrations[path_index(*p)].load(Ordering::Relaxed))
+                .collect::<Vec<_>>()
+                .try_into()
+                .expect("sized by MigrationPath::ALL"),
+            evictions_dram: self.evictions_dram.load(Ordering::Relaxed),
+            evictions_nvm: self.evictions_nvm.load(Ordering::Relaxed),
+            discards: self.discards.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Reset all counters (between experiment phases).
+    pub fn reset(&self) {
+        self.dram_hits.store(0, Ordering::Relaxed);
+        self.nvm_hits.store(0, Ordering::Relaxed);
+        self.ssd_fetches.store(0, Ordering::Relaxed);
+        for m in &self.migrations {
+            m.store(0, Ordering::Relaxed);
+        }
+        self.evictions_dram.store(0, Ordering::Relaxed);
+        self.evictions_nvm.store(0, Ordering::Relaxed);
+        self.discards.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Immutable copy of [`BufferMetrics`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Requests served from DRAM.
+    pub dram_hits: u64,
+    /// Requests served directly from NVM.
+    pub nvm_hits: u64,
+    /// Requests that required an SSD read.
+    pub ssd_fetches: u64,
+    /// Migration counts indexed like [`MigrationPath::ALL`].
+    pub migrations: [u64; 6],
+    /// Evictions from the DRAM buffer.
+    pub evictions_dram: u64,
+    /// Evictions from the NVM buffer.
+    pub evictions_nvm: u64,
+    /// Clean DRAM pages discarded on eviction.
+    pub discards: u64,
+}
+
+impl MetricsSnapshot {
+    /// Count for one migration path.
+    pub fn path(&self, path: MigrationPath) -> u64 {
+        self.migrations[path_index(path)]
+    }
+
+    /// Total buffer requests observed.
+    pub fn total_requests(&self) -> u64 {
+        self.dram_hits + self.nvm_hits + self.ssd_fetches
+    }
+
+    /// Fraction of requests served without touching SSD.
+    pub fn buffer_hit_ratio(&self) -> f64 {
+        let total = self.total_requests();
+        if total == 0 {
+            return 0.0;
+        }
+        (self.dram_hits + self.nvm_hits) as f64 / total as f64
+    }
+
+    /// Difference between two snapshots (`self` taken after `earlier`).
+    pub fn delta(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        let mut migrations = [0u64; 6];
+        for (i, m) in migrations.iter_mut().enumerate() {
+            *m = self.migrations[i] - earlier.migrations[i];
+        }
+        MetricsSnapshot {
+            dram_hits: self.dram_hits - earlier.dram_hits,
+            nvm_hits: self.nvm_hits - earlier.nvm_hits,
+            ssd_fetches: self.ssd_fetches - earlier.ssd_fetches,
+            migrations,
+            evictions_dram: self.evictions_dram - earlier.evictions_dram,
+            evictions_nvm: self.evictions_nvm - earlier.evictions_nvm,
+            discards: self.discards - earlier.discards,
+        }
+    }
+}
+
+/// The inclusivity ratio of the DRAM and NVM buffers (paper §3.3):
+/// `|DRAM ∩ NVM| / |DRAM ∪ NVM|`. Lower non-zero values mean less wasted
+/// duplicate capacity (Table 2).
+pub fn inclusivity_ratio(in_both: usize, in_either: usize) -> f64 {
+    if in_either == 0 {
+        return 0.0;
+    }
+    in_both as f64 / in_either as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_snapshot() {
+        let m = BufferMetrics::new();
+        m.record_dram_hit();
+        m.record_dram_hit();
+        m.record_nvm_hit();
+        m.record_ssd_fetch();
+        m.record_migration(MigrationPath::SsdToDram);
+        m.record_migration(MigrationPath::SsdToDram);
+        m.record_migration(MigrationPath::NvmToDram);
+        m.record_dram_eviction();
+        m.record_discard();
+        let s = m.snapshot();
+        assert_eq!(s.dram_hits, 2);
+        assert_eq!(s.nvm_hits, 1);
+        assert_eq!(s.ssd_fetches, 1);
+        assert_eq!(s.path(MigrationPath::SsdToDram), 2);
+        assert_eq!(s.path(MigrationPath::NvmToDram), 1);
+        assert_eq!(s.path(MigrationPath::DramToSsd), 0);
+        assert_eq!(s.total_requests(), 4);
+        assert!((s.buffer_hit_ratio() - 0.75).abs() < 1e-12);
+        m.reset();
+        assert_eq!(m.snapshot(), MetricsSnapshot::default());
+    }
+
+    #[test]
+    fn hit_ratio_of_empty_is_zero() {
+        assert_eq!(MetricsSnapshot::default().buffer_hit_ratio(), 0.0);
+    }
+
+    #[test]
+    fn delta_subtracts() {
+        let m = BufferMetrics::new();
+        m.record_dram_hit();
+        let a = m.snapshot();
+        m.record_dram_hit();
+        m.record_migration(MigrationPath::DramToNvm);
+        let b = m.snapshot();
+        let d = b.delta(&a);
+        assert_eq!(d.dram_hits, 1);
+        assert_eq!(d.path(MigrationPath::DramToNvm), 1);
+    }
+
+    #[test]
+    fn inclusivity_matches_definition() {
+        assert_eq!(inclusivity_ratio(0, 0), 0.0);
+        assert_eq!(inclusivity_ratio(0, 10), 0.0);
+        assert!((inclusivity_ratio(5, 20) - 0.25).abs() < 1e-12);
+        assert_eq!(inclusivity_ratio(10, 10), 1.0);
+    }
+}

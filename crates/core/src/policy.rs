@@ -1,0 +1,276 @@
+//! The probabilistic multi-tier data migration policy (paper §3).
+//!
+//! A policy is the tuple ⟨D_r, D_w, N_r, N_w⟩ of probabilities with which
+//! Spitfire routes data *through* DRAM (D) or NVM (N) on reads (r) and
+//! writes (w):
+//!
+//! * `D_r` — probability of promoting an NVM-resident page to DRAM while
+//!   serving a read (§3.1). `1.0` is the eager policy of a classic buffer
+//!   manager; `0.01` is Spitfire's lazy default.
+//! * `D_w` — probability of routing a write through DRAM rather than
+//!   writing NVM directly (§3.2).
+//! * `N_r` — probability of admitting an SSD page into the NVM buffer on a
+//!   read miss, as opposed to loading it straight into DRAM (§3.3).
+//! * `N_w` — probability of admitting a dirty page evicted from DRAM into
+//!   the NVM buffer, as opposed to writing it straight to SSD (§3.4).
+//!
+//! The HyMem baseline replaces the `N_w` coin with an admission-queue test
+//! ([`NvmAdmission::Queue`], paper §1/§6.5) and never admits SSD reads to
+//! NVM (`N_r = 0`).
+
+use std::sync::atomic::{AtomicU32, AtomicU8, Ordering};
+
+use serde::{Deserialize, Serialize};
+
+/// Fixed-point denominator for probabilities stored in atomics.
+const SCALE: u32 = 1_000_000;
+
+/// How NVM admission on DRAM eviction is decided.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum NvmAdmission {
+    /// Admit with probability `N_w` (Spitfire).
+    Probabilistic,
+    /// Admit iff the page was recently denied admission (HyMem's queue,
+    /// paper §2.1). The queue capacity is half the NVM buffer's page count
+    /// (§6.5).
+    Queue,
+}
+
+/// A data migration policy ⟨D_r, D_w, N_r, N_w⟩.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MigrationPolicy {
+    /// Probability of NVM→DRAM promotion on read.
+    pub dr: f64,
+    /// Probability of routing writes through DRAM.
+    pub dw: f64,
+    /// Probability of SSD→NVM admission on read miss.
+    pub nr: f64,
+    /// Probability of DRAM→NVM admission on dirty eviction (ignored when
+    /// `admission` is [`NvmAdmission::Queue`]).
+    pub nw: f64,
+    /// NVM admission mechanism.
+    pub admission: NvmAdmission,
+}
+
+impl MigrationPolicy {
+    /// Construct a probabilistic policy; each probability is clamped to
+    /// `[0, 1]`.
+    pub fn new(dr: f64, dw: f64, nr: f64, nw: f64) -> Self {
+        MigrationPolicy {
+            dr: dr.clamp(0.0, 1.0),
+            dw: dw.clamp(0.0, 1.0),
+            nr: nr.clamp(0.0, 1.0),
+            nw: nw.clamp(0.0, 1.0),
+            admission: NvmAdmission::Probabilistic,
+        }
+    }
+
+    /// The eager policy ⟨1, 1, 1, 1⟩ — a traditional buffer manager that
+    /// always migrates through every tier (Table 3, "Spitfire-Eager").
+    pub fn eager() -> Self {
+        MigrationPolicy::new(1.0, 1.0, 1.0, 1.0)
+    }
+
+    /// Spitfire's lazy policy ⟨0.01, 0.01, 0.2, 1⟩ (Table 3,
+    /// "Spitfire-Lazy").
+    pub fn lazy() -> Self {
+        MigrationPolicy::new(0.01, 0.01, 0.2, 1.0)
+    }
+
+    /// The HyMem policy: eager DRAM migration, no SSD→NVM admission, and
+    /// queue-based NVM admission on eviction (Table 3).
+    pub fn hymem() -> Self {
+        MigrationPolicy { dr: 1.0, dw: 1.0, nr: 0.0, nw: 1.0, admission: NvmAdmission::Queue }
+    }
+
+    /// Probability that a page absent from DRAM is promoted within `n`
+    /// read requests: `1 - (1 - D_r)^n` (paper §3.5, Theoretical Analysis).
+    pub fn promotion_probability(&self, n: u32) -> f64 {
+        1.0 - (1.0 - self.dr).powi(n as i32)
+    }
+}
+
+impl Default for MigrationPolicy {
+    fn default() -> Self {
+        MigrationPolicy::lazy()
+    }
+}
+
+impl std::fmt::Display for MigrationPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let adm = match self.admission {
+            NvmAdmission::Probabilistic => format!("{}", self.nw),
+            NvmAdmission::Queue => "AdmQueue".to_string(),
+        };
+        write!(f, "<Dr={}, Dw={}, Nr={}, Nw={}>", self.dr, self.dw, self.nr, adm)
+    }
+}
+
+/// Lock-free cell holding the active policy so that the adaptive tuner
+/// (paper §4) can swap it while worker threads are running.
+///
+/// Probabilities are stored as fixed-point millionths; coin flips compare a
+/// uniform `u32` draw against the threshold, keeping the per-access policy
+/// overhead to one atomic load.
+#[derive(Debug)]
+pub struct PolicyCell {
+    dr: AtomicU32,
+    dw: AtomicU32,
+    nr: AtomicU32,
+    nw: AtomicU32,
+    admission: AtomicU8,
+}
+
+impl PolicyCell {
+    /// A cell initialized to `policy`.
+    pub fn new(policy: MigrationPolicy) -> Self {
+        let cell = PolicyCell {
+            dr: AtomicU32::new(0),
+            dw: AtomicU32::new(0),
+            nr: AtomicU32::new(0),
+            nw: AtomicU32::new(0),
+            admission: AtomicU8::new(0),
+        };
+        cell.store(policy);
+        cell
+    }
+
+    fn to_fixed(p: f64) -> u32 {
+        (p.clamp(0.0, 1.0) * SCALE as f64).round() as u32
+    }
+
+    /// Replace the active policy.
+    pub fn store(&self, policy: MigrationPolicy) {
+        self.dr.store(Self::to_fixed(policy.dr), Ordering::Relaxed);
+        self.dw.store(Self::to_fixed(policy.dw), Ordering::Relaxed);
+        self.nr.store(Self::to_fixed(policy.nr), Ordering::Relaxed);
+        self.nw.store(Self::to_fixed(policy.nw), Ordering::Relaxed);
+        let adm = match policy.admission {
+            NvmAdmission::Probabilistic => 0,
+            NvmAdmission::Queue => 1,
+        };
+        self.admission.store(adm, Ordering::Relaxed);
+    }
+
+    /// Snapshot of the active policy.
+    pub fn load(&self) -> MigrationPolicy {
+        MigrationPolicy {
+            dr: self.dr.load(Ordering::Relaxed) as f64 / SCALE as f64,
+            dw: self.dw.load(Ordering::Relaxed) as f64 / SCALE as f64,
+            nr: self.nr.load(Ordering::Relaxed) as f64 / SCALE as f64,
+            nw: self.nw.load(Ordering::Relaxed) as f64 / SCALE as f64,
+            admission: if self.admission.load(Ordering::Relaxed) == 0 {
+                NvmAdmission::Probabilistic
+            } else {
+                NvmAdmission::Queue
+            },
+        }
+    }
+
+    #[inline]
+    fn flip(threshold: &AtomicU32, draw: u32) -> bool {
+        let t = threshold.load(Ordering::Relaxed);
+        // draw is uniform in [0, SCALE); t == SCALE always passes.
+        draw % SCALE < t
+    }
+
+    /// Coin flip for `D_r` given a uniform random `draw`.
+    #[inline]
+    pub fn flip_dr(&self, draw: u32) -> bool {
+        Self::flip(&self.dr, draw)
+    }
+
+    /// Coin flip for `D_w`.
+    #[inline]
+    pub fn flip_dw(&self, draw: u32) -> bool {
+        Self::flip(&self.dw, draw)
+    }
+
+    /// Coin flip for `N_r`.
+    #[inline]
+    pub fn flip_nr(&self, draw: u32) -> bool {
+        Self::flip(&self.nr, draw)
+    }
+
+    /// Coin flip for `N_w`.
+    #[inline]
+    pub fn flip_nw(&self, draw: u32) -> bool {
+        Self::flip(&self.nw, draw)
+    }
+
+    /// Whether the queue mechanism decides NVM admission.
+    #[inline]
+    pub fn uses_admission_queue(&self) -> bool {
+        self.admission.load(Ordering::Relaxed) == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_table3() {
+        let h = MigrationPolicy::hymem();
+        assert_eq!((h.dr, h.dw, h.nr), (1.0, 1.0, 0.0));
+        assert_eq!(h.admission, NvmAdmission::Queue);
+
+        let e = MigrationPolicy::eager();
+        assert_eq!((e.dr, e.dw, e.nr, e.nw), (1.0, 1.0, 1.0, 1.0));
+
+        let l = MigrationPolicy::lazy();
+        assert_eq!((l.dr, l.dw, l.nr, l.nw), (0.01, 0.01, 0.2, 1.0));
+        assert_eq!(l.admission, NvmAdmission::Probabilistic);
+    }
+
+    #[test]
+    fn probabilities_are_clamped() {
+        let p = MigrationPolicy::new(-0.5, 1.5, 0.3, 0.7);
+        assert_eq!((p.dr, p.dw, p.nr, p.nw), (0.0, 1.0, 0.3, 0.7));
+    }
+
+    #[test]
+    fn promotion_probability_converges_to_one() {
+        let p = MigrationPolicy::new(0.01, 1.0, 1.0, 1.0);
+        let one = p.promotion_probability(1);
+        assert!((one - 0.01).abs() < 1e-12);
+        assert!(p.promotion_probability(100) > 0.63);
+        assert!(p.promotion_probability(1000) > 0.9999);
+        // Eager promotes immediately.
+        assert_eq!(MigrationPolicy::eager().promotion_probability(1), 1.0);
+    }
+
+    #[test]
+    fn cell_round_trips() {
+        let cell = PolicyCell::new(MigrationPolicy::lazy());
+        let p = cell.load();
+        assert!((p.dr - 0.01).abs() < 1e-6);
+        assert!((p.nr - 0.2).abs() < 1e-6);
+        cell.store(MigrationPolicy::hymem());
+        assert!(cell.uses_admission_queue());
+        assert_eq!(cell.load().nr, 0.0);
+    }
+
+    #[test]
+    fn flips_respect_thresholds() {
+        let cell = PolicyCell::new(MigrationPolicy::new(0.0, 1.0, 0.5, 0.25));
+        // dr = 0: never fires.
+        for draw in [0u32, 1, 999_999, u32::MAX] {
+            assert!(!cell.flip_dr(draw));
+        }
+        // dw = 1: always fires.
+        for draw in [0u32, 1, 999_999, u32::MAX] {
+            assert!(cell.flip_dw(draw));
+        }
+        // nr = 0.5: empirical frequency close to half.
+        let hits = (0..1_000_000u32).filter(|&d| cell.flip_nr(d.wrapping_mul(2_654_435_761))).count();
+        let freq = hits as f64 / 1_000_000.0;
+        assert!((freq - 0.5).abs() < 0.01, "freq {freq}");
+    }
+
+    #[test]
+    fn display_formats_policy() {
+        assert_eq!(MigrationPolicy::eager().to_string(), "<Dr=1, Dw=1, Nr=1, Nw=1>");
+        assert_eq!(MigrationPolicy::hymem().to_string(), "<Dr=1, Dw=1, Nr=0, Nw=AdmQueue>");
+    }
+}

@@ -1,0 +1,477 @@
+//! Per-tier buffer pools: frame allocation, CLOCK replacement state, and
+//! device-backed frame I/O.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+use spitfire_device::{
+    AccessPattern, DramDevice, MemoryModeDevice, NvmDevice, PersistenceTracking, TimeScale,
+};
+use spitfire_sync::AtomicBitmap;
+
+use crate::types::{FrameId, PageId};
+use crate::Result;
+
+/// Per-frame header stored on NVM frames: magic (8 B) + page id (8 B),
+/// padded to one cache line. Recovery scans these headers to rebuild the
+/// mapping table (paper §5.2, Recovery).
+pub(crate) const NVM_FRAME_HEADER: usize = 64;
+const NVM_HEADER_MAGIC: u64 = 0x5350_4954_4649_5245; // "SPITFIRE"
+
+/// Sentinel for "frame owns no page".
+const NO_OWNER: u64 = u64::MAX;
+
+/// The device backing one pool tier.
+pub(crate) enum PoolDevice {
+    /// Plain DRAM (tier 1).
+    Dram(DramDevice),
+    /// DRAM-cached NVM in memory mode (tier 1, Figure 5).
+    MemoryMode(MemoryModeDevice),
+    /// App-direct NVM (tier 2).
+    Nvm(NvmDevice),
+}
+
+impl PoolDevice {
+    fn read(&self, offset: usize, buf: &mut [u8], pattern: AccessPattern) -> Result<()> {
+        match self {
+            PoolDevice::Dram(d) => d.read(offset, buf, pattern)?,
+            PoolDevice::MemoryMode(d) => d.read(offset, buf, pattern)?,
+            PoolDevice::Nvm(d) => d.read(offset, buf, pattern)?,
+        }
+        Ok(())
+    }
+
+    fn write(&self, offset: usize, data: &[u8], pattern: AccessPattern) -> Result<()> {
+        match self {
+            PoolDevice::Dram(d) => d.write(offset, data, pattern)?,
+            PoolDevice::MemoryMode(d) => d.write(offset, data, pattern)?,
+            PoolDevice::Nvm(d) => d.write(offset, data, pattern)?,
+        }
+        Ok(())
+    }
+
+    fn persist(&self, offset: usize, len: usize) -> Result<()> {
+        if let PoolDevice::Nvm(d) = self {
+            d.persist(offset, len)?;
+        }
+        Ok(())
+    }
+}
+
+/// One tier's buffer pool.
+///
+/// The pool owns frame allocation (a lock-free bitmap), the CLOCK
+/// replacement state (reference bits + hand), the frame→page ownership
+/// table, and the device I/O for frame contents. Pin counts and dirty bits
+/// live in the shared page descriptors (paper Figure 4), not here.
+pub(crate) struct Pool {
+    device: PoolDevice,
+    page_size: usize,
+    /// Byte stride between frames (page size plus the NVM header, if any).
+    stride: usize,
+    /// Byte offset of page content within a frame.
+    header: usize,
+    n_frames: usize,
+    occupied: AtomicBitmap,
+    ref_bits: AtomicBitmap,
+    owners: Vec<AtomicU64>,
+    hand: AtomicUsize,
+}
+
+impl Pool {
+    /// A DRAM pool of `capacity` bytes.
+    pub(crate) fn dram(capacity: usize, page_size: usize, scale: TimeScale) -> Self {
+        let n_frames = capacity / page_size;
+        Self::new(PoolDevice::Dram(DramDevice::new(capacity, scale)), page_size, 0, n_frames)
+    }
+
+    /// A memory-mode pool: `nvm_capacity` bytes of NVM fronted by a
+    /// `dram_cache` byte DRAM cache.
+    pub(crate) fn memory_mode(
+        nvm_capacity: usize,
+        dram_cache: usize,
+        page_size: usize,
+        scale: TimeScale,
+    ) -> Self {
+        let n_frames = nvm_capacity / page_size;
+        Self::new(
+            PoolDevice::MemoryMode(MemoryModeDevice::new(nvm_capacity, dram_cache, scale)),
+            page_size,
+            0,
+            n_frames,
+        )
+    }
+
+    /// An NVM pool of `capacity` bytes (headers carved out of the same
+    /// budget).
+    pub(crate) fn nvm(
+        capacity: usize,
+        page_size: usize,
+        scale: TimeScale,
+        tracking: PersistenceTracking,
+    ) -> Self {
+        let stride = page_size + NVM_FRAME_HEADER;
+        let n_frames = capacity / stride;
+        // Round the arena up so the last frame fits completely.
+        let arena = n_frames * stride;
+        Self::new(
+            PoolDevice::Nvm(NvmDevice::new(arena.max(stride), scale, tracking)),
+            page_size,
+            NVM_FRAME_HEADER,
+            n_frames.max(if capacity >= page_size { 1 } else { 0 }),
+        )
+    }
+
+    fn new(device: PoolDevice, page_size: usize, header: usize, n_frames: usize) -> Self {
+        Pool {
+            device,
+            page_size,
+            stride: page_size + header,
+            header,
+            n_frames,
+            occupied: AtomicBitmap::new(n_frames),
+            ref_bits: AtomicBitmap::new(n_frames),
+            owners: (0..n_frames).map(|_| AtomicU64::new(NO_OWNER)).collect(),
+            hand: AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of frames in this pool.
+    pub(crate) fn n_frames(&self) -> usize {
+        self.n_frames
+    }
+
+    /// Page size served by this pool.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    /// Number of occupied frames (snapshot).
+    pub(crate) fn occupied_frames(&self) -> usize {
+        self.occupied.count_ones()
+    }
+
+    /// Direct handle to the underlying NVM device (for recovery scans and
+    /// WAL-region sharing); `None` for non-NVM pools.
+    pub(crate) fn nvm_device(&self) -> Option<&NvmDevice> {
+        match &self.device {
+            PoolDevice::Nvm(d) => Some(d),
+            _ => None,
+        }
+    }
+
+    /// Memory-mode cache statistics, if this pool runs in memory mode.
+    pub(crate) fn memory_mode_device(&self) -> Option<&MemoryModeDevice> {
+        match &self.device {
+            PoolDevice::MemoryMode(d) => Some(d),
+            _ => None,
+        }
+    }
+
+    /// Device stats handle for this pool's device.
+    pub(crate) fn device_stats(&self) -> std::sync::Arc<spitfire_device::DeviceStats> {
+        match &self.device {
+            PoolDevice::Dram(d) => d.stats(),
+            PoolDevice::MemoryMode(d) => d.stats(),
+            PoolDevice::Nvm(d) => d.stats(),
+        }
+    }
+
+    /// Change the emulated-delay scale of this pool's device.
+    pub(crate) fn set_time_scale(&self, scale: TimeScale) {
+        match &self.device {
+            PoolDevice::Dram(d) => d.set_time_scale(scale),
+            PoolDevice::MemoryMode(d) => d.set_time_scale(scale),
+            PoolDevice::Nvm(d) => d.set_time_scale(scale),
+        }
+    }
+
+    /// Try to claim a free frame without evicting.
+    pub(crate) fn try_alloc(&self) -> Option<FrameId> {
+        let hint = self.hand.load(Ordering::Relaxed);
+        let bit = self.occupied.acquire_first_clear(hint % self.n_frames.max(1))?;
+        Some(FrameId(bit as u32))
+    }
+
+    /// Record `frame` as holding `pid` and give it a reference bit.
+    pub(crate) fn set_owner(&self, frame: FrameId, pid: PageId) {
+        self.owners[frame.0 as usize].store(pid.0, Ordering::Release);
+        self.ref_bits.set(frame.0 as usize);
+    }
+
+    /// The page currently owning `frame`, if any.
+    pub(crate) fn owner(&self, frame: FrameId) -> Option<PageId> {
+        let v = self.owners[frame.0 as usize].load(Ordering::Acquire);
+        (v != NO_OWNER).then_some(PageId(v))
+    }
+
+    /// Release `frame` back to the free pool.
+    pub(crate) fn free(&self, frame: FrameId) {
+        let i = frame.0 as usize;
+        self.owners[i].store(NO_OWNER, Ordering::Release);
+        self.ref_bits.clear(i);
+        self.occupied.clear(i);
+    }
+
+    /// Mark `frame` recently used (CLOCK reference bit).
+    pub(crate) fn touch(&self, frame: FrameId) {
+        self.ref_bits.set(frame.0 as usize);
+    }
+
+    /// Advance the CLOCK hand to the next eviction candidate: an occupied
+    /// frame whose reference bit is clear. Reference bits seen along the
+    /// way get their second chance (cleared). Returns `None` when a bounded
+    /// sweep finds no candidate (e.g. everything is freshly referenced and
+    /// pinned).
+    pub(crate) fn next_victim(&self) -> Option<FrameId> {
+        if self.n_frames == 0 {
+            return None;
+        }
+        // Two full sweeps: the first clears reference bits, the second is
+        // then guaranteed to find one unless everything is re-referenced
+        // concurrently.
+        for _ in 0..self.n_frames * 2 {
+            let i = self.hand.fetch_add(1, Ordering::Relaxed) % self.n_frames;
+            if !self.occupied.get(i) {
+                continue;
+            }
+            if self.ref_bits.clear(i) {
+                continue; // had a reference bit; second chance
+            }
+            return Some(FrameId(i as u32));
+        }
+        None
+    }
+
+    fn content_base(&self, frame: FrameId) -> usize {
+        frame.0 as usize * self.stride + self.header
+    }
+
+    /// Read page content bytes from a frame.
+    pub(crate) fn read(
+        &self,
+        frame: FrameId,
+        offset: usize,
+        buf: &mut [u8],
+        pattern: AccessPattern,
+    ) -> Result<()> {
+        debug_assert!(offset + buf.len() <= self.page_size);
+        self.device.read(self.content_base(frame) + offset, buf, pattern)
+    }
+
+    /// Write page content bytes into a frame (volatile; call
+    /// [`Pool::persist`] to flush on NVM).
+    pub(crate) fn write(
+        &self,
+        frame: FrameId,
+        offset: usize,
+        data: &[u8],
+        pattern: AccessPattern,
+    ) -> Result<()> {
+        debug_assert!(offset + data.len() <= self.page_size);
+        self.device.write(self.content_base(frame) + offset, data, pattern)
+    }
+
+    /// Flush a content range of `frame` to the persistence domain (no-op on
+    /// volatile tiers).
+    pub(crate) fn persist(&self, frame: FrameId, offset: usize, len: usize) -> Result<()> {
+        self.device.persist(self.content_base(frame) + offset, len)
+    }
+
+    /// Write and persist the NVM frame header identifying `pid` (no-op on
+    /// non-NVM pools).
+    pub(crate) fn write_frame_header(&self, frame: FrameId, pid: PageId) -> Result<()> {
+        if self.header == 0 {
+            return Ok(());
+        }
+        let base = frame.0 as usize * self.stride;
+        let mut hdr = [0u8; 16];
+        hdr[..8].copy_from_slice(&NVM_HEADER_MAGIC.to_le_bytes());
+        hdr[8..].copy_from_slice(&pid.0.to_le_bytes());
+        self.device.write(base, &hdr, AccessPattern::Random)?;
+        self.device.persist(base, 16)
+    }
+
+    /// Clear and persist the NVM frame header (frame no longer holds a
+    /// valid page).
+    pub(crate) fn clear_frame_header(&self, frame: FrameId) -> Result<()> {
+        if self.header == 0 {
+            return Ok(());
+        }
+        let base = frame.0 as usize * self.stride;
+        self.device.write(base, &[0u8; 16], AccessPattern::Random)?;
+        self.device.persist(base, 16)
+    }
+
+    /// Scan NVM frame headers, returning `(frame, page)` for every valid
+    /// header. Used by recovery (paper §5.2) to rebuild the mapping table
+    /// after a crash. Returns an empty list on non-NVM pools.
+    pub(crate) fn scan_frame_headers(&self) -> Vec<(FrameId, PageId)> {
+        if self.header == 0 {
+            return Vec::new();
+        }
+        let mut found = Vec::new();
+        for i in 0..self.n_frames {
+            let base = i * self.stride;
+            let mut hdr = [0u8; 16];
+            if self.device.read(base, &mut hdr, AccessPattern::Sequential).is_err() {
+                continue;
+            }
+            let magic = u64::from_le_bytes(hdr[..8].try_into().expect("8-byte slice"));
+            if magic == NVM_HEADER_MAGIC {
+                let pid = u64::from_le_bytes(hdr[8..].try_into().expect("8-byte slice"));
+                found.push((FrameId(i as u32), PageId(pid)));
+            }
+        }
+        found
+    }
+
+    /// Rebuild in-memory ownership after recovery: mark `frame` occupied by
+    /// `pid` without touching the device.
+    pub(crate) fn adopt(&self, frame: FrameId, pid: PageId) {
+        let i = frame.0 as usize;
+        self.occupied.set(i);
+        self.owners[i].store(pid.0, Ordering::Release);
+        self.ref_bits.set(i);
+    }
+}
+
+impl std::fmt::Debug for Pool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pool")
+            .field("frames", &self.n_frames)
+            .field("occupied", &self.occupied_frames())
+            .field("page_size", &self.page_size)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dram_pool(frames: usize) -> Pool {
+        Pool::dram(frames * 4096, 4096, TimeScale::ZERO)
+    }
+
+    #[test]
+    fn alloc_until_full_then_none() {
+        let p = dram_pool(4);
+        let mut got = Vec::new();
+        while let Some(f) = p.try_alloc() {
+            got.push(f.0);
+        }
+        assert_eq!(got.len(), 4);
+        assert_eq!(p.occupied_frames(), 4);
+        assert!(p.try_alloc().is_none());
+    }
+
+    #[test]
+    fn owner_bookkeeping() {
+        let p = dram_pool(2);
+        let f = p.try_alloc().unwrap();
+        assert_eq!(p.owner(f), None);
+        p.set_owner(f, PageId(42));
+        assert_eq!(p.owner(f), Some(PageId(42)));
+        p.free(f);
+        assert_eq!(p.owner(f), None);
+        assert_eq!(p.occupied_frames(), 0);
+    }
+
+    #[test]
+    fn clock_gives_second_chances() {
+        let p = dram_pool(3);
+        let frames: Vec<FrameId> = (0..3).map(|_| p.try_alloc().unwrap()).collect();
+        for (i, f) in frames.iter().enumerate() {
+            p.set_owner(*f, PageId(i as u64));
+        }
+        // All frames have their reference bit set; the first sweep clears
+        // them, then the second finds a victim.
+        let v = p.next_victim().expect("a victim after ref bits cleared");
+        assert!(frames.contains(&v));
+        // Touch a frame: it survives the next victim search longer.
+        p.touch(frames[1]);
+        let v2 = p.next_victim().expect("victim");
+        assert_ne!(v2, frames[1]);
+    }
+
+    #[test]
+    fn clock_skips_unoccupied() {
+        let p = dram_pool(4);
+        let a = p.try_alloc().unwrap();
+        let b = p.try_alloc().unwrap();
+        p.free(a);
+        // Only b is occupied; after its second chance it must be the victim.
+        let v = p.next_victim().unwrap();
+        assert_eq!(v, b);
+    }
+
+    #[test]
+    fn empty_pool_has_no_victims() {
+        let p = dram_pool(2);
+        assert!(p.next_victim().is_none());
+        let zero = Pool::dram(0, 4096, TimeScale::ZERO);
+        assert!(zero.next_victim().is_none());
+        assert!(zero.try_alloc().is_none());
+    }
+
+    #[test]
+    fn frame_io_round_trips() {
+        let p = dram_pool(2);
+        let f = p.try_alloc().unwrap();
+        p.write(f, 100, b"content", AccessPattern::Random).unwrap();
+        let mut buf = [0u8; 7];
+        p.read(f, 100, &mut buf, AccessPattern::Random).unwrap();
+        assert_eq!(&buf, b"content");
+    }
+
+    #[test]
+    fn nvm_headers_scan_and_clear() {
+        let p = Pool::nvm(4 * (4096 + NVM_FRAME_HEADER), 4096, TimeScale::ZERO, PersistenceTracking::Counters);
+        assert_eq!(p.n_frames(), 4);
+        let f0 = p.try_alloc().unwrap();
+        let f1 = p.try_alloc().unwrap();
+        p.write_frame_header(f0, PageId(7)).unwrap();
+        p.write_frame_header(f1, PageId(9)).unwrap();
+        let mut scanned = p.scan_frame_headers();
+        scanned.sort_by_key(|(_, pid)| *pid);
+        assert_eq!(scanned, vec![(f0, PageId(7)), (f1, PageId(9))]);
+        p.clear_frame_header(f0).unwrap();
+        assert_eq!(p.scan_frame_headers(), vec![(f1, PageId(9))]);
+    }
+
+    #[test]
+    fn nvm_header_survives_crash_when_persisted() {
+        let p = Pool::nvm(
+            2 * (4096 + NVM_FRAME_HEADER),
+            4096,
+            TimeScale::ZERO,
+            PersistenceTracking::Full,
+        );
+        let f = p.try_alloc().unwrap();
+        p.write_frame_header(f, PageId(3)).unwrap();
+        p.write(f, 0, b"page-content", AccessPattern::Random).unwrap();
+        p.persist(f, 0, 12).unwrap();
+        p.nvm_device().unwrap().simulate_crash();
+        assert_eq!(p.scan_frame_headers(), vec![(f, PageId(3))]);
+        let mut buf = [0u8; 12];
+        p.read(f, 0, &mut buf, AccessPattern::Random).unwrap();
+        assert_eq!(&buf, b"page-content");
+    }
+
+    #[test]
+    fn adopt_restores_ownership() {
+        let p = Pool::nvm(
+            2 * (4096 + NVM_FRAME_HEADER),
+            4096,
+            TimeScale::ZERO,
+            PersistenceTracking::Counters,
+        );
+        p.adopt(FrameId(1), PageId(55));
+        assert_eq!(p.owner(FrameId(1)), Some(PageId(55)));
+        assert_eq!(p.occupied_frames(), 1);
+        // The adopted frame is not handed out by the allocator.
+        let f = p.try_alloc().unwrap();
+        assert_ne!(f, FrameId(1));
+    }
+}

@@ -1,0 +1,115 @@
+//! Fundamental identifiers and enums shared across the buffer manager.
+
+use serde::{Deserialize, Serialize};
+
+/// Logical identifier of a database page.
+///
+/// Page ids are dense, allocated by [`crate::BufferManager::allocate_page`],
+/// and never reused. The newtype keeps them from being confused with frame
+/// ids or tuple keys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct PageId(pub u64);
+
+impl std::fmt::Display for PageId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+/// Index of a buffer frame within one tier's pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FrameId(pub u32);
+
+/// The three storage tiers of the hierarchy (paper Figure 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Tier {
+    /// Volatile first tier.
+    Dram,
+    /// Persistent byte-addressable second tier.
+    Nvm,
+    /// Persistent block-addressable third tier.
+    Ssd,
+}
+
+impl Tier {
+    /// Short label for metrics output.
+    pub fn label(self) -> &'static str {
+        match self {
+            Tier::Dram => "dram",
+            Tier::Nvm => "nvm",
+            Tier::Ssd => "ssd",
+        }
+    }
+}
+
+/// Whether a page is being fetched to be read or modified.
+///
+/// The migration policy consults this to pick the probability knob: `D_r`
+/// and `N_r` govern reads, `D_w` and `N_w` govern writes (paper §3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessIntent {
+    /// The caller will only read the page.
+    Read,
+    /// The caller will modify the page.
+    Write,
+}
+
+/// Data-flow paths between tiers (paper Figure 3), used as metric keys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MigrationPath {
+    /// ① SSD → NVM (read admission into the NVM buffer).
+    SsdToNvm,
+    /// ② NVM → DRAM (promotion).
+    NvmToDram,
+    /// ④ SSD → DRAM (read bypassing NVM).
+    SsdToDram,
+    /// ⑤ NVM → SSD (NVM eviction write-back).
+    NvmToSsd,
+    /// ⑦ DRAM → NVM (DRAM eviction admitted to NVM).
+    DramToNvm,
+    /// ⑨ DRAM → SSD (DRAM eviction bypassing NVM).
+    DramToSsd,
+}
+
+impl MigrationPath {
+    /// All paths, for iteration in metric reports.
+    pub const ALL: [MigrationPath; 6] = [
+        MigrationPath::SsdToNvm,
+        MigrationPath::NvmToDram,
+        MigrationPath::SsdToDram,
+        MigrationPath::NvmToSsd,
+        MigrationPath::DramToNvm,
+        MigrationPath::DramToSsd,
+    ];
+
+    /// Short label for metrics output.
+    pub fn label(self) -> &'static str {
+        match self {
+            MigrationPath::SsdToNvm => "ssd->nvm",
+            MigrationPath::NvmToDram => "nvm->dram",
+            MigrationPath::SsdToDram => "ssd->dram",
+            MigrationPath::NvmToSsd => "nvm->ssd",
+            MigrationPath::DramToNvm => "dram->nvm",
+            MigrationPath::DramToSsd => "dram->ssd",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_labels() {
+        assert_eq!(PageId(7).to_string(), "P7");
+        assert_eq!(Tier::Nvm.label(), "nvm");
+        assert_eq!(MigrationPath::SsdToDram.label(), "ssd->dram");
+        assert_eq!(MigrationPath::ALL.len(), 6);
+    }
+
+    #[test]
+    fn page_ids_order_by_value() {
+        assert!(PageId(1) < PageId(2));
+        assert_eq!(PageId(3), PageId(3));
+    }
+}

@@ -1,0 +1,465 @@
+//! Behavioural tests for the buffer manager: migration paths, eviction
+//! plans, policy effects, hierarchies, crash recovery.
+
+use spitfire_core::{
+    AccessIntent, BufferError, BufferManager, BufferManagerConfig, MigrationPath, MigrationPolicy,
+    PageId, Tier,
+};
+use spitfire_device::{PersistenceTracking, TimeScale};
+
+const PAGE: usize = 4096;
+
+fn manager(dram_pages: usize, nvm_pages: usize, policy: MigrationPolicy) -> BufferManager {
+    let config = BufferManagerConfig::builder()
+        .page_size(PAGE)
+        .dram_capacity(dram_pages * PAGE)
+        // The NVM pool carves a 64 B header per frame out of its budget, so
+        // over-provision slightly to get exactly `nvm_pages` frames.
+        .nvm_capacity(nvm_pages * (PAGE + 64))
+        .policy(policy)
+        .time_scale(TimeScale::ZERO)
+        .build()
+        .unwrap();
+    BufferManager::new(config).unwrap()
+}
+
+fn fill_page(bm: &BufferManager, pid: PageId, byte: u8) {
+    let g = bm.fetch(pid, AccessIntent::Write).unwrap();
+    g.write(0, &vec![byte; PAGE]).unwrap();
+}
+
+fn check_page(bm: &BufferManager, pid: PageId, byte: u8) {
+    let g = bm.fetch(pid, AccessIntent::Read).unwrap();
+    let mut buf = vec![0u8; PAGE];
+    g.read(0, &mut buf).unwrap();
+    assert!(buf.iter().all(|&b| b == byte), "page {pid} corrupted (expected {byte:#x})");
+}
+
+#[test]
+fn read_your_writes_under_eviction_pressure() {
+    // 4 DRAM + 8 NVM frames, 64 pages: every access cycles through SSD.
+    let bm = manager(4, 8, MigrationPolicy::lazy());
+    let pids: Vec<PageId> = (0..64).map(|_| bm.allocate_page().unwrap()).collect();
+    for (i, pid) in pids.iter().enumerate() {
+        fill_page(&bm, *pid, i as u8);
+    }
+    for (i, pid) in pids.iter().enumerate() {
+        check_page(&bm, *pid, i as u8);
+    }
+    // Second round of updates to catch stale-copy bugs.
+    for (i, pid) in pids.iter().enumerate() {
+        fill_page(&bm, *pid, (i as u8).wrapping_add(100));
+    }
+    for (i, pid) in pids.iter().enumerate() {
+        check_page(&bm, *pid, (i as u8).wrapping_add(100));
+    }
+}
+
+#[test]
+fn eager_policy_promotes_to_dram() {
+    let bm = manager(4, 8, MigrationPolicy::eager());
+    let pid = bm.allocate_page().unwrap();
+    // Eager N_r = 1: the SSD miss lands in NVM; eager D_r promotes next.
+    {
+        let g = bm.fetch(pid, AccessIntent::Read).unwrap();
+        assert_eq!(g.tier(), Tier::Nvm, "eager N_r admits SSD reads to NVM");
+    }
+    {
+        let g = bm.fetch(pid, AccessIntent::Read).unwrap();
+        assert_eq!(g.tier(), Tier::Dram, "eager D_r promotes NVM pages to DRAM");
+    }
+    {
+        let g = bm.fetch(pid, AccessIntent::Read).unwrap();
+        assert_eq!(g.tier(), Tier::Dram, "subsequent reads hit DRAM");
+    }
+    let m = bm.metrics();
+    assert_eq!(m.path(MigrationPath::SsdToNvm), 1);
+    assert_eq!(m.path(MigrationPath::NvmToDram), 1);
+    assert_eq!(m.dram_hits, 1);
+    assert_eq!(m.nvm_hits, 0, "the second fetch promoted rather than served from NVM");
+}
+
+#[test]
+fn fully_lazy_policy_reads_nvm_in_place() {
+    let bm = manager(4, 8, MigrationPolicy::new(0.0, 0.0, 1.0, 1.0));
+    let pid = bm.allocate_page().unwrap();
+    for _ in 0..10 {
+        let g = bm.fetch(pid, AccessIntent::Read).unwrap();
+        assert_eq!(g.tier(), Tier::Nvm, "D_r = 0 never promotes");
+    }
+    assert_eq!(bm.metrics().path(MigrationPath::NvmToDram), 0);
+    assert_eq!(bm.metrics().nvm_hits, 9);
+}
+
+#[test]
+fn nr_zero_bypasses_nvm_on_reads() {
+    let bm = manager(4, 8, MigrationPolicy::new(1.0, 1.0, 0.0, 1.0));
+    let pid = bm.allocate_page().unwrap();
+    let g = bm.fetch(pid, AccessIntent::Read).unwrap();
+    assert_eq!(g.tier(), Tier::Dram, "N_r = 0 loads SSD pages straight to DRAM");
+    drop(g);
+    let m = bm.metrics();
+    assert_eq!(m.path(MigrationPath::SsdToDram), 1);
+    assert_eq!(m.path(MigrationPath::SsdToNvm), 0);
+}
+
+#[test]
+fn clean_dram_evictions_are_discarded() {
+    let bm = manager(2, 4, MigrationPolicy::new(1.0, 1.0, 0.0, 1.0));
+    let pids: Vec<PageId> = (0..6).map(|_| bm.allocate_page().unwrap()).collect();
+    // Read-only traffic: all pages go SSD->DRAM and are evicted clean.
+    for pid in &pids {
+        let _ = bm.fetch(*pid, AccessIntent::Read).unwrap();
+    }
+    let m = bm.metrics();
+    assert!(m.discards >= 4, "clean pages must be discarded, got {}", m.discards);
+    assert_eq!(m.path(MigrationPath::DramToSsd), 0, "no clean page is written back");
+    assert_eq!(m.path(MigrationPath::DramToNvm), 0);
+}
+
+#[test]
+fn dirty_eviction_with_nw_zero_writes_straight_to_ssd() {
+    let bm = manager(2, 4, MigrationPolicy::new(1.0, 1.0, 0.0, 0.0));
+    let pids: Vec<PageId> = (0..8).map(|_| bm.allocate_page().unwrap()).collect();
+    for (i, pid) in pids.iter().enumerate() {
+        fill_page(&bm, *pid, i as u8);
+    }
+    let m = bm.metrics();
+    assert!(m.path(MigrationPath::DramToSsd) >= 6);
+    assert_eq!(m.path(MigrationPath::DramToNvm), 0, "N_w = 0 never admits to NVM");
+    for (i, pid) in pids.iter().enumerate() {
+        check_page(&bm, *pid, i as u8);
+    }
+}
+
+#[test]
+fn dirty_eviction_with_nw_one_admits_to_nvm() {
+    let bm = manager(2, 8, MigrationPolicy::new(1.0, 1.0, 0.0, 1.0));
+    let pids: Vec<PageId> = (0..6).map(|_| bm.allocate_page().unwrap()).collect();
+    for (i, pid) in pids.iter().enumerate() {
+        fill_page(&bm, *pid, i as u8);
+    }
+    let m = bm.metrics();
+    assert!(m.path(MigrationPath::DramToNvm) >= 4, "N_w = 1 admits dirty evictions to NVM");
+    for (i, pid) in pids.iter().enumerate() {
+        check_page(&bm, *pid, i as u8);
+    }
+}
+
+#[test]
+fn dirty_dram_eviction_merges_into_existing_nvm_copy() {
+    let bm = manager(1, 4, MigrationPolicy::new(1.0, 1.0, 1.0, 1.0));
+    let a = bm.allocate_page().unwrap();
+    let b = bm.allocate_page().unwrap();
+    // Load a via NVM (N_r = 1) and promote it (D_w = 1): copies in both.
+    let _ = bm.fetch(a, AccessIntent::Read).unwrap(); // SSD -> NVM
+    fill_page(&bm, a, 0xAB); // promoted to DRAM, then dirtied
+    // Dirty b in DRAM (D_w = 1 places writes there) to evict a from the
+    // 1-frame DRAM buffer.
+    fill_page(&bm, b, 0x01);
+    // a's newer bytes must have been merged into its NVM copy.
+    check_page(&bm, a, 0xAB);
+    assert!(bm.metrics().path(MigrationPath::DramToNvm) >= 1);
+}
+
+#[test]
+fn hymem_admission_queue_admits_on_second_eviction() {
+    let mut policy = MigrationPolicy::hymem();
+    policy.nr = 0.0;
+    let bm = manager(1, 8, policy);
+    let a = bm.allocate_page().unwrap();
+    let b = bm.allocate_page().unwrap();
+    // First dirty eviction of a: denied (queued), goes to SSD.
+    fill_page(&bm, a, 1);
+    fill_page(&bm, b, 2); // evicts a
+    let m = bm.metrics();
+    assert_eq!(m.path(MigrationPath::DramToSsd), 1);
+    assert_eq!(m.path(MigrationPath::DramToNvm), 0);
+    // Second dirty eviction of a: admitted to NVM.
+    fill_page(&bm, a, 3); // evicts b (b is now queued)
+    fill_page(&bm, b, 4); // evicts a -> admitted
+    let m = bm.metrics();
+    assert_eq!(m.path(MigrationPath::DramToNvm), 1, "second consideration admits");
+    check_page(&bm, a, 3);
+    check_page(&bm, b, 4);
+}
+
+#[test]
+fn dram_ssd_hierarchy_works_without_nvm() {
+    let config = BufferManagerConfig::builder()
+        .page_size(PAGE)
+        .dram_capacity(4 * PAGE)
+        .nvm_capacity(0)
+        .policy(MigrationPolicy::eager())
+        .time_scale(TimeScale::ZERO)
+        .build()
+        .unwrap();
+    let bm = BufferManager::new(config).unwrap();
+    let pids: Vec<PageId> = (0..12).map(|_| bm.allocate_page().unwrap()).collect();
+    for (i, pid) in pids.iter().enumerate() {
+        fill_page(&bm, *pid, i as u8);
+        let g = bm.fetch(*pid, AccessIntent::Read).unwrap();
+        assert_eq!(g.tier(), Tier::Dram);
+    }
+    for (i, pid) in pids.iter().enumerate() {
+        check_page(&bm, *pid, i as u8);
+    }
+    assert_eq!(bm.metrics().path(MigrationPath::SsdToNvm), 0);
+}
+
+#[test]
+fn nvm_ssd_hierarchy_works_without_dram() {
+    let config = BufferManagerConfig::builder()
+        .page_size(PAGE)
+        .dram_capacity(0)
+        .nvm_capacity(6 * (PAGE + 64))
+        .policy(MigrationPolicy::lazy())
+        .time_scale(TimeScale::ZERO)
+        .build()
+        .unwrap();
+    let bm = BufferManager::new(config).unwrap();
+    let pids: Vec<PageId> = (0..12).map(|_| bm.allocate_page().unwrap()).collect();
+    for (i, pid) in pids.iter().enumerate() {
+        fill_page(&bm, *pid, i as u8);
+        let g = bm.fetch(*pid, AccessIntent::Read).unwrap();
+        assert_eq!(g.tier(), Tier::Nvm);
+    }
+    for (i, pid) in pids.iter().enumerate() {
+        check_page(&bm, *pid, i as u8);
+    }
+}
+
+#[test]
+fn memory_mode_round_trips_and_counts_cache() {
+    let config = BufferManagerConfig::builder()
+        .page_size(PAGE)
+        .memory_mode(true)
+        .dram_capacity(4 * PAGE) // DRAM cache
+        .nvm_capacity(16 * PAGE) // visible capacity
+        .time_scale(TimeScale::ZERO)
+        .build()
+        .unwrap();
+    let bm = BufferManager::new(config).unwrap();
+    let pids: Vec<PageId> = (0..8).map(|_| bm.allocate_page().unwrap()).collect();
+    for (i, pid) in pids.iter().enumerate() {
+        fill_page(&bm, *pid, i as u8);
+    }
+    for (i, pid) in pids.iter().enumerate() {
+        check_page(&bm, *pid, i as u8);
+    }
+    let (hits, misses) = bm.memory_mode_cache().expect("memory mode active");
+    assert!(hits > 0 && misses > 0, "hits {hits}, misses {misses}");
+}
+
+#[test]
+fn unknown_page_is_rejected() {
+    let bm = manager(2, 2, MigrationPolicy::lazy());
+    let err = bm.fetch(PageId(99), AccessIntent::Read).unwrap_err();
+    assert_eq!(err, BufferError::UnknownPage(PageId(99)));
+}
+
+#[test]
+fn exhausted_pins_report_no_frames() {
+    // Two-tier DRAM-SSD: no fallback tier exists, so pinning every frame
+    // must surface NoFrames.
+    let config = BufferManagerConfig::builder()
+        .page_size(PAGE)
+        .dram_capacity(2 * PAGE)
+        .nvm_capacity(0)
+        .policy(MigrationPolicy::eager())
+        .time_scale(TimeScale::ZERO)
+        .build()
+        .unwrap();
+    let bm = BufferManager::new(config).unwrap();
+    let pids: Vec<PageId> = (0..3).map(|_| bm.allocate_page().unwrap()).collect();
+    let _g0 = bm.fetch(pids[0], AccessIntent::Read).unwrap();
+    let _g1 = bm.fetch(pids[1], AccessIntent::Read).unwrap();
+    let err = bm.fetch(pids[2], AccessIntent::Read).unwrap_err();
+    assert_eq!(err, BufferError::NoFrames { tier: Tier::Dram });
+    // Dropping a guard makes fetch succeed again.
+    drop(_g0);
+    assert!(bm.fetch(pids[2], AccessIntent::Read).is_ok());
+}
+
+#[test]
+fn exhausted_dram_falls_back_to_nvm() {
+    // Three-tier: with both DRAM frames pinned, a DRAM-destined fetch
+    // degrades to NVM placement instead of failing.
+    let bm = manager(2, 2, MigrationPolicy::new(1.0, 1.0, 0.0, 1.0));
+    let pids: Vec<PageId> = (0..3).map(|_| bm.allocate_page().unwrap()).collect();
+    let _g0 = bm.fetch(pids[0], AccessIntent::Read).unwrap();
+    let _g1 = bm.fetch(pids[1], AccessIntent::Read).unwrap();
+    let g2 = bm.fetch(pids[2], AccessIntent::Read).unwrap();
+    assert_eq!(g2.tier(), Tier::Nvm);
+}
+
+#[test]
+fn inclusivity_lower_for_lazy_than_eager() {
+    let run = |policy: MigrationPolicy, seed: u64| {
+        // Working set (24 pages) fits entirely in NVM (32 frames) with a
+        // small DRAM buffer (4 frames), matching the cacheable regime of
+        // Table 2 where the inclusivity difference shows.
+        let config = BufferManagerConfig::builder()
+            .page_size(PAGE)
+            .dram_capacity(4 * PAGE)
+            .nvm_capacity(32 * (PAGE + 64))
+            .policy(policy)
+            .seed(seed)
+            .time_scale(TimeScale::ZERO)
+            .build()
+            .unwrap();
+        let bm = BufferManager::new(config).unwrap();
+        let pids: Vec<PageId> = (0..24).map(|_| bm.allocate_page().unwrap()).collect();
+        // Skewed reads: page i accessed 24 - i times per round.
+        for _round in 0..8 {
+            for (i, pid) in pids.iter().enumerate() {
+                for _ in 0..(24 - i) {
+                    let _ = bm.fetch(*pid, AccessIntent::Read).unwrap();
+                }
+            }
+        }
+        bm.inclusivity()
+    };
+    let eager = run(MigrationPolicy::eager(), 1);
+    let lazy = run(MigrationPolicy::lazy(), 1);
+    assert!(
+        lazy <= eager,
+        "lazy inclusivity {lazy} should not exceed eager {eager} (Table 2)"
+    );
+    assert!(eager > 0.0, "eager policy must duplicate some pages");
+}
+
+#[test]
+fn flush_all_dirty_clears_dirty_pages() {
+    let bm = manager(4, 4, MigrationPolicy::new(1.0, 1.0, 0.0, 1.0));
+    let pids: Vec<PageId> = (0..3).map(|_| bm.allocate_page().unwrap()).collect();
+    for (i, pid) in pids.iter().enumerate() {
+        fill_page(&bm, *pid, i as u8 + 1);
+    }
+    let flushed = bm.flush_all_dirty().unwrap();
+    assert_eq!(flushed, 3);
+    // A second flush finds nothing dirty.
+    assert_eq!(bm.flush_all_dirty().unwrap(), 0);
+    for (i, pid) in pids.iter().enumerate() {
+        check_page(&bm, *pid, i as u8 + 1);
+    }
+}
+
+#[test]
+fn crash_loses_dram_keeps_persisted_nvm() {
+    let config = BufferManagerConfig::builder()
+        .page_size(PAGE)
+        .dram_capacity(4 * PAGE)
+        .nvm_capacity(8 * (PAGE + 64))
+        .policy(MigrationPolicy::new(0.0, 0.0, 1.0, 1.0)) // everything lives on NVM
+        .persistence(PersistenceTracking::Full)
+        .time_scale(TimeScale::ZERO)
+        .build()
+        .unwrap();
+    let bm = BufferManager::new(config).unwrap();
+    let pids: Vec<PageId> = (0..4).map(|_| bm.allocate_page().unwrap()).collect();
+    for (i, pid) in pids.iter().enumerate() {
+        fill_page(&bm, *pid, 0x40 + i as u8); // direct NVM writes, persisted
+    }
+    bm.simulate_crash();
+    let recovered = bm.recover_nvm_buffer();
+    assert_eq!(recovered.len(), 4, "all four pages were NVM-resident");
+    for (i, pid) in pids.iter().enumerate() {
+        check_page(&bm, *pid, 0x40 + i as u8);
+    }
+}
+
+#[test]
+fn crash_without_recovery_falls_back_to_ssd_versions() {
+    let config = BufferManagerConfig::builder()
+        .page_size(PAGE)
+        .dram_capacity(4 * PAGE)
+        .nvm_capacity(4 * (PAGE + 64))
+        .policy(MigrationPolicy::new(1.0, 1.0, 0.0, 0.0)) // DRAM only, SSD write-back
+        .persistence(PersistenceTracking::Full)
+        .time_scale(TimeScale::ZERO)
+        .build()
+        .unwrap();
+    let bm = BufferManager::new(config).unwrap();
+    let pid = bm.allocate_page().unwrap();
+    fill_page(&bm, pid, 0x77);
+    bm.flush_all_dirty().unwrap();
+    fill_page(&bm, pid, 0x99); // dirty in DRAM only
+    bm.simulate_crash();
+    bm.set_next_page_id(pid.0 + 1);
+    // The un-flushed 0x99 version is gone; SSD serves 0x77.
+    check_page(&bm, pid, 0x77);
+}
+
+#[test]
+fn concurrent_disjoint_writers_land_correct_bytes() {
+    use std::sync::Arc;
+    let bm = Arc::new(manager(8, 16, MigrationPolicy::lazy()));
+    let pids: Vec<PageId> = (0..64).map(|_| bm.allocate_page().unwrap()).collect();
+    let pids = Arc::new(pids);
+    let handles: Vec<_> = (0..8usize)
+        .map(|t| {
+            let bm = Arc::clone(&bm);
+            let pids = Arc::clone(&pids);
+            std::thread::spawn(move || {
+                // Thread t owns pages t, t+8, t+16, ...
+                for round in 0..20u8 {
+                    for chunk in 0..8 {
+                        let pid = pids[t + chunk * 8];
+                        let g = bm.fetch(pid, AccessIntent::Write).unwrap();
+                        g.write(0, &[t as u8 ^ round; 128]).unwrap();
+                        drop(g);
+                        let g = bm.fetch(pid, AccessIntent::Read).unwrap();
+                        let mut buf = [0u8; 128];
+                        g.read(0, &mut buf).unwrap();
+                        assert!(buf.iter().all(|&b| b == t as u8 ^ round));
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+}
+
+#[test]
+fn concurrent_readers_share_hot_pages() {
+    use std::sync::Arc;
+    let bm = Arc::new(manager(4, 8, MigrationPolicy::lazy()));
+    let pid = bm.allocate_page().unwrap();
+    fill_page(&bm, pid, 0x5A);
+    let handles: Vec<_> = (0..8)
+        .map(|_| {
+            let bm = Arc::clone(&bm);
+            std::thread::spawn(move || {
+                for _ in 0..200 {
+                    let g = bm.fetch(pid, AccessIntent::Read).unwrap();
+                    let mut buf = [0u8; 64];
+                    g.read(512, &mut buf).unwrap();
+                    assert!(buf.iter().all(|&b| b == 0x5A));
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+}
+
+#[test]
+fn promotion_probability_reaches_one_in_steady_state() {
+    // Empirical check of §3.5's theoretical analysis: with D_r = 0.1 a page
+    // absent from DRAM is eventually promoted.
+    let bm = manager(4, 8, MigrationPolicy::new(0.1, 0.1, 1.0, 1.0));
+    let pid = bm.allocate_page().unwrap();
+    let mut promoted = false;
+    for _ in 0..500 {
+        let g = bm.fetch(pid, AccessIntent::Read).unwrap();
+        if g.tier() == Tier::Dram {
+            promoted = true;
+            break;
+        }
+    }
+    assert!(promoted, "a D_r = 0.1 page must be promoted within 500 reads");
+}

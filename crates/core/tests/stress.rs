@@ -1,0 +1,289 @@
+//! Concurrency stress tests: many threads, tiny pools, every migration
+//! path under pressure, with continuous invariant checking.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use spitfire_core::{
+    AccessIntent, BufferManager, BufferManagerConfig, MigrationPolicy, PageId,
+};
+use spitfire_device::{PersistenceTracking, TimeScale};
+
+const PAGE: usize = 1024;
+
+fn manager(dram_pages: usize, nvm_pages: usize, policy: MigrationPolicy) -> Arc<BufferManager> {
+    let config = BufferManagerConfig::builder()
+        .page_size(PAGE)
+        .dram_capacity(dram_pages * PAGE)
+        .nvm_capacity(nvm_pages * (PAGE + 64))
+        .policy(policy)
+        .persistence(PersistenceTracking::Counters)
+        .time_scale(TimeScale::ZERO)
+        .build()
+        .unwrap();
+    Arc::new(BufferManager::new(config).unwrap())
+}
+
+/// Each page holds a 8-byte sequence number replicated 8 times; any torn
+/// or stale mixture is detected by the reader.
+fn write_stamp(bm: &BufferManager, pid: PageId, stamp: u64) {
+    let g = bm.fetch(pid, AccessIntent::Write).unwrap();
+    let mut buf = [0u8; 64];
+    for chunk in buf.chunks_exact_mut(8) {
+        chunk.copy_from_slice(&stamp.to_le_bytes());
+    }
+    g.write(0, &buf).unwrap();
+}
+
+fn read_stamp(bm: &BufferManager, pid: PageId) -> u64 {
+    let g = bm.fetch(pid, AccessIntent::Read).unwrap();
+    let mut buf = [0u8; 64];
+    g.read(0, &mut buf).unwrap();
+    let first = u64::from_le_bytes(buf[..8].try_into().unwrap());
+    for chunk in buf.chunks_exact(8) {
+        assert_eq!(u64::from_le_bytes(chunk.try_into().unwrap()), first, "torn page read");
+    }
+    first
+}
+
+fn storm(policy: MigrationPolicy, dram: usize, nvm: usize) {
+    let bm = manager(dram, nvm, policy);
+    const PAGES: usize = 48;
+    const WRITERS: usize = 4;
+    const READERS: usize = 4;
+    let pids: Arc<Vec<PageId>> =
+        Arc::new((0..PAGES).map(|_| bm.allocate_page().unwrap()).collect());
+    for pid in pids.iter() {
+        write_stamp(&bm, *pid, 0);
+    }
+    // Writer t owns pages where page % WRITERS == t: per-page stamps are
+    // monotone, so readers can check freshness is never violated backwards.
+    let stop = Arc::new(AtomicBool::new(false));
+    let writers: Vec<_> = (0..WRITERS)
+        .map(|t| {
+            let bm = Arc::clone(&bm);
+            let pids = Arc::clone(&pids);
+            std::thread::spawn(move || {
+                for round in 1..=60u64 {
+                    for (i, pid) in pids.iter().enumerate() {
+                        if i % WRITERS == t {
+                            write_stamp(&bm, *pid, round);
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    let readers: Vec<_> = (0..READERS)
+        .map(|t| {
+            let bm = Arc::clone(&bm);
+            let pids = Arc::clone(&pids);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut last_seen = vec![0u64; PAGES];
+                let mut i = t;
+                while !stop.load(Ordering::Relaxed) {
+                    i = (i + 7) % PAGES;
+                    let stamp = read_stamp(&bm, pids[i]);
+                    assert!(
+                        stamp >= last_seen[i],
+                        "page {i} went backwards: {} -> {stamp}",
+                        last_seen[i]
+                    );
+                    last_seen[i] = stamp;
+                }
+            })
+        })
+        .collect();
+    for w in writers {
+        w.join().unwrap();
+    }
+    stop.store(true, Ordering::Relaxed);
+    for r in readers {
+        r.join().unwrap();
+    }
+    // Final state: every page at its writer's last stamp.
+    for pid in pids.iter() {
+        assert_eq!(read_stamp(&bm, *pid), 60);
+    }
+}
+
+#[test]
+fn storm_lazy_three_tier() {
+    storm(MigrationPolicy::lazy(), 6, 12);
+}
+
+#[test]
+fn storm_eager_three_tier() {
+    storm(MigrationPolicy::eager(), 6, 12);
+}
+
+#[test]
+fn storm_hymem_policy() {
+    storm(MigrationPolicy::hymem(), 6, 12);
+}
+
+#[test]
+fn storm_dram_ssd() {
+    storm(MigrationPolicy::eager(), 8, 0);
+}
+
+#[test]
+fn storm_nvm_ssd() {
+    storm(MigrationPolicy::lazy(), 0, 12);
+}
+
+#[test]
+fn storm_with_concurrent_flusher() {
+    let bm = manager(6, 12, MigrationPolicy::lazy());
+    let pids: Arc<Vec<PageId>> =
+        Arc::new((0..32).map(|_| bm.allocate_page().unwrap()).collect());
+    for pid in pids.iter() {
+        write_stamp(&bm, *pid, 0);
+    }
+    let stop = Arc::new(AtomicBool::new(false));
+    let flusher = {
+        let bm = Arc::clone(&bm);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                bm.flush_all_dirty().unwrap();
+                std::thread::yield_now();
+            }
+        })
+    };
+    let workers: Vec<_> = (0..4usize)
+        .map(|t| {
+            let bm = Arc::clone(&bm);
+            let pids = Arc::clone(&pids);
+            std::thread::spawn(move || {
+                for round in 1..=80u64 {
+                    for (i, pid) in pids.iter().enumerate() {
+                        if i % 4 == t {
+                            write_stamp(&bm, *pid, round);
+                            assert_eq!(read_stamp(&bm, *pid), round);
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().unwrap();
+    }
+    stop.store(true, Ordering::Relaxed);
+    flusher.join().unwrap();
+    for pid in pids.iter() {
+        assert_eq!(read_stamp(&bm, *pid), 80);
+    }
+}
+
+#[test]
+fn two_tier_nvm_ssd_crash_recovery() {
+    let config = BufferManagerConfig::builder()
+        .page_size(PAGE)
+        .dram_capacity(0)
+        .nvm_capacity(16 * (PAGE + 64))
+        .policy(MigrationPolicy::lazy())
+        .persistence(PersistenceTracking::Full)
+        .time_scale(TimeScale::ZERO)
+        .build()
+        .unwrap();
+    let bm = BufferManager::new(config).unwrap();
+    let pids: Vec<PageId> = (0..8).map(|_| bm.allocate_page().unwrap()).collect();
+    for (i, pid) in pids.iter().enumerate() {
+        write_stamp(&bm, *pid, i as u64 + 1);
+    }
+    bm.simulate_crash();
+    let recovered = bm.recover_nvm_buffer();
+    assert_eq!(recovered.len(), 8);
+    for (i, pid) in pids.iter().enumerate() {
+        assert_eq!(read_stamp(&bm, *pid), i as u64 + 1);
+    }
+}
+
+#[test]
+fn memory_mode_storm() {
+    let config = BufferManagerConfig::builder()
+        .page_size(PAGE)
+        .memory_mode(true)
+        .dram_capacity(4 * PAGE)
+        .nvm_capacity(16 * PAGE)
+        .time_scale(TimeScale::ZERO)
+        .build()
+        .unwrap();
+    let bm = Arc::new(BufferManager::new(config).unwrap());
+    let pids: Arc<Vec<PageId>> =
+        Arc::new((0..32).map(|_| bm.allocate_page().unwrap()).collect());
+    for pid in pids.iter() {
+        write_stamp(&bm, *pid, 0);
+    }
+    let workers: Vec<_> = (0..4usize)
+        .map(|t| {
+            let bm = Arc::clone(&bm);
+            let pids = Arc::clone(&pids);
+            std::thread::spawn(move || {
+                for round in 1..=40u64 {
+                    for (i, pid) in pids.iter().enumerate() {
+                        if i % 4 == t {
+                            write_stamp(&bm, *pid, round);
+                        } else {
+                            let _ = read_stamp(&bm, pids[i]);
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().unwrap();
+    }
+    let (hits, misses) = bm.memory_mode_cache().unwrap();
+    assert!(hits + misses > 0);
+}
+
+#[test]
+fn fine_grained_storm_with_eviction() {
+    // Mini pages need 16 granules + header per slab, so use 4 KB pages.
+    let fg_page = 4096;
+    let config = BufferManagerConfig::builder()
+        .page_size(fg_page)
+        .dram_capacity(4 * fg_page)
+        .nvm_capacity(48 * (fg_page + 64))
+        .policy(MigrationPolicy::eager())
+        .fine_grained(64)
+        .mini_pages(true)
+        .time_scale(TimeScale::ZERO)
+        .build()
+        .unwrap();
+    let bm = Arc::new(BufferManager::new(config).unwrap());
+    let pids: Arc<Vec<PageId>> =
+        Arc::new((0..32).map(|_| bm.allocate_page().unwrap()).collect());
+    for pid in pids.iter() {
+        // Seed via NVM so promotions create fine-grained copies.
+        let _ = bm.fetch(*pid, AccessIntent::Read).unwrap();
+        write_stamp(&bm, *pid, 0);
+    }
+    let workers: Vec<_> = (0..4usize)
+        .map(|t| {
+            let bm = Arc::clone(&bm);
+            let pids = Arc::clone(&pids);
+            std::thread::spawn(move || {
+                for round in 1..=30u64 {
+                    for (i, pid) in pids.iter().enumerate() {
+                        if i % 4 == t {
+                            write_stamp(&bm, *pid, round);
+                            assert_eq!(read_stamp(&bm, *pid), round);
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().unwrap();
+    }
+    for pid in pids.iter() {
+        assert_eq!(read_stamp(&bm, *pid), 30);
+    }
+}

@@ -1,0 +1,56 @@
+//! Error type for device operations.
+
+use std::fmt;
+
+/// Errors raised by emulated devices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeviceError {
+    /// An access touched bytes outside the device's capacity.
+    OutOfBounds {
+        /// Start offset of the offending access.
+        offset: usize,
+        /// Length of the offending access.
+        len: usize,
+        /// Device capacity in bytes.
+        capacity: usize,
+    },
+    /// A page-granular device was asked for a page it does not hold.
+    PageNotFound(u64),
+    /// A transfer buffer did not match the device's page size.
+    BadPageSize {
+        /// Expected page size in bytes.
+        expected: usize,
+        /// Provided buffer length.
+        got: usize,
+    },
+}
+
+impl fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeviceError::OutOfBounds { offset, len, capacity } => write!(
+                f,
+                "access [{offset}, {}) out of bounds for device of {capacity} bytes",
+                offset + len
+            ),
+            DeviceError::PageNotFound(pid) => write!(f, "page {pid} not present on device"),
+            DeviceError::BadPageSize { expected, got } => {
+                write!(f, "buffer of {got} bytes does not match page size {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DeviceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_human_readable() {
+        let e = DeviceError::OutOfBounds { offset: 10, len: 5, capacity: 12 };
+        assert_eq!(e.to_string(), "access [10, 15) out of bounds for device of 12 bytes");
+        assert_eq!(DeviceError::PageNotFound(7).to_string(), "page 7 not present on device");
+    }
+}

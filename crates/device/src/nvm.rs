@@ -1,0 +1,274 @@
+//! Emulated NVM (Optane DC PMM): byte-addressable, persistent, with
+//! `clwb`/`sfence` semantics and crash simulation.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::cost::{AccessPattern, CostModel, TimeScale};
+use crate::dram::Arena;
+use crate::profile::DeviceProfile;
+use crate::stats::DeviceStats;
+use crate::{Result, CACHE_LINE};
+
+/// How much persistence bookkeeping the device performs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PersistenceTracking {
+    /// Only count flushed bytes and fences. Writes are treated as durable
+    /// immediately. Use for performance experiments where crash simulation
+    /// is not needed.
+    Counters,
+    /// Maintain a full shadow copy of the persisted image so that
+    /// [`NvmDevice::simulate_crash`] can discard un-persisted writes. Use
+    /// for recovery tests. Doubles the device's memory footprint.
+    Full,
+}
+
+/// Ranges `clwb`-ed but not yet ordered by an `sfence`.
+struct PersistDomain {
+    /// Last successfully persisted image of the arena.
+    image: Mutex<Box<[u8]>>,
+    /// Cache-line-aligned ranges staged by `clwb`, committed by `sfence`.
+    pending: Mutex<Vec<(usize, usize)>>,
+}
+
+/// Emulated Optane DC PMM.
+///
+/// Exposes load/store-style range access (the app-direct `mmap` interface
+/// from paper §2.2) plus the persistence primitives the paper's recovery
+/// protocol builds on:
+///
+/// * [`NvmDevice::clwb`] stages a cache-line range for write-back;
+/// * [`NvmDevice::sfence`] commits every staged range to the persistent
+///   image;
+/// * [`NvmDevice::simulate_crash`] rolls the device content back to the
+///   persistent image, modelling power loss.
+///
+/// Under [`PersistenceTracking::Counters`] the staging machinery is skipped
+/// and writes are durable immediately (counters are still maintained).
+pub struct NvmDevice {
+    arena: Arena,
+    domain: Option<PersistDomain>,
+    cost: CostModel,
+    stats: Arc<DeviceStats>,
+}
+
+impl NvmDevice {
+    /// An NVM device of `capacity` bytes with Table 1 Optane characteristics.
+    pub fn new(capacity: usize, scale: TimeScale, tracking: PersistenceTracking) -> Self {
+        Self::with_profile(capacity, DeviceProfile::optane_pmm(), scale, tracking)
+    }
+
+    /// An NVM device with a custom profile.
+    pub fn with_profile(
+        capacity: usize,
+        profile: DeviceProfile,
+        scale: TimeScale,
+        tracking: PersistenceTracking,
+    ) -> Self {
+        let domain = match tracking {
+            PersistenceTracking::Counters => None,
+            PersistenceTracking::Full => Some(PersistDomain {
+                image: Mutex::new(vec![0u8; capacity].into_boxed_slice()),
+                pending: Mutex::new(Vec::new()),
+            }),
+        };
+        NvmDevice {
+            arena: Arena::new(capacity),
+            domain,
+            cost: CostModel::new(profile, scale),
+            stats: Arc::new(DeviceStats::new()),
+        }
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.arena.capacity()
+    }
+
+    /// Shared handle to this device's counters.
+    pub fn stats(&self) -> Arc<DeviceStats> {
+        Arc::clone(&self.stats)
+    }
+
+    /// The device profile in effect.
+    pub fn profile(&self) -> &DeviceProfile {
+        self.cost.profile()
+    }
+
+    /// Change the emulated-delay scale.
+    pub fn set_time_scale(&self, scale: TimeScale) {
+        self.cost.set_scale(scale);
+    }
+
+    /// Read `buf.len()` bytes starting at `offset`.
+    ///
+    /// Charged at the device's media granularity (256 B for Optane), which is
+    /// why sub-granule reads do not save bandwidth (paper §6.5, Figure 11).
+    pub fn read(&self, offset: usize, buf: &mut [u8], pattern: AccessPattern) -> Result<()> {
+        self.arena.read(offset, buf)?;
+        let eff = self.cost.charge_read(buf.len(), pattern);
+        self.stats.record_read(eff);
+        Ok(())
+    }
+
+    /// Write `data` starting at `offset`. The write is *not* persistent
+    /// until `clwb` + `sfence` under [`PersistenceTracking::Full`].
+    pub fn write(&self, offset: usize, data: &[u8], pattern: AccessPattern) -> Result<()> {
+        self.arena.write(offset, data)?;
+        let eff = self.cost.charge_write(data.len(), pattern);
+        self.stats.record_write(eff);
+        Ok(())
+    }
+
+    /// Stage the cache lines covering `[offset, offset + len)` for
+    /// write-back (emulated `clwb`). Non-blocking, unordered: the data is
+    /// only guaranteed durable after the next [`NvmDevice::sfence`].
+    pub fn clwb(&self, offset: usize, len: usize) -> Result<()> {
+        if len == 0 {
+            return Ok(());
+        }
+        let start = offset - offset % CACHE_LINE;
+        let end = (offset + len).div_ceil(CACHE_LINE) * CACHE_LINE;
+        let end = end.min(self.arena.capacity());
+        if start >= end {
+            return Ok(());
+        }
+        self.stats.record_flush(end - start);
+        if let Some(domain) = &self.domain {
+            domain.pending.lock().push((start, end - start));
+        }
+        Ok(())
+    }
+
+    /// Commit every staged cache-line range to the persistent image
+    /// (emulated `sfence` ordering all preceding `clwb`s).
+    pub fn sfence(&self) {
+        self.stats.record_fence();
+        let Some(domain) = &self.domain else { return };
+        let drained: Vec<(usize, usize)> = std::mem::take(&mut *domain.pending.lock());
+        if drained.is_empty() {
+            return;
+        }
+        let mut image = domain.image.lock();
+        for (off, len) in drained {
+            // Copy the current arena content for the flushed range into the
+            // persisted image. (Hardware persists the content at write-back
+            // time, which lies between clwb and sfence; committing at sfence
+            // is within that window.)
+            self.arena
+                .read(off, &mut image[off..off + len])
+                .expect("pending range was validated by clwb");
+        }
+    }
+
+    /// Convenience: `clwb` the range then `sfence`.
+    pub fn persist(&self, offset: usize, len: usize) -> Result<()> {
+        self.clwb(offset, len)?;
+        self.sfence();
+        Ok(())
+    }
+
+    /// Model power loss: discard every write that was not persisted.
+    ///
+    /// Only meaningful under [`PersistenceTracking::Full`]; a no-op
+    /// otherwise. After this call the device content equals the persistent
+    /// image (staged-but-unfenced ranges are also discarded).
+    pub fn simulate_crash(&self) {
+        let Some(domain) = &self.domain else { return };
+        domain.pending.lock().clear();
+        let image = domain.image.lock();
+        self.arena.write(0, &image).expect("image length equals capacity");
+    }
+}
+
+impl std::fmt::Debug for NvmDevice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NvmDevice")
+            .field("capacity", &self.capacity())
+            .field("tracking", &self.domain.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dev(tracking: PersistenceTracking) -> NvmDevice {
+        NvmDevice::new(4096, TimeScale::ZERO, tracking)
+    }
+
+    #[test]
+    fn unpersisted_writes_are_lost_on_crash() {
+        let d = dev(PersistenceTracking::Full);
+        d.write(128, b"volatile", AccessPattern::Random).unwrap();
+        d.simulate_crash();
+        let mut buf = [0xAAu8; 8];
+        d.read(128, &mut buf, AccessPattern::Random).unwrap();
+        assert_eq!(buf, [0u8; 8]);
+    }
+
+    #[test]
+    fn persisted_writes_survive_crash() {
+        let d = dev(PersistenceTracking::Full);
+        d.write(128, b"durable!", AccessPattern::Random).unwrap();
+        d.persist(128, 8).unwrap();
+        d.write(512, b"volatile", AccessPattern::Random).unwrap();
+        d.simulate_crash();
+        let mut buf = [0u8; 8];
+        d.read(128, &mut buf, AccessPattern::Random).unwrap();
+        assert_eq!(&buf, b"durable!");
+        d.read(512, &mut buf, AccessPattern::Random).unwrap();
+        assert_eq!(buf, [0u8; 8]);
+    }
+
+    #[test]
+    fn clwb_without_sfence_is_not_durable() {
+        let d = dev(PersistenceTracking::Full);
+        d.write(0, b"staged", AccessPattern::Random).unwrap();
+        d.clwb(0, 6).unwrap();
+        d.simulate_crash();
+        let mut buf = [0u8; 6];
+        d.read(0, &mut buf, AccessPattern::Random).unwrap();
+        assert_eq!(buf, [0u8; 6]);
+    }
+
+    #[test]
+    fn clwb_rounds_to_cache_lines() {
+        let d = dev(PersistenceTracking::Full);
+        d.write(100, b"x", AccessPattern::Random).unwrap();
+        d.clwb(100, 1).unwrap();
+        // One whole cache line (64 B) is flushed.
+        assert_eq!(d.stats().snapshot().bytes_flushed, 64);
+    }
+
+    #[test]
+    fn counters_mode_treats_writes_as_durable() {
+        let d = dev(PersistenceTracking::Counters);
+        d.write(0, b"data", AccessPattern::Random).unwrap();
+        d.simulate_crash();
+        let mut buf = [0u8; 4];
+        d.read(0, &mut buf, AccessPattern::Random).unwrap();
+        assert_eq!(&buf, b"data");
+    }
+
+    #[test]
+    fn effective_read_granularity_is_256b() {
+        let d = dev(PersistenceTracking::Counters);
+        let mut buf = [0u8; 64];
+        d.read(0, &mut buf, AccessPattern::Random).unwrap();
+        assert_eq!(d.stats().snapshot().bytes_read, 256);
+    }
+
+    #[test]
+    fn persist_at_capacity_boundary() {
+        let d = dev(PersistenceTracking::Full);
+        d.write(4090, b"end", AccessPattern::Random).unwrap();
+        d.persist(4090, 3).unwrap();
+        d.simulate_crash();
+        let mut buf = [0u8; 3];
+        d.read(4090, &mut buf, AccessPattern::Random).unwrap();
+        assert_eq!(&buf, b"end");
+    }
+}

@@ -1,0 +1,189 @@
+//! Device performance profiles seeded from Table 1 of the Spitfire paper.
+
+use serde::{Deserialize, Serialize};
+
+/// Which storage tier a device belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DeviceKind {
+    /// Volatile byte-addressable memory (tier 1).
+    Dram,
+    /// Non-volatile byte-addressable memory, e.g. Optane DC PMM (tier 2).
+    Nvm,
+    /// Block-addressable flash storage (tier 3).
+    Ssd,
+}
+
+impl DeviceKind {
+    /// Short lowercase label used in metrics and experiment output.
+    pub fn label(self) -> &'static str {
+        match self {
+            DeviceKind::Dram => "dram",
+            DeviceKind::Nvm => "nvm",
+            DeviceKind::Ssd => "ssd",
+        }
+    }
+}
+
+/// Performance and cost characteristics of one device.
+///
+/// Default constructors ([`DeviceProfile::dram`], [`DeviceProfile::optane_pmm`],
+/// [`DeviceProfile::optane_ssd`]) reproduce Table 1 of the paper: Optane DC
+/// PMMs (6 modules) and an Optane DC P4800X SSD.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DeviceProfile {
+    /// Which tier this profile describes.
+    pub kind: DeviceKind,
+    /// Idle sequential read latency in nanoseconds.
+    pub seq_read_latency_ns: u64,
+    /// Idle random read latency in nanoseconds.
+    pub rand_read_latency_ns: u64,
+    /// Write latency in nanoseconds (Table 1 does not report write latency
+    /// separately; we follow the common approximation of using the random
+    /// read latency for DRAM/NVM and the read latency for SSD).
+    pub write_latency_ns: u64,
+    /// Sequential read bandwidth in bytes per second.
+    pub seq_read_bw: u64,
+    /// Random read bandwidth in bytes per second.
+    pub rand_read_bw: u64,
+    /// Sequential write bandwidth in bytes per second.
+    pub seq_write_bw: u64,
+    /// Random write bandwidth in bytes per second.
+    pub rand_write_bw: u64,
+    /// Media access granularity in bytes: transfers are rounded up to a
+    /// multiple of this (64 B for DRAM, 256 B for Optane PMMs, 16 KB for SSD).
+    pub access_granularity: usize,
+    /// Price in dollars per gigabyte (used by the Figure 14 grid search).
+    pub price_per_gb: f64,
+    /// Whether writes survive power loss.
+    pub persistent: bool,
+}
+
+const GB: u64 = 1_000_000_000;
+
+impl DeviceProfile {
+    /// DRAM profile from Table 1 (six DDR4 modules, one socket).
+    pub fn dram() -> Self {
+        DeviceProfile {
+            kind: DeviceKind::Dram,
+            seq_read_latency_ns: 75,
+            rand_read_latency_ns: 80,
+            write_latency_ns: 80,
+            seq_read_bw: 180 * GB,
+            rand_read_bw: 180 * GB,
+            seq_write_bw: 180 * GB,
+            rand_write_bw: 180 * GB,
+            access_granularity: 64,
+            price_per_gb: 10.0,
+            persistent: false,
+        }
+    }
+
+    /// Optane DC PMM profile from Table 1 (six modules, one socket).
+    pub fn optane_pmm() -> Self {
+        DeviceProfile {
+            kind: DeviceKind::Nvm,
+            seq_read_latency_ns: 170,
+            rand_read_latency_ns: 320,
+            write_latency_ns: 320,
+            seq_read_bw: 91_200_000_000,
+            rand_read_bw: 28_800_000_000,
+            seq_write_bw: 27_600_000_000,
+            rand_write_bw: 6 * GB,
+            access_granularity: 256,
+            price_per_gb: 4.5,
+            persistent: true,
+        }
+    }
+
+    /// Optane DC P4800X SSD profile from Table 1.
+    pub fn optane_ssd() -> Self {
+        DeviceProfile {
+            kind: DeviceKind::Ssd,
+            seq_read_latency_ns: 10_000,
+            rand_read_latency_ns: 12_000,
+            write_latency_ns: 12_000,
+            seq_read_bw: 2_600_000_000,
+            rand_read_bw: 2_400_000_000,
+            seq_write_bw: 2_400_000_000,
+            rand_write_bw: 2_300_000_000,
+            access_granularity: 16 * 1024,
+            price_per_gb: 2.8,
+            persistent: true,
+        }
+    }
+
+    /// Profile for the given tier with Table 1 defaults.
+    pub fn for_kind(kind: DeviceKind) -> Self {
+        match kind {
+            DeviceKind::Dram => Self::dram(),
+            DeviceKind::Nvm => Self::optane_pmm(),
+            DeviceKind::Ssd => Self::optane_ssd(),
+        }
+    }
+
+    /// Dollar cost of `bytes` capacity on this device.
+    pub fn cost_of(&self, bytes: u64) -> f64 {
+        self.price_per_gb * bytes as f64 / GB as f64
+    }
+
+    /// Round `bytes` up to a whole number of media access units.
+    ///
+    /// A 64 B read from an Optane PMM still transfers 256 B at the media
+    /// level; this mismatch is the reason cache-line-grained loading does not
+    /// pay off on real PMMs (paper §6.5, Figure 11).
+    pub fn effective_transfer(&self, bytes: usize) -> usize {
+        if bytes == 0 {
+            return 0;
+        }
+        bytes.div_ceil(self.access_granularity) * self.access_granularity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_values_round_trip() {
+        let dram = DeviceProfile::dram();
+        assert_eq!(dram.rand_read_latency_ns, 80);
+        assert!(!dram.persistent);
+
+        let nvm = DeviceProfile::optane_pmm();
+        assert_eq!(nvm.access_granularity, 256);
+        assert_eq!(nvm.rand_write_bw, 6 * GB);
+        assert!(nvm.persistent);
+
+        let ssd = DeviceProfile::optane_ssd();
+        assert_eq!(ssd.access_granularity, 16 * 1024);
+        assert!(ssd.persistent);
+    }
+
+    #[test]
+    fn effective_transfer_rounds_to_granularity() {
+        let nvm = DeviceProfile::optane_pmm();
+        assert_eq!(nvm.effective_transfer(0), 0);
+        assert_eq!(nvm.effective_transfer(1), 256);
+        assert_eq!(nvm.effective_transfer(256), 256);
+        assert_eq!(nvm.effective_transfer(257), 512);
+        let ssd = DeviceProfile::optane_ssd();
+        assert_eq!(ssd.effective_transfer(100), 16 * 1024);
+    }
+
+    #[test]
+    fn price_ordering_matches_paper() {
+        // Table 1: DRAM ($10/GB) > NVM ($4.5/GB) > SSD ($2.8/GB).
+        let d = DeviceProfile::dram().price_per_gb;
+        let n = DeviceProfile::optane_pmm().price_per_gb;
+        let s = DeviceProfile::optane_ssd().price_per_gb;
+        assert!(d > n && n > s);
+    }
+
+    #[test]
+    fn cost_of_scales_linearly() {
+        let nvm = DeviceProfile::optane_pmm();
+        let one_gb = nvm.cost_of(GB);
+        assert!((one_gb - 4.5).abs() < 1e-9);
+        assert!((nvm.cost_of(2 * GB) - 9.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,140 @@
+//! Per-device operation and byte counters.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use serde::{Deserialize, Serialize};
+
+/// Thread-safe counters maintained by every emulated device.
+///
+/// Counters record *effective* media-level bytes (after rounding up to the
+/// device's access granularity), which is what the paper's NVM write-volume
+/// experiments (Figures 8 and 13) measure.
+#[derive(Debug, Default)]
+pub struct DeviceStats {
+    read_ops: AtomicU64,
+    write_ops: AtomicU64,
+    bytes_read: AtomicU64,
+    bytes_written: AtomicU64,
+    /// Bytes explicitly flushed to the persistence domain (`clwb`).
+    bytes_flushed: AtomicU64,
+    /// Number of `sfence` barriers issued.
+    fences: AtomicU64,
+}
+
+impl DeviceStats {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a read of `bytes` effective bytes.
+    pub fn record_read(&self, bytes: usize) {
+        self.read_ops.fetch_add(1, Ordering::Relaxed);
+        self.bytes_read.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    /// Record a write of `bytes` effective bytes.
+    pub fn record_write(&self, bytes: usize) {
+        self.write_ops.fetch_add(1, Ordering::Relaxed);
+        self.bytes_written.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    /// Record a `clwb` of `bytes` bytes.
+    pub fn record_flush(&self, bytes: usize) {
+        self.bytes_flushed.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    /// Record an `sfence`.
+    pub fn record_fence(&self) {
+        self.fences.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Point-in-time copy of all counters.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            read_ops: self.read_ops.load(Ordering::Relaxed),
+            write_ops: self.write_ops.load(Ordering::Relaxed),
+            bytes_read: self.bytes_read.load(Ordering::Relaxed),
+            bytes_written: self.bytes_written.load(Ordering::Relaxed),
+            bytes_flushed: self.bytes_flushed.load(Ordering::Relaxed),
+            fences: self.fences.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Reset all counters to zero (used between experiment phases).
+    pub fn reset(&self) {
+        self.read_ops.store(0, Ordering::Relaxed);
+        self.write_ops.store(0, Ordering::Relaxed);
+        self.bytes_read.store(0, Ordering::Relaxed);
+        self.bytes_written.store(0, Ordering::Relaxed);
+        self.bytes_flushed.store(0, Ordering::Relaxed);
+        self.fences.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Immutable copy of [`DeviceStats`] counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StatsSnapshot {
+    /// Number of read operations.
+    pub read_ops: u64,
+    /// Number of write operations.
+    pub write_ops: u64,
+    /// Effective bytes read at the media level.
+    pub bytes_read: u64,
+    /// Effective bytes written at the media level.
+    pub bytes_written: u64,
+    /// Bytes flushed via `clwb`.
+    pub bytes_flushed: u64,
+    /// `sfence` barriers issued.
+    pub fences: u64,
+}
+
+impl StatsSnapshot {
+    /// Difference between two snapshots (`self` taken after `earlier`).
+    pub fn delta(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            read_ops: self.read_ops - earlier.read_ops,
+            write_ops: self.write_ops - earlier.write_ops,
+            bytes_read: self.bytes_read - earlier.bytes_read,
+            bytes_written: self.bytes_written - earlier.bytes_written,
+            bytes_flushed: self.bytes_flushed - earlier.bytes_flushed,
+            fences: self.fences - earlier.fences,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_reset() {
+        let s = DeviceStats::new();
+        s.record_read(100);
+        s.record_read(28);
+        s.record_write(64);
+        s.record_flush(64);
+        s.record_fence();
+        let snap = s.snapshot();
+        assert_eq!(snap.read_ops, 2);
+        assert_eq!(snap.bytes_read, 128);
+        assert_eq!(snap.write_ops, 1);
+        assert_eq!(snap.bytes_written, 64);
+        assert_eq!(snap.bytes_flushed, 64);
+        assert_eq!(snap.fences, 1);
+        s.reset();
+        assert_eq!(s.snapshot(), StatsSnapshot::default());
+    }
+
+    #[test]
+    fn delta_subtracts_fields() {
+        let s = DeviceStats::new();
+        s.record_write(10);
+        let a = s.snapshot();
+        s.record_write(30);
+        let b = s.snapshot();
+        let d = b.delta(&a);
+        assert_eq!(d.write_ops, 1);
+        assert_eq!(d.bytes_written, 30);
+    }
+}

@@ -1,0 +1,109 @@
+//! Property tests for the device emulation: the NVM persistence model and
+//! the SSD page store must match simple reference models for arbitrary
+//! operation sequences.
+
+use proptest::prelude::*;
+use spitfire_device::{
+    AccessPattern, DeviceProfile, NvmDevice, PersistenceTracking, SsdDevice, TimeScale,
+};
+
+const CAP: usize = 2048;
+
+#[derive(Debug, Clone)]
+enum NvmOp {
+    Write { offset: usize, len: usize, byte: u8 },
+    Persist { offset: usize, len: usize },
+    Crash,
+}
+
+fn nvm_op() -> impl Strategy<Value = NvmOp> {
+    prop_oneof![
+        4 => (0..CAP, 1..256usize, any::<u8>()).prop_map(|(offset, len, byte)| {
+            NvmOp::Write { offset, len: len.min(CAP - offset), byte }
+        }),
+        2 => (0..CAP, 1..512usize).prop_map(|(offset, len)| NvmOp::Persist {
+            offset,
+            len: len.min(CAP - offset),
+        }),
+        1 => Just(NvmOp::Crash),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// The NVM device must equal a model where writes land in a volatile
+    /// image, persist copies (cache-line-rounded) ranges to a durable
+    /// image, and crash resets the volatile image to the durable one.
+    #[test]
+    fn nvm_persistence_matches_model(ops in proptest::collection::vec(nvm_op(), 1..80)) {
+        let dev = NvmDevice::new(CAP, TimeScale::ZERO, PersistenceTracking::Full);
+        let mut volatile = vec![0u8; CAP];
+        let mut durable = vec![0u8; CAP];
+
+        for op in &ops {
+            match *op {
+                NvmOp::Write { offset, len, byte } => {
+                    if len == 0 { continue; }
+                    dev.write(offset, &vec![byte; len], AccessPattern::Random).unwrap();
+                    volatile[offset..offset + len].fill(byte);
+                }
+                NvmOp::Persist { offset, len } => {
+                    if len == 0 { continue; }
+                    dev.persist(offset, len).unwrap();
+                    let start = offset - offset % 64;
+                    let end = ((offset + len).div_ceil(64) * 64).min(CAP);
+                    durable[start..end].copy_from_slice(&volatile[start..end]);
+                }
+                NvmOp::Crash => {
+                    dev.simulate_crash();
+                    volatile.copy_from_slice(&durable);
+                }
+            }
+            let mut buf = vec![0u8; CAP];
+            dev.read(0, &mut buf, AccessPattern::Sequential).unwrap();
+            prop_assert_eq!(&buf, &volatile, "device diverged from model after {:?}", op);
+        }
+    }
+
+    /// The SSD page store must behave like a hash map of page images.
+    #[test]
+    fn ssd_matches_model(
+        ops in proptest::collection::vec((0..16u64, any::<u8>(), any::<bool>()), 1..100)
+    ) {
+        let ssd = SsdDevice::new(256, TimeScale::ZERO);
+        let mut model: std::collections::HashMap<u64, Vec<u8>> = Default::default();
+        for &(pid, byte, is_write) in &ops {
+            if is_write {
+                let page = vec![byte; 256];
+                ssd.write_page(pid, &page).unwrap();
+                model.insert(pid, page);
+            } else {
+                let mut buf = vec![0u8; 256];
+                match model.get(&pid) {
+                    Some(want) => {
+                        ssd.read_page(pid, &mut buf).unwrap();
+                        prop_assert_eq!(&buf, want);
+                    }
+                    None => prop_assert!(ssd.read_page(pid, &mut buf).is_err()),
+                }
+            }
+        }
+        prop_assert_eq!(ssd.page_count(), model.len());
+    }
+
+    /// Effective transfers are granularity-rounded and monotone.
+    #[test]
+    fn effective_transfer_properties(bytes in 0..100_000usize) {
+        for profile in [DeviceProfile::dram(), DeviceProfile::optane_pmm(), DeviceProfile::optane_ssd()] {
+            let eff = profile.effective_transfer(bytes);
+            prop_assert!(eff >= bytes);
+            prop_assert_eq!(eff % profile.access_granularity, 0);
+            if bytes > 0 {
+                prop_assert!(eff < bytes + profile.access_granularity);
+            } else {
+                prop_assert_eq!(eff, 0);
+            }
+        }
+    }
+}

@@ -1,0 +1,271 @@
+//! On-page B+Tree node layout.
+//!
+//! ```text
+//! offset  size  field
+//! 0       1     tag: 1 = leaf, 2 = inner
+//! 2..4    2     count (number of keys)
+//! 8..16   8     leaf: right-sibling page id (u64::MAX = none)
+//!               inner: leftmost child page id
+//! 16..    16·i  entries: (key u64, value-or-right-child u64)
+//! ```
+//!
+//! All node reads and writes go through a [`spitfire_core::PageGuard`], so
+//! every probe is charged to the device the node currently resides on —
+//! index traversals on NVM-resident nodes pay NVM latency, exactly the
+//! effect the paper measures.
+//!
+//! Readers parse nodes *optimistically* (a concurrent writer may be
+//! mid-modification); every accessor therefore clamps counts and tolerates
+//! garbage, and the caller validates the node's version latch before
+//! trusting any value read.
+
+use spitfire_core::{PageGuard, PageId};
+
+use crate::Result;
+
+/// Byte offset of the entry array.
+pub(crate) const HEADER: usize = 16;
+/// Bytes per entry (key + value/child).
+pub(crate) const ENTRY: usize = 16;
+
+/// Sentinel page id meaning "no sibling".
+pub(crate) const NO_SIBLING: u64 = u64::MAX;
+
+/// Node type tag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum NodeTag {
+    /// Key → value entries.
+    Leaf,
+    /// Key → child separators.
+    Inner,
+}
+
+/// A parsed view over a node page. Holds the page guard for its lifetime.
+pub(crate) struct Node<'a> {
+    pub(crate) guard: PageGuard<'a>,
+    capacity: usize,
+}
+
+impl<'a> Node<'a> {
+    /// Wrap a fetched page.
+    pub(crate) fn new(guard: PageGuard<'a>) -> Self {
+        let capacity = (guard.page_size() - HEADER) / ENTRY;
+        Node { guard, capacity }
+    }
+
+    /// Maximum number of keys a node holds.
+    pub(crate) fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Initialize this page as an empty node of the given kind.
+    pub(crate) fn format(&self, tag: NodeTag, sibling_or_child: u64) -> Result<()> {
+        let tag_byte = match tag {
+            NodeTag::Leaf => 1u8,
+            NodeTag::Inner => 2u8,
+        };
+        let mut header = [0u8; HEADER];
+        header[0] = tag_byte;
+        header[8..16].copy_from_slice(&sibling_or_child.to_le_bytes());
+        self.guard.write(0, &header)?;
+        Ok(())
+    }
+
+    /// The node's tag; `None` if the byte is torn garbage (caller
+    /// restarts).
+    pub(crate) fn tag(&self) -> Result<Option<NodeTag>> {
+        let mut b = [0u8; 1];
+        self.guard.read(0, &mut b)?;
+        Ok(match b[0] {
+            1 => Some(NodeTag::Leaf),
+            2 => Some(NodeTag::Inner),
+            _ => None,
+        })
+    }
+
+    /// Number of keys, clamped to capacity (a torn read may exceed it).
+    pub(crate) fn count(&self) -> Result<usize> {
+        let mut b = [0u8; 2];
+        self.guard.read(2, &mut b)?;
+        Ok((u16::from_le_bytes(b) as usize).min(self.capacity))
+    }
+
+    pub(crate) fn set_count(&self, count: usize) -> Result<()> {
+        self.guard.write(2, &(count as u16).to_le_bytes())?;
+        Ok(())
+    }
+
+    /// Leaf: right sibling. Inner: leftmost child.
+    pub(crate) fn aux(&self) -> Result<u64> {
+        Ok(self.guard.read_u64(8)?)
+    }
+
+    pub(crate) fn set_aux(&self, v: u64) -> Result<()> {
+        Ok(self.guard.write_u64(8, v)?)
+    }
+
+    pub(crate) fn key(&self, i: usize) -> Result<u64> {
+        Ok(self.guard.read_u64(HEADER + i * ENTRY)?)
+    }
+
+    /// Leaf: value of entry `i`. Inner: child to the right of key `i`.
+    pub(crate) fn value(&self, i: usize) -> Result<u64> {
+        Ok(self.guard.read_u64(HEADER + i * ENTRY + 8)?)
+    }
+
+    pub(crate) fn set_entry(&self, i: usize, key: u64, value: u64) -> Result<()> {
+        let mut e = [0u8; ENTRY];
+        e[..8].copy_from_slice(&key.to_le_bytes());
+        e[8..].copy_from_slice(&value.to_le_bytes());
+        self.guard.write(HEADER + i * ENTRY, &e)?;
+        Ok(())
+    }
+
+    /// Read entries `[from, to)` as `(key, value)` pairs in one transfer.
+    pub(crate) fn entries(&self, from: usize, to: usize) -> Result<Vec<(u64, u64)>> {
+        let n = to.saturating_sub(from);
+        let mut buf = vec![0u8; n * ENTRY];
+        self.guard.read(HEADER + from * ENTRY, &mut buf)?;
+        Ok(buf
+            .chunks_exact(ENTRY)
+            .map(|c| {
+                (
+                    u64::from_le_bytes(c[..8].try_into().expect("8 bytes")),
+                    u64::from_le_bytes(c[8..].try_into().expect("8 bytes")),
+                )
+            })
+            .collect())
+    }
+
+    /// Write entries starting at index `at` in one transfer.
+    pub(crate) fn write_entries(&self, at: usize, entries: &[(u64, u64)]) -> Result<()> {
+        let mut buf = vec![0u8; entries.len() * ENTRY];
+        for (chunk, (k, v)) in buf.chunks_exact_mut(ENTRY).zip(entries) {
+            chunk[..8].copy_from_slice(&k.to_le_bytes());
+            chunk[8..].copy_from_slice(&v.to_le_bytes());
+        }
+        self.guard.write(HEADER + at * ENTRY, &buf)?;
+        Ok(())
+    }
+
+    /// Binary search for `key` among the node's keys: `Ok(i)` exact match,
+    /// `Err(i)` insertion point.
+    pub(crate) fn search(&self, key: u64, count: usize) -> Result<std::result::Result<usize, usize>> {
+        let mut lo = 0usize;
+        let mut hi = count;
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            let k = self.key(mid)?;
+            match k.cmp(&key) {
+                std::cmp::Ordering::Less => lo = mid + 1,
+                std::cmp::Ordering::Greater => hi = mid,
+                std::cmp::Ordering::Equal => return Ok(Ok(mid)),
+            }
+        }
+        Ok(Err(lo))
+    }
+
+    /// Inner node: the child page covering `key`.
+    pub(crate) fn child_for(&self, key: u64, count: usize) -> Result<PageId> {
+        let slot = match self.search(key, count)? {
+            Ok(i) => Some(i),
+            Err(0) => None,
+            Err(i) => Some(i - 1),
+        };
+        let child = match slot {
+            // Exact match or in the range of key i: right child of key i.
+            Some(i) => self.value(i)?,
+            // Before the first key: leftmost child.
+            None => self.aux()?,
+        };
+        Ok(PageId(child))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spitfire_core::{AccessIntent, BufferManager, BufferManagerConfig};
+    use spitfire_device::TimeScale;
+
+    fn bm() -> BufferManager {
+        let config = BufferManagerConfig::builder()
+            .page_size(1024)
+            .dram_capacity(16 * 1024)
+            .nvm_capacity(0)
+            .time_scale(TimeScale::ZERO)
+            .build()
+            .unwrap();
+        BufferManager::new(config).unwrap()
+    }
+
+    #[test]
+    fn format_and_parse_round_trip() {
+        let bm = bm();
+        let pid = bm.allocate_page().unwrap();
+        let guard = bm.fetch(pid, AccessIntent::Write).unwrap();
+        let node = Node::new(guard);
+        assert_eq!(node.capacity(), (1024 - HEADER) / ENTRY);
+        node.format(NodeTag::Leaf, NO_SIBLING).unwrap();
+        assert_eq!(node.tag().unwrap(), Some(NodeTag::Leaf));
+        assert_eq!(node.count().unwrap(), 0);
+        assert_eq!(node.aux().unwrap(), NO_SIBLING);
+
+        node.set_entry(0, 10, 100).unwrap();
+        node.set_entry(1, 20, 200).unwrap();
+        node.set_count(2).unwrap();
+        assert_eq!(node.key(0).unwrap(), 10);
+        assert_eq!(node.value(1).unwrap(), 200);
+        assert_eq!(node.entries(0, 2).unwrap(), vec![(10, 100), (20, 200)]);
+    }
+
+    #[test]
+    fn search_finds_positions() {
+        let bm = bm();
+        let pid = bm.allocate_page().unwrap();
+        let node = Node::new(bm.fetch(pid, AccessIntent::Write).unwrap());
+        node.format(NodeTag::Leaf, NO_SIBLING).unwrap();
+        node.write_entries(0, &[(10, 1), (20, 2), (30, 3)]).unwrap();
+        node.set_count(3).unwrap();
+        assert_eq!(node.search(20, 3).unwrap(), Ok(1));
+        assert_eq!(node.search(5, 3).unwrap(), Err(0));
+        assert_eq!(node.search(25, 3).unwrap(), Err(2));
+        assert_eq!(node.search(35, 3).unwrap(), Err(3));
+    }
+
+    #[test]
+    fn child_for_picks_correct_subtree() {
+        let bm = bm();
+        let pid = bm.allocate_page().unwrap();
+        let node = Node::new(bm.fetch(pid, AccessIntent::Write).unwrap());
+        // Children: [left=7] 10 [8] 20 [9]
+        node.format(NodeTag::Inner, 7).unwrap();
+        node.write_entries(0, &[(10, 8), (20, 9)]).unwrap();
+        node.set_count(2).unwrap();
+        assert_eq!(node.child_for(5, 2).unwrap(), PageId(7));
+        assert_eq!(node.child_for(10, 2).unwrap(), PageId(8));
+        assert_eq!(node.child_for(15, 2).unwrap(), PageId(8));
+        assert_eq!(node.child_for(20, 2).unwrap(), PageId(9));
+        assert_eq!(node.child_for(99, 2).unwrap(), PageId(9));
+    }
+
+    #[test]
+    fn count_is_clamped_to_capacity() {
+        let bm = bm();
+        let pid = bm.allocate_page().unwrap();
+        let node = Node::new(bm.fetch(pid, AccessIntent::Write).unwrap());
+        node.format(NodeTag::Leaf, NO_SIBLING).unwrap();
+        // Simulate a torn count read.
+        node.guard.write(2, &u16::MAX.to_le_bytes()).unwrap();
+        assert_eq!(node.count().unwrap(), node.capacity());
+    }
+
+    #[test]
+    fn unknown_tag_reports_none() {
+        let bm = bm();
+        let pid = bm.allocate_page().unwrap();
+        let node = Node::new(bm.fetch(pid, AccessIntent::Write).unwrap());
+        node.guard.write(0, &[0xFF]).unwrap();
+        assert_eq!(node.tag().unwrap(), None);
+    }
+}

@@ -1,0 +1,597 @@
+//! The concurrent B+Tree (optimistic lock coupling).
+//!
+//! Reads descend without taking locks: each node has a version latch; the
+//! reader samples the version, reads the node through its page guard, and
+//! re-validates. Writers bump the version, forcing concurrent readers to
+//! restart (Leis et al., the paper's [24]).
+//!
+//! Inserts use the optimistic path while the target leaf has room. When a
+//! split is needed they fall back to a pessimistic top-down descent that
+//! holds at most two write latches (parent + child) and splits every full
+//! node on the way down, so the leaf insert itself never propagates
+//! upward. Root splits additionally hold the tree's root pointer lock;
+//! since splits are amortized-rare this serialization is invisible in the
+//! workloads.
+
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use spitfire_core::{AccessIntent, BufferError, BufferManager, PageId};
+use spitfire_sync::{ConcurrentMap, VersionLatch};
+
+use crate::node::{Node, NodeTag, NO_SIBLING};
+use crate::Result;
+
+/// Maximum optimistic restarts before reporting a corrupted tree.
+const MAX_RESTARTS: usize = 1_000_000;
+
+/// Restart backoff: on hosts with fewer cores than workers, a reader can
+/// burn its entire scheduler quantum restarting against a write latch whose
+/// holder is descheduled — yield, then sleep, so the writer (or whatever
+/// else starves the core) can finish.
+#[inline]
+fn backoff(attempt: usize) {
+    if attempt < 4 {
+        std::hint::spin_loop();
+    } else if attempt < 512 {
+        std::thread::yield_now();
+    } else {
+        std::thread::sleep(std::time::Duration::from_micros(50));
+    }
+}
+
+/// Errors surfaced by the index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IndexError {
+    /// The underlying buffer manager failed.
+    Buffer(BufferError),
+    /// An operation restarted too many times (corrupted structure or a
+    /// livelock — never expected in healthy trees).
+    RestartLimit,
+}
+
+impl std::fmt::Display for IndexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IndexError::Buffer(e) => write!(f, "buffer error: {e}"),
+            IndexError::RestartLimit => write!(f, "optimistic restart limit exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for IndexError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IndexError::Buffer(e) => Some(e),
+            IndexError::RestartLimit => None,
+        }
+    }
+}
+
+impl From<BufferError> for IndexError {
+    fn from(e: BufferError) -> Self {
+        IndexError::Buffer(e)
+    }
+}
+
+/// Outcome of one optimistic attempt.
+enum Attempt<T> {
+    Done(T),
+    Restart,
+}
+
+/// A concurrent B+Tree mapping `u64` keys to `u64` values, stored in
+/// buffer-managed pages.
+pub struct BTree {
+    bm: Arc<BufferManager>,
+    root: RwLock<PageId>,
+    latches: ConcurrentMap<u64, Arc<VersionLatch>>,
+}
+
+impl BTree {
+    /// Create an empty tree (allocates the root leaf).
+    pub fn new(bm: Arc<BufferManager>) -> Result<Self> {
+        let root = bm.allocate_page()?;
+        {
+            let guard = bm.fetch(root, AccessIntent::Write)?;
+            let node = Node::new(guard);
+            node.format(NodeTag::Leaf, NO_SIBLING)?;
+        }
+        Ok(BTree { bm, root: RwLock::new(root), latches: ConcurrentMap::new() })
+    }
+
+    /// Re-open a tree whose root page is already known (after recovery).
+    pub fn open(bm: Arc<BufferManager>, root: PageId) -> Self {
+        BTree { bm, root: RwLock::new(root), latches: ConcurrentMap::new() }
+    }
+
+    /// The current root page id (persist this to reopen the tree).
+    pub fn root_page(&self) -> PageId {
+        *self.root.read()
+    }
+
+    /// The buffer manager backing this tree.
+    pub fn buffer_manager(&self) -> &BufferManager {
+        &self.bm
+    }
+
+    fn latch(&self, pid: PageId) -> Arc<VersionLatch> {
+        self.latches.get_or_insert_with(pid.0, || Arc::new(VersionLatch::new()))
+    }
+
+    /// Point lookup.
+    pub fn get(&self, key: u64) -> Result<Option<u64>> {
+        for attempt in 0..MAX_RESTARTS {
+            match self.try_get(key)? {
+                Attempt::Done(v) => return Ok(v),
+                Attempt::Restart => backoff(attempt),
+            }
+        }
+        Err(IndexError::RestartLimit)
+    }
+
+    fn try_get(&self, key: u64) -> Result<Attempt<Option<u64>>> {
+        let mut pid = *self.root.read();
+        let mut latch = self.latch(pid);
+        let Ok(mut version) = latch.read_lock() else { return Ok(Attempt::Restart) };
+        if *self.root.read() != pid {
+            return Ok(Attempt::Restart);
+        }
+        loop {
+            let guard = match self.bm.fetch(pid, AccessIntent::Read) {
+                Ok(g) => g,
+                // A torn child pointer can reference an unallocated page.
+                Err(BufferError::UnknownPage(_)) => return Ok(Attempt::Restart),
+                Err(e) => return Err(e.into()),
+            };
+            let node = Node::new(guard);
+            let Some(tag) = node.tag()? else { return Ok(Attempt::Restart) };
+            let count = node.count()?;
+            match tag {
+                NodeTag::Inner => {
+                    let child = node.child_for(key, count)?;
+                    let child_latch = self.latch(child);
+                    let Ok(child_version) = child_latch.read_lock() else {
+                        return Ok(Attempt::Restart);
+                    };
+                    if latch.read_unlock(version).is_err() {
+                        return Ok(Attempt::Restart);
+                    }
+                    pid = child;
+                    latch = child_latch;
+                    version = child_version;
+                }
+                NodeTag::Leaf => {
+                    let result = match node.search(key, count)? {
+                        Ok(i) => Some(node.value(i)?),
+                        Err(_) => None,
+                    };
+                    if latch.read_unlock(version).is_err() {
+                        return Ok(Attempt::Restart);
+                    }
+                    return Ok(Attempt::Done(result));
+                }
+            }
+        }
+    }
+
+    /// Insert or update; returns the previous value for `key`, if any.
+    pub fn insert(&self, key: u64, value: u64) -> Result<Option<u64>> {
+        for attempt in 0..MAX_RESTARTS {
+            match self.try_insert_optimistic(key, value)? {
+                Attempt::Done(Some(outcome)) => return Ok(outcome),
+                // Leaf full: go pessimistic (splits on the way down).
+                Attempt::Done(None) => match self.insert_pessimistic(key, value)? {
+                    Attempt::Done(outcome) => return Ok(outcome),
+                    Attempt::Restart => backoff(attempt),
+                },
+                Attempt::Restart => backoff(attempt),
+            }
+        }
+        Err(IndexError::RestartLimit)
+    }
+
+    /// Optimistic insert. `Done(Some(old))` on success; `Done(None)` when
+    /// the leaf is full (caller switches to the pessimistic path).
+    #[allow(clippy::type_complexity)]
+    fn try_insert_optimistic(&self, key: u64, value: u64) -> Result<Attempt<Option<Option<u64>>>> {
+        let mut pid = *self.root.read();
+        let mut latch = self.latch(pid);
+        let Ok(mut version) = latch.read_lock() else { return Ok(Attempt::Restart) };
+        if *self.root.read() != pid {
+            return Ok(Attempt::Restart);
+        }
+        loop {
+            let guard = match self.bm.fetch(pid, AccessIntent::Write) {
+                Ok(g) => g,
+                Err(BufferError::UnknownPage(_)) => return Ok(Attempt::Restart),
+                Err(e) => return Err(e.into()),
+            };
+            let node = Node::new(guard);
+            let Some(tag) = node.tag()? else { return Ok(Attempt::Restart) };
+            let count = node.count()?;
+            match tag {
+                NodeTag::Inner => {
+                    let child = node.child_for(key, count)?;
+                    let child_latch = self.latch(child);
+                    let Ok(child_version) = child_latch.read_lock() else {
+                        return Ok(Attempt::Restart);
+                    };
+                    if latch.read_unlock(version).is_err() {
+                        return Ok(Attempt::Restart);
+                    }
+                    pid = child;
+                    latch = child_latch;
+                    version = child_version;
+                }
+                NodeTag::Leaf => {
+                    if latch.upgrade(version).is_err() {
+                        return Ok(Attempt::Restart);
+                    }
+                    // Write latch held: the parse is now stable. All
+                    // fallible work happens inside the closure so the latch
+                    // is always released below.
+                    let result = (|| -> Result<Option<Option<u64>>> {
+                        let count = node.count()?;
+                        match node.search(key, count)? {
+                            Ok(i) => {
+                                let old = node.value(i)?;
+                                node.set_entry(i, key, value)?;
+                                Ok(Some(Some(old)))
+                            }
+                            Err(pos) => {
+                                if count >= node.capacity() {
+                                    return Ok(None); // full: pessimistic path
+                                }
+                                let tail = node.entries(pos, count)?;
+                                node.write_entries(pos + 1, &tail)?;
+                                node.set_entry(pos, key, value)?;
+                                node.set_count(count + 1)?;
+                                Ok(Some(None))
+                            }
+                        }
+                    })();
+                    latch.write_unlock();
+                    return Ok(Attempt::Done(result?));
+                }
+            }
+        }
+    }
+
+    /// Pessimistic top-down insert: hold the root pointer lock, write-latch
+    /// parent + child, split every full node encountered. Write latches are
+    /// held by RAII guards so transient buffer errors (`?`) cannot leak a
+    /// locked latch and livelock the subtree.
+    fn insert_pessimistic(&self, key: u64, value: u64) -> Result<Attempt<Option<u64>>> {
+        /// RAII write latch: unlocks (bumping the version) on drop.
+        struct Held(Option<Arc<VersionLatch>>);
+        impl Held {
+            fn acquire(latch: Arc<VersionLatch>) -> Option<Held> {
+                latch.write_lock().ok()?;
+                Some(Held(Some(latch)))
+            }
+        }
+        impl Drop for Held {
+            fn drop(&mut self) {
+                if let Some(latch) = self.0.take() {
+                    latch.write_unlock();
+                }
+            }
+        }
+
+        let mut root_guard = self.root.write();
+        let mut pid = *root_guard;
+        let Some(mut held) = Held::acquire(self.latch(pid)) else {
+            return Ok(Attempt::Restart);
+        };
+
+        // Split the root first if it is full (grows the tree by one level).
+        {
+            let guard = self.bm.fetch(pid, AccessIntent::Write)?;
+            let node = Node::new(guard);
+            let count = node.count()?;
+            if count >= node.capacity() {
+                let new_root_pid = self.bm.allocate_page()?;
+                {
+                    let nr_guard = self.bm.fetch(new_root_pid, AccessIntent::Write)?;
+                    let new_root = Node::new(nr_guard);
+                    new_root.format(NodeTag::Inner, pid.0)?;
+                    self.split_child(&new_root, 0, &node, pid)?;
+                }
+                let Some(new_held) = Held::acquire(self.latch(new_root_pid)) else {
+                    return Ok(Attempt::Restart);
+                };
+                held = new_held; // old root unlocks via drop
+                *root_guard = new_root_pid;
+                pid = new_root_pid;
+            }
+        }
+
+        // Descend holding parent write latch; child is split before entry.
+        loop {
+            let guard = self.bm.fetch(pid, AccessIntent::Write)?;
+            let node = Node::new(guard);
+            let tag = node.tag()?.expect("write-latched node has a valid tag");
+            let count = node.count()?;
+            match tag {
+                NodeTag::Inner => {
+                    let child_pid = node.child_for(key, count)?;
+                    let Some(child_held) = Held::acquire(self.latch(child_pid)) else {
+                        return Ok(Attempt::Restart);
+                    };
+                    let child_guard = self.bm.fetch(child_pid, AccessIntent::Write)?;
+                    let child = Node::new(child_guard);
+                    let child_count = child.count()?;
+                    if child_count >= child.capacity() {
+                        // Parent is guaranteed non-full (split on the way
+                        // down), so the separator insert cannot overflow.
+                        let child_pos = match node.search(key, count)? {
+                            Ok(i) => i + 1,
+                            Err(i) => i,
+                        };
+                        self.split_child(&node, child_pos, &child, child_pid)?;
+                        // The split may have moved our key's range to the
+                        // new right node; re-route.
+                        let new_child_pid = node.child_for(key, node.count()?)?;
+                        if new_child_pid != child_pid {
+                            drop(child_held);
+                            let Some(new_held) = Held::acquire(self.latch(new_child_pid)) else {
+                                return Ok(Attempt::Restart);
+                            };
+                            held = new_held; // parent unlocks via drop
+                            pid = new_child_pid;
+                            continue;
+                        }
+                    }
+                    held = child_held; // parent unlocks via drop
+                    pid = child_pid;
+                }
+                NodeTag::Leaf => {
+                    debug_assert!(count < node.capacity(), "leaf split preemptively");
+                    let outcome = match node.search(key, count)? {
+                        Ok(i) => {
+                            let old = node.value(i)?;
+                            node.set_entry(i, key, value)?;
+                            Some(old)
+                        }
+                        Err(pos) => {
+                            let tail = node.entries(pos, count)?;
+                            node.write_entries(pos + 1, &tail)?;
+                            node.set_entry(pos, key, value)?;
+                            node.set_count(count + 1)?;
+                            None
+                        }
+                    };
+                    drop(held);
+                    return Ok(Attempt::Done(outcome));
+                }
+            }
+        }
+    }
+
+    /// Split write-latched `child` (at `child_pos` within the write-latched
+    /// `parent`), publishing the separator and new right node.
+    fn split_child(
+        &self,
+        parent: &Node<'_>,
+        child_pos: usize,
+        child: &Node<'_>,
+        _child_pid: PageId,
+    ) -> Result<()> {
+        let tag = child.tag()?.expect("write-latched node has a valid tag");
+        let count = child.count()?;
+        let mid = count / 2;
+        let new_pid = self.bm.allocate_page()?;
+        let new_guard = self.bm.fetch(new_pid, AccessIntent::Write)?;
+        let new_node = Node::new(new_guard);
+
+        let separator = match tag {
+            NodeTag::Leaf => {
+                let sep = child.key(mid)?;
+                // Right half moves; sibling chain: child -> new -> old next.
+                new_node.format(NodeTag::Leaf, child.aux()?)?;
+                let moved = child.entries(mid, count)?;
+                new_node.write_entries(0, &moved)?;
+                new_node.set_count(moved.len())?;
+                child.set_aux(new_pid.0)?;
+                child.set_count(mid)?;
+                sep
+            }
+            NodeTag::Inner => {
+                // The middle key is promoted; its right child becomes the
+                // new node's leftmost child.
+                let sep = child.key(mid)?;
+                new_node.format(NodeTag::Inner, child.value(mid)?)?;
+                let moved = child.entries(mid + 1, count)?;
+                new_node.write_entries(0, &moved)?;
+                new_node.set_count(moved.len())?;
+                child.set_count(mid)?;
+                sep
+            }
+        };
+
+        // Insert (separator, new_pid) into the parent at child_pos.
+        let pcount = parent.count()?;
+        debug_assert!(pcount < parent.capacity(), "parent split preemptively");
+        let tail = parent.entries(child_pos, pcount)?;
+        parent.write_entries(child_pos + 1, &tail)?;
+        parent.set_entry(child_pos, separator, new_pid.0)?;
+        parent.set_count(pcount + 1)?;
+        Ok(())
+    }
+
+    /// Remove `key`; returns its value if present. Leaves are not
+    /// rebalanced (lazy deletion, as in LeanStore): under-full leaves are
+    /// absorbed by future inserts.
+    pub fn remove(&self, key: u64) -> Result<Option<u64>> {
+        for attempt in 0..MAX_RESTARTS {
+            match self.try_remove(key)? {
+                Attempt::Done(v) => return Ok(v),
+                Attempt::Restart => backoff(attempt),
+            }
+        }
+        Err(IndexError::RestartLimit)
+    }
+
+    fn try_remove(&self, key: u64) -> Result<Attempt<Option<u64>>> {
+        let mut pid = *self.root.read();
+        let mut latch = self.latch(pid);
+        let Ok(mut version) = latch.read_lock() else { return Ok(Attempt::Restart) };
+        if *self.root.read() != pid {
+            return Ok(Attempt::Restart);
+        }
+        loop {
+            let guard = match self.bm.fetch(pid, AccessIntent::Write) {
+                Ok(g) => g,
+                Err(BufferError::UnknownPage(_)) => return Ok(Attempt::Restart),
+                Err(e) => return Err(e.into()),
+            };
+            let node = Node::new(guard);
+            let Some(tag) = node.tag()? else { return Ok(Attempt::Restart) };
+            let count = node.count()?;
+            match tag {
+                NodeTag::Inner => {
+                    let child = node.child_for(key, count)?;
+                    let child_latch = self.latch(child);
+                    let Ok(child_version) = child_latch.read_lock() else {
+                        return Ok(Attempt::Restart);
+                    };
+                    if latch.read_unlock(version).is_err() {
+                        return Ok(Attempt::Restart);
+                    }
+                    pid = child;
+                    latch = child_latch;
+                    version = child_version;
+                }
+                NodeTag::Leaf => {
+                    if latch.upgrade(version).is_err() {
+                        return Ok(Attempt::Restart);
+                    }
+                    let outcome = (|| -> Result<Option<u64>> {
+                        let count = node.count()?;
+                        match node.search(key, count)? {
+                            Ok(i) => {
+                                let old = node.value(i)?;
+                                let tail = node.entries(i + 1, count)?;
+                                node.write_entries(i, &tail)?;
+                                node.set_count(count - 1)?;
+                                Ok(Some(old))
+                            }
+                            Err(_) => Ok(None),
+                        }
+                    })();
+                    latch.write_unlock();
+                    return Ok(Attempt::Done(outcome?));
+                }
+            }
+        }
+    }
+
+    /// Collect up to `limit` entries with keys in `[start, ∞)`, in key
+    /// order (used by TPC-C order scans).
+    pub fn scan_from(&self, start: u64, limit: usize) -> Result<Vec<(u64, u64)>> {
+        'restart: for attempt in 0..MAX_RESTARTS {
+            if attempt > 0 {
+                backoff(attempt);
+            }
+            let mut out = Vec::with_capacity(limit.min(1024));
+            // Descend to the leaf containing `start`.
+            let mut pid = *self.root.read();
+            let mut latch = self.latch(pid);
+            let Ok(mut version) = latch.read_lock() else { continue 'restart };
+            if *self.root.read() != pid {
+                continue 'restart;
+            }
+            loop {
+                let guard = match self.bm.fetch(pid, AccessIntent::Read) {
+                    Ok(g) => g,
+                    Err(BufferError::UnknownPage(_)) => continue 'restart,
+                    Err(e) => return Err(e.into()),
+                };
+                let node = Node::new(guard);
+                let Some(tag) = node.tag()? else { continue 'restart };
+                let count = node.count()?;
+                match tag {
+                    NodeTag::Inner => {
+                        let child = node.child_for(start, count)?;
+                        let child_latch = self.latch(child);
+                        let Ok(child_version) = child_latch.read_lock() else {
+                            continue 'restart;
+                        };
+                        if latch.read_unlock(version).is_err() {
+                            continue 'restart;
+                        }
+                        pid = child;
+                        latch = child_latch;
+                        version = child_version;
+                    }
+                    NodeTag::Leaf => {
+                        // Walk the sibling chain collecting entries.
+                        let mut leaf = node;
+                        loop {
+                            let count = leaf.count()?;
+                            let from = match leaf.search(start, count)? {
+                                Ok(i) => i,
+                                Err(i) => i,
+                            };
+                            let entries = leaf.entries(from, count)?;
+                            let sibling = leaf.aux()?;
+                            if latch.read_unlock(version).is_err() {
+                                continue 'restart;
+                            }
+                            for e in entries {
+                                if out.len() >= limit {
+                                    return Ok(out);
+                                }
+                                out.push(e);
+                            }
+                            if sibling == NO_SIBLING || out.len() >= limit {
+                                return Ok(out);
+                            }
+                            let next = PageId(sibling);
+                            let next_latch = self.latch(next);
+                            let Ok(next_version) = next_latch.read_lock() else {
+                                continue 'restart;
+                            };
+                            let guard = match self.bm.fetch(next, AccessIntent::Read) {
+                                Ok(g) => g,
+                                Err(BufferError::UnknownPage(_)) => continue 'restart,
+                                Err(e) => return Err(e.into()),
+                            };
+                            latch = next_latch;
+                            version = next_version;
+                            leaf = Node::new(guard);
+                            if leaf.tag()? != Some(NodeTag::Leaf) {
+                                continue 'restart;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Err(IndexError::RestartLimit)
+    }
+
+    /// Height of the tree (levels from root to leaf), for diagnostics.
+    pub fn height(&self) -> Result<usize> {
+        let mut pid = *self.root.read();
+        let mut h = 1;
+        loop {
+            let guard = self.bm.fetch(pid, AccessIntent::Read)?;
+            let node = Node::new(guard);
+            match node.tag()? {
+                Some(NodeTag::Inner) => {
+                    pid = PageId(node.aux()?);
+                    h += 1;
+                }
+                _ => return Ok(h),
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for BTree {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BTree").field("root", &self.root_page()).finish_non_exhaustive()
+    }
+}

@@ -1,0 +1,238 @@
+//! B+Tree correctness: model comparison, splits, scans, concurrency.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use spitfire_core::{BufferManager, BufferManagerConfig, MigrationPolicy};
+use spitfire_device::TimeScale;
+use spitfire_index::BTree;
+
+/// Tiny pages (512 B → 31-key nodes) force deep trees and many splits.
+fn small_page_tree() -> BTree {
+    let config = BufferManagerConfig::builder()
+        .page_size(512)
+        .dram_capacity(64 * 512)
+        .nvm_capacity(256 * (512 + 64))
+        .policy(MigrationPolicy::lazy())
+        .time_scale(TimeScale::ZERO)
+        .build()
+        .unwrap();
+    BTree::new(Arc::new(BufferManager::new(config).unwrap())).unwrap()
+}
+
+#[test]
+fn insert_get_sequential_keys() {
+    let t = small_page_tree();
+    for k in 0..2000u64 {
+        assert_eq!(t.insert(k, k * 10).unwrap(), None);
+    }
+    for k in 0..2000u64 {
+        assert_eq!(t.get(k).unwrap(), Some(k * 10), "key {k}");
+    }
+    assert_eq!(t.get(2000).unwrap(), None);
+    assert!(t.height().unwrap() >= 3, "2000 keys in 31-key nodes must be deep");
+}
+
+#[test]
+fn insert_get_reverse_and_random_order() {
+    let t = small_page_tree();
+    // Reverse order stresses splits at the left edge.
+    for k in (0..1000u64).rev() {
+        t.insert(k, k + 1).unwrap();
+    }
+    // Pseudo-random permutation (multiplicative hash) for the second batch.
+    for i in 0..1000u64 {
+        let k = 1000 + (i.wrapping_mul(2654435761) % 1000);
+        t.insert(k, k + 1).unwrap();
+    }
+    for k in 0..1000u64 {
+        assert_eq!(t.get(k).unwrap(), Some(k + 1));
+    }
+}
+
+#[test]
+fn upsert_returns_previous_value() {
+    let t = small_page_tree();
+    assert_eq!(t.insert(7, 70).unwrap(), None);
+    assert_eq!(t.insert(7, 71).unwrap(), Some(70));
+    assert_eq!(t.insert(7, 72).unwrap(), Some(71));
+    assert_eq!(t.get(7).unwrap(), Some(72));
+}
+
+#[test]
+fn remove_deletes_and_tolerates_missing() {
+    let t = small_page_tree();
+    for k in 0..500u64 {
+        t.insert(k, k).unwrap();
+    }
+    for k in (0..500u64).step_by(2) {
+        assert_eq!(t.remove(k).unwrap(), Some(k));
+    }
+    for k in 0..500u64 {
+        let expect = if k % 2 == 0 { None } else { Some(k) };
+        assert_eq!(t.get(k).unwrap(), expect, "key {k}");
+    }
+    assert_eq!(t.remove(9999).unwrap(), None);
+    assert_eq!(t.remove(0).unwrap(), None, "double remove");
+}
+
+#[test]
+fn matches_btreemap_model() {
+    let t = small_page_tree();
+    let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut x = 0x243F_6A88_85A3_08D3u64; // deterministic xorshift
+    for step in 0..6000 {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        let key = x % 1500;
+        match step % 5 {
+            0 | 1 | 2 => {
+                let expected = model.insert(key, step as u64);
+                assert_eq!(t.insert(key, step as u64).unwrap(), expected, "insert {key}");
+            }
+            3 => {
+                assert_eq!(t.get(key).unwrap(), model.get(&key).copied(), "get {key}");
+            }
+            _ => {
+                assert_eq!(t.remove(key).unwrap(), model.remove(&key), "remove {key}");
+            }
+        }
+    }
+    for (k, v) in &model {
+        assert_eq!(t.get(*k).unwrap(), Some(*v));
+    }
+}
+
+#[test]
+fn scan_returns_sorted_ranges() {
+    let t = small_page_tree();
+    for k in (0..1000u64).step_by(3) {
+        t.insert(k, k * 2).unwrap();
+    }
+    let hits = t.scan_from(300, 10).unwrap();
+    assert_eq!(hits.len(), 10);
+    assert_eq!(hits[0], (300, 600));
+    for w in hits.windows(2) {
+        assert!(w[0].0 < w[1].0, "scan must be sorted");
+        assert_eq!(w[1].0 - w[0].0, 3);
+    }
+    // Scan starting between keys begins at the next key.
+    let hits = t.scan_from(301, 2).unwrap();
+    assert_eq!(hits[0].0, 303);
+    // Scan past the end is empty.
+    assert!(t.scan_from(10_000, 5).unwrap().is_empty());
+    // Scan crossing many leaves.
+    let all = t.scan_from(0, 10_000).unwrap();
+    assert_eq!(all.len(), 334);
+}
+
+#[test]
+fn concurrent_inserts_disjoint_ranges() {
+    let t = Arc::new(small_page_tree());
+    const THREADS: u64 = 8;
+    const PER: u64 = 800;
+    let handles: Vec<_> = (0..THREADS)
+        .map(|tid| {
+            let t = Arc::clone(&t);
+            std::thread::spawn(move || {
+                for i in 0..PER {
+                    let k = tid * PER + i;
+                    t.insert(k, k ^ 0xFF).unwrap();
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    for k in 0..THREADS * PER {
+        assert_eq!(t.get(k).unwrap(), Some(k ^ 0xFF), "key {k}");
+    }
+    let all = t.scan_from(0, usize::MAX).unwrap();
+    assert_eq!(all.len() as u64, THREADS * PER);
+}
+
+#[test]
+fn concurrent_readers_and_writers() {
+    let t = Arc::new(small_page_tree());
+    for k in 0..2000u64 {
+        t.insert(k, 1).unwrap();
+    }
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let writers: Vec<_> = (0..2u64)
+        .map(|tid| {
+            let t = Arc::clone(&t);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut round = 1u64;
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    for k in (tid * 1000)..(tid * 1000 + 200) {
+                        t.insert(k, round).unwrap();
+                    }
+                    round += 1;
+                }
+            })
+        })
+        .collect();
+    let readers: Vec<_> = (0..4u64)
+        .map(|_| {
+            let t = Arc::clone(&t);
+            std::thread::spawn(move || {
+                for k in 0..2000u64 {
+                    let v = t.get(k).unwrap();
+                    assert!(v.is_some(), "key {k} must always be present");
+                }
+            })
+        })
+        .collect();
+    for h in readers {
+        h.join().unwrap();
+    }
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    for h in writers {
+        h.join().unwrap();
+    }
+}
+
+#[test]
+fn tree_survives_buffer_churn_to_ssd() {
+    // Buffers far smaller than the tree: nodes round-trip through SSD.
+    let config = BufferManagerConfig::builder()
+        .page_size(512)
+        .dram_capacity(8 * 512)
+        .nvm_capacity(16 * (512 + 64))
+        .policy(MigrationPolicy::lazy())
+        .time_scale(TimeScale::ZERO)
+        .build()
+        .unwrap();
+    let t = BTree::new(Arc::new(BufferManager::new(config).unwrap())).unwrap();
+    for k in 0..3000u64 {
+        t.insert(k, k + 7).unwrap();
+    }
+    for k in 0..3000u64 {
+        assert_eq!(t.get(k).unwrap(), Some(k + 7), "key {k}");
+    }
+}
+
+#[test]
+fn reopen_from_root_page() {
+    let config = BufferManagerConfig::builder()
+        .page_size(512)
+        .dram_capacity(32 * 512)
+        .nvm_capacity(64 * (512 + 64))
+        .time_scale(TimeScale::ZERO)
+        .build()
+        .unwrap();
+    let bm = Arc::new(BufferManager::new(config).unwrap());
+    let t = BTree::new(Arc::clone(&bm)).unwrap();
+    for k in 0..800u64 {
+        t.insert(k, k).unwrap();
+    }
+    let root = t.root_page();
+    drop(t);
+    let t2 = BTree::open(bm, root);
+    for k in 0..800u64 {
+        assert_eq!(t2.get(k).unwrap(), Some(k));
+    }
+}

@@ -1,0 +1,70 @@
+//! Property test: the B+Tree must agree with `std::collections::BTreeMap`
+//! for arbitrary operation sequences.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use spitfire_core::{BufferManager, BufferManagerConfig, MigrationPolicy};
+use spitfire_device::TimeScale;
+use spitfire_index::BTree;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u64, u64),
+    Get(u64),
+    Remove(u64),
+    Scan(u64, usize),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    // A small key universe maximizes collisions, updates, and removes.
+    let key = 0..400u64;
+    prop_oneof![
+        5 => (key.clone(), any::<u64>()).prop_map(|(k, v)| Op::Insert(k, v)),
+        3 => key.clone().prop_map(Op::Get),
+        2 => key.clone().prop_map(Op::Remove),
+        1 => (key, 1..50usize).prop_map(|(k, n)| Op::Scan(k, n)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    #[test]
+    fn btree_matches_std_model(
+        ops in proptest::collection::vec(op_strategy(), 1..400),
+        dram_pages in 4..32usize,
+    ) {
+        let config = BufferManagerConfig::builder()
+            .page_size(512)
+            .dram_capacity(dram_pages * 512)
+            .nvm_capacity(32 * (512 + 64))
+            .policy(MigrationPolicy::lazy())
+            .time_scale(TimeScale::ZERO)
+            .build()
+            .unwrap();
+        let tree = BTree::new(Arc::new(BufferManager::new(config).unwrap())).unwrap();
+        let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+
+        for op in &ops {
+            match *op {
+                Op::Insert(k, v) => {
+                    prop_assert_eq!(tree.insert(k, v).unwrap(), model.insert(k, v));
+                }
+                Op::Get(k) => {
+                    prop_assert_eq!(tree.get(k).unwrap(), model.get(&k).copied());
+                }
+                Op::Remove(k) => {
+                    prop_assert_eq!(tree.remove(k).unwrap(), model.remove(&k));
+                }
+                Op::Scan(start, n) => {
+                    let got = tree.scan_from(start, n).unwrap();
+                    let want: Vec<(u64, u64)> =
+                        model.range(start..).take(n).map(|(k, v)| (*k, *v)).collect();
+                    prop_assert_eq!(got, want);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! HyMem-style NVM admission queue (paper §1, §2.1, §6.5).
+//!
+//! HyMem decides NVM admission with a queue of "recently considered" pages:
+//! the first time a page is considered it is *denied* (its id is enqueued
+//! and the page goes straight to SSD); if it is considered again while its
+//! id is still in the queue, it is admitted. The queue is bounded; the paper
+//! finds that a capacity of half the NVM buffer's page count works well
+//! (§6.5, "Admission Queue Size").
+//!
+//! Spitfire replaces this mechanism with the probabilistic `N_w` policy, but
+//! the baseline needs a faithful implementation for the ablation study
+//! (Figure 12).
+
+use std::collections::{HashSet, VecDeque};
+
+use parking_lot::Mutex;
+
+struct Inner {
+    fifo: VecDeque<u64>,
+    members: HashSet<u64>,
+}
+
+/// Bounded FIFO admission filter keyed by page id.
+pub struct AdmissionQueue {
+    inner: Mutex<Inner>,
+    capacity: usize,
+}
+
+impl AdmissionQueue {
+    /// A queue remembering at most `capacity` recently denied pages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero (a zero-capacity queue would deny every
+    /// page forever, which is never what the baseline wants).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "admission queue capacity must be positive");
+        AdmissionQueue {
+            inner: Mutex::new(Inner {
+                fifo: VecDeque::with_capacity(capacity),
+                members: HashSet::with_capacity(capacity),
+            }),
+            capacity,
+        }
+    }
+
+    /// Consider `pid` for admission. Returns `true` if the page should be
+    /// admitted now (it was recently considered), `false` if it was enqueued
+    /// and should bypass the NVM buffer this time.
+    pub fn consider(&self, pid: u64) -> bool {
+        let mut inner = self.inner.lock();
+        if inner.members.remove(&pid) {
+            // Second consideration while still remembered: admit. Leave the
+            // stale id in the FIFO; it is skipped lazily on eviction.
+            return true;
+        }
+        // Make room: stale FIFO slots (ids admitted earlier) are reclaimed
+        // for free; otherwise the oldest live id is evicted (forgotten).
+        while inner.fifo.len() >= self.capacity {
+            let Some(old) = inner.fifo.pop_front() else { break };
+            if inner.members.remove(&old) {
+                break;
+            }
+        }
+        inner.fifo.push_back(pid);
+        inner.members.insert(pid);
+        false
+    }
+
+    /// Number of pages currently remembered (denied once, not yet admitted).
+    pub fn len(&self) -> usize {
+        self.inner.lock().members.len()
+    }
+
+    /// Whether no pages are remembered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Forget every remembered page.
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock();
+        inner.fifo.clear();
+        inner.members.clear();
+    }
+}
+
+impl std::fmt::Debug for AdmissionQueue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AdmissionQueue")
+            .field("capacity", &self.capacity)
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_denied_second_admitted() {
+        let q = AdmissionQueue::new(4);
+        assert!(!q.consider(1));
+        assert!(q.consider(1));
+        // After admission the page starts over.
+        assert!(!q.consider(1));
+    }
+
+    #[test]
+    fn capacity_evicts_oldest() {
+        let q = AdmissionQueue::new(2);
+        assert!(!q.consider(1));
+        assert!(!q.consider(2));
+        assert!(!q.consider(3)); // evicts 1
+        assert!(!q.consider(1)); // 1 was forgotten: denied again (evicts 2)
+        assert!(q.consider(3)); // 3 still remembered
+    }
+
+    #[test]
+    fn admitted_ids_do_not_consume_capacity() {
+        let q = AdmissionQueue::new(2);
+        assert!(!q.consider(1));
+        assert!(q.consider(1)); // admitted; stale FIFO slot remains
+        assert!(!q.consider(2));
+        assert!(!q.consider(3));
+        // Queue holds {2, 3}: both must still be remembered because the
+        // stale slot for 1 was reclaimed first.
+        assert!(q.consider(2));
+        assert!(q.consider(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_rejected() {
+        AdmissionQueue::new(0);
+    }
+
+    #[test]
+    fn len_and_clear() {
+        let q = AdmissionQueue::new(8);
+        for pid in 0..5 {
+            q.consider(pid);
+        }
+        assert_eq!(q.len(), 5);
+        q.clear();
+        assert!(q.is_empty());
+        assert!(!q.consider(0));
+    }
+
+    #[test]
+    fn concurrent_considers_never_lose_ids() {
+        use std::sync::Arc;
+        let q = Arc::new(AdmissionQueue::new(1024));
+        let handles: Vec<_> = (0..4u64)
+            .map(|t| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    let mut admitted = 0u64;
+                    for i in 0..200 {
+                        let pid = t * 1000 + i;
+                        assert!(!q.consider(pid), "first consideration must deny");
+                        if q.consider(pid) {
+                            admitted += 1;
+                        }
+                    }
+                    admitted
+                })
+            })
+            .collect();
+        let total: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        // Capacity is ample, so every second consideration admits.
+        assert_eq!(total, 4 * 200);
+    }
+}

@@ -1,0 +1,239 @@
+//! Concurrent bitmap over atomic words.
+//!
+//! Backs the CLOCK replacement policy's reference bits and the buffer
+//! pools' frame allocation maps (paper §5.2 cites NB-GCLOCK's non-blocking
+//! bitmap [40]; this is the same idea: all bit operations are single-word
+//! atomics, so the clock hand never takes a lock).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const BITS: usize = 64;
+
+/// A fixed-size bitmap whose bits can be set, cleared, and scanned
+/// concurrently without locks.
+///
+/// ```
+/// use spitfire_sync::AtomicBitmap;
+/// let frames = AtomicBitmap::new(128);
+/// let f = frames.acquire_first_clear(0).unwrap(); // claim a free frame
+/// assert!(frames.get(f));
+/// frames.clear(f);                                // release it
+/// assert_eq!(frames.count_ones(), 0);
+/// ```
+pub struct AtomicBitmap {
+    words: Vec<AtomicU64>,
+    len: usize,
+}
+
+impl AtomicBitmap {
+    /// A bitmap of `len` bits, all clear.
+    pub fn new(len: usize) -> Self {
+        AtomicBitmap {
+            words: (0..len.div_ceil(BITS)).map(|_| AtomicU64::new(0)).collect(),
+            len,
+        }
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the bitmap has zero bits.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    #[inline]
+    fn locate(&self, bit: usize) -> (usize, u64) {
+        assert!(bit < self.len, "bit {bit} out of range for bitmap of {}", self.len);
+        (bit / BITS, 1u64 << (bit % BITS))
+    }
+
+    /// Set `bit`; returns the previous value.
+    pub fn set(&self, bit: usize) -> bool {
+        let (w, mask) = self.locate(bit);
+        self.words[w].fetch_or(mask, Ordering::AcqRel) & mask != 0
+    }
+
+    /// Clear `bit`; returns the previous value.
+    pub fn clear(&self, bit: usize) -> bool {
+        let (w, mask) = self.locate(bit);
+        self.words[w].fetch_and(!mask, Ordering::AcqRel) & mask != 0
+    }
+
+    /// Current value of `bit`.
+    pub fn get(&self, bit: usize) -> bool {
+        let (w, mask) = self.locate(bit);
+        self.words[w].load(Ordering::Acquire) & mask != 0
+    }
+
+    /// Atomically set `bit` if it is currently clear. Returns `true` if this
+    /// call performed the transition (i.e. won the race). Used for lock-free
+    /// frame allocation.
+    pub fn try_acquire(&self, bit: usize) -> bool {
+        let (w, mask) = self.locate(bit);
+        self.words[w].fetch_or(mask, Ordering::AcqRel) & mask == 0
+    }
+
+    /// Find and acquire the first clear bit at or after `from` (wrapping),
+    /// or `None` if every bit is set. Lock-free; linear in words.
+    pub fn acquire_first_clear(&self, from: usize) -> Option<usize> {
+        if self.len == 0 {
+            return None;
+        }
+        let start_word = (from % self.len) / BITS;
+        let nwords = self.words.len();
+        for i in 0..nwords {
+            let w = (start_word + i) % nwords;
+            loop {
+                let cur = self.words[w].load(Ordering::Acquire);
+                let free = !cur;
+                if free == 0 {
+                    break;
+                }
+                let bit_in_word = free.trailing_zeros() as usize;
+                let bit = w * BITS + bit_in_word;
+                if bit >= self.len {
+                    break;
+                }
+                if self.try_acquire(bit) {
+                    return Some(bit);
+                }
+                // Lost the race; re-read the word.
+            }
+        }
+        None
+    }
+
+    /// Number of set bits (snapshot).
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.load(Ordering::Acquire).count_ones() as usize).sum()
+    }
+
+    /// Clear every bit.
+    pub fn clear_all(&self) {
+        for w in &self.words {
+            w.store(0, Ordering::Release);
+        }
+    }
+}
+
+impl std::fmt::Debug for AtomicBitmap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AtomicBitmap")
+            .field("len", &self.len)
+            .field("ones", &self.count_ones())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn set_get_clear() {
+        let b = AtomicBitmap::new(130);
+        assert!(!b.get(0));
+        assert!(!b.set(0));
+        assert!(b.get(0));
+        assert!(b.set(0));
+        assert!(b.clear(0));
+        assert!(!b.get(0));
+        assert!(!b.clear(0));
+        // Bits across word boundaries.
+        assert!(!b.set(63));
+        assert!(!b.set(64));
+        assert!(!b.set(129));
+        assert_eq!(b.count_ones(), 3);
+        b.clear_all();
+        assert_eq!(b.count_ones(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        let b = AtomicBitmap::new(10);
+        b.get(10);
+    }
+
+    #[test]
+    fn acquire_first_clear_exhausts_exactly_once() {
+        let b = AtomicBitmap::new(8);
+        let mut got = Vec::new();
+        while let Some(bit) = b.acquire_first_clear(5) {
+            got.push(bit);
+        }
+        got.sort_unstable();
+        assert_eq!(got, (0..8).collect::<Vec<_>>());
+        assert_eq!(b.acquire_first_clear(0), None);
+    }
+
+    #[test]
+    fn acquire_first_clear_starts_near_hint() {
+        // 256 bits = 4 words; a hint in word 2 should yield a bit from
+        // word 2 first (the hint is word-granular).
+        let b = AtomicBitmap::new(256);
+        let bit = b.acquire_first_clear(130).unwrap();
+        assert_eq!(bit, 128);
+    }
+
+    #[test]
+    fn try_acquire_races_have_one_winner() {
+        let b = Arc::new(AtomicBitmap::new(64));
+        let winners = Arc::new(AtomicU64::new(0));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let b = Arc::clone(&b);
+                let winners = Arc::clone(&winners);
+                std::thread::spawn(move || {
+                    if b.try_acquire(7) {
+                        winners.fetch_add(1, Ordering::Relaxed);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(winners.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn concurrent_acquire_all_distinct() {
+        const N: usize = 256;
+        let b = Arc::new(AtomicBitmap::new(N));
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                let b = Arc::clone(&b);
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    for _ in 0..N / 8 {
+                        got.push(b.acquire_first_clear(t * 13).expect("capacity available"));
+                    }
+                    got
+                })
+            })
+            .collect();
+        let mut all: Vec<usize> = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), N, "every acquired bit must be unique");
+        assert_eq!(b.count_ones(), N);
+        assert_eq!(b.acquire_first_clear(0), None);
+    }
+
+    #[test]
+    fn acquire_respects_length_not_word_capacity() {
+        // 70 bits uses two words but bits 70..127 must never be returned.
+        let b = AtomicBitmap::new(70);
+        let mut seen = Vec::new();
+        while let Some(bit) = b.acquire_first_clear(0) {
+            assert!(bit < 70);
+            seen.push(bit);
+        }
+        assert_eq!(seen.len(), 70);
+    }
+}

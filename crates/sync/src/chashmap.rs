@@ -1,0 +1,231 @@
+//! Striped concurrent hash map.
+//!
+//! The paper uses TBB's `concurrent_hash_map` for the mapping table from
+//! logical page ids to shared page descriptors (§5.2 [17]). This is the
+//! equivalent built from lock-striped `HashMap` shards: simple, contention-
+//! resistant (64 shards), and sufficient because mapping-table critical
+//! sections are tiny (pointer lookups and inserts).
+
+use std::collections::HashMap;
+use std::hash::{BuildHasher, Hash, RandomState};
+
+use parking_lot::RwLock;
+
+/// Number of lock shards; power of two.
+const SHARDS: usize = 64;
+
+/// A concurrent hash map with per-shard reader-writer locks.
+///
+/// Values are returned by clone; in Spitfire `V = Arc<SharedPageDesc>`, so
+/// clones are reference-count bumps.
+///
+/// ```
+/// use spitfire_sync::ConcurrentMap;
+/// let m: ConcurrentMap<u64, &str> = ConcurrentMap::new();
+/// m.insert(1, "page one");
+/// assert_eq!(m.get(&1), Some("page one"));
+/// assert_eq!(m.get_or_insert_with(2, || "page two"), "page two");
+/// assert_eq!(m.remove(&1), Some("page one"));
+/// ```
+pub struct ConcurrentMap<K, V, S = RandomState> {
+    shards: Vec<RwLock<HashMap<K, V, S>>>,
+    hasher: S,
+}
+
+impl<K: Hash + Eq, V: Clone> ConcurrentMap<K, V> {
+    /// An empty map with the default hasher.
+    pub fn new() -> Self {
+        Self::with_hasher(RandomState::new())
+    }
+}
+
+impl<K: Hash + Eq, V: Clone> Default for ConcurrentMap<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Hash + Eq, V: Clone, S: BuildHasher + Clone> ConcurrentMap<K, V, S> {
+    /// An empty map using `hasher` for shard selection and within shards.
+    pub fn with_hasher(hasher: S) -> Self {
+        ConcurrentMap {
+            shards: (0..SHARDS)
+                .map(|_| RwLock::new(HashMap::with_hasher(hasher.clone())))
+                .collect(),
+            hasher,
+        }
+    }
+
+    fn shard(&self, key: &K) -> &RwLock<HashMap<K, V, S>> {
+        let h = self.hasher.hash_one(key) as usize;
+        &self.shards[h & (SHARDS - 1)]
+    }
+
+    /// Clone of the value for `key`, if present.
+    pub fn get(&self, key: &K) -> Option<V> {
+        self.shard(key).read().get(key).cloned()
+    }
+
+    /// Whether `key` is present.
+    pub fn contains(&self, key: &K) -> bool {
+        self.shard(key).read().contains_key(key)
+    }
+
+    /// Insert, returning the previous value if any.
+    pub fn insert(&self, key: K, value: V) -> Option<V> {
+        self.shard(&key).write().insert(key, value)
+    }
+
+    /// Remove, returning the value if it was present.
+    pub fn remove(&self, key: &K) -> Option<V> {
+        self.shard(key).write().remove(key)
+    }
+
+    /// Return the existing value for `key`, or insert the one produced by
+    /// `make` atomically with respect to other callers of this method.
+    pub fn get_or_insert_with(&self, key: K, make: impl FnOnce() -> V) -> V {
+        let shard = self.shard(&key);
+        if let Some(v) = shard.read().get(&key) {
+            return v.clone();
+        }
+        let mut guard = shard.write();
+        guard.entry(key).or_insert_with(make).clone()
+    }
+
+    /// Remove `key` only if `pred` holds for its current value. Returns the
+    /// removed value. The predicate runs under the shard's write lock.
+    pub fn remove_if(&self, key: &K, pred: impl FnOnce(&V) -> bool) -> Option<V> {
+        let mut guard = self.shard(key).write();
+        if guard.get(key).is_some_and(|v| pred(v)) {
+            guard.remove(key)
+        } else {
+            None
+        }
+    }
+
+    /// Number of entries (sums shard sizes; a snapshot, not linearizable).
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().len()).sum()
+    }
+
+    /// Whether the map is empty (snapshot semantics, as with `len`).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Run `f` on every entry. Each shard is locked (shared) in turn; do not
+    /// call map methods from inside `f`.
+    pub fn for_each(&self, mut f: impl FnMut(&K, &V)) {
+        for shard in &self.shards {
+            for (k, v) in shard.read().iter() {
+                f(k, v);
+            }
+        }
+    }
+
+    /// Remove all entries.
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.write().clear();
+        }
+    }
+}
+
+impl<K, V, S> std::fmt::Debug for ConcurrentMap<K, V, S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ConcurrentMap").finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn basic_insert_get_remove() {
+        let m: ConcurrentMap<u64, String> = ConcurrentMap::new();
+        assert!(m.is_empty());
+        assert_eq!(m.insert(1, "one".into()), None);
+        assert_eq!(m.insert(1, "uno".into()), Some("one".into()));
+        assert_eq!(m.get(&1), Some("uno".into()));
+        assert!(m.contains(&1));
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.remove(&1), Some("uno".into()));
+        assert_eq!(m.get(&1), None);
+    }
+
+    #[test]
+    fn get_or_insert_with_is_once_per_key() {
+        let m: ConcurrentMap<u64, Arc<u64>> = ConcurrentMap::new();
+        let a = m.get_or_insert_with(5, || Arc::new(50));
+        let b = m.get_or_insert_with(5, || Arc::new(99));
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(*a, 50);
+    }
+
+    #[test]
+    fn remove_if_respects_predicate() {
+        let m: ConcurrentMap<u64, u64> = ConcurrentMap::new();
+        m.insert(1, 10);
+        assert_eq!(m.remove_if(&1, |v| *v > 100), None);
+        assert!(m.contains(&1));
+        assert_eq!(m.remove_if(&1, |v| *v == 10), Some(10));
+        assert!(!m.contains(&1));
+        assert_eq!(m.remove_if(&2, |_| true), None);
+    }
+
+    #[test]
+    fn for_each_visits_all() {
+        let m: ConcurrentMap<u64, u64> = ConcurrentMap::new();
+        for i in 0..100 {
+            m.insert(i, i * 2);
+        }
+        let mut sum = 0;
+        m.for_each(|_, v| sum += v);
+        assert_eq!(sum, (0..100).map(|i| i * 2).sum::<u64>());
+        m.clear();
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn concurrent_inserts_distinct_keys() {
+        let m: Arc<ConcurrentMap<u64, u64>> = Arc::new(ConcurrentMap::new());
+        const THREADS: u64 = 8;
+        const PER: u64 = 500;
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let m = Arc::clone(&m);
+                std::thread::spawn(move || {
+                    for i in 0..PER {
+                        m.insert(t * PER + i, t);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(m.len() as u64, THREADS * PER);
+        for t in 0..THREADS {
+            for i in 0..PER {
+                assert_eq!(m.get(&(t * PER + i)), Some(t));
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_get_or_insert_same_key_agrees() {
+        let m: Arc<ConcurrentMap<u64, Arc<u64>>> = Arc::new(ConcurrentMap::new());
+        let handles: Vec<_> = (0..8u64)
+            .map(|t| {
+                let m = Arc::clone(&m);
+                std::thread::spawn(move || m.get_or_insert_with(7, move || Arc::new(t)))
+            })
+            .collect();
+        let results: Vec<Arc<u64>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for r in &results {
+            assert!(Arc::ptr_eq(r, &results[0]));
+        }
+    }
+}

@@ -1,0 +1,196 @@
+//! Lightweight reader-writer latch.
+//!
+//! Spitfire's shared page descriptors carry one latch per storage tier
+//! (paper §5.2, Figure 4); migrations grab only the latches of the tiers
+//! they touch, so latch acquisition must be cheap and the latch itself small
+//! (one word). This is a classic word-sized latch: writer bit plus reader
+//! count, with yielding backoff — appropriate for the short critical
+//! sections of page migration bookkeeping (the actual device I/O is charged
+//! while holding the latch, exactly like the paper's migration protocol).
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+const WRITER: u32 = 1 << 31;
+
+/// A word-sized reader-writer latch without poisoning or fairness queues.
+///
+/// ```
+/// use spitfire_sync::RwLatch;
+/// let latch = RwLatch::new();
+/// let r1 = latch.read();
+/// let r2 = latch.read();          // readers share
+/// assert!(latch.try_write().is_none());
+/// drop((r1, r2));
+/// let _w = latch.write();         // writer excludes
+/// assert!(latch.try_read().is_none());
+/// ```
+#[derive(Debug, Default)]
+pub struct RwLatch {
+    state: AtomicU32,
+}
+
+impl RwLatch {
+    /// A fresh, unheld latch.
+    pub const fn new() -> Self {
+        RwLatch { state: AtomicU32::new(0) }
+    }
+
+    /// Try to acquire shared access without blocking.
+    pub fn try_read(&self) -> Option<LatchReadGuard<'_>> {
+        let mut cur = self.state.load(Ordering::Relaxed);
+        loop {
+            if cur & WRITER != 0 {
+                return None;
+            }
+            match self.state.compare_exchange_weak(
+                cur,
+                cur + 1,
+                Ordering::Acquire,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return Some(LatchReadGuard { latch: self }),
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Acquire shared access, yielding while a writer holds the latch.
+    pub fn read(&self) -> LatchReadGuard<'_> {
+        let mut spins = 0u32;
+        loop {
+            if let Some(g) = self.try_read() {
+                return g;
+            }
+            backoff(&mut spins);
+        }
+    }
+
+    /// Try to acquire exclusive access without blocking.
+    pub fn try_write(&self) -> Option<LatchWriteGuard<'_>> {
+        if self
+            .state
+            .compare_exchange(0, WRITER, Ordering::Acquire, Ordering::Relaxed)
+            .is_ok()
+        {
+            Some(LatchWriteGuard { latch: self })
+        } else {
+            None
+        }
+    }
+
+    /// Acquire exclusive access, yielding while readers or a writer hold it.
+    pub fn write(&self) -> LatchWriteGuard<'_> {
+        let mut spins = 0u32;
+        loop {
+            if let Some(g) = self.try_write() {
+                return g;
+            }
+            backoff(&mut spins);
+        }
+    }
+
+    /// Whether any thread currently holds the latch (racy; diagnostics only).
+    pub fn is_held(&self) -> bool {
+        self.state.load(Ordering::Relaxed) != 0
+    }
+}
+
+#[inline]
+fn backoff(spins: &mut u32) {
+    *spins += 1;
+    if *spins < 16 {
+        std::hint::spin_loop();
+    } else {
+        std::thread::yield_now();
+    }
+}
+
+/// Shared guard; releases on drop.
+#[derive(Debug)]
+pub struct LatchReadGuard<'a> {
+    latch: &'a RwLatch,
+}
+
+impl Drop for LatchReadGuard<'_> {
+    fn drop(&mut self) {
+        self.latch.state.fetch_sub(1, Ordering::Release);
+    }
+}
+
+/// Exclusive guard; releases on drop.
+#[derive(Debug)]
+pub struct LatchWriteGuard<'a> {
+    latch: &'a RwLatch,
+}
+
+impl Drop for LatchWriteGuard<'_> {
+    fn drop(&mut self) {
+        self.latch.state.store(0, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn readers_share_writers_exclude() {
+        let l = RwLatch::new();
+        let r1 = l.try_read().expect("first reader");
+        let r2 = l.try_read().expect("second reader");
+        assert!(l.try_write().is_none());
+        drop(r1);
+        assert!(l.try_write().is_none());
+        drop(r2);
+        let w = l.try_write().expect("writer after readers");
+        assert!(l.try_read().is_none());
+        assert!(l.try_write().is_none());
+        drop(w);
+        assert!(!l.is_held());
+    }
+
+    #[test]
+    fn concurrent_counter_is_exact() {
+        struct Cell(std::cell::UnsafeCell<u64>);
+        // SAFETY: the test only touches the cell under the latch.
+        unsafe impl Sync for Cell {}
+        let latch = Arc::new(RwLatch::new());
+        let counter = Arc::new(Cell(std::cell::UnsafeCell::new(0)));
+        const THREADS: usize = 8;
+        const PER: u64 = 1000;
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let latch = Arc::clone(&latch);
+                let counter = Arc::clone(&counter);
+                std::thread::spawn(move || {
+                    for _ in 0..PER {
+                        let _g = latch.write();
+                        // SAFETY: exclusive latch held.
+                        unsafe { *counter.0.get() += 1 };
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let _g = latch.read();
+        // SAFETY: shared latch held, writers excluded.
+        assert_eq!(unsafe { *counter.0.get() }, THREADS as u64 * PER);
+    }
+
+    #[test]
+    fn read_blocks_until_writer_leaves() {
+        let latch = Arc::new(RwLatch::new());
+        let w = latch.try_write().unwrap();
+        let l2 = Arc::clone(&latch);
+        let t = std::thread::spawn(move || {
+            let _r = l2.read();
+        });
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        assert!(!t.is_finished());
+        drop(w);
+        t.join().unwrap();
+    }
+}

@@ -1,0 +1,29 @@
+//! Concurrency primitives used by the Spitfire buffer manager.
+//!
+//! The paper (§5.2) lists the concurrent building blocks Spitfire relies on:
+//!
+//! 1. a concurrent hash table mapping logical page identifiers to shared
+//!    page descriptors — [`ConcurrentMap`];
+//! 2. a concurrent bitmap backing the CLOCK replacement policy —
+//!    [`AtomicBitmap`];
+//! 3. lightweight latches for thread-safe page migration — [`RwLatch`];
+//! 4. optimistic lock coupling for the B+Tree — [`VersionLatch`].
+//!
+//! It also provides the HyMem-style NVM [`AdmissionQueue`] (paper §1, §6.5),
+//! which Spitfire's probabilistic policy replaces but which the baseline
+//! implementation needs.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+mod admission;
+mod bitmap;
+mod chashmap;
+mod latch;
+mod optimistic;
+
+pub use admission::AdmissionQueue;
+pub use bitmap::AtomicBitmap;
+pub use chashmap::ConcurrentMap;
+pub use latch::{LatchReadGuard, LatchWriteGuard, RwLatch};
+pub use optimistic::{OptimisticError, VersionLatch};

@@ -1,0 +1,207 @@
+//! Optimistic version latch for lock coupling (Leis et al., cited as [24]
+//! in the paper §5.2).
+//!
+//! Readers never modify the latch word: they read the version, do their
+//! work, and re-check the version. A concurrent writer bumps the version,
+//! causing readers to restart. The B+Tree in `spitfire-index` couples these
+//! latches down the tree, which is the "optimistic lock coupling" technique
+//! the paper credits for reducing index contention once NVM removes most of
+//! the I/O bottleneck.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Low bit 1 = write-locked; low bit 2 = node obsolete (unlinked); the rest
+/// is the version counter.
+const LOCKED: u64 = 0b01;
+const OBSOLETE: u64 = 0b10;
+const VERSION_STEP: u64 = 0b100;
+
+/// Returned when an optimistic read or upgrade must restart.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OptimisticError;
+
+impl std::fmt::Display for OptimisticError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "optimistic validation failed; restart the operation")
+    }
+}
+
+impl std::error::Error for OptimisticError {}
+
+/// A version-based optimistic latch.
+#[derive(Debug, Default)]
+pub struct VersionLatch {
+    word: AtomicU64,
+}
+
+impl VersionLatch {
+    /// A fresh, unlocked latch at version zero.
+    pub const fn new() -> Self {
+        VersionLatch { word: AtomicU64::new(0) }
+    }
+
+    /// Begin an optimistic read: returns the current version, or an error if
+    /// the latch is write-locked or the node is obsolete.
+    pub fn read_lock(&self) -> Result<u64, OptimisticError> {
+        let v = self.word.load(Ordering::Acquire);
+        if v & (LOCKED | OBSOLETE) != 0 {
+            return Err(OptimisticError);
+        }
+        Ok(v)
+    }
+
+    /// Validate an optimistic read begun at `version`.
+    pub fn read_unlock(&self, version: u64) -> Result<(), OptimisticError> {
+        if self.word.load(Ordering::Acquire) == version {
+            Ok(())
+        } else {
+            Err(OptimisticError)
+        }
+    }
+
+    /// Atomically upgrade an optimistic read at `version` to a write lock.
+    pub fn upgrade(&self, version: u64) -> Result<(), OptimisticError> {
+        self.word
+            .compare_exchange(version, version | LOCKED, Ordering::Acquire, Ordering::Relaxed)
+            .map(|_| ())
+            .map_err(|_| OptimisticError)
+    }
+
+    /// Acquire the write lock, spinning until it is free.
+    ///
+    /// Returns an error if the node became obsolete (the caller must
+    /// restart from the parent).
+    pub fn write_lock(&self) -> Result<(), OptimisticError> {
+        let mut spins = 0u32;
+        loop {
+            let v = self.word.load(Ordering::Relaxed);
+            if v & OBSOLETE != 0 {
+                return Err(OptimisticError);
+            }
+            if v & LOCKED == 0
+                && self
+                    .word
+                    .compare_exchange_weak(v, v | LOCKED, Ordering::Acquire, Ordering::Relaxed)
+                    .is_ok()
+            {
+                return Ok(());
+            }
+            spins += 1;
+            if spins < 16 {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    /// Release a write lock, bumping the version so optimistic readers
+    /// restart.
+    pub fn write_unlock(&self) {
+        // Clear LOCKED (+1 step wraps the low bits correctly because the
+        // word was `version | LOCKED`).
+        self.word.fetch_add(VERSION_STEP - LOCKED, Ordering::Release);
+    }
+
+    /// Release a write lock and mark the node obsolete (it was unlinked from
+    /// the structure); readers and writers will restart from the parent.
+    pub fn write_unlock_obsolete(&self) {
+        self.word.fetch_add(VERSION_STEP - LOCKED + OBSOLETE, Ordering::Release);
+    }
+
+    /// Whether the node has been marked obsolete.
+    pub fn is_obsolete(&self) -> bool {
+        self.word.load(Ordering::Acquire) & OBSOLETE != 0
+    }
+
+    /// Whether the latch is currently write-locked (diagnostics only).
+    pub fn is_locked(&self) -> bool {
+        self.word.load(Ordering::Relaxed) & LOCKED != 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn read_validates_when_no_writer() {
+        let l = VersionLatch::new();
+        let v = l.read_lock().unwrap();
+        l.read_unlock(v).unwrap();
+    }
+
+    #[test]
+    fn write_invalidates_concurrent_read() {
+        let l = VersionLatch::new();
+        let v = l.read_lock().unwrap();
+        l.write_lock().unwrap();
+        l.write_unlock();
+        assert_eq!(l.read_unlock(v), Err(OptimisticError));
+    }
+
+    #[test]
+    fn read_fails_while_locked() {
+        let l = VersionLatch::new();
+        l.write_lock().unwrap();
+        assert_eq!(l.read_lock(), Err(OptimisticError));
+        l.write_unlock();
+        assert!(l.read_lock().is_ok());
+    }
+
+    #[test]
+    fn upgrade_succeeds_only_on_same_version() {
+        let l = VersionLatch::new();
+        let v = l.read_lock().unwrap();
+        l.upgrade(v).unwrap();
+        l.write_unlock();
+        // Version moved on; the old snapshot can no longer upgrade.
+        assert_eq!(l.upgrade(v), Err(OptimisticError));
+    }
+
+    #[test]
+    fn obsolete_rejects_everything() {
+        let l = VersionLatch::new();
+        l.write_lock().unwrap();
+        l.write_unlock_obsolete();
+        assert!(l.is_obsolete());
+        assert_eq!(l.read_lock(), Err(OptimisticError));
+        assert_eq!(l.write_lock(), Err(OptimisticError));
+    }
+
+    #[test]
+    fn concurrent_writers_serialize() {
+        let latch = Arc::new(VersionLatch::new());
+        let value = Arc::new(AtomicU64::new(0));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let latch = Arc::clone(&latch);
+                let value = Arc::clone(&value);
+                std::thread::spawn(move || {
+                    for _ in 0..500 {
+                        latch.write_lock().unwrap();
+                        let v = value.load(Ordering::Relaxed);
+                        value.store(v + 1, Ordering::Relaxed);
+                        latch.write_unlock();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(value.load(Ordering::Relaxed), 2000);
+    }
+
+    #[test]
+    fn version_advances_monotonically() {
+        let l = VersionLatch::new();
+        let v0 = l.read_lock().unwrap();
+        l.write_lock().unwrap();
+        l.write_unlock();
+        let v1 = l.read_lock().unwrap();
+        assert!(v1 > v0);
+        assert_eq!(v1 & (LOCKED | OBSOLETE), 0);
+    }
+}

@@ -1,0 +1,106 @@
+//! Property tests for the concurrency primitives (sequential model
+//! equivalence; the concurrent behaviour is covered by unit tests).
+
+use proptest::prelude::*;
+use spitfire_sync::{AdmissionQueue, AtomicBitmap, ConcurrentMap};
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// The atomic bitmap must match a boolean-vector model.
+    #[test]
+    fn bitmap_matches_model(
+        len in 1..300usize,
+        ops in proptest::collection::vec((0..300usize, 0..3u8), 1..200),
+    ) {
+        let bitmap = AtomicBitmap::new(len);
+        let mut model = vec![false; len];
+        for &(bit, op) in &ops {
+            let bit = bit % len;
+            match op {
+                0 => prop_assert_eq!(bitmap.set(bit), std::mem::replace(&mut model[bit], true)),
+                1 => prop_assert_eq!(bitmap.clear(bit), std::mem::replace(&mut model[bit], false)),
+                _ => prop_assert_eq!(bitmap.get(bit), model[bit]),
+            }
+        }
+        prop_assert_eq!(bitmap.count_ones(), model.iter().filter(|b| **b).count());
+    }
+
+    /// `acquire_first_clear` must claim exactly the free bits, each once.
+    #[test]
+    fn bitmap_acquire_claims_every_free_bit(
+        len in 1..200usize,
+        preset in proptest::collection::vec(0..200usize, 0..50),
+        hint in 0..200usize,
+    ) {
+        let bitmap = AtomicBitmap::new(len);
+        let mut expected_free = len;
+        let mut seen = std::collections::HashSet::new();
+        for &bit in &preset {
+            let bit = bit % len;
+            if !bitmap.set(bit) && seen.insert(bit) {
+                expected_free -= 1;
+            }
+        }
+        let mut claimed = Vec::new();
+        while let Some(bit) = bitmap.acquire_first_clear(hint % len) {
+            prop_assert!(bit < len);
+            claimed.push(bit);
+        }
+        claimed.sort_unstable();
+        claimed.dedup();
+        prop_assert_eq!(claimed.len(), expected_free);
+    }
+
+    /// The concurrent map must match `HashMap` sequentially.
+    #[test]
+    fn concurrent_map_matches_model(
+        ops in proptest::collection::vec((0..64u64, 0..4u8, any::<u64>()), 1..200),
+    ) {
+        let map: ConcurrentMap<u64, u64> = ConcurrentMap::new();
+        let mut model = std::collections::HashMap::new();
+        for &(key, op, value) in &ops {
+            match op {
+                0 => prop_assert_eq!(map.insert(key, value), model.insert(key, value)),
+                1 => prop_assert_eq!(map.remove(&key), model.remove(&key)),
+                2 => prop_assert_eq!(map.get(&key), model.get(&key).copied()),
+                _ => {
+                    let got = map.get_or_insert_with(key, || value);
+                    let want = *model.entry(key).or_insert(value);
+                    prop_assert_eq!(got, want);
+                }
+            }
+        }
+        prop_assert_eq!(map.len(), model.len());
+    }
+
+    /// Admission-queue liveness and FIFO properties: an id is admitted iff
+    /// it is among the most recent `capacity` denied ids (a model of the
+    /// HyMem queue semantics).
+    #[test]
+    fn admission_queue_matches_model(
+        capacity in 1..16usize,
+        pids in proptest::collection::vec(0..24u64, 1..200),
+    ) {
+        let queue = AdmissionQueue::new(capacity);
+        // Model: FIFO of denied ids with stale-slot reclamation, mirroring
+        // the documented semantics.
+        let mut fifo: std::collections::VecDeque<u64> = Default::default();
+        let mut members: std::collections::HashSet<u64> = Default::default();
+        for &pid in &pids {
+            let model_admit = members.remove(&pid);
+            if !model_admit {
+                while fifo.len() >= capacity {
+                    let Some(old) = fifo.pop_front() else { break };
+                    if members.remove(&old) {
+                        break;
+                    }
+                }
+                fifo.push_back(pid);
+                members.insert(pid);
+            }
+            prop_assert_eq!(queue.consider(pid), model_admit, "pid {}", pid);
+            prop_assert_eq!(queue.len(), members.len());
+        }
+    }
+}

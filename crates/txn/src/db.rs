@@ -1,0 +1,697 @@
+//! The transactional database: MVTO over versioned tables, indexed by
+//! B+Trees, logged through the NVM-aware WAL, recovered ARIES-style.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use spitfire_core::{AccessIntent, BufferManager, PageId};
+use spitfire_index::BTree;
+
+use crate::error::TxnError;
+use crate::mvto::{is_marker, marker_txn, visible, KeyLocks, ABORTED, INF, MARK};
+use crate::table::{Table, VersionHeader, NO_RID};
+use crate::wal::{LogRecord, RecordKind, Wal};
+use crate::Result;
+
+/// Root catalog layout: magic u64 | n u32 | pad u32 | entries of
+/// (table u32, tuple u32, catalog_head u64).
+const ROOT_MAGIC: u64 = 0x5350_4946_5245_4442; // "SPIFREDB"
+const ROOT_HEADER: usize = 16;
+const ROOT_ENTRY: usize = 16;
+
+/// Database construction options.
+#[derive(Debug, Clone)]
+pub struct DbConfig {
+    /// NVM log buffer capacity in bytes.
+    pub log_buffer_bytes: usize,
+    /// Page size of the SSD log file.
+    pub log_page_size: usize,
+    /// Persistence tracking for the log's NVM buffer.
+    pub log_tracking: spitfire_device::PersistenceTracking,
+    /// Number of key-lock stripes.
+    pub lock_stripes: usize,
+}
+
+impl Default for DbConfig {
+    fn default() -> Self {
+        DbConfig {
+            log_buffer_bytes: 1 << 20,
+            log_page_size: 16 * 1024,
+            log_tracking: spitfire_device::PersistenceTracking::Counters,
+            lock_stripes: 1024,
+        }
+    }
+}
+
+/// What a transaction did to one key (undo/stamping information).
+#[derive(Debug, Clone, Copy)]
+struct WriteEntry {
+    table: u32,
+    key: u64,
+    new_rid: u64,
+    old_rid: u64, // NO_RID for inserts
+}
+
+/// A transaction handle. Obtain with [`Database::begin`]; finish with
+/// [`Database::commit`] or [`Database::abort`]. Dropping an unfinished
+/// transaction leaks its markers until abort — always finish explicitly.
+#[derive(Debug)]
+pub struct Transaction {
+    /// Transaction id (distinct from the timestamp).
+    pub id: u64,
+    /// MVTO timestamp: orders both reads and writes.
+    pub ts: u64,
+    writes: Vec<WriteEntry>,
+    last_lsn: u64,
+    active: bool,
+}
+
+impl Transaction {
+    /// Whether the transaction is still active.
+    pub fn is_active(&self) -> bool {
+        self.active
+    }
+
+    /// Number of writes performed so far.
+    pub fn write_count(&self) -> usize {
+        self.writes.len()
+    }
+}
+
+/// Counters reported by [`Database::recover`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Committed transactions found in the log.
+    pub committed: usize,
+    /// Loser transactions (no commit record).
+    pub losers: usize,
+    /// Write records redone.
+    pub redone: usize,
+    /// Loser write records undone (marked aborted).
+    pub undone: usize,
+    /// Pages reconstructed from the NVM buffer scan.
+    pub nvm_pages: usize,
+    /// Index entries rebuilt from table scans.
+    pub index_entries: usize,
+}
+
+/// A transactional multi-table database over one buffer manager.
+pub struct Database {
+    bm: Arc<BufferManager>,
+    wal: Wal,
+    /// Timestamp oracle (assigns begin timestamps, single-ts MVTO).
+    oracle: AtomicU64,
+    txn_ids: AtomicU64,
+    root_catalog: PageId,
+    tables: RwLock<HashMap<u32, Arc<Table>>>,
+    indexes: RwLock<HashMap<u32, Arc<BTree>>>,
+    locks: KeyLocks,
+    commits: AtomicU64,
+    aborts: AtomicU64,
+    /// Timestamps of in-flight transactions (vacuum watermark).
+    active: parking_lot::Mutex<std::collections::BTreeSet<u64>>,
+}
+
+impl Database {
+    /// Create a fresh database on `bm`. Must be called on a buffer manager
+    /// with no allocated pages (the root catalog claims the first page,
+    /// whose id recovery relies on).
+    pub fn create(bm: Arc<BufferManager>, config: DbConfig) -> Result<Self> {
+        assert_eq!(bm.page_count(), 0, "Database::create needs a fresh buffer manager");
+        let root_catalog = bm.allocate_page()?;
+        {
+            let guard = bm.fetch(root_catalog, AccessIntent::Write)?;
+            let mut header = [0u8; ROOT_HEADER];
+            header[..8].copy_from_slice(&ROOT_MAGIC.to_le_bytes());
+            guard.write(0, &header)?;
+        }
+        bm.flush_page(root_catalog)?;
+        let wal = Wal::new(
+            config.log_buffer_bytes,
+            config.log_page_size,
+            bm.config().time_scale,
+            config.log_tracking,
+        )?;
+        Ok(Database {
+            bm,
+            wal,
+            oracle: AtomicU64::new(2),
+            txn_ids: AtomicU64::new(1),
+            root_catalog,
+            tables: RwLock::new(HashMap::new()),
+            indexes: RwLock::new(HashMap::new()),
+            locks: KeyLocks::new(config.lock_stripes),
+            commits: AtomicU64::new(0),
+            aborts: AtomicU64::new(0),
+            active: parking_lot::Mutex::new(std::collections::BTreeSet::new()),
+        })
+    }
+
+    /// The buffer manager backing this database.
+    pub fn buffer_manager(&self) -> &Arc<BufferManager> {
+        &self.bm
+    }
+
+    /// The write-ahead log (metrics access).
+    pub fn wal(&self) -> &Wal {
+        &self.wal
+    }
+
+    /// Change the emulated-delay scale across the buffer manager and the
+    /// WAL devices (load phases run with delays off).
+    pub fn set_time_scale(&self, scale: spitfire_device::TimeScale) {
+        self.bm.set_time_scale(scale);
+        self.wal.set_time_scale(scale);
+    }
+
+    /// Committed / aborted transaction counts.
+    pub fn txn_stats(&self) -> (u64, u64) {
+        (self.commits.load(Ordering::Relaxed), self.aborts.load(Ordering::Relaxed))
+    }
+
+    /// Create a table with `tuple_size`-byte tuples and a primary index.
+    pub fn create_table(&self, table_id: u32, tuple_size: usize) -> Result<()> {
+        let table = Arc::new(Table::create(Arc::clone(&self.bm), table_id, tuple_size)?);
+        let index = Arc::new(BTree::new(Arc::clone(&self.bm))?);
+        // Persist the table in the root catalog.
+        {
+            let guard = self.bm.fetch(self.root_catalog, AccessIntent::Write)?;
+            let mut nb = [0u8; 4];
+            guard.read(8, &mut nb)?;
+            let n = u32::from_le_bytes(nb) as usize;
+            let at = ROOT_HEADER + n * ROOT_ENTRY;
+            let mut entry = [0u8; ROOT_ENTRY];
+            entry[..4].copy_from_slice(&table_id.to_le_bytes());
+            entry[4..8].copy_from_slice(&(tuple_size as u32).to_le_bytes());
+            entry[8..16].copy_from_slice(&table.catalog_head().0.to_le_bytes());
+            guard.write(at, &entry)?;
+            guard.write(8, &((n + 1) as u32).to_le_bytes())?;
+        }
+        self.bm.flush_page(self.root_catalog)?;
+        self.tables.write().insert(table_id, table);
+        self.indexes.write().insert(table_id, index);
+        Ok(())
+    }
+
+    fn table(&self, id: u32) -> Result<Arc<Table>> {
+        self.tables.read().get(&id).cloned().ok_or(TxnError::UnknownTable(id))
+    }
+
+    fn index(&self, id: u32) -> Result<Arc<BTree>> {
+        self.indexes.read().get(&id).cloned().ok_or(TxnError::UnknownTable(id))
+    }
+
+    pub(crate) fn table_ids(&self) -> Vec<u32> {
+        self.tables.read().keys().copied().collect()
+    }
+
+    pub(crate) fn table_handle(&self, id: u32) -> Result<Arc<Table>> {
+        self.table(id)
+    }
+
+    pub(crate) fn index_handle(&self, id: u32) -> Result<Arc<BTree>> {
+        self.index(id)
+    }
+
+    pub(crate) fn lock_key(&self, table: u32, key: u64) -> parking_lot::MutexGuard<'_, ()> {
+        self.locks.lock(table, key)
+    }
+
+    /// Begin a transaction.
+    pub fn begin(&self) -> Transaction {
+        let ts = self.oracle.fetch_add(1, Ordering::AcqRel);
+        self.active.lock().insert(ts);
+        Transaction {
+            id: self.txn_ids.fetch_add(1, Ordering::AcqRel),
+            ts,
+            writes: Vec::new(),
+            last_lsn: u64::MAX,
+            active: true,
+        }
+    }
+
+    fn retire(&self, txn: &Transaction) {
+        self.active.lock().remove(&txn.ts);
+    }
+
+    /// The vacuum watermark: no active transaction has a timestamp below
+    /// this, so versions superseded before it are unreachable.
+    pub fn oldest_active_ts(&self) -> u64 {
+        self.active
+            .lock()
+            .first()
+            .copied()
+            .unwrap_or_else(|| self.oracle.load(Ordering::Acquire))
+    }
+
+    /// Read the visible version of `key` into `buf`.
+    pub fn read_into(&self, txn: &Transaction, table_id: u32, key: u64, buf: &mut [u8]) -> Result<()> {
+        if !txn.active {
+            return Err(TxnError::InactiveTransaction);
+        }
+        let table = self.table(table_id)?;
+        let index = self.index(table_id)?;
+        let _stripe = self.locks.lock(table_id, key);
+        let Some(mut rid) = index.get(key)? else { return Err(TxnError::NotFound) };
+        loop {
+            let mut hdr = table.read_header(rid)?;
+            if visible(&hdr, txn.ts, txn.id) {
+                // Record the read timestamp (MVTO bookkeeping, a page
+                // write even on read-only workloads — paper §6.4).
+                if !is_marker(hdr.begin) && hdr.read_ts < txn.ts {
+                    hdr.read_ts = txn.ts;
+                    table.write_header(rid, hdr)?;
+                }
+                table.read_payload(rid, buf)?;
+                return Ok(());
+            }
+            if hdr.prev == NO_RID {
+                return Err(TxnError::NotFound);
+            }
+            rid = hdr.prev;
+        }
+    }
+
+    /// Read the visible version of `key` (allocating).
+    pub fn read(&self, txn: &Transaction, table_id: u32, key: u64) -> Result<Vec<u8>> {
+        let table = self.table(table_id)?;
+        let mut buf = vec![0u8; table.tuple_size];
+        self.read_into(txn, table_id, key, &mut buf)?;
+        Ok(buf)
+    }
+
+    /// Install a new version of `key`. Fails with [`TxnError::Conflict`]
+    /// when MVTO ordering would be violated (caller aborts and retries).
+    pub fn update(&self, txn: &mut Transaction, table_id: u32, key: u64, payload: &[u8]) -> Result<()> {
+        if !txn.active {
+            return Err(TxnError::InactiveTransaction);
+        }
+        let table = self.table(table_id)?;
+        let index = self.index(table_id)?;
+        let _stripe = self.locks.lock(table_id, key);
+        let Some(rid) = index.get(key)? else { return Err(TxnError::NotFound) };
+        let mut hdr = table.read_header(rid)?;
+
+        if is_marker(hdr.begin) {
+            if marker_txn(hdr.begin) == txn.id {
+                // Our own pending version: overwrite in place.
+                table.write_payload(rid, payload)?;
+                let lsn = self.wal.append(&LogRecord {
+                    kind: RecordKind::Update,
+                    txn: txn.id,
+                    table: table_id,
+                    key,
+                    rid,
+                    prev_rid: hdr.prev,
+                    prev_lsn: txn.last_lsn,
+                    payload: payload.to_vec(),
+                })?;
+                txn.last_lsn = lsn;
+                return Ok(());
+            }
+            return Err(TxnError::Conflict); // write-write conflict
+        }
+        if hdr.begin == ABORTED || hdr.begin > txn.ts {
+            return Err(TxnError::Conflict); // newer committed version
+        }
+        if hdr.end != INF {
+            return Err(TxnError::Conflict); // superseded concurrently
+        }
+        if hdr.read_ts > txn.ts {
+            return Err(TxnError::Conflict); // read by a later transaction
+        }
+
+        let new_hdr = VersionHeader {
+            begin: MARK | txn.id,
+            end: INF,
+            read_ts: 0,
+            prev: rid,
+            key,
+        };
+        let new_rid = table.insert_version(new_hdr, payload)?;
+        hdr.end = MARK | txn.id;
+        table.write_header(rid, hdr)?;
+        index.insert(key, new_rid)?;
+        let lsn = self.wal.append(&LogRecord {
+            kind: RecordKind::Update,
+            txn: txn.id,
+            table: table_id,
+            key,
+            rid: new_rid,
+            prev_rid: rid,
+            prev_lsn: txn.last_lsn,
+            payload: payload.to_vec(),
+        })?;
+        txn.last_lsn = lsn;
+        txn.writes.push(WriteEntry { table: table_id, key, new_rid, old_rid: rid });
+        Ok(())
+    }
+
+    /// Insert a fresh key. Fails with [`TxnError::Duplicate`] if a version
+    /// chain already exists.
+    pub fn insert(&self, txn: &mut Transaction, table_id: u32, key: u64, payload: &[u8]) -> Result<()> {
+        if !txn.active {
+            return Err(TxnError::InactiveTransaction);
+        }
+        let table = self.table(table_id)?;
+        let index = self.index(table_id)?;
+        let _stripe = self.locks.lock(table_id, key);
+        if index.get(key)?.is_some() {
+            return Err(TxnError::Duplicate);
+        }
+        let new_hdr = VersionHeader { begin: MARK | txn.id, end: INF, read_ts: 0, prev: NO_RID, key };
+        let new_rid = table.insert_version(new_hdr, payload)?;
+        index.insert(key, new_rid)?;
+        let lsn = self.wal.append(&LogRecord {
+            kind: RecordKind::Insert,
+            txn: txn.id,
+            table: table_id,
+            key,
+            rid: new_rid,
+            prev_rid: NO_RID,
+            prev_lsn: txn.last_lsn,
+            payload: payload.to_vec(),
+        })?;
+        txn.last_lsn = lsn;
+        txn.writes.push(WriteEntry { table: table_id, key, new_rid, old_rid: NO_RID });
+        Ok(())
+    }
+
+    /// Scan up to `limit` visible tuples with keys ≥ `start`, in key order.
+    pub fn scan(
+        &self,
+        txn: &Transaction,
+        table_id: u32,
+        start: u64,
+        limit: usize,
+    ) -> Result<Vec<(u64, Vec<u8>)>> {
+        if !txn.active {
+            return Err(TxnError::InactiveTransaction);
+        }
+        let index = self.index(table_id)?;
+        let mut out = Vec::with_capacity(limit.min(256));
+        // Over-fetch from the index; invisible chains are filtered below.
+        let candidates = index.scan_from(start, limit.saturating_mul(2).max(limit))?;
+        for (key, _) in candidates {
+            match self.read(txn, table_id, key) {
+                Ok(payload) => {
+                    out.push((key, payload));
+                    if out.len() >= limit {
+                        break;
+                    }
+                }
+                Err(TxnError::NotFound) => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Commit: validate MVTO read timestamps, persist the commit record in
+    /// the NVM log buffer (the durability point, paper §5.2), then stamp
+    /// all versions with the commit timestamp.
+    pub fn commit(&self, txn: &mut Transaction) -> Result<()> {
+        if !txn.active {
+            return Err(TxnError::InactiveTransaction);
+        }
+        txn.active = false;
+        self.retire(txn);
+        if txn.writes.is_empty() {
+            self.commits.fetch_add(1, Ordering::Relaxed);
+            return Ok(()); // read-only: nothing to log or stamp
+        }
+        // Lock every touched stripe in sorted order (deadlock freedom).
+        let mut stripes: Vec<usize> =
+            txn.writes.iter().map(|w| self.locks.stripe_of(w.table, w.key)).collect();
+        stripes.sort_unstable();
+        stripes.dedup();
+        let _guards = self.locks.lock_many(&stripes);
+
+        // Validation: a later transaction may have read a version we are
+        // about to supersede; committing would break timestamp order.
+        for w in &txn.writes {
+            if w.old_rid == NO_RID {
+                continue;
+            }
+            let table = self.table(w.table)?;
+            let hdr = table.read_header(w.old_rid)?;
+            if hdr.read_ts > txn.ts {
+                drop(_guards);
+                self.rollback(txn)?;
+                return Err(TxnError::Conflict);
+            }
+        }
+
+        // Durability point.
+        self.wal.append(&LogRecord {
+            kind: RecordKind::Commit,
+            txn: txn.id,
+            table: 0,
+            key: 0,
+            rid: txn.ts,
+            prev_rid: NO_RID,
+            prev_lsn: txn.last_lsn,
+            payload: Vec::new(),
+        })?;
+
+        // Stamp versions with the commit timestamp.
+        for w in &txn.writes {
+            let table = self.table(w.table)?;
+            let mut new_hdr = table.read_header(w.new_rid)?;
+            new_hdr.begin = txn.ts;
+            table.write_header(w.new_rid, new_hdr)?;
+            if w.old_rid != NO_RID {
+                let mut old_hdr = table.read_header(w.old_rid)?;
+                old_hdr.end = txn.ts;
+                table.write_header(w.old_rid, old_hdr)?;
+            }
+        }
+        self.commits.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Abort: restore index entries and mark installed versions aborted.
+    pub fn abort(&self, txn: &mut Transaction) -> Result<()> {
+        if !txn.active {
+            return Err(TxnError::InactiveTransaction);
+        }
+        txn.active = false;
+        self.retire(txn);
+        self.rollback(txn)
+    }
+
+    fn rollback(&self, txn: &Transaction) -> Result<()> {
+        for w in txn.writes.iter().rev() {
+            let table = self.table(w.table)?;
+            let index = self.index(w.table)?;
+            let _stripe = self.locks.lock(w.table, w.key);
+            // Unhook the new version.
+            let mut new_hdr = table.read_header(w.new_rid)?;
+            new_hdr.begin = ABORTED;
+            table.write_header(w.new_rid, new_hdr)?;
+            if w.old_rid != NO_RID {
+                let mut old_hdr = table.read_header(w.old_rid)?;
+                if old_hdr.end == (MARK | txn.id) {
+                    old_hdr.end = INF;
+                    table.write_header(w.old_rid, old_hdr)?;
+                }
+                index.insert(w.key, w.old_rid)?;
+            } else {
+                index.remove(w.key)?;
+            }
+        }
+        if !txn.writes.is_empty() {
+            self.wal.append(&LogRecord {
+                kind: RecordKind::Abort,
+                txn: txn.id,
+                table: 0,
+                key: 0,
+                rid: NO_RID,
+                prev_rid: NO_RID,
+                prev_lsn: txn.last_lsn,
+                payload: Vec::new(),
+            })?;
+        }
+        self.aborts.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Checkpoint: flush dirty DRAM pages (NVM-resident dirty pages stay —
+    /// they are persistent, paper §5.2), then truncate the log. Must run
+    /// at a quiescent point (no in-flight transactions).
+    pub fn checkpoint(&self) -> Result<usize> {
+        let flushed = self.bm.flush_all_dirty()?;
+        self.wal.truncate()?;
+        self.wal.append(&LogRecord {
+            kind: RecordKind::Checkpoint,
+            txn: 0,
+            table: 0,
+            key: 0,
+            rid: NO_RID,
+            prev_rid: NO_RID,
+            prev_lsn: NO_RID,
+            payload: Vec::new(),
+        })?;
+        Ok(flushed)
+    }
+
+    /// Simulate a crash: volatile state everywhere is dropped, unflushed
+    /// NVM lines roll back.
+    pub fn simulate_crash(&self) {
+        self.bm.simulate_crash();
+        self.wal.simulate_crash();
+        self.tables.write().clear();
+        self.indexes.write().clear();
+    }
+
+    /// Recover after a crash (paper §5.2, Recovery):
+    ///
+    /// 1. scan the NVM buffer to rebuild the mapping table;
+    /// 2. treat the (persistent) NVM log buffer as part of the log;
+    /// 3. analysis — split transactions into winners and losers;
+    /// 4. redo — re-apply winners' writes with their commit timestamps;
+    /// 5. undo — mark losers' versions aborted;
+    /// 6. rebuild the per-table indexes from table scans.
+    pub fn recover(&self) -> Result<RecoveryStats> {
+        let mut stats = RecoveryStats::default();
+        stats.nvm_pages = self.bm.recover_nvm_buffer().len();
+        self.bm.recover_page_allocator();
+
+        // Reload the table catalog.
+        {
+            let guard = self.bm.fetch(self.root_catalog, AccessIntent::Read)?;
+            let magic = guard.read_u64(0)?;
+            assert_eq!(magic, ROOT_MAGIC, "root catalog corrupted");
+            let mut nb = [0u8; 4];
+            guard.read(8, &mut nb)?;
+            let n = u32::from_le_bytes(nb) as usize;
+            let mut entries = Vec::with_capacity(n);
+            for i in 0..n {
+                let at = ROOT_HEADER + i * ROOT_ENTRY;
+                let mut e = [0u8; ROOT_ENTRY];
+                guard.read(at, &mut e)?;
+                let table_id = u32::from_le_bytes(e[..4].try_into().expect("4 bytes"));
+                let tuple = u32::from_le_bytes(e[4..8].try_into().expect("4 bytes")) as usize;
+                let head = u64::from_le_bytes(e[8..16].try_into().expect("8 bytes"));
+                entries.push((table_id, tuple, PageId(head)));
+            }
+            drop(guard);
+            let mut tables = self.tables.write();
+            for (table_id, tuple, head) in entries {
+                let table = Table::open(Arc::clone(&self.bm), table_id, tuple, head)?;
+                tables.insert(table_id, Arc::new(table));
+            }
+        }
+
+        // Analysis.
+        let records = self.wal.read_all()?;
+        let mut commit_ts: HashMap<u64, u64> = HashMap::new();
+        let mut seen: HashMap<u64, bool> = HashMap::new(); // txn -> has writes
+        for r in &records {
+            match r.kind {
+                RecordKind::Commit => {
+                    commit_ts.insert(r.txn, r.rid);
+                }
+                RecordKind::Update | RecordKind::Insert => {
+                    seen.entry(r.txn).or_insert(true);
+                }
+                _ => {}
+            }
+        }
+        stats.committed = commit_ts.len();
+        stats.losers = seen.keys().filter(|t| !commit_ts.contains_key(t)).count();
+
+        // Redo winners / undo losers, in log order.
+        let mut max_ts = 2u64;
+        let mut max_txn = 1u64;
+        for r in &records {
+            max_txn = max_txn.max(r.txn + 1);
+            match r.kind {
+                RecordKind::Update | RecordKind::Insert => {
+                    let Some(table) = self.tables.read().get(&r.table).cloned() else {
+                        continue;
+                    };
+                    if let Some(&ts) = commit_ts.get(&r.txn) {
+                        max_ts = max_ts.max(ts + 1);
+                        let hdr = VersionHeader {
+                            begin: ts,
+                            end: INF,
+                            read_ts: 0,
+                            prev: r.prev_rid,
+                            key: r.key,
+                        };
+                        table.write_version(r.rid, hdr, &r.payload)?;
+                        if r.prev_rid != NO_RID {
+                            let mut prev = table.read_header(r.prev_rid)?;
+                            prev.end = ts;
+                            table.write_header(r.prev_rid, prev)?;
+                        }
+                        stats.redone += 1;
+                    } else {
+                        // Loser: make the slot permanently invisible.
+                        let mut hdr = table.read_header(r.rid)?;
+                        hdr.begin = ABORTED;
+                        hdr.key = r.key;
+                        table.write_header(r.rid, hdr)?;
+                        // Reopen the superseded version if the marker
+                        // survived on it.
+                        if r.prev_rid != NO_RID {
+                            let mut prev = table.read_header(r.prev_rid)?;
+                            if is_marker(prev.end) && marker_txn(prev.end) == r.txn {
+                                prev.end = INF;
+                                table.write_header(r.prev_rid, prev)?;
+                            }
+                        }
+                        stats.undone += 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        // Also clear any dangling markers left by transactions that never
+        // reached the log for some writes (stamping raced the crash) —
+        // without a commit record they are losers by definition; committed
+        // transactions' slots were rewritten by redo above.
+        // (Handled implicitly: markers only survive on slots whose log
+        // records exist, because every install appends before returning.)
+
+        // Rebuild indexes from table scans.
+        {
+            let tables = self.tables.read();
+            let mut indexes = self.indexes.write();
+            for (id, table) in tables.iter() {
+                let index = Arc::new(BTree::new(Arc::clone(&self.bm))?);
+                for rid in 0..table.allocated_slots() {
+                    let hdr = table.read_header(rid)?;
+                    if hdr.begin == 0 || hdr.begin == ABORTED || is_marker(hdr.begin) {
+                        continue;
+                    }
+                    max_ts = max_ts.max(hdr.begin + 1).max(hdr.read_ts + 1);
+                    // Newest committed version: open-ended interval.
+                    if hdr.end == INF || is_marker(hdr.end) {
+                        index.insert(hdr.key, rid)?;
+                        stats.index_entries += 1;
+                    }
+                }
+                indexes.insert(*id, index);
+            }
+        }
+
+        self.oracle.fetch_max(max_ts, Ordering::AcqRel);
+        self.txn_ids.fetch_max(max_txn, Ordering::AcqRel);
+        Ok(stats)
+    }
+}
+
+impl std::fmt::Debug for Database {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Database")
+            .field("tables", &self.tables.read().len())
+            .field("commits", &self.commits.load(Ordering::Relaxed))
+            .field("aborts", &self.aborts.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}

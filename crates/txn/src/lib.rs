@@ -1,0 +1,37 @@
+//! Transactions, logging, and recovery for Spitfire (paper §5.2).
+//!
+//! This crate layers a transactional key-value database on top of the
+//! Spitfire buffer manager:
+//!
+//! * **Versioned tables** ([`Table`]) store fixed-size tuples with on-page
+//!   MVTO version headers, so concurrency-control metadata traffic flows
+//!   through the storage hierarchy exactly as in the paper.
+//! * **MVTO** (multi-version timestamp ordering, [`mvto`]) provides
+//!   serializable transactions: each transaction gets one timestamp;
+//!   reads record themselves on versions; writes abort when they would
+//!   violate timestamp order.
+//! * **NVM-aware WAL** ([`Wal`]) persists log records in a byte-addressable
+//!   NVM buffer (`clwb`/`sfence`) — the commit path never touches SSD —
+//!   and drains to an SSD log file in the background.
+//! * **Recovery** ([`Database::recover`]) scans the persistent NVM buffer
+//!   to rebuild the mapping table, treats the NVM log buffer as log tail,
+//!   and runs analysis / redo / undo before rebuilding indexes.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+mod db;
+mod error;
+mod maintenance;
+pub mod mvto;
+mod table;
+mod wal;
+
+pub use db::{Database, DbConfig, RecoveryStats, Transaction};
+pub use error::TxnError;
+pub use maintenance::{BackgroundFlusher, VacuumStats};
+pub use table::{Table, VersionHeader, NO_RID, VERSION_HEADER};
+pub use wal::{LogRecord, RecordKind, Wal};
+
+/// Result alias for transaction-layer operations.
+pub type Result<T> = std::result::Result<T, TxnError>;

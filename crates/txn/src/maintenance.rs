@@ -1,0 +1,146 @@
+//! Background maintenance: version-chain vacuum and the dirty-page
+//! flusher.
+//!
+//! MVTO version chains grow with every update. [`Database::vacuum`]
+//! truncates each key's chain below the *watermark* — the oldest active
+//! transaction timestamp — and recycles the freed slots, bounding the
+//! table footprint of long write-heavy runs.
+//!
+//! [`BackgroundFlusher`] periodically writes dirty DRAM pages down (the
+//! paper's §5.2 background flushing that enables log truncation). Dirty
+//! NVM pages are never flushed — NVM is persistent, which is exactly the
+//! recovery-cost advantage the paper attributes to the NVM buffer.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::db::Database;
+use crate::mvto::{is_marker, ABORTED};
+use crate::table::{VersionHeader, NO_RID};
+use crate::Result;
+
+/// Counters from one [`Database::vacuum`] pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VacuumStats {
+    /// Version chains inspected.
+    pub chains: usize,
+    /// Versions unlinked and recycled.
+    pub freed: usize,
+}
+
+impl Database {
+    /// Truncate version chains below the oldest active transaction
+    /// timestamp and recycle the freed slots.
+    ///
+    /// A version is unreachable once a newer *committed* version exists
+    /// with `begin ≤ watermark`: every active or future transaction reads
+    /// that newer version (or something newer still). Vacuum walks each
+    /// chain under its key stripe, cuts at the first such keeper, and
+    /// returns everything below the cut to the table's slot free list.
+    ///
+    /// Note: recycled slots may still be named as `prev` by pre-vacuum log
+    /// records. Recovery rebuilds indexes from newest-committed versions
+    /// only and fresh transactions never walk below them, so this is
+    /// harmless; run [`Database::checkpoint`] before vacuum to truncate
+    /// those records entirely.
+    pub fn vacuum(&self) -> Result<VacuumStats> {
+        let watermark = self.oldest_active_ts();
+        let mut stats = VacuumStats::default();
+        for table_id in self.table_ids() {
+            let table = self.table_handle(table_id)?;
+            let index = self.index_handle(table_id)?;
+            let mut start = 0u64;
+            loop {
+                let chunk = index.scan_from(start, 1024)?;
+                let Some(&(last_key, _)) = chunk.last() else { break };
+                for &(key, _) in &chunk {
+                    let _stripe = self.lock_key(table_id, key);
+                    // Re-read the head under the stripe (it may have moved).
+                    let Some(head) = index.get(key)? else { continue };
+                    stats.chains += 1;
+                    let mut rid = head;
+                    loop {
+                        let hdr = table.read_header(rid)?;
+                        let keeper = !is_marker(hdr.begin)
+                            && hdr.begin != ABORTED
+                            && hdr.begin != 0
+                            && hdr.begin <= watermark;
+                        if keeper {
+                            if hdr.prev != NO_RID {
+                                let mut cut = hdr;
+                                let tail = cut.prev;
+                                cut.prev = NO_RID;
+                                table.write_header(rid, cut)?;
+                                stats.freed += self.free_chain(&table, tail)?;
+                            }
+                            break;
+                        }
+                        if hdr.prev == NO_RID {
+                            break;
+                        }
+                        rid = hdr.prev;
+                    }
+                }
+                if last_key == u64::MAX {
+                    break;
+                }
+                start = last_key + 1;
+            }
+        }
+        Ok(stats)
+    }
+
+    fn free_chain(&self, table: &crate::table::Table, mut rid: u64) -> Result<usize> {
+        let mut freed = 0;
+        while rid != NO_RID {
+            let hdr = table.read_header(rid)?;
+            // begin = 0 marks the slot as unused for the recovery
+            // slot-allocator scan.
+            table.write_header(
+                rid,
+                VersionHeader { begin: 0, end: 0, read_ts: 0, prev: NO_RID, key: 0 },
+            )?;
+            table.recycle_slot(rid);
+            freed += 1;
+            rid = hdr.prev;
+        }
+        Ok(freed)
+    }
+}
+
+/// Periodically flushes dirty DRAM pages to their home location (paper
+/// §5.2). Stops when dropped.
+pub struct BackgroundFlusher {
+    stop: Arc<std::sync::atomic::AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl BackgroundFlusher {
+    /// Start flushing `db`'s buffer manager every `period`.
+    pub fn start(db: Arc<Database>, period: Duration) -> Self {
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let handle = std::thread::spawn(move || {
+            while !stop2.load(std::sync::atomic::Ordering::Relaxed) {
+                std::thread::sleep(period);
+                let _ = db.buffer_manager().flush_all_dirty();
+            }
+        });
+        BackgroundFlusher { stop, handle: Some(handle) }
+    }
+}
+
+impl Drop for BackgroundFlusher {
+    fn drop(&mut self) {
+        self.stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for BackgroundFlusher {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BackgroundFlusher").finish_non_exhaustive()
+    }
+}

@@ -1,0 +1,494 @@
+//! NVM-aware write-ahead log (paper §5.2, Recovery).
+//!
+//! Log records are first persisted into a shared **NVM log buffer** — a
+//! ring in byte-addressable persistent memory, written with `clwb` +
+//! `sfence`. A transaction is considered committed as soon as its commit
+//! record is persistent in this buffer; no SSD I/O sits on the commit
+//! path. When the buffer fills past a threshold its contents are appended
+//! to an on-SSD log file and the buffer is recycled.
+//!
+//! After a crash, the NVM buffer still holds the records that were not yet
+//! appended (NVM is persistent); recovery first drains them to the log
+//! file ("the NVM log buffer needs to be appended to the log file since
+//! the buffer is persistent") and then replays the file.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+use spitfire_device::{AccessPattern, NvmDevice, PersistenceTracking, SsdDevice, TimeScale};
+
+use crate::error::TxnError;
+use crate::Result;
+
+/// Types of log records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecordKind {
+    /// A new version was installed for a key.
+    Update,
+    /// A key was inserted.
+    Insert,
+    /// Transaction committed (carries the commit timestamp in `rid`).
+    Commit,
+    /// Transaction aborted.
+    Abort,
+    /// A checkpoint completed; records before this are redundant.
+    Checkpoint,
+}
+
+impl RecordKind {
+    fn to_byte(self) -> u8 {
+        match self {
+            RecordKind::Update => 1,
+            RecordKind::Insert => 2,
+            RecordKind::Commit => 3,
+            RecordKind::Abort => 4,
+            RecordKind::Checkpoint => 5,
+        }
+    }
+
+    fn from_byte(b: u8) -> Option<Self> {
+        Some(match b {
+            1 => RecordKind::Update,
+            2 => RecordKind::Insert,
+            3 => RecordKind::Commit,
+            4 => RecordKind::Abort,
+            5 => RecordKind::Checkpoint,
+            _ => return None,
+        })
+    }
+}
+
+/// One log record (paper: "a log record consists of (1) transaction
+/// identifier and page identifier, (2) type of record, (3) log sequence
+/// number of previous log record for this transaction, and (4) before and
+/// after images").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogRecord {
+    /// Record type.
+    pub kind: RecordKind,
+    /// Transaction id.
+    pub txn: u64,
+    /// Table the write touched (0 for commit/abort).
+    pub table: u32,
+    /// Key within the table.
+    pub key: u64,
+    /// New version's record id (or commit timestamp for Commit records).
+    pub rid: u64,
+    /// Previous version's record id (`u64::MAX` = none).
+    pub prev_rid: u64,
+    /// LSN of this transaction's previous record (`u64::MAX` = first).
+    pub prev_lsn: u64,
+    /// After image (the new payload); before images are reachable through
+    /// `prev_rid`, so they are not duplicated in the record.
+    pub payload: Vec<u8>,
+}
+
+/// Framing: len u32 | crc u32 | kind u8 | pad 3 | txn u64 | table u32 |
+/// pad 4 | key u64 | rid u64 | prev_rid u64 | prev_lsn u64 | payload.
+const FRAME_HEADER: usize = 4 + 4 + 4 + 4 + 8 + 4 + 4 + 8 + 8 + 8 + 8;
+
+impl LogRecord {
+    /// Serialized length.
+    pub fn frame_len(&self) -> usize {
+        FRAME_HEADER + self.payload.len()
+    }
+
+    fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(self.frame_len());
+        buf.extend_from_slice(&(self.frame_len() as u32).to_le_bytes());
+        buf.extend_from_slice(&[0u8; 4]); // crc placeholder
+        buf.push(self.kind.to_byte());
+        buf.extend_from_slice(&[0u8; 3]);
+        buf.extend_from_slice(&[0u8; 4]); // reserved
+        buf.extend_from_slice(&self.txn.to_le_bytes());
+        buf.extend_from_slice(&self.table.to_le_bytes());
+        buf.extend_from_slice(&[0u8; 4]);
+        buf.extend_from_slice(&self.key.to_le_bytes());
+        buf.extend_from_slice(&self.rid.to_le_bytes());
+        buf.extend_from_slice(&self.prev_rid.to_le_bytes());
+        buf.extend_from_slice(&self.prev_lsn.to_le_bytes());
+        buf.extend_from_slice(&self.payload);
+        let crc = crc32(&buf[8..]);
+        buf[4..8].copy_from_slice(&crc.to_le_bytes());
+        buf
+    }
+
+    /// Decode one record from `buf`; returns the record and bytes consumed.
+    /// `None` on torn/invalid frames (end of log).
+    fn decode(buf: &[u8]) -> Option<(LogRecord, usize)> {
+        if buf.len() < FRAME_HEADER {
+            return None;
+        }
+        let len = u32::from_le_bytes(buf[..4].try_into().ok()?) as usize;
+        if len < FRAME_HEADER || len > buf.len() {
+            return None;
+        }
+        let crc_stored = u32::from_le_bytes(buf[4..8].try_into().ok()?);
+        if crc32(&buf[8..len]) != crc_stored {
+            return None;
+        }
+        let kind = RecordKind::from_byte(buf[8])?;
+        let txn = u64::from_le_bytes(buf[16..24].try_into().ok()?);
+        let table = u32::from_le_bytes(buf[24..28].try_into().ok()?);
+        let key = u64::from_le_bytes(buf[32..40].try_into().ok()?);
+        let rid = u64::from_le_bytes(buf[40..48].try_into().ok()?);
+        let prev_rid = u64::from_le_bytes(buf[48..56].try_into().ok()?);
+        let prev_lsn = u64::from_le_bytes(buf[56..64].try_into().ok()?);
+        let payload = buf[FRAME_HEADER..len].to_vec();
+        Some((LogRecord { kind, txn, table, key, rid, prev_rid, prev_lsn, payload }, len))
+    }
+}
+
+/// Simple CRC-32 (IEEE, bitwise — log framing is not a hot path relative
+/// to the emulated device delays).
+fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// The write-ahead log: NVM ring buffer + SSD log file.
+pub struct Wal {
+    /// Dedicated NVM region for the log buffer (separate from the buffer
+    /// pool's NVM, as in the paper's shared log buffer).
+    nvm: NvmDevice,
+    /// Byte offset of the next append within the NVM buffer. The low
+    /// region `[0, 8)` persistently stores this offset so recovery knows
+    /// how much of the buffer is live.
+    state: Mutex<WalState>,
+    /// SSD log file: fixed-size pages appended in sequence.
+    file: SsdDevice,
+    next_file_page: AtomicU64,
+    /// Drain threshold (fraction of the buffer).
+    drain_at: usize,
+    page_size: usize,
+    /// Total bytes ever appended (monotonic LSN source).
+    lsn: AtomicU64,
+}
+
+struct WalState {
+    head: usize,
+}
+
+/// Byte offset where log records start in the NVM buffer (after the
+/// persistent head word).
+const DATA_BASE: usize = 64;
+
+impl Wal {
+    /// Create a WAL with an NVM buffer of `buffer_bytes` draining into an
+    /// SSD log file with `page_size` pages.
+    pub fn new(
+        buffer_bytes: usize,
+        page_size: usize,
+        scale: TimeScale,
+        tracking: PersistenceTracking,
+    ) -> Result<Self> {
+        assert!(buffer_bytes > DATA_BASE + 1024, "log buffer too small");
+        let wal = Wal {
+            nvm: NvmDevice::new(buffer_bytes, scale, tracking),
+            state: Mutex::new(WalState { head: DATA_BASE }),
+            file: SsdDevice::new(page_size, scale),
+            next_file_page: AtomicU64::new(0),
+            drain_at: buffer_bytes * 3 / 4,
+            page_size,
+            lsn: AtomicU64::new(0),
+        };
+        wal.persist_head(DATA_BASE)?;
+        Ok(wal)
+    }
+
+    fn persist_head(&self, head: usize) -> Result<()> {
+        self.nvm.write(0, &(head as u64).to_le_bytes(), AccessPattern::Random)?;
+        self.nvm.persist(0, 8)?;
+        Ok(())
+    }
+
+    /// Append a record; durable when this returns (the paper's synchronous
+    /// NVM persistence commit path). Returns the record's LSN.
+    pub fn append(&self, record: &LogRecord) -> Result<u64> {
+        let bytes = record.encode();
+        let mut state = self.state.lock();
+        if state.head + bytes.len() > self.nvm.capacity() {
+            self.drain_locked(&mut state)?;
+            if state.head + bytes.len() > self.nvm.capacity() {
+                return Err(TxnError::LogRecordTooLarge(bytes.len()));
+            }
+        }
+        let at = state.head;
+        self.nvm.write(at, &bytes, AccessPattern::Sequential)?;
+        self.nvm.persist(at, bytes.len())?;
+        state.head = at + bytes.len();
+        self.persist_head(state.head)?;
+        let lsn = self.lsn.fetch_add(bytes.len() as u64, Ordering::AcqRel);
+        if state.head >= self.drain_at {
+            self.drain_locked(&mut state)?;
+        }
+        Ok(lsn)
+    }
+
+    /// Move the NVM buffer's contents to the SSD log file and recycle it.
+    fn drain_locked(&self, state: &mut WalState) -> Result<()> {
+        let live = state.head - DATA_BASE;
+        if live == 0 {
+            return Ok(());
+        }
+        let mut buf = vec![0u8; live];
+        self.nvm.read(DATA_BASE, &mut buf, AccessPattern::Sequential)?;
+        // Append as page-sized chunks. Each file page starts with a 4-byte
+        // valid-length header so partial pages from different drains can be
+        // stitched back into one record stream.
+        for chunk in buf.chunks(self.page_size - 4) {
+            let mut page = vec![0u8; self.page_size];
+            page[..4].copy_from_slice(&(chunk.len() as u32).to_le_bytes());
+            page[4..4 + chunk.len()].copy_from_slice(chunk);
+            let pid = self.next_file_page.fetch_add(1, Ordering::AcqRel);
+            self.file.append_page(pid, &page)?;
+        }
+        state.head = DATA_BASE;
+        self.persist_head(DATA_BASE)?;
+        Ok(())
+    }
+
+    /// Force the NVM buffer into the log file (checkpoint, shutdown).
+    pub fn drain(&self) -> Result<()> {
+        let mut state = self.state.lock();
+        self.drain_locked(&mut state)
+    }
+
+    /// Truncate the log after a checkpoint: everything before the
+    /// checkpoint record is obsolete.
+    pub fn truncate(&self) -> Result<()> {
+        let mut state = self.state.lock();
+        // Recycle the SSD file by restarting the page sequence.
+        self.next_file_page.store(0, Ordering::Release);
+        state.head = DATA_BASE;
+        self.persist_head(DATA_BASE)?;
+        Ok(())
+    }
+
+    /// Simulate power loss on the log devices (volatile caches dropped).
+    pub fn simulate_crash(&self) {
+        self.nvm.simulate_crash();
+    }
+
+    /// Read the full log back: SSD file pages in order, then the live
+    /// region of the (persistent) NVM buffer, decoded until the first
+    /// invalid frame per region. Used by recovery.
+    pub fn read_all(&self) -> Result<Vec<LogRecord>> {
+        let mut records = Vec::new();
+        // SSD file portion. Pages are contiguous records chunked at page
+        // boundaries, so reassemble the byte stream first.
+        let n_pages = self.next_file_page.load(Ordering::Acquire);
+        let mut stream = Vec::with_capacity((n_pages as usize) * self.page_size);
+        let mut page = vec![0u8; self.page_size];
+        for pid in 0..n_pages {
+            self.file.read_page(pid, &mut page)?;
+            let valid = u32::from_le_bytes(page[..4].try_into().expect("4 bytes")) as usize;
+            let valid = valid.min(self.page_size - 4);
+            stream.extend_from_slice(&page[4..4 + valid]);
+        }
+        decode_stream(&stream, &mut records);
+        // NVM buffer portion: head offset is persistent.
+        let mut head_bytes = [0u8; 8];
+        self.nvm.read(0, &mut head_bytes, AccessPattern::Random)?;
+        let head = (u64::from_le_bytes(head_bytes) as usize)
+            .clamp(DATA_BASE, self.nvm.capacity());
+        if head > DATA_BASE {
+            let mut buf = vec![0u8; head - DATA_BASE];
+            self.nvm.read(DATA_BASE, &mut buf, AccessPattern::Sequential)?;
+            decode_stream(&buf, &mut records);
+        }
+        Ok(records)
+    }
+
+    /// Bytes currently pending in the NVM buffer.
+    pub fn pending_bytes(&self) -> usize {
+        self.state.lock().head - DATA_BASE
+    }
+
+    /// Change the emulated-delay scale on the log devices.
+    pub fn set_time_scale(&self, scale: TimeScale) {
+        self.nvm.set_time_scale(scale);
+        self.file.set_time_scale(scale);
+    }
+
+    /// Device statistics for the NVM log buffer.
+    pub fn nvm_stats(&self) -> std::sync::Arc<spitfire_device::DeviceStats> {
+        self.nvm.stats()
+    }
+
+    /// Device statistics for the SSD log file.
+    pub fn file_stats(&self) -> std::sync::Arc<spitfire_device::DeviceStats> {
+        self.file.stats()
+    }
+}
+
+fn decode_stream(mut buf: &[u8], out: &mut Vec<LogRecord>) {
+    while let Some((rec, used)) = LogRecord::decode(buf) {
+        out.push(rec);
+        buf = &buf[used..];
+    }
+}
+
+impl std::fmt::Debug for Wal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Wal")
+            .field("pending_bytes", &self.pending_bytes())
+            .field("file_pages", &self.next_file_page.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(txn: u64, kind: RecordKind, payload: &[u8]) -> LogRecord {
+        LogRecord {
+            kind,
+            txn,
+            table: 1,
+            key: 42,
+            rid: 7,
+            prev_rid: u64::MAX,
+            prev_lsn: u64::MAX,
+            payload: payload.to_vec(),
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let r = record(9, RecordKind::Update, b"hello world");
+        let bytes = r.encode();
+        let (decoded, used) = LogRecord::decode(&bytes).unwrap();
+        assert_eq!(used, bytes.len());
+        assert_eq!(decoded, r);
+    }
+
+    #[test]
+    fn corrupt_frames_are_rejected() {
+        let r = record(9, RecordKind::Commit, b"x");
+        let mut bytes = r.encode();
+        bytes[20] ^= 0xFF;
+        assert!(LogRecord::decode(&bytes).is_none());
+        // Truncated frame.
+        let bytes = r.encode();
+        assert!(LogRecord::decode(&bytes[..bytes.len() - 1]).is_none());
+        // Empty/zero region (the padding case).
+        assert!(LogRecord::decode(&[0u8; 128]).is_none());
+    }
+
+    fn wal() -> Wal {
+        Wal::new(8192, 1024, TimeScale::ZERO, PersistenceTracking::Full).unwrap()
+    }
+
+    #[test]
+    fn append_and_read_back() {
+        let w = wal();
+        let mut expect = Vec::new();
+        for i in 0..10u64 {
+            let r = record(i, RecordKind::Update, &[i as u8; 33]);
+            w.append(&r).unwrap();
+            expect.push(r);
+        }
+        assert_eq!(w.read_all().unwrap(), expect);
+    }
+
+    #[test]
+    fn drain_moves_records_to_file_and_preserves_order() {
+        let w = wal();
+        let mut expect = Vec::new();
+        for i in 0..8u64 {
+            let r = record(i, RecordKind::Insert, &[0xAB; 100]);
+            w.append(&r).unwrap();
+            expect.push(r);
+        }
+        w.drain().unwrap();
+        assert_eq!(w.pending_bytes(), 0);
+        // More records after the drain land in the NVM buffer.
+        let r = record(99, RecordKind::Commit, &[]);
+        w.append(&r).unwrap();
+        expect.push(r);
+        assert_eq!(w.read_all().unwrap(), expect);
+    }
+
+    #[test]
+    fn auto_drain_when_threshold_reached() {
+        let w = wal();
+        // Each record ~ 564 bytes; the 8 KB buffer drains automatically.
+        for i in 0..40u64 {
+            w.append(&record(i, RecordKind::Update, &[1u8; 500])).unwrap();
+        }
+        assert_eq!(w.read_all().unwrap().len(), 40);
+        assert!(w.pending_bytes() < 8192);
+    }
+
+    #[test]
+    fn unpersisted_tail_lost_on_crash_but_persisted_survives() {
+        let w = wal();
+        for i in 0..5u64 {
+            w.append(&record(i, RecordKind::Update, b"durable")).unwrap();
+        }
+        // Crash: appended records were persisted record-by-record.
+        w.simulate_crash();
+        let recovered = w.read_all().unwrap();
+        assert_eq!(recovered.len(), 5);
+        assert!(recovered.iter().all(|r| r.payload == b"durable"));
+    }
+
+    #[test]
+    fn truncate_empties_the_log() {
+        let w = wal();
+        for i in 0..5u64 {
+            w.append(&record(i, RecordKind::Update, b"old")).unwrap();
+        }
+        w.drain().unwrap();
+        w.truncate().unwrap();
+        assert!(w.read_all().unwrap().is_empty());
+        w.append(&record(77, RecordKind::Update, b"new")).unwrap();
+        let recs = w.read_all().unwrap();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].txn, 77);
+    }
+
+    #[test]
+    fn oversized_record_is_rejected() {
+        let w = wal();
+        let r = record(1, RecordKind::Update, &vec![0u8; 10_000]);
+        assert!(matches!(w.append(&r), Err(TxnError::LogRecordTooLarge(_))));
+    }
+
+    #[test]
+    fn concurrent_appends_are_all_recovered() {
+        use std::sync::Arc;
+        let w = Arc::new(Wal::new(1 << 20, 4096, TimeScale::ZERO, PersistenceTracking::Full).unwrap());
+        let handles: Vec<_> = (0..4u64)
+            .map(|t| {
+                let w = Arc::clone(&w);
+                std::thread::spawn(move || {
+                    for i in 0..100 {
+                        w.append(&record(t * 1000 + i, RecordKind::Update, &[t as u8; 64]))
+                            .unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let recs = w.read_all().unwrap();
+        assert_eq!(recs.len(), 400);
+        // Per-thread order must be preserved.
+        for t in 0..4u64 {
+            let txns: Vec<u64> =
+                recs.iter().map(|r| r.txn).filter(|x| x / 1000 == t).collect();
+            assert!(txns.windows(2).all(|w| w[0] < w[1]), "thread {t} out of order");
+        }
+    }
+}

@@ -1,0 +1,365 @@
+//! End-to-end tests for the transactional database: MVTO semantics,
+//! commit durability, abort rollback, crash recovery.
+
+use std::sync::Arc;
+
+use spitfire_core::{BufferManager, BufferManagerConfig, MigrationPolicy};
+use spitfire_device::{PersistenceTracking, TimeScale};
+use spitfire_txn::{Database, DbConfig, TxnError};
+
+const PAGE: usize = 1024;
+const T: u32 = 1;
+const TUPLE: usize = 100;
+
+fn database() -> Database {
+    let config = BufferManagerConfig::builder()
+        .page_size(PAGE)
+        .dram_capacity(64 * PAGE)
+        .nvm_capacity(256 * (PAGE + 64))
+        .policy(MigrationPolicy::lazy())
+        .persistence(PersistenceTracking::Full)
+        .time_scale(TimeScale::ZERO)
+        .build()
+        .unwrap();
+    let bm = Arc::new(BufferManager::new(config).unwrap());
+    let db = Database::create(
+        bm,
+        DbConfig { log_tracking: PersistenceTracking::Full, ..DbConfig::default() },
+    )
+    .unwrap();
+    db.create_table(T, TUPLE).unwrap();
+    db
+}
+
+fn tuple(b: u8) -> Vec<u8> {
+    vec![b; TUPLE]
+}
+
+#[test]
+fn insert_commit_read() {
+    let db = database();
+    let mut t1 = db.begin();
+    db.insert(&mut t1, T, 1, &tuple(0xAA)).unwrap();
+    db.insert(&mut t1, T, 2, &tuple(0xBB)).unwrap();
+    // Own writes visible before commit.
+    assert_eq!(db.read(&t1, T, 1).unwrap(), tuple(0xAA));
+    db.commit(&mut t1).unwrap();
+
+    let t2 = db.begin();
+    assert_eq!(db.read(&t2, T, 1).unwrap(), tuple(0xAA));
+    assert_eq!(db.read(&t2, T, 2).unwrap(), tuple(0xBB));
+    assert_eq!(db.read(&t2, T, 3).unwrap_err(), TxnError::NotFound);
+}
+
+#[test]
+fn uncommitted_writes_invisible_to_others() {
+    let db = database();
+    let mut t1 = db.begin();
+    db.insert(&mut t1, T, 1, &tuple(1)).unwrap();
+    db.commit(&mut t1).unwrap();
+
+    let mut t2 = db.begin();
+    db.update(&mut t2, T, 1, &tuple(2)).unwrap();
+    // A later reader sees the old committed version, not t2's pending one.
+    let t3 = db.begin();
+    assert_eq!(db.read(&t3, T, 1).unwrap(), tuple(1));
+    db.commit(&mut t2).unwrap_err(); // t3 (later ts) read the old version
+    // After t2's failed commit (conflict -> rollback), value stays 1.
+    let t4 = db.begin();
+    assert_eq!(db.read(&t4, T, 1).unwrap(), tuple(1));
+}
+
+#[test]
+fn update_chain_visibility_by_timestamp() {
+    let db = database();
+    let mut t1 = db.begin();
+    db.insert(&mut t1, T, 5, &tuple(10)).unwrap();
+    db.commit(&mut t1).unwrap();
+
+    // A long-running reader that started before the update.
+    let old_reader = db.begin();
+
+    let mut t2 = db.begin();
+    db.update(&mut t2, T, 5, &tuple(20)).unwrap();
+    db.commit(&mut t2).unwrap();
+
+    // The old reader still sees the first version (snapshot isolation via
+    // timestamps); a fresh reader sees the new one.
+    assert_eq!(db.read(&old_reader, T, 5).unwrap(), tuple(10));
+    let fresh = db.begin();
+    assert_eq!(db.read(&fresh, T, 5).unwrap(), tuple(20));
+}
+
+#[test]
+fn write_write_conflict_aborts_second_writer() {
+    let db = database();
+    let mut t1 = db.begin();
+    db.insert(&mut t1, T, 9, &tuple(1)).unwrap();
+    db.commit(&mut t1).unwrap();
+
+    let mut t2 = db.begin();
+    let mut t3 = db.begin();
+    db.update(&mut t2, T, 9, &tuple(2)).unwrap();
+    // t3 hits t2's uncommitted marker.
+    assert_eq!(db.update(&mut t3, T, 9, &tuple(3)).unwrap_err(), TxnError::Conflict);
+    db.abort(&mut t3).unwrap();
+    db.commit(&mut t2).unwrap();
+    let t4 = db.begin();
+    assert_eq!(db.read(&t4, T, 9).unwrap(), tuple(2));
+}
+
+#[test]
+fn stale_writer_rejected_by_read_timestamp() {
+    let db = database();
+    let mut t1 = db.begin();
+    db.insert(&mut t1, T, 3, &tuple(1)).unwrap();
+    db.commit(&mut t1).unwrap();
+
+    let mut old_writer = db.begin(); // earlier timestamp
+    let newer_reader = db.begin(); // later timestamp
+    assert_eq!(db.read(&newer_reader, T, 3).unwrap(), tuple(1));
+    // The version was read at a later timestamp; the older writer cannot
+    // supersede it without violating timestamp order.
+    assert_eq!(db.update(&mut old_writer, T, 3, &tuple(2)).unwrap_err(), TxnError::Conflict);
+    db.abort(&mut old_writer).unwrap();
+}
+
+#[test]
+fn abort_rolls_back_inserts_and_updates() {
+    let db = database();
+    let mut t1 = db.begin();
+    db.insert(&mut t1, T, 1, &tuple(1)).unwrap();
+    db.commit(&mut t1).unwrap();
+
+    let mut t2 = db.begin();
+    db.update(&mut t2, T, 1, &tuple(99)).unwrap();
+    db.insert(&mut t2, T, 2, &tuple(98)).unwrap();
+    db.abort(&mut t2).unwrap();
+
+    let t3 = db.begin();
+    assert_eq!(db.read(&t3, T, 1).unwrap(), tuple(1));
+    assert_eq!(db.read(&t3, T, 2).unwrap_err(), TxnError::NotFound);
+    // The key can be re-inserted after the abort.
+    let mut t4 = db.begin();
+    db.insert(&mut t4, T, 2, &tuple(50)).unwrap();
+    db.commit(&mut t4).unwrap();
+}
+
+#[test]
+fn duplicate_insert_rejected() {
+    let db = database();
+    let mut t1 = db.begin();
+    db.insert(&mut t1, T, 7, &tuple(1)).unwrap();
+    db.commit(&mut t1).unwrap();
+    let mut t2 = db.begin();
+    assert_eq!(db.insert(&mut t2, T, 7, &tuple(2)).unwrap_err(), TxnError::Duplicate);
+    db.abort(&mut t2).unwrap();
+}
+
+#[test]
+fn finished_transactions_are_inert() {
+    let db = database();
+    let mut t1 = db.begin();
+    db.insert(&mut t1, T, 1, &tuple(1)).unwrap();
+    db.commit(&mut t1).unwrap();
+    assert_eq!(db.commit(&mut t1).unwrap_err(), TxnError::InactiveTransaction);
+    assert_eq!(db.read(&t1, T, 1).unwrap_err(), TxnError::InactiveTransaction);
+    let mut t2 = db.begin();
+    assert_eq!(db.update(&mut t1, T, 1, &tuple(2)).unwrap_err(), TxnError::InactiveTransaction);
+    db.abort(&mut t2).unwrap();
+    assert_eq!(db.abort(&mut t2).unwrap_err(), TxnError::InactiveTransaction);
+}
+
+#[test]
+fn scan_returns_visible_committed_tuples() {
+    let db = database();
+    let mut t1 = db.begin();
+    for k in (10..40).step_by(3) {
+        db.insert(&mut t1, T, k, &tuple(k as u8)).unwrap();
+    }
+    db.commit(&mut t1).unwrap();
+    // An uncommitted insert must not appear in others' scans.
+    let mut t2 = db.begin();
+    db.insert(&mut t2, T, 11, &tuple(0xEE)).unwrap();
+
+    let t3 = db.begin();
+    let hits = db.scan(&t3, T, 10, 5).unwrap();
+    assert_eq!(
+        hits.iter().map(|(k, _)| *k).collect::<Vec<_>>(),
+        vec![10, 13, 16, 19, 22]
+    );
+    assert_eq!(hits[0].1, tuple(10));
+    db.abort(&mut t2).unwrap();
+}
+
+#[test]
+fn committed_transactions_survive_crash() {
+    let db = database();
+    let mut t1 = db.begin();
+    for k in 0..20u64 {
+        db.insert(&mut t1, T, k, &tuple(k as u8)).unwrap();
+    }
+    db.commit(&mut t1).unwrap();
+    let mut t2 = db.begin();
+    db.update(&mut t2, T, 3, &tuple(0xC3)).unwrap();
+    db.commit(&mut t2).unwrap();
+
+    db.simulate_crash();
+    let stats = db.recover().unwrap();
+    assert_eq!(stats.committed, 2);
+    assert_eq!(stats.losers, 0);
+    assert_eq!(stats.redone, 21);
+
+    let t = db.begin();
+    for k in 0..20u64 {
+        let want = if k == 3 { tuple(0xC3) } else { tuple(k as u8) };
+        assert_eq!(db.read(&t, T, k).unwrap(), want, "key {k}");
+    }
+}
+
+#[test]
+fn uncommitted_transactions_are_undone_by_recovery() {
+    let db = database();
+    let mut t1 = db.begin();
+    db.insert(&mut t1, T, 1, &tuple(1)).unwrap();
+    db.commit(&mut t1).unwrap();
+
+    // In-flight at crash time: never committed.
+    let mut t2 = db.begin();
+    db.update(&mut t2, T, 1, &tuple(0xBA)).unwrap();
+    db.insert(&mut t2, T, 2, &tuple(0xBB)).unwrap();
+
+    db.simulate_crash();
+    let stats = db.recover().unwrap();
+    assert_eq!(stats.committed, 1);
+    assert_eq!(stats.losers, 1);
+    assert_eq!(stats.undone, 2);
+
+    let t = db.begin();
+    assert_eq!(db.read(&t, T, 1).unwrap(), tuple(1), "loser update rolled back");
+    assert_eq!(db.read(&t, T, 2).unwrap_err(), TxnError::NotFound, "loser insert gone");
+}
+
+#[test]
+fn recovery_after_checkpoint_replays_only_the_tail() {
+    let db = database();
+    let mut t1 = db.begin();
+    for k in 0..10u64 {
+        db.insert(&mut t1, T, k, &tuple(k as u8)).unwrap();
+    }
+    db.commit(&mut t1).unwrap();
+    db.checkpoint().unwrap();
+
+    let mut t2 = db.begin();
+    db.update(&mut t2, T, 5, &tuple(0x55)).unwrap();
+    db.commit(&mut t2).unwrap();
+
+    db.simulate_crash();
+    let stats = db.recover().unwrap();
+    // Only the post-checkpoint transaction is in the log.
+    assert_eq!(stats.committed, 1);
+    assert_eq!(stats.redone, 1);
+
+    let t = db.begin();
+    for k in 0..10u64 {
+        let want = if k == 5 { tuple(0x55) } else { tuple(k as u8) };
+        assert_eq!(db.read(&t, T, k).unwrap(), want, "key {k}");
+    }
+}
+
+#[test]
+fn repeated_crash_recover_cycles_are_stable() {
+    let db = database();
+    let mut expected: Vec<(u64, u8)> = Vec::new();
+    for round in 0..4u8 {
+        let mut t = db.begin();
+        let k = round as u64;
+        db.insert(&mut t, T, 100 + k, &tuple(round)).unwrap();
+        db.commit(&mut t).unwrap();
+        expected.push((100 + k, round));
+        db.simulate_crash();
+        db.recover().unwrap();
+        let t = db.begin();
+        for (key, b) in &expected {
+            assert_eq!(db.read(&t, T, *key).unwrap(), tuple(*b), "round {round} key {key}");
+        }
+    }
+}
+
+#[test]
+fn concurrent_transfer_invariant() {
+    // Bank transfers between 8 accounts: total balance is conserved under
+    // concurrent conflicting transactions.
+    let db = Arc::new(database());
+    const ACCOUNTS: u64 = 8;
+    const INITIAL: u64 = 1000;
+    {
+        let mut t = db.begin();
+        for a in 0..ACCOUNTS {
+            let mut payload = tuple(0);
+            payload[..8].copy_from_slice(&INITIAL.to_le_bytes());
+            db.insert(&mut t, T, a, &payload).unwrap();
+        }
+        db.commit(&mut t).unwrap();
+    }
+    let handles: Vec<_> = (0..4u64)
+        .map(|tid| {
+            let db = Arc::clone(&db);
+            std::thread::spawn(move || {
+                let mut committed = 0u64;
+                let mut x = tid + 1;
+                for _ in 0..200 {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    let from = x % ACCOUNTS;
+                    let to = (x >> 8) % ACCOUNTS;
+                    if from == to {
+                        continue;
+                    }
+                    let mut t = db.begin();
+                    let result = (|| -> Result<(), TxnError> {
+                        let src = db.read(&t, T, from)?;
+                        let dst = db.read(&t, T, to)?;
+                        let mut s = u64::from_le_bytes(src[..8].try_into().unwrap());
+                        let mut d = u64::from_le_bytes(dst[..8].try_into().unwrap());
+                        if s == 0 {
+                            return Ok(());
+                        }
+                        s -= 1;
+                        d += 1;
+                        let mut sp = tuple(0);
+                        sp[..8].copy_from_slice(&s.to_le_bytes());
+                        let mut dp = tuple(0);
+                        dp[..8].copy_from_slice(&d.to_le_bytes());
+                        db.update(&mut t, T, from, &sp)?;
+                        db.update(&mut t, T, to, &dp)?;
+                        Ok(())
+                    })();
+                    match result {
+                        Ok(()) => {
+                            if db.commit(&mut t).is_ok() {
+                                committed += 1;
+                            }
+                        }
+                        Err(_) => {
+                            let _ = db.abort(&mut t);
+                        }
+                    }
+                }
+                committed
+            })
+        })
+        .collect();
+    let committed: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+    assert!(committed > 0, "some transfers must commit");
+    // Conservation check.
+    let t = db.begin();
+    let total: u64 = (0..ACCOUNTS)
+        .map(|a| {
+            let p = db.read(&t, T, a).unwrap();
+            u64::from_le_bytes(p[..8].try_into().unwrap())
+        })
+        .sum();
+    assert_eq!(total, ACCOUNTS * INITIAL, "balance must be conserved");
+}

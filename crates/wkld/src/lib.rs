@@ -1,0 +1,24 @@
+//! Benchmark workloads for Spitfire (paper §6.1): YCSB and TPC-C, plus a
+//! multi-threaded runner with warm-up, timed windows, and epoch sampling.
+//!
+//! * [`ycsb`] — the key-value workload (Zipfian keys, 1 KB tuples, three
+//!   read/update mixes), with both a buffer-manager-level driver
+//!   ([`ycsb::RawYcsb`], measuring "buffer manager operations per second"
+//!   as in §6.3) and a full transactional driver ([`ycsb::YcsbTxn`]).
+//! * [`tpcc`] — the order-entry benchmark: nine tables, five transaction
+//!   types in the standard mix (88 % of transactions modify data).
+//! * [`zipf`] — the Zipfian key-distribution sampler both drivers share.
+//! * [`runner`] — spawn N workers, warm up, measure, sample epochs.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod runner;
+pub mod tpcc;
+pub mod ycsb;
+pub mod zipf;
+
+pub use runner::{run_epochs, run_workload, EpochSample, RunReport, RunnerConfig};
+pub use tpcc::{Tpcc, TpccConfig};
+pub use ycsb::{RawYcsb, YcsbConfig, YcsbMix, YcsbTxn};
+pub use zipf::{ScrambledZipf, Zipf};

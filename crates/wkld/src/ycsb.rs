@@ -1,0 +1,307 @@
+//! YCSB workload (paper §6.1).
+//!
+//! One table of ~1 KB tuples (4 B key + ten 100 B string columns) accessed
+//! by Zipfian-distributed keys. Two transaction types — point read and
+//! point update — mixed as:
+//!
+//! * **YCSB-RO**: 100 % reads
+//! * **YCSB-BA**: 50 % reads / 50 % updates
+//! * **YCSB-WH**: 10 % reads / 90 % updates
+//!
+//! Two drivers are provided:
+//!
+//! * [`RawYcsb`] issues page-level operations straight against the buffer
+//!   manager (a fixed key → (page, slot) mapping, no index/transactions) —
+//!   this measures "buffer manager operations per second", the metric the
+//!   paper's §6.3 policy experiments report.
+//! * [`YcsbTxn`] drives the full transactional stack (B+Tree index, MVTO,
+//!   WAL) for the end-to-end experiments.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+use spitfire_core::{AccessIntent, BufferManager, PageId};
+use spitfire_txn::{Database, TxnError};
+
+use crate::zipf::ScrambledZipf;
+
+/// YCSB tuple size: 4 B key padded + 10 columns × 100 B ≈ 1 KB.
+pub const YCSB_TUPLE: usize = 1000;
+
+/// Read/update mix (paper §6.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum YcsbMix {
+    /// 100 % reads.
+    ReadOnly,
+    /// 50 % reads, 50 % updates.
+    Balanced,
+    /// 10 % reads, 90 % updates.
+    WriteHeavy,
+}
+
+impl YcsbMix {
+    /// Fraction of operations that are updates.
+    pub fn update_fraction(self) -> f64 {
+        match self {
+            YcsbMix::ReadOnly => 0.0,
+            YcsbMix::Balanced => 0.5,
+            YcsbMix::WriteHeavy => 0.9,
+        }
+    }
+
+    /// Label used in experiment output ("YCSB-RO" etc.).
+    pub fn label(self) -> &'static str {
+        match self {
+            YcsbMix::ReadOnly => "YCSB-RO",
+            YcsbMix::Balanced => "YCSB-BA",
+            YcsbMix::WriteHeavy => "YCSB-WH",
+        }
+    }
+}
+
+/// YCSB parameters.
+#[derive(Debug, Clone)]
+pub struct YcsbConfig {
+    /// Number of tuples in the table.
+    pub records: u64,
+    /// Zipfian skew (`0.3` in §6.3, `0.5` in §6.6).
+    pub theta: f64,
+    /// Operation mix.
+    pub mix: YcsbMix,
+}
+
+impl Default for YcsbConfig {
+    fn default() -> Self {
+        YcsbConfig { records: 10_000, theta: 0.3, mix: YcsbMix::Balanced }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Raw buffer-manager driver
+// ---------------------------------------------------------------------
+
+/// Buffer-manager-level YCSB: tuples at fixed (page, slot) locations.
+pub struct RawYcsb {
+    config: YcsbConfig,
+    zipf: ScrambledZipf,
+    pages: Vec<PageId>,
+    tuples_per_page: usize,
+}
+
+impl RawYcsb {
+    /// Allocate and zero-fill the table on `bm`.
+    pub fn setup(bm: &BufferManager, config: YcsbConfig) -> spitfire_core::Result<Self> {
+        let tuples_per_page = bm.page_size() / YCSB_TUPLE;
+        assert!(tuples_per_page > 0, "page smaller than a YCSB tuple");
+        let n_pages = (config.records as usize).div_ceil(tuples_per_page);
+        let mut pages = Vec::with_capacity(n_pages);
+        for _ in 0..n_pages {
+            pages.push(bm.allocate_page()?);
+        }
+        let zipf = ScrambledZipf::new(config.records, config.theta);
+        Ok(RawYcsb { config, zipf, pages, tuples_per_page })
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &YcsbConfig {
+        &self.config
+    }
+
+    /// Number of data pages.
+    pub fn n_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    fn locate(&self, key: u64) -> (PageId, usize) {
+        let page = (key / self.tuples_per_page as u64) as usize;
+        let slot = (key % self.tuples_per_page as u64) as usize;
+        (self.pages[page], slot * YCSB_TUPLE)
+    }
+
+    /// Execute one operation (read or update of one tuple) against `bm`.
+    /// Returns `true` (raw operations never abort).
+    pub fn execute(&self, bm: &BufferManager, rng: &mut SmallRng) -> spitfire_core::Result<bool> {
+        let key = self.zipf.sample(rng);
+        let (pid, offset) = self.locate(key);
+        let is_update = rng.gen::<f64>() < self.config.mix.update_fraction();
+        if is_update {
+            let guard = bm.fetch(pid, AccessIntent::Write)?;
+            let payload = [rng.gen::<u8>(); 64];
+            // Update one 100 B column region (64 B write within it mirrors
+            // a column overwrite without building the full tuple).
+            let column = (key as usize % 10) * 100;
+            guard.write(offset + column.min(YCSB_TUPLE - 64), &payload)?;
+        } else {
+            let guard = bm.fetch(pid, AccessIntent::Read)?;
+            let mut buf = [0u8; YCSB_TUPLE];
+            guard.read(offset, &mut buf)?;
+            std::hint::black_box(&buf);
+        }
+        Ok(true)
+    }
+
+    /// Warm the buffers with one sequential pass over the table.
+    pub fn warmup(&self, bm: &BufferManager) -> spitfire_core::Result<()> {
+        let mut buf = [0u8; YCSB_TUPLE];
+        for pid in &self.pages {
+            let guard = bm.fetch(*pid, AccessIntent::Read)?;
+            guard.read(0, &mut buf)?;
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for RawYcsb {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RawYcsb")
+            .field("records", &self.config.records)
+            .field("mix", &self.config.mix.label())
+            .finish_non_exhaustive()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Transactional driver
+// ---------------------------------------------------------------------
+
+/// Table id used by the transactional YCSB driver.
+pub const YCSB_TABLE: u32 = 100;
+
+/// Full-stack YCSB over [`Database`] (index + MVTO + WAL).
+pub struct YcsbTxn {
+    config: YcsbConfig,
+    zipf: ScrambledZipf,
+}
+
+impl YcsbTxn {
+    /// Create the YCSB table and load `records` tuples.
+    pub fn setup(db: &Database, config: YcsbConfig) -> spitfire_txn::Result<Self> {
+        db.create_table(YCSB_TABLE, YCSB_TUPLE)?;
+        let mut payload = vec![0u8; YCSB_TUPLE];
+        const BATCH: u64 = 256;
+        let mut key = 0;
+        while key < config.records {
+            let mut txn = db.begin();
+            let end = (key + BATCH).min(config.records);
+            for k in key..end {
+                payload[..8].copy_from_slice(&k.to_le_bytes());
+                db.insert(&mut txn, YCSB_TABLE, k, &payload)?;
+            }
+            db.commit(&mut txn)?;
+            key = end;
+        }
+        let zipf = ScrambledZipf::new(config.records, config.theta);
+        Ok(YcsbTxn { config, zipf })
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &YcsbConfig {
+        &self.config
+    }
+
+    /// Execute one single-operation transaction. Returns `true` if it
+    /// committed (conflicts abort and count as `false`).
+    pub fn execute(&self, db: &Database, rng: &mut SmallRng) -> spitfire_txn::Result<bool> {
+        let key = self.zipf.sample(rng);
+        let is_update = rng.gen::<f64>() < self.config.mix.update_fraction();
+        let mut txn = db.begin();
+        let outcome = if is_update {
+            let mut payload = vec![0u8; YCSB_TUPLE];
+            payload[..8].copy_from_slice(&key.to_le_bytes());
+            payload[8] = rng.gen();
+            db.update(&mut txn, YCSB_TABLE, key, &payload)
+        } else {
+            let mut buf = vec![0u8; YCSB_TUPLE];
+            db.read_into(&txn, YCSB_TABLE, key, &mut buf).map(|()| {
+                std::hint::black_box(&buf);
+            })
+        };
+        match outcome {
+            Ok(()) => match db.commit(&mut txn) {
+                Ok(()) => Ok(true),
+                Err(TxnError::Conflict) => Ok(false),
+                Err(e) => Err(e),
+            },
+            Err(TxnError::Conflict) => {
+                db.abort(&mut txn)?;
+                Ok(false)
+            }
+            Err(e) => Err(e),
+        }
+    }
+}
+
+impl std::fmt::Debug for YcsbTxn {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("YcsbTxn")
+            .field("records", &self.config.records)
+            .field("mix", &self.config.mix.label())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use spitfire_core::BufferManagerConfig;
+    use spitfire_device::TimeScale;
+    use std::sync::Arc;
+
+    fn bm() -> Arc<BufferManager> {
+        let config = BufferManagerConfig::builder()
+            .page_size(4096)
+            .dram_capacity(16 * 4096)
+            .nvm_capacity(64 * (4096 + 64))
+            .time_scale(TimeScale::ZERO)
+            .build()
+            .unwrap();
+        Arc::new(BufferManager::new(config).unwrap())
+    }
+
+    #[test]
+    fn raw_ycsb_runs_all_mixes() {
+        for mix in [YcsbMix::ReadOnly, YcsbMix::Balanced, YcsbMix::WriteHeavy] {
+            let bm = bm();
+            let w = RawYcsb::setup(&bm, YcsbConfig { records: 500, theta: 0.3, mix }).unwrap();
+            assert_eq!(w.n_pages(), 125); // 4 tuples per 4 KB page
+            w.warmup(&bm).unwrap();
+            let mut rng = SmallRng::seed_from_u64(1);
+            for _ in 0..500 {
+                assert!(w.execute(&bm, &mut rng).unwrap());
+            }
+            let m = bm.metrics();
+            assert!(m.total_requests() >= 500);
+        }
+    }
+
+    #[test]
+    fn txn_ycsb_reads_see_loaded_tuples() {
+        let bm = bm();
+        let db = Database::create(Arc::clone(&bm), spitfire_txn::DbConfig::default()).unwrap();
+        let w = YcsbTxn::setup(
+            &db,
+            YcsbConfig { records: 200, theta: 0.3, mix: YcsbMix::Balanced },
+        )
+        .unwrap();
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut committed = 0;
+        for _ in 0..300 {
+            if w.execute(&db, &mut rng).unwrap() {
+                committed += 1;
+            }
+        }
+        assert!(committed > 250, "most single-op txns commit, got {committed}");
+        // Loaded keys are readable.
+        let t = db.begin();
+        let v = db.read(&t, YCSB_TABLE, 7).unwrap();
+        assert_eq!(u64::from_le_bytes(v[..8].try_into().unwrap()), 7);
+    }
+
+    #[test]
+    fn mix_fractions_match_labels() {
+        assert_eq!(YcsbMix::ReadOnly.update_fraction(), 0.0);
+        assert_eq!(YcsbMix::Balanced.update_fraction(), 0.5);
+        assert_eq!(YcsbMix::WriteHeavy.update_fraction(), 0.9);
+        assert_eq!(YcsbMix::WriteHeavy.label(), "YCSB-WH");
+    }
+}

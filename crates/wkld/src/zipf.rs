@@ -1,0 +1,197 @@
+//! Zipfian key distribution (Gray et al., "Quickly generating
+//! billion-record synthetic databases" — the paper's [14]).
+//!
+//! YCSB accesses keys with a Zipfian skew; the paper uses `z = 0.3` for
+//! the policy experiments (§6.1) and `z = 0.5` for the storage-design grid
+//! (§6.6).
+
+use rand::Rng;
+
+/// Zipfian sampler over `[0, n)` with exponent `theta`.
+///
+/// `theta = 0` degenerates to uniform; larger values skew harder. The
+/// sampler uses the closed-form approximation from Gray et al., with the
+/// harmonic normalizer computed once at construction (O(n), done at setup
+/// time only).
+///
+/// ```
+/// use rand::SeedableRng;
+/// use spitfire_wkld::Zipf;
+/// let z = Zipf::new(1000, 0.3); // the paper's YCSB skew
+/// let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+/// let rank = z.sample(&mut rng);
+/// assert!(rank < 1000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+    zeta2: f64,
+}
+
+impl Zipf {
+    /// A sampler over `[0, n)` with skew `theta ∈ [0, 1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `theta` is not in `[0, 1)`.
+    pub fn new(n: u64, theta: f64) -> Self {
+        assert!(n > 0, "population must be non-empty");
+        assert!((0.0..1.0).contains(&theta), "theta must be in [0, 1), got {theta}");
+        let zetan = Self::zeta(n, theta);
+        let zeta2 = Self::zeta(2.min(n), theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        Zipf { n, theta, alpha, zetan, eta, zeta2: zeta2 }
+    }
+
+    fn zeta(n: u64, theta: f64) -> f64 {
+        (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+    }
+
+    /// Population size.
+    pub fn population(&self) -> u64 {
+        self.n
+    }
+
+    /// Skew exponent.
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    /// Draw a rank in `[0, n)`; rank 0 is the hottest.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let u: f64 = rng.gen();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let rank = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        rank.min(self.n - 1)
+    }
+
+    /// The second-order zeta constant (exposed for tests).
+    #[doc(hidden)]
+    pub fn zeta2(&self) -> f64 {
+        self.zeta2
+    }
+}
+
+/// Scrambled Zipfian: Zipfian ranks spread over the key space by a
+/// multiplicative hash so that hot keys are not clustered on adjacent
+/// pages (the YCSB default behaviour).
+#[derive(Debug, Clone)]
+pub struct ScrambledZipf {
+    inner: Zipf,
+}
+
+impl ScrambledZipf {
+    /// A scrambled sampler over `[0, n)`.
+    pub fn new(n: u64, theta: f64) -> Self {
+        ScrambledZipf { inner: Zipf::new(n, theta) }
+    }
+
+    /// Draw a key in `[0, n)`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let rank = self.inner.sample(rng);
+        // Fibonacci scrambling, reduced into the population.
+        rank.wrapping_mul(0x9E37_79B9_7F4A_7C15) % self.inner.population()
+    }
+
+    /// Population size.
+    pub fn population(&self) -> u64 {
+        self.inner.population()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_stay_in_range() {
+        let z = Zipf::new(100, 0.5);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut rng) < 100);
+        }
+        let s = ScrambledZipf::new(1000, 0.3);
+        for _ in 0..10_000 {
+            assert!(s.sample(&mut rng) < 1000);
+        }
+    }
+
+    #[test]
+    fn skew_concentrates_on_low_ranks() {
+        let z = Zipf::new(10_000, 0.9);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut top10 = 0;
+        const N: usize = 100_000;
+        for _ in 0..N {
+            if z.sample(&mut rng) < 10 {
+                top10 += 1;
+            }
+        }
+        // With theta = 0.9 and n = 10^4 the analytic top-10 share is
+        // zeta(10, 0.9) / zeta(10^4, 0.9) ≈ 0.20.
+        let share = top10 as f64 / N as f64;
+        assert!((0.15..0.30).contains(&share), "top-10 share {share} off for theta 0.9");
+    }
+
+    #[test]
+    fn low_theta_is_nearly_uniform() {
+        let z = Zipf::new(1000, 0.01);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = vec![0u32; 1000];
+        const N: usize = 200_000;
+        for _ in 0..N {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        let hottest = *counts.iter().max().unwrap() as f64;
+        let expected = N as f64 / 1000.0;
+        assert!(hottest < expected * 3.0, "theta 0.01 should be near-uniform");
+    }
+
+    #[test]
+    fn frequency_is_monotone_in_rank() {
+        let z = Zipf::new(100, 0.6);
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut counts = vec![0u32; 100];
+        for _ in 0..300_000 {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        // Compare coarse buckets to tolerate sampling noise.
+        let first: u32 = counts[..10].iter().sum();
+        let mid: u32 = counts[45..55].iter().sum();
+        let last: u32 = counts[90..].iter().sum();
+        assert!(first > mid && mid > last, "{first} > {mid} > {last} violated");
+    }
+
+    #[test]
+    #[should_panic(expected = "theta")]
+    fn theta_one_is_rejected() {
+        Zipf::new(10, 1.0);
+    }
+
+    #[test]
+    fn scrambling_spreads_hot_keys() {
+        let s = ScrambledZipf::new(1000, 0.9);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut counts = vec![0u32; 1000];
+        for _ in 0..100_000 {
+            counts[s.sample(&mut rng) as usize] += 1;
+        }
+        // The two hottest keys must not be adjacent (scrambled).
+        let mut order: Vec<usize> = (0..1000).collect();
+        order.sort_by_key(|&i| std::cmp::Reverse(counts[i]));
+        assert!(order[0].abs_diff(order[1]) > 1, "hot keys {} and {} adjacent", order[0], order[1]);
+    }
+}

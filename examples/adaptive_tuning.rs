@@ -1,0 +1,67 @@
+//! Watch the simulated-annealing tuner (paper §4) adapt the migration
+//! policy online: start fully eager, converge toward lazy as throughput
+//! feedback arrives.
+//!
+//! ```sh
+//! cargo run --release -p spitfire-bench --example adaptive_tuning
+//! ```
+
+use std::time::Duration;
+
+use spitfire_core::adaptive::{AnnealingParams, AnnealingTuner};
+use spitfire_core::{BufferManager, BufferManagerConfig, MigrationPolicy};
+use spitfire_device::TimeScale;
+use spitfire_wkld::{run_epochs, RawYcsb, YcsbConfig, YcsbMix};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mb = 1 << 20;
+    let config = BufferManagerConfig::builder()
+        .page_size(16 * 1024)
+        .dram_capacity(2 * mb)
+        .nvm_capacity(8 * mb)
+        .policy(MigrationPolicy::eager())
+        .time_scale(TimeScale::REAL)
+        .build()?;
+    let bm = BufferManager::new(config)?;
+    let w = RawYcsb::setup(
+        &bm,
+        YcsbConfig { records: 16_000, theta: 0.3, mix: YcsbMix::ReadOnly },
+    )?;
+
+    let mut tuner = AnnealingTuner::new(MigrationPolicy::eager(), AnnealingParams::default(), 42);
+    bm.set_policy(tuner.candidate());
+    println!("epoch | policy under test                    | throughput | temperature");
+
+    let bm_ref = &bm;
+    let w_ref = &w;
+    run_epochs(
+        4,
+        11,
+        Duration::from_millis(300),
+        40,
+        |_, rng| w_ref.execute(bm_ref, rng).expect("op"),
+        |sample| {
+            println!(
+                "{:>5} | {:<37} | {:>7.0} op/s | {:.4}",
+                sample.epoch,
+                tuner.candidate().to_string(),
+                sample.throughput,
+                tuner.temperature()
+            );
+            let next = tuner.observe(sample.throughput);
+            bm_ref.set_policy(next);
+        },
+    );
+
+    let hist = tuner.history();
+    let early: f64 = hist[..10].iter().map(|e| e.throughput).sum::<f64>() / 10.0;
+    let late: f64 = hist[hist.len() - 10..].iter().map(|e| e.throughput).sum::<f64>() / 10.0;
+    println!(
+        "\nconverged on {} — first 10 epochs averaged {:.0} op/s, last 10 averaged {:.0} op/s ({:+.0}%)",
+        tuner.current(),
+        early,
+        late,
+        (late / early - 1.0) * 100.0
+    );
+    Ok(())
+}

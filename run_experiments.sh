@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Run every experiment binary (one per paper table/figure), writing tables
+# to stdout and CSVs to results/.
+#
+#   ./run_experiments.sh                 # full scale (~30-45 min)
+#   SPITFIRE_QUICK=1 ./run_experiments.sh  # smoke scale (~5 min)
+set -euo pipefail
+cd "$(dirname "$0")"
+
+cargo build --release -p spitfire-bench
+
+BINS=(
+  table1_devices
+  table2_inclusivity
+  fig5_memory_mode
+  fig6_bypass_dram
+  fig7_bypass_nvm
+  fig8_nvm_writes
+  fig9_hierarchy
+  fig10_adaptive
+  fig11_granularity
+  fig12_ablation
+  fig13_lifetime
+  fig14_grid
+  fig15_dbsize
+  ablation_endurance
+  scaling_threads
+)
+
+for bin in "${BINS[@]}"; do
+  echo
+  ./target/release/"$bin"
+done
+
+echo "All experiments complete; CSVs in results/."

@@ -1,0 +1,100 @@
+//! Smoke tests for the experiment harness plumbing: scaled-down versions
+//! of the paper's headline effects must reproduce at `TimeScale::ZERO`-free
+//! speed (tiny REAL-scale runs), so a broken cost model or policy wiring
+//! fails CI rather than silently producing flat figures.
+
+use std::sync::Arc;
+
+use spitfire_bench::{build_one_workload, runner, three_tier, ycsb_config, MB};
+use spitfire_core::{MigrationPolicy, Tier};
+use spitfire_wkld::{run_workload, RawYcsb, YcsbMix};
+
+/// These tests measure real (emulated) timing; running them concurrently
+/// on one host would distort each other's clocks, so they serialize.
+static TIMING_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+#[test]
+fn lazy_beats_eager_on_read_only_ycsb() {
+    let _serial = TIMING_LOCK.lock().unwrap();
+    // The paper's central claim (§6.3): on a three-tier hierarchy whose
+    // working set exceeds DRAM, lazy DRAM migration beats eager.
+    let w = build_one_workload("YCSB-RO", 2 * MB, 8 * MB, 16 * MB, MigrationPolicy::eager());
+    let mut cfg = runner(2);
+    cfg.warmup = std::time::Duration::from_millis(200);
+    cfg.duration = std::time::Duration::from_millis(400);
+
+    let eager = w.run_point(MigrationPolicy::eager(), 2).throughput();
+    let lazy = w.run_point(MigrationPolicy::new(0.01, 0.01, 1.0, 1.0), 2).throughput();
+    assert!(
+        lazy > eager * 1.05,
+        "lazy ({lazy:.0}) must beat eager ({eager:.0}) by a visible margin"
+    );
+}
+
+#[test]
+fn eager_nvm_admission_writes_more_to_nvm() {
+    let _serial = TIMING_LOCK.lock().unwrap();
+    // Figure 8's effect: N = 1 writes far more to NVM than N = 0.01.
+    let measure = |n: f64| {
+        let policy = MigrationPolicy::new(1.0, 1.0, n, n);
+        let w = build_one_workload("YCSB-RO", 2 * MB, 8 * MB, 16 * MB, policy);
+        let before = spitfire_bench::nvm_bytes_written(w.bm());
+        let report = w.run_point(policy, 2);
+        let written = spitfire_bench::nvm_bytes_written(w.bm()) - before;
+        written as f64 / report.committed.max(1) as f64
+    };
+    let lazy = measure(0.01);
+    let eager = measure(1.0);
+    assert!(
+        eager > lazy * 3.0,
+        "eager NVM admission ({eager:.0} B/op) must write much more than lazy ({lazy:.0} B/op)"
+    );
+}
+
+#[test]
+fn nvm_ssd_beats_dram_ssd_when_uncacheable() {
+    let _serial = TIMING_LOCK.lock().unwrap();
+    // Figure 5 / 15's crossover: equal-cost NVM-SSD wins once the database
+    // stops fitting the DRAM buffer. (NVM is ~2.2x cheaper per byte.)
+    let db_bytes = 24 * MB;
+    let dram_ssd = {
+        let bm = three_tier(4 * MB, 0, MigrationPolicy::eager());
+        let w = RawYcsb::setup(&bm, ycsb_config(db_bytes, 0.3, YcsbMix::ReadOnly)).unwrap();
+        run_workload(&runner(2), |_, rng| w.execute(&bm, rng).unwrap()).throughput()
+    };
+    let nvm_ssd = {
+        let bm = three_tier(0, 9 * MB, MigrationPolicy::lazy());
+        let w = RawYcsb::setup(&bm, ycsb_config(db_bytes, 0.3, YcsbMix::ReadOnly)).unwrap();
+        run_workload(&runner(2), |_, rng| w.execute(&bm, rng).unwrap()).throughput()
+    };
+    assert!(
+        nvm_ssd > dram_ssd,
+        "equi-cost NVM-SSD ({nvm_ssd:.0}) must beat DRAM-SSD ({dram_ssd:.0}) beyond cacheability"
+    );
+}
+
+#[test]
+fn coarse_granules_reduce_nvm_read_amplification() {
+    let _serial = TIMING_LOCK.lock().unwrap();
+    // Figure 11's effect: 64 B loads on a 256 B-granularity device amplify
+    // NVM read traffic versus 256 B loads.
+    let per_op_nvm_reads = |granule: usize| {
+        let bm = spitfire_bench::manager_with(|b| {
+            b.dram_capacity(2 * MB)
+                .nvm_capacity(8 * MB)
+                .policy(MigrationPolicy::eager())
+                .fine_grained(granule)
+        });
+        let w = RawYcsb::setup(&bm, ycsb_config(8 * MB, 0.3, YcsbMix::ReadOnly)).unwrap();
+        let report = run_workload(&runner(2), |_, rng| w.execute(&bm, rng).unwrap());
+        let reads =
+            bm.device_stats(Tier::Nvm).map(|s| s.snapshot().bytes_read).unwrap_or(0);
+        reads as f64 / report.committed.max(1) as f64
+    };
+    let fine = per_op_nvm_reads(64);
+    let matched = per_op_nvm_reads(256);
+    assert!(
+        fine > matched * 1.5,
+        "64 B loads ({fine:.0} B/op) must amplify NVM reads vs 256 B ({matched:.0} B/op)"
+    );
+}
