@@ -11,14 +11,19 @@
 
 use std::time::Duration;
 
-use spitfire_bench::{kops, nvm_bytes_written, quick, three_tier, worker_threads, ycsb_config, Reporter, MB};
+use spitfire_bench::{
+    kops, nvm_bytes_written, quick, three_tier, worker_threads, ycsb_config, Reporter, MB,
+};
 use spitfire_core::adaptive::{AnnealingParams, AnnealingTuner, CostObjective};
 use spitfire_core::MigrationPolicy;
 use spitfire_wkld::{run_epochs, RawYcsb, YcsbMix};
 
 fn main() {
-    let (dram, nvm, db) =
-        if quick() { (MB, 4 * MB, 8 * MB) } else { (2 * MB + MB / 2, 10 * MB, 20 * MB) };
+    let (dram, nvm, db) = if quick() {
+        (MB, 4 * MB, 8 * MB)
+    } else {
+        (2 * MB + MB / 2, 10 * MB, 20 * MB)
+    };
     let epochs = if quick() { 16 } else { 60 };
     let epoch_len = Duration::from_millis(if quick() { 250 } else { 500 });
     let threads = worker_threads();
@@ -46,7 +51,10 @@ fn main() {
             ..AnnealingParams::default()
         };
         let bm = three_tier(dram, nvm, MigrationPolicy::eager());
-        let w = spitfire_bench::with_fast_setup(&bm, || RawYcsb::setup(&bm, ycsb_config(db, 0.3, YcsbMix::Balanced))).expect("setup");
+        let w = spitfire_bench::with_fast_setup(&bm, || {
+            RawYcsb::setup(&bm, ycsb_config(db, 0.3, YcsbMix::Balanced))
+        })
+        .expect("setup");
         let mut tuner = AnnealingTuner::new(MigrationPolicy::eager(), params, 42);
         bm.set_policy(tuner.candidate());
 

@@ -15,8 +15,11 @@ use spitfire_core::MigrationPolicy;
 use spitfire_wkld::{run_epochs, RawYcsb, YcsbMix};
 
 fn main() {
-    let (dram, nvm, db) =
-        if quick() { (MB, 4 * MB, 8 * MB) } else { (2 * MB + MB / 2, 10 * MB, 20 * MB) };
+    let (dram, nvm, db) = if quick() {
+        (MB, 4 * MB, 8 * MB)
+    } else {
+        (2 * MB + MB / 2, 10 * MB, 20 * MB)
+    };
     let epochs = if quick() { 20 } else { 80 };
     let epoch_len = Duration::from_millis(if quick() { 250 } else { 500 });
     let threads = worker_threads();
@@ -31,7 +34,9 @@ fn main() {
 
     for mix in [YcsbMix::ReadOnly, YcsbMix::Balanced] {
         let bm = three_tier(dram, nvm, MigrationPolicy::eager());
-        let w = spitfire_bench::with_fast_setup(&bm, || RawYcsb::setup(&bm, ycsb_config(db, 0.3, mix))).expect("setup");
+        let w =
+            spitfire_bench::with_fast_setup(&bm, || RawYcsb::setup(&bm, ycsb_config(db, 0.3, mix)))
+                .expect("setup");
         let mut tuner =
             AnnealingTuner::new(MigrationPolicy::eager(), AnnealingParams::default(), 42);
         bm.set_policy(tuner.candidate());
@@ -64,9 +69,11 @@ fn main() {
         // Convergence summary: average of first vs last quarter.
         let hist = tuner.history();
         let quarter = hist.len() / 4;
-        let early: f64 =
-            hist[..quarter].iter().map(|e| e.throughput).sum::<f64>() / quarter as f64;
-        let late: f64 = hist[hist.len() - quarter..].iter().map(|e| e.throughput).sum::<f64>()
+        let early: f64 = hist[..quarter].iter().map(|e| e.throughput).sum::<f64>() / quarter as f64;
+        let late: f64 = hist[hist.len() - quarter..]
+            .iter()
+            .map(|e| e.throughput)
+            .sum::<f64>()
             / quarter as f64;
         println!(
             "   {} summary: first-quarter avg {} -> last-quarter avg {} ({:+.0}%), final policy {}",

@@ -7,13 +7,18 @@
 //! granularity — because 64 B loads suffer ~1.1× I/O amplification (the
 //! device still transfers 256 B per access).
 
-use spitfire_bench::{kops, manager_with, quick, runner, worker_threads, ycsb_config, Reporter, MB};
+use spitfire_bench::{
+    manager_with, point, quick, runner, worker_threads, ycsb_config, Reporter, MB,
+};
 use spitfire_core::MigrationPolicy;
 use spitfire_wkld::{run_workload, RawYcsb, YcsbMix};
 
 fn main() {
-    let (dram, nvm, db) =
-        if quick() { (2 * MB, 8 * MB, 6 * MB) } else { (8 * MB, 32 * MB, 20 * MB) };
+    let (dram, nvm, db) = if quick() {
+        (2 * MB, 8 * MB, 6 * MB)
+    } else {
+        (8 * MB, 32 * MB, 20 * MB)
+    };
     let threads = worker_threads();
 
     let mut r = Reporter::new(
@@ -35,17 +40,18 @@ fn main() {
                 .fine_grained(granule)
                 .mini_pages(true)
         });
-        let w = spitfire_bench::with_fast_setup(&bm, || RawYcsb::setup(&bm, ycsb_config(db, 0.3, YcsbMix::ReadOnly))).expect("setup");
-        let report = run_workload(&runner(threads), |_, rng| {
-            w.execute(&bm, rng).expect("op")
-        });
+        let w = spitfire_bench::with_fast_setup(&bm, || {
+            RawYcsb::setup(&bm, ycsb_config(db, 0.3, YcsbMix::ReadOnly))
+        })
+        .expect("setup");
+        let report = run_workload(&runner(threads), |_, rng| w.execute(&bm, rng).expect("op"));
         let nvm_read = bm
             .device_stats(spitfire_core::Tier::Nvm)
             .map(|s| s.snapshot().bytes_read)
             .unwrap_or(0);
         r.row(&[
             format!("{granule} B"),
-            format!("{} ops/s", kops(report.throughput())),
+            point(&report),
             format!("{:.0}", nvm_read as f64 / report.committed.max(1) as f64),
         ]);
     }

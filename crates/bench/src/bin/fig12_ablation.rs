@@ -12,8 +12,8 @@
 use std::sync::Arc;
 
 use spitfire_bench::{
-    database, kops, manager_with, quick, runner, tpcc_config, with_fast_db_setup,
-    with_fast_setup, worker_threads, ycsb_config, Reporter, MB,
+    database, manager_with, point, quick, runner, tpcc_config, with_fast_db_setup, with_fast_setup,
+    worker_threads, ycsb_config, Reporter, MB,
 };
 use spitfire_core::MigrationPolicy;
 use spitfire_wkld::{run_workload, RawYcsb, Tpcc, YcsbMix};
@@ -27,8 +27,11 @@ fn policies() -> [(&'static str, MigrationPolicy); 3] {
 }
 
 fn main() {
-    let (dram, nvm, db_bytes) =
-        if quick() { (2 * MB, 8 * MB, 6 * MB) } else { (8 * MB, 32 * MB, 20 * MB) };
+    let (dram, nvm, db_bytes) = if quick() {
+        (2 * MB, 8 * MB, 6 * MB)
+    } else {
+        (8 * MB, 32 * MB, 20 * MB)
+    };
     let threads = worker_threads();
 
     let mut r = Reporter::new(
@@ -51,15 +54,14 @@ fn main() {
                         _ => b,
                     }
                 });
-                let tput = if workload == "YCSB-RO" {
+                let report = if workload == "YCSB-RO" {
                     let w = with_fast_setup(&bm, || {
                         RawYcsb::setup(&bm, ycsb_config(db_bytes, 0.3, YcsbMix::ReadOnly))
                     })
                     .expect("setup");
-                    Some(
-                        run_workload(&runner(threads), |_, rng| w.execute(&bm, rng).expect("op"))
-                            .throughput(),
-                    )
+                    Some(run_workload(&runner(threads), |_, rng| {
+                        w.execute(&bm, rng).expect("op")
+                    }))
                 } else {
                     let db = Arc::new(database(Arc::clone(&bm)));
                     // A rare hash-order-dependent index livelock can abort
@@ -67,19 +69,16 @@ fn main() {
                     // "Known issues"); report n/a rather than killing the
                     // whole figure.
                     match with_fast_db_setup(&db, || Tpcc::setup(&db, tpcc_config(db_bytes))) {
-                        Ok(t) => Some(
-                            run_workload(&runner(threads), |_, rng| {
-                                t.execute(&db, rng).unwrap_or(false)
-                            })
-                            .throughput(),
-                        ),
+                        Ok(t) => Some(run_workload(&runner(threads), |_, rng| {
+                            t.execute(&db, rng).unwrap_or(false)
+                        })),
                         Err(e) => {
                             eprintln!("   ({workload}/{policy_label}/{opt}: setup failed: {e})");
                             None
                         }
                     }
                 };
-                cells.push(tput.map_or("n/a".into(), |t| format!("{} ops/s", kops(t))));
+                cells.push(report.map_or("n/a".into(), |rep| point(&rep)));
             }
             r.row(&cells);
         }

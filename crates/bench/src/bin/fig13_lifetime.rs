@@ -9,15 +9,18 @@
 //! and bypassing DRAM.
 
 use spitfire_bench::{
-    kops, manager_with, nvm_bytes_written, quick, runner, worker_threads, ycsb_config, Reporter,
+    manager_with, nvm_bytes_written, point, quick, runner, worker_threads, ycsb_config, Reporter,
     MB,
 };
 use spitfire_core::MigrationPolicy;
 use spitfire_wkld::{run_workload, RawYcsb, YcsbMix};
 
 fn main() {
-    let (dram, nvm, db_bytes) =
-        if quick() { (2 * MB, 8 * MB, 6 * MB) } else { (8 * MB, 32 * MB, 20 * MB) };
+    let (dram, nvm, db_bytes) = if quick() {
+        (2 * MB, 8 * MB, 6 * MB)
+    } else {
+        (8 * MB, 32 * MB, 20 * MB)
+    };
     let threads = worker_threads();
 
     let mut r = Reporter::new(
@@ -26,30 +29,42 @@ fn main() {
         "Spitfire-Lazy performs 1.05-1.4x more NVM writes than HyMem \
          (it trades endurance for throughput)",
     );
-    r.headers(&["workload", "Hymem MB/Mop", "Spf-Lazy MB/Mop", "ratio", "Hymem tput", "Lazy tput"]);
+    r.headers(&[
+        "workload",
+        "Hymem MB/Mop",
+        "Spf-Lazy MB/Mop",
+        "ratio",
+        "Hymem tput",
+        "Lazy tput",
+    ]);
 
     for mix in [YcsbMix::ReadOnly, YcsbMix::Balanced, YcsbMix::WriteHeavy] {
         let mut volumes = Vec::new();
-        let mut tputs = Vec::new();
+        let mut reports = Vec::new();
         for policy in [MigrationPolicy::hymem(), MigrationPolicy::lazy()] {
             let bm = manager_with(|b| {
-                b.dram_capacity(dram).nvm_capacity(nvm).policy(policy).fine_grained(256)
+                b.dram_capacity(dram)
+                    .nvm_capacity(nvm)
+                    .policy(policy)
+                    .fine_grained(256)
             });
-            let w = spitfire_bench::with_fast_setup(&bm, || RawYcsb::setup(&bm, ycsb_config(db_bytes, 0.3, mix))).expect("setup");
+            let w = spitfire_bench::with_fast_setup(&bm, || {
+                RawYcsb::setup(&bm, ycsb_config(db_bytes, 0.3, mix))
+            })
+            .expect("setup");
             let before = nvm_bytes_written(&bm);
-            let report =
-                run_workload(&runner(threads), |_, rng| w.execute(&bm, rng).expect("op"));
+            let report = run_workload(&runner(threads), |_, rng| w.execute(&bm, rng).expect("op"));
             let written = nvm_bytes_written(&bm) - before;
             volumes.push(written as f64 / MB as f64 / (report.committed as f64 / 1e6).max(1e-9));
-            tputs.push(report.throughput());
+            reports.push(report);
         }
         r.row(&[
             mix.label().to_string(),
             format!("{:.1}", volumes[0]),
             format!("{:.1}", volumes[1]),
             format!("{:.2}x", volumes[1] / volumes[0].max(1e-9)),
-            format!("{} ops/s", kops(tputs[0])),
-            format!("{} ops/s", kops(tputs[1])),
+            point(&reports[0]),
+            point(&reports[1]),
         ]);
     }
     r.done();

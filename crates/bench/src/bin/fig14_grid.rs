@@ -13,7 +13,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use spitfire_bench::{
-    kops, quick, runner, three_tier, worker_threads, ycsb_config, Flusher, Reporter, MB,
+    point, quick, runner, three_tier, worker_threads, ycsb_config, Flusher, Reporter, MB,
 };
 use spitfire_core::MigrationPolicy;
 use spitfire_wkld::{run_workload, RawYcsb, YcsbMix};
@@ -25,8 +25,16 @@ fn cost(dram_units: usize, nvm_units: usize) -> f64 {
 }
 
 fn main() {
-    let dram_sizes = if quick() { vec![0usize, 8, 32] } else { vec![0usize, 4, 8, 16, 32] };
-    let nvm_sizes = if quick() { vec![0usize, 80] } else { vec![0usize, 40, 80, 160] };
+    let dram_sizes = if quick() {
+        vec![0usize, 8, 32]
+    } else {
+        vec![0usize, 4, 8, 16, 32]
+    };
+    let nvm_sizes = if quick() {
+        vec![0usize, 80]
+    } else {
+        vec![0usize, 40, 80, 160]
+    };
     let db_bytes = if quick() { 24 * MB } else { 100 * MB };
     let threads = worker_threads();
 
@@ -46,7 +54,10 @@ fn main() {
                     continue;
                 }
                 let bm = three_tier(dram * MB, nvm * MB, MigrationPolicy::lazy());
-                let w = spitfire_bench::with_fast_setup(&bm, || RawYcsb::setup(&bm, ycsb_config(db_bytes, 0.5, mix))).expect("setup");
+                let w = spitfire_bench::with_fast_setup(&bm, || {
+                    RawYcsb::setup(&bm, ycsb_config(db_bytes, 0.5, mix))
+                })
+                .expect("setup");
                 let _flusher = Flusher::start(Arc::clone(&bm), Duration::from_millis(400));
                 let report =
                     run_workload(&runner(threads), |_, rng| w.execute(&bm, rng).expect("op"));
@@ -57,7 +68,7 @@ fn main() {
                     dram.to_string(),
                     nvm.to_string(),
                     format!("{c:.0}"),
-                    format!("{} ops/s", kops(report.throughput())),
+                    point(&report),
                     format!("{per_dollar:.0}"),
                 ]);
                 let label = format!("DRAM {dram} + NVM {nvm}");
@@ -67,7 +78,11 @@ fn main() {
             }
         }
         let (score, label) = best.expect("at least one configuration");
-        println!("   {} best perf/price: {} ({score:.0} ops/s/$)", mix.label(), label);
+        println!(
+            "   {} best perf/price: {} ({score:.0} ops/s/$)",
+            mix.label(),
+            label
+        );
     }
     r.done();
 }

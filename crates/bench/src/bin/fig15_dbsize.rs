@@ -14,8 +14,8 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use spitfire_bench::{
-    database, kops, manager_with, quick, runner, tpcc_config, with_fast_db_setup,
-    worker_threads, ycsb_config, Flusher, Reporter, MB,
+    database, manager_with, point, quick, runner, tpcc_config, with_fast_db_setup, worker_threads,
+    ycsb_config, Flusher, Reporter, MB,
 };
 use spitfire_core::{BufferManager, MigrationPolicy};
 use spitfire_wkld::{run_workload, Tpcc, YcsbMix, YcsbTxn};
@@ -34,14 +34,20 @@ fn build(config: &str) -> Arc<BufferManager> {
             // and 12; the transactional sweep runs whole-page frames (see
             // EXPERIMENTS.md, "Known issues", for the open interaction).
             manager_with(|b| {
-                b.dram_capacity(20 * MB).nvm_capacity(60 * MB).policy(policy)
+                b.dram_capacity(20 * MB)
+                    .nvm_capacity(60 * MB)
+                    .policy(policy)
             })
         }
         "DRAM-SSD" => manager_with(|b| {
-            b.dram_capacity(46 * MB).nvm_capacity(0).policy(MigrationPolicy::eager())
+            b.dram_capacity(46 * MB)
+                .nvm_capacity(0)
+                .policy(MigrationPolicy::eager())
         }),
         _ => manager_with(|b| {
-            b.dram_capacity(0).nvm_capacity(104 * MB).policy(MigrationPolicy::lazy())
+            b.dram_capacity(0)
+                .nvm_capacity(104 * MB)
+                .policy(MigrationPolicy::lazy())
         }),
     }
 }
@@ -50,7 +56,15 @@ fn main() {
     let sizes: Vec<usize> = if quick() {
         vec![5 * MB, 40 * MB, 100 * MB]
     } else {
-        vec![5 * MB, 20 * MB, 40 * MB, 65 * MB, 80 * MB, 110 * MB, 140 * MB]
+        vec![
+            5 * MB,
+            20 * MB,
+            40 * MB,
+            65 * MB,
+            80 * MB,
+            110 * MB,
+            140 * MB,
+        ]
     };
     let workloads: Vec<&str> = if quick() {
         vec!["YCSB-RO", "YCSB-WH"]
@@ -76,14 +90,13 @@ fn main() {
                 let bm = build(config);
                 let db = Arc::new(database(Arc::clone(&bm)));
                 let _flusher = Flusher::start(Arc::clone(&bm), Duration::from_millis(500));
-                let tput = match *wl {
+                let report = match *wl {
                     "TPC-C" => {
                         let t = with_fast_db_setup(&db, || Tpcc::setup(&db, tpcc_config(db_bytes)))
                             .expect("tpcc setup");
                         run_workload(&runner(threads), |_, rng| {
                             t.execute(&db, rng).unwrap_or(false)
                         })
-                        .throughput()
                     }
                     _ => {
                         let mix = match *wl {
@@ -98,10 +111,9 @@ fn main() {
                         run_workload(&runner(threads), |_, rng| {
                             w.execute(&db, rng).unwrap_or(false)
                         })
-                        .throughput()
                     }
                 };
-                cells.push(format!("{} ops/s", kops(tput)));
+                cells.push(point(&report));
             }
             r.row(&cells);
         }

@@ -15,8 +15,8 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use spitfire_bench::{
-    database, kops, manager_with, quick, runner, tpcc_config, with_fast_db_setup,
-    worker_threads, ycsb_config, Flusher, Reporter, MB,
+    database, manager_with, point, quick, runner, tpcc_config, with_fast_db_setup, worker_threads,
+    ycsb_config, Flusher, Reporter, MB,
 };
 use spitfire_core::MigrationPolicy;
 use spitfire_wkld::{run_workload, Tpcc, YcsbMix, YcsbTxn};
@@ -25,11 +25,22 @@ fn main() {
     let sizes: Vec<usize> = if quick() {
         vec![5 * MB, 60 * MB, 150 * MB]
     } else {
-        vec![5 * MB, 45 * MB, 85 * MB, 125 * MB, 185 * MB, 245 * MB, 305 * MB]
+        vec![
+            5 * MB,
+            45 * MB,
+            85 * MB,
+            125 * MB,
+            185 * MB,
+            245 * MB,
+            305 * MB,
+        ]
     };
     let threads = worker_threads();
-    let workloads: Vec<&str> =
-        if quick() { vec!["YCSB-RO", "TPC-C"] } else { vec!["YCSB-RO", "YCSB-BA", "TPC-C"] };
+    let workloads: Vec<&str> = if quick() {
+        vec!["YCSB-RO", "TPC-C"]
+    } else {
+        vec!["YCSB-RO", "YCSB-BA", "TPC-C"]
+    };
 
     let mut r = Reporter::new(
         "fig5_memory_mode",
@@ -37,7 +48,12 @@ fn main() {
         "equi-cost: memory-mode DRAM-SSD wins (<=1.12x) while cacheable; \
          NVM-SSD app-direct wins up to 6x (RO) / 2.28x (BA, TPC-C) beyond",
     );
-    r.headers(&["workload", "db size", "DRAM-SSD (memory mode)", "NVM-SSD (app-direct)"]);
+    r.headers(&[
+        "workload",
+        "db size",
+        "DRAM-SSD (memory mode)",
+        "NVM-SSD (app-direct)",
+    ]);
 
     for wl in &workloads {
         for &db_bytes in &sizes {
@@ -59,9 +75,13 @@ fn main() {
                 };
                 let db = Arc::new(database(Arc::clone(&bm)));
                 let _flusher = Flusher::start(Arc::clone(&bm), Duration::from_millis(500));
-                let tput = match *wl {
+                let report = match *wl {
                     "YCSB-RO" | "YCSB-BA" => {
-                        let mix = if *wl == "YCSB-RO" { YcsbMix::ReadOnly } else { YcsbMix::Balanced };
+                        let mix = if *wl == "YCSB-RO" {
+                            YcsbMix::ReadOnly
+                        } else {
+                            YcsbMix::Balanced
+                        };
                         let w = with_fast_db_setup(&db, || {
                             YcsbTxn::setup(&db, ycsb_config(db_bytes, 0.3, mix))
                         })
@@ -69,7 +89,6 @@ fn main() {
                         run_workload(&runner(threads), |_, rng| {
                             w.execute(&db, rng).expect("ycsb txn")
                         })
-                        .throughput()
                     }
                     _ => {
                         let t = with_fast_db_setup(&db, || Tpcc::setup(&db, tpcc_config(db_bytes)))
@@ -77,10 +96,9 @@ fn main() {
                         run_workload(&runner(threads), |_, rng| {
                             t.execute(&db, rng).expect("tpcc txn")
                         })
-                        .throughput()
                     }
                 };
-                cells.push(format!("{} ops/s", kops(tput)));
+                cells.push(point(&report));
             }
             r.row(&cells);
         }

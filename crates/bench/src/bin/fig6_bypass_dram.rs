@@ -7,9 +7,7 @@
 //! Paper expectation: lazy D (0.01) peaks (≈ +58 % over eager on YCSB-RO);
 //! D = 0 drops ~20 % below the peak because the DRAM buffer is disabled.
 
-use spitfire_bench::{
-    build_policy_workloads, kops, quick, worker_threads, Reporter, MB,
-};
+use spitfire_bench::{build_policy_workloads, point, quick, worker_threads, Reporter, MB};
 use spitfire_core::MigrationPolicy;
 
 fn main() {
@@ -36,7 +34,7 @@ fn main() {
             for d in d_values {
                 let policy = MigrationPolicy::new(d, d, 1.0, 1.0);
                 let report = w.run_point(policy, threads);
-                cells.push(format!("{} ops/s", kops(report.throughput())));
+                cells.push(point(&report));
             }
             r.row(&cells);
         }

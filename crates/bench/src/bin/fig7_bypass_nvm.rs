@@ -7,9 +7,7 @@
 //! single-threaded); N = 0 effectively removes the NVM buffer and loses
 //! 25–103 % depending on thread count.
 
-use spitfire_bench::{
-    build_policy_workloads, kops, quick, worker_threads, Reporter, MB,
-};
+use spitfire_bench::{build_policy_workloads, point, quick, worker_threads, Reporter, MB};
 use spitfire_core::MigrationPolicy;
 
 fn main() {
@@ -35,7 +33,7 @@ fn main() {
             for n in n_values {
                 let policy = MigrationPolicy::new(1.0, 1.0, n, n);
                 let report = w.run_point(policy, threads);
-                cells.push(format!("{} ops/s", kops(report.throughput())));
+                cells.push(point(&report));
             }
             r.row(&cells);
         }

@@ -8,8 +8,8 @@
 //! ≈ 1.3–1.6× because dirty evictions dominate.
 
 use spitfire_bench::{
-    build_one_workload, nvm_bytes_written, policy_workload_labels, quick, worker_threads,
-    Reporter, MB,
+    build_one_workload, nvm_bytes_written, policy_workload_labels, quick, worker_threads, Reporter,
+    MB,
 };
 use spitfire_core::MigrationPolicy;
 
@@ -28,7 +28,13 @@ fn main() {
         "NVM write volume grows steeply with N; N=1 ~92x the lazy volume on \
          YCSB-RO, ~1.3-1.6x on write-heavy mixes",
     );
-    r.headers(&["workload", "N=0 MB/Mop", "N=0.01 MB/Mop", "N=0.1 MB/Mop", "N=1 MB/Mop"]);
+    r.headers(&[
+        "workload",
+        "N=0 MB/Mop",
+        "N=0.01 MB/Mop",
+        "N=0.1 MB/Mop",
+        "N=1 MB/Mop",
+    ]);
 
     for label in policy_workload_labels() {
         let mut cells = vec![label.to_string()];

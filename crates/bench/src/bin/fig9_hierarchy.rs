@@ -6,15 +6,14 @@
 //! Paper expectation: at 1:8 the best policy is D = 0 (tiny DRAM is not
 //! worth the migration traffic); as DRAM grows, D = 0.01 wins.
 
-use spitfire_bench::{kops, quick, three_tier, worker_threads, ycsb_config, Reporter, MB};
+use spitfire_bench::{point, quick, three_tier, worker_threads, ycsb_config, Reporter, MB};
 use spitfire_core::MigrationPolicy;
 use spitfire_wkld::{run_workload, RawYcsb, YcsbMix};
 
 fn main() {
     let nvm = if quick() { 8 * MB } else { 10 * MB };
     let db = if quick() { 16 * MB } else { 40 * MB };
-    let ratios: [(usize, &str); 3] =
-        [(nvm / 2, "1:2"), (nvm / 4, "1:4"), (nvm / 8, "1:8")];
+    let ratios: [(usize, &str); 3] = [(nvm / 2, "1:2"), (nvm / 4, "1:4"), (nvm / 8, "1:8")];
     let d_values = [0.0, 0.01, 0.1, 1.0];
     let threads = worker_threads();
 
@@ -28,14 +27,17 @@ fn main() {
 
     for (dram, label) in ratios {
         let bm = three_tier(dram, nvm, MigrationPolicy::lazy());
-        let w = spitfire_bench::with_fast_setup(&bm, || RawYcsb::setup(&bm, ycsb_config(db, 0.3, YcsbMix::ReadOnly))).expect("setup");
+        let w = spitfire_bench::with_fast_setup(&bm, || {
+            RawYcsb::setup(&bm, ycsb_config(db, 0.3, YcsbMix::ReadOnly))
+        })
+        .expect("setup");
         let mut cells = vec![label.to_string()];
         for d in d_values {
             bm.set_policy(MigrationPolicy::new(d, d, 1.0, 1.0));
             let report = run_workload(&spitfire_bench::runner(threads), |_, rng| {
                 w.execute(&bm, rng).expect("op")
             });
-            cells.push(format!("{} ops/s", kops(report.throughput())));
+            cells.push(point(&report));
         }
         r.row(&cells);
     }

@@ -8,7 +8,7 @@
 //! emulation the workers overlap *emulated I/O waits*, so scaling reflects
 //! the concurrency of the buffer manager rather than host cores.
 
-use spitfire_bench::{build_one_workload, kops, quick, Reporter, MB};
+use spitfire_bench::{build_one_workload, point, quick, Reporter, MB};
 use spitfire_core::MigrationPolicy;
 
 fn main() {
@@ -17,7 +17,11 @@ fn main() {
     } else {
         (12 * MB + MB / 2, 50 * MB, 100 * MB)
     };
-    let thread_counts = if quick() { vec![1usize, 4, 16] } else { vec![1usize, 2, 4, 8, 16] };
+    let thread_counts = if quick() {
+        vec![1usize, 4, 16]
+    } else {
+        vec![1usize, 2, 4, 8, 16]
+    };
 
     let mut r = Reporter::new(
         "scaling_threads",
@@ -34,7 +38,7 @@ fn main() {
         let mut cells = vec![label.to_string()];
         for &threads in &thread_counts {
             let report = w.run_point(MigrationPolicy::lazy(), threads);
-            cells.push(format!("{} ops/s", kops(report.throughput())));
+            cells.push(point(&report));
         }
         r.row(&cells);
     }

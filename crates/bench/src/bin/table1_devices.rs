@@ -119,7 +119,10 @@ fn main() {
     let p = DeviceProfile::optane_ssd();
     r.row(&[
         "SSD (Optane P4800X)".into(),
-        format!("{:.0} us (per 16 KB page incl. transfer)", p.rand_read_latency_ns as f64 / 1000.0),
+        format!(
+            "{:.0} us (per 16 KB page incl. transfer)",
+            p.rand_read_latency_ns as f64 / 1000.0
+        ),
         format!("{:.1} us", lat / 1000.0),
         format!("{:.1} GB/s", p.rand_read_bw as f64 / 1e9),
         format!("{bw:.1} GB/s"),

@@ -28,8 +28,14 @@ fn main() {
     r.headers(&["sweep", "workload", "p=0", "p=0.01", "p=0.1", "p=1"]);
 
     for (sweep, make_policy) in [
-        ("bypass-DRAM (D)", (|p: f64| MigrationPolicy::new(p, p, 1.0, 1.0)) as fn(f64) -> _),
-        ("bypass-NVM (N)", (|p: f64| MigrationPolicy::new(1.0, 1.0, p, p)) as fn(f64) -> _),
+        (
+            "bypass-DRAM (D)",
+            (|p: f64| MigrationPolicy::new(p, p, 1.0, 1.0)) as fn(f64) -> _,
+        ),
+        (
+            "bypass-NVM (N)",
+            (|p: f64| MigrationPolicy::new(1.0, 1.0, p, p)) as fn(f64) -> _,
+        ),
     ] {
         for label in spitfire_bench::policy_workload_labels() {
             let mut cells = vec![sweep.to_string(), label.to_string()];

@@ -14,6 +14,12 @@
 //! * `SPITFIRE_SECS=<f64>` — measurement window per point (default 1.0,
 //!   quick 0.4).
 //! * `SPITFIRE_THREADS=<n>` — "multi-threaded" worker count (default 8).
+//! * `SPITFIRE_OBS=1` — enable the observability subsystem (latency
+//!   histograms, gauges, background sampler) for the run; the experiment
+//!   prints per-operation p50/p99 lines when it finishes.
+//! * `--json <path>` (any experiment binary) — implies `SPITFIRE_OBS=1`
+//!   and dumps the unified observability report (histograms + gauges +
+//!   device stats + sampler series) as JSON to `<path>` on completion.
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
@@ -59,21 +65,31 @@ pub fn quick() -> bool {
 /// Measurement window per experiment point.
 pub fn measure_secs() -> Duration {
     let default = if quick() { 0.4 } else { 1.0 };
-    let secs = std::env::var("SPITFIRE_SECS").ok().and_then(|v| v.parse().ok()).unwrap_or(default);
+    let secs = std::env::var("SPITFIRE_SECS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default);
     Duration::from_secs_f64(secs)
 }
 
 /// Worker count for the multi-threaded configurations (paper: 16; default
 /// 8 here — the emulation overlaps I/O waits, not CPU).
 pub fn worker_threads() -> usize {
-    std::env::var("SPITFIRE_THREADS").ok().and_then(|v| v.parse().ok()).unwrap_or(8)
+    std::env::var("SPITFIRE_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8)
 }
 
 /// Standard runner configuration for one experiment point.
 pub fn runner(threads: usize) -> RunnerConfig {
     RunnerConfig {
         threads,
-        warmup: if quick() { Duration::from_millis(150) } else { Duration::from_millis(400) },
+        warmup: if quick() {
+            Duration::from_millis(150)
+        } else {
+            Duration::from_millis(400)
+        },
         duration: measure_secs(),
         seed: 0x5F17F17E,
     }
@@ -90,24 +106,58 @@ pub fn three_tier(dram: usize, nvm: usize, policy: MigrationPolicy) -> Arc<Buffe
         .time_scale(TimeScale::REAL)
         .build()
         .expect("valid experiment config");
-    Arc::new(BufferManager::new(config).expect("buffer manager"))
+    let bm = Arc::new(BufferManager::new(config).expect("buffer manager"));
+    if spitfire_obs::enabled() {
+        bm.register_obs_gauges();
+    }
+    bm
 }
 
 /// Build a buffer manager from a full config builder closure.
 pub fn manager_with(
-    f: impl FnOnce(spitfire_core::BufferManagerConfigBuilder) -> spitfire_core::BufferManagerConfigBuilder,
+    f: impl FnOnce(
+        spitfire_core::BufferManagerConfigBuilder,
+    ) -> spitfire_core::BufferManagerConfigBuilder,
 ) -> Arc<BufferManager> {
     let builder = BufferManagerConfig::builder()
         .page_size(PAGE)
         .persistence(PersistenceTracking::Counters)
         .time_scale(TimeScale::REAL);
     let config = f(builder).build().expect("valid experiment config");
-    Arc::new(BufferManager::new(config).expect("buffer manager"))
+    let bm = Arc::new(BufferManager::new(config).expect("buffer manager"));
+    if spitfire_obs::enabled() {
+        bm.register_obs_gauges();
+    }
+    bm
+}
+
+/// The `--json <path>` / `--json=<path>` argument, if one was passed to
+/// this binary.
+pub fn obs_json_path() -> Option<std::path::PathBuf> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--json" {
+            return args.next().map(Into::into);
+        }
+        if let Some(p) = a.strip_prefix("--json=") {
+            return Some(p.into());
+        }
+    }
+    None
+}
+
+/// Whether observability was requested via `SPITFIRE_OBS=1` or `--json`.
+pub fn obs_requested() -> bool {
+    std::env::var("SPITFIRE_OBS").is_ok_and(|v| v != "0") || obs_json_path().is_some()
 }
 
 /// YCSB config for a database of `db_bytes` at skew `theta`.
 pub fn ycsb_config(db_bytes: usize, theta: f64, mix: YcsbMix) -> YcsbConfig {
-    YcsbConfig { records: (db_bytes / 1000) as u64, theta, mix }
+    YcsbConfig {
+        records: (db_bytes / 1000) as u64,
+        theta,
+        mix,
+    }
 }
 
 /// TPC-C config scaled so the loaded database is roughly `db_bytes`
@@ -156,10 +206,27 @@ impl Reporter {
             measure_secs(),
             worker_threads()
         );
+        if obs_requested() {
+            spitfire_obs::set_enabled(true);
+            spitfire_obs::registry().reset_histograms();
+            spitfire_obs::start_sampler(Duration::from_millis(200));
+            println!(
+                "   obs: recording on{}",
+                if obs_json_path().is_some() {
+                    " (+json dump)"
+                } else {
+                    ""
+                }
+            );
+        }
         let csv = std::fs::create_dir_all("results")
             .ok()
             .and_then(|()| std::fs::File::create(format!("results/{name}.csv")).ok());
-        Reporter { name: name.to_string(), csv, headers: Vec::new() }
+        Reporter {
+            name: name.to_string(),
+            csv,
+            headers: Vec::new(),
+        }
     }
 
     /// Set column headers.
@@ -179,9 +246,65 @@ impl Reporter {
         }
     }
 
-    /// Finish, printing the CSV location.
+    /// Finish, printing the CSV location — and, when observability is on,
+    /// per-operation p50/p99 latency lines plus the `--json` report dump.
     pub fn done(self) {
+        if spitfire_obs::enabled() {
+            spitfire_obs::stop_sampler();
+            let report = dump_obs_report(self.name.as_str());
+            for h in &report.histograms {
+                let ns = |q| Duration::from_nanos(h.snapshot.quantile(q).unwrap_or(0));
+                println!(
+                    "   obs {}: p50={} p99={} (n={})",
+                    h.name,
+                    fmt_us(ns(0.5)),
+                    fmt_us(ns(0.99)),
+                    h.snapshot.count
+                );
+            }
+        }
         println!("   -> results/{}.csv\n", self.name);
+    }
+}
+
+/// Capture the unified observability report (histograms, gauges, sampler
+/// series — buffer and device counters ride along as registered gauges)
+/// and, if a `--json <path>` argument was passed, write it there.
+pub fn dump_obs_report(name: &str) -> spitfire_obs::Report {
+    let report = spitfire_obs::Report::capture();
+    if let Some(path) = obs_json_path() {
+        match std::fs::write(&path, report.to_json()) {
+            Ok(()) => println!("   obs: {name} report -> {}", path.display()),
+            Err(e) => eprintln!("   obs: failed to write {}: {e}", path.display()),
+        }
+    }
+    report
+}
+
+/// Format one measured point as throughput plus the run's sampled p50/p99
+/// latency: `"12.3k ops/s [p50 8µs p99 1.2ms]"`.
+pub fn point(report: &spitfire_wkld::RunReport) -> String {
+    match (report.latency_quantile(0.5), report.latency_quantile(0.99)) {
+        (Some(p50), Some(p99)) => format!(
+            "{} ops/s [p50 {} p99 {}]",
+            kops(report.throughput()),
+            fmt_us(p50),
+            fmt_us(p99)
+        ),
+        _ => format!("{} ops/s", kops(report.throughput())),
+    }
+}
+
+/// Short human-readable duration: microseconds under 1 ms, else
+/// milliseconds.
+pub fn fmt_us(d: Duration) -> String {
+    let us = d.as_secs_f64() * 1e6;
+    if us >= 1000.0 {
+        format!("{:.1}ms", us / 1000.0)
+    } else if us < 10.0 {
+        format!("{us:.1}µs")
+    } else {
+        format!("{us:.0}µs")
     }
 }
 
@@ -203,7 +326,9 @@ pub fn policy_workload_labels() -> [&'static str; 4] {
 
 /// Bytes written to NVM (buffer device) so far.
 pub fn nvm_bytes_written(bm: &BufferManager) -> u64 {
-    bm.device_stats(spitfire_core::Tier::Nvm).map(|s| s.snapshot().bytes_written).unwrap_or(0)
+    bm.device_stats(spitfire_core::Tier::Nvm)
+        .map(|s| s.snapshot().bytes_written)
+        .unwrap_or(0)
 }
 
 /// Background dirty-page flusher, emulating the paper's recovery-protocol
@@ -226,7 +351,10 @@ impl Flusher {
                 let _ = bm.flush_all_dirty();
             }
         });
-        Flusher { stop, handle: Some(handle) }
+        Flusher {
+            stop,
+            handle: Some(handle),
+        }
     }
 }
 
@@ -276,9 +404,9 @@ impl PolicyWorkload {
             PolicyWorkload::Raw { bm, w } => spitfire_wkld::run_workload(&config, |_, rng| {
                 w.execute(bm, rng).expect("raw ycsb op")
             }),
-            PolicyWorkload::Tpcc { db, t } => spitfire_wkld::run_workload(&config, |_, rng| {
-                t.execute(db, rng).expect("tpcc txn")
-            }),
+            PolicyWorkload::Tpcc { db, t } => {
+                spitfire_wkld::run_workload(&config, |_, rng| t.execute(db, rng).expect("tpcc txn"))
+            }
         }
     }
 }
@@ -327,7 +455,10 @@ pub fn build_policy_workloads(
     policy_workload_labels()
         .into_iter()
         .map(|label| {
-            (label, build_one_workload(label, dram, nvm, db_bytes, MigrationPolicy::lazy()))
+            (
+                label,
+                build_one_workload(label, dram, nvm, db_bytes, MigrationPolicy::lazy()),
+            )
         })
         .collect()
 }

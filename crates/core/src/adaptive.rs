@@ -35,6 +35,29 @@ pub enum CostObjective {
         /// Weight of the write-volume penalty.
         lambda: f64,
     },
+    /// `cost = (1 + λ · p99_ms) / throughput`: folds the observed p99
+    /// operation latency (milliseconds, e.g. from the `workload_op`
+    /// observability histogram) into the cost, steering the search toward
+    /// policies with good tail latency rather than raw throughput alone.
+    /// Falls back to the plain objective for epochs without a p99 sample.
+    TailLatency {
+        /// Weight of the tail-latency penalty (per millisecond of p99).
+        lambda: f64,
+    },
+}
+
+/// Per-epoch measurements fed back to the tuner via
+/// [`AnnealingTuner::observe_epoch`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EpochStats {
+    /// Operations per second achieved under the candidate policy.
+    pub throughput: f64,
+    /// NVM write volume in MB per operation (endurance objective).
+    pub nvm_mb_per_op: f64,
+    /// 99th-percentile operation latency in nanoseconds (tail objective),
+    /// typically `spitfire_obs::registry().histogram(Op::WorkloadOp)`'s
+    /// epoch-delta quantile.
+    pub p99_latency_ns: Option<u64>,
 }
 
 /// Tuning parameters (defaults follow §6.4: α = 0.9, γ = 10, t₀ = 800,
@@ -97,7 +120,10 @@ fn nearest_lattice_index(p: f64) -> usize {
         .iter()
         .enumerate()
         .min_by(|(_, a), (_, b)| {
-            (*a - p).abs().partial_cmp(&(*b - p).abs()).expect("lattice values are finite")
+            (*a - p)
+                .abs()
+                .partial_cmp(&(*b - p).abs())
+                .expect("lattice values are finite")
         })
         .map(|(i, _)| i)
         .expect("lattice is non-empty")
@@ -148,11 +174,28 @@ impl AnnealingTuner {
     /// observed during the epoch; the endurance-aware objective folds the
     /// volume into the cost.
     pub fn observe_with(&mut self, throughput: f64, nvm_mb_per_op: f64) -> MigrationPolicy {
+        self.observe_epoch(EpochStats {
+            throughput,
+            nvm_mb_per_op,
+            p99_latency_ns: None,
+        })
+    }
+
+    /// Feed back a full epoch measurement (throughput, NVM write volume,
+    /// tail latency); the configured [`CostObjective`] decides which parts
+    /// enter the cost. Also publishes the annealing temperature as the
+    /// `sa_temperature` observability gauge.
+    pub fn observe_epoch(&mut self, stats: EpochStats) -> MigrationPolicy {
+        let throughput = stats.throughput;
         let penalty = match self.params.objective {
             CostObjective::Throughput => 1.0,
             CostObjective::ThroughputWithEndurance { lambda } => {
-                1.0 + lambda * nvm_mb_per_op.max(0.0)
+                1.0 + lambda * stats.nvm_mb_per_op.max(0.0)
             }
+            CostObjective::TailLatency { lambda } => match stats.p99_latency_ns {
+                Some(p99) => 1.0 + lambda * (p99 as f64 / 1e6),
+                None => 1.0,
+            },
         };
         let cost = penalty / throughput.max(1e-9);
         let accepted = match self.current_cost {
@@ -183,6 +226,7 @@ impl AnnealingTuner {
             temperature: self.temperature,
         });
         self.temperature = (self.temperature * self.params.cooling).max(self.params.final_temp);
+        spitfire_obs::set_gauge("sa_temperature", self.temperature);
         self.candidate = self.propose();
         self.candidate
     }
@@ -190,11 +234,15 @@ impl AnnealingTuner {
     /// Propose a lattice neighbour of the current point: one knob moves one
     /// step.
     fn propose(&mut self) -> MigrationPolicy {
-        let mut knobs =
-            [self.current.dr, self.current.dw, self.current.nr, self.current.nw];
+        let mut knobs = [
+            self.current.dr,
+            self.current.dw,
+            self.current.nr,
+            self.current.nw,
+        ];
         // Try a few times in case a knob is pinned at a lattice edge.
         for _ in 0..8 {
-            let k = self.rng.gen_range(0..4);
+            let k = self.rng.gen_range(0..4usize);
             let idx = nearest_lattice_index(knobs[k]);
             let up = self.rng.gen::<bool>();
             let new_idx = if up { idx + 1 } else { idx.wrapping_sub(1) };
@@ -234,9 +282,8 @@ mod tests {
     #[test]
     fn proposals_stay_on_the_lattice() {
         let mut t = AnnealingTuner::new(MigrationPolicy::eager(), AnnealingParams::default(), 7);
-        let mut p = t.candidate();
         for i in 0..200 {
-            p = t.observe(1000.0 + i as f64);
+            let p = t.observe(1000.0 + i as f64);
             for knob in [p.dr, p.dw, p.nr, p.nw] {
                 assert!(
                     POLICY_LATTICE.iter().any(|v| (v - knob).abs() < 1e-12),
@@ -298,7 +345,10 @@ mod tests {
             (before, t.history().last().copied().expect("history"))
         };
         let (_, plain) = observe_both(AnnealingParams::default());
-        assert!(!plain.accepted, "plain objective must reject the 10% slower policy");
+        assert!(
+            !plain.accepted,
+            "plain objective must reject the 10% slower policy"
+        );
         let (_, endurance) = observe_both(AnnealingParams {
             objective: CostObjective::ThroughputWithEndurance { lambda: 1.0 },
             ..AnnealingParams::default()
@@ -306,6 +356,45 @@ mod tests {
         assert!(
             endurance.accepted,
             "endurance objective must accept 10% slower for 2 MB/op fewer writes"
+        );
+    }
+
+    #[test]
+    fn tail_latency_objective_penalizes_high_p99() {
+        // Two synthetic policies: "fast but spiky" (high p99) vs "slower
+        // but smooth". The plain objective prefers the first; the
+        // tail-latency objective must prefer the second.
+        let observe_both = |params: AnnealingParams| {
+            let mut t = AnnealingTuner::new(MigrationPolicy::eager(), params, 5);
+            let spiky = EpochStats {
+                throughput: 1000.0,
+                nvm_mb_per_op: 0.0,
+                p99_latency_ns: Some(10_000_000), // 10 ms
+            };
+            // Establish the fast/spiky point as current and cool fully.
+            for _ in 0..201 {
+                t.observe_epoch(spiky);
+            }
+            // Offer the slower/smooth point.
+            t.observe_epoch(EpochStats {
+                throughput: 900.0,
+                nvm_mb_per_op: 0.0,
+                p99_latency_ns: Some(1_000_000), // 1 ms
+            });
+            t.history().last().copied().expect("history")
+        };
+        let plain = observe_both(AnnealingParams::default());
+        assert!(
+            !plain.accepted,
+            "plain objective must reject the 10% slower policy"
+        );
+        let tail = observe_both(AnnealingParams {
+            objective: CostObjective::TailLatency { lambda: 1.0 },
+            ..AnnealingParams::default()
+        });
+        assert!(
+            tail.accepted,
+            "tail objective must accept 10% slower for 10x lower p99"
         );
     }
 

@@ -129,14 +129,11 @@ impl GridSearch {
 
     /// The candidate with the highest performance/price.
     pub fn best_perf_per_dollar(&self) -> Option<GridPoint> {
-        self.points
-            .iter()
-            .copied()
-            .max_by(|a, b| {
-                a.perf_per_dollar()
-                    .partial_cmp(&b.perf_per_dollar())
-                    .expect("throughputs are finite")
-            })
+        self.points.iter().copied().max_by(|a, b| {
+            a.perf_per_dollar()
+                .partial_cmp(&b.perf_per_dollar())
+                .expect("throughputs are finite")
+        })
     }
 
     /// The candidate with the highest absolute throughput.
@@ -169,7 +166,11 @@ mod tests {
     #[test]
     fn cacheable_read_workload_gets_dram_ssd() {
         let rec = recommend(
-            &WorkloadProfile { write_fraction: 0.0, working_set: 4 * GB, durable_writes: false },
+            &WorkloadProfile {
+                write_fraction: 0.0,
+                working_set: 4 * GB,
+                durable_writes: false,
+            },
             100.0, // $100 buys 10 GB DRAM
         );
         assert_eq!(rec.hierarchy, Hierarchy::DramSsd);
@@ -179,7 +180,11 @@ mod tests {
     #[test]
     fn write_heavy_durable_gets_nvm_ssd() {
         let rec = recommend(
-            &WorkloadProfile { write_fraction: 0.9, working_set: 100 * GB, durable_writes: true },
+            &WorkloadProfile {
+                write_fraction: 0.9,
+                working_set: 100 * GB,
+                durable_writes: true,
+            },
             500.0,
         );
         assert_eq!(rec.hierarchy, Hierarchy::NvmSsd);
@@ -189,7 +194,11 @@ mod tests {
     #[test]
     fn large_read_workload_gets_three_tiers() {
         let rec = recommend(
-            &WorkloadProfile { write_fraction: 0.1, working_set: 100 * GB, durable_writes: true },
+            &WorkloadProfile {
+                write_fraction: 0.1,
+                working_set: 100 * GB,
+                durable_writes: true,
+            },
             500.0, // can't afford 100 GB of DRAM ($1000)
         );
         assert_eq!(rec.hierarchy, Hierarchy::DramNvmSsd);
@@ -199,23 +208,56 @@ mod tests {
     #[test]
     fn grid_point_costs_match_paper_scale() {
         // Figure 14a's corner: 0 DRAM + 0 NVM over a 200 GB SSD = $560.
-        let p = GridPoint { dram: 0, nvm: 0, ssd_cost: 560.0, throughput: 1000.0 };
+        let p = GridPoint {
+            dram: 0,
+            nvm: 0,
+            ssd_cost: 560.0,
+            throughput: 1000.0,
+        };
         assert!((p.cost() - 560.0).abs() < 1e-9);
         // 4 GB DRAM + 40 GB NVM = 40 + 180 + 560 = 780 (Figure 14a).
-        let p = GridPoint { dram: 4 * GB, nvm: 40 * GB, ssd_cost: 560.0, throughput: 1000.0 };
+        let p = GridPoint {
+            dram: 4 * GB,
+            nvm: 40 * GB,
+            ssd_cost: 560.0,
+            throughput: 1000.0,
+        };
         assert!((p.cost() - 780.0).abs() < 1e-6, "cost {}", p.cost());
     }
 
     #[test]
     fn grid_search_selects_expected_points() {
         let mut g = GridSearch::new();
-        g.add(GridPoint { dram: 0, nvm: 80 * GB, ssd_cost: 560.0, throughput: 8000.0 });
-        g.add(GridPoint { dram: 4 * GB, nvm: 80 * GB, ssd_cost: 560.0, throughput: 12000.0 });
-        g.add(GridPoint { dram: 32 * GB, nvm: 160 * GB, ssd_cost: 560.0, throughput: 13000.0 });
+        g.add(GridPoint {
+            dram: 0,
+            nvm: 80 * GB,
+            ssd_cost: 560.0,
+            throughput: 8000.0,
+        });
+        g.add(GridPoint {
+            dram: 4 * GB,
+            nvm: 80 * GB,
+            ssd_cost: 560.0,
+            throughput: 12000.0,
+        });
+        g.add(GridPoint {
+            dram: 32 * GB,
+            nvm: 160 * GB,
+            ssd_cost: 560.0,
+            throughput: 13000.0,
+        });
         let best_ppd = g.best_perf_per_dollar().unwrap();
-        assert_eq!(best_ppd.dram, 4 * GB, "small DRAM + big NVM wins perf/price");
+        assert_eq!(
+            best_ppd.dram,
+            4 * GB,
+            "small DRAM + big NVM wins perf/price"
+        );
         let best_abs = g.best_throughput().unwrap();
-        assert_eq!(best_abs.dram, 32 * GB, "big hierarchy wins absolute throughput");
+        assert_eq!(
+            best_abs.dram,
+            32 * GB,
+            "big hierarchy wins absolute throughput"
+        );
         // 12000 >= 0.9 * 13000 -> the mid configuration is the knee.
         let knee = g.cheapest_within(0.9).unwrap();
         assert_eq!(knee.dram, 4 * GB);

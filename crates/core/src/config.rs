@@ -53,19 +53,31 @@ impl std::fmt::Display for ConfigError {
                 write!(f, "page size {s} must be a power of two >= 512")
             }
             ConfigError::NoBufferCapacity => {
-                write!(f, "at least one of the DRAM and NVM buffers must have capacity")
+                write!(
+                    f,
+                    "at least one of the DRAM and NVM buffers must have capacity"
+                )
             }
             ConfigError::CapacityTooSmall { tier, capacity } => {
-                write!(f, "{tier} capacity of {capacity} bytes holds no complete page")
+                write!(
+                    f,
+                    "{tier} capacity of {capacity} bytes holds no complete page"
+                )
             }
             ConfigError::BadGranule(g) => {
-                write!(f, "loading granule {g} must be a power of two in [64, page_size]")
+                write!(
+                    f,
+                    "loading granule {g} must be a power of two in [64, page_size]"
+                )
             }
             ConfigError::MiniPagesNeedGranule => {
                 write!(f, "mini pages require fine-grained loading (set a granule)")
             }
             ConfigError::BadMemoryMode => {
-                write!(f, "memory mode requires nonzero DRAM (cache) and NVM capacities")
+                write!(
+                    f,
+                    "memory mode requires nonzero DRAM (cache) and NVM capacities"
+                )
             }
         }
     }
@@ -108,7 +120,9 @@ pub struct BufferManagerConfig {
 impl BufferManagerConfig {
     /// Start building a configuration.
     pub fn builder() -> BufferManagerConfigBuilder {
-        BufferManagerConfigBuilder { config: Self::default_config() }
+        BufferManagerConfigBuilder {
+            config: Self::default_config(),
+        }
     }
 
     fn default_config() -> Self {
@@ -293,16 +307,25 @@ mod tests {
 
     #[test]
     fn two_tier_hierarchies() {
-        let c = BufferManagerConfig::builder().nvm_capacity(0).build().unwrap();
+        let c = BufferManagerConfig::builder()
+            .nvm_capacity(0)
+            .build()
+            .unwrap();
         assert_eq!(c.hierarchy(), Hierarchy::DramSsd);
-        let c = BufferManagerConfig::builder().dram_capacity(0).build().unwrap();
+        let c = BufferManagerConfig::builder()
+            .dram_capacity(0)
+            .build()
+            .unwrap();
         assert_eq!(c.hierarchy(), Hierarchy::NvmSsd);
     }
 
     #[test]
     fn zero_capacity_everywhere_is_rejected() {
-        let err =
-            BufferManagerConfig::builder().dram_capacity(0).nvm_capacity(0).build().unwrap_err();
+        let err = BufferManagerConfig::builder()
+            .dram_capacity(0)
+            .nvm_capacity(0)
+            .build()
+            .unwrap_err();
         assert_eq!(err, ConfigError::NoBufferCapacity);
     }
 
@@ -325,22 +348,37 @@ mod tests {
             .dram_capacity(1024)
             .build()
             .unwrap_err();
-        assert_eq!(err, ConfigError::CapacityTooSmall { tier: "dram", capacity: 1024 });
+        assert_eq!(
+            err,
+            ConfigError::CapacityTooSmall {
+                tier: "dram",
+                capacity: 1024
+            }
+        );
     }
 
     #[test]
     fn granule_validation() {
-        assert!(BufferManagerConfig::builder().fine_grained(256).build().is_ok());
+        assert!(BufferManagerConfig::builder()
+            .fine_grained(256)
+            .build()
+            .is_ok());
         assert!(matches!(
             BufferManagerConfig::builder().fine_grained(48).build(),
             Err(ConfigError::BadGranule(48))
         ));
         assert!(matches!(
-            BufferManagerConfig::builder().page_size(4096).fine_grained(8192).build(),
+            BufferManagerConfig::builder()
+                .page_size(4096)
+                .fine_grained(8192)
+                .build(),
             Err(ConfigError::BadGranule(8192))
         ));
         assert_eq!(
-            BufferManagerConfig::builder().mini_pages(true).build().unwrap_err(),
+            BufferManagerConfig::builder()
+                .mini_pages(true)
+                .build()
+                .unwrap_err(),
             ConfigError::MiniPagesNeedGranule
         );
     }
@@ -348,10 +386,16 @@ mod tests {
     #[test]
     fn memory_mode_requires_both_capacities() {
         assert!(matches!(
-            BufferManagerConfig::builder().memory_mode(true).dram_capacity(0).build(),
+            BufferManagerConfig::builder()
+                .memory_mode(true)
+                .dram_capacity(0)
+                .build(),
             Err(ConfigError::BadMemoryMode)
         ));
-        let c = BufferManagerConfig::builder().memory_mode(true).build().unwrap();
+        let c = BufferManagerConfig::builder()
+            .memory_mode(true)
+            .build()
+            .unwrap();
         assert_eq!(c.hierarchy(), Hierarchy::MemoryModeSsd);
     }
 }

@@ -124,7 +124,11 @@ pub(crate) struct SharedPageDesc {
 impl SharedPageDesc {
     /// A descriptor for `pid` with no resident copies.
     pub(crate) fn new(pid: PageId) -> Self {
-        SharedPageDesc { pid, state: Mutex::new(PageState::default()), cond: Condvar::new() }
+        SharedPageDesc {
+            pid,
+            state: Mutex::new(PageState::default()),
+            cond: Condvar::new(),
+        }
     }
 }
 
@@ -134,10 +138,18 @@ mod tests {
 
     #[test]
     fn copy_state_helpers() {
-        let r = CopyState::Resident { frame: FrameRef::Full(FrameId(1)), pins: 2, dirty: false };
+        let r = CopyState::Resident {
+            frame: FrameRef::Full(FrameId(1)),
+            pins: 2,
+            dirty: false,
+        };
         assert_eq!(r.pins(), 2);
         assert!(!r.in_transition());
-        let b = CopyState::Busy { frame: FrameRef::Full(FrameId(1)), pins: 1, dirty: true };
+        let b = CopyState::Busy {
+            frame: FrameRef::Full(FrameId(1)),
+            pins: 1,
+            dirty: true,
+        };
         assert!(b.in_transition());
         assert_eq!(b.pins(), 1);
         assert!(CopyState::Loading.in_transition());

@@ -73,6 +73,9 @@ mod tests {
 
         let e: BufferError = ConfigError::NoBufferCapacity.into();
         assert!(matches!(e, BufferError::Config(_)));
-        assert_eq!(BufferError::UnknownPage(PageId(9)).to_string(), "page P9 was never allocated");
+        assert_eq!(
+            BufferError::UnknownPage(PageId(9)).to_string(),
+            "page P9 was never allocated"
+        );
     }
 }

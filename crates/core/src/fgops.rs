@@ -19,7 +19,9 @@ use crate::Result;
 
 impl BufferManager {
     fn granule(&self) -> usize {
-        self.config().fine_grained.expect("fine-grained ops require a granule")
+        self.config()
+            .fine_grained
+            .expect("fine-grained ops require a granule")
     }
 
     /// Promote an NVM-resident page to a fine-grained (or mini) DRAM copy:
@@ -33,6 +35,7 @@ impl BufferManager {
         nvm_frame: FrameId,
         nvm_dirty: bool,
     ) -> Result<PageGuard<'_>> {
+        let mig_t = spitfire_obs::op_start();
         let pid = desc.pid;
         let fref = if let Some(mini) = &self.mini {
             let slot = match mini.try_alloc(pid) {
@@ -49,7 +52,11 @@ impl BufferManager {
             FrameRef::Fine(Box::new(FinePage::new(frame)))
         };
         let mut st = desc.state.lock();
-        st.dram = Some(CopyState::Resident { frame: fref, pins: 1, dirty: false });
+        st.dram = Some(CopyState::Resident {
+            frame: fref,
+            pins: 1,
+            dirty: false,
+        });
         st.nvm = Some(CopyState::Resident {
             frame: FrameRef::Full(nvm_frame),
             pins: 1, // backing pin held by the fine-grained copy
@@ -60,7 +67,13 @@ impl BufferManager {
         // Promotion of the page *identity*; granule traffic is charged as
         // it happens.
         self.metrics.record_migration(MigrationPath::NvmToDram);
-        Ok(PageGuard { bm: self, pid, kind: GuardKind::FineGrained, in_dram_slot: true })
+        spitfire_obs::record_op(spitfire_obs::Op::MigNvmToDram, mig_t, pid.0, "dram");
+        Ok(PageGuard {
+            bm: self,
+            pid,
+            kind: GuardKind::FineGrained,
+            in_dram_slot: true,
+        })
     }
 
     /// Read through a fine-grained DRAM copy, loading missing granules from
@@ -81,7 +94,8 @@ impl BufferManager {
                         fp.resident.set(g);
                     }
                 }
-                self.tier1_pool().read(frame, offset, buf, AccessPattern::Random)?;
+                self.tier1_pool()
+                    .read(frame, offset, buf, AccessPattern::Random)?;
                 self.tier1_pool().touch(frame);
             }
             FrameRef::Mini(_) => {
@@ -113,7 +127,8 @@ impl BufferManager {
                     fp.resident.set(g);
                     fp.dirty.set(g);
                 }
-                self.tier1_pool().write(frame, offset, data, AccessPattern::Random)?;
+                self.tier1_pool()
+                    .write(frame, offset, data, AccessPattern::Random)?;
                 self.tier1_pool().touch(frame);
             }
             FrameRef::Mini(_) => {
@@ -166,7 +181,8 @@ impl BufferManager {
             let g_end = g_start + granule;
             let io_start = offset.max(g_start);
             let io_end = (offset + len).min(g_end);
-            let fully_covered = matches!(io, MiniIo::Write(_)) && io_start == g_start && io_end == g_end;
+            let fully_covered =
+                matches!(io, MiniIo::Write(_)) && io_start == g_start && io_end == g_end;
             if needs_load && !fully_covered {
                 self.load_granule(nvm_frame, slot_snapshot.slab, g_start, slab_off, granule)?;
             }
@@ -209,9 +225,11 @@ impl BufferManager {
         let mini = self.mini.as_ref().expect("mini slabs exist");
         let new_frame = self.alloc_frame(true)?;
         let (pins, was_dirty, mp) = match dram.take() {
-            Some(CopyState::Resident { frame: FrameRef::Mini(mp), pins, dirty }) => {
-                (pins, dirty, mp)
-            }
+            Some(CopyState::Resident {
+                frame: FrameRef::Mini(mp),
+                pins,
+                dirty,
+            }) => (pins, dirty, mp),
             other => {
                 *dram = other;
                 self.tier1_pool().free(new_frame);
@@ -235,7 +253,11 @@ impl BufferManager {
             self.tier1_pool().free(mp.slot.slab);
         }
         self.tier1_pool().set_owner(new_frame, pid);
-        *dram = Some(CopyState::Resident { frame: FrameRef::Fine(Box::new(fp)), pins, dirty: was_dirty });
+        *dram = Some(CopyState::Resident {
+            frame: FrameRef::Fine(Box::new(fp)),
+            pins,
+            dirty: was_dirty,
+        });
         Ok(())
     }
 
@@ -251,7 +273,12 @@ impl BufferManager {
         let granule = self.granule();
         let len = io.len();
         let (first, last) = granule_range(offset, len, granule);
-        let Some(CopyState::Resident { frame: FrameRef::Fine(fp), dirty, .. }) = dram else {
+        let Some(CopyState::Resident {
+            frame: FrameRef::Fine(fp),
+            dirty,
+            ..
+        }) = dram
+        else {
             unreachable!("promotion installs a fine page");
         };
         let frame = fp.frame;
@@ -269,10 +296,12 @@ impl BufferManager {
         }
         match &mut io {
             MiniIo::Read(buf) => {
-                self.tier1_pool().read(frame, offset, buf, AccessPattern::Random)?;
+                self.tier1_pool()
+                    .read(frame, offset, buf, AccessPattern::Random)?;
             }
             MiniIo::Write(data) => {
-                self.tier1_pool().write(frame, offset, data, AccessPattern::Random)?;
+                self.tier1_pool()
+                    .write(frame, offset, data, AccessPattern::Random)?;
                 *dirty = true;
             }
         }
@@ -290,8 +319,10 @@ impl BufferManager {
         granule: usize,
     ) -> Result<()> {
         with_page_buf(granule, |buf| -> Result<()> {
-            self.nvm_pool().read(nvm_frame, nvm_off, buf, AccessPattern::Random)?;
-            self.tier1_pool().write(dram_frame, dram_off, buf, AccessPattern::Random)?;
+            self.nvm_pool()
+                .read(nvm_frame, nvm_off, buf, AccessPattern::Random)?;
+            self.tier1_pool()
+                .write(dram_frame, dram_off, buf, AccessPattern::Random)?;
             Ok(())
         })
     }
@@ -305,8 +336,10 @@ impl BufferManager {
         len: usize,
     ) -> Result<()> {
         with_page_buf(len, |buf| -> Result<()> {
-            self.tier1_pool().read(src_frame, src_off, buf, AccessPattern::Random)?;
-            self.tier1_pool().write(dst_frame, dst_off, buf, AccessPattern::Random)?;
+            self.tier1_pool()
+                .read(src_frame, src_off, buf, AccessPattern::Random)?;
+            self.tier1_pool()
+                .write(dst_frame, dst_off, buf, AccessPattern::Random)?;
             Ok(())
         })
     }
@@ -348,7 +381,12 @@ impl BufferManager {
                         let gid = gid as usize;
                         let src = mini.content_offset(mp.slot, j, granule);
                         with_page_buf(granule, |buf| -> Result<()> {
-                            self.tier1_pool().read(mp.slot.slab, src, buf, AccessPattern::Random)?;
+                            self.tier1_pool().read(
+                                mp.slot.slab,
+                                src,
+                                buf,
+                                AccessPattern::Random,
+                            )?;
                             let pool = self.nvm_pool();
                             pool.write(nvm_frame, gid * granule, buf, AccessPattern::Random)?;
                             pool.persist(nvm_frame, gid * granule, granule)?;
@@ -364,7 +402,9 @@ impl BufferManager {
     }
 
     fn mapping_get(&self, pid: PageId) -> Result<std::sync::Arc<SharedPageDesc>> {
-        self.mapping.get(&pid.0).ok_or(BufferError::UnknownPage(pid))
+        self.mapping
+            .get(&pid.0)
+            .ok_or(BufferError::UnknownPage(pid))
     }
 }
 
@@ -385,7 +425,11 @@ impl MiniIo<'_> {
 
 fn granule_range(offset: usize, len: usize, granule: usize) -> (usize, usize) {
     let first = offset / granule;
-    let last = if len == 0 { first } else { (offset + len - 1) / granule };
+    let last = if len == 0 {
+        first
+    } else {
+        (offset + len - 1) / granule
+    };
     (first, last)
 }
 
@@ -396,19 +440,19 @@ fn nvm_backing_frame(nvm: &Option<CopyState>, pid: PageId) -> Result<FrameId> {
     }
 }
 
-fn dram_fref_mut<'a>(
-    dram: &'a mut Option<CopyState>,
-    pid: PageId,
-) -> Result<&'a mut FrameRef> {
+fn dram_fref_mut(dram: &mut Option<CopyState>, pid: PageId) -> Result<&mut FrameRef> {
     match dram {
         Some(CopyState::Resident { frame, .. }) => Ok(frame),
         _ => Err(BufferError::UnknownPage(pid)),
     }
 }
 
-fn mini_page_mut<'a>(dram: &'a mut Option<CopyState>, pid: PageId) -> Result<&'a mut MiniPage> {
+fn mini_page_mut(dram: &mut Option<CopyState>, pid: PageId) -> Result<&mut MiniPage> {
     match dram {
-        Some(CopyState::Resident { frame: FrameRef::Mini(mp), .. }) => Ok(mp),
+        Some(CopyState::Resident {
+            frame: FrameRef::Mini(mp),
+            ..
+        }) => Ok(mp),
         _ => Err(BufferError::UnknownPage(pid)),
     }
 }

@@ -96,7 +96,11 @@ pub(crate) struct FinePage {
 impl FinePage {
     /// An empty fine page over `frame`.
     pub(crate) fn new(frame: FrameId) -> Self {
-        FinePage { frame, resident: GranuleMask::new(), dirty: GranuleMask::new() }
+        FinePage {
+            frame,
+            resident: GranuleMask::new(),
+            dirty: GranuleMask::new(),
+        }
     }
 }
 
@@ -130,7 +134,13 @@ pub(crate) struct MiniPage {
 impl MiniPage {
     /// An empty mini page at `slot`.
     pub(crate) fn new(slot: MiniSlot) -> Self {
-        MiniPage { slot, slots: [EMPTY_SLOT; MINI_SLOTS], count: 0, dirty: 0, loaded: 0 }
+        MiniPage {
+            slot,
+            slots: [EMPTY_SLOT; MINI_SLOTS],
+            count: 0,
+            dirty: 0,
+            loaded: 0,
+        }
     }
 
     /// Slot index holding logical granule `gid`, if loaded.
@@ -138,7 +148,9 @@ impl MiniPage {
     /// Linear scan of the slot array — this is the indirection overhead the
     /// paper attributes the mini page's limited gains to (§6.5).
     pub(crate) fn find(&self, gid: u16) -> Option<usize> {
-        self.slots[..self.count as usize].iter().position(|&s| s == gid)
+        self.slots[..self.count as usize]
+            .iter()
+            .position(|&s| s == gid)
     }
 
     /// Claim a slot for granule `gid`; `None` when the mini page is full
@@ -179,7 +191,10 @@ impl MiniPage {
 
     /// Iterate `(slot, granule id)` over occupied slots.
     pub(crate) fn occupied(&self) -> impl Iterator<Item = (usize, u16)> + '_ {
-        self.slots[..self.count as usize].iter().copied().enumerate()
+        self.slots[..self.count as usize]
+            .iter()
+            .copied()
+            .enumerate()
     }
 }
 
@@ -237,7 +252,10 @@ impl MiniSlabs {
         for (frame, info) in slabs.iter_mut() {
             if let Some(index) = info.free_slots.pop() {
                 info.members[index as usize] = Some(pid);
-                return Some(MiniSlot { slab: FrameId(*frame), index });
+                return Some(MiniSlot {
+                    slab: FrameId(*frame),
+                    index,
+                });
             }
         }
         None
@@ -253,14 +271,19 @@ impl MiniSlabs {
         };
         info.members[0] = Some(pid);
         slabs.insert(frame.0, info);
-        MiniSlot { slab: frame, index: 0 }
+        MiniSlot {
+            slab: frame,
+            index: 0,
+        }
     }
 
     /// Release `slot`. Returns `true` if the slab frame is now empty and
     /// should be freed by the caller.
     pub(crate) fn free_slot(&self, slot: MiniSlot) -> bool {
         let mut slabs = self.slabs.lock();
-        let Some(info) = slabs.get_mut(&slot.slab.0) else { return false };
+        let Some(info) = slabs.get_mut(&slot.slab.0) else {
+            return false;
+        };
         info.members[slot.index as usize] = None;
         info.free_slots.push(slot.index);
         if info.free_slots.len() == self.minis_per_slab {
@@ -305,7 +328,10 @@ mod tests {
 
     #[test]
     fn mini_page_insert_find_overflow() {
-        let mut mp = MiniPage::new(MiniSlot { slab: FrameId(0), index: 0 });
+        let mut mp = MiniPage::new(MiniSlot {
+            slab: FrameId(0),
+            index: 0,
+        });
         // The paper's example: granule 255 loaded into the second slot.
         assert_eq!(mp.insert(8), Some(0));
         assert_eq!(mp.insert(255), Some(1));
@@ -320,12 +346,19 @@ mod tests {
             assert!(mp.insert(gid).is_some());
         }
         assert_eq!(mp.count as usize, MINI_SLOTS);
-        assert_eq!(mp.insert(999), None, "seventeenth distinct granule overflows");
+        assert_eq!(
+            mp.insert(999),
+            None,
+            "seventeenth distinct granule overflows"
+        );
     }
 
     #[test]
     fn mini_page_dirty_bits() {
-        let mut mp = MiniPage::new(MiniSlot { slab: FrameId(0), index: 0 });
+        let mut mp = MiniPage::new(MiniSlot {
+            slab: FrameId(0),
+            index: 0,
+        });
         let j = mp.insert(42).unwrap();
         assert!(!mp.is_dirty(j));
         mp.mark_dirty(j);
@@ -339,10 +372,19 @@ mod tests {
         // 3 minis per slab.
         let slabs = MiniSlabs::new(4096, 64);
         assert_eq!(slabs.minis_per_slab(), 3);
-        assert!(slabs.try_alloc(PageId(1)).is_none(), "no slabs registered yet");
+        assert!(
+            slabs.try_alloc(PageId(1)).is_none(),
+            "no slabs registered yet"
+        );
 
         let s0 = slabs.register_slab(FrameId(7), PageId(1));
-        assert_eq!(s0, MiniSlot { slab: FrameId(7), index: 0 });
+        assert_eq!(
+            s0,
+            MiniSlot {
+                slab: FrameId(7),
+                index: 0
+            }
+        );
         assert!(slabs.is_slab(FrameId(7)));
 
         let s1 = slabs.try_alloc(PageId(2)).unwrap();
@@ -367,13 +409,25 @@ mod tests {
         let slabs = MiniSlabs::new(16384, 256);
         // stride = 16*256 + 64 = 4160; 3 minis per 16 KB slab.
         assert_eq!(slabs.minis_per_slab(), 3);
-        let a = MiniSlot { slab: FrameId(0), index: 0 };
-        let b = MiniSlot { slab: FrameId(0), index: 1 };
+        let a = MiniSlot {
+            slab: FrameId(0),
+            index: 0,
+        };
+        let b = MiniSlot {
+            slab: FrameId(0),
+            index: 1,
+        };
         let a_end = slabs.content_offset(a, MINI_SLOTS - 1, 256) + 256;
         let b_start = slabs.content_offset(b, 0, 256);
-        assert!(a_end <= b_start, "mini {a_end} overlaps next mini at {b_start}");
+        assert!(
+            a_end <= b_start,
+            "mini {a_end} overlaps next mini at {b_start}"
+        );
         // The last mini's last granule must fit in the slab frame.
-        let c = MiniSlot { slab: FrameId(0), index: 2 };
+        let c = MiniSlot {
+            slab: FrameId(0),
+            index: 2,
+        };
         let c_end = slabs.content_offset(c, MINI_SLOTS - 1, 256) + 256;
         assert!(c_end <= 16384);
     }

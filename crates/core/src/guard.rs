@@ -56,9 +56,14 @@ impl<'a> PageGuard<'a> {
     pub fn read(&self, offset: usize, buf: &mut [u8]) -> Result<()> {
         match self.kind {
             GuardKind::FullDram(f) => {
-                self.bm.tier1_pool().read(f, offset, buf, AccessPattern::Random)
+                self.bm
+                    .tier1_pool()
+                    .read(f, offset, buf, AccessPattern::Random)
             }
-            GuardKind::FullNvm(f) => self.bm.nvm_pool().read(f, offset, buf, AccessPattern::Random),
+            GuardKind::FullNvm(f) => self
+                .bm
+                .nvm_pool()
+                .read(f, offset, buf, AccessPattern::Random),
             GuardKind::FineGrained => self.bm.fg_read(self.pid, offset, buf),
         }
     }
@@ -72,7 +77,9 @@ impl<'a> PageGuard<'a> {
     pub fn write(&self, offset: usize, data: &[u8]) -> Result<()> {
         match self.kind {
             GuardKind::FullDram(f) => {
-                self.bm.tier1_pool().write(f, offset, data, AccessPattern::Random)?;
+                self.bm
+                    .tier1_pool()
+                    .write(f, offset, data, AccessPattern::Random)?;
             }
             GuardKind::FullNvm(f) => {
                 let pool = self.bm.nvm_pool();

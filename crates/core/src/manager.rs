@@ -23,6 +23,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use spitfire_device::{AccessPattern, DeviceStats, NvmDevice, SsdDevice};
+use spitfire_obs::{self as obs, Op};
 use spitfire_sync::{AdmissionQueue, ConcurrentMap};
 
 use crate::config::{BufferManagerConfig, Hierarchy};
@@ -77,15 +78,27 @@ impl BufferManager {
         let scale = config.time_scale;
         let page = config.page_size;
         let (tier1, nvm) = if config.memory_mode {
-            (Some(Pool::memory_mode(config.nvm_capacity, config.dram_capacity, page, scale)), None)
+            (
+                Some(Pool::memory_mode(
+                    config.nvm_capacity,
+                    config.dram_capacity,
+                    page,
+                    scale,
+                )),
+                None,
+            )
         } else {
-            let t1 = (config.dram_capacity > 0).then(|| Pool::dram(config.dram_capacity, page, scale));
+            let t1 =
+                (config.dram_capacity > 0).then(|| Pool::dram(config.dram_capacity, page, scale));
             let t2 = (config.nvm_capacity > 0)
                 .then(|| Pool::nvm(config.nvm_capacity, page, scale, config.persistence));
             (t1, t2)
         };
         let admission = nvm.as_ref().map(|pool| {
-            let cap = config.admission_queue_capacity.unwrap_or(pool.n_frames() / 2).max(1);
+            let cap = config
+                .admission_queue_capacity
+                .unwrap_or(pool.n_frames() / 2)
+                .max(1);
             AdmissionQueue::new(cap)
         });
         let mini = config
@@ -200,7 +213,9 @@ impl BufferManager {
     }
 
     pub(crate) fn tier1_pool(&self) -> &Pool {
-        self.tier1.as_ref().expect("tier-1 pool exists for this guard")
+        self.tier1
+            .as_ref()
+            .expect("tier-1 pool exists for this guard")
     }
 
     pub(crate) fn nvm_pool(&self) -> &Pool {
@@ -209,7 +224,9 @@ impl BufferManager {
 
     /// Cheap thread-safe uniform draw (splitmix64 on a shared counter).
     fn draw(&self) -> u32 {
-        let mut z = self.rng_state.fetch_add(0x9E37_79B9_7F4A_7C15, Ordering::Relaxed);
+        let mut z = self
+            .rng_state
+            .fetch_add(0x9E37_79B9_7F4A_7C15, Ordering::Relaxed);
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
         (z ^ (z >> 31)) as u32
@@ -228,12 +245,15 @@ impl BufferManager {
         if pid.0 >= self.next_pid.load(Ordering::Acquire) {
             return Err(BufferError::UnknownPage(pid));
         }
-        Ok(self.mapping.get_or_insert_with(pid.0, || Arc::new(SharedPageDesc::new(pid))))
+        Ok(self
+            .mapping
+            .get_or_insert_with(pid.0, || Arc::new(SharedPageDesc::new(pid))))
     }
 
     /// Fetch `pid` with the given intent, returning a pinned guard on
     /// whichever tier the migration policy placed the page (§5.1).
     pub fn fetch(&self, pid: PageId, intent: AccessIntent) -> Result<PageGuard<'_>> {
+        let obs_t = obs::op_start();
         let desc = self.descriptor(pid)?;
         let mut st = desc.state.lock();
         loop {
@@ -249,7 +269,13 @@ impl BufferManager {
                         self.tier1_pool().touch(frame.frame());
                         drop(st);
                         self.metrics.record_dram_hit();
-                        return Ok(PageGuard { bm: self, pid, kind, in_dram_slot: true });
+                        obs::record_op(Op::FetchDramHit, obs_t, pid.0, "dram");
+                        return Ok(PageGuard {
+                            bm: self,
+                            pid,
+                            kind,
+                            in_dram_slot: true,
+                        });
                     }
                     Some(_) => {
                         desc.cond.wait(&mut st);
@@ -278,6 +304,7 @@ impl BufferManager {
                             self.nvm_pool().touch(f);
                             drop(st);
                             self.metrics.record_nvm_hit();
+                            obs::record_op(Op::FetchNvmHit, obs_t, pid.0, "nvm");
                             return Ok(PageGuard {
                                 bm: self,
                                 pid,
@@ -294,12 +321,14 @@ impl BufferManager {
                         st.dram = Some(CopyState::Loading);
                         drop(st);
                         match self.promote(&desc, f, dirty0) {
-                            Ok(guard) => return Ok(guard),
+                            Ok(guard) => {
+                                obs::record_op(Op::FetchNvmHit, obs_t, pid.0, "dram");
+                                return Ok(guard);
+                            }
                             Err(e) => {
                                 let mut st = desc.state.lock();
                                 st.dram = None;
-                                let serve_from_nvm =
-                                    matches!(e, BufferError::NoFrames { .. });
+                                let serve_from_nvm = matches!(e, BufferError::NoFrames { .. });
                                 st.nvm = Some(CopyState::Resident {
                                     frame: FrameRef::Full(f),
                                     pins: u32::from(serve_from_nvm),
@@ -311,6 +340,7 @@ impl BufferManager {
                                     // DRAM had no evictable frame: degrade
                                     // gracefully to an in-place NVM access.
                                     self.metrics.record_nvm_hit();
+                                    obs::record_op(Op::FetchNvmHit, obs_t, pid.0, "nvm");
                                     return Ok(PageGuard {
                                         bm: self,
                                         pid,
@@ -346,10 +376,16 @@ impl BufferManager {
             drop(st);
             self.metrics.record_ssd_fetch();
             match self.load_from_ssd(pid, to_dram) {
-                Ok(guard) => return Ok(guard),
-                Err(BufferError::NoFrames { .. })
-                    if self.tier1.is_some() && self.nvm.is_some() =>
-                {
+                Ok(guard) => {
+                    obs::record_op(
+                        Op::FetchSsdMiss,
+                        obs_t,
+                        pid.0,
+                        if to_dram { "dram" } else { "nvm" },
+                    );
+                    return Ok(guard);
+                }
+                Err(BufferError::NoFrames { .. }) if self.tier1.is_some() && self.nvm.is_some() => {
                     // The chosen pool has no evictable frame (e.g. every NVM
                     // frame is pinned as fine-grained backing): fall back to
                     // the other tier. No other thread can have installed a
@@ -360,7 +396,15 @@ impl BufferManager {
                     desc.cond.notify_all();
                     drop(st);
                     match self.load_from_ssd(pid, !to_dram) {
-                        Ok(guard) => return Ok(guard),
+                        Ok(guard) => {
+                            obs::record_op(
+                                Op::FetchSsdMiss,
+                                obs_t,
+                                pid.0,
+                                if to_dram { "nvm" } else { "dram" },
+                            );
+                            return Ok(guard);
+                        }
                         Err(e) => {
                             let mut st = desc.state.lock();
                             *st.slot_mut(!to_dram) = None;
@@ -381,46 +425,83 @@ impl BufferManager {
 
     /// Copy an NVM-resident page up to DRAM (path ⑥, §3.1). The NVM copy
     /// is `Busy` and the DRAM slot is `Loading` on entry.
-    fn promote(&self, desc: &SharedPageDesc, nvm_frame: FrameId, nvm_dirty: bool) -> Result<PageGuard<'_>> {
+    fn promote(
+        &self,
+        desc: &SharedPageDesc,
+        nvm_frame: FrameId,
+        nvm_dirty: bool,
+    ) -> Result<PageGuard<'_>> {
         if self.config.fine_grained.is_some() {
             return self.promote_fine(desc, nvm_frame, nvm_dirty);
         }
+        let mig_t = obs::op_start();
         let dram_frame = self.alloc_frame(true)?;
         let page = self.config.page_size;
         with_page_buf(page, |buf| -> Result<()> {
-            self.nvm_pool().read(nvm_frame, 0, buf, AccessPattern::Sequential)?;
-            self.tier1_pool().write(dram_frame, 0, buf, AccessPattern::Sequential)?;
+            self.nvm_pool()
+                .read(nvm_frame, 0, buf, AccessPattern::Sequential)?;
+            self.tier1_pool()
+                .write(dram_frame, 0, buf, AccessPattern::Sequential)?;
             Ok(())
         })?;
         self.tier1_pool().set_owner(dram_frame, desc.pid);
         let mut st = desc.state.lock();
-        st.dram = Some(CopyState::Resident { frame: FrameRef::Full(dram_frame), pins: 1, dirty: false });
-        st.nvm = Some(CopyState::Resident { frame: FrameRef::Full(nvm_frame), pins: 0, dirty: nvm_dirty });
+        st.dram = Some(CopyState::Resident {
+            frame: FrameRef::Full(dram_frame),
+            pins: 1,
+            dirty: false,
+        });
+        st.nvm = Some(CopyState::Resident {
+            frame: FrameRef::Full(nvm_frame),
+            pins: 0,
+            dirty: nvm_dirty,
+        });
         desc.cond.notify_all();
         drop(st);
         self.metrics.record_migration(MigrationPath::NvmToDram);
-        Ok(PageGuard { bm: self, pid: desc.pid, kind: GuardKind::FullDram(dram_frame), in_dram_slot: true })
+        obs::record_op(Op::MigNvmToDram, mig_t, desc.pid.0, "dram");
+        Ok(PageGuard {
+            bm: self,
+            pid: desc.pid,
+            kind: GuardKind::FullDram(dram_frame),
+            in_dram_slot: true,
+        })
     }
 
     /// Load a page from SSD into the chosen tier (paths ① / ④). The
     /// destination slot is `Loading` on entry.
     fn load_from_ssd(&self, pid: PageId, to_dram: bool) -> Result<PageGuard<'_>> {
-        let desc = self.mapping.get(&pid.0).ok_or(BufferError::UnknownPage(pid))?;
+        let desc = self
+            .mapping
+            .get(&pid.0)
+            .ok_or(BufferError::UnknownPage(pid))?;
         let page = self.config.page_size;
+        let mig_t = obs::op_start();
         if to_dram {
             let frame = self.alloc_frame(true)?;
             with_page_buf(page, |buf| -> Result<()> {
                 self.ssd.read_page(pid.0, buf)?;
-                self.tier1_pool().write(frame, 0, buf, AccessPattern::Sequential)?;
+                self.tier1_pool()
+                    .write(frame, 0, buf, AccessPattern::Sequential)?;
                 Ok(())
             })?;
             self.tier1_pool().set_owner(frame, pid);
             let mut st = desc.state.lock();
-            st.dram = Some(CopyState::Resident { frame: FrameRef::Full(frame), pins: 1, dirty: false });
+            st.dram = Some(CopyState::Resident {
+                frame: FrameRef::Full(frame),
+                pins: 1,
+                dirty: false,
+            });
             desc.cond.notify_all();
             drop(st);
             self.metrics.record_migration(MigrationPath::SsdToDram);
-            Ok(PageGuard { bm: self, pid, kind: GuardKind::FullDram(frame), in_dram_slot: true })
+            obs::record_op(Op::MigSsdToDram, mig_t, pid.0, "dram");
+            Ok(PageGuard {
+                bm: self,
+                pid,
+                kind: GuardKind::FullDram(frame),
+                in_dram_slot: true,
+            })
         } else {
             let frame = self.alloc_frame(false)?;
             with_page_buf(page, |buf| -> Result<()> {
@@ -433,17 +514,31 @@ impl BufferManager {
             })?;
             self.nvm_pool().set_owner(frame, pid);
             let mut st = desc.state.lock();
-            st.nvm = Some(CopyState::Resident { frame: FrameRef::Full(frame), pins: 1, dirty: false });
+            st.nvm = Some(CopyState::Resident {
+                frame: FrameRef::Full(frame),
+                pins: 1,
+                dirty: false,
+            });
             desc.cond.notify_all();
             drop(st);
             self.metrics.record_migration(MigrationPath::SsdToNvm);
-            Ok(PageGuard { bm: self, pid, kind: GuardKind::FullNvm(frame), in_dram_slot: false })
+            obs::record_op(Op::MigSsdToNvm, mig_t, pid.0, "nvm");
+            Ok(PageGuard {
+                bm: self,
+                pid,
+                kind: GuardKind::FullNvm(frame),
+                in_dram_slot: false,
+            })
         }
     }
 
     /// Claim a frame in the requested pool, evicting pages as needed.
     pub(crate) fn alloc_frame(&self, dram: bool) -> Result<FrameId> {
-        let pool = if dram { self.tier1_pool() } else { self.nvm_pool() };
+        let pool = if dram {
+            self.tier1_pool()
+        } else {
+            self.nvm_pool()
+        };
         let budget = pool.n_frames() * 4 + 256;
         for attempt in 0..budget {
             if let Some(f) = pool.try_alloc() {
@@ -467,13 +562,17 @@ impl BufferManager {
                 std::thread::yield_now();
             }
         }
-        Err(BufferError::NoFrames { tier: if dram { Tier::Dram } else { Tier::Nvm } })
+        Err(BufferError::NoFrames {
+            tier: if dram { Tier::Dram } else { Tier::Nvm },
+        })
     }
 
     /// Attempt to evict `vpid`'s copy occupying `victim` in the given pool.
     /// Returns `true` if the frame was freed.
     fn try_evict(&self, dram: bool, victim: FrameId, vpid: PageId) -> bool {
-        let Some(desc) = self.mapping.get(&vpid.0) else { return false };
+        let Some(desc) = self.mapping.get(&vpid.0) else {
+            return false;
+        };
         if dram {
             self.try_evict_dram(&desc, victim)
         } else {
@@ -500,8 +599,17 @@ impl BufferManager {
     /// Evict the DRAM copy of `desc` if it occupies `victim` and is
     /// evictable right now.
     fn try_evict_dram(&self, desc: &SharedPageDesc, victim: FrameId) -> bool {
-        let Some(mut st) = desc.state.try_lock() else { return false };
-        let Some(CopyState::Resident { frame, pins: 0, dirty }) = &st.dram else { return false };
+        let Some(mut st) = desc.state.try_lock() else {
+            return false;
+        };
+        let Some(CopyState::Resident {
+            frame,
+            pins: 0,
+            dirty,
+        }) = &st.dram
+        else {
+            return false;
+        };
         if frame.frame() != victim {
             return false;
         }
@@ -514,7 +622,11 @@ impl BufferManager {
             EvictPlan::Discard
         } else {
             match &st.nvm {
-                Some(CopyState::Resident { frame: nf, pins, dirty: nvm_dirty }) => {
+                Some(CopyState::Resident {
+                    frame: nf,
+                    pins,
+                    dirty: nvm_dirty,
+                }) => {
                     // Fine-grained copies hold one backing pin on the NVM
                     // copy; anything beyond that means concurrent readers.
                     let backing = u32::from(fine);
@@ -557,17 +669,24 @@ impl BufferManager {
                 }
             }
         };
-        st.dram = Some(CopyState::Busy { frame: fref.clone(), pins: 0, dirty });
+        st.dram = Some(CopyState::Busy {
+            frame: fref.clone(),
+            pins: 0,
+            dirty,
+        });
         drop(st);
 
+        let evict_t = obs::op_start();
         self.execute_dram_eviction(desc, fref, plan);
         self.metrics.record_dram_eviction();
+        obs::record_op(Op::EvictDram, evict_t, desc.pid.0, "dram");
         true
     }
 
     /// Carry out a DRAM eviction plan (no descriptor lock held during I/O).
     fn execute_dram_eviction(&self, desc: &SharedPageDesc, fref: FrameRef, plan: EvictPlan) {
         let page = self.config.page_size;
+        let mig_t = obs::op_start();
         match plan {
             EvictPlan::Discard => {
                 self.release_dram_copy(desc, fref, None);
@@ -575,7 +694,8 @@ impl BufferManager {
             }
             EvictPlan::MergeIntoNvm(nvm_frame) => {
                 let res = with_page_buf(page, |buf| -> Result<()> {
-                    self.tier1_pool().read(fref.frame(), 0, buf, AccessPattern::Sequential)?;
+                    self.tier1_pool()
+                        .read(fref.frame(), 0, buf, AccessPattern::Sequential)?;
                     let pool = self.nvm_pool();
                     pool.write(nvm_frame, 0, buf, AccessPattern::Sequential)?;
                     pool.persist(nvm_frame, 0, page)?;
@@ -585,24 +705,39 @@ impl BufferManager {
                 self.release_dram_copy(
                     desc,
                     fref,
-                    Some(CopyState::Resident { frame: FrameRef::Full(nvm_frame), pins: 0, dirty: true }),
+                    Some(CopyState::Resident {
+                        frame: FrameRef::Full(nvm_frame),
+                        pins: 0,
+                        dirty: true,
+                    }),
                 );
                 self.metrics.record_migration(MigrationPath::DramToNvm);
+                obs::record_op(Op::MigDramToNvm, mig_t, desc.pid.0, "nvm");
             }
             EvictPlan::WriteBackGranules(nvm_frame) => {
                 self.write_back_granules(desc, &fref, nvm_frame);
                 self.release_dram_copy(
                     desc,
                     fref,
-                    Some(CopyState::Resident { frame: FrameRef::Full(nvm_frame), pins: 0, dirty: true }),
+                    Some(CopyState::Resident {
+                        frame: FrameRef::Full(nvm_frame),
+                        pins: 0,
+                        dirty: true,
+                    }),
                 );
                 self.metrics.record_migration(MigrationPath::DramToNvm);
+                obs::record_op(Op::MigDramToNvm, mig_t, desc.pid.0, "nvm");
             }
             EvictPlan::AdmitToNvm => {
                 match self.alloc_frame(false) {
                     Ok(nvm_frame) => {
                         let res = with_page_buf(page, |buf| -> Result<()> {
-                            self.tier1_pool().read(fref.frame(), 0, buf, AccessPattern::Sequential)?;
+                            self.tier1_pool().read(
+                                fref.frame(),
+                                0,
+                                buf,
+                                AccessPattern::Sequential,
+                            )?;
                             let pool = self.nvm_pool();
                             pool.write(nvm_frame, 0, buf, AccessPattern::Sequential)?;
                             pool.persist(nvm_frame, 0, page)?;
@@ -621,6 +756,7 @@ impl BufferManager {
                             }),
                         );
                         self.metrics.record_migration(MigrationPath::DramToNvm);
+                        obs::record_op(Op::MigDramToNvm, mig_t, desc.pid.0, "nvm");
                     }
                     Err(_) => {
                         // NVM pool exhausted of evictable frames: fall back
@@ -628,6 +764,7 @@ impl BufferManager {
                         self.write_dram_copy_to_ssd(desc, &fref);
                         self.release_dram_copy(desc, fref, None);
                         self.metrics.record_migration(MigrationPath::DramToSsd);
+                        obs::record_op(Op::MigDramToSsd, mig_t, desc.pid.0, "ssd");
                     }
                 }
             }
@@ -635,6 +772,7 @@ impl BufferManager {
                 self.write_dram_copy_to_ssd(desc, &fref);
                 self.release_dram_copy(desc, fref, None);
                 self.metrics.record_migration(MigrationPath::DramToSsd);
+                obs::record_op(Op::MigDramToSsd, mig_t, desc.pid.0, "ssd");
             }
         }
     }
@@ -642,7 +780,8 @@ impl BufferManager {
     fn write_dram_copy_to_ssd(&self, desc: &SharedPageDesc, fref: &FrameRef) {
         let page = self.config.page_size;
         let res = with_page_buf(page, |buf| -> Result<()> {
-            self.tier1_pool().read(fref.frame(), 0, buf, AccessPattern::Sequential)?;
+            self.tier1_pool()
+                .read(fref.frame(), 0, buf, AccessPattern::Sequential)?;
             self.ssd.write_page(desc.pid.0, buf)?;
             Ok(())
         });
@@ -661,7 +800,9 @@ impl BufferManager {
             st.nvm = Some(nvm_state);
         } else if fine {
             // Clean fine-grained copy discarded: release the backing pin.
-            if let Some(CopyState::Resident { pins, .. } | CopyState::Busy { pins, .. }) = &mut st.nvm {
+            if let Some(CopyState::Resident { pins, .. } | CopyState::Busy { pins, .. }) =
+                &mut st.nvm
+            {
                 *pins = pins.saturating_sub(1);
             }
         }
@@ -682,24 +823,41 @@ impl BufferManager {
     /// Evict the NVM copy of `desc` if it occupies `victim` and is
     /// evictable (paths ⑤ / discard).
     fn try_evict_nvm(&self, desc: &SharedPageDesc, victim: FrameId) -> bool {
-        let Some(mut st) = desc.state.try_lock() else { return false };
-        let Some(CopyState::Resident { frame, pins: 0, dirty }) = &st.nvm else { return false };
+        let Some(mut st) = desc.state.try_lock() else {
+            return false;
+        };
+        let Some(CopyState::Resident {
+            frame,
+            pins: 0,
+            dirty,
+        }) = &st.nvm
+        else {
+            return false;
+        };
         if frame.frame() != victim {
             return false;
         }
         let dirty = *dirty;
-        st.nvm = Some(CopyState::Busy { frame: FrameRef::Full(victim), pins: 0, dirty });
+        st.nvm = Some(CopyState::Busy {
+            frame: FrameRef::Full(victim),
+            pins: 0,
+            dirty,
+        });
         drop(st);
 
+        let evict_t = obs::op_start();
         if dirty {
+            let mig_t = obs::op_start();
             let page = self.config.page_size;
             let res = with_page_buf(page, |buf| -> Result<()> {
-                self.nvm_pool().read(victim, 0, buf, AccessPattern::Sequential)?;
+                self.nvm_pool()
+                    .read(victim, 0, buf, AccessPattern::Sequential)?;
                 self.ssd.write_page(desc.pid.0, buf)?;
                 Ok(())
             });
             debug_assert!(res.is_ok(), "NVM->SSD write-back failed: {res:?}");
             self.metrics.record_migration(MigrationPath::NvmToSsd);
+            obs::record_op(Op::MigNvmToSsd, mig_t, desc.pid.0, "ssd");
         }
         let _ = self.nvm_pool().clear_frame_header(victim);
         let mut st = desc.state.lock();
@@ -708,12 +866,15 @@ impl BufferManager {
         drop(st);
         self.nvm_pool().free(victim);
         self.metrics.record_nvm_eviction();
+        obs::record_op(Op::EvictNvm, evict_t, desc.pid.0, "nvm");
         true
     }
 
     /// Drop one pin on the page's copy (guard drop).
     pub(crate) fn unpin(&self, pid: PageId, in_dram_slot: bool) {
-        let Some(desc) = self.mapping.get(&pid.0) else { return };
+        let Some(desc) = self.mapping.get(&pid.0) else {
+            return;
+        };
         let mut st = desc.state.lock();
         let slot = st.slot_mut(in_dram_slot);
         if let Some(CopyState::Resident { pins, .. } | CopyState::Busy { pins, .. }) = slot {
@@ -725,7 +886,9 @@ impl BufferManager {
 
     /// Mark the pinned copy dirty (guard write).
     pub(crate) fn mark_dirty(&self, pid: PageId, in_dram_slot: bool) {
-        let Some(desc) = self.mapping.get(&pid.0) else { return };
+        let Some(desc) = self.mapping.get(&pid.0) else {
+            return;
+        };
         let mut st = desc.state.lock();
         if let Some(CopyState::Resident { dirty, .. } | CopyState::Busy { dirty, .. }) =
             st.slot_mut(in_dram_slot)
@@ -767,14 +930,148 @@ impl BufferManager {
         (dram, nvm)
     }
 
+    /// Frames currently occupied in the (DRAM, NVM) pools.
+    pub fn occupied_frames(&self) -> (usize, usize) {
+        (
+            self.tier1.as_ref().map_or(0, Pool::occupied_frames),
+            self.nvm.as_ref().map_or(0, Pool::occupied_frames),
+        )
+    }
+
+    /// Number of dirty resident pages in (DRAM, NVM).
+    pub fn dirty_pages(&self) -> (usize, usize) {
+        fn is_dirty(slot: &Option<CopyState>) -> bool {
+            matches!(
+                slot,
+                Some(CopyState::Resident { dirty: true, .. } | CopyState::Busy { dirty: true, .. })
+            )
+        }
+        let mut dram = 0;
+        let mut nvm = 0;
+        self.mapping.for_each(|_, desc| {
+            if let Some(st) = desc.state.try_lock() {
+                dram += usize::from(is_dirty(&st.dram));
+                nvm += usize::from(is_dirty(&st.nvm));
+            }
+        });
+        (dram, nvm)
+    }
+
+    /// Current occupancy of the NVM admission queue (0 without an NVM tier).
+    pub fn admission_queue_len(&self) -> usize {
+        self.admission.as_ref().map_or(0, AdmissionQueue::len)
+    }
+
+    /// Register this manager's state as named observability gauges (tier
+    /// occupancy, dirty pages, admission-queue length, policy vector, device
+    /// byte counters). Gauges hold a [`std::sync::Weak`] and disappear from
+    /// the registry once the manager is dropped.
+    pub fn register_obs_gauges(self: &Arc<Self>) {
+        fn gauge(bm: &Arc<BufferManager>, name: &'static str, f: fn(&BufferManager) -> f64) {
+            let w = Arc::downgrade(bm);
+            obs::register_gauge(name, move || w.upgrade().map(|bm| f(&bm)));
+        }
+        gauge(self, "dram_frames_total", |bm| bm.dram_frames() as f64);
+        gauge(self, "nvm_frames_total", |bm| bm.nvm_frames() as f64);
+        gauge(self, "dram_occupied_frames", |bm| {
+            bm.occupied_frames().0 as f64
+        });
+        gauge(self, "nvm_occupied_frames", |bm| {
+            bm.occupied_frames().1 as f64
+        });
+        gauge(self, "dram_dirty_pages", |bm| bm.dirty_pages().0 as f64);
+        gauge(self, "nvm_dirty_pages", |bm| bm.dirty_pages().1 as f64);
+        gauge(self, "admission_queue_len", |bm| {
+            bm.admission_queue_len() as f64
+        });
+        gauge(self, "policy_dr", |bm| bm.policy().dr);
+        gauge(self, "policy_dw", |bm| bm.policy().dw);
+        gauge(self, "policy_nr", |bm| bm.policy().nr);
+        gauge(self, "policy_nw", |bm| bm.policy().nw);
+        gauge(self, "buffer_hit_ratio", |bm| {
+            bm.metrics().buffer_hit_ratio()
+        });
+        for (tier, label) in [(Tier::Dram, "dram"), (Tier::Nvm, "nvm"), (Tier::Ssd, "ssd")] {
+            let w = Arc::downgrade(self);
+            obs::register_gauge(format!("{label}_bytes_read"), move || {
+                let stats = w.upgrade()?.device_stats(tier)?;
+                Some(stats.snapshot().bytes_read as f64)
+            });
+            let w = Arc::downgrade(self);
+            obs::register_gauge(format!("{label}_bytes_written"), move || {
+                let stats = w.upgrade()?.device_stats(tier)?;
+                Some(stats.snapshot().bytes_written as f64)
+            });
+        }
+    }
+
+    /// Add this manager's counters ([`BufferMetrics`], per-device stats) and
+    /// point-in-time gauges to an observability report. Gauges already
+    /// present in the report (e.g. from registered weak gauges) are not
+    /// duplicated.
+    pub fn fill_obs_report(&self, report: &mut obs::Report) {
+        let m = self.metrics.snapshot();
+        report.add_counter("dram_hits", m.dram_hits);
+        report.add_counter("nvm_hits", m.nvm_hits);
+        report.add_counter("ssd_fetches", m.ssd_fetches);
+        report.add_counter("evictions_dram", m.evictions_dram);
+        report.add_counter("evictions_nvm", m.evictions_nvm);
+        report.add_counter("discards", m.discards);
+        for path in MigrationPath::ALL {
+            let label = path.label().replace("->", "_to_");
+            report.add_counter(format!("migrations_{label}"), m.path(path));
+        }
+        for (tier, label) in [(Tier::Dram, "dram"), (Tier::Nvm, "nvm"), (Tier::Ssd, "ssd")] {
+            if let Some(stats) = self.device_stats(tier) {
+                let s = stats.snapshot();
+                report.add_counter(format!("{label}_read_ops"), s.read_ops);
+                report.add_counter(format!("{label}_write_ops"), s.write_ops);
+                report.add_counter(format!("{label}_bytes_read"), s.bytes_read);
+                report.add_counter(format!("{label}_bytes_written"), s.bytes_written);
+                report.add_counter(format!("{label}_bytes_flushed"), s.bytes_flushed);
+                report.add_counter(format!("{label}_fences"), s.fences);
+            }
+        }
+        let have: std::collections::HashSet<&str> =
+            report.gauges.iter().map(|(n, _)| n.as_str()).collect();
+        let mut fresh: Vec<(String, f64)> = Vec::new();
+        let mut gauge = |name: &str, v: f64| {
+            if !have.contains(name) {
+                fresh.push((name.to_string(), v));
+            }
+        };
+        let (dram_occ, nvm_occ) = self.occupied_frames();
+        gauge("dram_occupied_frames", dram_occ as f64);
+        gauge("nvm_occupied_frames", nvm_occ as f64);
+        let (dram_dirty, nvm_dirty) = self.dirty_pages();
+        gauge("dram_dirty_pages", dram_dirty as f64);
+        gauge("nvm_dirty_pages", nvm_dirty as f64);
+        gauge("admission_queue_len", self.admission_queue_len() as f64);
+        let p = self.policy();
+        gauge("policy_dr", p.dr);
+        gauge("policy_dw", p.dw);
+        gauge("policy_nr", p.nr);
+        gauge("policy_nw", p.nw);
+        gauge("buffer_hit_ratio", m.buffer_hit_ratio());
+        gauge("inclusivity", self.inclusivity());
+        report.gauges.extend(fresh);
+    }
+
     /// Write the dirty DRAM copy of `pid` down to SSD without evicting it
     /// (checkpointer; paper §5.2 Recovery: DRAM pages are flushed for log
     /// truncation, NVM pages are not because NVM is persistent). Returns
     /// `true` if a flush happened; pinned or busy pages are skipped.
     pub fn flush_page(&self, pid: PageId) -> Result<bool> {
-        let Some(desc) = self.mapping.get(&pid.0) else { return Ok(false) };
+        let Some(desc) = self.mapping.get(&pid.0) else {
+            return Ok(false);
+        };
         let mut st = desc.state.lock();
-        let Some(CopyState::Resident { frame, pins: 0, dirty: true }) = &st.dram else {
+        let Some(CopyState::Resident {
+            frame,
+            pins: 0,
+            dirty: true,
+        }) = &st.dram
+        else {
             return Ok(false);
         };
         let fref = frame.clone();
@@ -790,20 +1087,31 @@ impl BufferManager {
         // protocol: NVM-resident modified pages are not flushed to SSD
         // because NVM is persistent.
         let nvm_target = match &st.nvm {
-            Some(CopyState::Resident { frame: nf, pins: 0, .. }) => Some(nf.frame()),
+            Some(CopyState::Resident {
+                frame: nf, pins: 0, ..
+            }) => Some(nf.frame()),
             Some(_) => return Ok(false), // NVM copy pinned or in transition
             None => None,
         };
-        st.dram = Some(CopyState::Busy { frame: fref.clone(), pins: 0, dirty: true });
+        st.dram = Some(CopyState::Busy {
+            frame: fref.clone(),
+            pins: 0,
+            dirty: true,
+        });
         if let Some(nf) = nvm_target {
-            st.nvm = Some(CopyState::Busy { frame: FrameRef::Full(nf), pins: 0, dirty: true });
+            st.nvm = Some(CopyState::Busy {
+                frame: FrameRef::Full(nf),
+                pins: 0,
+                dirty: true,
+            });
         }
         drop(st);
         match nvm_target {
             Some(nf) => {
                 let page = self.config.page_size;
                 let res = with_page_buf(page, |buf| -> Result<()> {
-                    self.tier1_pool().read(fref.frame(), 0, buf, AccessPattern::Sequential)?;
+                    self.tier1_pool()
+                        .read(fref.frame(), 0, buf, AccessPattern::Sequential)?;
                     let pool = self.nvm_pool();
                     pool.write(nf, 0, buf, AccessPattern::Sequential)?;
                     pool.persist(nf, 0, page)?;
@@ -811,14 +1119,26 @@ impl BufferManager {
                 });
                 debug_assert!(res.is_ok(), "flush merge into NVM failed: {res:?}");
                 let mut st = desc.state.lock();
-                st.dram = Some(CopyState::Resident { frame: fref, pins: 0, dirty: false });
-                st.nvm = Some(CopyState::Resident { frame: FrameRef::Full(nf), pins: 0, dirty: true });
+                st.dram = Some(CopyState::Resident {
+                    frame: fref,
+                    pins: 0,
+                    dirty: false,
+                });
+                st.nvm = Some(CopyState::Resident {
+                    frame: FrameRef::Full(nf),
+                    pins: 0,
+                    dirty: true,
+                });
                 desc.cond.notify_all();
             }
             None => {
                 self.write_dram_copy_to_ssd(&desc, &fref);
                 let mut st = desc.state.lock();
-                st.dram = Some(CopyState::Resident { frame: fref, pins: 0, dirty: false });
+                st.dram = Some(CopyState::Resident {
+                    frame: fref,
+                    pins: 0,
+                    dirty: false,
+                });
                 desc.cond.notify_all();
             }
         }
@@ -872,13 +1192,21 @@ impl BufferManager {
     /// ids. NVM-resident pages are marked dirty: they may be newer than
     /// their SSD counterparts.
     pub fn recover_nvm_buffer(&self) -> Vec<PageId> {
-        let Some(nvm) = &self.nvm else { return Vec::new() };
+        let Some(nvm) = &self.nvm else {
+            return Vec::new();
+        };
         let mut recovered = Vec::new();
         for (frame, pid) in nvm.scan_frame_headers() {
             nvm.adopt(frame, pid);
-            let desc = self.mapping.get_or_insert_with(pid.0, || Arc::new(SharedPageDesc::new(pid)));
+            let desc = self
+                .mapping
+                .get_or_insert_with(pid.0, || Arc::new(SharedPageDesc::new(pid)));
             let mut st = desc.state.lock();
-            st.nvm = Some(CopyState::Resident { frame: FrameRef::Full(frame), pins: 0, dirty: true });
+            st.nvm = Some(CopyState::Resident {
+                frame: FrameRef::Full(frame),
+                pins: 0,
+                dirty: true,
+            });
             recovered.push(pid);
             // Ensure the allocator never re-issues a recovered id.
             self.next_pid.fetch_max(pid.0 + 1, Ordering::AcqRel);

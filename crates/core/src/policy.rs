@@ -80,7 +80,13 @@ impl MigrationPolicy {
     /// The HyMem policy: eager DRAM migration, no SSD→NVM admission, and
     /// queue-based NVM admission on eviction (Table 3).
     pub fn hymem() -> Self {
-        MigrationPolicy { dr: 1.0, dw: 1.0, nr: 0.0, nw: 1.0, admission: NvmAdmission::Queue }
+        MigrationPolicy {
+            dr: 1.0,
+            dw: 1.0,
+            nr: 0.0,
+            nw: 1.0,
+            admission: NvmAdmission::Queue,
+        }
     }
 
     /// Probability that a page absent from DRAM is promoted within `n`
@@ -102,7 +108,11 @@ impl std::fmt::Display for MigrationPolicy {
             NvmAdmission::Probabilistic => format!("{}", self.nw),
             NvmAdmission::Queue => "AdmQueue".to_string(),
         };
-        write!(f, "<Dr={}, Dw={}, Nr={}, Nw={}>", self.dr, self.dw, self.nr, adm)
+        write!(
+            f,
+            "<Dr={}, Dw={}, Nr={}, Nw={}>",
+            self.dr, self.dw, self.nr, adm
+        )
     }
 }
 
@@ -263,14 +273,22 @@ mod tests {
             assert!(cell.flip_dw(draw));
         }
         // nr = 0.5: empirical frequency close to half.
-        let hits = (0..1_000_000u32).filter(|&d| cell.flip_nr(d.wrapping_mul(2_654_435_761))).count();
+        let hits = (0..1_000_000u32)
+            .filter(|&d| cell.flip_nr(d.wrapping_mul(2_654_435_761)))
+            .count();
         let freq = hits as f64 / 1_000_000.0;
         assert!((freq - 0.5).abs() < 0.01, "freq {freq}");
     }
 
     #[test]
     fn display_formats_policy() {
-        assert_eq!(MigrationPolicy::eager().to_string(), "<Dr=1, Dw=1, Nr=1, Nw=1>");
-        assert_eq!(MigrationPolicy::hymem().to_string(), "<Dr=1, Dw=1, Nr=0, Nw=AdmQueue>");
+        assert_eq!(
+            MigrationPolicy::eager().to_string(),
+            "<Dr=1, Dw=1, Nr=1, Nw=1>"
+        );
+        assert_eq!(
+            MigrationPolicy::hymem().to_string(),
+            "<Dr=1, Dw=1, Nr=0, Nw=AdmQueue>"
+        );
     }
 }

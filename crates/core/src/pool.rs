@@ -81,7 +81,12 @@ impl Pool {
     /// A DRAM pool of `capacity` bytes.
     pub(crate) fn dram(capacity: usize, page_size: usize, scale: TimeScale) -> Self {
         let n_frames = capacity / page_size;
-        Self::new(PoolDevice::Dram(DramDevice::new(capacity, scale)), page_size, 0, n_frames)
+        Self::new(
+            PoolDevice::Dram(DramDevice::new(capacity, scale)),
+            page_size,
+            0,
+            n_frames,
+        )
     }
 
     /// A memory-mode pool: `nvm_capacity` bytes of NVM fronted by a
@@ -141,7 +146,7 @@ impl Pool {
     }
 
     /// Page size served by this pool.
-    #[cfg_attr(not(test), allow(dead_code))]
+    #[allow(dead_code)]
     pub(crate) fn page_size(&self) -> usize {
         self.page_size
     }
@@ -189,7 +194,9 @@ impl Pool {
     /// Try to claim a free frame without evicting.
     pub(crate) fn try_alloc(&self) -> Option<FrameId> {
         let hint = self.hand.load(Ordering::Relaxed);
-        let bit = self.occupied.acquire_first_clear(hint % self.n_frames.max(1))?;
+        let bit = self
+            .occupied
+            .acquire_first_clear(hint % self.n_frames.max(1))?;
         Some(FrameId(bit as u32))
     }
 
@@ -256,7 +263,8 @@ impl Pool {
         pattern: AccessPattern,
     ) -> Result<()> {
         debug_assert!(offset + buf.len() <= self.page_size);
-        self.device.read(self.content_base(frame) + offset, buf, pattern)
+        self.device
+            .read(self.content_base(frame) + offset, buf, pattern)
     }
 
     /// Write page content bytes into a frame (volatile; call
@@ -269,7 +277,8 @@ impl Pool {
         pattern: AccessPattern,
     ) -> Result<()> {
         debug_assert!(offset + data.len() <= self.page_size);
-        self.device.write(self.content_base(frame) + offset, data, pattern)
+        self.device
+            .write(self.content_base(frame) + offset, data, pattern)
     }
 
     /// Flush a content range of `frame` to the persistence domain (no-op on
@@ -314,7 +323,11 @@ impl Pool {
         for i in 0..self.n_frames {
             let base = i * self.stride;
             let mut hdr = [0u8; 16];
-            if self.device.read(base, &mut hdr, AccessPattern::Sequential).is_err() {
+            if self
+                .device
+                .read(base, &mut hdr, AccessPattern::Sequential)
+                .is_err()
+            {
                 continue;
             }
             let magic = u64::from_le_bytes(hdr[..8].try_into().expect("8-byte slice"));
@@ -427,7 +440,12 @@ mod tests {
 
     #[test]
     fn nvm_headers_scan_and_clear() {
-        let p = Pool::nvm(4 * (4096 + NVM_FRAME_HEADER), 4096, TimeScale::ZERO, PersistenceTracking::Counters);
+        let p = Pool::nvm(
+            4 * (4096 + NVM_FRAME_HEADER),
+            4096,
+            TimeScale::ZERO,
+            PersistenceTracking::Counters,
+        );
         assert_eq!(p.n_frames(), 4);
         let f0 = p.try_alloc().unwrap();
         let f1 = p.try_alloc().unwrap();
@@ -450,7 +468,8 @@ mod tests {
         );
         let f = p.try_alloc().unwrap();
         p.write_frame_header(f, PageId(3)).unwrap();
-        p.write(f, 0, b"page-content", AccessPattern::Random).unwrap();
+        p.write(f, 0, b"page-content", AccessPattern::Random)
+            .unwrap();
         p.persist(f, 0, 12).unwrap();
         p.nvm_device().unwrap().simulate_crash();
         assert_eq!(p.scan_frame_headers(), vec![(f, PageId(3))]);

@@ -58,7 +58,11 @@ fn hot_pages_survive_cold_scans_in_dram() {
         hot_fetches
     );
     // Cold pages must actually stream through SSD.
-    assert!(m.ssd_fetches > 200, "cold scan did not generate misses: {}", m.ssd_fetches);
+    assert!(
+        m.ssd_fetches > 200,
+        "cold scan did not generate misses: {}",
+        m.ssd_fetches
+    );
 }
 
 #[test]

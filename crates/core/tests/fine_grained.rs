@@ -73,7 +73,7 @@ fn fine_page_partial_write_read_back() {
     let pid = bm.allocate_page().unwrap();
     let _ = bm.fetch(pid, AccessIntent::Read).unwrap(); // SSD -> NVM
     let g = bm.fetch(pid, AccessIntent::Write).unwrap(); // promote fine
-    // Write spanning a granule boundary (partially covering both).
+                                                         // Write spanning a granule boundary (partially covering both).
     g.write(GRANULE - 8, &[0xCD; 16]).unwrap();
     let mut buf = [0u8; 16];
     g.read(GRANULE - 8, &mut buf).unwrap();
@@ -142,7 +142,8 @@ fn mini_page_overflow_promotes_to_fine_page() {
         g.write(i * MINI_GRANULE, &[i as u8 + 1; 32]).unwrap();
     }
     // ...the seventeenth overflows it into a fine page, transparently.
-    g.write(15 * MINI_GRANULE + MINI_GRANULE, &[0x77; 32]).unwrap();
+    g.write(15 * MINI_GRANULE + MINI_GRANULE, &[0x77; 32])
+        .unwrap();
     // Everything written before the promotion must survive it.
     for i in 0..16 {
         let mut buf = [0u8; 32];

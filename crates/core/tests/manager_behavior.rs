@@ -32,7 +32,10 @@ fn check_page(bm: &BufferManager, pid: PageId, byte: u8) {
     let g = bm.fetch(pid, AccessIntent::Read).unwrap();
     let mut buf = vec![0u8; PAGE];
     g.read(0, &mut buf).unwrap();
-    assert!(buf.iter().all(|&b| b == byte), "page {pid} corrupted (expected {byte:#x})");
+    assert!(
+        buf.iter().all(|&b| b == byte),
+        "page {pid} corrupted (expected {byte:#x})"
+    );
 }
 
 #[test]
@@ -76,7 +79,10 @@ fn eager_policy_promotes_to_dram() {
     assert_eq!(m.path(MigrationPath::SsdToNvm), 1);
     assert_eq!(m.path(MigrationPath::NvmToDram), 1);
     assert_eq!(m.dram_hits, 1);
-    assert_eq!(m.nvm_hits, 0, "the second fetch promoted rather than served from NVM");
+    assert_eq!(
+        m.nvm_hits, 0,
+        "the second fetch promoted rather than served from NVM"
+    );
 }
 
 #[test]
@@ -96,7 +102,11 @@ fn nr_zero_bypasses_nvm_on_reads() {
     let bm = manager(4, 8, MigrationPolicy::new(1.0, 1.0, 0.0, 1.0));
     let pid = bm.allocate_page().unwrap();
     let g = bm.fetch(pid, AccessIntent::Read).unwrap();
-    assert_eq!(g.tier(), Tier::Dram, "N_r = 0 loads SSD pages straight to DRAM");
+    assert_eq!(
+        g.tier(),
+        Tier::Dram,
+        "N_r = 0 loads SSD pages straight to DRAM"
+    );
     drop(g);
     let m = bm.metrics();
     assert_eq!(m.path(MigrationPath::SsdToDram), 1);
@@ -112,8 +122,16 @@ fn clean_dram_evictions_are_discarded() {
         let _ = bm.fetch(*pid, AccessIntent::Read).unwrap();
     }
     let m = bm.metrics();
-    assert!(m.discards >= 4, "clean pages must be discarded, got {}", m.discards);
-    assert_eq!(m.path(MigrationPath::DramToSsd), 0, "no clean page is written back");
+    assert!(
+        m.discards >= 4,
+        "clean pages must be discarded, got {}",
+        m.discards
+    );
+    assert_eq!(
+        m.path(MigrationPath::DramToSsd),
+        0,
+        "no clean page is written back"
+    );
     assert_eq!(m.path(MigrationPath::DramToNvm), 0);
 }
 
@@ -126,7 +144,11 @@ fn dirty_eviction_with_nw_zero_writes_straight_to_ssd() {
     }
     let m = bm.metrics();
     assert!(m.path(MigrationPath::DramToSsd) >= 6);
-    assert_eq!(m.path(MigrationPath::DramToNvm), 0, "N_w = 0 never admits to NVM");
+    assert_eq!(
+        m.path(MigrationPath::DramToNvm),
+        0,
+        "N_w = 0 never admits to NVM"
+    );
     for (i, pid) in pids.iter().enumerate() {
         check_page(&bm, *pid, i as u8);
     }
@@ -140,7 +162,10 @@ fn dirty_eviction_with_nw_one_admits_to_nvm() {
         fill_page(&bm, *pid, i as u8);
     }
     let m = bm.metrics();
-    assert!(m.path(MigrationPath::DramToNvm) >= 4, "N_w = 1 admits dirty evictions to NVM");
+    assert!(
+        m.path(MigrationPath::DramToNvm) >= 4,
+        "N_w = 1 admits dirty evictions to NVM"
+    );
     for (i, pid) in pids.iter().enumerate() {
         check_page(&bm, *pid, i as u8);
     }
@@ -154,8 +179,8 @@ fn dirty_dram_eviction_merges_into_existing_nvm_copy() {
     // Load a via NVM (N_r = 1) and promote it (D_w = 1): copies in both.
     let _ = bm.fetch(a, AccessIntent::Read).unwrap(); // SSD -> NVM
     fill_page(&bm, a, 0xAB); // promoted to DRAM, then dirtied
-    // Dirty b in DRAM (D_w = 1 places writes there) to evict a from the
-    // 1-frame DRAM buffer.
+                             // Dirty b in DRAM (D_w = 1 places writes there) to evict a from the
+                             // 1-frame DRAM buffer.
     fill_page(&bm, b, 0x01);
     // a's newer bytes must have been merged into its NVM copy.
     check_page(&bm, a, 0xAB);
@@ -179,7 +204,11 @@ fn hymem_admission_queue_admits_on_second_eviction() {
     fill_page(&bm, a, 3); // evicts b (b is now queued)
     fill_page(&bm, b, 4); // evicts a -> admitted
     let m = bm.metrics();
-    assert_eq!(m.path(MigrationPath::DramToNvm), 1, "second consideration admits");
+    assert_eq!(
+        m.path(MigrationPath::DramToNvm),
+        1,
+        "second consideration admits"
+    );
     check_page(&bm, a, 3);
     check_page(&bm, b, 4);
 }
@@ -461,5 +490,8 @@ fn promotion_probability_reaches_one_in_steady_state() {
             break;
         }
     }
-    assert!(promoted, "a D_r = 0.1 page must be promoted within 500 reads");
+    assert!(
+        promoted,
+        "a D_r = 0.1 page must be promoted within 500 reads"
+    );
 }

@@ -4,9 +4,7 @@
 //! never lose or corrupt bytes.
 
 use proptest::prelude::*;
-use spitfire_core::{
-    AccessIntent, BufferManager, BufferManagerConfig, MigrationPolicy, PageId,
-};
+use spitfire_core::{AccessIntent, BufferManager, BufferManagerConfig, MigrationPolicy, PageId};
 use spitfire_device::TimeScale;
 
 const PAGE: usize = 1024;
@@ -15,9 +13,18 @@ const MAX_PAGES: usize = 24;
 #[derive(Debug, Clone)]
 enum Op {
     /// Write `len` copies of `byte` at `offset` in page `page`.
-    Write { page: usize, offset: usize, len: usize, byte: u8 },
+    Write {
+        page: usize,
+        offset: usize,
+        len: usize,
+        byte: u8,
+    },
     /// Read `len` bytes at `offset` of page `page` and compare to model.
-    Read { page: usize, offset: usize, len: usize },
+    Read {
+        page: usize,
+        offset: usize,
+        len: usize,
+    },
     /// Flush all dirty DRAM pages.
     Flush,
 }
@@ -53,7 +60,12 @@ fn config_strategy() -> impl Strategy<Value = Config> {
         (0.0..=1.0, 0.0..=1.0, 0.0..=1.0, 0.0..=1.0)
             .prop_map(|(a, b, c, d)| MigrationPolicy::new(a, b, c, d)),
     ];
-    (2..6usize, 0..10usize, policy, prop_oneof![Just(None), Just(Some(64usize))])
+    (
+        2..6usize,
+        0..10usize,
+        policy,
+        prop_oneof![Just(None), Just(Some(64usize))],
+    )
         .prop_map(|(dram_pages, nvm_pages, policy, fine)| Config {
             dram_pages,
             nvm_pages,

@@ -4,9 +4,7 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
-use spitfire_core::{
-    AccessIntent, BufferManager, BufferManagerConfig, MigrationPolicy, PageId,
-};
+use spitfire_core::{AccessIntent, BufferManager, BufferManagerConfig, MigrationPolicy, PageId};
 use spitfire_device::{PersistenceTracking, TimeScale};
 
 const PAGE: usize = 1024;
@@ -41,7 +39,11 @@ fn read_stamp(bm: &BufferManager, pid: PageId) -> u64 {
     g.read(0, &mut buf).unwrap();
     let first = u64::from_le_bytes(buf[..8].try_into().unwrap());
     for chunk in buf.chunks_exact(8) {
-        assert_eq!(u64::from_le_bytes(chunk.try_into().unwrap()), first, "torn page read");
+        assert_eq!(
+            u64::from_le_bytes(chunk.try_into().unwrap()),
+            first,
+            "torn page read"
+        );
     }
     first
 }
@@ -136,8 +138,7 @@ fn storm_nvm_ssd() {
 #[test]
 fn storm_with_concurrent_flusher() {
     let bm = manager(6, 12, MigrationPolicy::lazy());
-    let pids: Arc<Vec<PageId>> =
-        Arc::new((0..32).map(|_| bm.allocate_page().unwrap()).collect());
+    let pids: Arc<Vec<PageId>> = Arc::new((0..32).map(|_| bm.allocate_page().unwrap()).collect());
     for pid in pids.iter() {
         write_stamp(&bm, *pid, 0);
     }
@@ -213,8 +214,7 @@ fn memory_mode_storm() {
         .build()
         .unwrap();
     let bm = Arc::new(BufferManager::new(config).unwrap());
-    let pids: Arc<Vec<PageId>> =
-        Arc::new((0..32).map(|_| bm.allocate_page().unwrap()).collect());
+    let pids: Arc<Vec<PageId>> = Arc::new((0..32).map(|_| bm.allocate_page().unwrap()).collect());
     for pid in pids.iter() {
         write_stamp(&bm, *pid, 0);
     }
@@ -257,8 +257,7 @@ fn fine_grained_storm_with_eviction() {
         .build()
         .unwrap();
     let bm = Arc::new(BufferManager::new(config).unwrap());
-    let pids: Arc<Vec<PageId>> =
-        Arc::new((0..32).map(|_| bm.allocate_page().unwrap()).collect());
+    let pids: Arc<Vec<PageId>> = Arc::new((0..32).map(|_| bm.allocate_page().unwrap()).collect());
     for pid in pids.iter() {
         // Seed via NVM so promotions create fine-grained copies.
         let _ = bm.fetch(*pid, AccessIntent::Read).unwrap();

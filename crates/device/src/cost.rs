@@ -129,7 +129,9 @@ impl CostModel {
     pub fn charge_read(&self, bytes: usize, pattern: AccessPattern) -> usize {
         let effective = self.profile.effective_transfer(bytes);
         let (lat, bw) = match pattern {
-            AccessPattern::Sequential => (self.profile.seq_read_latency_ns, self.profile.seq_read_bw),
+            AccessPattern::Sequential => {
+                (self.profile.seq_read_latency_ns, self.profile.seq_read_bw)
+            }
             AccessPattern::Random => (self.profile.rand_read_latency_ns, self.profile.rand_read_bw),
         };
         self.charge(lat, effective, bw);
@@ -174,8 +176,8 @@ impl CostModel {
                 .expect("fetch_update closure always returns Some");
             start = prev.max(now);
         }
-        let finish = (start + scaled_transfer + scaled_latency)
-            .saturating_sub(charge_overhead_ns());
+        let finish =
+            (start + scaled_transfer + scaled_latency).saturating_sub(charge_overhead_ns());
         self.wait_until(finish);
     }
 
@@ -265,6 +267,9 @@ mod tests {
             m.charge_read(4096, AccessPattern::Random);
         }
         let rand = start.elapsed();
-        assert!(rand > seq, "random {rand:?} should exceed sequential {seq:?}");
+        assert!(
+            rand > seq,
+            "random {rand:?} should exceed sequential {seq:?}"
+        );
     }
 }

@@ -33,7 +33,10 @@ unsafe impl Send for Arena {}
 
 impl Arena {
     pub(crate) fn new(capacity: usize) -> Self {
-        Arena { data: UnsafeCell::new(vec![0u8; capacity].into_boxed_slice()), capacity }
+        Arena {
+            data: UnsafeCell::new(vec![0u8; capacity].into_boxed_slice()),
+            capacity,
+        }
     }
 
     pub(crate) fn capacity(&self) -> usize {
@@ -41,8 +44,15 @@ impl Arena {
     }
 
     fn check(&self, offset: usize, len: usize) -> Result<()> {
-        if offset.checked_add(len).is_none_or(|end| end > self.capacity) {
-            return Err(DeviceError::OutOfBounds { offset, len, capacity: self.capacity });
+        if offset
+            .checked_add(len)
+            .is_none_or(|end| end > self.capacity)
+        {
+            return Err(DeviceError::OutOfBounds {
+                offset,
+                len,
+                capacity: self.capacity,
+            });
         }
         Ok(())
     }
@@ -147,7 +157,9 @@ impl DramDevice {
 
 impl std::fmt::Debug for DramDevice {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("DramDevice").field("capacity", &self.capacity()).finish_non_exhaustive()
+        f.debug_struct("DramDevice")
+            .field("capacity", &self.capacity())
+            .finish_non_exhaustive()
     }
 }
 

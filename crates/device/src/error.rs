@@ -28,14 +28,21 @@ pub enum DeviceError {
 impl fmt::Display for DeviceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            DeviceError::OutOfBounds { offset, len, capacity } => write!(
+            DeviceError::OutOfBounds {
+                offset,
+                len,
+                capacity,
+            } => write!(
                 f,
                 "access [{offset}, {}) out of bounds for device of {capacity} bytes",
                 offset + len
             ),
             DeviceError::PageNotFound(pid) => write!(f, "page {pid} not present on device"),
             DeviceError::BadPageSize { expected, got } => {
-                write!(f, "buffer of {got} bytes does not match page size {expected}")
+                write!(
+                    f,
+                    "buffer of {got} bytes does not match page size {expected}"
+                )
             }
         }
     }
@@ -49,8 +56,18 @@ mod tests {
 
     #[test]
     fn display_is_human_readable() {
-        let e = DeviceError::OutOfBounds { offset: 10, len: 5, capacity: 12 };
-        assert_eq!(e.to_string(), "access [10, 15) out of bounds for device of 12 bytes");
-        assert_eq!(DeviceError::PageNotFound(7).to_string(), "page 7 not present on device");
+        let e = DeviceError::OutOfBounds {
+            offset: 10,
+            len: 5,
+            capacity: 12,
+        };
+        assert_eq!(
+            e.to_string(),
+            "access [10, 15) out of bounds for device of 12 bytes"
+        );
+        assert_eq!(
+            DeviceError::PageNotFound(7).to_string(),
+            "page 7 not present on device"
+        );
     }
 }

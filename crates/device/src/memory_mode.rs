@@ -102,11 +102,15 @@ impl MemoryModeDevice {
         self.misses.fetch_add(1, Ordering::Relaxed);
         // Write back a dirty victim at NVM write speed.
         if old & TAG_VALID != 0 && old & TAG_DIRTY != 0 {
-            let eff = self.nvm_cost.charge_write(MEMORY_MODE_BLOCK, AccessPattern::Random);
+            let eff = self
+                .nvm_cost
+                .charge_write(MEMORY_MODE_BLOCK, AccessPattern::Random);
             self.stats.record_write(eff);
         }
         // Fill from NVM.
-        let eff = self.nvm_cost.charge_read(MEMORY_MODE_BLOCK, AccessPattern::Random);
+        let eff = self
+            .nvm_cost
+            .charge_read(MEMORY_MODE_BLOCK, AccessPattern::Random);
         self.stats.record_read(eff);
         tag.store(desired, Ordering::Relaxed);
     }
@@ -188,7 +192,8 @@ mod tests {
         let d = MemoryModeDevice::new(16 * MEMORY_MODE_BLOCK, MEMORY_MODE_BLOCK, TimeScale::ZERO);
         let mut buf = [0u8; 1];
         d.read(0, &mut buf, AccessPattern::Random).unwrap();
-        d.read(MEMORY_MODE_BLOCK, &mut buf, AccessPattern::Random).unwrap();
+        d.read(MEMORY_MODE_BLOCK, &mut buf, AccessPattern::Random)
+            .unwrap();
         d.read(0, &mut buf, AccessPattern::Random).unwrap();
         assert_eq!(d.cache_misses(), 3);
         assert_eq!(d.cache_hits(), 0);
@@ -201,7 +206,8 @@ mod tests {
         let before = d.stats().snapshot().bytes_written;
         let mut buf = [0u8; 1];
         // Evicting the dirty block writes it back to NVM.
-        d.read(MEMORY_MODE_BLOCK, &mut buf, AccessPattern::Random).unwrap();
+        d.read(MEMORY_MODE_BLOCK, &mut buf, AccessPattern::Random)
+            .unwrap();
         let after = d.stats().snapshot().bytes_written;
         assert_eq!(after - before, MEMORY_MODE_BLOCK as u64);
     }

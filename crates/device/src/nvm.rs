@@ -178,7 +178,9 @@ impl NvmDevice {
         let Some(domain) = &self.domain else { return };
         domain.pending.lock().clear();
         let image = domain.image.lock();
-        self.arena.write(0, &image).expect("image length equals capacity");
+        self.arena
+            .write(0, &image)
+            .expect("image length equals capacity");
     }
 }
 

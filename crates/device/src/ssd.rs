@@ -74,7 +74,10 @@ impl SsdDevice {
     /// Read page `pid` into `buf` (must be exactly one page long).
     pub fn read_page(&self, pid: u64, buf: &mut [u8]) -> Result<()> {
         if buf.len() != self.page_size {
-            return Err(DeviceError::BadPageSize { expected: self.page_size, got: buf.len() });
+            return Err(DeviceError::BadPageSize {
+                expected: self.page_size,
+                got: buf.len(),
+            });
         }
         {
             let shard = self.shard(pid).read();
@@ -89,7 +92,10 @@ impl SsdDevice {
     /// Write `data` (exactly one page) as page `pid`, creating it if absent.
     pub fn write_page(&self, pid: u64, data: &[u8]) -> Result<()> {
         if data.len() != self.page_size {
-            return Err(DeviceError::BadPageSize { expected: self.page_size, got: data.len() });
+            return Err(DeviceError::BadPageSize {
+                expected: self.page_size,
+                got: data.len(),
+            });
         }
         {
             let mut shard = self.shard(pid).write();
@@ -100,7 +106,9 @@ impl SsdDevice {
                 }
             }
         }
-        let eff = self.cost.charge_write(self.page_size, AccessPattern::Random);
+        let eff = self
+            .cost
+            .charge_write(self.page_size, AccessPattern::Random);
         self.stats.record_write(eff);
         Ok(())
     }
@@ -109,13 +117,18 @@ impl SsdDevice {
     /// [`SsdDevice::write_page`] but charged at sequential-write rates.
     pub fn append_page(&self, pid: u64, data: &[u8]) -> Result<()> {
         if data.len() != self.page_size {
-            return Err(DeviceError::BadPageSize { expected: self.page_size, got: data.len() });
+            return Err(DeviceError::BadPageSize {
+                expected: self.page_size,
+                got: data.len(),
+            });
         }
         {
             let mut shard = self.shard(pid).write();
             shard.insert(pid, data.to_vec().into_boxed_slice());
         }
-        let eff = self.cost.charge_write(self.page_size, AccessPattern::Sequential);
+        let eff = self
+            .cost
+            .charge_write(self.page_size, AccessPattern::Sequential);
         self.stats.record_write(eff);
         Ok(())
     }
@@ -138,7 +151,10 @@ impl SsdDevice {
     /// Highest page id stored, if any (used by recovery to restore the
     /// page allocator).
     pub fn max_page_id(&self) -> Option<u64> {
-        self.shards.iter().filter_map(|s| s.read().keys().max().copied()).max()
+        self.shards
+            .iter()
+            .filter_map(|s| s.read().keys().max().copied())
+            .max()
     }
 }
 
@@ -176,7 +192,10 @@ mod tests {
     fn missing_page_is_an_error() {
         let d = ssd();
         let mut buf = vec![0u8; 4096];
-        assert_eq!(d.read_page(1, &mut buf).unwrap_err(), DeviceError::PageNotFound(1));
+        assert_eq!(
+            d.read_page(1, &mut buf).unwrap_err(),
+            DeviceError::PageNotFound(1)
+        );
     }
 
     #[test]
@@ -185,7 +204,10 @@ mod tests {
         let mut small = vec![0u8; 100];
         assert!(matches!(
             d.read_page(1, &mut small).unwrap_err(),
-            DeviceError::BadPageSize { expected: 4096, got: 100 }
+            DeviceError::BadPageSize {
+                expected: 4096,
+                got: 100
+            }
         ));
         assert!(d.write_page(1, &small).is_err());
     }

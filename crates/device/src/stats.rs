@@ -36,12 +36,14 @@ impl DeviceStats {
     /// Record a write of `bytes` effective bytes.
     pub fn record_write(&self, bytes: usize) {
         self.write_ops.fetch_add(1, Ordering::Relaxed);
-        self.bytes_written.fetch_add(bytes as u64, Ordering::Relaxed);
+        self.bytes_written
+            .fetch_add(bytes as u64, Ordering::Relaxed);
     }
 
     /// Record a `clwb` of `bytes` bytes.
     pub fn record_flush(&self, bytes: usize) {
-        self.bytes_flushed.fetch_add(bytes as u64, Ordering::Relaxed);
+        self.bytes_flushed
+            .fetch_add(bytes as u64, Ordering::Relaxed);
     }
 
     /// Record an `sfence`.

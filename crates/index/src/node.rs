@@ -150,7 +150,11 @@ impl<'a> Node<'a> {
 
     /// Binary search for `key` among the node's keys: `Ok(i)` exact match,
     /// `Err(i)` insertion point.
-    pub(crate) fn search(&self, key: u64, count: usize) -> Result<std::result::Result<usize, usize>> {
+    pub(crate) fn search(
+        &self,
+        key: u64,
+        count: usize,
+    ) -> Result<std::result::Result<usize, usize>> {
         let mut lo = 0usize;
         let mut hi = count;
         while lo < hi {

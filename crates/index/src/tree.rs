@@ -97,12 +97,20 @@ impl BTree {
             let node = Node::new(guard);
             node.format(NodeTag::Leaf, NO_SIBLING)?;
         }
-        Ok(BTree { bm, root: RwLock::new(root), latches: ConcurrentMap::new() })
+        Ok(BTree {
+            bm,
+            root: RwLock::new(root),
+            latches: ConcurrentMap::new(),
+        })
     }
 
     /// Re-open a tree whose root page is already known (after recovery).
     pub fn open(bm: Arc<BufferManager>, root: PageId) -> Self {
-        BTree { bm, root: RwLock::new(root), latches: ConcurrentMap::new() }
+        BTree {
+            bm,
+            root: RwLock::new(root),
+            latches: ConcurrentMap::new(),
+        }
     }
 
     /// The current root page id (persist this to reopen the tree).
@@ -116,7 +124,8 @@ impl BTree {
     }
 
     fn latch(&self, pid: PageId) -> Arc<VersionLatch> {
-        self.latches.get_or_insert_with(pid.0, || Arc::new(VersionLatch::new()))
+        self.latches
+            .get_or_insert_with(pid.0, || Arc::new(VersionLatch::new()))
     }
 
     /// Point lookup.
@@ -133,7 +142,9 @@ impl BTree {
     fn try_get(&self, key: u64) -> Result<Attempt<Option<u64>>> {
         let mut pid = *self.root.read();
         let mut latch = self.latch(pid);
-        let Ok(mut version) = latch.read_lock() else { return Ok(Attempt::Restart) };
+        let Ok(mut version) = latch.read_lock() else {
+            return Ok(Attempt::Restart);
+        };
         if *self.root.read() != pid {
             return Ok(Attempt::Restart);
         }
@@ -145,7 +156,9 @@ impl BTree {
                 Err(e) => return Err(e.into()),
             };
             let node = Node::new(guard);
-            let Some(tag) = node.tag()? else { return Ok(Attempt::Restart) };
+            let Some(tag) = node.tag()? else {
+                return Ok(Attempt::Restart);
+            };
             let count = node.count()?;
             match tag {
                 NodeTag::Inner => {
@@ -197,7 +210,9 @@ impl BTree {
     fn try_insert_optimistic(&self, key: u64, value: u64) -> Result<Attempt<Option<Option<u64>>>> {
         let mut pid = *self.root.read();
         let mut latch = self.latch(pid);
-        let Ok(mut version) = latch.read_lock() else { return Ok(Attempt::Restart) };
+        let Ok(mut version) = latch.read_lock() else {
+            return Ok(Attempt::Restart);
+        };
         if *self.root.read() != pid {
             return Ok(Attempt::Restart);
         }
@@ -208,7 +223,9 @@ impl BTree {
                 Err(e) => return Err(e.into()),
             };
             let node = Node::new(guard);
-            let Some(tag) = node.tag()? else { return Ok(Attempt::Restart) };
+            let Some(tag) = node.tag()? else {
+                return Ok(Attempt::Restart);
+            };
             let count = node.count()?;
             match tag {
                 NodeTag::Inner => {
@@ -436,7 +453,9 @@ impl BTree {
     fn try_remove(&self, key: u64) -> Result<Attempt<Option<u64>>> {
         let mut pid = *self.root.read();
         let mut latch = self.latch(pid);
-        let Ok(mut version) = latch.read_lock() else { return Ok(Attempt::Restart) };
+        let Ok(mut version) = latch.read_lock() else {
+            return Ok(Attempt::Restart);
+        };
         if *self.root.read() != pid {
             return Ok(Attempt::Restart);
         }
@@ -447,7 +466,9 @@ impl BTree {
                 Err(e) => return Err(e.into()),
             };
             let node = Node::new(guard);
-            let Some(tag) = node.tag()? else { return Ok(Attempt::Restart) };
+            let Some(tag) = node.tag()? else {
+                return Ok(Attempt::Restart);
+            };
             let count = node.count()?;
             match tag {
                 NodeTag::Inner => {
@@ -498,7 +519,9 @@ impl BTree {
             // Descend to the leaf containing `start`.
             let mut pid = *self.root.read();
             let mut latch = self.latch(pid);
-            let Ok(mut version) = latch.read_lock() else { continue 'restart };
+            let Ok(mut version) = latch.read_lock() else {
+                continue 'restart;
+            };
             if *self.root.read() != pid {
                 continue 'restart;
             }
@@ -509,7 +532,9 @@ impl BTree {
                     Err(e) => return Err(e.into()),
                 };
                 let node = Node::new(guard);
-                let Some(tag) = node.tag()? else { continue 'restart };
+                let Some(tag) = node.tag()? else {
+                    continue 'restart;
+                };
                 let count = node.count()?;
                 match tag {
                     NodeTag::Inner => {
@@ -592,6 +617,8 @@ impl BTree {
 
 impl std::fmt::Debug for BTree {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("BTree").field("root", &self.root_page()).finish_non_exhaustive()
+        f.debug_struct("BTree")
+            .field("root", &self.root_page())
+            .finish_non_exhaustive()
     }
 }

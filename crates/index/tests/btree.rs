@@ -30,7 +30,10 @@ fn insert_get_sequential_keys() {
         assert_eq!(t.get(k).unwrap(), Some(k * 10), "key {k}");
     }
     assert_eq!(t.get(2000).unwrap(), None);
-    assert!(t.height().unwrap() >= 3, "2000 keys in 31-key nodes must be deep");
+    assert!(
+        t.height().unwrap() >= 3,
+        "2000 keys in 31-key nodes must be deep"
+    );
 }
 
 #[test]
@@ -87,9 +90,13 @@ fn matches_btreemap_model() {
         x ^= x << 17;
         let key = x % 1500;
         match step % 5 {
-            0 | 1 | 2 => {
+            0..=2 => {
                 let expected = model.insert(key, step as u64);
-                assert_eq!(t.insert(key, step as u64).unwrap(), expected, "insert {key}");
+                assert_eq!(
+                    t.insert(key, step as u64).unwrap(),
+                    expected,
+                    "insert {key}"
+                );
             }
             3 => {
                 assert_eq!(t.get(key).unwrap(), model.get(&key).copied(), "get {key}");

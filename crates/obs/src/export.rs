@@ -1,0 +1,290 @@
+//! The unified report: capture + Prometheus-text and JSON exporters.
+
+use crate::hist::HistogramSnapshot;
+use crate::op::Op;
+use crate::sampler::SeriesPoint;
+
+/// Tracked quantiles: `(q, prometheus label, short name)`.
+pub const QUANTILES: [(f64, &str, &str); 4] = [
+    (0.5, "0.5", "p50"),
+    (0.9, "0.9", "p90"),
+    (0.99, "0.99", "p99"),
+    (0.999, "0.999", "p999"),
+];
+
+/// One exported histogram.
+#[derive(Debug, Clone)]
+pub struct HistEntry {
+    /// Metric label (the [`Op`] name).
+    pub name: &'static str,
+    /// Merged snapshot.
+    pub snapshot: HistogramSnapshot,
+}
+
+/// A unified, machine-readable observability report: per-operation latency
+/// histograms, flat counters (buffer metrics, device stats, …), gauges, and
+/// the sampled time series.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// Latency histograms for every operation that recorded at least once.
+    pub histograms: Vec<HistEntry>,
+    /// Monotonic counters, `(name, value)`.
+    pub counters: Vec<(String, u64)>,
+    /// Point-in-time gauges, `(name, value)`.
+    pub gauges: Vec<(String, f64)>,
+    /// Sampler time series (empty unless the sampler ran).
+    pub series: Vec<SeriesPoint>,
+}
+
+impl Report {
+    /// Capture histograms, gauges, and the sampler series from the global
+    /// registry. Counters from other subsystems (buffer manager, database)
+    /// are added by their `fill_obs_report` methods.
+    pub fn capture() -> Report {
+        let mut histograms = Vec::new();
+        for op in Op::ALL {
+            let snapshot = crate::registry().histogram(op).snapshot();
+            if snapshot.count > 0 {
+                histograms.push(HistEntry {
+                    name: op.name(),
+                    snapshot,
+                });
+            }
+        }
+        Report {
+            histograms,
+            counters: Vec::new(),
+            gauges: crate::sampler::gauge_values(),
+            series: crate::sampler::series_snapshot(),
+        }
+    }
+
+    /// Append a monotonic counter.
+    pub fn add_counter(&mut self, name: impl Into<String>, value: u64) {
+        self.counters.push((name.into(), value));
+    }
+
+    /// Append a gauge.
+    pub fn add_gauge(&mut self, name: impl Into<String>, value: f64) {
+        self.gauges.push((name.into(), value));
+    }
+
+    /// Render in the Prometheus text exposition format. Histogram quantiles
+    /// are exported as a `summary` in seconds.
+    pub fn to_prometheus(&self) -> String {
+        let mut s = String::new();
+        if !self.histograms.is_empty() {
+            s.push_str("# HELP spitfire_op_latency_seconds Per-operation latency quantiles.\n");
+            s.push_str("# TYPE spitfire_op_latency_seconds summary\n");
+            for h in &self.histograms {
+                for (q, label, _) in QUANTILES {
+                    if let Some(ns) = h.snapshot.quantile(q) {
+                        s.push_str(&format!(
+                            "spitfire_op_latency_seconds{{op=\"{}\",quantile=\"{}\"}} {}\n",
+                            h.name,
+                            label,
+                            fmt_f64(ns as f64 / 1e9)
+                        ));
+                    }
+                }
+                s.push_str(&format!(
+                    "spitfire_op_latency_seconds_sum{{op=\"{}\"}} {}\n",
+                    h.name,
+                    fmt_f64(h.snapshot.sum as f64 / 1e9)
+                ));
+                s.push_str(&format!(
+                    "spitfire_op_latency_seconds_count{{op=\"{}\"}} {}\n",
+                    h.name, h.snapshot.count
+                ));
+            }
+        }
+        for (name, value) in &self.counters {
+            let metric = sanitize(name);
+            s.push_str(&format!("# TYPE spitfire_{metric} counter\n"));
+            s.push_str(&format!("spitfire_{metric} {value}\n"));
+        }
+        for (name, value) in &self.gauges {
+            let metric = sanitize(name);
+            s.push_str(&format!("# TYPE spitfire_{metric} gauge\n"));
+            s.push_str(&format!("spitfire_{metric} {}\n", fmt_f64(*value)));
+        }
+        s
+    }
+
+    /// Render as a single JSON object (hand-rolled; no serde dependency).
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n  \"histograms\": {");
+        for (i, h) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let snap = &h.snapshot;
+            s.push_str(&format!("\n    \"{}\": {{", h.name));
+            s.push_str(&format!("\"count\": {}, ", snap.count));
+            s.push_str(&format!("\"sum_ns\": {}, ", snap.sum));
+            s.push_str(&format!(
+                "\"min_ns\": {}, ",
+                if snap.count == 0 { 0 } else { snap.min }
+            ));
+            s.push_str(&format!("\"max_ns\": {}, ", snap.max));
+            s.push_str(&format!(
+                "\"mean_ns\": {}, ",
+                fmt_f64(snap.mean().unwrap_or(0.0))
+            ));
+            for (q, _, short) in QUANTILES {
+                s.push_str(&format!(
+                    "\"{}_ns\": {}, ",
+                    short,
+                    snap.quantile(q).unwrap_or(0)
+                ));
+            }
+            // Trim the trailing ", ".
+            s.truncate(s.len() - 2);
+            s.push('}');
+        }
+        s.push_str("\n  },\n  \"counters\": {");
+        for (i, (name, value)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!("\n    \"{}\": {}", escape(name), value));
+        }
+        s.push_str("\n  },\n  \"gauges\": {");
+        for (i, (name, value)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!("\n    \"{}\": {}", escape(name), fmt_f64(*value)));
+        }
+        s.push_str("\n  },\n  \"series\": [");
+        for (i, point) in self.series.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!("\n    {{\"t_ms\": {}, \"values\": {{", point.t_ms));
+            for (j, (name, value)) in point.values.iter().enumerate() {
+                if j > 0 {
+                    s.push_str(", ");
+                }
+                s.push_str(&format!("\"{}\": {}", escape(name), fmt_f64(*value)));
+            }
+            s.push_str("}}");
+        }
+        s.push_str("\n  ]\n}\n");
+        s
+    }
+}
+
+/// Format an f64 for JSON/Prometheus (finite; no NaN/inf in the output).
+fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_string()
+    }
+}
+
+/// Lowercase and replace non-`[a-z0-9_]` with `_` (Prometheus metric names).
+fn sanitize(name: &str) -> String {
+    name.to_lowercase()
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+/// Minimal JSON string escaping.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::Histogram;
+
+    fn sample_report() -> Report {
+        let h = Histogram::new();
+        for i in 1..=1000u64 {
+            h.record(i * 100);
+        }
+        let mut r = Report {
+            histograms: vec![HistEntry {
+                name: "fetch_dram_hit",
+                snapshot: h.snapshot(),
+            }],
+            ..Report::default()
+        };
+        r.add_counter("dram_hits", 123);
+        r.add_gauge("dram_occupied_frames", 64.0);
+        r.series.push(crate::sampler::SeriesPoint {
+            t_ms: 10,
+            values: vec![("g".into(), 1.0)],
+        });
+        r
+    }
+
+    #[test]
+    fn prometheus_exposition_shape() {
+        let text = sample_report().to_prometheus();
+        assert!(text.contains("# TYPE spitfire_op_latency_seconds summary"));
+        assert!(
+            text.contains("spitfire_op_latency_seconds{op=\"fetch_dram_hit\",quantile=\"0.99\"}")
+        );
+        assert!(text.contains("spitfire_op_latency_seconds_count{op=\"fetch_dram_hit\"} 1000"));
+        assert!(text.contains("# TYPE spitfire_dram_hits counter"));
+        assert!(text.contains("spitfire_dram_hits 123"));
+        assert!(text.contains("spitfire_dram_occupied_frames 64"));
+        // Every line is either a comment or `name{labels} value`.
+        for line in text.lines() {
+            assert!(
+                line.starts_with('#') || line.split_whitespace().count() == 2,
+                "bad line: {line}"
+            );
+        }
+    }
+
+    #[test]
+    fn json_is_balanced_and_contains_quantiles() {
+        let json = sample_report().to_json();
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced braces in {json}"
+        );
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(json.contains("\"p50_ns\""));
+        assert!(json.contains("\"p999_ns\""));
+        assert!(json.contains("\"dram_hits\": 123"));
+        assert!(json.contains("\"t_ms\": 10"));
+    }
+
+    #[test]
+    fn escape_and_sanitize() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(sanitize("Device/NVM bytes"), "device_nvm_bytes");
+    }
+
+    #[test]
+    fn quantile_label_mapping() {
+        let labels: Vec<&str> = QUANTILES.iter().map(|(_, _, s)| *s).collect();
+        assert_eq!(labels, ["p50", "p90", "p99", "p999"]);
+    }
+}

@@ -1,0 +1,365 @@
+//! Lock-free, mergeable log-bucketed latency histograms.
+//!
+//! Values (nanoseconds) are assigned to HDR-style log-linear buckets: exact
+//! buckets below 32 ns, then 32 sub-buckets per power-of-two octave, which
+//! bounds the relative quantile error at `1/32 ≈ 3.1%`. Recording is one
+//! relaxed `fetch_add` on an atomic bucket plus counter updates — no locks,
+//! no allocation. A [`HistogramSet`] shards recording across a small fixed
+//! set of histograms by thread id so concurrent writers do not contend on
+//! the same cache lines; snapshots merge the shards.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// log2 of sub-buckets per octave.
+const SUB_BITS: u32 = 5;
+/// Sub-buckets per octave (32 → ≤ 3.1% relative error).
+const SUB: u64 = 1 << SUB_BITS;
+/// Total bucket count: 32 exact + 59 octaves × 32 sub-buckets.
+pub const NUM_BUCKETS: usize = SUB as usize + (64 - SUB_BITS as usize - 1) * SUB as usize;
+
+/// Shards per histogram set (power of two).
+const NUM_SHARDS: usize = 8;
+
+#[inline]
+fn bucket_index(v: u64) -> usize {
+    if v < SUB {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros();
+    let octave = msb - SUB_BITS;
+    let sub = ((v >> octave) - SUB) as usize;
+    SUB as usize + (octave as usize) * SUB as usize + sub
+}
+
+/// Midpoint of the value range covered by bucket `idx` (inverse of
+/// [`bucket_index`], used to reconstruct quantiles).
+fn bucket_mid(idx: usize) -> u64 {
+    if idx < SUB as usize {
+        return idx as u64;
+    }
+    let rel = idx - SUB as usize;
+    let octave = (rel / SUB as usize) as u32;
+    let sub = (rel % SUB as usize) as u64;
+    let lo = (SUB + sub) << octave;
+    lo + (1u64 << octave) / 2
+}
+
+/// A single lock-free histogram (one writer cache-line set).
+pub struct Histogram {
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Fresh empty histogram.
+    pub fn new() -> Self {
+        let buckets = (0..NUM_BUCKETS).map(|_| AtomicU64::new(0)).collect();
+        Histogram {
+            buckets,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one value (nanoseconds). Lock-free; relaxed atomics only.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Point-in-time copy (merge-compatible with other snapshots).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            min: self.min.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Zero all counters.
+    pub fn reset(&self) {
+        for b in self.buckets.iter() {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.min.store(u64::MAX, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A sharded histogram: writers spread across [`NUM_SHARDS`] inner
+/// histograms keyed by thread id; readers merge.
+pub struct HistogramSet {
+    shards: Vec<Histogram>,
+}
+
+impl Default for HistogramSet {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl HistogramSet {
+    /// Fresh empty set.
+    pub fn new() -> Self {
+        HistogramSet {
+            shards: (0..NUM_SHARDS).map(|_| Histogram::new()).collect(),
+        }
+    }
+
+    /// Record one value from the calling thread.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.shards[thread_shard() & (NUM_SHARDS - 1)].record(v);
+    }
+
+    /// Merged snapshot across all shards.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut merged = self.shards[0].snapshot();
+        for shard in &self.shards[1..] {
+            merged.merge(&shard.snapshot());
+        }
+        merged
+    }
+
+    /// Zero every shard.
+    pub fn reset(&self) {
+        for s in &self.shards {
+            s.reset();
+        }
+    }
+}
+
+/// Stable per-thread shard id (assigned on first use per thread).
+fn thread_shard() -> usize {
+    use std::cell::Cell;
+    use std::sync::atomic::AtomicUsize;
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static SHARD: Cell<usize> = const { Cell::new(usize::MAX) };
+    }
+    SHARD.with(|s| {
+        let mut id = s.get();
+        if id == usize::MAX {
+            id = NEXT.fetch_add(1, Ordering::Relaxed);
+            s.set(id);
+        }
+        id
+    })
+}
+
+/// Immutable, mergeable copy of a histogram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    buckets: Vec<u64>,
+    /// Total recorded values.
+    pub count: u64,
+    /// Sum of recorded values (ns).
+    pub sum: u64,
+    /// Smallest recorded value (ns); `u64::MAX` when empty.
+    pub min: u64,
+    /// Largest recorded value (ns).
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot (merge identity).
+    pub fn empty() -> Self {
+        HistogramSnapshot {
+            buckets: vec![0; NUM_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Accumulate `other` into `self`.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Counters accumulated since `earlier` (same histogram, taken later).
+    pub fn delta(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self
+                .buckets
+                .iter()
+                .zip(&earlier.buckets)
+                .map(|(a, b)| a.saturating_sub(*b))
+                .collect(),
+            count: self.count.saturating_sub(earlier.count),
+            sum: self.sum.saturating_sub(earlier.sum),
+            // min/max are high-water marks, not rates; keep the later ones.
+            min: self.min,
+            max: self.max,
+        }
+    }
+
+    /// Estimated quantile in nanoseconds (`q` in `[0, 1]`); `None` if empty.
+    ///
+    /// Relative error is bounded by the bucket resolution (≤ 3.1%).
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the target value, 1-based; q=0 → first value.
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (idx, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                // Clamp the bucket estimate to the observed min/max so tiny
+                // histograms report exact values.
+                return Some(bucket_mid(idx).clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Mean in nanoseconds; `None` if empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.sum as f64 / self.count as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_roundtrip_error_bounded() {
+        let mut v = 1u64;
+        while v < u64::MAX / 3 {
+            for probe in [v, v + v / 3] {
+                let mid = bucket_mid(bucket_index(probe));
+                let err = (mid as f64 - probe as f64).abs() / probe as f64;
+                assert!(
+                    err <= 1.0 / SUB as f64 / 2.0 + 1e-9,
+                    "v={probe} mid={mid} err={err}"
+                );
+            }
+            v = v.wrapping_mul(3) / 2 + 1;
+        }
+        // Exact range.
+        for v in 0..SUB {
+            assert_eq!(bucket_mid(bucket_index(v)), v);
+        }
+    }
+
+    #[test]
+    fn quantiles_match_sorted_data_within_bound() {
+        let h = Histogram::new();
+        let values: Vec<u64> = (1..=10_000u64).map(|i| i * 37 % 1_000_000 + 1).collect();
+        for &v in &values {
+            h.record(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let snap = h.snapshot();
+        assert_eq!(snap.count, values.len() as u64);
+        for q in [0.0, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            let exact = sorted[rank - 1] as f64;
+            let est = snap.quantile(q).unwrap() as f64;
+            let err = (est - exact).abs() / exact;
+            assert!(err <= 0.035, "q={q} exact={exact} est={est} err={err}");
+        }
+        assert_eq!(snap.min, *sorted.first().unwrap());
+        assert_eq!(snap.max, *sorted.last().unwrap());
+    }
+
+    #[test]
+    fn merge_equals_union() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        let all = Histogram::new();
+        for i in 0..5000u64 {
+            let v = (i * i) % 100_000;
+            if i % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+            all.record(v);
+        }
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged, all.snapshot());
+    }
+
+    #[test]
+    fn delta_subtracts_counts() {
+        let h = Histogram::new();
+        h.record(10);
+        h.record(20);
+        let early = h.snapshot();
+        h.record(30);
+        let late = h.snapshot();
+        let d = late.delta(&early);
+        assert_eq!(d.count, 1);
+        assert_eq!(d.sum, 30);
+        assert_eq!(d.quantile(0.5), Some(30));
+    }
+
+    #[test]
+    fn sharded_set_merges_across_threads() {
+        use std::sync::Arc;
+        let set = Arc::new(HistogramSet::new());
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let set = Arc::clone(&set);
+                std::thread::spawn(move || {
+                    for i in 0..1000u64 {
+                        set.record(t * 1000 + i);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let snap = set.snapshot();
+        assert_eq!(snap.count, 4000);
+        assert_eq!(snap.min, 0);
+    }
+
+    #[test]
+    fn empty_quantile_is_none() {
+        assert_eq!(HistogramSnapshot::empty().quantile(0.5), None);
+        assert_eq!(HistogramSnapshot::empty().mean(), None);
+    }
+}

@@ -1,0 +1,96 @@
+//! Property test: N threads recording concurrently into a sharded histogram
+//! must agree with a serial model — identical merged counters, and every
+//! tracked quantile within the documented bucket-resolution error bound.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use spitfire_obs::{Histogram, HistogramSet};
+
+/// Documented bound: 32 sub-buckets per octave → ≤ 3.1% relative error,
+/// plus a little slack for the bucket-midpoint estimate.
+const QUANTILE_REL_ERR: f64 = 0.035;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Concurrent sharded recording == serial recording, exactly.
+    #[test]
+    fn concurrent_merge_matches_serial_model(
+        values in proptest::collection::vec(1..50_000_000u64, 1..400),
+        threads in 2..5usize,
+    ) {
+        let set = Arc::new(HistogramSet::new());
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let set = Arc::clone(&set);
+                let mine: Vec<u64> = values
+                    .iter()
+                    .copied()
+                    .skip(t)
+                    .step_by(threads)
+                    .collect();
+                std::thread::spawn(move || {
+                    for v in mine {
+                        set.record(v);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+
+        let serial = Histogram::new();
+        for &v in &values {
+            serial.record(v);
+        }
+
+        // The merged concurrent snapshot must equal the serial one exactly:
+        // same buckets, count, sum, min, max.
+        prop_assert_eq!(set.snapshot(), serial.snapshot());
+    }
+
+    /// Histogram quantiles stay within the documented error bound of the
+    /// exact (sorted-data) quantiles, including after a concurrent run.
+    #[test]
+    fn quantiles_within_error_bound(
+        values in proptest::collection::vec(1..50_000_000u64, 10..400),
+    ) {
+        let set = Arc::new(HistogramSet::new());
+        let handles: Vec<_> = (0..3usize)
+            .map(|t| {
+                let set = Arc::clone(&set);
+                let mine: Vec<u64> =
+                    values.iter().copied().skip(t).step_by(3).collect();
+                std::thread::spawn(move || {
+                    for v in mine {
+                        set.record(v);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let snap = set.snapshot();
+
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(snap.count, sorted.len() as u64);
+        for q in [0.5, 0.9, 0.99, 0.999] {
+            let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            let exact = sorted[rank - 1] as f64;
+            let est = snap.quantile(q).unwrap() as f64;
+            let err = (est - exact).abs() / exact;
+            prop_assert!(
+                err <= QUANTILE_REL_ERR,
+                "q={} exact={} est={} err={}",
+                q,
+                exact,
+                est,
+                err
+            );
+        }
+    }
+}

@@ -57,7 +57,9 @@ impl AdmissionQueue {
         // Make room: stale FIFO slots (ids admitted earlier) are reclaimed
         // for free; otherwise the oldest live id is evicted (forgotten).
         while inner.fifo.len() >= self.capacity {
-            let Some(old) = inner.fifo.pop_front() else { break };
+            let Some(old) = inner.fifo.pop_front() else {
+                break;
+            };
             if inner.members.remove(&old) {
                 break;
             }

@@ -46,7 +46,11 @@ impl AtomicBitmap {
 
     #[inline]
     fn locate(&self, bit: usize) -> (usize, u64) {
-        assert!(bit < self.len, "bit {bit} out of range for bitmap of {}", self.len);
+        assert!(
+            bit < self.len,
+            "bit {bit} out of range for bitmap of {}",
+            self.len
+        );
         (bit / BITS, 1u64 << (bit % BITS))
     }
 
@@ -108,7 +112,10 @@ impl AtomicBitmap {
 
     /// Number of set bits (snapshot).
     pub fn count_ones(&self) -> usize {
-        self.words.iter().map(|w| w.load(Ordering::Acquire).count_ones() as usize).sum()
+        self.words
+            .iter()
+            .map(|w| w.load(Ordering::Acquire).count_ones() as usize)
+            .sum()
     }
 
     /// Clear every bit.
@@ -217,7 +224,10 @@ mod tests {
                 })
             })
             .collect();
-        let mut all: Vec<usize> = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+        let mut all: Vec<usize> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
         all.sort_unstable();
         all.dedup();
         assert_eq!(all.len(), N, "every acquired bit must be unique");

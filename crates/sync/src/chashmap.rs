@@ -96,7 +96,7 @@ impl<K: Hash + Eq, V: Clone, S: BuildHasher + Clone> ConcurrentMap<K, V, S> {
     /// removed value. The predicate runs under the shard's write lock.
     pub fn remove_if(&self, key: &K, pred: impl FnOnce(&V) -> bool) -> Option<V> {
         let mut guard = self.shard(key).write();
-        if guard.get(key).is_some_and(|v| pred(v)) {
+        if guard.get(key).is_some_and(pred) {
             guard.remove(key)
         } else {
             None

@@ -32,7 +32,9 @@ pub struct RwLatch {
 impl RwLatch {
     /// A fresh, unheld latch.
     pub const fn new() -> Self {
-        RwLatch { state: AtomicU32::new(0) }
+        RwLatch {
+            state: AtomicU32::new(0),
+        }
     }
 
     /// Try to acquire shared access without blocking.

@@ -37,7 +37,9 @@ pub struct VersionLatch {
 impl VersionLatch {
     /// A fresh, unlocked latch at version zero.
     pub const fn new() -> Self {
-        VersionLatch { word: AtomicU64::new(0) }
+        VersionLatch {
+            word: AtomicU64::new(0),
+        }
     }
 
     /// Begin an optimistic read: returns the current version, or an error if
@@ -62,7 +64,12 @@ impl VersionLatch {
     /// Atomically upgrade an optimistic read at `version` to a write lock.
     pub fn upgrade(&self, version: u64) -> Result<(), OptimisticError> {
         self.word
-            .compare_exchange(version, version | LOCKED, Ordering::Acquire, Ordering::Relaxed)
+            .compare_exchange(
+                version,
+                version | LOCKED,
+                Ordering::Acquire,
+                Ordering::Relaxed,
+            )
             .map(|_| ())
             .map_err(|_| OptimisticError)
     }
@@ -100,13 +107,15 @@ impl VersionLatch {
     pub fn write_unlock(&self) {
         // Clear LOCKED (+1 step wraps the low bits correctly because the
         // word was `version | LOCKED`).
-        self.word.fetch_add(VERSION_STEP - LOCKED, Ordering::Release);
+        self.word
+            .fetch_add(VERSION_STEP - LOCKED, Ordering::Release);
     }
 
     /// Release a write lock and mark the node obsolete (it was unlinked from
     /// the structure); readers and writers will restart from the parent.
     pub fn write_unlock_obsolete(&self) {
-        self.word.fetch_add(VERSION_STEP - LOCKED + OBSOLETE, Ordering::Release);
+        self.word
+            .fetch_add(VERSION_STEP - LOCKED + OBSOLETE, Ordering::Release);
     }
 
     /// Whether the node has been marked obsolete.

@@ -119,7 +119,11 @@ impl Database {
     /// with no allocated pages (the root catalog claims the first page,
     /// whose id recovery relies on).
     pub fn create(bm: Arc<BufferManager>, config: DbConfig) -> Result<Self> {
-        assert_eq!(bm.page_count(), 0, "Database::create needs a fresh buffer manager");
+        assert_eq!(
+            bm.page_count(),
+            0,
+            "Database::create needs a fresh buffer manager"
+        );
         let root_catalog = bm.allocate_page()?;
         {
             let guard = bm.fetch(root_catalog, AccessIntent::Write)?;
@@ -168,7 +172,30 @@ impl Database {
 
     /// Committed / aborted transaction counts.
     pub fn txn_stats(&self) -> (u64, u64) {
-        (self.commits.load(Ordering::Relaxed), self.aborts.load(Ordering::Relaxed))
+        (
+            self.commits.load(Ordering::Relaxed),
+            self.aborts.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Add this database's transaction counters and the underlying buffer
+    /// manager's counters and gauges to an observability report.
+    pub fn fill_obs_report(&self, report: &mut spitfire_obs::Report) {
+        let (commits, aborts) = self.txn_stats();
+        report.add_counter("txn_commits", commits);
+        report.add_counter("txn_aborts", aborts);
+        self.bm.fill_obs_report(report);
+    }
+
+    /// Register observability gauges for this database (in-flight
+    /// transaction count) and its buffer manager. Gauges hold weak
+    /// references and disappear once the database is dropped.
+    pub fn register_obs_gauges(self: &Arc<Self>) {
+        self.bm.register_obs_gauges();
+        let w = Arc::downgrade(self);
+        spitfire_obs::register_gauge("active_txns", move || {
+            w.upgrade().map(|db| db.active.lock().len() as f64)
+        });
     }
 
     /// Create a table with `tuple_size`-byte tuples and a primary index.
@@ -196,11 +223,19 @@ impl Database {
     }
 
     fn table(&self, id: u32) -> Result<Arc<Table>> {
-        self.tables.read().get(&id).cloned().ok_or(TxnError::UnknownTable(id))
+        self.tables
+            .read()
+            .get(&id)
+            .cloned()
+            .ok_or(TxnError::UnknownTable(id))
     }
 
     fn index(&self, id: u32) -> Result<Arc<BTree>> {
-        self.indexes.read().get(&id).cloned().ok_or(TxnError::UnknownTable(id))
+        self.indexes
+            .read()
+            .get(&id)
+            .cloned()
+            .ok_or(TxnError::UnknownTable(id))
     }
 
     pub(crate) fn table_ids(&self) -> Vec<u32> {
@@ -247,14 +282,22 @@ impl Database {
     }
 
     /// Read the visible version of `key` into `buf`.
-    pub fn read_into(&self, txn: &Transaction, table_id: u32, key: u64, buf: &mut [u8]) -> Result<()> {
+    pub fn read_into(
+        &self,
+        txn: &Transaction,
+        table_id: u32,
+        key: u64,
+        buf: &mut [u8],
+    ) -> Result<()> {
         if !txn.active {
             return Err(TxnError::InactiveTransaction);
         }
         let table = self.table(table_id)?;
         let index = self.index(table_id)?;
         let _stripe = self.locks.lock(table_id, key);
-        let Some(mut rid) = index.get(key)? else { return Err(TxnError::NotFound) };
+        let Some(mut rid) = index.get(key)? else {
+            return Err(TxnError::NotFound);
+        };
         loop {
             let mut hdr = table.read_header(rid)?;
             if visible(&hdr, txn.ts, txn.id) {
@@ -284,14 +327,22 @@ impl Database {
 
     /// Install a new version of `key`. Fails with [`TxnError::Conflict`]
     /// when MVTO ordering would be violated (caller aborts and retries).
-    pub fn update(&self, txn: &mut Transaction, table_id: u32, key: u64, payload: &[u8]) -> Result<()> {
+    pub fn update(
+        &self,
+        txn: &mut Transaction,
+        table_id: u32,
+        key: u64,
+        payload: &[u8],
+    ) -> Result<()> {
         if !txn.active {
             return Err(TxnError::InactiveTransaction);
         }
         let table = self.table(table_id)?;
         let index = self.index(table_id)?;
         let _stripe = self.locks.lock(table_id, key);
-        let Some(rid) = index.get(key)? else { return Err(TxnError::NotFound) };
+        let Some(rid) = index.get(key)? else {
+            return Err(TxnError::NotFound);
+        };
         let mut hdr = table.read_header(rid)?;
 
         if is_marker(hdr.begin) {
@@ -345,13 +396,24 @@ impl Database {
             payload: payload.to_vec(),
         })?;
         txn.last_lsn = lsn;
-        txn.writes.push(WriteEntry { table: table_id, key, new_rid, old_rid: rid });
+        txn.writes.push(WriteEntry {
+            table: table_id,
+            key,
+            new_rid,
+            old_rid: rid,
+        });
         Ok(())
     }
 
     /// Insert a fresh key. Fails with [`TxnError::Duplicate`] if a version
     /// chain already exists.
-    pub fn insert(&self, txn: &mut Transaction, table_id: u32, key: u64, payload: &[u8]) -> Result<()> {
+    pub fn insert(
+        &self,
+        txn: &mut Transaction,
+        table_id: u32,
+        key: u64,
+        payload: &[u8],
+    ) -> Result<()> {
         if !txn.active {
             return Err(TxnError::InactiveTransaction);
         }
@@ -361,7 +423,13 @@ impl Database {
         if index.get(key)?.is_some() {
             return Err(TxnError::Duplicate);
         }
-        let new_hdr = VersionHeader { begin: MARK | txn.id, end: INF, read_ts: 0, prev: NO_RID, key };
+        let new_hdr = VersionHeader {
+            begin: MARK | txn.id,
+            end: INF,
+            read_ts: 0,
+            prev: NO_RID,
+            key,
+        };
         let new_rid = table.insert_version(new_hdr, payload)?;
         index.insert(key, new_rid)?;
         let lsn = self.wal.append(&LogRecord {
@@ -375,7 +443,12 @@ impl Database {
             payload: payload.to_vec(),
         })?;
         txn.last_lsn = lsn;
-        txn.writes.push(WriteEntry { table: table_id, key, new_rid, old_rid: NO_RID });
+        txn.writes.push(WriteEntry {
+            table: table_id,
+            key,
+            new_rid,
+            old_rid: NO_RID,
+        });
         Ok(())
     }
 
@@ -416,15 +489,20 @@ impl Database {
         if !txn.active {
             return Err(TxnError::InactiveTransaction);
         }
+        let obs_t = spitfire_obs::op_start();
         txn.active = false;
         self.retire(txn);
         if txn.writes.is_empty() {
             self.commits.fetch_add(1, Ordering::Relaxed);
+            spitfire_obs::record_op(spitfire_obs::Op::TxnCommit, obs_t, txn.id, "");
             return Ok(()); // read-only: nothing to log or stamp
         }
         // Lock every touched stripe in sorted order (deadlock freedom).
-        let mut stripes: Vec<usize> =
-            txn.writes.iter().map(|w| self.locks.stripe_of(w.table, w.key)).collect();
+        let mut stripes: Vec<usize> = txn
+            .writes
+            .iter()
+            .map(|w| self.locks.stripe_of(w.table, w.key))
+            .collect();
         stripes.sort_unstable();
         stripes.dedup();
         let _guards = self.locks.lock_many(&stripes);
@@ -469,6 +547,7 @@ impl Database {
             }
         }
         self.commits.fetch_add(1, Ordering::Relaxed);
+        spitfire_obs::record_op(spitfire_obs::Op::TxnCommit, obs_t, txn.id, "");
         Ok(())
     }
 
@@ -477,9 +556,14 @@ impl Database {
         if !txn.active {
             return Err(TxnError::InactiveTransaction);
         }
+        let obs_t = spitfire_obs::op_start();
         txn.active = false;
         self.retire(txn);
-        self.rollback(txn)
+        let result = self.rollback(txn);
+        if result.is_ok() {
+            spitfire_obs::record_op(spitfire_obs::Op::TxnAbort, obs_t, txn.id, "");
+        }
+        result
     }
 
     fn rollback(&self, txn: &Transaction) -> Result<()> {
@@ -555,8 +639,10 @@ impl Database {
     /// 5. undo — mark losers' versions aborted;
     /// 6. rebuild the per-table indexes from table scans.
     pub fn recover(&self) -> Result<RecoveryStats> {
-        let mut stats = RecoveryStats::default();
-        stats.nvm_pages = self.bm.recover_nvm_buffer().len();
+        let mut stats = RecoveryStats {
+            nvm_pages: self.bm.recover_nvm_buffer().len(),
+            ..RecoveryStats::default()
+        };
         self.bm.recover_page_allocator();
 
         // Reload the table catalog.

@@ -46,7 +46,10 @@ impl std::fmt::Display for TxnError {
                 write!(f, "log record of {n} bytes exceeds the NVM log buffer")
             }
             TxnError::BadTupleSize { expected, got } => {
-                write!(f, "payload of {got} bytes does not match tuple size {expected}")
+                write!(
+                    f,
+                    "payload of {got} bytes does not match tuple size {expected}"
+                )
             }
             TxnError::UnknownTable(t) => write!(f, "unknown table {t}"),
         }
@@ -88,7 +91,12 @@ mod tests {
     #[test]
     fn display_is_informative() {
         assert!(TxnError::Conflict.to_string().contains("abort"));
-        assert!(TxnError::BadTupleSize { expected: 8, got: 9 }.to_string().contains('9'));
+        assert!(TxnError::BadTupleSize {
+            expected: 8,
+            got: 9
+        }
+        .to_string()
+        .contains('9'));
         let e: TxnError = BufferError::UnknownPage(spitfire_core::PageId(1)).into();
         assert!(matches!(e, TxnError::Buffer(_)));
     }

@@ -52,11 +52,15 @@ impl Database {
             let mut start = 0u64;
             loop {
                 let chunk = index.scan_from(start, 1024)?;
-                let Some(&(last_key, _)) = chunk.last() else { break };
+                let Some(&(last_key, _)) = chunk.last() else {
+                    break;
+                };
                 for &(key, _) in &chunk {
                     let _stripe = self.lock_key(table_id, key);
                     // Re-read the head under the stripe (it may have moved).
-                    let Some(head) = index.get(key)? else { continue };
+                    let Some(head) = index.get(key)? else {
+                        continue;
+                    };
                     stats.chains += 1;
                     let mut rid = head;
                     loop {
@@ -98,7 +102,13 @@ impl Database {
             // slot-allocator scan.
             table.write_header(
                 rid,
-                VersionHeader { begin: 0, end: 0, read_ts: 0, prev: NO_RID, key: 0 },
+                VersionHeader {
+                    begin: 0,
+                    end: 0,
+                    read_ts: 0,
+                    prev: NO_RID,
+                    key: 0,
+                },
             )?;
             table.recycle_slot(rid);
             freed += 1;
@@ -126,7 +136,10 @@ impl BackgroundFlusher {
                 let _ = db.buffer_manager().flush_all_dirty();
             }
         });
-        BackgroundFlusher { stop, handle: Some(handle) }
+        BackgroundFlusher {
+            stop,
+            handle: Some(handle),
+        }
     }
 }
 

@@ -80,7 +80,9 @@ impl KeyLocks {
     /// `n` stripes (rounded up to a power of two).
     pub fn new(n: usize) -> Self {
         let n = n.next_power_of_two().max(64);
-        KeyLocks { stripes: (0..n).map(|_| Mutex::new(())).collect() }
+        KeyLocks {
+            stripes: (0..n).map(|_| Mutex::new(())).collect(),
+        }
     }
 
     /// Stripe index for `(table, key)`.
@@ -98,13 +100,18 @@ impl KeyLocks {
     /// Lock a *sorted, deduplicated* set of stripe indices.
     pub fn lock_many(&self, sorted_stripes: &[usize]) -> Vec<MutexGuard<'_, ()>> {
         debug_assert!(sorted_stripes.windows(2).all(|w| w[0] < w[1]));
-        sorted_stripes.iter().map(|&i| self.stripes[i].lock()).collect()
+        sorted_stripes
+            .iter()
+            .map(|&i| self.stripes[i].lock())
+            .collect()
     }
 }
 
 impl std::fmt::Debug for KeyLocks {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("KeyLocks").field("stripes", &self.stripes.len()).finish()
+        f.debug_struct("KeyLocks")
+            .field("stripes", &self.stripes.len())
+            .finish()
     }
 }
 
@@ -114,7 +121,13 @@ mod tests {
     use crate::table::NO_RID;
 
     fn h(begin: u64, end: u64) -> VersionHeader {
-        VersionHeader { begin, end, read_ts: 0, prev: NO_RID, key: 1 }
+        VersionHeader {
+            begin,
+            end,
+            read_ts: 0,
+            prev: NO_RID,
+            key: 1,
+        }
     }
 
     #[test]

@@ -101,7 +101,12 @@ impl Table {
         Ok(table)
     }
 
-    fn with_layout(bm: Arc<BufferManager>, id: u32, tuple_size: usize, catalog_head: PageId) -> Self {
+    fn with_layout(
+        bm: Arc<BufferManager>,
+        id: u32,
+        tuple_size: usize,
+        catalog_head: PageId,
+    ) -> Self {
         let slot_size = VERSION_HEADER + tuple_size;
         let slots_per_page = bm.page_size() / slot_size;
         assert!(slots_per_page > 0, "tuple larger than a page");
@@ -179,7 +184,10 @@ impl Table {
     /// into it. Returns the RID.
     pub fn insert_version(&self, header: VersionHeader, payload: &[u8]) -> Result<u64> {
         if payload.len() != self.tuple_size {
-            return Err(TxnError::BadTupleSize { expected: self.tuple_size, got: payload.len() });
+            return Err(TxnError::BadTupleSize {
+                expected: self.tuple_size,
+                got: payload.len(),
+            });
         }
         let recycled = self.free_slots.lock().pop();
         let rid = recycled.unwrap_or_else(|| self.next_slot.fetch_add(1, Ordering::AcqRel));
@@ -214,7 +222,10 @@ impl Table {
     /// Read a version's payload into `buf` (must be `tuple_size` long).
     pub fn read_payload(&self, rid: u64, buf: &mut [u8]) -> Result<()> {
         if buf.len() != self.tuple_size {
-            return Err(TxnError::BadTupleSize { expected: self.tuple_size, got: buf.len() });
+            return Err(TxnError::BadTupleSize {
+                expected: self.tuple_size,
+                got: buf.len(),
+            });
         }
         let (page_idx, offset) = self.locate(rid);
         let pid = self.page_for(page_idx)?;
@@ -227,7 +238,10 @@ impl Table {
     /// commit, and redo during recovery).
     pub fn write_payload(&self, rid: u64, payload: &[u8]) -> Result<()> {
         if payload.len() != self.tuple_size {
-            return Err(TxnError::BadTupleSize { expected: self.tuple_size, got: payload.len() });
+            return Err(TxnError::BadTupleSize {
+                expected: self.tuple_size,
+                got: payload.len(),
+            });
         }
         let (page_idx, offset) = self.locate(rid);
         let pid = self.page_for(page_idx)?;
@@ -239,7 +253,10 @@ impl Table {
     /// Write a full version (header + payload) in one guard (redo).
     pub fn write_version(&self, rid: u64, header: VersionHeader, payload: &[u8]) -> Result<()> {
         if payload.len() != self.tuple_size {
-            return Err(TxnError::BadTupleSize { expected: self.tuple_size, got: payload.len() });
+            return Err(TxnError::BadTupleSize {
+                expected: self.tuple_size,
+                got: payload.len(),
+            });
         }
         let (page_idx, offset) = self.locate(rid);
         let pid = self.page_for(page_idx)?;
@@ -372,7 +389,8 @@ impl Table {
                 break;
             }
         }
-        self.next_slot.store(max_used.map_or(0, |r| r + 1), Ordering::Release);
+        self.next_slot
+            .store(max_used.map_or(0, |r| r + 1), Ordering::Release);
         Ok(())
     }
 }
@@ -405,12 +423,24 @@ mod tests {
     }
 
     fn hdr(begin: u64) -> VersionHeader {
-        VersionHeader { begin, end: u64::MAX, read_ts: 0, prev: NO_RID, key: 7 }
+        VersionHeader {
+            begin,
+            end: u64::MAX,
+            read_ts: 0,
+            prev: NO_RID,
+            key: 7,
+        }
     }
 
     #[test]
     fn header_bytes_round_trip() {
-        let h = VersionHeader { begin: 1, end: 2, read_ts: 3, prev: 4, key: 5 };
+        let h = VersionHeader {
+            begin: 1,
+            end: 2,
+            read_ts: 3,
+            prev: 4,
+            key: 5,
+        };
         assert_eq!(VersionHeader::from_bytes(&h.to_bytes()), h);
     }
 
@@ -432,7 +462,10 @@ mod tests {
         let t = Table::create(bm(), 1, 100).unwrap();
         assert!(matches!(
             t.insert_version(hdr(1), &[0u8; 99]),
-            Err(TxnError::BadTupleSize { expected: 100, got: 99 })
+            Err(TxnError::BadTupleSize {
+                expected: 100,
+                got: 99
+            })
         ));
         let mut small = [0u8; 10];
         t.insert_version(hdr(1), &[0u8; 100]).unwrap();

@@ -135,7 +135,19 @@ impl LogRecord {
         let prev_rid = u64::from_le_bytes(buf[48..56].try_into().ok()?);
         let prev_lsn = u64::from_le_bytes(buf[56..64].try_into().ok()?);
         let payload = buf[FRAME_HEADER..len].to_vec();
-        Some((LogRecord { kind, txn, table, key, rid, prev_rid, prev_lsn, payload }, len))
+        Some((
+            LogRecord {
+                kind,
+                txn,
+                table,
+                key,
+                rid,
+                prev_rid,
+                prev_lsn,
+                payload,
+            },
+            len,
+        ))
     }
 }
 
@@ -204,7 +216,8 @@ impl Wal {
     }
 
     fn persist_head(&self, head: usize) -> Result<()> {
-        self.nvm.write(0, &(head as u64).to_le_bytes(), AccessPattern::Random)?;
+        self.nvm
+            .write(0, &(head as u64).to_le_bytes(), AccessPattern::Random)?;
         self.nvm.persist(0, 8)?;
         Ok(())
     }
@@ -212,6 +225,7 @@ impl Wal {
     /// Append a record; durable when this returns (the paper's synchronous
     /// NVM persistence commit path). Returns the record's LSN.
     pub fn append(&self, record: &LogRecord) -> Result<u64> {
+        let obs_t = spitfire_obs::op_start();
         let bytes = record.encode();
         let mut state = self.state.lock();
         if state.head + bytes.len() > self.nvm.capacity() {
@@ -229,6 +243,7 @@ impl Wal {
         if state.head >= self.drain_at {
             self.drain_locked(&mut state)?;
         }
+        spitfire_obs::record_op(spitfire_obs::Op::WalAppend, obs_t, lsn, "nvm");
         Ok(lsn)
     }
 
@@ -239,7 +254,8 @@ impl Wal {
             return Ok(());
         }
         let mut buf = vec![0u8; live];
-        self.nvm.read(DATA_BASE, &mut buf, AccessPattern::Sequential)?;
+        self.nvm
+            .read(DATA_BASE, &mut buf, AccessPattern::Sequential)?;
         // Append as page-sized chunks. Each file page starts with a 4-byte
         // valid-length header so partial pages from different drains can be
         // stitched back into one record stream.
@@ -297,11 +313,11 @@ impl Wal {
         // NVM buffer portion: head offset is persistent.
         let mut head_bytes = [0u8; 8];
         self.nvm.read(0, &mut head_bytes, AccessPattern::Random)?;
-        let head = (u64::from_le_bytes(head_bytes) as usize)
-            .clamp(DATA_BASE, self.nvm.capacity());
+        let head = (u64::from_le_bytes(head_bytes) as usize).clamp(DATA_BASE, self.nvm.capacity());
         if head > DATA_BASE {
             let mut buf = vec![0u8; head - DATA_BASE];
-            self.nvm.read(DATA_BASE, &mut buf, AccessPattern::Sequential)?;
+            self.nvm
+                .read(DATA_BASE, &mut buf, AccessPattern::Sequential)?;
             decode_stream(&buf, &mut records);
         }
         Ok(records)
@@ -423,7 +439,8 @@ mod tests {
         let w = wal();
         // Each record ~ 564 bytes; the 8 KB buffer drains automatically.
         for i in 0..40u64 {
-            w.append(&record(i, RecordKind::Update, &[1u8; 500])).unwrap();
+            w.append(&record(i, RecordKind::Update, &[1u8; 500]))
+                .unwrap();
         }
         assert_eq!(w.read_all().unwrap().len(), 40);
         assert!(w.pending_bytes() < 8192);
@@ -433,7 +450,8 @@ mod tests {
     fn unpersisted_tail_lost_on_crash_but_persisted_survives() {
         let w = wal();
         for i in 0..5u64 {
-            w.append(&record(i, RecordKind::Update, b"durable")).unwrap();
+            w.append(&record(i, RecordKind::Update, b"durable"))
+                .unwrap();
         }
         // Crash: appended records were persisted record-by-record.
         w.simulate_crash();
@@ -467,7 +485,8 @@ mod tests {
     #[test]
     fn concurrent_appends_are_all_recovered() {
         use std::sync::Arc;
-        let w = Arc::new(Wal::new(1 << 20, 4096, TimeScale::ZERO, PersistenceTracking::Full).unwrap());
+        let w =
+            Arc::new(Wal::new(1 << 20, 4096, TimeScale::ZERO, PersistenceTracking::Full).unwrap());
         let handles: Vec<_> = (0..4u64)
             .map(|t| {
                 let w = Arc::clone(&w);
@@ -486,9 +505,15 @@ mod tests {
         assert_eq!(recs.len(), 400);
         // Per-thread order must be preserved.
         for t in 0..4u64 {
-            let txns: Vec<u64> =
-                recs.iter().map(|r| r.txn).filter(|x| x / 1000 == t).collect();
-            assert!(txns.windows(2).all(|w| w[0] < w[1]), "thread {t} out of order");
+            let txns: Vec<u64> = recs
+                .iter()
+                .map(|r| r.txn)
+                .filter(|x| x / 1000 == t)
+                .collect();
+            assert!(
+                txns.windows(2).all(|w| w[0] < w[1]),
+                "thread {t} out of order"
+            );
         }
     }
 }

@@ -24,7 +24,10 @@ fn database() -> Database {
     let bm = Arc::new(BufferManager::new(config).unwrap());
     let db = Database::create(
         bm,
-        DbConfig { log_tracking: PersistenceTracking::Full, ..DbConfig::default() },
+        DbConfig {
+            log_tracking: PersistenceTracking::Full,
+            ..DbConfig::default()
+        },
     )
     .unwrap();
     db.create_table(T, TUPLE).unwrap();
@@ -64,7 +67,7 @@ fn uncommitted_writes_invisible_to_others() {
     let t3 = db.begin();
     assert_eq!(db.read(&t3, T, 1).unwrap(), tuple(1));
     db.commit(&mut t2).unwrap_err(); // t3 (later ts) read the old version
-    // After t2's failed commit (conflict -> rollback), value stays 1.
+                                     // After t2's failed commit (conflict -> rollback), value stays 1.
     let t4 = db.begin();
     assert_eq!(db.read(&t4, T, 1).unwrap(), tuple(1));
 }
@@ -101,7 +104,10 @@ fn write_write_conflict_aborts_second_writer() {
     let mut t3 = db.begin();
     db.update(&mut t2, T, 9, &tuple(2)).unwrap();
     // t3 hits t2's uncommitted marker.
-    assert_eq!(db.update(&mut t3, T, 9, &tuple(3)).unwrap_err(), TxnError::Conflict);
+    assert_eq!(
+        db.update(&mut t3, T, 9, &tuple(3)).unwrap_err(),
+        TxnError::Conflict
+    );
     db.abort(&mut t3).unwrap();
     db.commit(&mut t2).unwrap();
     let t4 = db.begin();
@@ -120,7 +126,10 @@ fn stale_writer_rejected_by_read_timestamp() {
     assert_eq!(db.read(&newer_reader, T, 3).unwrap(), tuple(1));
     // The version was read at a later timestamp; the older writer cannot
     // supersede it without violating timestamp order.
-    assert_eq!(db.update(&mut old_writer, T, 3, &tuple(2)).unwrap_err(), TxnError::Conflict);
+    assert_eq!(
+        db.update(&mut old_writer, T, 3, &tuple(2)).unwrap_err(),
+        TxnError::Conflict
+    );
     db.abort(&mut old_writer).unwrap();
 }
 
@@ -152,7 +161,10 @@ fn duplicate_insert_rejected() {
     db.insert(&mut t1, T, 7, &tuple(1)).unwrap();
     db.commit(&mut t1).unwrap();
     let mut t2 = db.begin();
-    assert_eq!(db.insert(&mut t2, T, 7, &tuple(2)).unwrap_err(), TxnError::Duplicate);
+    assert_eq!(
+        db.insert(&mut t2, T, 7, &tuple(2)).unwrap_err(),
+        TxnError::Duplicate
+    );
     db.abort(&mut t2).unwrap();
 }
 
@@ -162,12 +174,24 @@ fn finished_transactions_are_inert() {
     let mut t1 = db.begin();
     db.insert(&mut t1, T, 1, &tuple(1)).unwrap();
     db.commit(&mut t1).unwrap();
-    assert_eq!(db.commit(&mut t1).unwrap_err(), TxnError::InactiveTransaction);
-    assert_eq!(db.read(&t1, T, 1).unwrap_err(), TxnError::InactiveTransaction);
+    assert_eq!(
+        db.commit(&mut t1).unwrap_err(),
+        TxnError::InactiveTransaction
+    );
+    assert_eq!(
+        db.read(&t1, T, 1).unwrap_err(),
+        TxnError::InactiveTransaction
+    );
     let mut t2 = db.begin();
-    assert_eq!(db.update(&mut t1, T, 1, &tuple(2)).unwrap_err(), TxnError::InactiveTransaction);
+    assert_eq!(
+        db.update(&mut t1, T, 1, &tuple(2)).unwrap_err(),
+        TxnError::InactiveTransaction
+    );
     db.abort(&mut t2).unwrap();
-    assert_eq!(db.abort(&mut t2).unwrap_err(), TxnError::InactiveTransaction);
+    assert_eq!(
+        db.abort(&mut t2).unwrap_err(),
+        TxnError::InactiveTransaction
+    );
 }
 
 #[test]
@@ -236,8 +260,16 @@ fn uncommitted_transactions_are_undone_by_recovery() {
     assert_eq!(stats.undone, 2);
 
     let t = db.begin();
-    assert_eq!(db.read(&t, T, 1).unwrap(), tuple(1), "loser update rolled back");
-    assert_eq!(db.read(&t, T, 2).unwrap_err(), TxnError::NotFound, "loser insert gone");
+    assert_eq!(
+        db.read(&t, T, 1).unwrap(),
+        tuple(1),
+        "loser update rolled back"
+    );
+    assert_eq!(
+        db.read(&t, T, 2).unwrap_err(),
+        TxnError::NotFound,
+        "loser insert gone"
+    );
 }
 
 #[test]
@@ -281,7 +313,11 @@ fn repeated_crash_recover_cycles_are_stable() {
         db.recover().unwrap();
         let t = db.begin();
         for (key, b) in &expected {
-            assert_eq!(db.read(&t, T, *key).unwrap(), tuple(*b), "round {round} key {key}");
+            assert_eq!(
+                db.read(&t, T, *key).unwrap(),
+                tuple(*b),
+                "round {round} key {key}"
+            );
         }
     }
 }

@@ -20,8 +20,11 @@ fn database() -> Database {
         .time_scale(TimeScale::ZERO)
         .build()
         .unwrap();
-    let db = Database::create(Arc::new(BufferManager::new(config).unwrap()), DbConfig::default())
-        .unwrap();
+    let db = Database::create(
+        Arc::new(BufferManager::new(config).unwrap()),
+        DbConfig::default(),
+    )
+    .unwrap();
     db.create_table(T, TUPLE).unwrap();
     db
 }
@@ -72,7 +75,10 @@ fn vacuum_respects_active_readers() {
     // version with value 10 is the newest committed before the reader, so
     // nothing below it exists and nothing newer may be freed.
     assert_eq!(db.read(&old_reader, T, 1).unwrap(), vec![10u8; TUPLE]);
-    assert!(stats.freed == 0, "no version visible to the reader may be freed");
+    assert!(
+        stats.freed == 0,
+        "no version visible to the reader may be freed"
+    );
     drop(old_reader);
     // Once the reader is gone (transactions auto-retire only on
     // commit/abort, so finish it properly in a fresh handle).
@@ -105,7 +111,7 @@ fn vacuum_concurrent_with_writers_is_safe() {
     {
         let mut t = db.begin();
         for key in 0..32u64 {
-            db.insert(&mut t, T, key, &vec![0u8; TUPLE]).unwrap();
+            db.insert(&mut t, T, key, &[0u8; TUPLE]).unwrap();
         }
         db.commit(&mut t).unwrap();
     }
@@ -135,7 +141,10 @@ fn vacuum_concurrent_with_writers_is_safe() {
     // Everything still readable.
     let t = db.begin();
     for key in 0..32u64 {
-        assert!(db.read(&t, T, key).is_ok(), "key {key} lost during concurrent vacuum");
+        assert!(
+            db.read(&t, T, key).is_ok(),
+            "key {key} lost during concurrent vacuum"
+        );
     }
 }
 
@@ -145,7 +154,7 @@ fn background_flusher_cleans_dirty_pages() {
     {
         let mut t = db.begin();
         for key in 0..64u64 {
-            db.insert(&mut t, T, key, &vec![1u8; TUPLE]).unwrap();
+            db.insert(&mut t, T, key, &[1u8; TUPLE]).unwrap();
         }
         db.commit(&mut t).unwrap();
     }

@@ -21,7 +21,10 @@ struct ScriptedTxn {
 }
 
 fn txn_strategy() -> impl Strategy<Value = ScriptedTxn> {
-    (proptest::collection::vec((0..KEYS, any::<u8>()), 1..5), prop::bool::weighted(0.8))
+    (
+        proptest::collection::vec((0..KEYS, any::<u8>()), 1..5),
+        prop::bool::weighted(0.8),
+    )
         .prop_map(|(writes, commit)| ScriptedTxn { writes, commit })
 }
 
@@ -37,7 +40,10 @@ fn database() -> Database {
         .unwrap();
     let db = Database::create(
         Arc::new(BufferManager::new(config).unwrap()),
-        DbConfig { log_tracking: PersistenceTracking::Full, ..DbConfig::default() },
+        DbConfig {
+            log_tracking: PersistenceTracking::Full,
+            ..DbConfig::default()
+        },
     )
     .unwrap();
     db.create_table(T, TUPLE).unwrap();

@@ -67,6 +67,20 @@ impl RunReport {
         let idx = ((self.latency_samples.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
         Some(self.latency_samples[idx])
     }
+
+    /// One-line p50/p99 summary of the sampled latencies, for printing
+    /// alongside throughput: `lat p50=12.3µs p99=456.7µs (n=1024)`.
+    pub fn latency_summary(&self) -> String {
+        match (self.latency_quantile(0.5), self.latency_quantile(0.99)) {
+            (Some(p50), Some(p99)) => format!(
+                "lat p50={:.1}µs p99={:.1}µs (n={})",
+                p50.as_secs_f64() * 1e6,
+                p99.as_secs_f64() * 1e6,
+                self.latency_samples.len()
+            ),
+            _ => "lat n/a".to_string(),
+        }
+    }
 }
 
 /// Run `op` from `config.threads` workers: warm up, then measure.
@@ -101,12 +115,16 @@ where
                 while !stop.load(Ordering::Relaxed) {
                     // Sample every 32nd operation's latency (cheap enough
                     // to leave on; two clock reads per 32 ops).
-                    let timed = local_attempted % 32 == 0;
+                    let timed = local_attempted.is_multiple_of(32);
                     let start = timed.then(Instant::now);
                     let ok = op(t, &mut rng);
                     if measuring.load(Ordering::Relaxed) {
                         if let Some(start) = start {
-                            local_samples.push(start.elapsed());
+                            let d = start.elapsed();
+                            if spitfire_obs::enabled() {
+                                spitfire_obs::record_duration(spitfire_obs::Op::WorkloadOp, d);
+                            }
+                            local_samples.push(d);
                         }
                         local_attempted += 1;
                         local_committed += u64::from(ok);
@@ -224,7 +242,7 @@ mod tests {
         let calls = AtomicUsize::new(0);
         let report = run_workload(&config, |_, _| {
             // Every third call "aborts".
-            calls.fetch_add(1, Ordering::Relaxed) % 3 != 0
+            !calls.fetch_add(1, Ordering::Relaxed).is_multiple_of(3)
         });
         assert!(report.committed > 0);
         assert!(report.attempted >= report.committed);

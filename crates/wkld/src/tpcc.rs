@@ -70,7 +70,11 @@ pub struct TpccConfig {
 
 impl Default for TpccConfig {
     fn default() -> Self {
-        TpccConfig { warehouses: 2, customers_per_district: 300, items: 10_000 }
+        TpccConfig {
+            warehouses: 2,
+            customers_per_district: 300,
+            items: 10_000,
+        }
     }
 }
 
@@ -184,7 +188,10 @@ impl Tpcc {
                 i = end;
             }
         }
-        Ok(Tpcc { config, history_seq: std::sync::atomic::AtomicU64::new(0) })
+        Ok(Tpcc {
+            config,
+            history_seq: std::sync::atomic::AtomicU64::new(0),
+        })
     }
 
     /// The configuration in effect.
@@ -218,7 +225,12 @@ impl Tpcc {
         }
     }
 
-    fn finish(&self, db: &Database, txn: &mut Transaction, outcome: spitfire_txn::Result<()>) -> TxResult {
+    fn finish(
+        &self,
+        db: &Database,
+        txn: &mut Transaction,
+        outcome: spitfire_txn::Result<()>,
+    ) -> TxResult {
         match outcome {
             Ok(()) => match db.commit(txn) {
                 Ok(()) => Ok(true),
@@ -272,7 +284,11 @@ impl Tpcc {
                 let qty = rng.gen_range(1..=10u64);
                 let mut stock = db.read(txn, T_STOCK, k_stock(supply_w, i_id))?;
                 let s_qty = get_u64(&stock, 0);
-                let new_qty = if s_qty >= qty + 10 { s_qty - qty } else { s_qty + 91 - qty };
+                let new_qty = if s_qty >= qty + 10 {
+                    s_qty - qty
+                } else {
+                    s_qty + 91 - qty
+                };
                 put_u64(&mut stock, 0, new_qty);
                 add_u64(&mut stock, 8, qty); // ytd
                 add_u64(&mut stock, 16, 1); // order_cnt
@@ -339,7 +355,9 @@ impl Tpcc {
             add_u64(&mut customer, 16, 1); // payment_cnt
             db.update(txn, T_CUSTOMER, ck, &customer)?;
 
-            let h = self.history_seq.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            let h = self
+                .history_seq
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
             let mut hist = vec![0u8; SZ_HISTORY];
             put_u64(&mut hist, 0, amount);
             put_u64(&mut hist, 8, w);
@@ -472,7 +490,9 @@ impl Tpcc {
 
 impl std::fmt::Debug for Tpcc {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Tpcc").field("warehouses", &self.config.warehouses).finish_non_exhaustive()
+        f.debug_struct("Tpcc")
+            .field("warehouses", &self.config.warehouses)
+            .finish_non_exhaustive()
     }
 }
 
@@ -497,7 +517,11 @@ mod tests {
     }
 
     fn tiny_config() -> TpccConfig {
-        TpccConfig { warehouses: 2, customers_per_district: 20, items: 100 }
+        TpccConfig {
+            warehouses: 2,
+            customers_per_district: 20,
+            items: 100,
+        }
     }
 
     #[test]
@@ -534,7 +558,10 @@ mod tests {
             .flat_map(|w| (0..DISTRICTS).map(move |d| (w, d)))
             .map(|(w, d)| get_u64(&db.read(&txn, T_DISTRICT, k_district(w, d)).unwrap(), 0))
             .sum();
-        assert!(total_orders > 50, "expected many orders, got {total_orders}");
+        assert!(
+            total_orders > 50,
+            "expected many orders, got {total_orders}"
+        );
     }
 
     #[test]
@@ -552,12 +579,16 @@ mod tests {
             for d in 0..DISTRICTS {
                 let district = db.read(&txn, T_DISTRICT, k_district(w, d)).unwrap();
                 for o in 0..get_u64(&district, 0) {
-                    let Ok(order) = db.read(&txn, T_ORDER, k_order(w, d, o)) else { continue };
+                    let Ok(order) = db.read(&txn, T_ORDER, k_order(w, d, o)) else {
+                        continue;
+                    };
                     let ol_cnt = get_u64(&order, 32);
                     let total = get_u64(&order, 40);
                     let mut sum = 0;
                     for ol in 0..ol_cnt {
-                        let line = db.read(&txn, T_ORDERLINE, k_orderline(w, d, o, ol)).unwrap();
+                        let line = db
+                            .read(&txn, T_ORDERLINE, k_orderline(w, d, o, ol))
+                            .unwrap();
                         sum += get_u64(&line, 24);
                     }
                     assert_eq!(sum, total, "order ({w},{d},{o}) total mismatch");
@@ -565,14 +596,24 @@ mod tests {
                 }
             }
         }
-        assert!(checked > 10, "expected some completed orders, got {checked}");
+        assert!(
+            checked > 10,
+            "expected some completed orders, got {checked}"
+        );
     }
 
     #[test]
     fn delivery_advances_cursor_and_credits_customer() {
         let db = small_db();
-        let t = Tpcc::setup(&db, TpccConfig { warehouses: 1, customers_per_district: 5, items: 50 })
-            .unwrap();
+        let t = Tpcc::setup(
+            &db,
+            TpccConfig {
+                warehouses: 1,
+                customers_per_district: 5,
+                items: 50,
+            },
+        )
+        .unwrap();
         let mut rng = SmallRng::seed_from_u64(11);
         // Generate orders, then force deliveries.
         for _ in 0..60 {

@@ -71,7 +71,11 @@ pub struct YcsbConfig {
 
 impl Default for YcsbConfig {
     fn default() -> Self {
-        YcsbConfig { records: 10_000, theta: 0.3, mix: YcsbMix::Balanced }
+        YcsbConfig {
+            records: 10_000,
+            theta: 0.3,
+            mix: YcsbMix::Balanced,
+        }
     }
 }
 
@@ -98,7 +102,12 @@ impl RawYcsb {
             pages.push(bm.allocate_page()?);
         }
         let zipf = ScrambledZipf::new(config.records, config.theta);
-        Ok(RawYcsb { config, zipf, pages, tuples_per_page })
+        Ok(RawYcsb {
+            config,
+            zipf,
+            pages,
+            tuples_per_page,
+        })
     }
 
     /// The configuration in effect.
@@ -262,7 +271,15 @@ mod tests {
     fn raw_ycsb_runs_all_mixes() {
         for mix in [YcsbMix::ReadOnly, YcsbMix::Balanced, YcsbMix::WriteHeavy] {
             let bm = bm();
-            let w = RawYcsb::setup(&bm, YcsbConfig { records: 500, theta: 0.3, mix }).unwrap();
+            let w = RawYcsb::setup(
+                &bm,
+                YcsbConfig {
+                    records: 500,
+                    theta: 0.3,
+                    mix,
+                },
+            )
+            .unwrap();
             assert_eq!(w.n_pages(), 125); // 4 tuples per 4 KB page
             w.warmup(&bm).unwrap();
             let mut rng = SmallRng::seed_from_u64(1);
@@ -280,7 +297,11 @@ mod tests {
         let db = Database::create(Arc::clone(&bm), spitfire_txn::DbConfig::default()).unwrap();
         let w = YcsbTxn::setup(
             &db,
-            YcsbConfig { records: 200, theta: 0.3, mix: YcsbMix::Balanced },
+            YcsbConfig {
+                records: 200,
+                theta: 0.3,
+                mix: YcsbMix::Balanced,
+            },
         )
         .unwrap();
         let mut rng = SmallRng::seed_from_u64(2);
@@ -290,7 +311,10 @@ mod tests {
                 committed += 1;
             }
         }
-        assert!(committed > 250, "most single-op txns commit, got {committed}");
+        assert!(
+            committed > 250,
+            "most single-op txns commit, got {committed}"
+        );
         // Loaded keys are readable.
         let t = db.begin();
         let v = db.read(&t, YCSB_TABLE, 7).unwrap();

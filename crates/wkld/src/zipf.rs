@@ -40,12 +40,22 @@ impl Zipf {
     /// Panics if `n == 0` or `theta` is not in `[0, 1)`.
     pub fn new(n: u64, theta: f64) -> Self {
         assert!(n > 0, "population must be non-empty");
-        assert!((0.0..1.0).contains(&theta), "theta must be in [0, 1), got {theta}");
+        assert!(
+            (0.0..1.0).contains(&theta),
+            "theta must be in [0, 1), got {theta}"
+        );
         let zetan = Self::zeta(n, theta);
         let zeta2 = Self::zeta(2.min(n), theta);
         let alpha = 1.0 / (1.0 - theta);
         let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
-        Zipf { n, theta, alpha, zetan, eta, zeta2: zeta2 }
+        Zipf {
+            n,
+            theta,
+            alpha,
+            zetan,
+            eta,
+            zeta2,
+        }
     }
 
     fn zeta(n: u64, theta: f64) -> f64 {
@@ -94,7 +104,9 @@ pub struct ScrambledZipf {
 impl ScrambledZipf {
     /// A scrambled sampler over `[0, n)`.
     pub fn new(n: u64, theta: f64) -> Self {
-        ScrambledZipf { inner: Zipf::new(n, theta) }
+        ScrambledZipf {
+            inner: Zipf::new(n, theta),
+        }
     }
 
     /// Draw a key in `[0, n)`.
@@ -143,7 +155,10 @@ mod tests {
         // With theta = 0.9 and n = 10^4 the analytic top-10 share is
         // zeta(10, 0.9) / zeta(10^4, 0.9) ≈ 0.20.
         let share = top10 as f64 / N as f64;
-        assert!((0.15..0.30).contains(&share), "top-10 share {share} off for theta 0.9");
+        assert!(
+            (0.15..0.30).contains(&share),
+            "top-10 share {share} off for theta 0.9"
+        );
     }
 
     #[test]
@@ -157,7 +172,10 @@ mod tests {
         }
         let hottest = *counts.iter().max().unwrap() as f64;
         let expected = N as f64 / 1000.0;
-        assert!(hottest < expected * 3.0, "theta 0.01 should be near-uniform");
+        assert!(
+            hottest < expected * 3.0,
+            "theta 0.01 should be near-uniform"
+        );
     }
 
     #[test]
@@ -172,7 +190,10 @@ mod tests {
         let first: u32 = counts[..10].iter().sum();
         let mid: u32 = counts[45..55].iter().sum();
         let last: u32 = counts[90..].iter().sum();
-        assert!(first > mid && mid > last, "{first} > {mid} > {last} violated");
+        assert!(
+            first > mid && mid > last,
+            "{first} > {mid} > {last} violated"
+        );
     }
 
     #[test]
@@ -192,6 +213,11 @@ mod tests {
         // The two hottest keys must not be adjacent (scrambled).
         let mut order: Vec<usize> = (0..1000).collect();
         order.sort_by_key(|&i| std::cmp::Reverse(counts[i]));
-        assert!(order[0].abs_diff(order[1]) > 1, "hot keys {} and {} adjacent", order[0], order[1]);
+        assert!(
+            order[0].abs_diff(order[1]) > 1,
+            "hot keys {} and {} adjacent",
+            order[0],
+            order[1]
+        );
     }
 }

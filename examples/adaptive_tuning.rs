@@ -25,7 +25,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let bm = BufferManager::new(config)?;
     let w = RawYcsb::setup(
         &bm,
-        YcsbConfig { records: 16_000, theta: 0.3, mix: YcsbMix::ReadOnly },
+        YcsbConfig {
+            records: 16_000,
+            theta: 0.3,
+            mix: YcsbMix::ReadOnly,
+        },
     )?;
 
     let mut tuner = AnnealingTuner::new(MigrationPolicy::eager(), AnnealingParams::default(), 42);
@@ -55,7 +59,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let hist = tuner.history();
     let early: f64 = hist[..10].iter().map(|e| e.throughput).sum::<f64>() / 10.0;
-    let late: f64 = hist[hist.len() - 10..].iter().map(|e| e.throughput).sum::<f64>() / 10.0;
+    let late: f64 = hist[hist.len() - 10..]
+        .iter()
+        .map(|e| e.throughput)
+        .sum::<f64>()
+        / 10.0;
     println!(
         "\nconverged on {} — first 10 epochs averaged {:.0} op/s, last 10 averaged {:.0} op/s ({:+.0}%)",
         tuner.current(),

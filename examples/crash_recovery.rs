@@ -32,25 +32,54 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let bm = Arc::new(BufferManager::new(config)?);
     let db = Database::create(
         bm,
-        DbConfig { log_tracking: PersistenceTracking::Full, ..DbConfig::default() },
+        DbConfig {
+            log_tracking: PersistenceTracking::Full,
+            ..DbConfig::default()
+        },
     )?;
     db.create_table(TABLE, TUPLE)?;
 
     // Committed work: survives.
     let mut t1 = db.begin();
     for k in 0..50u64 {
-        db.insert(&mut t1, TABLE, k, &format!("committed row {k:02}").as_bytes().to_vec().tap_pad())?;
+        db.insert(
+            &mut t1,
+            TABLE,
+            k,
+            &format!("committed row {k:02}")
+                .as_bytes()
+                .to_vec()
+                .tap_pad(),
+        )?;
     }
     db.commit(&mut t1)?;
     let mut t2 = db.begin();
-    db.update(&mut t2, TABLE, 7, &b"updated row 07 (v2)".to_vec().tap_pad())?;
+    db.update(
+        &mut t2,
+        TABLE,
+        7,
+        &b"updated row 07 (v2)".to_vec().tap_pad(),
+    )?;
     db.commit(&mut t2)?;
-    println!("committed 50 inserts + 1 update; WAL pending bytes: {}", db.wal().pending_bytes());
+    println!(
+        "committed 50 inserts + 1 update; WAL pending bytes: {}",
+        db.wal().pending_bytes()
+    );
 
     // In-flight work: must vanish.
     let mut t3 = db.begin();
-    db.update(&mut t3, TABLE, 7, &b"UNCOMMITTED overwrite".to_vec().tap_pad())?;
-    db.insert(&mut t3, TABLE, 999, &b"UNCOMMITTED insert".to_vec().tap_pad())?;
+    db.update(
+        &mut t3,
+        TABLE,
+        7,
+        &b"UNCOMMITTED overwrite".to_vec().tap_pad(),
+    )?;
+    db.insert(
+        &mut t3,
+        TABLE,
+        999,
+        &b"UNCOMMITTED insert".to_vec().tap_pad(),
+    )?;
     println!("left transaction {} in flight with 2 writes...", t3.id);
 
     println!("\n*** CRASH ***\n");
@@ -60,14 +89,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "recovery: {} committed txns, {} losers; {} records redone, {} undone; \
          {} pages from the NVM scan; {} index entries rebuilt",
-        stats.committed, stats.losers, stats.redone, stats.undone, stats.nvm_pages,
+        stats.committed,
+        stats.losers,
+        stats.redone,
+        stats.undone,
+        stats.nvm_pages,
         stats.index_entries
     );
 
     let t = db.begin();
     let row7 = db.read(&t, TABLE, 7)?;
-    println!("row 7 after recovery: {:?}", String::from_utf8_lossy(&row7[..19]));
-    assert!(row7.starts_with(b"updated row 07 (v2)"), "committed update must survive");
+    println!(
+        "row 7 after recovery: {:?}",
+        String::from_utf8_lossy(&row7[..19])
+    );
+    assert!(
+        row7.starts_with(b"updated row 07 (v2)"),
+        "committed update must survive"
+    );
     match db.read(&t, TABLE, 999) {
         Err(TxnError::NotFound) => println!("row 999 (uncommitted insert) is gone — correct."),
         other => panic!("uncommitted insert leaked: {other:?}"),

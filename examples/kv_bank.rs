@@ -112,7 +112,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The invariant: money is conserved.
     let txn = db.begin();
-    let total: u64 = (0..ACCOUNTS).map(|a| decode(&db.read(&txn, TABLE, a).unwrap())).sum();
+    let total: u64 = (0..ACCOUNTS)
+        .map(|a| decode(&db.read(&txn, TABLE, a).unwrap()))
+        .sum();
     println!("total balance: {total} (expected {})", ACCOUNTS * INITIAL);
     assert_eq!(total, ACCOUNTS * INITIAL, "conservation violated!");
     println!("conservation holds under concurrent MVTO transactions.");

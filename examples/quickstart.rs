@@ -5,9 +5,7 @@
 //! cargo run --release -p spitfire-bench --example quickstart
 //! ```
 
-use spitfire_core::{
-    AccessIntent, BufferManager, BufferManagerConfig, MigrationPolicy, Tier,
-};
+use spitfire_core::{AccessIntent, BufferManager, BufferManagerConfig, MigrationPolicy, Tier};
 use spitfire_device::TimeScale;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -26,7 +24,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("hierarchy: {:?}, policy: {}", bm.hierarchy(), bm.policy());
 
     // Allocate pages (they start on SSD, like every newly created page).
-    let pids: Vec<_> = (0..64).map(|_| bm.allocate_page()).collect::<Result<_, _>>()?;
+    let pids: Vec<_> = (0..64)
+        .map(|_| bm.allocate_page())
+        .collect::<Result<_, _>>()?;
 
     // Write each page once, then hammer a hot subset with reads.
     for (i, pid) in pids.iter().enumerate() {
@@ -39,7 +39,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let mut buf = [0u8; 17];
             guard.read(0, &mut buf)?;
             if round == 0 {
-                println!("read {:?} from {:?}: {}", pid, guard.tier(), String::from_utf8_lossy(&buf));
+                println!(
+                    "read {:?} from {:?}: {}",
+                    pid,
+                    guard.tier(),
+                    String::from_utf8_lossy(&buf)
+                );
             }
         }
     }
@@ -47,9 +52,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Where did everything end up?
     let (dram, nvm) = bm.resident_pages();
     let m = bm.metrics();
-    println!("\nresident pages: {dram} in DRAM, {nvm} in NVM (of {} total)", pids.len());
-    println!("hits: {} DRAM, {} NVM, {} SSD fetches", m.dram_hits, m.nvm_hits, m.ssd_fetches);
-    println!("inclusivity ratio (duplicated pages): {:.3}", bm.inclusivity());
+    println!(
+        "\nresident pages: {dram} in DRAM, {nvm} in NVM (of {} total)",
+        pids.len()
+    );
+    println!(
+        "hits: {} DRAM, {} NVM, {} SSD fetches",
+        m.dram_hits, m.nvm_hits, m.ssd_fetches
+    );
+    println!(
+        "inclusivity ratio (duplicated pages): {:.3}",
+        bm.inclusivity()
+    );
     for tier in [Tier::Dram, Tier::Nvm, Tier::Ssd] {
         if let Some(stats) = bm.device_stats(tier) {
             let s = stats.snapshot();

@@ -3,8 +3,6 @@
 //! speed (tiny REAL-scale runs), so a broken cost model or policy wiring
 //! fails CI rather than silently producing flat figures.
 
-use std::sync::Arc;
-
 use spitfire_bench::{build_one_workload, runner, three_tier, ycsb_config, MB};
 use spitfire_core::{MigrationPolicy, Tier};
 use spitfire_wkld::{run_workload, RawYcsb, YcsbMix};
@@ -19,12 +17,10 @@ fn lazy_beats_eager_on_read_only_ycsb() {
     // The paper's central claim (§6.3): on a three-tier hierarchy whose
     // working set exceeds DRAM, lazy DRAM migration beats eager.
     let w = build_one_workload("YCSB-RO", 2 * MB, 8 * MB, 16 * MB, MigrationPolicy::eager());
-    let mut cfg = runner(2);
-    cfg.warmup = std::time::Duration::from_millis(200);
-    cfg.duration = std::time::Duration::from_millis(400);
-
     let eager = w.run_point(MigrationPolicy::eager(), 2).throughput();
-    let lazy = w.run_point(MigrationPolicy::new(0.01, 0.01, 1.0, 1.0), 2).throughput();
+    let lazy = w
+        .run_point(MigrationPolicy::new(0.01, 0.01, 1.0, 1.0), 2)
+        .throughput();
     assert!(
         lazy > eager * 1.05,
         "lazy ({lazy:.0}) must beat eager ({eager:.0}) by a visible margin"
@@ -87,8 +83,10 @@ fn coarse_granules_reduce_nvm_read_amplification() {
         });
         let w = RawYcsb::setup(&bm, ycsb_config(8 * MB, 0.3, YcsbMix::ReadOnly)).unwrap();
         let report = run_workload(&runner(2), |_, rng| w.execute(&bm, rng).unwrap());
-        let reads =
-            bm.device_stats(Tier::Nvm).map(|s| s.snapshot().bytes_read).unwrap_or(0);
+        let reads = bm
+            .device_stats(Tier::Nvm)
+            .map(|s| s.snapshot().bytes_read)
+            .unwrap_or(0);
         reads as f64 / report.committed.max(1) as f64
     };
     let fine = per_op_nvm_reads(64);

@@ -40,11 +40,25 @@ fn quick_runner(threads: usize) -> RunnerConfig {
 #[test]
 fn raw_ycsb_on_all_hierarchies() {
     for (dram, nvm) in [(32, 64), (64, 0), (0, 96)] {
-        let bm = bm(dram.max(1) * usize::from(dram > 0), nvm, MigrationPolicy::lazy());
-        let w = RawYcsb::setup(&bm, YcsbConfig { records: 800, theta: 0.3, mix: YcsbMix::Balanced })
-            .unwrap();
+        let bm = bm(
+            dram.max(1) * usize::from(dram > 0),
+            nvm,
+            MigrationPolicy::lazy(),
+        );
+        let w = RawYcsb::setup(
+            &bm,
+            YcsbConfig {
+                records: 800,
+                theta: 0.3,
+                mix: YcsbMix::Balanced,
+            },
+        )
+        .unwrap();
         let report = run_workload(&quick_runner(4), |_, rng| w.execute(&bm, rng).unwrap());
-        assert!(report.committed > 0, "hierarchy ({dram},{nvm}) made no progress");
+        assert!(
+            report.committed > 0,
+            "hierarchy ({dram},{nvm}) made no progress"
+        );
         assert_eq!(report.abort_rate(), 0.0, "raw ops never abort");
     }
 }
@@ -55,14 +69,25 @@ fn transactional_ycsb_under_contention() {
     let db = Arc::new(Database::create(bm, DbConfig::default()).unwrap());
     let w = YcsbTxn::setup(
         &db,
-        YcsbConfig { records: 200, theta: 0.9, mix: YcsbMix::WriteHeavy },
+        YcsbConfig {
+            records: 200,
+            theta: 0.9,
+            mix: YcsbMix::WriteHeavy,
+        },
     )
     .unwrap();
     let report = run_workload(&quick_runner(4), |_, rng| w.execute(&db, rng).unwrap());
-    assert!(report.committed > 100, "committed only {}", report.committed);
+    assert!(
+        report.committed > 100,
+        "committed only {}",
+        report.committed
+    );
     // Heavy skew + write-heavy means conflicts must occur and be survived.
     let (_commits, aborts) = db.txn_stats();
-    assert!(aborts > 0, "expected MVTO conflicts under zipf 0.9 write-heavy");
+    assert!(
+        aborts > 0,
+        "expected MVTO conflicts under zipf 0.9 write-heavy"
+    );
 }
 
 #[test]
@@ -71,7 +96,11 @@ fn tpcc_multithreaded_consistency() {
     let db = Arc::new(Database::create(bm, DbConfig::default()).unwrap());
     let t = Tpcc::setup(
         &db,
-        TpccConfig { warehouses: 2, customers_per_district: 30, items: 200 },
+        TpccConfig {
+            warehouses: 2,
+            customers_per_district: 30,
+            items: 200,
+        },
     )
     .unwrap();
     let report = run_workload(&quick_runner(4), |_, rng| t.execute(&db, rng).unwrap());
@@ -90,13 +119,20 @@ fn end_to_end_crash_recovery_with_workload() {
     let db = Arc::new(
         Database::create(
             bm,
-            DbConfig { log_tracking: PersistenceTracking::Full, ..DbConfig::default() },
+            DbConfig {
+                log_tracking: PersistenceTracking::Full,
+                ..DbConfig::default()
+            },
         )
         .unwrap(),
     );
     let w = YcsbTxn::setup(
         &db,
-        YcsbConfig { records: 300, theta: 0.5, mix: YcsbMix::Balanced },
+        YcsbConfig {
+            records: 300,
+            theta: 0.5,
+            mix: YcsbMix::Balanced,
+        },
     )
     .unwrap();
     // Run a burst of transactions single-threaded for determinism.
@@ -107,14 +143,18 @@ fn end_to_end_crash_recovery_with_workload() {
     // Capture committed state.
     let reference: Vec<Vec<u8>> = {
         let t = db.begin();
-        (0..300u64).map(|k| db.read(&t, spitfire_wkld::ycsb::YCSB_TABLE, k).unwrap()).collect()
+        (0..300u64)
+            .map(|k| db.read(&t, spitfire_wkld::ycsb::YCSB_TABLE, k).unwrap())
+            .collect()
     };
     db.simulate_crash();
     let stats = db.recover().unwrap();
     assert!(stats.index_entries >= 300);
     let t = db.begin();
     for (k, want) in reference.iter().enumerate() {
-        let got = db.read(&t, spitfire_wkld::ycsb::YCSB_TABLE, k as u64).unwrap();
+        let got = db
+            .read(&t, spitfire_wkld::ycsb::YCSB_TABLE, k as u64)
+            .unwrap();
         assert_eq!(&got, want, "key {k} diverged across crash");
     }
 }
@@ -125,7 +165,10 @@ fn checkpoint_then_crash_preserves_state_on_every_hierarchy() {
         let bm = bm(dram, nvm, MigrationPolicy::lazy());
         let db = Database::create(
             bm,
-            DbConfig { log_tracking: PersistenceTracking::Full, ..DbConfig::default() },
+            DbConfig {
+                log_tracking: PersistenceTracking::Full,
+                ..DbConfig::default()
+            },
         )
         .unwrap();
         db.create_table(1, 64).unwrap();
@@ -142,7 +185,11 @@ fn checkpoint_then_crash_preserves_state_on_every_hierarchy() {
         db.recover().unwrap();
         let t = db.begin();
         for k in 0..50u64 {
-            let want = if k == 10 { [0xFF; 64].to_vec() } else { vec![k as u8; 64] };
+            let want = if k == 10 {
+                [0xFF; 64].to_vec()
+            } else {
+                vec![k as u8; 64]
+            };
             assert_eq!(db.read(&t, 1, k).unwrap(), want, "({dram},{nvm}) key {k}");
         }
     }
@@ -152,8 +199,15 @@ fn checkpoint_then_crash_preserves_state_on_every_hierarchy() {
 fn policy_swap_mid_run_is_safe() {
     let bm = bm(16, 32, MigrationPolicy::eager());
     let w = Arc::new(
-        RawYcsb::setup(&bm, YcsbConfig { records: 400, theta: 0.3, mix: YcsbMix::Balanced })
-            .unwrap(),
+        RawYcsb::setup(
+            &bm,
+            YcsbConfig {
+                records: 400,
+                theta: 0.3,
+                mix: YcsbMix::Balanced,
+            },
+        )
+        .unwrap(),
     );
     let bm2 = Arc::clone(&bm);
     let w2 = Arc::clone(&w);
@@ -195,8 +249,15 @@ fn policy_swap_mid_run_is_safe() {
 #[test]
 fn device_counters_consistent_with_metrics() {
     let bm = bm(8, 16, MigrationPolicy::eager());
-    let w = RawYcsb::setup(&bm, YcsbConfig { records: 400, theta: 0.3, mix: YcsbMix::ReadOnly })
-        .unwrap();
+    let w = RawYcsb::setup(
+        &bm,
+        YcsbConfig {
+            records: 400,
+            theta: 0.3,
+            mix: YcsbMix::ReadOnly,
+        },
+    )
+    .unwrap();
     let mut rng = SmallRng::seed_from_u64(1);
     for _ in 0..2000 {
         w.execute(&bm, &mut rng).unwrap();
@@ -205,7 +266,12 @@ fn device_counters_consistent_with_metrics() {
     let ssd = bm.device_stats(Tier::Ssd).unwrap().snapshot();
     // Every recorded SSD fetch read at least one page from the device
     // (setup also wrote pages, so only the read side is comparable).
-    assert!(ssd.read_ops >= m.ssd_fetches, "ssd reads {} < fetches {}", ssd.read_ops, m.ssd_fetches);
+    assert!(
+        ssd.read_ops >= m.ssd_fetches,
+        "ssd reads {} < fetches {}",
+        ssd.read_ops,
+        m.ssd_fetches
+    );
     // Every fetch resolves as exactly one of: DRAM hit, NVM hit, SSD
     // fetch, or an NVM→DRAM promotion (recorded as a migration).
     let promotions = m.path(spitfire_core::MigrationPath::NvmToDram);

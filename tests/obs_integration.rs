@@ -1,0 +1,107 @@
+//! Full-stack observability integration: enable the recorder, drive real
+//! transactions through the three-tier stack, and assert that fetch / WAL /
+//! commit latencies come out of *both* exporters with sane quantiles, and
+//! that buffer + device counters route into the same report.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use spitfire_bench::{database, three_tier, MB};
+use spitfire_core::MigrationPolicy;
+
+#[test]
+fn report_exports_fetch_wal_commit_quantiles() {
+    let bm = three_tier(2 * MB, 8 * MB, MigrationPolicy::lazy());
+    let db = Arc::new(database(Arc::clone(&bm)));
+
+    spitfire_obs::set_enabled(true);
+    // Time every op (no sampling) so the small fixed op counts below are
+    // deterministic lower bounds on histogram counts.
+    spitfire_obs::set_sample_interval(1);
+    spitfire_obs::registry().reset_histograms();
+    bm.register_obs_gauges();
+    db.register_obs_gauges();
+    spitfire_obs::start_sampler(Duration::from_millis(20));
+
+    db.create_table(1, 128).unwrap();
+    for k in 0..400u64 {
+        let mut t = db.begin();
+        db.insert(&mut t, 1, k, &[7u8; 128]).unwrap();
+        db.commit(&mut t).unwrap();
+    }
+    for k in 0..400u64 {
+        let t = db.begin();
+        db.read(&t, 1, k).unwrap();
+    }
+
+    std::thread::sleep(Duration::from_millis(60));
+    spitfire_obs::stop_sampler();
+
+    let mut report = spitfire_obs::Report::capture();
+    db.fill_obs_report(&mut report);
+    spitfire_obs::set_enabled(false);
+    spitfire_obs::set_sample_interval(spitfire_obs::DEFAULT_SAMPLE_INTERVAL);
+
+    // Histograms: the three acceptance operations all recorded, with
+    // internally consistent quantiles.
+    for op in ["fetch_dram_hit", "wal_append", "txn_commit"] {
+        let h = report
+            .histograms
+            .iter()
+            .find(|h| h.name == op)
+            .unwrap_or_else(|| panic!("histogram {op} missing"));
+        assert!(h.snapshot.count > 0, "{op} recorded nothing");
+        let p50 = h.snapshot.quantile(0.5).unwrap();
+        let p99 = h.snapshot.quantile(0.99).unwrap();
+        assert!(p50 <= p99, "{op}: p50 {p50} > p99 {p99}");
+    }
+
+    // Counters: buffer metrics and txn stats routed into the report.
+    let counter = |name: &str| {
+        report
+            .counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .unwrap_or_else(|| panic!("counter {name} missing"))
+            .1
+    };
+    assert!(counter("txn_commits") >= 400);
+    assert!(counter("dram_hits") > 0);
+    assert!(counter("nvm_bytes_written") > 0 || counter("nvm_write_ops") > 0);
+
+    // Gauges: registered weak gauges are alive and sampled.
+    assert!(
+        report
+            .gauges
+            .iter()
+            .any(|(n, _)| n == "dram_occupied_frames"),
+        "gauges: {:?}",
+        report.gauges.iter().map(|(n, _)| n).collect::<Vec<_>>()
+    );
+    assert!(
+        !report.series.is_empty(),
+        "sampler produced no time series points"
+    );
+
+    // Both exporters surface the quantiles.
+    let prom = report.to_prometheus();
+    for op in ["fetch_dram_hit", "wal_append", "txn_commit"] {
+        assert!(
+            prom.contains(&format!(
+                "spitfire_op_latency_seconds{{op=\"{op}\",quantile=\"0.5\"}}"
+            )),
+            "prometheus missing p50 for {op}:\n{prom}"
+        );
+        assert!(
+            prom.contains(&format!(
+                "spitfire_op_latency_seconds{{op=\"{op}\",quantile=\"0.99\"}}"
+            )),
+            "prometheus missing p99 for {op}"
+        );
+    }
+    let json = report.to_json();
+    for op in ["fetch_dram_hit", "wal_append", "txn_commit"] {
+        assert!(json.contains(&format!("\"{op}\"")), "json missing {op}");
+    }
+    assert!(json.contains("\"p50_ns\"") && json.contains("\"p99_ns\""));
+}

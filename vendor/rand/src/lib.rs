@@ -1,0 +1,329 @@
+//! Vendored stand-in for the `rand` crate (0.8 API subset).
+//!
+//! The build environment has no access to crates.io, so this crate provides
+//! the parts of `rand` 0.8 that the workspace uses: the [`Rng`] /
+//! [`RngCore`] / [`SeedableRng`] traits, `gen` / `gen_range` / `gen_bool`,
+//! and the [`rngs::SmallRng`] / [`rngs::StdRng`] generators (xoshiro256++
+//! seeded via splitmix64). Statistical quality is adequate for workload
+//! generation and randomized tests; this is not a cryptographic RNG.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Low-level source of random 64-bit words.
+pub trait RngCore {
+    /// Next raw 64-bit word.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next raw 32-bit word (upper half of [`Self::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let word = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&word[..chunk.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Types constructible from a random word stream (stand-in for
+/// `Standard: Distribution<T>`).
+pub trait FromRandom {
+    /// Draw one value from `rng`.
+    fn from_random<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_from_random_int {
+    ($($t:ty),*) => {$(
+        impl FromRandom for $t {
+            fn from_random<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_from_random_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl FromRandom for u128 {
+    fn from_random<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+
+impl FromRandom for bool {
+    fn from_random<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl FromRandom for f64 {
+    fn from_random<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 random mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl FromRandom for f32 {
+    fn from_random<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Ranges usable with [`Rng::gen_range`] (stand-in for `SampleRange<T>`).
+///
+/// The output type is a trait *parameter* (as in real rand) rather than an
+/// associated type, so type inference can flow backward from the use site
+/// (`buf[rng.gen_range(0..4)]` infers `usize`).
+pub trait SampleRange<T> {
+    /// Draw a uniform value from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+// Widening-multiply range reduction (Lemire-style, without the rejection
+// step — bias is < 2^-32 for the span sizes used in this workspace).
+fn reduce(word: u64, span: u64) -> u64 {
+    ((word as u128 * span as u128) >> 64) as u64
+}
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range in gen_range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                self.start.wrapping_add(reduce(rng.next_u64(), span) as $t)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range in gen_range");
+                let span = (hi as i128 - lo as i128) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add(reduce(rng.next_u64(), span + 1) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        let unit = f64::from_random(rng);
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f64> for RangeInclusive<f64> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        let unit = f64::from_random(rng);
+        self.start() + unit * (self.end() - self.start())
+    }
+}
+
+/// High-level convenience methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Draw a value of type `T`.
+    fn gen<T: FromRandom>(&mut self) -> T {
+        T::from_random(self)
+    }
+
+    /// Draw a uniform value from `range`.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    /// Bernoulli draw: `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        f64::from_random(self) < p
+    }
+
+    /// Fill `dest` with random data.
+    fn fill(&mut self, dest: &mut [u8]) {
+        self.fill_bytes(dest)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// RNGs constructible from a seed.
+pub trait SeedableRng: Sized {
+    /// Build from a 64-bit seed (expanded via splitmix64).
+    fn seed_from_u64(seed: u64) -> Self;
+
+    /// Build from OS entropy; this offline stand-in derives the seed from
+    /// the system clock and a process-local counter instead.
+    fn from_entropy() -> Self {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static CTR: AtomicU64 = AtomicU64::new(0);
+        let t = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0x9e3779b97f4a7c15);
+        Self::seed_from_u64(t ^ CTR.fetch_add(0x6a09e667f3bcc909, Ordering::Relaxed))
+    }
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e3779b97f4a7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// xoshiro256++ core shared by [`rngs::SmallRng`] and [`rngs::StdRng`].
+#[derive(Debug, Clone)]
+struct Xoshiro256 {
+    s: [u64; 4],
+}
+
+impl Xoshiro256 {
+    fn from_seed(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut s = [0u64; 4];
+        for w in &mut s {
+            *w = splitmix64(&mut sm);
+        }
+        // All-zero state would be a fixed point.
+        if s == [0; 4] {
+            s[0] = 0x9e3779b97f4a7c15;
+        }
+        Self { s }
+    }
+
+    #[inline]
+    fn next(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+/// Concrete generators (`SmallRng`, `StdRng`).
+pub mod rngs {
+    use super::{RngCore, SeedableRng, Xoshiro256};
+
+    /// Fast non-cryptographic RNG (gated behind the `small_rng` feature in
+    /// real rand; always available here but the feature flag is declared).
+    #[derive(Debug, Clone)]
+    pub struct SmallRng(pub(crate) Xoshiro256);
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            self.0.next()
+        }
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            SmallRng(Xoshiro256::from_seed(seed))
+        }
+    }
+
+    /// Default generator (cryptographic in real rand; xoshiro here).
+    #[derive(Debug, Clone)]
+    pub struct StdRng(pub(crate) Xoshiro256);
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.0.next()
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng(Xoshiro256::from_seed(seed))
+        }
+    }
+}
+
+/// `rand::thread_rng()` stand-in: a fresh entropy-seeded [`rngs::StdRng`].
+pub fn thread_rng() -> rngs::StdRng {
+    rngs::StdRng::from_entropy()
+}
+
+/// Commonly used items, mirroring `rand::prelude`.
+pub mod prelude {
+    pub use super::rngs::{SmallRng, StdRng};
+    pub use super::{thread_rng, Rng, RngCore, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn deterministic_from_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SmallRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_bounds() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = r.gen_range(10..20u64);
+            assert!((10..20).contains(&v));
+            let w = r.gen_range(0..=3u8);
+            assert!(w <= 3);
+            let f = r.gen_range(0.0..1.0f64);
+            assert!((0.0..1.0).contains(&f));
+            let i = r.gen_range(-5..5i32);
+            assert!((-5..5).contains(&i));
+        }
+    }
+
+    #[test]
+    fn gen_bool_rate_roughly_matches() {
+        let mut r = StdRng::seed_from_u64(9);
+        let hits = (0..20_000).filter(|_| r.gen_bool(0.25)).count();
+        let rate = hits as f64 / 20_000.0;
+        assert!((rate - 0.25).abs() < 0.02, "rate {rate}");
+    }
+
+    #[test]
+    fn gen_f64_in_unit_interval() {
+        let mut r = SmallRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v: f64 = r.gen();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn uniformity_coarse() {
+        let mut r = SmallRng::seed_from_u64(3);
+        let mut buckets = [0usize; 8];
+        for _ in 0..80_000 {
+            buckets[r.gen_range(0..8usize)] += 1;
+        }
+        for &b in &buckets {
+            assert!((8_000..12_000).contains(&b), "bucket {b}");
+        }
+    }
+}

@@ -1,0 +1,22 @@
+//! Vendored stand-in for `serde`.
+//!
+//! The workspace only uses `#[derive(Serialize, Deserialize)]` as metadata on
+//! plain-old-data snapshot types — nothing actually serializes through serde
+//! (JSON output is hand-rolled in `spitfire-obs`). Since crates.io is
+//! unreachable in the build environment, this proc-macro crate supplies
+//! no-op derives so those types keep compiling unchanged, and real serde can
+//! be dropped in later without touching call sites.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]` — emits no code.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]` — emits no code.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
