@@ -1,0 +1,45 @@
+//! # spitfire-chaos — deterministic fault injection & crash-schedule exploration
+//!
+//! Storage engines earn their durability claims under failure, not under
+//! green-path tests. This crate drives the full Spitfire stack — buffer
+//! manager, NVM-aware WAL, MVTO transactions — through seeded fault
+//! plans and crash schedules, then checks the invariants that recovery
+//! (paper §5.2) promises:
+//!
+//! * every committed transaction survives a crash;
+//! * no aborted or un-persisted write ever resurrects;
+//! * the log always replays as a clean prefix (CRC-framed records);
+//! * the tier bookkeeping is consistent after the mapping-table rebuild.
+//!
+//! Everything is deterministic: one `(seed, schedule, plan)` triple yields
+//! one operation sequence, one fault sequence, one crash sequence, and one
+//! [`Verdict`] — failures reproduce exactly from the seed printed in CI.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use spitfire_chaos::{ChaosConfig, CrashSchedule};
+//!
+//! let verdict = spitfire_chaos::run(&ChaosConfig {
+//!     seed: 42,
+//!     schedule: CrashSchedule::EveryKFences(8),
+//!     txns: 60,
+//!     ..ChaosConfig::default()
+//! });
+//! assert!(verdict.violations.is_empty(), "{:?}", verdict.violations);
+//! assert!(verdict.crashes > 0);
+//! ```
+//!
+//! The fault-injection primitives live in [`spitfire_device::fault`] and
+//! are re-exported here so harnesses only need one import.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+mod explorer;
+
+pub use explorer::{run, ChaosConfig, CrashSchedule, Verdict};
+pub use spitfire_device::{
+    DeviceKind, FaultInjector, FaultKind, FaultOp, FaultPlan, FaultRule, FaultStats, Trigger,
+    MEDIA_BLOCK,
+};

@@ -1,0 +1,156 @@
+//! Integration tests for the chaos explorer: determinism, fault
+//! absorption, fatal-error surfacing, and schedule parsing.
+
+use std::sync::Arc;
+
+use spitfire_chaos::{
+    ChaosConfig, CrashSchedule, DeviceKind, FaultInjector, FaultKind, FaultOp, FaultPlan,
+    FaultRule, Trigger,
+};
+use spitfire_core::{
+    AccessIntent, BufferError, BufferManager, BufferManagerConfig, MigrationPolicy, PageId,
+};
+use spitfire_device::{PersistenceTracking, TimeScale};
+
+#[test]
+fn identical_configs_yield_identical_verdicts() {
+    let config = ChaosConfig {
+        seed: 11,
+        schedule: CrashSchedule::EveryKFences(4),
+        txns: 80,
+        plan: Some(FaultPlan::new(11).rule(FaultRule::any(
+            Trigger::Probability(0.02),
+            FaultKind::Transient,
+        ))),
+        ..ChaosConfig::default()
+    };
+    let a = spitfire_chaos::run(&config);
+    let b = spitfire_chaos::run(&config);
+    assert!(a.violations.is_empty(), "{:?}", a.violations);
+    assert!(a.crashes > 1, "fence schedule should crash mid-run");
+    assert_eq!(a, b, "same config must reproduce the same verdict");
+}
+
+#[test]
+fn different_seeds_explore_different_histories() {
+    let base = ChaosConfig {
+        schedule: CrashSchedule::RandomOps,
+        txns: 60,
+        ..ChaosConfig::default()
+    };
+    let a = spitfire_chaos::run(&ChaosConfig {
+        seed: 1,
+        ..base.clone()
+    });
+    let b = spitfire_chaos::run(&ChaosConfig { seed: 2, ..base });
+    assert!(a.violations.is_empty() && b.violations.is_empty());
+    assert_ne!(
+        (a.commits, a.crashes, a.ops_run),
+        (b.commits, b.crashes, b.ops_run),
+        "seeds should drive distinct schedules"
+    );
+}
+
+#[test]
+fn every_schedule_survives_with_fault_noise() {
+    for schedule in [
+        CrashSchedule::EveryKFences(3),
+        CrashSchedule::EveryNOps(17),
+        CrashSchedule::RandomOps,
+        CrashSchedule::None,
+    ] {
+        let v = spitfire_chaos::run(&ChaosConfig {
+            seed: 21,
+            schedule,
+            txns: 60,
+            plan: Some(FaultPlan::new(21).rule(FaultRule::any(
+                Trigger::Probability(0.02),
+                FaultKind::Transient,
+            ))),
+            ..ChaosConfig::default()
+        });
+        assert!(
+            v.violations.is_empty(),
+            "schedule {} violated: {:?}",
+            schedule.label(),
+            v.violations
+        );
+        assert!(v.crashes >= 1, "final crash always runs");
+        assert!(v.commits > 0, "workload should make progress");
+    }
+}
+
+#[test]
+fn transient_faults_are_absorbed_by_retry() {
+    let v = spitfire_chaos::run(&ChaosConfig {
+        seed: 5,
+        schedule: CrashSchedule::EveryNOps(23),
+        txns: 120,
+        plan: Some(FaultPlan::new(5).rule(FaultRule::any(
+            Trigger::Probability(0.05),
+            FaultKind::Transient,
+        ))),
+        ..ChaosConfig::default()
+    });
+    assert!(v.violations.is_empty(), "{:?}", v.violations);
+    assert!(v.faults.transient > 0, "plan should have fired");
+    assert!(v.io_retries > 0, "retry loop should have absorbed faults");
+    assert_eq!(v.io_failures, 0, "no transient fault may surface");
+}
+
+#[test]
+fn fatal_ssd_read_fault_surfaces_with_context() {
+    let config = BufferManagerConfig::builder()
+        .page_size(1024)
+        .dram_capacity(4 * 1024)
+        .nvm_capacity(8 * (1024 + 64))
+        .policy(MigrationPolicy::lazy())
+        .persistence(PersistenceTracking::Full)
+        .time_scale(TimeScale::ZERO)
+        .build()
+        .unwrap();
+    let bm = BufferManager::new(config).unwrap();
+    // Fill past both buffer tiers so a fetch must reach the SSD.
+    let pids: Vec<PageId> = (0..16).map(|_| bm.allocate_page().unwrap()).collect();
+    for &pid in &pids {
+        let guard = bm.fetch(pid, AccessIntent::Write).unwrap();
+        guard.write(0, &[7u8; 64]).unwrap();
+    }
+    bm.flush_all_dirty().unwrap();
+    bm.simulate_crash();
+
+    bm.set_fault_injector(Some(Arc::new(FaultInjector::new(
+        FaultPlan::new(1).rule(
+            FaultRule::any(Trigger::Always, FaultKind::Fatal)
+                .on_device(DeviceKind::Ssd)
+                .on_op(FaultOp::Read),
+        ),
+    ))));
+    let err = bm
+        .fetch(pids[0], AccessIntent::Read)
+        .expect_err("fatal SSD read fault must surface");
+    match err {
+        BufferError::FatalIo { during, .. } => assert_eq!(during, "ssd read"),
+        other => panic!("expected FatalIo, got {other:?}"),
+    }
+}
+
+#[test]
+fn schedule_parsing_round_trips() {
+    for (s, want) in [
+        ("every-4-fences", CrashSchedule::EveryKFences(4)),
+        ("every-37-ops", CrashSchedule::EveryNOps(37)),
+        ("at-op-12", CrashSchedule::EveryNOps(12)),
+        ("random", CrashSchedule::RandomOps),
+        ("none", CrashSchedule::None),
+    ] {
+        assert_eq!(CrashSchedule::parse(s), Some(want), "{s}");
+    }
+    let label = CrashSchedule::EveryKFences(9).label();
+    assert_eq!(
+        CrashSchedule::parse(&label),
+        Some(CrashSchedule::EveryKFences(9))
+    );
+    assert_eq!(CrashSchedule::parse("every-x-fences"), None);
+    assert_eq!(CrashSchedule::parse("sometimes"), None);
+}

@@ -19,6 +19,15 @@ pub enum BufferError {
     },
     /// The page was never allocated (or its backing data is gone).
     UnknownPage(PageId),
+    /// A device operation failed fatally (or kept failing past the retry
+    /// budget). `during` names the buffer-manager path that was executing
+    /// so chaos reports can attribute the failure.
+    FatalIo {
+        /// Label of the operation in flight (e.g. `"ssd read"`).
+        during: &'static str,
+        /// The device error that ended the retry loop.
+        source: spitfire_device::DeviceError,
+    },
 }
 
 impl std::fmt::Display for BufferError {
@@ -30,6 +39,9 @@ impl std::fmt::Display for BufferError {
                 write!(f, "no evictable frames in the {} buffer", tier.label())
             }
             BufferError::UnknownPage(pid) => write!(f, "page {pid} was never allocated"),
+            BufferError::FatalIo { during, source } => {
+                write!(f, "fatal I/O during {during}: {source}")
+            }
         }
     }
 }
@@ -39,6 +51,7 @@ impl std::error::Error for BufferError {
         match self {
             BufferError::Device(e) => Some(e),
             BufferError::Config(e) => Some(e),
+            BufferError::FatalIo { source, .. } => Some(source),
             _ => None,
         }
     }
@@ -77,5 +90,15 @@ mod tests {
             BufferError::UnknownPage(PageId(9)).to_string(),
             "page P9 was never allocated"
         );
+
+        let e = BufferError::FatalIo {
+            during: "ssd read",
+            source: spitfire_device::DeviceError::InjectedFatal { op: "read" },
+        };
+        assert_eq!(
+            e.to_string(),
+            "fatal I/O during ssd read: injected fatal I/O error during read"
+        );
+        assert!(e.source().is_some());
     }
 }

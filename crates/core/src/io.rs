@@ -1,0 +1,110 @@
+//! Retry/backoff policy for device I/O.
+//!
+//! Injected transient faults (see `spitfire_device::fault`) are absorbed
+//! here with a bounded exponential micro-backoff; injected fatal faults —
+//! and transients that keep failing past the budget — escalate to
+//! [`BufferError::FatalIo`] with a `during` label naming the path that was
+//! executing. Non-injected device errors (bounds violations, missing
+//! pages, bad page sizes) pass through unchanged so callers can keep
+//! matching on them.
+
+use std::time::{Duration, Instant};
+
+use spitfire_obs::{record_op, Op};
+
+use crate::error::BufferError;
+use crate::metrics::BufferMetrics;
+
+/// Maximum retries of one operation after transient failures.
+pub(crate) const IO_RETRY_LIMIT: u32 = 8;
+
+/// Run `f`, retrying transient device errors up to [`IO_RETRY_LIMIT`]
+/// times with exponential micro-backoff (1 µs, 2 µs, ... capped at 64 µs).
+/// Each retry bumps `metrics.io_retries` and emits an `io_retry` obs event;
+/// escalation bumps `metrics.io_fatal`.
+pub(crate) fn retry_device_io<T>(
+    metrics: &BufferMetrics,
+    during: &'static str,
+    mut f: impl FnMut() -> spitfire_device::Result<T>,
+) -> Result<T, BufferError> {
+    let mut attempt = 0u32;
+    loop {
+        match f() {
+            Ok(v) => return Ok(v),
+            Err(e) if e.is_retryable() && attempt < IO_RETRY_LIMIT => {
+                attempt += 1;
+                metrics.record_io_retry();
+                record_op(Op::IoRetry, Some(Instant::now()), u64::MAX, during);
+                std::thread::sleep(Duration::from_micros(1 << attempt.min(6)));
+            }
+            Err(e) if e.is_injected() => {
+                metrics.record_io_fatal();
+                return Err(BufferError::FatalIo { during, source: e });
+            }
+            Err(e) => return Err(BufferError::Device(e)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spitfire_device::DeviceError;
+
+    #[test]
+    fn transient_errors_are_absorbed() {
+        let metrics = BufferMetrics::new();
+        let mut failures = 3;
+        let out = retry_device_io(&metrics, "test op", || {
+            if failures > 0 {
+                failures -= 1;
+                Err(DeviceError::InjectedTransient { op: "read" })
+            } else {
+                Ok(42)
+            }
+        });
+        assert_eq!(out.unwrap(), 42);
+        assert_eq!(metrics.snapshot().io_retries, 3);
+        assert_eq!(metrics.snapshot().io_fatal, 0);
+    }
+
+    #[test]
+    fn fatal_errors_escalate_with_context() {
+        let metrics = BufferMetrics::new();
+        let out: Result<(), _> = retry_device_io(&metrics, "ssd write", || {
+            Err(DeviceError::InjectedFatal { op: "write" })
+        });
+        match out.unwrap_err() {
+            BufferError::FatalIo { during, source } => {
+                assert_eq!(during, "ssd write");
+                assert_eq!(source, DeviceError::InjectedFatal { op: "write" });
+            }
+            other => panic!("expected FatalIo, got {other:?}"),
+        }
+        assert_eq!(metrics.snapshot().io_fatal, 1);
+    }
+
+    #[test]
+    fn retry_budget_exhaustion_escalates() {
+        let metrics = BufferMetrics::new();
+        let out: Result<(), _> = retry_device_io(&metrics, "pool read", || {
+            Err(DeviceError::InjectedTransient { op: "read" })
+        });
+        assert!(matches!(out, Err(BufferError::FatalIo { .. })));
+        assert_eq!(metrics.snapshot().io_retries, u64::from(IO_RETRY_LIMIT));
+        assert_eq!(metrics.snapshot().io_fatal, 1);
+    }
+
+    #[test]
+    fn contract_errors_pass_through_unwrapped() {
+        let metrics = BufferMetrics::new();
+        let out: Result<(), _> =
+            retry_device_io(&metrics, "ssd read", || Err(DeviceError::PageNotFound(7)));
+        assert!(matches!(
+            out,
+            Err(BufferError::Device(DeviceError::PageNotFound(7)))
+        ));
+        assert_eq!(metrics.snapshot().io_retries, 0);
+        assert_eq!(metrics.snapshot().io_fatal, 0);
+    }
+}

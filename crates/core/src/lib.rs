@@ -73,6 +73,7 @@ mod error;
 mod fgops;
 mod fgpage;
 mod guard;
+mod io;
 pub mod manager;
 pub mod metrics;
 pub mod policy;

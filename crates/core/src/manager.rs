@@ -22,7 +22,9 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use spitfire_device::{AccessPattern, DeviceStats, NvmDevice, SsdDevice};
+use spitfire_device::{
+    AccessPattern, DeviceError, DeviceStats, FaultInjector, NvmDevice, SsdDevice,
+};
 use spitfire_obs::{self as obs, Op};
 use spitfire_sync::{AdmissionQueue, ConcurrentMap};
 
@@ -31,6 +33,7 @@ use crate::descriptor::{CopyState, FrameRef, SharedPageDesc};
 use crate::error::BufferError;
 use crate::fgpage::MiniSlabs;
 use crate::guard::{GuardKind, PageGuard};
+use crate::io::retry_device_io;
 use crate::metrics::{inclusivity_ratio, BufferMetrics, MetricsSnapshot};
 use crate::policy::{MigrationPolicy, PolicyCell};
 use crate::pool::Pool;
@@ -65,7 +68,7 @@ pub struct BufferManager {
     ssd: SsdDevice,
     policy: PolicyCell,
     admission: Option<AdmissionQueue>,
-    pub(crate) metrics: BufferMetrics,
+    pub(crate) metrics: Arc<BufferMetrics>,
     next_pid: AtomicU64,
     rng_state: AtomicU64,
     pub(crate) mini: Option<MiniSlabs>,
@@ -77,6 +80,7 @@ impl BufferManager {
         config.validate()?;
         let scale = config.time_scale;
         let page = config.page_size;
+        let metrics = Arc::new(BufferMetrics::new());
         let (tier1, nvm) = if config.memory_mode {
             (
                 Some(Pool::memory_mode(
@@ -84,14 +88,22 @@ impl BufferManager {
                     config.dram_capacity,
                     page,
                     scale,
+                    Arc::clone(&metrics),
                 )),
                 None,
             )
         } else {
-            let t1 =
-                (config.dram_capacity > 0).then(|| Pool::dram(config.dram_capacity, page, scale));
-            let t2 = (config.nvm_capacity > 0)
-                .then(|| Pool::nvm(config.nvm_capacity, page, scale, config.persistence));
+            let t1 = (config.dram_capacity > 0)
+                .then(|| Pool::dram(config.dram_capacity, page, scale, Arc::clone(&metrics)));
+            let t2 = (config.nvm_capacity > 0).then(|| {
+                Pool::nvm(
+                    config.nvm_capacity,
+                    page,
+                    scale,
+                    config.persistence,
+                    Arc::clone(&metrics),
+                )
+            });
             (t1, t2)
         };
         let admission = nvm.as_ref().map(|pool| {
@@ -108,10 +120,10 @@ impl BufferManager {
             mapping: ConcurrentMap::new(),
             tier1,
             nvm,
-            ssd: SsdDevice::new(page, scale),
+            ssd: SsdDevice::with_tracking(page, scale, config.persistence),
             policy: PolicyCell::new(config.policy),
             admission,
-            metrics: BufferMetrics::new(),
+            metrics,
             next_pid: AtomicU64::new(0),
             rng_state: AtomicU64::new(config.seed | 1),
             mini,
@@ -237,8 +249,43 @@ impl BufferManager {
     pub fn allocate_page(&self) -> Result<PageId> {
         let pid = PageId(self.next_pid.fetch_add(1, Ordering::AcqRel));
         let zeros = vec![0u8; self.config.page_size];
-        self.ssd.write_page(pid.0, &zeros)?;
+        retry_device_io(&self.metrics, "page allocation", || {
+            self.ssd.write_page(pid.0, &zeros)
+        })?;
         Ok(pid)
+    }
+
+    /// Install (or clear) a fault injector on every device in the
+    /// hierarchy. Chaos harness entry point; `None` restores fault-free
+    /// operation.
+    pub fn set_fault_injector(&self, injector: Option<Arc<FaultInjector>>) {
+        if let Some(p) = &self.tier1 {
+            p.set_fault_injector(injector.clone());
+        }
+        if let Some(p) = &self.nvm {
+            p.set_fault_injector(injector.clone());
+        }
+        self.ssd.set_fault_injector(injector);
+    }
+
+    /// Force an fsync barrier on the SSD: everything written so far
+    /// survives [`BufferManager::simulate_crash`].
+    pub fn sync_ssd(&self) -> Result<()> {
+        retry_device_io(&self.metrics, "ssd sync", || self.ssd.sync())
+    }
+
+    /// Read `pid`'s SSD image into `buf`, retrying transient faults. A page
+    /// whose backing vanished in a crash (allocated but never synced) reads
+    /// as zeros — the durable content of a freshly allocated page.
+    fn read_ssd_page(&self, pid: PageId, buf: &mut [u8]) -> Result<()> {
+        match retry_device_io(&self.metrics, "ssd read", || self.ssd.read_page(pid.0, buf)) {
+            Ok(()) => Ok(()),
+            Err(BufferError::Device(DeviceError::PageNotFound(_))) => {
+                buf.fill(0);
+                Ok(())
+            }
+            Err(e) => Err(e),
+        }
     }
 
     fn descriptor(&self, pid: PageId) -> Result<Arc<SharedPageDesc>> {
@@ -480,7 +527,7 @@ impl BufferManager {
         if to_dram {
             let frame = self.alloc_frame(true)?;
             with_page_buf(page, |buf| -> Result<()> {
-                self.ssd.read_page(pid.0, buf)?;
+                self.read_ssd_page(pid, buf)?;
                 self.tier1_pool()
                     .write(frame, 0, buf, AccessPattern::Sequential)?;
                 Ok(())
@@ -505,7 +552,7 @@ impl BufferManager {
         } else {
             let frame = self.alloc_frame(false)?;
             with_page_buf(page, |buf| -> Result<()> {
-                self.ssd.read_page(pid.0, buf)?;
+                self.read_ssd_page(pid, buf)?;
                 let pool = self.nvm_pool();
                 pool.write(frame, 0, buf, AccessPattern::Sequential)?;
                 pool.persist(frame, 0, page)?;
@@ -677,14 +724,69 @@ impl BufferManager {
         drop(st);
 
         let evict_t = obs::op_start();
-        self.execute_dram_eviction(desc, fref, plan);
+        if !self.execute_dram_eviction(desc, fref, plan) {
+            return false;
+        }
         self.metrics.record_dram_eviction();
         obs::record_op(Op::EvictDram, evict_t, desc.pid.0, "dram");
         true
     }
 
+    /// Undo an eviction whose I/O failed fatally: restore both copies to
+    /// `Resident` (still dirty — nothing was lost) and wake waiters. The
+    /// victim frame stays occupied; the allocator moves on to another one.
+    fn abort_dram_eviction(
+        &self,
+        desc: &SharedPageDesc,
+        fref: FrameRef,
+        nvm_frame: Option<FrameId>,
+    ) {
+        let mut st = desc.state.lock();
+        st.dram = Some(CopyState::Resident {
+            frame: fref,
+            pins: 0,
+            dirty: true,
+        });
+        if let Some(nf) = nvm_frame {
+            // The failed merge may have partially overwritten the NVM frame:
+            // keep it dirty so it can never be discarded as clean.
+            st.nvm = Some(CopyState::Resident {
+                frame: FrameRef::Full(nf),
+                pins: 0,
+                dirty: true,
+            });
+        }
+        desc.cond.notify_all();
+    }
+
+    /// SSD leg of a DRAM eviction: write the copy back, then release it.
+    /// Returns `false` (with both copies restored) when the write-back
+    /// failed fatally.
+    fn finish_write_to_ssd(
+        &self,
+        desc: &SharedPageDesc,
+        fref: FrameRef,
+        mig_t: Option<std::time::Instant>,
+    ) -> bool {
+        if self.write_dram_copy_to_ssd(desc, &fref).is_err() {
+            self.abort_dram_eviction(desc, fref, None);
+            return false;
+        }
+        self.release_dram_copy(desc, fref, None);
+        self.metrics.record_migration(MigrationPath::DramToSsd);
+        obs::record_op(Op::MigDramToSsd, mig_t, desc.pid.0, "ssd");
+        true
+    }
+
     /// Carry out a DRAM eviction plan (no descriptor lock held during I/O).
-    fn execute_dram_eviction(&self, desc: &SharedPageDesc, fref: FrameRef, plan: EvictPlan) {
+    /// Returns `true` if the frame was freed; a fatal I/O failure restores
+    /// the pre-eviction state and returns `false`.
+    fn execute_dram_eviction(
+        &self,
+        desc: &SharedPageDesc,
+        fref: FrameRef,
+        plan: EvictPlan,
+    ) -> bool {
         let page = self.config.page_size;
         let mig_t = obs::op_start();
         match plan {
@@ -701,7 +803,10 @@ impl BufferManager {
                     pool.persist(nvm_frame, 0, page)?;
                     Ok(())
                 });
-                debug_assert!(res.is_ok(), "merge into NVM failed: {res:?}");
+                if res.is_err() {
+                    self.abort_dram_eviction(desc, fref, Some(nvm_frame));
+                    return false;
+                }
                 self.release_dram_copy(
                     desc,
                     fref,
@@ -744,7 +849,14 @@ impl BufferManager {
                             pool.write_frame_header(nvm_frame, desc.pid)?;
                             Ok(())
                         });
-                        debug_assert!(res.is_ok(), "NVM admission failed: {res:?}");
+                        if res.is_err() {
+                            // Give the claimed frame back (scrubbing any
+                            // partially-written header so recovery cannot
+                            // adopt it) and fall back to the SSD path.
+                            let _ = self.nvm_pool().clear_frame_header(nvm_frame);
+                            self.nvm_pool().free(nvm_frame);
+                            return self.finish_write_to_ssd(desc, fref, mig_t);
+                        }
                         self.nvm_pool().set_owner(nvm_frame, desc.pid);
                         self.release_dram_copy(
                             desc,
@@ -761,31 +873,27 @@ impl BufferManager {
                     Err(_) => {
                         // NVM pool exhausted of evictable frames: fall back
                         // to the SSD path.
-                        self.write_dram_copy_to_ssd(desc, &fref);
-                        self.release_dram_copy(desc, fref, None);
-                        self.metrics.record_migration(MigrationPath::DramToSsd);
-                        obs::record_op(Op::MigDramToSsd, mig_t, desc.pid.0, "ssd");
+                        return self.finish_write_to_ssd(desc, fref, mig_t);
                     }
                 }
             }
             EvictPlan::WriteToSsd => {
-                self.write_dram_copy_to_ssd(desc, &fref);
-                self.release_dram_copy(desc, fref, None);
-                self.metrics.record_migration(MigrationPath::DramToSsd);
-                obs::record_op(Op::MigDramToSsd, mig_t, desc.pid.0, "ssd");
+                return self.finish_write_to_ssd(desc, fref, mig_t);
             }
         }
+        true
     }
 
-    fn write_dram_copy_to_ssd(&self, desc: &SharedPageDesc, fref: &FrameRef) {
+    fn write_dram_copy_to_ssd(&self, desc: &SharedPageDesc, fref: &FrameRef) -> Result<()> {
         let page = self.config.page_size;
-        let res = with_page_buf(page, |buf| -> Result<()> {
+        with_page_buf(page, |buf| -> Result<()> {
             self.tier1_pool()
                 .read(fref.frame(), 0, buf, AccessPattern::Sequential)?;
-            self.ssd.write_page(desc.pid.0, buf)?;
+            retry_device_io(&self.metrics, "dram write-back", || {
+                self.ssd.write_page(desc.pid.0, buf)
+            })?;
             Ok(())
-        });
-        debug_assert!(res.is_ok(), "SSD write-back failed: {res:?}");
+        })
     }
 
     /// Finish a DRAM eviction: clear the DRAM slot, restore the NVM slot
@@ -849,13 +957,29 @@ impl BufferManager {
         if dirty {
             let mig_t = obs::op_start();
             let page = self.config.page_size;
+            // The SSD image must be *synced* before the NVM frame header is
+            // cleared: the header is what recovery uses to find this page in
+            // NVM, so dropping it while the SSD copy is still in the volatile
+            // write cache would lose the page on a crash.
             let res = with_page_buf(page, |buf| -> Result<()> {
                 self.nvm_pool()
                     .read(victim, 0, buf, AccessPattern::Sequential)?;
-                self.ssd.write_page(desc.pid.0, buf)?;
+                retry_device_io(&self.metrics, "nvm write-back", || {
+                    self.ssd.write_page(desc.pid.0, buf)?;
+                    self.ssd.sync()
+                })?;
                 Ok(())
             });
-            debug_assert!(res.is_ok(), "NVM->SSD write-back failed: {res:?}");
+            if res.is_err() {
+                let mut st = desc.state.lock();
+                st.nvm = Some(CopyState::Resident {
+                    frame: FrameRef::Full(victim),
+                    pins: 0,
+                    dirty: true,
+                });
+                desc.cond.notify_all();
+                return false;
+            }
             self.metrics.record_migration(MigrationPath::NvmToSsd);
             obs::record_op(Op::MigNvmToSsd, mig_t, desc.pid.0, "ssd");
         }
@@ -1117,12 +1241,13 @@ impl BufferManager {
                     pool.persist(nf, 0, page)?;
                     Ok(())
                 });
-                debug_assert!(res.is_ok(), "flush merge into NVM failed: {res:?}");
+                // On failure the DRAM copy stays dirty (nothing was lost)
+                // and the error propagates to the checkpointer.
                 let mut st = desc.state.lock();
                 st.dram = Some(CopyState::Resident {
                     frame: fref,
                     pins: 0,
-                    dirty: false,
+                    dirty: res.is_err(),
                 });
                 st.nvm = Some(CopyState::Resident {
                     frame: FrameRef::Full(nf),
@@ -1130,16 +1255,24 @@ impl BufferManager {
                     dirty: true,
                 });
                 desc.cond.notify_all();
+                drop(st);
+                res?;
             }
             None => {
-                self.write_dram_copy_to_ssd(&desc, &fref);
+                // A flush is a durability point (checkpoints and catalog
+                // writes rely on it), so it must survive a crash: sync.
+                let res = self.write_dram_copy_to_ssd(&desc, &fref).and_then(|()| {
+                    retry_device_io(&self.metrics, "flush sync", || self.ssd.sync())
+                });
                 let mut st = desc.state.lock();
                 st.dram = Some(CopyState::Resident {
                     frame: fref,
                     pins: 0,
-                    dirty: false,
+                    dirty: res.is_err(),
                 });
                 desc.cond.notify_all();
+                drop(st);
+                res?;
             }
         }
         Ok(true)
@@ -1165,6 +1298,7 @@ impl BufferManager {
     /// [`spitfire_device::PersistenceTracking::Full`].
     pub fn simulate_crash(&self) {
         self.mapping.clear();
+        self.ssd.simulate_crash();
         if let Some(t1) = &self.tier1 {
             for i in 0..t1.n_frames() {
                 let f = FrameId(i as u32);

@@ -18,6 +18,11 @@ pub struct BufferMetrics {
     evictions_nvm: AtomicU64,
     /// DRAM evictions of clean pages that were simply discarded (§3.3).
     discards: AtomicU64,
+    /// Device operations retried after a transient I/O error.
+    io_retries: AtomicU64,
+    /// Device operations that failed fatally (injected fatal fault or
+    /// retry budget exhausted).
+    io_fatal: AtomicU64,
 }
 
 fn path_index(path: MigrationPath) -> usize {
@@ -69,6 +74,16 @@ impl BufferMetrics {
         self.discards.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Record one retry of a device operation after a transient error.
+    pub fn record_io_retry(&self) {
+        self.io_retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a device operation that failed fatally.
+    pub fn record_io_fatal(&self) {
+        self.io_fatal.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Point-in-time copy of all counters.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
@@ -84,6 +99,8 @@ impl BufferMetrics {
             evictions_dram: self.evictions_dram.load(Ordering::Relaxed),
             evictions_nvm: self.evictions_nvm.load(Ordering::Relaxed),
             discards: self.discards.load(Ordering::Relaxed),
+            io_retries: self.io_retries.load(Ordering::Relaxed),
+            io_fatal: self.io_fatal.load(Ordering::Relaxed),
         }
     }
 
@@ -98,6 +115,8 @@ impl BufferMetrics {
         self.evictions_dram.store(0, Ordering::Relaxed);
         self.evictions_nvm.store(0, Ordering::Relaxed);
         self.discards.store(0, Ordering::Relaxed);
+        self.io_retries.store(0, Ordering::Relaxed);
+        self.io_fatal.store(0, Ordering::Relaxed);
     }
 }
 
@@ -118,6 +137,10 @@ pub struct MetricsSnapshot {
     pub evictions_nvm: u64,
     /// Clean DRAM pages discarded on eviction.
     pub discards: u64,
+    /// Device operations retried after a transient I/O error.
+    pub io_retries: u64,
+    /// Device operations that failed fatally.
+    pub io_fatal: u64,
 }
 
 impl MetricsSnapshot {
@@ -154,6 +177,8 @@ impl MetricsSnapshot {
             evictions_dram: self.evictions_dram - earlier.evictions_dram,
             evictions_nvm: self.evictions_nvm - earlier.evictions_nvm,
             discards: self.discards - earlier.discards,
+            io_retries: self.io_retries - earlier.io_retries,
+            io_fatal: self.io_fatal - earlier.io_fatal,
         }
     }
 }

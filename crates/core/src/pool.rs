@@ -2,12 +2,16 @@
 //! device-backed frame I/O.
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 
 use spitfire_device::{
-    AccessPattern, DramDevice, MemoryModeDevice, NvmDevice, PersistenceTracking, TimeScale,
+    AccessPattern, DramDevice, FaultInjector, MemoryModeDevice, NvmDevice, PersistenceTracking,
+    TimeScale,
 };
 use spitfire_sync::AtomicBitmap;
 
+use crate::io::retry_device_io;
+use crate::metrics::BufferMetrics;
 use crate::types::{FrameId, PageId};
 use crate::Result;
 
@@ -31,25 +35,33 @@ pub(crate) enum PoolDevice {
 }
 
 impl PoolDevice {
-    fn read(&self, offset: usize, buf: &mut [u8], pattern: AccessPattern) -> Result<()> {
+    fn read(
+        &self,
+        offset: usize,
+        buf: &mut [u8],
+        pattern: AccessPattern,
+    ) -> spitfire_device::Result<()> {
         match self {
-            PoolDevice::Dram(d) => d.read(offset, buf, pattern)?,
-            PoolDevice::MemoryMode(d) => d.read(offset, buf, pattern)?,
-            PoolDevice::Nvm(d) => d.read(offset, buf, pattern)?,
+            PoolDevice::Dram(d) => d.read(offset, buf, pattern),
+            PoolDevice::MemoryMode(d) => d.read(offset, buf, pattern),
+            PoolDevice::Nvm(d) => d.read(offset, buf, pattern),
         }
-        Ok(())
     }
 
-    fn write(&self, offset: usize, data: &[u8], pattern: AccessPattern) -> Result<()> {
+    fn write(
+        &self,
+        offset: usize,
+        data: &[u8],
+        pattern: AccessPattern,
+    ) -> spitfire_device::Result<()> {
         match self {
-            PoolDevice::Dram(d) => d.write(offset, data, pattern)?,
-            PoolDevice::MemoryMode(d) => d.write(offset, data, pattern)?,
-            PoolDevice::Nvm(d) => d.write(offset, data, pattern)?,
+            PoolDevice::Dram(d) => d.write(offset, data, pattern),
+            PoolDevice::MemoryMode(d) => d.write(offset, data, pattern),
+            PoolDevice::Nvm(d) => d.write(offset, data, pattern),
         }
-        Ok(())
     }
 
-    fn persist(&self, offset: usize, len: usize) -> Result<()> {
+    fn persist(&self, offset: usize, len: usize) -> spitfire_device::Result<()> {
         if let PoolDevice::Nvm(d) = self {
             d.persist(offset, len)?;
         }
@@ -75,17 +87,26 @@ pub(crate) struct Pool {
     ref_bits: AtomicBitmap,
     owners: Vec<AtomicU64>,
     hand: AtomicUsize,
+    /// Shared with the owning buffer manager so the retry loop in the
+    /// frame-I/O paths can account retries and fatal escalations.
+    metrics: Arc<BufferMetrics>,
 }
 
 impl Pool {
     /// A DRAM pool of `capacity` bytes.
-    pub(crate) fn dram(capacity: usize, page_size: usize, scale: TimeScale) -> Self {
+    pub(crate) fn dram(
+        capacity: usize,
+        page_size: usize,
+        scale: TimeScale,
+        metrics: Arc<BufferMetrics>,
+    ) -> Self {
         let n_frames = capacity / page_size;
         Self::new(
             PoolDevice::Dram(DramDevice::new(capacity, scale)),
             page_size,
             0,
             n_frames,
+            metrics,
         )
     }
 
@@ -96,6 +117,7 @@ impl Pool {
         dram_cache: usize,
         page_size: usize,
         scale: TimeScale,
+        metrics: Arc<BufferMetrics>,
     ) -> Self {
         let n_frames = nvm_capacity / page_size;
         Self::new(
@@ -103,6 +125,7 @@ impl Pool {
             page_size,
             0,
             n_frames,
+            metrics,
         )
     }
 
@@ -113,6 +136,7 @@ impl Pool {
         page_size: usize,
         scale: TimeScale,
         tracking: PersistenceTracking,
+        metrics: Arc<BufferMetrics>,
     ) -> Self {
         let stride = page_size + NVM_FRAME_HEADER;
         let n_frames = capacity / stride;
@@ -123,10 +147,17 @@ impl Pool {
             page_size,
             NVM_FRAME_HEADER,
             n_frames.max(if capacity >= page_size { 1 } else { 0 }),
+            metrics,
         )
     }
 
-    fn new(device: PoolDevice, page_size: usize, header: usize, n_frames: usize) -> Self {
+    fn new(
+        device: PoolDevice,
+        page_size: usize,
+        header: usize,
+        n_frames: usize,
+        metrics: Arc<BufferMetrics>,
+    ) -> Self {
         Pool {
             device,
             page_size,
@@ -137,6 +168,17 @@ impl Pool {
             ref_bits: AtomicBitmap::new(n_frames),
             owners: (0..n_frames).map(|_| AtomicU64::new(NO_OWNER)).collect(),
             hand: AtomicUsize::new(0),
+            metrics,
+        }
+    }
+
+    /// Attach (or detach) a chaos fault injector on this pool's device.
+    /// Memory-mode devices have no injection hooks yet and ignore the call.
+    pub(crate) fn set_fault_injector(&self, injector: Option<Arc<FaultInjector>>) {
+        match &self.device {
+            PoolDevice::Dram(d) => d.set_fault_injector(injector),
+            PoolDevice::Nvm(d) => d.set_fault_injector(injector),
+            PoolDevice::MemoryMode(_) => {}
         }
     }
 
@@ -254,7 +296,9 @@ impl Pool {
         frame.0 as usize * self.stride + self.header
     }
 
-    /// Read page content bytes from a frame.
+    /// Read page content bytes from a frame. Transient device faults are
+    /// retried (see [`crate::io`]); fatal ones surface as
+    /// [`crate::BufferError::FatalIo`].
     pub(crate) fn read(
         &self,
         frame: FrameId,
@@ -263,8 +307,10 @@ impl Pool {
         pattern: AccessPattern,
     ) -> Result<()> {
         debug_assert!(offset + buf.len() <= self.page_size);
-        self.device
-            .read(self.content_base(frame) + offset, buf, pattern)
+        let base = self.content_base(frame) + offset;
+        retry_device_io(&self.metrics, "pool read", || {
+            self.device.read(base, buf, pattern)
+        })
     }
 
     /// Write page content bytes into a frame (volatile; call
@@ -277,14 +323,19 @@ impl Pool {
         pattern: AccessPattern,
     ) -> Result<()> {
         debug_assert!(offset + data.len() <= self.page_size);
-        self.device
-            .write(self.content_base(frame) + offset, data, pattern)
+        let base = self.content_base(frame) + offset;
+        retry_device_io(&self.metrics, "pool write", || {
+            self.device.write(base, data, pattern)
+        })
     }
 
     /// Flush a content range of `frame` to the persistence domain (no-op on
     /// volatile tiers).
     pub(crate) fn persist(&self, frame: FrameId, offset: usize, len: usize) -> Result<()> {
-        self.device.persist(self.content_base(frame) + offset, len)
+        let base = self.content_base(frame) + offset;
+        retry_device_io(&self.metrics, "pool persist", || {
+            self.device.persist(base, len)
+        })
     }
 
     /// Write and persist the NVM frame header identifying `pid` (no-op on
@@ -297,8 +348,10 @@ impl Pool {
         let mut hdr = [0u8; 16];
         hdr[..8].copy_from_slice(&NVM_HEADER_MAGIC.to_le_bytes());
         hdr[8..].copy_from_slice(&pid.0.to_le_bytes());
-        self.device.write(base, &hdr, AccessPattern::Random)?;
-        self.device.persist(base, 16)
+        retry_device_io(&self.metrics, "frame header write", || {
+            self.device.write(base, &hdr, AccessPattern::Random)?;
+            self.device.persist(base, 16)
+        })
     }
 
     /// Clear and persist the NVM frame header (frame no longer holds a
@@ -308,8 +361,10 @@ impl Pool {
             return Ok(());
         }
         let base = frame.0 as usize * self.stride;
-        self.device.write(base, &[0u8; 16], AccessPattern::Random)?;
-        self.device.persist(base, 16)
+        retry_device_io(&self.metrics, "frame header clear", || {
+            self.device.write(base, &[0u8; 16], AccessPattern::Random)?;
+            self.device.persist(base, 16)
+        })
     }
 
     /// Scan NVM frame headers, returning `(frame, page)` for every valid
@@ -323,10 +378,12 @@ impl Pool {
         for i in 0..self.n_frames {
             let base = i * self.stride;
             let mut hdr = [0u8; 16];
-            if self
-                .device
-                .read(base, &mut hdr, AccessPattern::Sequential)
-                .is_err()
+            // Retried: a transient fault here must not silently skip a
+            // valid header — that would lose the page during recovery.
+            if crate::io::retry_device_io(&self.metrics, "frame header scan", || {
+                self.device.read(base, &mut hdr, AccessPattern::Sequential)
+            })
+            .is_err()
             {
                 continue;
             }
@@ -364,7 +421,12 @@ mod tests {
     use super::*;
 
     fn dram_pool(frames: usize) -> Pool {
-        Pool::dram(frames * 4096, 4096, TimeScale::ZERO)
+        Pool::dram(
+            frames * 4096,
+            4096,
+            TimeScale::ZERO,
+            Arc::new(BufferMetrics::new()),
+        )
     }
 
     #[test]
@@ -423,7 +485,7 @@ mod tests {
     fn empty_pool_has_no_victims() {
         let p = dram_pool(2);
         assert!(p.next_victim().is_none());
-        let zero = Pool::dram(0, 4096, TimeScale::ZERO);
+        let zero = Pool::dram(0, 4096, TimeScale::ZERO, Arc::new(BufferMetrics::new()));
         assert!(zero.next_victim().is_none());
         assert!(zero.try_alloc().is_none());
     }
@@ -445,6 +507,7 @@ mod tests {
             4096,
             TimeScale::ZERO,
             PersistenceTracking::Counters,
+            Arc::new(BufferMetrics::new()),
         );
         assert_eq!(p.n_frames(), 4);
         let f0 = p.try_alloc().unwrap();
@@ -465,6 +528,7 @@ mod tests {
             4096,
             TimeScale::ZERO,
             PersistenceTracking::Full,
+            Arc::new(BufferMetrics::new()),
         );
         let f = p.try_alloc().unwrap();
         p.write_frame_header(f, PageId(3)).unwrap();
@@ -485,6 +549,7 @@ mod tests {
             4096,
             TimeScale::ZERO,
             PersistenceTracking::Counters,
+            Arc::new(BufferMetrics::new()),
         );
         p.adopt(FrameId(1), PageId(55));
         assert_eq!(p.owner(FrameId(1)), Some(PageId(55)));

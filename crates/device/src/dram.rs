@@ -3,9 +3,12 @@
 use std::cell::UnsafeCell;
 use std::sync::Arc;
 
+use parking_lot::RwLock;
+
 use crate::cost::{AccessPattern, CostModel, TimeScale};
 use crate::error::DeviceError;
-use crate::profile::DeviceProfile;
+use crate::fault::{FaultInjector, FaultOp, Outcome};
+use crate::profile::{DeviceKind, DeviceProfile};
 use crate::stats::DeviceStats;
 use crate::Result;
 
@@ -99,6 +102,7 @@ pub struct DramDevice {
     arena: Arena,
     cost: CostModel,
     stats: Arc<DeviceStats>,
+    injector: RwLock<Option<Arc<FaultInjector>>>,
 }
 
 impl DramDevice {
@@ -114,6 +118,20 @@ impl DramDevice {
             arena: Arena::new(capacity),
             cost: CostModel::new(profile, scale),
             stats: Arc::new(DeviceStats::new()),
+            injector: RwLock::new(None),
+        }
+    }
+
+    /// Attach (or detach with `None`) a chaos fault injector; every
+    /// subsequent read/write consults it first.
+    pub fn set_fault_injector(&self, injector: Option<Arc<FaultInjector>>) {
+        *self.injector.write() = injector;
+    }
+
+    fn fault(&self, op: FaultOp, offset: usize, len: usize) -> Outcome {
+        match &*self.injector.read() {
+            Some(inj) => inj.decide(DeviceKind::Dram, op, offset as u64, len),
+            None => Outcome::Proceed,
         }
     }
 
@@ -140,6 +158,9 @@ impl DramDevice {
 
     /// Read `buf.len()` bytes starting at `offset`.
     pub fn read(&self, offset: usize, buf: &mut [u8], pattern: AccessPattern) -> Result<()> {
+        if let Outcome::Fail(e) = self.fault(FaultOp::Read, offset, buf.len()) {
+            return Err(e);
+        }
         self.arena.read(offset, buf)?;
         let eff = self.cost.charge_read(buf.len(), pattern);
         self.stats.record_read(eff);
@@ -148,6 +169,11 @@ impl DramDevice {
 
     /// Write `data` starting at `offset`.
     pub fn write(&self, offset: usize, data: &[u8], pattern: AccessPattern) -> Result<()> {
+        // DRAM is volatile, so torn-write/drop-flush outcomes degenerate to
+        // plain success; only error injection applies.
+        if let Outcome::Fail(e) = self.fault(FaultOp::Write, offset, data.len()) {
+            return Err(e);
+        }
         self.arena.write(offset, data)?;
         let eff = self.cost.charge_write(data.len(), pattern);
         self.stats.record_write(eff);

@@ -23,6 +23,35 @@ pub enum DeviceError {
         /// Provided buffer length.
         got: usize,
     },
+    /// A transient I/O error injected by the fault plane; retrying the
+    /// same operation may succeed.
+    InjectedTransient {
+        /// Label of the intercepted entry point (`"read"`, `"write"`, ...).
+        op: &'static str,
+    },
+    /// A fatal I/O error injected by the fault plane; retries cannot help
+    /// and callers must surface it.
+    InjectedFatal {
+        /// Label of the intercepted entry point.
+        op: &'static str,
+    },
+}
+
+impl DeviceError {
+    /// Whether retrying the failed operation may succeed. Transient
+    /// injected faults are retryable; everything else (bounds/contract
+    /// violations, missing pages, fatal media errors) is not.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, DeviceError::InjectedTransient { .. })
+    }
+
+    /// Whether this error came from the fault-injection plane.
+    pub fn is_injected(&self) -> bool {
+        matches!(
+            self,
+            DeviceError::InjectedTransient { .. } | DeviceError::InjectedFatal { .. }
+        )
+    }
 }
 
 impl fmt::Display for DeviceError {
@@ -43,6 +72,12 @@ impl fmt::Display for DeviceError {
                     f,
                     "buffer of {got} bytes does not match page size {expected}"
                 )
+            }
+            DeviceError::InjectedTransient { op } => {
+                write!(f, "injected transient I/O error during {op}")
+            }
+            DeviceError::InjectedFatal { op } => {
+                write!(f, "injected fatal I/O error during {op}")
             }
         }
     }
@@ -68,6 +103,20 @@ mod tests {
         assert_eq!(
             DeviceError::PageNotFound(7).to_string(),
             "page 7 not present on device"
+        );
+    }
+
+    #[test]
+    fn retryability_taxonomy() {
+        let transient = DeviceError::InjectedTransient { op: "read" };
+        let fatal = DeviceError::InjectedFatal { op: "write" };
+        assert!(transient.is_retryable() && transient.is_injected());
+        assert!(!fatal.is_retryable() && fatal.is_injected());
+        assert!(!DeviceError::PageNotFound(1).is_retryable());
+        assert!(!DeviceError::PageNotFound(1).is_injected());
+        assert_eq!(
+            transient.to_string(),
+            "injected transient I/O error during read"
         );
     }
 }

@@ -32,6 +32,7 @@
 mod cost;
 mod dram;
 mod error;
+pub mod fault;
 mod memory_mode;
 mod nvm;
 mod profile;
@@ -41,6 +42,9 @@ mod stats;
 pub use cost::{AccessPattern, CostModel, TimeScale};
 pub use dram::DramDevice;
 pub use error::DeviceError;
+pub use fault::{
+    FaultInjector, FaultKind, FaultOp, FaultPlan, FaultRule, FaultStats, Trigger, MEDIA_BLOCK,
+};
 pub use memory_mode::MemoryModeDevice;
 pub use nvm::{NvmDevice, PersistenceTracking};
 pub use profile::{DeviceKind, DeviceProfile};

@@ -3,11 +3,12 @@
 
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 
 use crate::cost::{AccessPattern, CostModel, TimeScale};
 use crate::dram::Arena;
-use crate::profile::DeviceProfile;
+use crate::fault::{FaultInjector, FaultOp, Outcome};
+use crate::profile::{DeviceKind, DeviceProfile};
 use crate::stats::DeviceStats;
 use crate::{Result, CACHE_LINE};
 
@@ -51,6 +52,7 @@ pub struct NvmDevice {
     domain: Option<PersistDomain>,
     cost: CostModel,
     stats: Arc<DeviceStats>,
+    injector: RwLock<Option<Arc<FaultInjector>>>,
 }
 
 impl NvmDevice {
@@ -78,6 +80,20 @@ impl NvmDevice {
             domain,
             cost: CostModel::new(profile, scale),
             stats: Arc::new(DeviceStats::new()),
+            injector: RwLock::new(None),
+        }
+    }
+
+    /// Attach (or detach with `None`) a chaos fault injector; every
+    /// subsequent read/write/clwb/sfence consults it first.
+    pub fn set_fault_injector(&self, injector: Option<Arc<FaultInjector>>) {
+        *self.injector.write() = injector;
+    }
+
+    fn fault(&self, op: FaultOp, offset: usize, len: usize) -> Outcome {
+        match &*self.injector.read() {
+            Some(inj) => inj.decide(DeviceKind::Nvm, op, offset as u64, len),
+            None => Outcome::Proceed,
         }
     }
 
@@ -106,6 +122,9 @@ impl NvmDevice {
     /// Charged at the device's media granularity (256 B for Optane), which is
     /// why sub-granule reads do not save bandwidth (paper §6.5, Figure 11).
     pub fn read(&self, offset: usize, buf: &mut [u8], pattern: AccessPattern) -> Result<()> {
+        if let Outcome::Fail(e) = self.fault(FaultOp::Read, offset, buf.len()) {
+            return Err(e);
+        }
         self.arena.read(offset, buf)?;
         let eff = self.cost.charge_read(buf.len(), pattern);
         self.stats.record_read(eff);
@@ -114,7 +133,16 @@ impl NvmDevice {
 
     /// Write `data` starting at `offset`. The write is *not* persistent
     /// until `clwb` + `sfence` under [`PersistenceTracking::Full`].
+    ///
+    /// A torn-write fault stores only a prefix of complete
+    /// [`crate::MEDIA_BLOCK`]s while still reporting success, modelling a
+    /// media write interrupted mid-line.
     pub fn write(&self, offset: usize, data: &[u8], pattern: AccessPattern) -> Result<()> {
+        let data = match self.fault(FaultOp::Write, offset, data.len()) {
+            Outcome::Fail(e) => return Err(e),
+            Outcome::Truncate(keep) => &data[..keep],
+            Outcome::Proceed | Outcome::Drop => data,
+        };
         self.arena.write(offset, data)?;
         let eff = self.cost.charge_write(data.len(), pattern);
         self.stats.record_write(eff);
@@ -127,6 +155,13 @@ impl NvmDevice {
     pub fn clwb(&self, offset: usize, len: usize) -> Result<()> {
         if len == 0 {
             return Ok(());
+        }
+        match self.fault(FaultOp::Clwb, offset, len) {
+            Outcome::Fail(e) => return Err(e),
+            // Silently dropped flush: the caller believes the lines were
+            // written back, but nothing is staged for persistence.
+            Outcome::Drop => return Ok(()),
+            Outcome::Proceed | Outcome::Truncate(_) => {}
         }
         let start = offset - offset % CACHE_LINE;
         let end = (offset + len).div_ceil(CACHE_LINE) * CACHE_LINE;
@@ -145,6 +180,15 @@ impl NvmDevice {
     /// (emulated `sfence` ordering all preceding `clwb`s).
     pub fn sfence(&self) {
         self.stats.record_fence();
+        // A dropped (or failed — sfence has no error channel) fence leaves
+        // the staged ranges pending: a later fence may still commit them,
+        // exactly like a missing ordering barrier.
+        if matches!(
+            self.fault(FaultOp::Sfence, 0, 0),
+            Outcome::Drop | Outcome::Fail(_)
+        ) {
+            return;
+        }
         let Some(domain) = &self.domain else { return };
         let drained: Vec<(usize, usize)> = std::mem::take(&mut *domain.pending.lock());
         if drained.is_empty() {

@@ -1,18 +1,30 @@
 //! Emulated SSD: block-addressable page store with SSD-speed cost accounting.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 
 use crate::cost::{AccessPattern, CostModel, TimeScale};
 use crate::error::DeviceError;
-use crate::profile::DeviceProfile;
+use crate::fault::{FaultInjector, FaultOp, Outcome};
+use crate::nvm::PersistenceTracking;
+use crate::profile::{DeviceKind, DeviceProfile};
 use crate::stats::DeviceStats;
 use crate::Result;
 
 /// Number of lock shards for the page map; power of two.
 const SHARDS: usize = 64;
+
+/// Durability bookkeeping mirroring an OS page cache: writes land in the
+/// volatile page map and only become crash-safe once [`SsdDevice::sync`]
+/// copies them into the synced image (the emulated fsync barrier).
+struct SyncedImage {
+    /// Page images as of the last successful `sync`.
+    synced: Mutex<HashMap<u64, Box<[u8]>>>,
+    /// Pages written (or overwritten) since the last `sync`.
+    dirty: Mutex<HashSet<u64>>,
+}
 
 /// Emulated Optane SSD (P4800X): whole-page reads and writes only.
 ///
@@ -29,12 +41,37 @@ pub struct SsdDevice {
     page_size: usize,
     cost: CostModel,
     stats: Arc<DeviceStats>,
+    durability: Option<SyncedImage>,
+    injector: RwLock<Option<Arc<FaultInjector>>>,
 }
 
 impl SsdDevice {
     /// An SSD storing `page_size`-byte pages with Table 1 characteristics.
+    /// Writes are treated as durable immediately (no crash model), matching
+    /// the historical behavior; use [`SsdDevice::with_tracking`] with
+    /// [`PersistenceTracking::Full`] for recovery tests.
     pub fn new(page_size: usize, scale: TimeScale) -> Self {
         Self::with_profile(page_size, DeviceProfile::optane_ssd(), scale)
+    }
+
+    /// An SSD with the requested durability bookkeeping. Under
+    /// [`PersistenceTracking::Full`], writes are volatile until
+    /// [`SsdDevice::sync`] and [`SsdDevice::simulate_crash`] rolls back to
+    /// the last synced image — the SSD analogue of the NVM device's
+    /// unflushed-line discard.
+    pub fn with_tracking(
+        page_size: usize,
+        scale: TimeScale,
+        tracking: PersistenceTracking,
+    ) -> Self {
+        let mut dev = Self::with_profile(page_size, DeviceProfile::optane_ssd(), scale);
+        if tracking == PersistenceTracking::Full {
+            dev.durability = Some(SyncedImage {
+                synced: Mutex::new(HashMap::new()),
+                dirty: Mutex::new(HashSet::new()),
+            });
+        }
+        dev
     }
 
     /// An SSD with a custom profile.
@@ -44,6 +81,34 @@ impl SsdDevice {
             page_size,
             cost: CostModel::new(profile, scale),
             stats: Arc::new(DeviceStats::new()),
+            durability: None,
+            injector: RwLock::new(None),
+        }
+    }
+
+    /// Attach (or detach with `None`) a chaos fault injector; every
+    /// subsequent page read/write/sync consults it first.
+    pub fn set_fault_injector(&self, injector: Option<Arc<FaultInjector>>) {
+        *self.injector.write() = injector;
+    }
+
+    fn fault(&self, op: FaultOp, pid: u64, len: usize) -> Outcome {
+        match &*self.injector.read() {
+            // Page ops expose `pid * page_size` as the byte offset so
+            // offset-range predicates can target page ranges.
+            Some(inj) => inj.decide(
+                DeviceKind::Ssd,
+                op,
+                pid.wrapping_mul(self.page_size as u64),
+                len,
+            ),
+            None => Outcome::Proceed,
+        }
+    }
+
+    fn mark_dirty(&self, pid: u64) {
+        if let Some(d) = &self.durability {
+            d.dirty.lock().insert(pid);
         }
     }
 
@@ -79,6 +144,9 @@ impl SsdDevice {
                 got: buf.len(),
             });
         }
+        if let Outcome::Fail(e) = self.fault(FaultOp::Read, pid, buf.len()) {
+            return Err(e);
+        }
         {
             let shard = self.shard(pid).read();
             let page = shard.get(&pid).ok_or(DeviceError::PageNotFound(pid))?;
@@ -89,7 +157,24 @@ impl SsdDevice {
         Ok(())
     }
 
+    /// Store `data[..keep]` as page `pid`. For a torn write (`keep` short of
+    /// a full page) an existing page keeps its old tail bytes and a fresh
+    /// page gets a zero tail — the page "exists" either way.
+    fn store(&self, pid: u64, data: &[u8], keep: usize) {
+        let mut shard = self.shard(pid).write();
+        match shard.get_mut(&pid) {
+            Some(page) => page[..keep].copy_from_slice(&data[..keep]),
+            None => {
+                let mut page = vec![0u8; self.page_size].into_boxed_slice();
+                page[..keep].copy_from_slice(&data[..keep]);
+                shard.insert(pid, page);
+            }
+        }
+    }
+
     /// Write `data` (exactly one page) as page `pid`, creating it if absent.
+    ///
+    /// Volatile until [`SsdDevice::sync`] when durability tracking is on.
     pub fn write_page(&self, pid: u64, data: &[u8]) -> Result<()> {
         if data.len() != self.page_size {
             return Err(DeviceError::BadPageSize {
@@ -97,15 +182,13 @@ impl SsdDevice {
                 got: data.len(),
             });
         }
-        {
-            let mut shard = self.shard(pid).write();
-            match shard.get_mut(&pid) {
-                Some(page) => page.copy_from_slice(data),
-                None => {
-                    shard.insert(pid, data.to_vec().into_boxed_slice());
-                }
-            }
-        }
+        let keep = match self.fault(FaultOp::Write, pid, data.len()) {
+            Outcome::Fail(e) => return Err(e),
+            Outcome::Truncate(keep) => keep,
+            Outcome::Proceed | Outcome::Drop => data.len(),
+        };
+        self.store(pid, data, keep);
+        self.mark_dirty(pid);
         let eff = self
             .cost
             .charge_write(self.page_size, AccessPattern::Random);
@@ -122,15 +205,64 @@ impl SsdDevice {
                 got: data.len(),
             });
         }
+        let keep = match self.fault(FaultOp::Write, pid, data.len()) {
+            Outcome::Fail(e) => return Err(e),
+            Outcome::Truncate(keep) => keep,
+            Outcome::Proceed | Outcome::Drop => data.len(),
+        };
         {
             let mut shard = self.shard(pid).write();
-            shard.insert(pid, data.to_vec().into_boxed_slice());
+            let mut page = vec![0u8; self.page_size].into_boxed_slice();
+            page[..keep].copy_from_slice(&data[..keep]);
+            shard.insert(pid, page);
         }
+        self.mark_dirty(pid);
         let eff = self
             .cost
             .charge_write(self.page_size, AccessPattern::Sequential);
         self.stats.record_write(eff);
         Ok(())
+    }
+
+    /// Durability barrier (emulated fsync): make every write since the last
+    /// sync crash-safe. A no-op without durability tracking. A dropped-flush
+    /// fault returns `Ok` while leaving the pages volatile.
+    pub fn sync(&self) -> Result<()> {
+        let Some(d) = &self.durability else {
+            return Ok(());
+        };
+        match self.fault(FaultOp::Sync, 0, 0) {
+            Outcome::Fail(e) => return Err(e),
+            Outcome::Drop => return Ok(()),
+            Outcome::Proceed | Outcome::Truncate(_) => {}
+        }
+        let dirty: Vec<u64> = d.dirty.lock().drain().collect();
+        let mut bytes = 0usize;
+        let mut synced = d.synced.lock();
+        for pid in dirty {
+            if let Some(page) = self.shard(pid).read().get(&pid) {
+                bytes += page.len();
+                synced.insert(pid, page.clone());
+            }
+        }
+        self.stats.record_flush(bytes);
+        self.stats.record_fence();
+        Ok(())
+    }
+
+    /// Model power loss: roll the page map back to the last synced image,
+    /// discarding every un-synced write — the block-device analogue of
+    /// [`crate::NvmDevice::simulate_crash`]. A no-op without tracking.
+    pub fn simulate_crash(&self) {
+        let Some(d) = &self.durability else { return };
+        d.dirty.lock().clear();
+        let synced = d.synced.lock();
+        for shard in &self.shards {
+            shard.write().clear();
+        }
+        for (pid, page) in synced.iter() {
+            self.shard(*pid).write().insert(*pid, page.clone());
+        }
     }
 
     /// Whether page `pid` exists on the device.
@@ -253,5 +385,47 @@ mod tests {
         d.write_page(1, &vec![0u8; 4096]).unwrap();
         d.write_page(2, &vec![0u8; 4096]).unwrap();
         assert_eq!(d.used_bytes(), 8192);
+    }
+
+    #[test]
+    fn unsynced_writes_are_lost_on_crash() {
+        let d = SsdDevice::with_tracking(4096, TimeScale::ZERO, PersistenceTracking::Full);
+        d.write_page(1, &vec![1u8; 4096]).unwrap();
+        d.sync().unwrap();
+        d.write_page(1, &vec![9u8; 4096]).unwrap(); // overwrite, un-synced
+        d.write_page(2, &vec![2u8; 4096]).unwrap(); // new page, un-synced
+        d.simulate_crash();
+        let mut buf = vec![0u8; 4096];
+        d.read_page(1, &mut buf).unwrap();
+        assert_eq!(buf[0], 1, "page 1 rolled back to synced image");
+        assert_eq!(
+            d.read_page(2, &mut buf).unwrap_err(),
+            DeviceError::PageNotFound(2),
+            "never-synced page vanishes"
+        );
+        assert_eq!(d.page_count(), 1);
+    }
+
+    #[test]
+    fn crash_without_tracking_is_a_noop() {
+        let d = ssd();
+        d.write_page(5, &vec![5u8; 4096]).unwrap();
+        d.simulate_crash();
+        assert!(d.contains(5));
+        d.sync().unwrap(); // also a no-op
+    }
+
+    #[test]
+    fn sync_counts_fence_and_flushed_bytes() {
+        let d = SsdDevice::with_tracking(4096, TimeScale::ZERO, PersistenceTracking::Full);
+        d.write_page(1, &vec![1u8; 4096]).unwrap();
+        d.write_page(2, &vec![2u8; 4096]).unwrap();
+        d.sync().unwrap();
+        let s = d.stats().snapshot();
+        assert_eq!(s.fences, 1);
+        assert_eq!(s.bytes_flushed, 8192);
+        // Clean sync flushes nothing new but still fences.
+        d.sync().unwrap();
+        assert_eq!(d.stats().snapshot().bytes_flushed, 8192);
     }
 }

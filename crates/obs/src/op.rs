@@ -41,10 +41,14 @@ pub enum Op {
     TxnAbort,
     /// One end-to-end workload operation (YCSB op / TPC-C transaction).
     WorkloadOp,
+    /// A fault injected by the chaos plane (`spitfire-chaos`).
+    FaultInjected,
+    /// One retry of a device operation after a transient I/O error.
+    IoRetry,
 }
 
 /// Number of [`Op`] variants (size of the histogram registry).
-pub const OP_COUNT: usize = 15;
+pub const OP_COUNT: usize = 17;
 
 impl Op {
     /// All variants, in index order.
@@ -64,6 +68,8 @@ impl Op {
         Op::TxnCommit,
         Op::TxnAbort,
         Op::WorkloadOp,
+        Op::FaultInjected,
+        Op::IoRetry,
     ];
 
     /// Dense index of this variant.
@@ -90,6 +96,8 @@ impl Op {
             Op::TxnCommit => "txn_commit",
             Op::TxnAbort => "txn_abort",
             Op::WorkloadOp => "workload_op",
+            Op::FaultInjected => "fault_injected",
+            Op::IoRetry => "io_retry",
         }
     }
 }

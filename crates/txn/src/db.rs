@@ -621,6 +621,13 @@ impl Database {
         Ok(flushed)
     }
 
+    /// Install (or clear) a fault injector on every device the database
+    /// touches: all buffer-manager tiers plus both WAL devices.
+    pub fn set_fault_injector(&self, injector: Option<Arc<spitfire_device::FaultInjector>>) {
+        self.bm.set_fault_injector(injector.clone());
+        self.wal.set_fault_injector(injector);
+    }
+
     /// Simulate a crash: volatile state everywhere is dropped, unflushed
     /// NVM lines roll back.
     pub fn simulate_crash(&self) {

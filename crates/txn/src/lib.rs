@@ -31,7 +31,7 @@ pub use db::{Database, DbConfig, RecoveryStats, Transaction};
 pub use error::TxnError;
 pub use maintenance::{BackgroundFlusher, VacuumStats};
 pub use table::{Table, VersionHeader, NO_RID, VERSION_HEADER};
-pub use wal::{LogRecord, RecordKind, Wal};
+pub use wal::{LogRecord, RecordKind, Wal, WalScanReport};
 
 /// Result alias for transaction-layer operations.
 pub type Result<T> = std::result::Result<T, TxnError>;

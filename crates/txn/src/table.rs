@@ -350,6 +350,11 @@ impl Table {
         pages.clear();
         let mut cat = self.catalog_head;
         loop {
+            // Catalog references are durable, but a referenced page may
+            // never have been synced to SSD before the crash (its durable
+            // content is zeros). Raise the allocator floor so fetching it
+            // cannot trip the unknown-page check.
+            self.bm.set_next_page_id(cat.0 + 1);
             let guard = self.bm.fetch(cat, AccessIntent::Read)?;
             let magic = guard.read_u64(0)?;
             if magic != CATALOG_MAGIC {
@@ -361,7 +366,9 @@ impl Table {
                 u32::from_le_bytes(b) as usize
             };
             for i in 0..count.min(self.catalog_capacity()) {
-                pages.push(PageId(guard.read_u64(CATALOG_HEADER + i * 8)?));
+                let pid = PageId(guard.read_u64(CATALOG_HEADER + i * 8)?);
+                self.bm.set_next_page_id(pid.0 + 1);
+                pages.push(pid);
             }
             let next = guard.read_u64(24)?;
             if next == NO_RID {

@@ -129,4 +129,77 @@ proptest! {
             }
         }
     }
+
+    /// Crash-point granularity of individual writes: the crash lands
+    /// after the `crash_write`-th write *inside* a transaction, so the
+    /// interrupted transaction must recover as a loser — none of its
+    /// writes may survive, while every earlier committed transaction
+    /// must survive in full.
+    #[test]
+    fn mid_transaction_crash_makes_the_txn_a_loser(
+        txns in proptest::collection::vec(txn_strategy(), 1..12),
+        crash_txn in 0..12usize,
+        crash_write in 0..5usize,
+    ) {
+        let db = database();
+        let mut model: std::collections::HashMap<u64, u8> = Default::default();
+
+        let crash_txn = crash_txn.min(txns.len() - 1);
+        'outer: for (i, script) in txns.iter().enumerate() {
+            let mut txn = db.begin();
+            let mut applied = Vec::new();
+            let mut failed = false;
+            for (j, &(key, byte)) in script.writes.iter().enumerate() {
+                if i == crash_txn && j == crash_write.min(script.writes.len() - 1) {
+                    // Crash mid-transaction: txn never reaches commit.
+                    break 'outer;
+                }
+                let payload = vec![byte; TUPLE];
+                let result = match db.update(&mut txn, T, key, &payload) {
+                    Err(TxnError::NotFound) => db.insert(&mut txn, T, key, &payload),
+                    other => other,
+                };
+                match result {
+                    Ok(()) => applied.push((key, byte)),
+                    Err(TxnError::Conflict | TxnError::Duplicate) => {
+                        failed = true;
+                        break;
+                    }
+                    Err(e) => panic!("unexpected error: {e}"),
+                }
+            }
+            if failed || !script.commit {
+                db.abort(&mut txn).unwrap();
+            } else if db.commit(&mut txn).is_ok() {
+                for (key, byte) in applied {
+                    model.insert(key, byte);
+                }
+            }
+            if i == crash_txn {
+                break;
+            }
+        }
+
+        db.simulate_crash();
+        db.recover().unwrap();
+
+        let t = db.begin();
+        for key in 0..KEYS {
+            match model.get(&key) {
+                Some(&byte) => {
+                    let got = db.read(&t, T, key).unwrap();
+                    prop_assert!(
+                        got.iter().all(|&b| b == byte),
+                        "key {} recovered {} but committed value was {}", key, got[0], byte
+                    );
+                }
+                None => {
+                    prop_assert!(
+                        matches!(db.read(&t, T, key), Err(TxnError::NotFound)),
+                        "key {} resurrected from an uncommitted write", key
+                    );
+                }
+            }
+        }
+    }
 }

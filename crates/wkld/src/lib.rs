@@ -20,5 +20,5 @@ pub mod zipf;
 
 pub use runner::{run_epochs, run_workload, EpochSample, RunReport, RunnerConfig};
 pub use tpcc::{Tpcc, TpccConfig};
-pub use ycsb::{RawYcsb, YcsbConfig, YcsbMix, YcsbTxn};
+pub use ycsb::{RawYcsb, YcsbConfig, YcsbMix, YcsbOpStream, YcsbTxn};
 pub use zipf::{ScrambledZipf, Zipf};

@@ -80,6 +80,37 @@ impl Default for YcsbConfig {
 }
 
 // ---------------------------------------------------------------------
+// Deterministic operation stream
+// ---------------------------------------------------------------------
+
+/// A deterministic stream of YCSB operations decoupled from any execution
+/// engine. The chaos harness draws `(key, is_update)` pairs from it and
+/// drives transactions itself, so one seed yields one operation sequence
+/// no matter how many crashes interrupt the run.
+#[derive(Debug)]
+pub struct YcsbOpStream {
+    zipf: ScrambledZipf,
+    update_fraction: f64,
+}
+
+impl YcsbOpStream {
+    /// Build a stream over `config`'s key space and mix.
+    pub fn new(config: &YcsbConfig) -> Self {
+        YcsbOpStream {
+            zipf: ScrambledZipf::new(config.records, config.theta),
+            update_fraction: config.mix.update_fraction(),
+        }
+    }
+
+    /// Draw the next operation: a Zipfian key and whether it is an update.
+    pub fn next_op(&self, rng: &mut SmallRng) -> (u64, bool) {
+        let key = self.zipf.sample(rng);
+        let is_update = rng.gen::<f64>() < self.update_fraction;
+        (key, is_update)
+    }
+}
+
+// ---------------------------------------------------------------------
 // Raw buffer-manager driver
 // ---------------------------------------------------------------------
 
@@ -255,6 +286,17 @@ mod tests {
     use spitfire_core::BufferManagerConfig;
     use spitfire_device::TimeScale;
     use std::sync::Arc;
+
+    #[test]
+    fn op_stream_is_deterministic() {
+        let config = YcsbConfig::default();
+        let s = YcsbOpStream::new(&config);
+        let mut a = SmallRng::seed_from_u64(9);
+        let mut b = SmallRng::seed_from_u64(9);
+        for _ in 0..200 {
+            assert_eq!(s.next_op(&mut a), s.next_op(&mut b));
+        }
+    }
 
     fn bm() -> Arc<BufferManager> {
         let config = BufferManagerConfig::builder()
