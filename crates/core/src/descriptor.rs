@@ -12,6 +12,7 @@
 //! protocol of §5.2 is designed to allow.
 
 use parking_lot::{Condvar, Mutex};
+use spitfire_sync::PinWord;
 
 use crate::types::{FrameId, PageId};
 
@@ -109,6 +110,25 @@ impl PageState {
 }
 
 /// Shared page descriptor stored in the mapping table (Figure 4).
+///
+/// # Optimistic pin words
+///
+/// The two [`PinWord`]s let the fetch fast path pin a stably resident
+/// copy without the mutex. They are opened and closed *only* under the
+/// descriptor mutex, maintaining two invariants:
+///
+/// * `dram_pin` is open ⇔ the DRAM slot holds a `Resident` copy in a
+///   full frame (fine-grained and mini copies never open the word —
+///   their I/O needs the mutex anyway);
+/// * `nvm_pin` is open ⇔ the NVM slot holds a `Resident` full-frame
+///   copy **and** no DRAM copy exists. A DRAM copy may be newer than the
+///   NVM copy, so serving NVM optimistically while one exists would read
+///   stale bytes.
+///
+/// Any transition out of `Resident` closes the word first and only
+/// proceeds if the optimistic pin count was zero (see
+/// [`PinWord::close`]); the total pin count of a copy is the mutex
+/// `pins` field plus its word's optimistic count.
 #[derive(Debug)]
 pub(crate) struct SharedPageDesc {
     /// The logical page this descriptor tracks.
@@ -119,6 +139,10 @@ pub(crate) struct SharedPageDesc {
     /// Signalled on every state transition; waiters re-check under the
     /// mutex.
     pub cond: Condvar,
+    /// Optimistic pin word for the DRAM copy.
+    pub dram_pin: PinWord,
+    /// Optimistic pin word for the NVM copy.
+    pub nvm_pin: PinWord,
 }
 
 impl SharedPageDesc {
@@ -128,6 +152,17 @@ impl SharedPageDesc {
             pid,
             state: Mutex::new(PageState::default()),
             cond: Condvar::new(),
+            dram_pin: PinWord::new(),
+            nvm_pin: PinWord::new(),
+        }
+    }
+
+    /// The optimistic pin word guarding the copy in the given slot.
+    pub(crate) fn pin_word(&self, dram: bool) -> &PinWord {
+        if dram {
+            &self.dram_pin
+        } else {
+            &self.nvm_pin
         }
     }
 }

@@ -73,6 +73,7 @@ impl BufferManager {
             pid,
             kind: GuardKind::FineGrained,
             in_dram_slot: true,
+            optimistic: false,
         })
     }
 

@@ -36,6 +36,10 @@ pub struct PageGuard<'a> {
     /// True if the pinned copy lives in the DRAM slot of the descriptor
     /// (fine-grained copies always do).
     pub(crate) in_dram_slot: bool,
+    /// True if the pin is held in the descriptor's optimistic pin word
+    /// (lock-free fast path) rather than the mutex-guarded `pins` field.
+    /// The drop must release through the same mechanism.
+    pub(crate) optimistic: bool,
 }
 
 impl<'a> PageGuard<'a> {
@@ -114,7 +118,11 @@ impl<'a> PageGuard<'a> {
 
 impl Drop for PageGuard<'_> {
     fn drop(&mut self) {
-        self.bm.unpin(self.pid, self.in_dram_slot);
+        if self.optimistic {
+            self.bm.unpin_fast(self.pid, self.in_dram_slot);
+        } else {
+            self.bm.unpin(self.pid, self.in_dram_slot);
+        }
     }
 }
 

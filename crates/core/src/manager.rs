@@ -18,7 +18,18 @@
 //!   `try_lock` and skip on failure);
 //! * migrations only start when the source copy has no outstanding pins,
 //!   so no wait ever depends on a guard held by another operation.
+//!
+//! Layered *above* the mutex protocol is the optimistic hit fast path
+//! (paper §5.2, DESIGN.md "Lock-free hit path"): a fetch of a stably
+//! resident page pins it through the descriptor's
+//! [`spitfire_sync::PinWord`] with a single CAS and never touches the
+//! mutex. Every slot transition closes the word first (under the mutex)
+//! and only proceeds once the optimistic pin count is zero, so the two
+//! layers compose: the word proves residency to readers, the mutex
+//! serializes writers, and a reader that loses the race simply restarts
+//! into the mutex path.
 
+use std::cell::{Cell, RefCell};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -26,10 +37,10 @@ use spitfire_device::{
     AccessPattern, DeviceError, DeviceStats, FaultInjector, NvmDevice, SsdDevice,
 };
 use spitfire_obs::{self as obs, Op};
-use spitfire_sync::{AdmissionQueue, ConcurrentMap};
+use spitfire_sync::{AdmissionQueue, ConcurrentMap, PinAttempt};
 
 use crate::config::{BufferManagerConfig, Hierarchy};
-use crate::descriptor::{CopyState, FrameRef, SharedPageDesc};
+use crate::descriptor::{CopyState, FrameRef, PageState, SharedPageDesc};
 use crate::error::BufferError;
 use crate::fgpage::MiniSlabs;
 use crate::guard::{GuardKind, PageGuard};
@@ -57,6 +68,43 @@ enum EvictPlan {
     WriteToSsd,
 }
 
+/// Global id source distinguishing managers in per-thread caches.
+static NEXT_MGR_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Direct-mapped slots in the per-thread descriptor cache. Hot working
+/// sets are far smaller than this; collisions just fall back to the
+/// mapping table.
+const DESC_CACHE_SLOTS: usize = 64;
+
+/// One per-thread descriptor cache entry: valid for a single manager
+/// generation (`mgr`, `epoch`).
+struct CachedDesc {
+    mgr: u64,
+    epoch: u64,
+    pid: u64,
+    desc: Arc<SharedPageDesc>,
+}
+
+thread_local! {
+    /// pid → descriptor cache, shared across managers on this thread
+    /// (entries are tagged with the owning manager and its crash epoch).
+    static DESC_CACHE: RefCell<Vec<Option<CachedDesc>>> =
+        RefCell::new((0..DESC_CACHE_SLOTS).map(|_| None).collect());
+}
+
+/// How the fast path resolved a fetch.
+enum FastOutcome<'a> {
+    /// Served lock-free: the guard holds an optimistic pin.
+    Hit(PageGuard<'a>),
+    /// Fall back to the mutex slow path with the resolved descriptor.
+    /// `promote` carries an already-drawn D_r/D_w promotion coin
+    /// (`Some(_)`) so the slow path never draws it twice.
+    Slow(Arc<SharedPageDesc>, Option<bool>),
+    /// No descriptor exists yet (first access, or an invalid pid): the
+    /// slow path bounds-checks and creates it.
+    NoDesc,
+}
+
 /// Multi-threaded three-tier buffer manager.
 pub struct BufferManager {
     config: BufferManagerConfig,
@@ -70,7 +118,14 @@ pub struct BufferManager {
     admission: Option<AdmissionQueue>,
     pub(crate) metrics: Arc<BufferMetrics>,
     next_pid: AtomicU64,
-    rng_state: AtomicU64,
+    /// This manager's id in per-thread caches and RNG streams.
+    mgr_id: u64,
+    /// Bumped when the mapping table is discarded (`simulate_crash`) so
+    /// per-thread descriptor caches drop entries for dead descriptors.
+    cache_epoch: AtomicU64,
+    /// Ordinal handed to each thread's policy RNG on its first draw from
+    /// this manager (seeds stay deterministic per (seed, ordinal)).
+    rng_threads: AtomicU64,
     pub(crate) mini: Option<MiniSlabs>,
 }
 
@@ -125,7 +180,9 @@ impl BufferManager {
             admission,
             metrics,
             next_pid: AtomicU64::new(0),
-            rng_state: AtomicU64::new(config.seed | 1),
+            mgr_id: NEXT_MGR_ID.fetch_add(1, Ordering::Relaxed),
+            cache_epoch: AtomicU64::new(0),
+            rng_threads: AtomicU64::new(0),
             mini,
             config,
         })
@@ -234,14 +291,35 @@ impl BufferManager {
         self.nvm.as_ref().expect("NVM pool exists for this guard")
     }
 
-    /// Cheap thread-safe uniform draw (splitmix64 on a shared counter).
+    /// Cheap uniform draw from a per-thread xorshift64* stream — no
+    /// shared cache line on the hot path (the old shared splitmix64
+    /// counter was a guaranteed cross-core bounce per draw).
+    ///
+    /// Each (manager, thread) pair gets an independent stream seeded from
+    /// `config.seed` and the order in which threads first draw from this
+    /// manager. A fresh manager re-issues ordinals from zero, so a
+    /// single-threaded run (the chaos explorer) sees an identical draw
+    /// sequence across managers built with the same seed — the
+    /// determinism `identical_configs_yield_identical_verdicts` relies
+    /// on.
     fn draw(&self) -> u32 {
-        let mut z = self
-            .rng_state
-            .fetch_add(0x9E37_79B9_7F4A_7C15, Ordering::Relaxed);
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        (z ^ (z >> 31)) as u32
+        thread_local! {
+            /// (owning manager id, xorshift state).
+            static POLICY_RNG: Cell<(u64, u64)> = const { Cell::new((0, 0)) };
+        }
+        POLICY_RNG.with(|c| {
+            let (id, mut s) = c.get();
+            if id != self.mgr_id {
+                let ord = self.rng_threads.fetch_add(1, Ordering::Relaxed);
+                // `| 1` keeps the xorshift state non-zero forever.
+                s = splitmix64(self.config.seed ^ splitmix64(ord)) | 1;
+            }
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            c.set((self.mgr_id, s));
+            (s.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 32) as u32
+        })
     }
 
     /// Allocate a fresh zeroed page. The page initially resides on SSD
@@ -289,7 +367,15 @@ impl BufferManager {
     }
 
     fn descriptor(&self, pid: PageId) -> Result<Arc<SharedPageDesc>> {
-        if pid.0 >= self.next_pid.load(Ordering::Acquire) {
+        // Relaxed suffices for this bounds check: a caller can only hold
+        // a valid pid through some channel that happens-after the
+        // `fetch_add` in `allocate_page` (a return value, a message, a
+        // page read), and that edge makes the incremented counter visible
+        // to a relaxed load too. Acquire bought nothing — there is no
+        // release store this load needs to pair with for correctness —
+        // and the optimistic fast path skips the check entirely:
+        // presence in the mapping table proves the pid was validated.
+        if pid.0 >= self.next_pid.load(Ordering::Relaxed) {
             return Err(BufferError::UnknownPage(pid));
         }
         Ok(self
@@ -299,9 +385,169 @@ impl BufferManager {
 
     /// Fetch `pid` with the given intent, returning a pinned guard on
     /// whichever tier the migration policy placed the page (§5.1).
+    ///
+    /// A stably resident page is served by the lock-free fast path (a
+    /// per-thread descriptor cache plus the descriptor's optimistic pin
+    /// word); everything else — misses, promotions, contended
+    /// transitions, fine-grained copies — falls back to the
+    /// descriptor-mutex slow path.
     pub fn fetch(&self, pid: PageId, intent: AccessIntent) -> Result<PageGuard<'_>> {
         let obs_t = obs::op_start();
-        let desc = self.descriptor(pid)?;
+        match self.fetch_fast(pid, intent, obs_t) {
+            FastOutcome::Hit(guard) => Ok(guard),
+            FastOutcome::Slow(desc, promote) => self.fetch_slow(&desc, pid, intent, promote, obs_t),
+            FastOutcome::NoDesc => {
+                let desc = self.descriptor(pid)?;
+                self.fetch_slow(&desc, pid, intent, None, obs_t)
+            }
+        }
+    }
+
+    /// The lock-free hit path. An uncontended DRAM hit costs one
+    /// thread-local array probe, one pin-word CAS, one CLOCK-bitmap bit
+    /// set, and two relaxed counter bumps — no mutex, no shard lock, no
+    /// `Arc` refcount traffic, no pid bounds check.
+    fn fetch_fast(
+        &self,
+        pid: PageId,
+        intent: AccessIntent,
+        obs_t: Option<std::time::Instant>,
+    ) -> FastOutcome<'_> {
+        DESC_CACHE.with(|cache| {
+            let mut cache = cache.borrow_mut();
+            let slot = &mut cache[(pid.0 as usize) & (DESC_CACHE_SLOTS - 1)];
+            // Acquire pairs with the release bump in `simulate_crash`: a
+            // thread that sees the new epoch also sees the cleared
+            // mapping table, so stale descriptors cannot be re-cached
+            // under the new epoch.
+            let epoch = self.cache_epoch.load(Ordering::Acquire);
+            let desc: &Arc<SharedPageDesc> = match slot {
+                Some(c) if c.mgr == self.mgr_id && c.epoch == epoch && c.pid == pid.0 => &c.desc,
+                _ => {
+                    let Some(desc) = self.mapping.get(&pid.0) else {
+                        return FastOutcome::NoDesc;
+                    };
+                    *slot = Some(CachedDesc {
+                        mgr: self.mgr_id,
+                        epoch,
+                        pid: pid.0,
+                        desc,
+                    });
+                    &slot.as_ref().expect("just stored").desc
+                }
+            };
+            // DRAM copy: one CAS pins it or we learn why not.
+            if self.tier1.is_some() {
+                match desc.dram_pin.try_pin() {
+                    PinAttempt::Pinned(frame) => {
+                        let f = FrameId(frame);
+                        self.tier1_pool().touch(f);
+                        self.metrics.record_dram_hit();
+                        self.metrics.record_fetch_fast();
+                        obs::record_op(Op::FetchDramHit, obs_t, pid.0, "dram");
+                        return FastOutcome::Hit(PageGuard {
+                            bm: self,
+                            pid,
+                            kind: GuardKind::FullDram(f),
+                            in_dram_slot: true,
+                            optimistic: true,
+                        });
+                    }
+                    PinAttempt::Raced => {
+                        // A transition closed the word between our load
+                        // and CAS: restart into the mutex protocol.
+                        self.metrics.record_pin_restart();
+                        obs::record_op(Op::PinRestart, obs_t, pid.0, "dram");
+                        return FastOutcome::Slow(Arc::clone(desc), None);
+                    }
+                    PinAttempt::Closed => {}
+                }
+            }
+            // NVM copy: open implies Resident with no DRAM copy
+            // shadowing it, so serving in place is consistent. The
+            // promotion coin is drawn here (lazily — degenerate
+            // probabilities skip the RNG); if it fires, the slow path
+            // executes the promotion with the draw already made.
+            if self.nvm.is_some() && desc.nvm_pin.is_open() {
+                let promote = self.tier1.is_some()
+                    && match intent {
+                        AccessIntent::Read => self.policy.flip_dr_with(|| self.draw()),
+                        AccessIntent::Write => self.policy.flip_dw_with(|| self.draw()),
+                    };
+                if promote {
+                    return FastOutcome::Slow(Arc::clone(desc), Some(true));
+                }
+                match desc.nvm_pin.try_pin() {
+                    PinAttempt::Pinned(frame) => {
+                        let f = FrameId(frame);
+                        self.nvm_pool().touch(f);
+                        self.metrics.record_nvm_hit();
+                        self.metrics.record_fetch_fast();
+                        obs::record_op(Op::FetchNvmHit, obs_t, pid.0, "nvm");
+                        return FastOutcome::Hit(PageGuard {
+                            bm: self,
+                            pid,
+                            kind: GuardKind::FullNvm(f),
+                            in_dram_slot: false,
+                            optimistic: true,
+                        });
+                    }
+                    PinAttempt::Raced | PinAttempt::Closed => {
+                        // The coin was already drawn (tails): pass it
+                        // down so the slow path does not re-draw.
+                        self.metrics.record_pin_restart();
+                        obs::record_op(Op::PinRestart, obs_t, pid.0, "nvm");
+                        return FastOutcome::Slow(Arc::clone(desc), Some(false));
+                    }
+                }
+            }
+            FastOutcome::Slow(Arc::clone(desc), None)
+        })
+    }
+
+    /// Drop an optimistic pin (guard drop). Mirrors `fetch_fast`: the
+    /// descriptor comes from the per-thread cache when possible, and the
+    /// unpin is a single CAS — no mutex, no condvar. Nothing ever blocks
+    /// waiting for optimistic pins to drain (`Busy` states start at zero
+    /// pins; evictors and promoters skip or serve in place instead), so
+    /// no notification is needed.
+    pub(crate) fn unpin_fast(&self, pid: PageId, in_dram_slot: bool) {
+        let epoch = self.cache_epoch.load(Ordering::Acquire);
+        let cached = DESC_CACHE.with(|cache| {
+            let cache = cache.borrow();
+            match &cache[(pid.0 as usize) & (DESC_CACHE_SLOTS - 1)] {
+                Some(c) if c.mgr == self.mgr_id && c.epoch == epoch && c.pid == pid.0 => {
+                    c.desc.pin_word(in_dram_slot).unpin();
+                    true
+                }
+                _ => false,
+            }
+        });
+        if !cached {
+            // Cache slot stolen by a colliding pid (or invalidated by a
+            // crash): the mapping table still resolves the descriptor.
+            // After a crash the descriptor may be gone entirely — the
+            // pin died with it, and `PinWord::unpin` on a re-created
+            // descriptor is a harmless no-op at count zero.
+            if let Some(desc) = self.mapping.get(&pid.0) {
+                desc.pin_word(in_dram_slot).unpin();
+            }
+        }
+    }
+
+    /// The descriptor-mutex fetch protocol (misses, migrations, waits).
+    /// `promote` carries a promotion coin the fast path already drew for
+    /// an NVM-resident page, consumed by the first NVM-resident arm.
+    fn fetch_slow(
+        &self,
+        desc: &SharedPageDesc,
+        pid: PageId,
+        intent: AccessIntent,
+        promote: Option<bool>,
+        obs_t: Option<std::time::Instant>,
+    ) -> Result<PageGuard<'_>> {
+        self.metrics.record_fetch_fallback();
+        let mut promote_hint = promote;
         let mut st = desc.state.lock();
         loop {
             // 1. Tier-1 (DRAM) copy.
@@ -322,6 +568,7 @@ impl BufferManager {
                             pid,
                             kind,
                             in_dram_slot: true,
+                            optimistic: false,
                         });
                     }
                     Some(_) => {
@@ -336,18 +583,37 @@ impl BufferManager {
                 match &mut st.nvm {
                     Some(CopyState::Resident { frame, pins, dirty }) => {
                         let f = frame.frame();
-                        let want_promote = self.tier1.is_some() && {
-                            let draw = self.draw();
-                            match intent {
-                                AccessIntent::Read => self.policy.flip_dr(draw),
-                                AccessIntent::Write => self.policy.flip_dw(draw),
-                            }
-                        };
+                        let cur_pins = *pins;
+                        let dirty0 = *dirty;
+                        // Consume the fast path's coin if it drew one;
+                        // otherwise draw here (lazily). Never both — a
+                        // double draw would square the probability.
+                        let want_promote = self.tier1.is_some()
+                            && match promote_hint.take() {
+                                Some(p) => p,
+                                None => match intent {
+                                    AccessIntent::Read => self.policy.flip_dr_with(|| self.draw()),
+                                    AccessIntent::Write => self.policy.flip_dw_with(|| self.draw()),
+                                },
+                            };
                         // Promotion needs exclusive access to the NVM copy;
                         // if it is pinned, serve from NVM instead (§5.2's
                         // drain, formulated as only starting when drained).
-                        if !want_promote || *pins > 0 {
-                            *pins += 1;
+                        // Optimistic pins count too: closing the word is
+                        // what proves there are none and stops new ones.
+                        let drained = !want_promote || cur_pins > 0 || {
+                            let fast_pins = desc.nvm_pin.close();
+                            if fast_pins > 0 {
+                                // Readers still draining: re-open and
+                                // serve in place.
+                                desc.nvm_pin.open(f.0);
+                            }
+                            fast_pins > 0
+                        };
+                        if drained {
+                            if let Some(CopyState::Resident { pins, .. }) = &mut st.nvm {
+                                *pins += 1;
+                            }
                             self.nvm_pool().touch(f);
                             drop(st);
                             self.metrics.record_nvm_hit();
@@ -357,9 +623,11 @@ impl BufferManager {
                                 pid,
                                 kind: GuardKind::FullNvm(f),
                                 in_dram_slot: false,
+                                optimistic: false,
                             });
                         }
-                        let dirty0 = *dirty;
+                        // The NVM word is now closed with zero optimistic
+                        // pins: the copy is exclusively ours to promote.
                         st.nvm = Some(CopyState::Busy {
                             frame: FrameRef::Full(f),
                             pins: 0,
@@ -367,7 +635,7 @@ impl BufferManager {
                         });
                         st.dram = Some(CopyState::Loading);
                         drop(st);
-                        match self.promote(&desc, f, dirty0) {
+                        match self.promote(desc, f, dirty0) {
                             Ok(guard) => {
                                 obs::record_op(Op::FetchNvmHit, obs_t, pid.0, "dram");
                                 return Ok(guard);
@@ -381,6 +649,7 @@ impl BufferManager {
                                     pins: u32::from(serve_from_nvm),
                                     dirty: dirty0,
                                 });
+                                Self::reopen_nvm_word(desc, &st);
                                 desc.cond.notify_all();
                                 drop(st);
                                 if serve_from_nvm {
@@ -393,6 +662,7 @@ impl BufferManager {
                                         pid,
                                         kind: GuardKind::FullNvm(f),
                                         in_dram_slot: false,
+                                        optimistic: false,
                                     });
                                 }
                                 return Err(e);
@@ -410,13 +680,10 @@ impl BufferManager {
             let to_dram = match (self.tier1.is_some(), self.nvm.is_some()) {
                 (true, false) => true,
                 (false, true) => false,
-                (true, true) => {
-                    let draw = self.draw();
-                    match intent {
-                        AccessIntent::Read => !self.policy.flip_nr(draw),
-                        AccessIntent::Write => self.policy.flip_dw(draw),
-                    }
-                }
+                (true, true) => match intent {
+                    AccessIntent::Read => !self.policy.flip_nr_with(|| self.draw()),
+                    AccessIntent::Write => self.policy.flip_dw_with(|| self.draw()),
+                },
                 (false, false) => unreachable!("validated: at least one buffer"),
             };
             *st.slot_mut(to_dram) = Some(CopyState::Loading);
@@ -470,6 +737,33 @@ impl BufferManager {
         }
     }
 
+    /// Re-open the NVM pin word if the current state allows optimistic
+    /// NVM pins (Resident full-frame copy, no DRAM copy shadowing it).
+    /// Call under the descriptor mutex after restoring a state.
+    fn reopen_nvm_word(desc: &SharedPageDesc, st: &PageState) {
+        if st.dram.is_none() {
+            if let Some(CopyState::Resident {
+                frame: FrameRef::Full(f),
+                ..
+            }) = &st.nvm
+            {
+                desc.nvm_pin.open(f.0);
+            }
+        }
+    }
+
+    /// Re-open the DRAM pin word if the DRAM slot holds a Resident
+    /// full-frame copy. Call under the descriptor mutex.
+    fn reopen_dram_word(desc: &SharedPageDesc, st: &PageState) {
+        if let Some(CopyState::Resident {
+            frame: FrameRef::Full(f),
+            ..
+        }) = &st.dram
+        {
+            desc.dram_pin.open(f.0);
+        }
+    }
+
     /// Copy an NVM-resident page up to DRAM (path ⑥, §3.1). The NVM copy
     /// is `Busy` and the DRAM slot is `Loading` on entry.
     fn promote(
@@ -503,6 +797,9 @@ impl BufferManager {
             pins: 0,
             dirty: nvm_dirty,
         });
+        // DRAM copy shadows NVM: the NVM word stays closed (it was
+        // closed with zero pins before the promotion started).
+        desc.dram_pin.open(dram_frame.0);
         desc.cond.notify_all();
         drop(st);
         self.metrics.record_migration(MigrationPath::NvmToDram);
@@ -512,6 +809,7 @@ impl BufferManager {
             pid: desc.pid,
             kind: GuardKind::FullDram(dram_frame),
             in_dram_slot: true,
+            optimistic: false,
         })
     }
 
@@ -539,6 +837,7 @@ impl BufferManager {
                 pins: 1,
                 dirty: false,
             });
+            desc.dram_pin.open(frame.0);
             desc.cond.notify_all();
             drop(st);
             self.metrics.record_migration(MigrationPath::SsdToDram);
@@ -548,6 +847,7 @@ impl BufferManager {
                 pid,
                 kind: GuardKind::FullDram(frame),
                 in_dram_slot: true,
+                optimistic: false,
             })
         } else {
             let frame = self.alloc_frame(false)?;
@@ -566,6 +866,9 @@ impl BufferManager {
                 pins: 1,
                 dirty: false,
             });
+            // No DRAM copy exists (waiters blocked on our Loading
+            // marker), so the NVM copy is optimistically pinnable.
+            desc.nvm_pin.open(frame.0);
             desc.cond.notify_all();
             drop(st);
             self.metrics.record_migration(MigrationPath::SsdToNvm);
@@ -575,6 +878,7 @@ impl BufferManager {
                 pid,
                 kind: GuardKind::FullNvm(frame),
                 in_dram_slot: false,
+                optimistic: false,
             })
         }
     }
@@ -664,6 +968,16 @@ impl BufferManager {
         let dirty = *dirty;
         let fine = !matches!(fref, FrameRef::Full(_));
 
+        // Stop optimistic pinners before committing to the eviction: a
+        // non-zero fast count means readers are mid-access — re-open and
+        // pick another victim. (Fine/mini copies never open the word, so
+        // `close` is a no-op returning zero for them.)
+        let fast_pins = desc.dram_pin.close();
+        if fast_pins > 0 {
+            Self::reopen_dram_word(desc, &st);
+            return false;
+        }
+
         // Decide the plan while we can still see the NVM slot.
         let plan = if !dirty {
             EvictPlan::Discard
@@ -678,6 +992,7 @@ impl BufferManager {
                     // copy; anything beyond that means concurrent readers.
                     let backing = u32::from(fine);
                     if *pins > backing {
+                        Self::reopen_dram_word(desc, &st);
                         return false; // skip this victim for now
                     }
                     let nvm_frame = nf.frame();
@@ -693,7 +1008,10 @@ impl BufferManager {
                         EvictPlan::MergeIntoNvm(nvm_frame)
                     }
                 }
-                Some(_) => return false,
+                Some(_) => {
+                    Self::reopen_dram_word(desc, &st);
+                    return false;
+                }
                 None => {
                     debug_assert!(!fine, "fine copies always have an NVM backing copy");
                     if self.nvm.is_some() {
@@ -703,7 +1021,7 @@ impl BufferManager {
                                 .expect("queue exists when NVM pool exists")
                                 .consider(desc.pid.0)
                         } else {
-                            self.policy.flip_nw(self.draw())
+                            self.policy.flip_nw_with(|| self.draw())
                         };
                         if admit {
                             EvictPlan::AdmitToNvm
@@ -756,6 +1074,8 @@ impl BufferManager {
                 dirty: true,
             });
         }
+        // The DRAM copy is Resident again (NVM stays shadowed by it).
+        Self::reopen_dram_word(desc, &st);
         desc.cond.notify_all();
     }
 
@@ -914,6 +1234,9 @@ impl BufferManager {
                 *pins = pins.saturating_sub(1);
             }
         }
+        // With the DRAM copy gone, a surviving Resident NVM copy becomes
+        // optimistically pinnable again.
+        Self::reopen_nvm_word(desc, &st);
         desc.cond.notify_all();
         drop(st);
         match fref {
@@ -946,6 +1269,13 @@ impl BufferManager {
             return false;
         }
         let dirty = *dirty;
+        // Stop optimistic pinners; back off if any are mid-access. (The
+        // word is already closed whenever a DRAM copy shadows this one.)
+        let fast_pins = desc.nvm_pin.close();
+        if fast_pins > 0 {
+            Self::reopen_nvm_word(desc, &st);
+            return false;
+        }
         st.nvm = Some(CopyState::Busy {
             frame: FrameRef::Full(victim),
             pins: 0,
@@ -977,6 +1307,7 @@ impl BufferManager {
                     pins: 0,
                     dirty: true,
                 });
+                Self::reopen_nvm_word(desc, &st);
                 desc.cond.notify_all();
                 return false;
             }
@@ -1141,6 +1472,9 @@ impl BufferManager {
         report.add_counter("evictions_dram", m.evictions_dram);
         report.add_counter("evictions_nvm", m.evictions_nvm);
         report.add_counter("discards", m.discards);
+        report.add_counter("fetch_fast", m.fetch_fast);
+        report.add_counter("fetch_fallbacks", m.fetch_fallbacks);
+        report.add_counter("pin_restarts", m.pin_restarts);
         for path in MigrationPath::ALL {
             let label = path.label().replace("->", "_to_");
             report.add_counter(format!("migrations_{label}"), m.path(path));
@@ -1217,6 +1551,13 @@ impl BufferManager {
             Some(_) => return Ok(false), // NVM copy pinned or in transition
             None => None,
         };
+        // Stop optimistic pinners on the DRAM copy; skip this flush if
+        // readers are mid-access (the checkpointer will come back).
+        let fast_pins = desc.dram_pin.close();
+        if fast_pins > 0 {
+            Self::reopen_dram_word(&desc, &st);
+            return Ok(false);
+        }
         st.dram = Some(CopyState::Busy {
             frame: fref.clone(),
             pins: 0,
@@ -1254,6 +1595,7 @@ impl BufferManager {
                     pins: 0,
                     dirty: true,
                 });
+                Self::reopen_dram_word(&desc, &st);
                 desc.cond.notify_all();
                 drop(st);
                 res?;
@@ -1270,6 +1612,7 @@ impl BufferManager {
                     pins: 0,
                     dirty: res.is_err(),
                 });
+                Self::reopen_dram_word(&desc, &st);
                 desc.cond.notify_all();
                 drop(st);
                 res?;
@@ -1298,6 +1641,10 @@ impl BufferManager {
     /// [`spitfire_device::PersistenceTracking::Full`].
     pub fn simulate_crash(&self) {
         self.mapping.clear();
+        // Release-bump *after* clearing: a fast path that observes the new
+        // epoch (Acquire) also observes the cleared table and cannot
+        // re-cache a dead descriptor under it.
+        self.cache_epoch.fetch_add(1, Ordering::Release);
         self.ssd.simulate_crash();
         if let Some(t1) = &self.tier1 {
             for i in 0..t1.n_frames() {
@@ -1341,6 +1688,8 @@ impl BufferManager {
                 pins: 0,
                 dirty: true,
             });
+            // Recovered pages have no DRAM copy: optimistically pinnable.
+            desc.nvm_pin.open(frame.0);
             recovered.push(pid);
             // Ensure the allocator never re-issues a recovered id.
             self.next_pid.fetch_max(pid.0 + 1, Ordering::AcqRel);
@@ -1363,6 +1712,52 @@ impl BufferManager {
         }
         self.next_pid.load(Ordering::Acquire)
     }
+
+    /// Assert that no pins are outstanding and every descriptor's pin
+    /// words agree with its copy states (stress-harness invariant check;
+    /// call only when no guards are live and no migrations are running).
+    ///
+    /// Invariants checked per page: mutex pin counts are zero, optimistic
+    /// pin counts are zero, the DRAM word is open iff the DRAM slot holds
+    /// a Resident full-frame copy, and the NVM word is open iff the NVM
+    /// slot holds one *and* no DRAM copy shadows it.
+    pub fn assert_quiescent(&self) {
+        fn full_resident(slot: &Option<CopyState>) -> bool {
+            matches!(
+                slot,
+                Some(CopyState::Resident {
+                    frame: FrameRef::Full(_),
+                    ..
+                })
+            )
+        }
+        fn mutex_pins(slot: &Option<CopyState>) -> u32 {
+            match slot {
+                Some(CopyState::Resident { pins, .. } | CopyState::Busy { pins, .. }) => *pins,
+                _ => 0,
+            }
+        }
+        self.mapping.for_each(|pid, desc| {
+            let st = desc.state.lock();
+            assert_eq!(mutex_pins(&st.dram), 0, "page {pid}: dram mutex pins");
+            assert_eq!(mutex_pins(&st.nvm), 0, "page {pid}: nvm mutex pins");
+            assert_eq!(desc.dram_pin.pins(), 0, "page {pid}: dram fast pins");
+            assert_eq!(desc.nvm_pin.pins(), 0, "page {pid}: nvm fast pins");
+            assert_eq!(
+                desc.dram_pin.is_open(),
+                full_resident(&st.dram),
+                "page {pid}: dram word/slot disagree ({:?})",
+                st.dram
+            );
+            assert_eq!(
+                desc.nvm_pin.is_open(),
+                st.dram.is_none() && full_resident(&st.nvm),
+                "page {pid}: nvm word/slot disagree (dram {:?}, nvm {:?})",
+                st.dram,
+                st.nvm
+            );
+        });
+    }
 }
 
 impl std::fmt::Debug for BufferManager {
@@ -1374,6 +1769,15 @@ impl std::fmt::Debug for BufferManager {
             .field("pages", &self.page_count())
             .finish_non_exhaustive()
     }
+}
+
+/// SplitMix64 scrambler: seeds the per-thread policy RNG streams with
+/// well-mixed, pairwise-independent states.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 /// Run `f` with a thread-local scratch buffer of `len` bytes. Re-entrant:

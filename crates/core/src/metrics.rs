@@ -23,6 +23,14 @@ pub struct BufferMetrics {
     /// Device operations that failed fatally (injected fatal fault or
     /// retry budget exhausted).
     io_fatal: AtomicU64,
+    /// Fetches served lock-free by the optimistic pin fast path.
+    fetch_fast: AtomicU64,
+    /// Fetches that fell back to the descriptor-mutex slow path (miss,
+    /// closed pin word, promotion draw, or optimistic restart).
+    fetch_fallbacks: AtomicU64,
+    /// Optimistic pin attempts that observed a closed or concurrently
+    /// transitioning pin word and restarted into the slow path.
+    pin_restarts: AtomicU64,
 }
 
 fn path_index(path: MigrationPath) -> usize {
@@ -84,6 +92,21 @@ impl BufferMetrics {
         self.io_fatal.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Record a fetch served lock-free by the optimistic pin fast path.
+    pub fn record_fetch_fast(&self) {
+        self.fetch_fast.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a fetch that took the descriptor-mutex slow path.
+    pub fn record_fetch_fallback(&self) {
+        self.fetch_fallbacks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record an optimistic pin attempt that had to restart.
+    pub fn record_pin_restart(&self) {
+        self.pin_restarts.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Point-in-time copy of all counters.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
@@ -101,6 +124,9 @@ impl BufferMetrics {
             discards: self.discards.load(Ordering::Relaxed),
             io_retries: self.io_retries.load(Ordering::Relaxed),
             io_fatal: self.io_fatal.load(Ordering::Relaxed),
+            fetch_fast: self.fetch_fast.load(Ordering::Relaxed),
+            fetch_fallbacks: self.fetch_fallbacks.load(Ordering::Relaxed),
+            pin_restarts: self.pin_restarts.load(Ordering::Relaxed),
         }
     }
 
@@ -117,6 +143,9 @@ impl BufferMetrics {
         self.discards.store(0, Ordering::Relaxed);
         self.io_retries.store(0, Ordering::Relaxed);
         self.io_fatal.store(0, Ordering::Relaxed);
+        self.fetch_fast.store(0, Ordering::Relaxed);
+        self.fetch_fallbacks.store(0, Ordering::Relaxed);
+        self.pin_restarts.store(0, Ordering::Relaxed);
     }
 }
 
@@ -141,6 +170,12 @@ pub struct MetricsSnapshot {
     pub io_retries: u64,
     /// Device operations that failed fatally.
     pub io_fatal: u64,
+    /// Fetches served lock-free by the optimistic pin fast path.
+    pub fetch_fast: u64,
+    /// Fetches that took the descriptor-mutex slow path.
+    pub fetch_fallbacks: u64,
+    /// Optimistic pin attempts that restarted into the slow path.
+    pub pin_restarts: u64,
 }
 
 impl MetricsSnapshot {
@@ -179,6 +214,9 @@ impl MetricsSnapshot {
             discards: self.discards - earlier.discards,
             io_retries: self.io_retries - earlier.io_retries,
             io_fatal: self.io_fatal - earlier.io_fatal,
+            fetch_fast: self.fetch_fast - earlier.fetch_fast,
+            fetch_fallbacks: self.fetch_fallbacks - earlier.fetch_fallbacks,
+            pin_restarts: self.pin_restarts - earlier.pin_restarts,
         }
     }
 }

@@ -208,6 +208,47 @@ impl PolicyCell {
         Self::flip(&self.nw, draw)
     }
 
+    #[inline]
+    fn flip_with(threshold: &AtomicU32, draw: impl FnOnce() -> u32) -> bool {
+        let t = threshold.load(Ordering::Relaxed);
+        // Policy-draw elision: degenerate probabilities are the common
+        // case on hot paths (⟨0,0,·,·⟩ measurement configs, the eager
+        // ⟨1,1,1,1⟩ preset), and their outcome needs no randomness — skip
+        // the RNG entirely.
+        if t == 0 {
+            return false;
+        }
+        if t >= SCALE {
+            return true;
+        }
+        draw() % SCALE < t
+    }
+
+    /// Coin flip for `D_r`, drawing lazily: `draw` is only invoked when
+    /// the probability is strictly between 0 and 1.
+    #[inline]
+    pub fn flip_dr_with(&self, draw: impl FnOnce() -> u32) -> bool {
+        Self::flip_with(&self.dr, draw)
+    }
+
+    /// Coin flip for `D_w` with a lazy draw.
+    #[inline]
+    pub fn flip_dw_with(&self, draw: impl FnOnce() -> u32) -> bool {
+        Self::flip_with(&self.dw, draw)
+    }
+
+    /// Coin flip for `N_r` with a lazy draw.
+    #[inline]
+    pub fn flip_nr_with(&self, draw: impl FnOnce() -> u32) -> bool {
+        Self::flip_with(&self.nr, draw)
+    }
+
+    /// Coin flip for `N_w` with a lazy draw.
+    #[inline]
+    pub fn flip_nw_with(&self, draw: impl FnOnce() -> u32) -> bool {
+        Self::flip_with(&self.nw, draw)
+    }
+
     /// Whether the queue mechanism decides NVM admission.
     #[inline]
     pub fn uses_admission_queue(&self) -> bool {
@@ -278,6 +319,20 @@ mod tests {
             .count();
         let freq = hits as f64 / 1_000_000.0;
         assert!((freq - 0.5).abs() < 0.01, "freq {freq}");
+    }
+
+    #[test]
+    fn lazy_flips_elide_degenerate_draws() {
+        let cell = PolicyCell::new(MigrationPolicy::new(0.0, 1.0, 0.5, 0.25));
+        // dr = 0 and dw = 1: decided without consuming a draw.
+        assert!(!cell.flip_dr_with(|| panic!("draw for p = 0")));
+        assert!(cell.flip_dw_with(|| panic!("draw for p = 1")));
+        // Intermediate probabilities still draw and agree with the eager
+        // variants.
+        for d in [0u32, 250_000, 499_999, 500_000, 999_999, u32::MAX] {
+            assert_eq!(cell.flip_nr_with(|| d), cell.flip_nr(d));
+            assert_eq!(cell.flip_nw_with(|| d), cell.flip_nw(d));
+        }
     }
 
     #[test]

@@ -180,13 +180,14 @@ impl NvmDevice {
     /// (emulated `sfence` ordering all preceding `clwb`s).
     pub fn sfence(&self) {
         self.stats.record_fence();
-        // A dropped (or failed — sfence has no error channel) fence leaves
-        // the staged ranges pending: a later fence may still commit them,
-        // exactly like a missing ordering barrier.
-        if matches!(
-            self.fault(FaultOp::Sfence, 0, 0),
-            Outcome::Drop | Outcome::Fail(_)
-        ) {
+        // Only an explicitly injected dropped flush defeats the fence
+        // (modelling a missing ordering barrier): it leaves the staged
+        // ranges pending, so a later fence may still commit them. Generic
+        // error faults are ignored here — `sfence` is an ordering
+        // instruction with no failure mode, and silently skipping the
+        // commit on a `Fail` outcome would let an "absorbable" transient
+        // fault violate durability with no error the caller could retry.
+        if matches!(self.fault(FaultOp::Sfence, 0, 0), Outcome::Drop) {
             return;
         }
         let Some(domain) = &self.domain else { return };

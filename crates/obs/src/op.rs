@@ -45,10 +45,13 @@ pub enum Op {
     FaultInjected,
     /// One retry of a device operation after a transient I/O error.
     IoRetry,
+    /// An optimistic pin attempt that raced a page transition and
+    /// restarted into the descriptor-mutex slow path.
+    PinRestart,
 }
 
 /// Number of [`Op`] variants (size of the histogram registry).
-pub const OP_COUNT: usize = 17;
+pub const OP_COUNT: usize = 18;
 
 impl Op {
     /// All variants, in index order.
@@ -70,6 +73,7 @@ impl Op {
         Op::WorkloadOp,
         Op::FaultInjected,
         Op::IoRetry,
+        Op::PinRestart,
     ];
 
     /// Dense index of this variant.
@@ -98,6 +102,7 @@ impl Op {
             Op::WorkloadOp => "workload_op",
             Op::FaultInjected => "fault_injected",
             Op::IoRetry => "io_retry",
+            Op::PinRestart => "pin_restart",
         }
     }
 }

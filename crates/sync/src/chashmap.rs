@@ -82,14 +82,24 @@ impl<K: Hash + Eq, V: Clone, S: BuildHasher + Clone> ConcurrentMap<K, V, S> {
     }
 
     /// Return the existing value for `key`, or insert the one produced by
-    /// `make` atomically with respect to other callers of this method.
+    /// `make` atomically with respect to other callers of this method:
+    /// all callers observe the same stored value.
+    ///
+    /// Hot keys take only the shard *read* lock, so concurrent lookups of
+    /// the same shard proceed in parallel; the exclusive write lock is
+    /// taken only on a miss. `make` may run speculatively when two
+    /// threads miss concurrently — the loser's value is discarded and the
+    /// winner's returned — so `make` must be side-effect free. Running it
+    /// outside the write critical section keeps the exclusive hold to a
+    /// re-probe and an insert.
     pub fn get_or_insert_with(&self, key: K, make: impl FnOnce() -> V) -> V {
         let shard = self.shard(&key);
         if let Some(v) = shard.read().get(&key) {
             return v.clone();
         }
+        let value = make();
         let mut guard = shard.write();
-        guard.entry(key).or_insert_with(make).clone()
+        guard.entry(key).or_insert_with(|| value).clone()
     }
 
     /// Remove `key` only if `pred` holds for its current value. Returns the

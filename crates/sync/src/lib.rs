@@ -7,7 +7,9 @@
 //! 2. a concurrent bitmap backing the CLOCK replacement policy —
 //!    [`AtomicBitmap`];
 //! 3. lightweight latches for thread-safe page migration — [`RwLatch`];
-//! 4. optimistic lock coupling for the B+Tree — [`VersionLatch`].
+//! 4. optimistic lock coupling for the B+Tree — [`VersionLatch`];
+//! 5. the optimistic pin word that makes buffer hits latch-free —
+//!    [`PinWord`].
 //!
 //! It also provides the HyMem-style NVM [`AdmissionQueue`] (paper §1, §6.5),
 //! which Spitfire's probabilistic policy replaces but which the baseline
@@ -21,9 +23,11 @@ mod bitmap;
 mod chashmap;
 mod latch;
 mod optimistic;
+mod pinword;
 
 pub use admission::AdmissionQueue;
 pub use bitmap::AtomicBitmap;
 pub use chashmap::ConcurrentMap;
 pub use latch::{LatchReadGuard, LatchWriteGuard, RwLatch};
 pub use optimistic::{OptimisticError, VersionLatch};
+pub use pinword::{PinAttempt, PinWord};

@@ -1,0 +1,337 @@
+//! Optimistic pin word for latch-free buffer pins (paper §5.2).
+//!
+//! A [`PinWord`] lets readers pin a resident page copy without taking the
+//! page's descriptor mutex, in the style of LeanStore/Umbra optimistic
+//! latching: the slow path (migrations, evictions — always under the
+//! descriptor mutex) *opens* the word while the copy is stably resident
+//! and *closes* it before any state transition. Readers pin with a single
+//! CAS that only succeeds against an open word, so a successful pin proves
+//! the copy was resident — and stays resident, because every transition
+//! must first close the word and observe a zero optimistic pin count.
+//!
+//! # Word layout
+//!
+//! One `AtomicU64` packs the whole protocol state:
+//!
+//! ```text
+//! 63        33 32 31                    0
+//! +-----------+--+----------------------+
+//! |  version  |O |  optimistic pins     |
+//! +-----------+--+----------------------+
+//! ```
+//!
+//! * bits 0..32 — count of outstanding optimistic pins;
+//! * bit 32 — OPEN: optimistic pins may be taken;
+//! * bits 33.. — version, bumped by every open/close so a reader's CAS
+//!   (which covers the *entire* word) fails if the copy was closed and
+//!   re-opened between its load and its CAS. That makes the payload read
+//!   in between — the frame id of the resident copy — valid on success.
+//!
+//! # Protocol
+//!
+//! * `open(frame)` / `close()` are called only by the slow path, under the
+//!   descriptor mutex; they are the only writers of the OPEN and version
+//!   bits.
+//! * `try_pin()` / `unpin()` are lock-free and may be called by any
+//!   thread at any time.
+//! * `close()` returns the number of optimistic pins at the instant the
+//!   word closed. Because the close CAS and every pin CAS contend on the
+//!   same word, a return of zero proves no optimistic pin exists *and*
+//!   none can be created until the word is re-opened — the transition may
+//!   proceed. Non-zero means readers are still draining: the caller must
+//!   re-open and retry later (evictions simply skip the victim).
+//!
+//! The theoretical ABA window — a full 31-bit version wrap between one
+//! reader's load and CAS — would require ~2³¹ open/close cycles while a
+//! single pin attempt is suspended, which the slow path's mutex
+//! serialization makes unreachable in practice.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+/// Low 32 bits: optimistic pin count.
+const PIN_MASK: u64 = (1 << 32) - 1;
+/// Bit 32: the word is open for optimistic pins.
+const OPEN: u64 = 1 << 32;
+/// Version counter step (bits 33..).
+const VERSION_STEP: u64 = 1 << 33;
+
+/// Outcome of one optimistic pin attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PinAttempt {
+    /// The pin was taken; the payload (frame id) identifies the copy.
+    Pinned(u32),
+    /// The word was closed the whole time — the copy is absent or the
+    /// caller must use the slow path.
+    Closed,
+    /// The word was open when first observed but closed before the pin
+    /// CAS succeeded: a transition raced the reader, who must restart
+    /// into the slow path.
+    Raced,
+}
+
+/// Seqlock-style version-plus-pin word (see module docs).
+#[derive(Debug, Default)]
+pub struct PinWord {
+    word: AtomicU64,
+    /// Frame id of the resident copy; valid while the word is open.
+    /// Written before the opening CAS (ordered by its `Release`), read
+    /// between a pinner's load and CAS (validated by the CAS itself).
+    payload: AtomicU32,
+}
+
+impl PinWord {
+    /// A closed word with no pins.
+    pub const fn new() -> Self {
+        PinWord {
+            word: AtomicU64::new(0),
+            payload: AtomicU32::new(0),
+        }
+    }
+
+    /// Attempt to take one optimistic pin. Lock-free; never blocks.
+    ///
+    /// On [`PinAttempt::Pinned`] the returned payload is the frame id the
+    /// slow path stored in the `open` call this pin was granted against.
+    pub fn try_pin(&self) -> PinAttempt {
+        let mut w = self.word.load(Ordering::Acquire);
+        let was_open = w & OPEN != 0;
+        loop {
+            if w & OPEN == 0 {
+                return if was_open {
+                    PinAttempt::Raced
+                } else {
+                    PinAttempt::Closed
+                };
+            }
+            debug_assert!(w & PIN_MASK < PIN_MASK, "optimistic pin count overflow");
+            // Safe to read here: if the word changes (close, or close +
+            // re-open with a different frame) the CAS below fails and we
+            // re-read. The acquire load above pairs with `open`'s release
+            // CAS, making this payload store visible.
+            let payload = self.payload.load(Ordering::Relaxed);
+            match self
+                .word
+                .compare_exchange_weak(w, w + 1, Ordering::AcqRel, Ordering::Acquire)
+            {
+                Ok(_) => return PinAttempt::Pinned(payload),
+                Err(cur) => w = cur,
+            }
+        }
+    }
+
+    /// Drop one optimistic pin. Lock-free.
+    ///
+    /// A no-op when the count is already zero: after a simulated crash the
+    /// descriptor a guard pinned may have been discarded and re-created,
+    /// so a late unpin must never underflow into the OPEN/version bits.
+    /// (The mutex pin path has the same tolerance via `saturating_sub`.)
+    pub fn unpin(&self) {
+        let mut w = self.word.load(Ordering::Relaxed);
+        loop {
+            if w & PIN_MASK == 0 {
+                return;
+            }
+            // Release: the reader's page accesses happen-before a closer
+            // observing the decremented count.
+            match self
+                .word
+                .compare_exchange_weak(w, w - 1, Ordering::Release, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(cur) => w = cur,
+            }
+        }
+    }
+
+    /// Open the word for optimistic pins against `frame`. Slow path only
+    /// (descriptor mutex held). Idempotent: re-opening an open word only
+    /// refreshes the payload.
+    pub fn open(&self, frame: u32) {
+        self.payload.store(frame, Ordering::Relaxed);
+        let mut w = self.word.load(Ordering::Relaxed);
+        loop {
+            if w & OPEN != 0 {
+                return;
+            }
+            let new = (w | OPEN).wrapping_add(VERSION_STEP);
+            // Release publishes the payload store above to pinners whose
+            // acquire load sees the OPEN bit.
+            match self
+                .word
+                .compare_exchange_weak(w, new, Ordering::Release, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(cur) => w = cur,
+            }
+        }
+    }
+
+    /// Close the word and return the optimistic pin count at that instant.
+    /// Slow path only (descriptor mutex held). Idempotent: closing a
+    /// closed word returns the current count without bumping the version.
+    ///
+    /// A return of zero proves the copy has no optimistic pins and can
+    /// acquire none until re-opened; non-zero means readers are draining
+    /// and the caller must re-open (abort the transition) or retry.
+    pub fn close(&self) -> u32 {
+        let mut w = self.word.load(Ordering::Acquire);
+        loop {
+            if w & OPEN == 0 {
+                return (w & PIN_MASK) as u32;
+            }
+            let new = (w & !OPEN).wrapping_add(VERSION_STEP);
+            // AcqRel: acquire pairs with draining unpins' release (their
+            // page reads happen-before a zero count observed here).
+            match self
+                .word
+                .compare_exchange_weak(w, new, Ordering::AcqRel, Ordering::Acquire)
+            {
+                Ok(prev) => return (prev & PIN_MASK) as u32,
+                Err(cur) => w = cur,
+            }
+        }
+    }
+
+    /// Current optimistic pin count (diagnostics and tests).
+    pub fn pins(&self) -> u32 {
+        (self.word.load(Ordering::Acquire) & PIN_MASK) as u32
+    }
+
+    /// Whether the word is currently open (diagnostics; racy by nature —
+    /// only `try_pin` gives an authoritative answer).
+    pub fn is_open(&self) -> bool {
+        self.word.load(Ordering::Acquire) & OPEN != 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Arc;
+
+    #[test]
+    fn closed_word_rejects_pins() {
+        let w = PinWord::new();
+        assert_eq!(w.try_pin(), PinAttempt::Closed);
+        assert_eq!(w.pins(), 0);
+        assert!(!w.is_open());
+    }
+
+    #[test]
+    fn pin_unpin_round_trip() {
+        let w = PinWord::new();
+        w.open(7);
+        assert!(w.is_open());
+        assert_eq!(w.try_pin(), PinAttempt::Pinned(7));
+        assert_eq!(w.try_pin(), PinAttempt::Pinned(7));
+        assert_eq!(w.pins(), 2);
+        w.unpin();
+        w.unpin();
+        assert_eq!(w.pins(), 0);
+        // Extra unpins never underflow.
+        w.unpin();
+        assert_eq!(w.pins(), 0);
+        assert!(w.is_open());
+    }
+
+    #[test]
+    fn close_reports_outstanding_pins() {
+        let w = PinWord::new();
+        w.open(3);
+        assert_eq!(w.try_pin(), PinAttempt::Pinned(3));
+        assert_eq!(w.close(), 1);
+        // Closed: no new pins.
+        assert_eq!(w.try_pin(), PinAttempt::Closed);
+        // The straggler drains; closing again sees zero.
+        w.unpin();
+        assert_eq!(w.close(), 0);
+    }
+
+    #[test]
+    fn reopen_changes_payload() {
+        let w = PinWord::new();
+        w.open(1);
+        assert_eq!(w.close(), 0);
+        w.open(2);
+        assert_eq!(w.try_pin(), PinAttempt::Pinned(2));
+        w.unpin();
+    }
+
+    #[test]
+    fn open_is_idempotent() {
+        let w = PinWord::new();
+        w.open(5);
+        assert_eq!(w.try_pin(), PinAttempt::Pinned(5));
+        w.open(5);
+        assert_eq!(w.pins(), 1, "re-open preserves the pin count");
+        w.unpin();
+    }
+
+    #[test]
+    fn unpin_on_closed_word_with_pins_drains() {
+        let w = PinWord::new();
+        w.open(9);
+        assert_eq!(w.try_pin(), PinAttempt::Pinned(9));
+        assert_eq!(w.close(), 1);
+        w.unpin();
+        assert_eq!(w.pins(), 0);
+        assert!(!w.is_open());
+    }
+
+    /// A closer and many pinners race; the closer only proceeds on a zero
+    /// count, and whenever it does, no pin may be granted until it
+    /// re-opens. Model the protected state with a flag that must never be
+    /// observed "torn".
+    #[test]
+    fn close_excludes_new_pins() {
+        let w = Arc::new(PinWord::new());
+        let resident = Arc::new(AtomicBool::new(true));
+        let stop = Arc::new(AtomicBool::new(false));
+        w.open(1);
+
+        let pinners: Vec<_> = (0..4)
+            .map(|_| {
+                let w = Arc::clone(&w);
+                let resident = Arc::clone(&resident);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut pinned = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        if let PinAttempt::Pinned(_) = w.try_pin() {
+                            assert!(
+                                resident.load(Ordering::Relaxed),
+                                "pinned a non-resident copy"
+                            );
+                            std::hint::spin_loop();
+                            assert!(
+                                resident.load(Ordering::Relaxed),
+                                "copy vanished under a pin"
+                            );
+                            w.unpin();
+                            pinned += 1;
+                        }
+                    }
+                    pinned
+                })
+            })
+            .collect();
+
+        let mut transitions = 0u32;
+        while transitions < 200 {
+            if w.close() == 0 {
+                // No optimistic pins and none can be taken: transition.
+                resident.store(false, Ordering::Relaxed);
+                std::hint::spin_loop();
+                resident.store(true, Ordering::Relaxed);
+                transitions += 1;
+            }
+            w.open(1);
+            std::thread::yield_now();
+        }
+        stop.store(true, Ordering::Relaxed);
+        let total: u64 = pinners.into_iter().map(|h| h.join().unwrap()).sum();
+        assert!(total > 0, "pinners made progress");
+        assert_eq!(w.close(), 0);
+    }
+}

@@ -1,0 +1,79 @@
+//! Property-based model checking for [`spitfire_sync::PinWord`]: for any
+//! sequence of open/close/pin/unpin transitions, the word must behave
+//! exactly like the obvious sequential model `{open, pins, payload}` —
+//! the single-threaded semantics the concurrent protocol is built on.
+
+use proptest::prelude::*;
+use spitfire_sync::{PinAttempt, PinWord};
+
+#[derive(Debug, Clone, Copy)]
+enum Step {
+    /// Open the word with a payload (idempotent when already open).
+    Open(u32),
+    /// Close the word; yields the optimistic pin count at close time.
+    Close,
+    /// Attempt an optimistic pin.
+    TryPin,
+    /// Release an optimistic pin (no-op at zero).
+    Unpin,
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        2 => any::<u32>().prop_map(Step::Open),
+        2 => Just(Step::Close),
+        4 => Just(Step::TryPin),
+        3 => Just(Step::Unpin),
+    ]
+}
+
+/// The reference model: what a PinWord is, minus the atomics.
+#[derive(Debug, Default)]
+struct Model {
+    open: bool,
+    pins: u32,
+    payload: u32,
+}
+
+proptest! {
+    #[test]
+    fn pin_word_matches_sequential_model(steps in proptest::collection::vec(step_strategy(), 1..200)) {
+        let word = PinWord::new();
+        let mut model = Model::default();
+        for step in steps {
+            match step {
+                Step::Open(p) => {
+                    word.open(p);
+                    // Opening always refreshes the payload (idempotent on
+                    // the OPEN bit only).
+                    model.open = true;
+                    model.payload = p;
+                }
+                Step::Close => {
+                    let reported = word.close();
+                    prop_assert_eq!(reported, model.pins, "close must report pins");
+                    model.open = false;
+                }
+                Step::TryPin => match word.try_pin() {
+                    PinAttempt::Pinned(p) => {
+                        prop_assert!(model.open, "pinned a closed word");
+                        prop_assert_eq!(p, model.payload, "pin observed stale payload");
+                        model.pins += 1;
+                    }
+                    PinAttempt::Closed => {
+                        prop_assert!(!model.open, "refused a pin on an open word");
+                    }
+                    PinAttempt::Raced => {
+                        prop_assert!(false, "no race possible single-threaded");
+                    }
+                },
+                Step::Unpin => {
+                    word.unpin();
+                    model.pins = model.pins.saturating_sub(1);
+                }
+            }
+            prop_assert_eq!(word.is_open(), model.open);
+            prop_assert_eq!(word.pins(), model.pins);
+        }
+    }
+}
