@@ -49,7 +49,8 @@ fn bench_bm_fetch(c: &mut Criterion) {
     });
     // NVM hit path (never promoted).
     let m2 = bm(64, 128);
-    m2.set_policy(MigrationPolicy::new(0.0, 0.0, 1.0, 1.0));
+    m2.admin()
+        .set_policy(MigrationPolicy::new(0.0, 0.0, 1.0, 1.0));
     let pid2 = m2.allocate_page().unwrap();
     let _ = m2.fetch(pid2, AccessIntent::Read).unwrap();
     g.bench_function("nvm_hit", |b| {

@@ -56,7 +56,7 @@ fn main() {
         })
         .expect("setup");
         let mut tuner = AnnealingTuner::new(MigrationPolicy::eager(), params, 42);
-        bm.set_policy(tuner.candidate());
+        bm.admin().set_policy(tuner.candidate());
 
         let bm_ref = &bm;
         let w_ref = &w;
@@ -75,7 +75,7 @@ fn main() {
                     / (sample.committed.max(1)) as f64;
                 written_before = written_now;
                 let next = tuner.observe_with(sample.throughput, mb_per_op);
-                bm_ref.set_policy(next);
+                bm_ref.admin().set_policy(next);
                 tail.push((sample.throughput, mb_per_op));
             },
         );

@@ -39,7 +39,7 @@ fn main() {
                 .expect("setup");
         let mut tuner =
             AnnealingTuner::new(MigrationPolicy::eager(), AnnealingParams::default(), 42);
-        bm.set_policy(tuner.candidate());
+        bm.admin().set_policy(tuner.candidate());
 
         let bm_ref = &bm;
         let w_ref = &w;
@@ -60,7 +60,7 @@ fn main() {
                     format!("{:.4}", tuner.temperature()),
                 ]);
                 let next = tuner.observe(sample.throughput);
-                bm_ref.set_policy(next);
+                bm_ref.admin().set_policy(next);
             },
         );
         for row in rows {

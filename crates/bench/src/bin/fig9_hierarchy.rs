@@ -33,7 +33,7 @@ fn main() {
         .expect("setup");
         let mut cells = vec![label.to_string()];
         for d in d_values {
-            bm.set_policy(MigrationPolicy::new(d, d, 1.0, 1.0));
+            bm.admin().set_policy(MigrationPolicy::new(d, d, 1.0, 1.0));
             let report = run_workload(&spitfire_bench::runner(threads), |_, rng| {
                 w.execute(&bm, rng).expect("op")
             });

@@ -94,7 +94,8 @@ fn nvm_hit() -> Scenario {
     // Measurement policy: promotion probability 0 on reads and writes, so
     // every fetch is an in-place NVM hit (and the D_r coin is degenerate —
     // the draw-elision fast path).
-    bm.set_policy(MigrationPolicy::new(0.0, 0.0, 0.0, 0.0));
+    bm.admin()
+        .set_policy(MigrationPolicy::new(0.0, 0.0, 0.0, 0.0));
     Scenario {
         name: "nvm-hit",
         op: Op::FetchNvmHit,

@@ -40,9 +40,9 @@ pub const MB: usize = 1 << 20;
 /// delays afterwards. Load phases are not measured, so charging Table 1
 /// time for them only slows the harness down.
 pub fn with_fast_setup<T>(bm: &BufferManager, setup: impl FnOnce() -> T) -> T {
-    bm.set_time_scale(TimeScale::ZERO);
+    bm.admin().set_time_scale(TimeScale::ZERO);
     let out = setup();
-    bm.set_time_scale(TimeScale::REAL);
+    bm.admin().set_time_scale(TimeScale::REAL);
     out
 }
 
@@ -398,7 +398,7 @@ impl PolicyWorkload {
 
     /// Switch the migration policy, then run one timed point.
     pub fn run_point(&self, policy: MigrationPolicy, threads: usize) -> spitfire_wkld::RunReport {
-        self.bm().set_policy(policy);
+        self.bm().admin().set_policy(policy);
         let config = runner(threads);
         match self {
             PolicyWorkload::Raw { bm, w } => spitfire_wkld::run_workload(&config, |_, rng| {

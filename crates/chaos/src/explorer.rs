@@ -239,6 +239,12 @@ pub fn run(config: &ChaosConfig) -> Verdict {
         .map(|plan| Arc::new(FaultInjector::new(plan)));
     db.set_fault_injector(injector.clone());
 
+    // Background maintenance in deterministic (tick) mode: cycles run
+    // inline on this thread between transactions, so pre-eviction and
+    // batched write-back participate in every crash schedule without
+    // free-running threads perturbing the seeded fault/policy draws.
+    let maintenance = db.buffer_manager().maintenance();
+
     let stream = YcsbOpStream::new(&YcsbConfig {
         records: config.keys,
         theta: 0.5,
@@ -267,6 +273,8 @@ pub fn run(config: &ChaosConfig) -> Verdict {
 
     'txns: for t in 0..config.txns {
         v.txns_run += 1;
+        // One deterministic maintenance cycle per transaction boundary.
+        maintenance.tick();
         if let Some(every) = config.checkpoint_every {
             if t > 0 && t % every == 0 {
                 // Quiescent here: no transaction is in flight. A failed
@@ -361,6 +369,10 @@ pub fn run(config: &ChaosConfig) -> Verdict {
                     }
                     CrashSchedule::None => {}
                 }
+                // Park maintenance across the crash (no-op in tick mode,
+                // but keeps the lifecycle protocol honest) and schedule a
+                // refill once recovery is done.
+                maintenance.pause_for_crash();
                 crash_and_verify(
                     &db,
                     &model,
@@ -369,6 +381,7 @@ pub fn run(config: &ChaosConfig) -> Verdict {
                     &mut v,
                     config.expect_clean_log,
                 );
+                maintenance.resume();
                 v.crashes += 1;
                 continue 'txns;
             }
@@ -405,6 +418,7 @@ pub fn run(config: &ChaosConfig) -> Verdict {
     }
 
     // Final crash: every run ends with at least one recovery check.
+    maintenance.pause_for_crash();
     crash_and_verify(
         &db,
         &model,
@@ -413,6 +427,7 @@ pub fn run(config: &ChaosConfig) -> Verdict {
         &mut v,
         config.expect_clean_log,
     );
+    maintenance.resume();
     v.crashes += 1;
 
     v.ops_run = ops;

@@ -119,13 +119,14 @@ fn fatal_ssd_read_fault_surfaces_with_context() {
     bm.flush_all_dirty().unwrap();
     bm.simulate_crash();
 
-    bm.set_fault_injector(Some(Arc::new(FaultInjector::new(
-        FaultPlan::new(1).rule(
-            FaultRule::any(Trigger::Always, FaultKind::Fatal)
-                .on_device(DeviceKind::Ssd)
-                .on_op(FaultOp::Read),
-        ),
-    ))));
+    bm.admin()
+        .set_fault_injector(Some(Arc::new(FaultInjector::new(
+            FaultPlan::new(1).rule(
+                FaultRule::any(Trigger::Always, FaultKind::Fatal)
+                    .on_device(DeviceKind::Ssd)
+                    .on_op(FaultOp::Read),
+            ),
+        ))));
     let err = bm
         .fetch(pids[0], AccessIntent::Read)
         .expect_err("fatal SSD read fault must surface");

@@ -5,6 +5,7 @@ use crate::types::{PageId, Tier};
 
 /// Errors surfaced by the buffer manager.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum BufferError {
     /// A device operation failed.
     Device(spitfire_device::DeviceError),
@@ -28,6 +29,23 @@ pub enum BufferError {
         /// The device error that ended the retry loop.
         source: spitfire_device::DeviceError,
     },
+}
+
+impl BufferError {
+    /// Whether retrying the failed operation can plausibly succeed —
+    /// `true` only for transient device faults that have not yet been
+    /// escalated past the retry budget. [`BufferError::NoFrames`] is *not*
+    /// retryable from the buffer manager's perspective: the internal
+    /// allocation loop has already retried exhaustively, so the caller
+    /// must release pins (or grow the pool) first. Matches the shape of
+    /// [`spitfire_device::DeviceError::is_retryable`] so every layer
+    /// answers the question the same way.
+    pub fn is_retryable(&self) -> bool {
+        match self {
+            BufferError::Device(e) => e.is_retryable(),
+            _ => false,
+        }
+    }
 }
 
 impl std::fmt::Display for BufferError {

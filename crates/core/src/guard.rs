@@ -134,3 +134,96 @@ impl std::fmt::Debug for PageGuard<'_> {
             .finish_non_exhaustive()
     }
 }
+
+/// A read-only pinned page, returned by
+/// [`BufferManager::fetch_read`](crate::BufferManager::fetch_read).
+///
+/// Wraps a [`PageGuard`] but exposes no write methods, so writing through
+/// a read-intent fetch is a compile error rather than a silently
+/// mis-charged policy decision (the D_r/D_w coins differ by intent).
+#[derive(Debug)]
+pub struct ReadGuard<'a> {
+    inner: PageGuard<'a>,
+}
+
+impl<'a> ReadGuard<'a> {
+    pub(crate) fn new(inner: PageGuard<'a>) -> Self {
+        ReadGuard { inner }
+    }
+
+    /// The page this guard pins.
+    pub fn page_id(&self) -> PageId {
+        self.inner.page_id()
+    }
+
+    /// The tier serving this guard's accesses.
+    pub fn tier(&self) -> Tier {
+        self.inner.tier()
+    }
+
+    /// Page size in bytes (content addressable through this guard).
+    pub fn page_size(&self) -> usize {
+        self.inner.page_size()
+    }
+
+    /// Read `buf.len()` bytes of page content starting at `offset`.
+    pub fn read(&self, offset: usize, buf: &mut [u8]) -> Result<()> {
+        self.inner.read(offset, buf)
+    }
+
+    /// Read a little-endian `u64` at `offset` (convenience for headers).
+    pub fn read_u64(&self, offset: usize) -> Result<u64> {
+        self.inner.read_u64(offset)
+    }
+}
+
+/// A writable pinned page, returned by
+/// [`BufferManager::fetch_write`](crate::BufferManager::fetch_write):
+/// everything a [`ReadGuard`] offers, plus [`write`](Self::write) /
+/// [`write_u64`](Self::write_u64).
+#[derive(Debug)]
+pub struct WriteGuard<'a> {
+    inner: PageGuard<'a>,
+}
+
+impl<'a> WriteGuard<'a> {
+    pub(crate) fn new(inner: PageGuard<'a>) -> Self {
+        WriteGuard { inner }
+    }
+
+    /// The page this guard pins.
+    pub fn page_id(&self) -> PageId {
+        self.inner.page_id()
+    }
+
+    /// The tier serving this guard's accesses.
+    pub fn tier(&self) -> Tier {
+        self.inner.tier()
+    }
+
+    /// Page size in bytes (content addressable through this guard).
+    pub fn page_size(&self) -> usize {
+        self.inner.page_size()
+    }
+
+    /// Read `buf.len()` bytes of page content starting at `offset`.
+    pub fn read(&self, offset: usize, buf: &mut [u8]) -> Result<()> {
+        self.inner.read(offset, buf)
+    }
+
+    /// Read a little-endian `u64` at `offset` (convenience for headers).
+    pub fn read_u64(&self, offset: usize) -> Result<u64> {
+        self.inner.read_u64(offset)
+    }
+
+    /// Write `data` into the page at `offset`, marking the copy dirty.
+    /// See [`PageGuard::write`] for the NVM durability semantics.
+    pub fn write(&self, offset: usize, data: &[u8]) -> Result<()> {
+        self.inner.write(offset, data)
+    }
+
+    /// Write a little-endian `u64` at `offset`.
+    pub fn write_u64(&self, offset: usize, value: u64) -> Result<()> {
+        self.inner.write_u64(offset, value)
+    }
+}

@@ -18,6 +18,13 @@ use crate::metrics::BufferMetrics;
 /// Maximum retries of one operation after transient failures.
 pub(crate) const IO_RETRY_LIMIT: u32 = 8;
 
+/// Retry budget for *opportunistic* I/O — background maintenance
+/// pre-evictions. Failing fast is correct there: an abandoned pre-eviction
+/// just leaves the page for the inline path (which retries with the full
+/// [`IO_RETRY_LIMIT`]), while burning the whole backoff schedule per page
+/// would stall an entire write-back batch behind one flaky device.
+pub(crate) const MAINT_RETRY_LIMIT: u32 = 2;
+
 /// Run `f`, retrying transient device errors up to [`IO_RETRY_LIMIT`]
 /// times with exponential micro-backoff (1 µs, 2 µs, ... capped at 64 µs).
 /// Each retry bumps `metrics.io_retries` and emits an `io_retry` obs event;
@@ -25,13 +32,24 @@ pub(crate) const IO_RETRY_LIMIT: u32 = 8;
 pub(crate) fn retry_device_io<T>(
     metrics: &BufferMetrics,
     during: &'static str,
+    f: impl FnMut() -> spitfire_device::Result<T>,
+) -> Result<T, BufferError> {
+    retry_device_io_n(metrics, during, IO_RETRY_LIMIT, f)
+}
+
+/// [`retry_device_io`] with a caller-chosen retry budget (see
+/// [`MAINT_RETRY_LIMIT`] for when a smaller one is right).
+pub(crate) fn retry_device_io_n<T>(
+    metrics: &BufferMetrics,
+    during: &'static str,
+    limit: u32,
     mut f: impl FnMut() -> spitfire_device::Result<T>,
 ) -> Result<T, BufferError> {
     let mut attempt = 0u32;
     loop {
         match f() {
             Ok(v) => return Ok(v),
-            Err(e) if e.is_retryable() && attempt < IO_RETRY_LIMIT => {
+            Err(e) if e.is_retryable() && attempt < limit => {
                 attempt += 1;
                 metrics.record_io_retry();
                 record_op(Op::IoRetry, Some(Instant::now()), u64::MAX, during);

@@ -27,8 +27,16 @@
 //!
 //! ## Quick start
 //!
+//! Typed fetches ([`BufferManager::fetch_read`] /
+//! [`BufferManager::fetch_write`]) make intent part of the guard's type:
+//! only a [`WriteGuard`] has `write` methods, so writing through a
+//! read-intent fetch is a compile error. Runtime mutators live on the
+//! [`manager::Admin`] handle (`bm.admin()`), and the background
+//! [`Maintenance`] service keeps eviction I/O off the fetch miss path:
+//!
 //! ```
-//! use spitfire_core::{AccessIntent, BufferManager, BufferManagerConfig, MigrationPolicy};
+//! use std::sync::Arc;
+//! use spitfire_core::{BufferManager, BufferManagerConfig, MigrationPolicy};
 //! use spitfire_device::TimeScale;
 //!
 //! let config = BufferManagerConfig::builder()
@@ -37,24 +45,44 @@
 //!     .nvm_capacity(64 * 4096)
 //!     .policy(MigrationPolicy::lazy())
 //!     .time_scale(TimeScale::ZERO) // no emulated delays in doc tests
+//!     .watermarks(1.0 / 16.0, 1.0 / 8.0) // per-tier free-frame targets
 //!     .build()
 //!     .unwrap();
-//! let bm = BufferManager::new(config).unwrap();
+//! let bm = Arc::new(BufferManager::new(config).unwrap());
+//!
+//! // Background maintenance: pre-evicts CLOCK victims and batches dirty
+//! // write-backs so a fetch miss is a free-list pop, not inline I/O.
+//! let maintenance = bm.maintenance();
+//! maintenance.start();
+//!
+//! // Runtime mutators are grouped behind one admin() handle.
+//! bm.admin().set_policy(MigrationPolicy::eager());
 //!
 //! let pid = bm.allocate_page().unwrap();
 //! {
-//!     let guard = bm.fetch(pid, AccessIntent::Write).unwrap();
+//!     let guard = bm.fetch_write(pid).unwrap();
 //!     guard.write(0, b"hello, tiered storage").unwrap();
 //! }
-//! let guard = bm.fetch(pid, AccessIntent::Read).unwrap();
+//! let guard = bm.fetch_read(pid).unwrap();
 //! let mut buf = [0u8; 21];
 //! guard.read(0, &mut buf).unwrap();
 //! assert_eq!(&buf, b"hello, tiered storage");
+//! drop(guard);
+//!
+//! maintenance.stop(); // or just drop the handle
 //! ```
+//!
+//! Around a simulated crash, park the workers first
+//! ([`Maintenance::pause_for_crash`]), recover, then
+//! [`Maintenance::resume`]. Single-threaded harnesses that need
+//! reproducible schedules skip `start()` and drive cycles with
+//! [`Maintenance::tick`].
 //!
 //! ## Module map
 //!
 //! * [`manager`] / [`BufferManager`] — fetch, migration, eviction (§5).
+//! * [`background`] / [`Maintenance`] — watermark pre-eviction and batched
+//!   write-back off the miss path.
 //! * [`policy`] — the ⟨D_r, D_w, N_r, N_w⟩ taxonomy (§3) and presets
 //!   (Table 3).
 //! * [`adaptive`] — simulated-annealing policy tuning (§4).
@@ -67,6 +95,7 @@
 
 pub mod adaptive;
 pub mod advisor;
+pub mod background;
 mod config;
 mod descriptor;
 mod error;
@@ -80,10 +109,13 @@ pub mod policy;
 mod pool;
 mod types;
 
-pub use config::{BufferManagerConfig, BufferManagerConfigBuilder, ConfigError, Hierarchy};
+pub use background::{CycleStats, Maintenance};
+pub use config::{
+    BufferManagerConfig, BufferManagerConfigBuilder, ConfigError, Hierarchy, MaintenanceConfig,
+};
 pub use error::BufferError;
-pub use guard::PageGuard;
-pub use manager::BufferManager;
+pub use guard::{PageGuard, ReadGuard, WriteGuard};
+pub use manager::{Admin, BufferManager};
 pub use metrics::MetricsSnapshot;
 pub use policy::{MigrationPolicy, NvmAdmission, PolicyCell};
 pub use types::{AccessIntent, MigrationPath, PageId, Tier};

@@ -30,21 +30,23 @@
 //! into the mutex path.
 
 use std::cell::{Cell, RefCell};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
+use parking_lot::RwLock;
 use spitfire_device::{
     AccessPattern, DeviceError, DeviceStats, FaultInjector, NvmDevice, SsdDevice,
 };
 use spitfire_obs::{self as obs, Op};
 use spitfire_sync::{AdmissionQueue, ConcurrentMap, PinAttempt};
 
+use crate::background::{CycleStats, MaintSignal, Maintenance};
 use crate::config::{BufferManagerConfig, Hierarchy};
 use crate::descriptor::{CopyState, FrameRef, PageState, SharedPageDesc};
 use crate::error::BufferError;
 use crate::fgpage::MiniSlabs;
-use crate::guard::{GuardKind, PageGuard};
-use crate::io::retry_device_io;
+use crate::guard::{GuardKind, PageGuard, ReadGuard, WriteGuard};
+use crate::io::{retry_device_io, retry_device_io_n, MAINT_RETRY_LIMIT};
 use crate::metrics::{inclusivity_ratio, BufferMetrics, MetricsSnapshot};
 use crate::policy::{MigrationPolicy, PolicyCell};
 use crate::pool::Pool;
@@ -127,6 +129,12 @@ pub struct BufferManager {
     /// this manager (seeds stay deterministic per (seed, ordinal)).
     rng_threads: AtomicU64,
     pub(crate) mini: Option<MiniSlabs>,
+    /// Wake-up signal shared with an attached [`Maintenance`] service;
+    /// `None` until one is created.
+    maint: RwLock<Option<Arc<MaintSignal>>>,
+    /// True while maintenance workers are running — the allocation path
+    /// checks this flag (relaxed) before paying for watermark math.
+    maint_active: AtomicBool,
 }
 
 impl BufferManager {
@@ -184,6 +192,8 @@ impl BufferManager {
             cache_epoch: AtomicU64::new(0),
             rng_threads: AtomicU64::new(0),
             mini,
+            maint: RwLock::new(None),
+            maint_active: AtomicBool::new(false),
             config,
         })
     }
@@ -213,22 +223,25 @@ impl BufferManager {
         self.policy.load()
     }
 
+    /// Administrative handle grouping every runtime mutator — see
+    /// [`Admin`]. The former free-standing setters are deprecated shims
+    /// over this.
+    pub fn admin(&self) -> Admin<'_> {
+        Admin { bm: self }
+    }
+
     /// Swap the active migration policy (used by the adaptive tuner, §4).
+    #[deprecated(since = "0.1.0", note = "use `bm.admin().set_policy(..)`")]
     pub fn set_policy(&self, policy: MigrationPolicy) {
-        self.policy.store(policy);
+        self.admin().set_policy(policy);
     }
 
     /// Change the emulated-delay scale on every device at runtime. Load
     /// phases run at [`spitfire_device::TimeScale::ZERO`] (no delays),
     /// measurement at `REAL`; counters are unaffected.
+    #[deprecated(since = "0.1.0", note = "use `bm.admin().set_time_scale(..)`")]
     pub fn set_time_scale(&self, scale: spitfire_device::TimeScale) {
-        if let Some(p) = &self.tier1 {
-            p.set_time_scale(scale);
-        }
-        if let Some(p) = &self.nvm {
-            p.set_time_scale(scale);
-        }
-        self.ssd.set_time_scale(scale);
+        self.admin().set_time_scale(scale);
     }
 
     /// Buffer metrics counters.
@@ -336,14 +349,9 @@ impl BufferManager {
     /// Install (or clear) a fault injector on every device in the
     /// hierarchy. Chaos harness entry point; `None` restores fault-free
     /// operation.
+    #[deprecated(since = "0.1.0", note = "use `bm.admin().set_fault_injector(..)`")]
     pub fn set_fault_injector(&self, injector: Option<Arc<FaultInjector>>) {
-        if let Some(p) = &self.tier1 {
-            p.set_fault_injector(injector.clone());
-        }
-        if let Some(p) = &self.nvm {
-            p.set_fault_injector(injector.clone());
-        }
-        self.ssd.set_fault_injector(injector);
+        self.admin().set_fault_injector(injector);
     }
 
     /// Force an fsync barrier on the SSD: everything written so far
@@ -401,6 +409,20 @@ impl BufferManager {
                 self.fetch_slow(&desc, pid, intent, None, obs_t)
             }
         }
+    }
+
+    /// Fetch `pid` for reading, returning a [`ReadGuard`] that statically
+    /// has no write methods — passing read intent and then writing through
+    /// the guard becomes a compile error instead of silently mis-charging
+    /// the migration policy's read/write coins.
+    pub fn fetch_read(&self, pid: PageId) -> Result<ReadGuard<'_>> {
+        self.fetch(pid, AccessIntent::Read).map(ReadGuard::new)
+    }
+
+    /// Fetch `pid` for writing, returning a [`WriteGuard`] (read methods
+    /// plus `write`/`write_u64`).
+    pub fn fetch_write(&self, pid: PageId) -> Result<WriteGuard<'_>> {
+        self.fetch(pid, AccessIntent::Write).map(WriteGuard::new)
     }
 
     /// The lock-free hit path. An uncontended DRAM hit costs one
@@ -883,13 +905,31 @@ impl BufferManager {
         }
     }
 
-    /// Claim a frame in the requested pool, evicting pages as needed.
+    /// Claim a frame in the requested pool. With maintenance workers
+    /// running the free list is normally non-empty and this is a single
+    /// bitmap pop; dipping below the low watermark kicks the workers, and
+    /// an empty free list falls back to the inline eviction loop (counted
+    /// as a backpressure fallback).
     pub(crate) fn alloc_frame(&self, dram: bool) -> Result<FrameId> {
         let pool = if dram {
             self.tier1_pool()
         } else {
             self.nvm_pool()
         };
+        if self.maint_active.load(Ordering::Relaxed) {
+            if let Some(f) = pool.try_alloc() {
+                let m = &self.config.maintenance;
+                let low = if dram { m.dram_low } else { m.nvm_low };
+                if pool.free_frames() < watermark_frames(pool.n_frames(), low) {
+                    self.kick_maintenance();
+                }
+                return Ok(f);
+            }
+            // Workers did not keep up: do the eviction inline, like before
+            // the maintenance service existed.
+            self.metrics.record_backpressure_fallback();
+            self.kick_maintenance();
+        }
         let budget = pool.n_frames() * 4 + 256;
         for attempt in 0..budget {
             if let Some(f) = pool.try_alloc() {
@@ -1251,22 +1291,23 @@ impl BufferManager {
         }
     }
 
-    /// Evict the NVM copy of `desc` if it occupies `victim` and is
-    /// evictable (paths ⑤ / discard).
-    fn try_evict_nvm(&self, desc: &SharedPageDesc, victim: FrameId) -> bool {
-        let Some(mut st) = desc.state.try_lock() else {
-            return false;
-        };
+    /// Claim `victim`'s NVM copy for eviction or write-back: the copy must
+    /// be `Resident` with zero pins (mutex *and* optimistic), occupying
+    /// `victim`. On success the slot is `Busy`, the pin word closed, and
+    /// the copy's dirty flag is returned; `None` means back off and pick
+    /// another victim.
+    fn claim_nvm_victim(&self, desc: &SharedPageDesc, victim: FrameId) -> Option<bool> {
+        let mut st = desc.state.try_lock()?;
         let Some(CopyState::Resident {
             frame,
             pins: 0,
             dirty,
         }) = &st.nvm
         else {
-            return false;
+            return None;
         };
         if frame.frame() != victim {
-            return false;
+            return None;
         }
         let dirty = *dirty;
         // Stop optimistic pinners; back off if any are mid-access. (The
@@ -1274,15 +1315,48 @@ impl BufferManager {
         let fast_pins = desc.nvm_pin.close();
         if fast_pins > 0 {
             Self::reopen_nvm_word(desc, &st);
-            return false;
+            return None;
         }
         st.nvm = Some(CopyState::Busy {
             frame: FrameRef::Full(victim),
             pins: 0,
             dirty,
         });
-        drop(st);
+        Some(dirty)
+    }
 
+    /// Restore a claimed NVM copy to `Resident` (after a failed or
+    /// non-evicting operation) and wake waiters.
+    fn restore_nvm_resident(&self, desc: &SharedPageDesc, victim: FrameId, dirty: bool) {
+        let mut st = desc.state.lock();
+        st.nvm = Some(CopyState::Resident {
+            frame: FrameRef::Full(victim),
+            pins: 0,
+            dirty,
+        });
+        Self::reopen_nvm_word(desc, &st);
+        desc.cond.notify_all();
+    }
+
+    /// Complete an NVM eviction whose content is already durable on SSD
+    /// (clean copy, or dirty copy written back and synced): clear the
+    /// frame header, empty the slot, free the frame.
+    fn finish_nvm_eviction(&self, desc: &SharedPageDesc, victim: FrameId) {
+        let _ = self.nvm_pool().clear_frame_header(victim);
+        let mut st = desc.state.lock();
+        st.nvm = None;
+        desc.cond.notify_all();
+        drop(st);
+        self.nvm_pool().free(victim);
+        self.metrics.record_nvm_eviction();
+    }
+
+    /// Evict the NVM copy of `desc` if it occupies `victim` and is
+    /// evictable (paths ⑤ / discard).
+    fn try_evict_nvm(&self, desc: &SharedPageDesc, victim: FrameId) -> bool {
+        let Some(dirty) = self.claim_nvm_victim(desc, victim) else {
+            return false;
+        };
         let evict_t = obs::op_start();
         if dirty {
             let mig_t = obs::op_start();
@@ -1301,28 +1375,319 @@ impl BufferManager {
                 Ok(())
             });
             if res.is_err() {
-                let mut st = desc.state.lock();
-                st.nvm = Some(CopyState::Resident {
-                    frame: FrameRef::Full(victim),
-                    pins: 0,
-                    dirty: true,
-                });
-                Self::reopen_nvm_word(desc, &st);
-                desc.cond.notify_all();
+                self.restore_nvm_resident(desc, victim, true);
                 return false;
             }
             self.metrics.record_migration(MigrationPath::NvmToSsd);
             obs::record_op(Op::MigNvmToSsd, mig_t, desc.pid.0, "ssd");
         }
-        let _ = self.nvm_pool().clear_frame_header(victim);
-        let mut st = desc.state.lock();
-        st.nvm = None;
-        desc.cond.notify_all();
-        drop(st);
-        self.nvm_pool().free(victim);
-        self.metrics.record_nvm_eviction();
+        self.finish_nvm_eviction(desc, victim);
         obs::record_op(Op::EvictNvm, evict_t, desc.pid.0, "nvm");
         true
+    }
+
+    /// Evict a batch of *claimed dirty* NVM copies with a single fsync:
+    /// every page is written to SSD (retrying transients per page), then
+    /// one sync barrier makes the whole batch durable, and only then are
+    /// the frame headers cleared — the same sync-before-header-clear
+    /// ordering as [`Self::try_evict_nvm`], amortized over the batch.
+    /// Pages whose write fails are restored `Resident` dirty; a failed
+    /// sync restores the whole batch (headers untouched, nothing lost).
+    /// Returns the number of frames freed.
+    fn evict_nvm_batch(&self, batch: Vec<(Arc<SharedPageDesc>, FrameId)>) -> usize {
+        let page = self.config.page_size;
+        let mut written: Vec<(Arc<SharedPageDesc>, FrameId)> = Vec::with_capacity(batch.len());
+        for (desc, victim) in batch {
+            let res = with_page_buf(page, |buf| -> Result<()> {
+                self.nvm_pool()
+                    .read(victim, 0, buf, AccessPattern::Sequential)?;
+                retry_device_io_n(
+                    &self.metrics,
+                    "nvm batch write-back",
+                    MAINT_RETRY_LIMIT,
+                    || self.ssd.write_page(desc.pid.0, buf),
+                )?;
+                Ok(())
+            });
+            match res {
+                Ok(()) => written.push((desc, victim)),
+                Err(_) => self.restore_nvm_resident(&desc, victim, true),
+            }
+        }
+        if written.is_empty() {
+            return 0;
+        }
+        if retry_device_io(&self.metrics, "nvm batch sync", || self.ssd.sync()).is_err() {
+            for (desc, victim) in written {
+                self.restore_nvm_resident(&desc, victim, true);
+            }
+            return 0;
+        }
+        let n = written.len();
+        for (desc, victim) in written {
+            self.metrics.record_migration(MigrationPath::NvmToSsd);
+            self.finish_nvm_eviction(&desc, victim);
+        }
+        self.metrics.record_maint_writebacks(n as u64);
+        n
+    }
+
+    /// Write back up to `max` dirty NVM-resident pages to SSD in one batch
+    /// (single fsync), marking them clean but keeping them resident. This
+    /// is what lets the WAL truncate past NVM-resident dirty pages: after
+    /// the sync their SSD images are durable, so replay no longer needs
+    /// the log records that produced them. Pages with a dirty (or
+    /// in-transition) DRAM copy are skipped — [`Self::flush_page`]
+    /// reconciles those into NVM first. Returns the number written.
+    pub fn flush_nvm_dirty(&self, max: usize) -> Result<usize> {
+        if self.nvm.is_none() || max == 0 {
+            return Ok(0);
+        }
+        let mut pids = Vec::new();
+        self.mapping.for_each(|pid, _| pids.push(*pid));
+        let mut claimed: Vec<(Arc<SharedPageDesc>, FrameId)> = Vec::new();
+        for pid in pids {
+            if claimed.len() >= max {
+                break;
+            }
+            let Some(desc) = self.mapping.get(&pid) else {
+                continue;
+            };
+            let Some(mut st) = desc.state.try_lock() else {
+                continue;
+            };
+            // A dirty or transitioning DRAM copy shadows the NVM bytes.
+            if matches!(
+                &st.dram,
+                Some(
+                    CopyState::Loading
+                        | CopyState::Busy { .. }
+                        | CopyState::Resident { dirty: true, .. }
+                )
+            ) {
+                continue;
+            }
+            let Some(CopyState::Resident {
+                frame,
+                pins: 0,
+                dirty: true,
+            }) = &st.nvm
+            else {
+                continue;
+            };
+            let victim = frame.frame();
+            let fast_pins = desc.nvm_pin.close();
+            if fast_pins > 0 {
+                Self::reopen_nvm_word(&desc, &st);
+                continue;
+            }
+            st.nvm = Some(CopyState::Busy {
+                frame: FrameRef::Full(victim),
+                pins: 0,
+                dirty: true,
+            });
+            drop(st);
+            claimed.push((desc, victim));
+        }
+        if claimed.is_empty() {
+            return Ok(0);
+        }
+        let page = self.config.page_size;
+        let mut written: Vec<(Arc<SharedPageDesc>, FrameId)> = Vec::with_capacity(claimed.len());
+        let mut first_err: Option<BufferError> = None;
+        for (desc, victim) in claimed {
+            let res = with_page_buf(page, |buf| -> Result<()> {
+                self.nvm_pool()
+                    .read(victim, 0, buf, AccessPattern::Sequential)?;
+                retry_device_io(&self.metrics, "nvm flush write", || {
+                    self.ssd.write_page(desc.pid.0, buf)
+                })?;
+                Ok(())
+            });
+            match res {
+                Ok(()) => written.push((desc, victim)),
+                Err(e) => {
+                    self.restore_nvm_resident(&desc, victim, true);
+                    first_err.get_or_insert(e);
+                }
+            }
+        }
+        if written.is_empty() {
+            return match first_err {
+                Some(e) => Err(e),
+                None => Ok(0),
+            };
+        }
+        // One sync covers the batch; a page is only marked clean once its
+        // SSD image is durable (otherwise eviction could discard it while
+        // the image sits in the volatile write cache).
+        match retry_device_io(&self.metrics, "nvm flush sync", || self.ssd.sync()) {
+            Ok(()) => {
+                let n = written.len();
+                for (desc, victim) in written {
+                    self.restore_nvm_resident(&desc, victim, false);
+                }
+                self.metrics.record_maint_writebacks(n as u64);
+                match first_err {
+                    Some(e) => Err(e),
+                    None => Ok(n),
+                }
+            }
+            Err(e) => {
+                for (desc, victim) in written {
+                    self.restore_nvm_resident(&desc, victim, true);
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Create a [`Maintenance`] service handle for this manager (requires
+    /// an `Arc` so worker threads can hold the manager alive). The handle
+    /// starts inert: call [`Maintenance::start`] for worker threads, or
+    /// drive deterministic cycles with [`Maintenance::tick`].
+    pub fn maintenance(self: &Arc<Self>) -> Maintenance {
+        Maintenance::new(Arc::clone(self))
+    }
+
+    /// Free frames currently available in the (DRAM, NVM) pools.
+    pub fn free_frames(&self) -> (usize, usize) {
+        (
+            self.tier1.as_ref().map_or(0, Pool::free_frames),
+            self.nvm.as_ref().map_or(0, Pool::free_frames),
+        )
+    }
+
+    /// Attach the wake-up signal of a maintenance service (one at a time;
+    /// a newly attached signal replaces the previous one).
+    pub(crate) fn attach_maint_signal(&self, sig: Arc<MaintSignal>) {
+        *self.maint.write() = Some(sig);
+    }
+
+    /// Detach the maintenance signal and stop treating the service as
+    /// active.
+    pub(crate) fn detach_maint_signal(&self) {
+        self.maint_active.store(false, Ordering::Relaxed);
+        *self.maint.write() = None;
+    }
+
+    /// Flip the fast "workers are running" flag checked by `alloc_frame`.
+    pub(crate) fn set_maint_active(&self, active: bool) {
+        self.maint_active.store(active, Ordering::Relaxed);
+    }
+
+    /// Wake the maintenance workers (no-op without an attached service).
+    fn kick_maintenance(&self) {
+        if let Some(sig) = self.maint.read().as_ref() {
+            sig.kick();
+        }
+    }
+
+    /// One maintenance cycle: refill each pool's free list up to its high
+    /// watermark by evicting CLOCK victims, batching dirty-NVM write-backs
+    /// behind a single fsync. Called from maintenance worker threads and
+    /// from deterministic [`Maintenance::tick`]s; safe (but pointless) to
+    /// call concurrently with itself. The cycle snapshots the crash epoch
+    /// and aborts when `simulate_crash` invalidates it mid-cycle.
+    pub(crate) fn maintenance_cycle(&self) -> CycleStats {
+        let epoch0 = self.cache_epoch.load(Ordering::Acquire);
+        let m = &self.config.maintenance;
+        let mut stats = CycleStats::default();
+        self.metrics.record_maint_cycle();
+        if let Some(pool) = &self.tier1 {
+            let target = watermark_frames(pool.n_frames(), m.dram_high);
+            stats.freed_dram = self.refill_dram(pool, target, epoch0);
+        }
+        if let Some(pool) = &self.nvm {
+            let target = watermark_frames(pool.n_frames(), m.nvm_high);
+            let (freed, wrote) = self.refill_nvm(pool, target, m.batch.max(1), epoch0);
+            stats.freed_nvm = freed;
+            stats.nvm_writebacks = wrote;
+        }
+        self.metrics
+            .record_maint_evictions((stats.freed_dram + stats.freed_nvm) as u64);
+        stats
+    }
+
+    /// Refill the DRAM free list to `target` frames by evicting CLOCK
+    /// victims. DRAM evictions need no batching: their SSD write-backs are
+    /// not individually synced (durability comes from WAL/checkpoint
+    /// syncs), so there is no per-op fsync to amortize.
+    fn refill_dram(&self, pool: &Pool, target: usize, epoch0: u64) -> usize {
+        let mut freed = 0;
+        let budget = pool.n_frames() * 2 + 16;
+        for _ in 0..budget {
+            if pool.free_frames() >= target || self.cache_epoch.load(Ordering::Acquire) != epoch0 {
+                break;
+            }
+            let Some(victim) = pool.next_victim() else {
+                break;
+            };
+            let evicted = match pool.owner(victim) {
+                Some(vpid) => self.try_evict(true, victim, vpid),
+                None => self.try_evict_slab(victim),
+            };
+            freed += usize::from(evicted);
+        }
+        freed
+    }
+
+    /// Refill the NVM free list to `target` frames. Clean victims are
+    /// dropped immediately; dirty ones accumulate into batches of `batch`
+    /// pages evicted with one fsync each (the maintenance service's
+    /// amortization of the device cost model's per-sync latency).
+    fn refill_nvm(&self, pool: &Pool, target: usize, batch: usize, epoch0: u64) -> (usize, usize) {
+        let mut freed = 0;
+        let mut wrote = 0;
+        let budget = pool.n_frames() * 2 + 16;
+        let mut attempts = 0;
+        loop {
+            if pool.free_frames() >= target
+                || attempts >= budget
+                || self.cache_epoch.load(Ordering::Acquire) != epoch0
+            {
+                break;
+            }
+            let freed_before = freed;
+            let mut dirty_batch: Vec<(Arc<SharedPageDesc>, FrameId)> = Vec::new();
+            while dirty_batch.len() < batch
+                && pool.free_frames() + dirty_batch.len() < target
+                && attempts < budget
+            {
+                attempts += 1;
+                let Some(victim) = pool.next_victim() else {
+                    break;
+                };
+                let Some(vpid) = pool.owner(victim) else {
+                    continue;
+                };
+                let Some(desc) = self.mapping.get(&vpid.0) else {
+                    continue;
+                };
+                match self.claim_nvm_victim(&desc, victim) {
+                    // Clean copy: durable on SSD already, drop it now.
+                    Some(false) => {
+                        self.finish_nvm_eviction(&desc, victim);
+                        freed += 1;
+                    }
+                    Some(true) => dirty_batch.push((desc, victim)),
+                    None => {}
+                }
+            }
+            if dirty_batch.is_empty() {
+                if freed == freed_before {
+                    break; // no evictable victims left
+                }
+                continue;
+            }
+            let n = self.evict_nvm_batch(dirty_batch);
+            wrote += n;
+            freed += n;
+            if n == 0 && freed == freed_before {
+                break; // write-backs failing (injected faults): give up
+            }
+        }
+        (freed, wrote)
     }
 
     /// Drop one pin on the page's copy (guard drop).
@@ -1446,6 +1811,11 @@ impl BufferManager {
         gauge(self, "buffer_hit_ratio", |bm| {
             bm.metrics().buffer_hit_ratio()
         });
+        gauge(self, "dram_free_frames", |bm| bm.free_frames().0 as f64);
+        gauge(self, "nvm_free_frames", |bm| bm.free_frames().1 as f64);
+        gauge(self, "backpressure_fallbacks", |bm| {
+            bm.metrics().backpressure_fallbacks as f64
+        });
         for (tier, label) in [(Tier::Dram, "dram"), (Tier::Nvm, "nvm"), (Tier::Ssd, "ssd")] {
             let w = Arc::downgrade(self);
             obs::register_gauge(format!("{label}_bytes_read"), move || {
@@ -1475,6 +1845,10 @@ impl BufferManager {
         report.add_counter("fetch_fast", m.fetch_fast);
         report.add_counter("fetch_fallbacks", m.fetch_fallbacks);
         report.add_counter("pin_restarts", m.pin_restarts);
+        report.add_counter("backpressure_fallbacks", m.backpressure_fallbacks);
+        report.add_counter("maint_cycles", m.maint_cycles);
+        report.add_counter("maint_evictions", m.maint_evictions);
+        report.add_counter("maint_writebacks", m.maint_writebacks);
         for path in MigrationPath::ALL {
             let label = path.label().replace("->", "_to_");
             report.add_counter(format!("migrations_{label}"), m.path(path));
@@ -1501,6 +1875,9 @@ impl BufferManager {
         let (dram_occ, nvm_occ) = self.occupied_frames();
         gauge("dram_occupied_frames", dram_occ as f64);
         gauge("nvm_occupied_frames", nvm_occ as f64);
+        let (dram_free, nvm_free) = self.free_frames();
+        gauge("dram_free_frames", dram_free as f64);
+        gauge("nvm_free_frames", nvm_free as f64);
         let (dram_dirty, nvm_dirty) = self.dirty_pages();
         gauge("dram_dirty_pages", dram_dirty as f64);
         gauge("nvm_dirty_pages", nvm_dirty as f64);
@@ -1699,8 +2076,9 @@ impl BufferManager {
 
     /// Restore the page-id allocator after recovery (ids present only on
     /// SSD are the caller's to account for, e.g. from a catalog page).
+    #[deprecated(since = "0.1.0", note = "use `bm.admin().set_next_page_id(..)`")]
     pub fn set_next_page_id(&self, next: u64) {
-        self.next_pid.fetch_max(next, Ordering::AcqRel);
+        self.admin().set_next_page_id(next);
     }
 
     /// Restore the page-id allocator from the persistent devices: the SSD
@@ -1760,6 +2138,56 @@ impl BufferManager {
     }
 }
 
+/// Administrative handle over a [`BufferManager`]: every runtime mutator
+/// that used to live as a free-standing `set_*` method on the manager is
+/// grouped here, so the manager's own surface is read-mostly and the
+/// mutating entry points are greppable as `admin()` calls.
+///
+/// Obtained from [`BufferManager::admin`]; borrows the manager, so it is
+/// cheap to create on demand and cannot outlive it.
+pub struct Admin<'a> {
+    bm: &'a BufferManager,
+}
+
+impl Admin<'_> {
+    /// Swap the active migration policy (used by the adaptive tuner, §4).
+    pub fn set_policy(&self, policy: MigrationPolicy) {
+        self.bm.policy.store(policy);
+    }
+
+    /// Change the emulated-delay scale on every device at runtime. Load
+    /// phases run at [`spitfire_device::TimeScale::ZERO`] (no delays),
+    /// measurement at `REAL`; counters are unaffected.
+    pub fn set_time_scale(&self, scale: spitfire_device::TimeScale) {
+        if let Some(p) = &self.bm.tier1 {
+            p.set_time_scale(scale);
+        }
+        if let Some(p) = &self.bm.nvm {
+            p.set_time_scale(scale);
+        }
+        self.bm.ssd.set_time_scale(scale);
+    }
+
+    /// Install (or clear) a fault injector on every device in the
+    /// hierarchy. Chaos harness entry point; `None` restores fault-free
+    /// operation.
+    pub fn set_fault_injector(&self, injector: Option<Arc<FaultInjector>>) {
+        if let Some(p) = &self.bm.tier1 {
+            p.set_fault_injector(injector.clone());
+        }
+        if let Some(p) = &self.bm.nvm {
+            p.set_fault_injector(injector.clone());
+        }
+        self.bm.ssd.set_fault_injector(injector);
+    }
+
+    /// Restore the page-id allocator after recovery (ids present only on
+    /// SSD are the caller's to account for, e.g. from a catalog page).
+    pub fn set_next_page_id(&self, next: u64) {
+        self.bm.next_pid.fetch_max(next, Ordering::AcqRel);
+    }
+}
+
 impl std::fmt::Debug for BufferManager {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("BufferManager")
@@ -1769,6 +2197,13 @@ impl std::fmt::Debug for BufferManager {
             .field("pages", &self.page_count())
             .finish_non_exhaustive()
     }
+}
+
+/// Translate a fractional watermark into a frame count: `ceil(n * frac)`,
+/// so any non-zero watermark on a non-empty pool demands at least one
+/// free frame.
+pub(crate) fn watermark_frames(n_frames: usize, frac: f64) -> usize {
+    (n_frames as f64 * frac).ceil() as usize
 }
 
 /// SplitMix64 scrambler: seeds the per-thread policy RNG streams with

@@ -31,6 +31,15 @@ pub struct BufferMetrics {
     /// Optimistic pin attempts that observed a closed or concurrently
     /// transitioning pin word and restarted into the slow path.
     pin_restarts: AtomicU64,
+    /// Fetch misses that found no free frame and ran eviction inline
+    /// because maintenance workers had not kept up with the watermark.
+    backpressure_fallbacks: AtomicU64,
+    /// Maintenance cycles executed (worker wake-ups and manual ticks).
+    maint_cycles: AtomicU64,
+    /// Frames freed by maintenance pre-eviction (both tiers).
+    maint_evictions: AtomicU64,
+    /// Dirty pages written back by maintenance in batches.
+    maint_writebacks: AtomicU64,
 }
 
 fn path_index(path: MigrationPath) -> usize {
@@ -107,6 +116,27 @@ impl BufferMetrics {
         self.pin_restarts.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Record a fetch miss that fell back to inline eviction because the
+    /// free list was empty (maintenance behind the low watermark).
+    pub fn record_backpressure_fallback(&self) {
+        self.backpressure_fallbacks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one maintenance cycle (worker wake-up or manual tick).
+    pub fn record_maint_cycle(&self) {
+        self.maint_cycles.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record `n` frames freed by maintenance pre-eviction.
+    pub fn record_maint_evictions(&self, n: u64) {
+        self.maint_evictions.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record `n` dirty pages written back by a maintenance batch.
+    pub fn record_maint_writebacks(&self, n: u64) {
+        self.maint_writebacks.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Point-in-time copy of all counters.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
@@ -127,6 +157,10 @@ impl BufferMetrics {
             fetch_fast: self.fetch_fast.load(Ordering::Relaxed),
             fetch_fallbacks: self.fetch_fallbacks.load(Ordering::Relaxed),
             pin_restarts: self.pin_restarts.load(Ordering::Relaxed),
+            backpressure_fallbacks: self.backpressure_fallbacks.load(Ordering::Relaxed),
+            maint_cycles: self.maint_cycles.load(Ordering::Relaxed),
+            maint_evictions: self.maint_evictions.load(Ordering::Relaxed),
+            maint_writebacks: self.maint_writebacks.load(Ordering::Relaxed),
         }
     }
 
@@ -146,6 +180,10 @@ impl BufferMetrics {
         self.fetch_fast.store(0, Ordering::Relaxed);
         self.fetch_fallbacks.store(0, Ordering::Relaxed);
         self.pin_restarts.store(0, Ordering::Relaxed);
+        self.backpressure_fallbacks.store(0, Ordering::Relaxed);
+        self.maint_cycles.store(0, Ordering::Relaxed);
+        self.maint_evictions.store(0, Ordering::Relaxed);
+        self.maint_writebacks.store(0, Ordering::Relaxed);
     }
 }
 
@@ -176,6 +214,15 @@ pub struct MetricsSnapshot {
     pub fetch_fallbacks: u64,
     /// Optimistic pin attempts that restarted into the slow path.
     pub pin_restarts: u64,
+    /// Fetch misses that ran eviction inline because the free list was
+    /// empty (maintenance behind the low watermark).
+    pub backpressure_fallbacks: u64,
+    /// Maintenance cycles executed.
+    pub maint_cycles: u64,
+    /// Frames freed by maintenance pre-eviction.
+    pub maint_evictions: u64,
+    /// Dirty pages written back by maintenance batches.
+    pub maint_writebacks: u64,
 }
 
 impl MetricsSnapshot {
@@ -217,6 +264,10 @@ impl MetricsSnapshot {
             fetch_fast: self.fetch_fast - earlier.fetch_fast,
             fetch_fallbacks: self.fetch_fallbacks - earlier.fetch_fallbacks,
             pin_restarts: self.pin_restarts - earlier.pin_restarts,
+            backpressure_fallbacks: self.backpressure_fallbacks - earlier.backpressure_fallbacks,
+            maint_cycles: self.maint_cycles - earlier.maint_cycles,
+            maint_evictions: self.maint_evictions - earlier.maint_evictions,
+            maint_writebacks: self.maint_writebacks - earlier.maint_writebacks,
         }
     }
 }

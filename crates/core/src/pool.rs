@@ -87,6 +87,11 @@ pub(crate) struct Pool {
     ref_bits: AtomicBitmap,
     owners: Vec<AtomicU64>,
     hand: AtomicUsize,
+    /// Cheap O(1) free-frame count (the bitmap is the source of truth;
+    /// this trails it by at most the in-flight alloc/free window). Kept for
+    /// the watermark checks on the fetch path and in maintenance workers,
+    /// where `count_ones` over the bitmap would be too slow per call.
+    free_count: AtomicUsize,
     /// Shared with the owning buffer manager so the retry loop in the
     /// frame-I/O paths can account retries and fatal escalations.
     metrics: Arc<BufferMetrics>,
@@ -168,6 +173,7 @@ impl Pool {
             ref_bits: AtomicBitmap::new(n_frames),
             owners: (0..n_frames).map(|_| AtomicU64::new(NO_OWNER)).collect(),
             hand: AtomicUsize::new(0),
+            free_count: AtomicUsize::new(n_frames),
             metrics,
         }
     }
@@ -196,6 +202,12 @@ impl Pool {
     /// Number of occupied frames (snapshot).
     pub(crate) fn occupied_frames(&self) -> usize {
         self.occupied.count_ones()
+    }
+
+    /// Number of free frames, from the O(1) counter (may trail the bitmap
+    /// by concurrent in-flight transitions; fine for watermark decisions).
+    pub(crate) fn free_frames(&self) -> usize {
+        self.free_count.load(Ordering::Relaxed)
     }
 
     /// Direct handle to the underlying NVM device (for recovery scans and
@@ -239,6 +251,7 @@ impl Pool {
         let bit = self
             .occupied
             .acquire_first_clear(hint % self.n_frames.max(1))?;
+        self.free_count.fetch_sub(1, Ordering::Relaxed);
         Some(FrameId(bit as u32))
     }
 
@@ -259,7 +272,9 @@ impl Pool {
         let i = frame.0 as usize;
         self.owners[i].store(NO_OWNER, Ordering::Release);
         self.ref_bits.clear(i);
-        self.occupied.clear(i);
+        if self.occupied.clear(i) {
+            self.free_count.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Mark `frame` recently used (CLOCK reference bit).
@@ -400,7 +415,9 @@ impl Pool {
     /// `pid` without touching the device.
     pub(crate) fn adopt(&self, frame: FrameId, pid: PageId) {
         let i = frame.0 as usize;
-        self.occupied.set(i);
+        if !self.occupied.set(i) {
+            self.free_count.fetch_sub(1, Ordering::Relaxed);
+        }
         self.owners[i].store(pid.0, Ordering::Release);
         self.ref_bits.set(i);
     }
@@ -540,6 +557,24 @@ mod tests {
         let mut buf = [0u8; 12];
         p.read(f, 0, &mut buf, AccessPattern::Random).unwrap();
         assert_eq!(&buf, b"page-content");
+    }
+
+    #[test]
+    fn free_count_tracks_alloc_free_adopt() {
+        let p = dram_pool(4);
+        assert_eq!(p.free_frames(), 4);
+        let a = p.try_alloc().unwrap();
+        let b = p.try_alloc().unwrap();
+        assert_eq!(p.free_frames(), 2);
+        p.free(a);
+        assert_eq!(p.free_frames(), 3);
+        // Double-free does not over-count.
+        p.free(a);
+        assert_eq!(p.free_frames(), 3);
+        p.adopt(b, PageId(9)); // already occupied: no change
+        assert_eq!(p.free_frames(), 3);
+        p.adopt(FrameId(3), PageId(10));
+        assert_eq!(p.free_frames(), 2);
     }
 
     #[test]

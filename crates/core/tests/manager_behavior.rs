@@ -415,7 +415,7 @@ fn crash_without_recovery_falls_back_to_ssd_versions() {
     bm.flush_all_dirty().unwrap();
     fill_page(&bm, pid, 0x99); // dirty in DRAM only
     bm.simulate_crash();
-    bm.set_next_page_id(pid.0 + 1);
+    bm.admin().set_next_page_id(pid.0 + 1);
     // The un-flushed 0x99 version is gone; SSD serves 0x77.
     check_page(&bm, pid, 0x77);
 }

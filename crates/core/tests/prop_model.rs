@@ -165,7 +165,7 @@ proptest! {
         // persisted immediately, so a crash + NVM scan must lose nothing.
         bm.simulate_crash();
         let recovered = bm.recover_nvm_buffer();
-        bm.set_next_page_id(8);
+        bm.admin().set_next_page_id(8);
         prop_assert!(recovered.len() <= 8);
         for (i, pid) in pids.iter().enumerate() {
             let g = bm.fetch(*pid, AccessIntent::Read).unwrap();

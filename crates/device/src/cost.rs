@@ -255,21 +255,31 @@ mod tests {
 
     #[test]
     fn sequential_cheaper_than_random_on_nvm() {
-        let m = CostModel::new(DeviceProfile::optane_pmm(), TimeScale::REAL);
+        // Comparing two wall-clock measurements is sensitive to scheduler
+        // preemption when the whole workspace's test binaries run in
+        // parallel, so take the best of a few attempts before failing.
         let n = 64;
-        let start = Instant::now();
-        for _ in 0..n {
-            m.charge_read(4096, AccessPattern::Sequential);
+        let mut last = (Duration::ZERO, Duration::ZERO);
+        for _ in 0..5 {
+            let m = CostModel::new(DeviceProfile::optane_pmm(), TimeScale::REAL);
+            let start = Instant::now();
+            for _ in 0..n {
+                m.charge_read(4096, AccessPattern::Sequential);
+            }
+            let seq = start.elapsed();
+            let start = Instant::now();
+            for _ in 0..n {
+                m.charge_read(4096, AccessPattern::Random);
+            }
+            let rand = start.elapsed();
+            if rand > seq {
+                return;
+            }
+            last = (seq, rand);
         }
-        let seq = start.elapsed();
-        let start = Instant::now();
-        for _ in 0..n {
-            m.charge_read(4096, AccessPattern::Random);
-        }
-        let rand = start.elapsed();
-        assert!(
-            rand > seq,
-            "random {rand:?} should exceed sequential {seq:?}"
+        panic!(
+            "random {:?} should exceed sequential {:?} in at least one of 5 attempts",
+            last.1, last.0
         );
     }
 }

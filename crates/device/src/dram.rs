@@ -94,7 +94,7 @@ impl Arena {
     }
 }
 
-/// Emulated DRAM device: an [`Arena`] fronted by a DRAM [`CostModel`].
+/// Emulated DRAM device: a byte arena fronted by a DRAM [`CostModel`].
 ///
 /// The buffer manager places its DRAM buffer pool frames here. Accesses are
 /// range-addressed; the frame layout is owned by the caller.

@@ -4,6 +4,7 @@ use std::fmt;
 
 /// Errors raised by emulated devices.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum DeviceError {
     /// An access touched bytes outside the device's capacity.
     OutOfBounds {

@@ -1,7 +1,7 @@
 //! Concurrent B+Tree with optimistic lock coupling over Spitfire pages.
 //!
 //! The paper (§5.2) implements "a concurrent B+Tree with optimistic lock
-//! coupling on top of Spitfire [24]" because, once NVM removes most of the
+//! coupling on top of Spitfire \[24\]" because, once NVM removes most of the
 //! I/O bottleneck, index synchronization becomes the next contention point.
 //! This crate is that index:
 //!

@@ -3,7 +3,7 @@
 //! Reads descend without taking locks: each node has a version latch; the
 //! reader samples the version, reads the node through its page guard, and
 //! re-validates. Writers bump the version, forcing concurrent readers to
-//! restart (Leis et al., the paper's [24]).
+//! restart (Leis et al., the paper's \[24\]).
 //!
 //! Inserts use the optimistic path while the target leaf has room. When a
 //! split is needed they fall back to a pessimistic top-down descent that

@@ -109,7 +109,7 @@ impl Histogram {
     }
 }
 
-/// A sharded histogram: writers spread across [`NUM_SHARDS`] inner
+/// A sharded histogram: writers spread across `NUM_SHARDS` (8) inner
 /// histograms keyed by thread id; readers merge.
 pub struct HistogramSet {
     shards: Vec<Histogram>,

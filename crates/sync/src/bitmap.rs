@@ -2,7 +2,7 @@
 //!
 //! Backs the CLOCK replacement policy's reference bits and the buffer
 //! pools' frame allocation maps (paper §5.2 cites NB-GCLOCK's non-blocking
-//! bitmap [40]; this is the same idea: all bit operations are single-word
+//! bitmap \[40\]; this is the same idea: all bit operations are single-word
 //! atomics, so the clock hand never takes a lock).
 
 use std::sync::atomic::{AtomicU64, Ordering};

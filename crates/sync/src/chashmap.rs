@@ -1,7 +1,7 @@
 //! Striped concurrent hash map.
 //!
 //! The paper uses TBB's `concurrent_hash_map` for the mapping table from
-//! logical page ids to shared page descriptors (§5.2 [17]). This is the
+//! logical page ids to shared page descriptors (§5.2 \[17\]). This is the
 //! equivalent built from lock-striped `HashMap` shards: simple, contention-
 //! resistant (64 shards), and sufficient because mapping-table critical
 //! sections are tiny (pointer lookups and inserts).

@@ -1,4 +1,4 @@
-//! Optimistic version latch for lock coupling (Leis et al., cited as [24]
+//! Optimistic version latch for lock coupling (Leis et al., cited as \[24\]
 //! in the paper §5.2).
 //!
 //! Readers never modify the latch word: they read the version, do their

@@ -6,7 +6,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::RwLock;
-use spitfire_core::{AccessIntent, BufferManager, PageId};
+use spitfire_core::{BufferManager, PageId};
 use spitfire_index::BTree;
 
 use crate::error::TxnError;
@@ -126,7 +126,7 @@ impl Database {
         );
         let root_catalog = bm.allocate_page()?;
         {
-            let guard = bm.fetch(root_catalog, AccessIntent::Write)?;
+            let guard = bm.fetch_write(root_catalog)?;
             let mut header = [0u8; ROOT_HEADER];
             header[..8].copy_from_slice(&ROOT_MAGIC.to_le_bytes());
             guard.write(0, &header)?;
@@ -166,7 +166,7 @@ impl Database {
     /// Change the emulated-delay scale across the buffer manager and the
     /// WAL devices (load phases run with delays off).
     pub fn set_time_scale(&self, scale: spitfire_device::TimeScale) {
-        self.bm.set_time_scale(scale);
+        self.bm.admin().set_time_scale(scale);
         self.wal.set_time_scale(scale);
     }
 
@@ -204,7 +204,7 @@ impl Database {
         let index = Arc::new(BTree::new(Arc::clone(&self.bm))?);
         // Persist the table in the root catalog.
         {
-            let guard = self.bm.fetch(self.root_catalog, AccessIntent::Write)?;
+            let guard = self.bm.fetch_write(self.root_catalog)?;
             let mut nb = [0u8; 4];
             guard.read(8, &mut nb)?;
             let n = u32::from_le_bytes(nb) as usize;
@@ -602,11 +602,24 @@ impl Database {
         Ok(())
     }
 
-    /// Checkpoint: flush dirty DRAM pages (NVM-resident dirty pages stay —
-    /// they are persistent, paper §5.2), then truncate the log. Must run
-    /// at a quiescent point (no in-flight transactions).
+    /// Checkpoint: flush dirty DRAM pages, write dirty NVM-resident pages
+    /// back to SSD in batches (one fsync per batch), then truncate the
+    /// log. NVM pages are persistent, so flushing them is not needed for
+    /// *correctness* — but giving them durable SSD images lets the log
+    /// truncate past them and lets later evictions discard them without
+    /// inline write-backs. Must run at a quiescent point (no in-flight
+    /// transactions). Returns the number of pages flushed across both
+    /// tiers.
     pub fn checkpoint(&self) -> Result<usize> {
-        let flushed = self.bm.flush_all_dirty()?;
+        let mut flushed = self.bm.flush_all_dirty()?;
+        let batch = self.bm.config().maintenance.batch.max(1);
+        loop {
+            let n = self.bm.flush_nvm_dirty(batch)?;
+            if n == 0 {
+                break;
+            }
+            flushed += n;
+        }
         self.wal.truncate()?;
         self.wal.append(&LogRecord {
             kind: RecordKind::Checkpoint,
@@ -624,7 +637,7 @@ impl Database {
     /// Install (or clear) a fault injector on every device the database
     /// touches: all buffer-manager tiers plus both WAL devices.
     pub fn set_fault_injector(&self, injector: Option<Arc<spitfire_device::FaultInjector>>) {
-        self.bm.set_fault_injector(injector.clone());
+        self.bm.admin().set_fault_injector(injector.clone());
         self.wal.set_fault_injector(injector);
     }
 
@@ -654,7 +667,7 @@ impl Database {
 
         // Reload the table catalog.
         {
-            let guard = self.bm.fetch(self.root_catalog, AccessIntent::Read)?;
+            let guard = self.bm.fetch_read(self.root_catalog)?;
             let magic = guard.read_u64(0)?;
             assert_eq!(magic, ROOT_MAGIC, "root catalog corrupted");
             let mut nb = [0u8; 4];

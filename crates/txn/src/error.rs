@@ -5,6 +5,7 @@ use spitfire_index::IndexError;
 
 /// Errors surfaced by the transaction layer.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum TxnError {
     /// The buffer manager failed.
     Buffer(BufferError),
@@ -31,6 +32,21 @@ pub enum TxnError {
     },
     /// Unknown table id.
     UnknownTable(u32),
+}
+
+impl TxnError {
+    /// Whether retrying the failed operation can plausibly succeed:
+    /// MVTO conflicts (retry the transaction) and transient buffer/device
+    /// faults. Same shape as [`BufferError::is_retryable`] and
+    /// [`spitfire_device::DeviceError::is_retryable`], so callers never
+    /// need to match variant names to decide.
+    pub fn is_retryable(&self) -> bool {
+        match self {
+            TxnError::Conflict => true,
+            TxnError::Buffer(e) => e.is_retryable(),
+            _ => false,
+        }
+    }
 }
 
 impl std::fmt::Display for TxnError {

@@ -7,9 +7,13 @@
 //! table footprint of long write-heavy runs.
 //!
 //! [`BackgroundFlusher`] periodically writes dirty DRAM pages down (the
-//! paper's §5.2 background flushing that enables log truncation). Dirty
-//! NVM pages are never flushed — NVM is persistent, which is exactly the
-//! recovery-cost advantage the paper attributes to the NVM buffer.
+//! paper's §5.2 background flushing that enables log truncation) and,
+//! since the buffer manager grew batched NVM write-back
+//! ([`spitfire_core::BufferManager::flush_nvm_dirty`]), also drains dirty
+//! NVM-resident pages to SSD a batch at a time — one fsync per batch.
+//! NVM pages are persistent, so this is not needed for correctness; it is
+//! what lets [`Database::checkpoint`] truncate the WAL past NVM-resident
+//! dirty pages and lets evictions discard them without inline I/O.
 
 use std::sync::Arc;
 use std::time::Duration;
@@ -119,21 +123,29 @@ impl Database {
 }
 
 /// Periodically flushes dirty DRAM pages to their home location (paper
-/// §5.2). Stops when dropped.
+/// §5.2) and drains dirty NVM pages to SSD in batches. Stops when
+/// dropped.
 pub struct BackgroundFlusher {
     stop: Arc<std::sync::atomic::AtomicBool>,
     handle: Option<std::thread::JoinHandle<()>>,
 }
 
 impl BackgroundFlusher {
-    /// Start flushing `db`'s buffer manager every `period`.
+    /// Start flushing `db`'s buffer manager every `period`. Each pass
+    /// flushes dirty DRAM pages, then writes back one batch of dirty NVM
+    /// pages (batch size from the buffer manager's maintenance config) —
+    /// spreading the NVM drain over passes instead of stalling one pass
+    /// on a full sweep.
     pub fn start(db: Arc<Database>, period: Duration) -> Self {
         let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
         let stop2 = Arc::clone(&stop);
         let handle = std::thread::spawn(move || {
+            let bm = Arc::clone(db.buffer_manager());
+            let batch = bm.config().maintenance.batch.max(1);
             while !stop2.load(std::sync::atomic::Ordering::Relaxed) {
                 std::thread::sleep(period);
-                let _ = db.buffer_manager().flush_all_dirty();
+                let _ = bm.flush_all_dirty();
+                let _ = bm.flush_nvm_dirty(batch);
             }
         });
         BackgroundFlusher {

@@ -1,4 +1,4 @@
-//! Multi-version timestamp ordering (MVTO) primitives (paper §5.2 [39]).
+//! Multi-version timestamp ordering (MVTO) primitives (paper §5.2 \[39\]).
 //!
 //! Each transaction receives one timestamp at begin. A version is a
 //! half-open timestamp interval `[begin, end)`:

@@ -18,7 +18,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::RwLock;
-use spitfire_core::{AccessIntent, BufferManager, PageId};
+use spitfire_core::{BufferManager, PageId};
 
 use crate::error::TxnError;
 use crate::Result;
@@ -193,7 +193,7 @@ impl Table {
         let rid = recycled.unwrap_or_else(|| self.next_slot.fetch_add(1, Ordering::AcqRel));
         let (page_idx, offset) = self.locate(rid);
         let pid = self.page_for(page_idx)?;
-        let guard = self.bm.fetch(pid, AccessIntent::Write)?;
+        let guard = self.bm.fetch_write(pid)?;
         guard.write(offset, &header.to_bytes())?;
         guard.write(offset + VERSION_HEADER, payload)?;
         Ok(rid)
@@ -203,7 +203,7 @@ impl Table {
     pub fn read_header(&self, rid: u64) -> Result<VersionHeader> {
         let (page_idx, offset) = self.locate(rid);
         let pid = self.page_for(page_idx)?;
-        let guard = self.bm.fetch(pid, AccessIntent::Read)?;
+        let guard = self.bm.fetch_read(pid)?;
         let mut b = [0u8; VERSION_HEADER];
         guard.read(offset, &mut b)?;
         Ok(VersionHeader::from_bytes(&b))
@@ -214,7 +214,7 @@ impl Table {
     pub fn write_header(&self, rid: u64, header: VersionHeader) -> Result<()> {
         let (page_idx, offset) = self.locate(rid);
         let pid = self.page_for(page_idx)?;
-        let guard = self.bm.fetch(pid, AccessIntent::Write)?;
+        let guard = self.bm.fetch_write(pid)?;
         guard.write(offset, &header.to_bytes())?;
         Ok(())
     }
@@ -229,7 +229,7 @@ impl Table {
         }
         let (page_idx, offset) = self.locate(rid);
         let pid = self.page_for(page_idx)?;
-        let guard = self.bm.fetch(pid, AccessIntent::Read)?;
+        let guard = self.bm.fetch_read(pid)?;
         guard.read(offset + VERSION_HEADER, buf)?;
         Ok(())
     }
@@ -245,7 +245,7 @@ impl Table {
         }
         let (page_idx, offset) = self.locate(rid);
         let pid = self.page_for(page_idx)?;
-        let guard = self.bm.fetch(pid, AccessIntent::Write)?;
+        let guard = self.bm.fetch_write(pid)?;
         guard.write(offset + VERSION_HEADER, payload)?;
         Ok(())
     }
@@ -260,7 +260,7 @@ impl Table {
         }
         let (page_idx, offset) = self.locate(rid);
         let pid = self.page_for(page_idx)?;
-        let guard = self.bm.fetch(pid, AccessIntent::Write)?;
+        let guard = self.bm.fetch_write(pid)?;
         guard.write(offset, &header.to_bytes())?;
         guard.write(offset + VERSION_HEADER, payload)?;
         // Make sure the slot allocator never re-issues a redone RID.
@@ -283,7 +283,7 @@ impl Table {
     // ---- catalog persistence -------------------------------------------
 
     fn write_catalog(&self) -> Result<()> {
-        let guard = self.bm.fetch(self.catalog_head, AccessIntent::Write)?;
+        let guard = self.bm.fetch_write(self.catalog_head)?;
         let mut header = [0u8; CATALOG_HEADER];
         header[0..8].copy_from_slice(&CATALOG_MAGIC.to_le_bytes());
         header[8..12].copy_from_slice(&self.id.to_le_bytes());
@@ -305,7 +305,7 @@ impl Table {
         let cap = self.catalog_capacity();
         let mut cat = self.catalog_head;
         loop {
-            let guard = self.bm.fetch(cat, AccessIntent::Write)?;
+            let guard = self.bm.fetch_write(cat)?;
             let count = {
                 let mut b = [0u8; 4];
                 guard.read(16, &mut b)?;
@@ -327,7 +327,7 @@ impl Table {
             drop(guard);
             let new_cat = self.bm.allocate_page()?;
             {
-                let g = self.bm.fetch(new_cat, AccessIntent::Write)?;
+                let g = self.bm.fetch_write(new_cat)?;
                 let mut header = [0u8; CATALOG_HEADER];
                 header[0..8].copy_from_slice(&CATALOG_MAGIC.to_le_bytes());
                 header[8..12].copy_from_slice(&self.id.to_le_bytes());
@@ -336,7 +336,7 @@ impl Table {
                 g.write(0, &header)?;
             }
             self.bm.flush_page(new_cat)?;
-            let guard = self.bm.fetch(cat, AccessIntent::Write)?;
+            let guard = self.bm.fetch_write(cat)?;
             guard.write_u64(24, new_cat.0)?;
             drop(guard);
             self.bm.flush_page(cat)?;
@@ -354,8 +354,8 @@ impl Table {
             // never have been synced to SSD before the crash (its durable
             // content is zeros). Raise the allocator floor so fetching it
             // cannot trip the unknown-page check.
-            self.bm.set_next_page_id(cat.0 + 1);
-            let guard = self.bm.fetch(cat, AccessIntent::Read)?;
+            self.bm.admin().set_next_page_id(cat.0 + 1);
+            let guard = self.bm.fetch_read(cat)?;
             let magic = guard.read_u64(0)?;
             if magic != CATALOG_MAGIC {
                 return Err(TxnError::UnknownTable(self.id));
@@ -367,7 +367,7 @@ impl Table {
             };
             for i in 0..count.min(self.catalog_capacity()) {
                 let pid = PageId(guard.read_u64(CATALOG_HEADER + i * 8)?);
-                self.bm.set_next_page_id(pid.0 + 1);
+                self.bm.admin().set_next_page_id(pid.0 + 1);
                 pages.push(pid);
             }
             let next = guard.read_u64(24)?;

@@ -19,7 +19,7 @@
 
 use rand::rngs::SmallRng;
 use rand::Rng;
-use spitfire_core::{AccessIntent, BufferManager, PageId};
+use spitfire_core::{BufferManager, PageId};
 use spitfire_txn::{Database, TxnError};
 
 use crate::zipf::ScrambledZipf;
@@ -164,14 +164,14 @@ impl RawYcsb {
         let (pid, offset) = self.locate(key);
         let is_update = rng.gen::<f64>() < self.config.mix.update_fraction();
         if is_update {
-            let guard = bm.fetch(pid, AccessIntent::Write)?;
+            let guard = bm.fetch_write(pid)?;
             let payload = [rng.gen::<u8>(); 64];
             // Update one 100 B column region (64 B write within it mirrors
             // a column overwrite without building the full tuple).
             let column = (key as usize % 10) * 100;
             guard.write(offset + column.min(YCSB_TUPLE - 64), &payload)?;
         } else {
-            let guard = bm.fetch(pid, AccessIntent::Read)?;
+            let guard = bm.fetch_read(pid)?;
             let mut buf = [0u8; YCSB_TUPLE];
             guard.read(offset, &mut buf)?;
             std::hint::black_box(&buf);
@@ -183,7 +183,7 @@ impl RawYcsb {
     pub fn warmup(&self, bm: &BufferManager) -> spitfire_core::Result<()> {
         let mut buf = [0u8; YCSB_TUPLE];
         for pid in &self.pages {
-            let guard = bm.fetch(*pid, AccessIntent::Read)?;
+            let guard = bm.fetch_read(*pid)?;
             guard.read(0, &mut buf)?;
         }
         Ok(())

@@ -1,5 +1,5 @@
 //! Zipfian key distribution (Gray et al., "Quickly generating
-//! billion-record synthetic databases" — the paper's [14]).
+//! billion-record synthetic databases" — the paper's citation \[14\]).
 //!
 //! YCSB accesses keys with a Zipfian skew; the paper uses `z = 0.3` for
 //! the policy experiments (§6.1) and `z = 0.5` for the storage-design grid

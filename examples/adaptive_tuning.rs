@@ -33,7 +33,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
 
     let mut tuner = AnnealingTuner::new(MigrationPolicy::eager(), AnnealingParams::default(), 42);
-    bm.set_policy(tuner.candidate());
+    bm.admin().set_policy(tuner.candidate());
     println!("epoch | policy under test                    | throughput | temperature");
 
     let bm_ref = &bm;
@@ -53,7 +53,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 tuner.temperature()
             );
             let next = tuner.observe(sample.throughput);
-            bm_ref.set_policy(next);
+            bm_ref.admin().set_policy(next);
         },
     );
 

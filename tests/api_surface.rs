@@ -1,0 +1,118 @@
+//! Compile-time assertions over the stable re-export set of
+//! `spitfire_core`.
+//!
+//! Every name referenced here is part of the crate's public API contract:
+//! removing or renaming one breaks this test at compile time, forcing the
+//! change to be deliberate. Runtime bodies only sanity-check trivial
+//! invariants — the point of the test is that it *compiles*.
+
+use std::sync::Arc;
+
+// The stable re-export set. A plain `use` of every name: if any of these
+// stops resolving, the API surface changed.
+use spitfire_core::{AccessIntent, PageId, Tier};
+#[allow(unused_imports)]
+use spitfire_core::{
+    Admin, BufferError, BufferManager, BufferManagerConfig, BufferManagerConfigBuilder, CycleStats,
+    Hierarchy, Maintenance, MaintenanceConfig, MetricsSnapshot, MigrationPath, MigrationPolicy,
+    NvmAdmission, PageGuard, PolicyCell, ReadGuard, Result, WriteGuard,
+};
+use spitfire_device::TimeScale;
+
+fn manager() -> Arc<BufferManager> {
+    let config = BufferManagerConfig::builder()
+        .page_size(1024)
+        .dram_capacity(8 * 1024)
+        .nvm_capacity(16 * (1024 + 64))
+        .time_scale(TimeScale::ZERO)
+        .build()
+        .unwrap();
+    Arc::new(BufferManager::new(config).unwrap())
+}
+
+/// The lifecycle API: `admin()` mutators, the `Maintenance` handle, typed
+/// fetches. Signatures are pinned by the explicit type ascriptions.
+#[test]
+fn lifecycle_api_signatures() {
+    let bm = manager();
+
+    let admin: Admin<'_> = bm.admin();
+    admin.set_policy(MigrationPolicy::lazy());
+    admin.set_time_scale(TimeScale::ZERO);
+    admin.set_fault_injector(None);
+    admin.set_next_page_id(1);
+
+    let maintenance: Maintenance = bm.maintenance();
+    assert!(!maintenance.is_running());
+    let stats: CycleStats = maintenance.tick();
+    assert_eq!(stats, CycleStats::default());
+    maintenance.pause_for_crash(); // no workers: must not block
+    maintenance.resume();
+    maintenance.stop();
+
+    let pid: PageId = bm.allocate_page().unwrap();
+    {
+        let guard: WriteGuard<'_> = bm.fetch_write(pid).unwrap();
+        guard.write(0, b"api").unwrap();
+        let _: Tier = guard.tier();
+    }
+    {
+        let guard: ReadGuard<'_> = bm.fetch_read(pid).unwrap();
+        let mut b = [0u8; 3];
+        guard.read(0, &mut b).unwrap();
+        assert_eq!(&b, b"api");
+    }
+    // The untyped fetch stays available for benches and generic drivers.
+    let guard: PageGuard<'_> = bm.fetch(pid, AccessIntent::Read).unwrap();
+    drop(guard);
+
+    let snap: MetricsSnapshot = bm.metrics();
+    assert!(snap.backpressure_fallbacks == 0);
+    let _: (usize, usize) = bm.free_frames();
+}
+
+/// Error types are `#[non_exhaustive]` with a uniform `is_retryable()` at
+/// every layer, and conversions compose device → buffer → txn.
+#[test]
+fn error_api_contract() {
+    use spitfire_device::DeviceError;
+    use spitfire_txn::TxnError;
+
+    let dev = DeviceError::InjectedTransient { op: "write" };
+    assert!(dev.is_retryable());
+    let buf: BufferError = dev.into();
+    assert!(buf.is_retryable());
+    let txn: TxnError = buf.into();
+    assert!(txn.is_retryable());
+    assert!(TxnError::Conflict.is_retryable());
+
+    let fatal: BufferError = DeviceError::InjectedFatal { op: "write" }.into();
+    assert!(!fatal.is_retryable());
+}
+
+/// Config surface: builder methods for the maintenance service and the
+/// public `MaintenanceConfig` fields.
+#[test]
+fn maintenance_config_surface() {
+    let m = MaintenanceConfig {
+        dram_low: 0.1,
+        dram_high: 0.2,
+        nvm_low: 0.1,
+        nvm_high: 0.2,
+        batch: 4,
+        interval_us: 100,
+        workers: 2,
+    };
+    let config = BufferManagerConfig::builder()
+        .page_size(1024)
+        .dram_capacity(8 * 1024)
+        .nvm_capacity(16 * (1024 + 64))
+        .maintenance(m)
+        .watermarks(1.0 / 16.0, 1.0 / 8.0)
+        .maintenance_batch(8)
+        .time_scale(TimeScale::ZERO)
+        .build()
+        .unwrap();
+    assert_eq!(config.maintenance.batch, 8);
+    let _: Hierarchy = config.hierarchy();
+}

@@ -222,7 +222,7 @@ fn policy_swap_mid_run_is_safe() {
         ];
         let mut i = 0;
         while !stop2.load(std::sync::atomic::Ordering::Relaxed) {
-            bm2.set_policy(policies[i % policies.len()]);
+            bm2.admin().set_policy(policies[i % policies.len()]);
             i += 1;
             std::thread::yield_now();
         }
