@@ -173,7 +173,11 @@ fn main() {
     } else {
         Duration::from_millis(400)
     };
-    let thread_counts: &[usize] = if quick() { &[1, 4] } else { &[1, 2, 4, 8] };
+    let thread_counts: &[usize] = if quick() {
+        &[1, 4]
+    } else {
+        &[1, 2, 4, 8, 16, 32]
+    };
 
     // Observability on at the default 1-in-31 sampling: p50/p99 come from
     // the sampled stream without distorting the ~100 ns loop under test.
@@ -215,7 +219,22 @@ fn main() {
         }
         json.push_str(&format!("\"{threads}\": {ops}"));
     }
-    json.push_str("}},\n  \"results\": [\n");
+    json.push_str("}},\n");
+    // Flat-scaling headline: dram-hit throughput at 8 threads over 1
+    // thread (ROADMAP open item 1 tracks this ratio; > 1.0 means the hit
+    // path gains from cores instead of collapsing under contention).
+    let dram_ops = |threads: usize| {
+        points
+            .iter()
+            .find(|p| p.scenario == "dram-hit" && p.threads == threads)
+            .map(|p| p.ops_per_sec)
+    };
+    if let (Some(one), Some(eight)) = (dram_ops(1), dram_ops(8)) {
+        if one > 0.0 {
+            json.push_str(&format!("  \"scaling_1_to_8\": {:.3},\n", eight / one));
+        }
+    }
+    json.push_str("  \"results\": [\n");
     for (i, p) in points.iter().enumerate() {
         if i > 0 {
             json.push_str(",\n");

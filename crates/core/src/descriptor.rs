@@ -12,7 +12,7 @@
 //! protocol of §5.2 is designed to allow.
 
 use parking_lot::{Condvar, Mutex};
-use spitfire_sync::PinWord;
+use spitfire_sync::{CachePadded, PinWord};
 
 use crate::types::{FrameId, PageId};
 
@@ -129,6 +129,16 @@ impl PageState {
 /// proceeds if the optimistic pin count was zero (see
 /// [`PinWord::close`]); the total pin count of a copy is the mutex
 /// `pins` field plus its word's optimistic count.
+///
+/// # Layout
+///
+/// The pin words are the only fields the lock-free hit path writes, and
+/// every fetch CASes one of them. Each sits on its own cache line
+/// ([`CachePadded`]) so that (a) hammering a page's DRAM word never
+/// invalidates the line holding its NVM word or the descriptor mutex, and
+/// (b) two descriptors allocated back-to-back never share a pin-word
+/// line. This is the ROADMAP "flat hit-path scaling" fix: before padding,
+/// unrelated hot pages could ping-pong one line between cores.
 #[derive(Debug)]
 pub(crate) struct SharedPageDesc {
     /// The logical page this descriptor tracks.
@@ -139,10 +149,10 @@ pub(crate) struct SharedPageDesc {
     /// Signalled on every state transition; waiters re-check under the
     /// mutex.
     pub cond: Condvar,
-    /// Optimistic pin word for the DRAM copy.
-    pub dram_pin: PinWord,
-    /// Optimistic pin word for the NVM copy.
-    pub nvm_pin: PinWord,
+    /// Optimistic pin word for the DRAM copy (own cache line).
+    pub dram_pin: CachePadded<PinWord>,
+    /// Optimistic pin word for the NVM copy (own cache line).
+    pub nvm_pin: CachePadded<PinWord>,
 }
 
 impl SharedPageDesc {
@@ -152,8 +162,8 @@ impl SharedPageDesc {
             pid,
             state: Mutex::new(PageState::default()),
             cond: Condvar::new(),
-            dram_pin: PinWord::new(),
-            nvm_pin: PinWord::new(),
+            dram_pin: CachePadded::new(PinWord::new()),
+            nvm_pin: CachePadded::new(PinWord::new()),
         }
     }
 
@@ -204,5 +214,15 @@ mod tests {
     #[test]
     fn frame_ref_full_reports_frame() {
         assert_eq!(FrameRef::Full(FrameId(9)).frame(), FrameId(9));
+    }
+
+    #[test]
+    fn pin_words_sit_on_distinct_cache_lines() {
+        let d = SharedPageDesc::new(PageId(1));
+        let a = std::ptr::addr_of!(d.dram_pin) as usize;
+        let b = std::ptr::addr_of!(d.nvm_pin) as usize;
+        assert_eq!(a % spitfire_sync::CACHE_LINE, 0);
+        assert_eq!(b % spitfire_sync::CACHE_LINE, 0);
+        assert!(a.abs_diff(b) >= spitfire_sync::CACHE_LINE);
     }
 }

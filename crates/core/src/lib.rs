@@ -115,7 +115,7 @@ pub use config::{
 };
 pub use error::BufferError;
 pub use guard::{PageGuard, ReadGuard, WriteGuard};
-pub use manager::{Admin, BufferManager};
+pub use manager::{Admin, BufferManager, MemoryPressure};
 pub use metrics::MetricsSnapshot;
 pub use policy::{MigrationPolicy, NvmAdmission, PolicyCell};
 pub use types::{AccessIntent, MigrationPath, PageId, Tier};

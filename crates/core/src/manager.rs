@@ -1558,6 +1558,43 @@ impl BufferManager {
         )
     }
 
+    /// Cheap point-in-time memory-pressure reading for admission control.
+    ///
+    /// Reads only the pools' O(1) free-frame counters and one metrics
+    /// counter — a handful of relaxed atomic loads, safe to call on every
+    /// admission decision. A front end should shed or delay *new* work
+    /// while [`MemoryPressure::below_low_watermark`] holds or
+    /// `backpressure_fallbacks` keeps climbing between readings: both mean
+    /// maintenance is not keeping up and fetches are about to run eviction
+    /// I/O inline.
+    pub fn pressure(&self) -> MemoryPressure {
+        let m = &self.config.maintenance;
+        let (dram_free, dram_low) = match &self.tier1 {
+            Some(p) => (p.free_frames(), watermark_frames(p.n_frames(), m.dram_low)),
+            None => (0, 0),
+        };
+        let (nvm_free, nvm_low) = match &self.nvm {
+            Some(p) => (p.free_frames(), watermark_frames(p.n_frames(), m.nvm_low)),
+            None => (0, 0),
+        };
+        MemoryPressure {
+            dram_free,
+            dram_low,
+            nvm_free,
+            nvm_low,
+            backpressure_fallbacks: self.metrics.backpressure_fallbacks(),
+        }
+    }
+
+    /// Whether `pid` currently has a DRAM-resident copy. Non-blocking:
+    /// returns `false` when the descriptor mutex is contended, so this is
+    /// a monitoring probe, not a synchronization primitive.
+    pub fn is_dram_resident(&self, pid: PageId) -> bool {
+        self.mapping
+            .get(&pid.0)
+            .is_some_and(|desc| desc.state.try_lock().is_some_and(|st| st.dram.is_some()))
+    }
+
     /// Attach the wake-up signal of a maintenance service (one at a time;
     /// a newly attached signal replaces the previous one).
     pub(crate) fn attach_maint_signal(&self, sig: Arc<MaintSignal>) {
@@ -2204,6 +2241,36 @@ impl std::fmt::Debug for BufferManager {
 /// free frame.
 pub(crate) fn watermark_frames(n_frames: usize, frac: f64) -> usize {
     (n_frames as f64 * frac).ceil() as usize
+}
+
+/// Point-in-time memory-pressure reading from [`BufferManager::pressure`].
+///
+/// Free-frame counts are compared against the maintenance *low* watermarks
+/// (the level at which workers are woken to refill): below them, a fetch
+/// miss is likely to run eviction inline. `backpressure_fallbacks` is the
+/// cumulative count of exactly those inline evictions — a caller polling
+/// pressure should treat a rising delta as overload even when the free
+/// counts look momentarily healthy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryPressure {
+    /// Free frames in the DRAM pool (0 without a DRAM tier).
+    pub dram_free: usize,
+    /// DRAM low watermark in frames (0 without a DRAM tier).
+    pub dram_low: usize,
+    /// Free frames in the NVM pool (0 without an NVM tier).
+    pub nvm_free: usize,
+    /// NVM low watermark in frames (0 without an NVM tier).
+    pub nvm_low: usize,
+    /// Cumulative fetches that ran eviction inline because the free list
+    /// was empty (see `MetricsSnapshot::backpressure_fallbacks`).
+    pub backpressure_fallbacks: u64,
+}
+
+impl MemoryPressure {
+    /// Whether any tier's free frames sit below its low watermark.
+    pub fn below_low_watermark(&self) -> bool {
+        self.dram_free < self.dram_low || self.nvm_free < self.nvm_low
+    }
 }
 
 /// SplitMix64 scrambler: seeds the per-thread policy RNG streams with

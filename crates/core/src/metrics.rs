@@ -4,14 +4,21 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use serde::{Deserialize, Serialize};
+use spitfire_sync::StripedCounter;
 
 use crate::types::MigrationPath;
 
 /// Thread-safe counters maintained by the buffer manager.
+///
+/// The counters bumped on every lock-free buffer hit (`dram_hits`,
+/// `nvm_hits`, `fetch_fast`, plus the fallback/restart pair the slow path
+/// touches) are [`StripedCounter`]s: a single shared `AtomicU64` incremented
+/// by every fetch serializes the whole hit path on one cache line once
+/// thread counts climb. Everything on colder paths stays a plain atomic.
 #[derive(Debug, Default)]
 pub struct BufferMetrics {
-    dram_hits: AtomicU64,
-    nvm_hits: AtomicU64,
+    dram_hits: StripedCounter,
+    nvm_hits: StripedCounter,
     ssd_fetches: AtomicU64,
     migrations: [AtomicU64; MigrationPath::ALL.len()],
     evictions_dram: AtomicU64,
@@ -24,13 +31,13 @@ pub struct BufferMetrics {
     /// retry budget exhausted).
     io_fatal: AtomicU64,
     /// Fetches served lock-free by the optimistic pin fast path.
-    fetch_fast: AtomicU64,
+    fetch_fast: StripedCounter,
     /// Fetches that fell back to the descriptor-mutex slow path (miss,
     /// closed pin word, promotion draw, or optimistic restart).
-    fetch_fallbacks: AtomicU64,
+    fetch_fallbacks: StripedCounter,
     /// Optimistic pin attempts that observed a closed or concurrently
     /// transitioning pin word and restarted into the slow path.
-    pin_restarts: AtomicU64,
+    pin_restarts: StripedCounter,
     /// Fetch misses that found no free frame and ran eviction inline
     /// because maintenance workers had not kept up with the watermark.
     backpressure_fallbacks: AtomicU64,
@@ -57,13 +64,13 @@ impl BufferMetrics {
 
     /// Record a request served from the DRAM buffer.
     pub fn record_dram_hit(&self) {
-        self.dram_hits.fetch_add(1, Ordering::Relaxed);
+        self.dram_hits.incr();
     }
 
     /// Record a request served from the NVM buffer (directly, without
     /// promotion).
     pub fn record_nvm_hit(&self) {
-        self.nvm_hits.fetch_add(1, Ordering::Relaxed);
+        self.nvm_hits.incr();
     }
 
     /// Record a request that had to go to SSD.
@@ -103,17 +110,17 @@ impl BufferMetrics {
 
     /// Record a fetch served lock-free by the optimistic pin fast path.
     pub fn record_fetch_fast(&self) {
-        self.fetch_fast.fetch_add(1, Ordering::Relaxed);
+        self.fetch_fast.incr();
     }
 
     /// Record a fetch that took the descriptor-mutex slow path.
     pub fn record_fetch_fallback(&self) {
-        self.fetch_fallbacks.fetch_add(1, Ordering::Relaxed);
+        self.fetch_fallbacks.incr();
     }
 
     /// Record an optimistic pin attempt that had to restart.
     pub fn record_pin_restart(&self) {
-        self.pin_restarts.fetch_add(1, Ordering::Relaxed);
+        self.pin_restarts.incr();
     }
 
     /// Record a fetch miss that fell back to inline eviction because the
@@ -137,11 +144,17 @@ impl BufferMetrics {
         self.maint_writebacks.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Current backpressure-fallback count (single relaxed load; the
+    /// admission-control pressure probe reads this on every decision).
+    pub fn backpressure_fallbacks(&self) -> u64 {
+        self.backpressure_fallbacks.load(Ordering::Relaxed)
+    }
+
     /// Point-in-time copy of all counters.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
-            dram_hits: self.dram_hits.load(Ordering::Relaxed),
-            nvm_hits: self.nvm_hits.load(Ordering::Relaxed),
+            dram_hits: self.dram_hits.sum(),
+            nvm_hits: self.nvm_hits.sum(),
             ssd_fetches: self.ssd_fetches.load(Ordering::Relaxed),
             migrations: MigrationPath::ALL
                 .iter()
@@ -154,9 +167,9 @@ impl BufferMetrics {
             discards: self.discards.load(Ordering::Relaxed),
             io_retries: self.io_retries.load(Ordering::Relaxed),
             io_fatal: self.io_fatal.load(Ordering::Relaxed),
-            fetch_fast: self.fetch_fast.load(Ordering::Relaxed),
-            fetch_fallbacks: self.fetch_fallbacks.load(Ordering::Relaxed),
-            pin_restarts: self.pin_restarts.load(Ordering::Relaxed),
+            fetch_fast: self.fetch_fast.sum(),
+            fetch_fallbacks: self.fetch_fallbacks.sum(),
+            pin_restarts: self.pin_restarts.sum(),
             backpressure_fallbacks: self.backpressure_fallbacks.load(Ordering::Relaxed),
             maint_cycles: self.maint_cycles.load(Ordering::Relaxed),
             maint_evictions: self.maint_evictions.load(Ordering::Relaxed),
@@ -166,8 +179,8 @@ impl BufferMetrics {
 
     /// Reset all counters (between experiment phases).
     pub fn reset(&self) {
-        self.dram_hits.store(0, Ordering::Relaxed);
-        self.nvm_hits.store(0, Ordering::Relaxed);
+        self.dram_hits.reset();
+        self.nvm_hits.reset();
         self.ssd_fetches.store(0, Ordering::Relaxed);
         for m in &self.migrations {
             m.store(0, Ordering::Relaxed);
@@ -177,9 +190,9 @@ impl BufferMetrics {
         self.discards.store(0, Ordering::Relaxed);
         self.io_retries.store(0, Ordering::Relaxed);
         self.io_fatal.store(0, Ordering::Relaxed);
-        self.fetch_fast.store(0, Ordering::Relaxed);
-        self.fetch_fallbacks.store(0, Ordering::Relaxed);
-        self.pin_restarts.store(0, Ordering::Relaxed);
+        self.fetch_fast.reset();
+        self.fetch_fallbacks.reset();
+        self.pin_restarts.reset();
         self.backpressure_fallbacks.store(0, Ordering::Relaxed);
         self.maint_cycles.store(0, Ordering::Relaxed);
         self.maint_evictions.store(0, Ordering::Relaxed);

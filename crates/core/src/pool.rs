@@ -170,7 +170,11 @@ impl Pool {
             header,
             n_frames,
             occupied: AtomicBitmap::new(n_frames),
-            ref_bits: AtomicBitmap::new(n_frames),
+            // Padded: every buffer hit sets a reference bit, so the CLOCK
+            // bitmap is hit-path-hot; the dense layout packs 64 frames'
+            // bits per cache line and hits on neighboring frames would
+            // bounce it between cores.
+            ref_bits: AtomicBitmap::new_padded(n_frames),
             owners: (0..n_frames).map(|_| AtomicU64::new(NO_OWNER)).collect(),
             hand: AtomicUsize::new(0),
             free_count: AtomicUsize::new(n_frames),
@@ -279,7 +283,13 @@ impl Pool {
 
     /// Mark `frame` recently used (CLOCK reference bit).
     pub(crate) fn touch(&self, frame: FrameId) {
-        self.ref_bits.set(frame.0 as usize);
+        // Test-first: if the bit is already set (the common case for a hot
+        // frame) a plain load keeps the line in the Shared state everywhere,
+        // where an unconditional fetch_or would invalidate it on every hit.
+        let i = frame.0 as usize;
+        if !self.ref_bits.get(i) {
+            self.ref_bits.set(i);
+        }
     }
 
     /// Advance the CLOCK hand to the next eviction candidate: an occupied

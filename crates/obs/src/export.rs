@@ -28,6 +28,9 @@ pub struct HistEntry {
 pub struct Report {
     /// Latency histograms for every operation that recorded at least once.
     pub histograms: Vec<HistEntry>,
+    /// Dynamically-labeled histograms (e.g. per-tenant request latency),
+    /// `(label, snapshot)`, sorted by label. See [`crate::labels`].
+    pub labeled: Vec<(String, HistogramSnapshot)>,
     /// Monotonic counters, `(name, value)`.
     pub counters: Vec<(String, u64)>,
     /// Point-in-time gauges, `(name, value)`.
@@ -53,6 +56,7 @@ impl Report {
         }
         Report {
             histograms,
+            labeled: crate::labels::labeled_snapshots(),
             counters: Vec::new(),
             gauges: crate::sampler::gauge_values(),
             series: crate::sampler::series_snapshot(),
@@ -98,6 +102,27 @@ impl Report {
                 ));
             }
         }
+        if !self.labeled.is_empty() {
+            s.push_str("# HELP spitfire_labeled_latency_seconds Labeled latency quantiles.\n");
+            s.push_str("# TYPE spitfire_labeled_latency_seconds summary\n");
+            for (label, snap) in &self.labeled {
+                for (q, ql, _) in QUANTILES {
+                    if let Some(ns) = snap.quantile(q) {
+                        s.push_str(&format!(
+                            "spitfire_labeled_latency_seconds{{label=\"{}\",quantile=\"{}\"}} {}\n",
+                            escape(label),
+                            ql,
+                            fmt_f64(ns as f64 / 1e9)
+                        ));
+                    }
+                }
+                s.push_str(&format!(
+                    "spitfire_labeled_latency_seconds_count{{label=\"{}\"}} {}\n",
+                    escape(label),
+                    snap.count
+                ));
+            }
+        }
         for (name, value) in &self.counters {
             let metric = sanitize(name);
             s.push_str(&format!("# TYPE spitfire_{metric} counter\n"));
@@ -118,28 +143,17 @@ impl Report {
             if i > 0 {
                 s.push(',');
             }
-            let snap = &h.snapshot;
             s.push_str(&format!("\n    \"{}\": {{", h.name));
-            s.push_str(&format!("\"count\": {}, ", snap.count));
-            s.push_str(&format!("\"sum_ns\": {}, ", snap.sum));
-            s.push_str(&format!(
-                "\"min_ns\": {}, ",
-                if snap.count == 0 { 0 } else { snap.min }
-            ));
-            s.push_str(&format!("\"max_ns\": {}, ", snap.max));
-            s.push_str(&format!(
-                "\"mean_ns\": {}, ",
-                fmt_f64(snap.mean().unwrap_or(0.0))
-            ));
-            for (q, _, short) in QUANTILES {
-                s.push_str(&format!(
-                    "\"{}_ns\": {}, ",
-                    short,
-                    snap.quantile(q).unwrap_or(0)
-                ));
+            s.push_str(&snapshot_fields(&h.snapshot));
+            s.push('}');
+        }
+        s.push_str("\n  },\n  \"labeled\": {");
+        for (i, (label, snap)) in self.labeled.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
             }
-            // Trim the trailing ", ".
-            s.truncate(s.len() - 2);
+            s.push_str(&format!("\n    \"{}\": {{", escape(label)));
+            s.push_str(&snapshot_fields(snap));
             s.push('}');
         }
         s.push_str("\n  },\n  \"counters\": {");
@@ -173,6 +187,33 @@ impl Report {
         s.push_str("\n  ]\n}\n");
         s
     }
+}
+
+/// The inner `"count": …, …, "p999_ns": …` fields of one exported
+/// histogram (shared by the per-op and labeled sections).
+fn snapshot_fields(snap: &HistogramSnapshot) -> String {
+    let mut s = String::new();
+    s.push_str(&format!("\"count\": {}, ", snap.count));
+    s.push_str(&format!("\"sum_ns\": {}, ", snap.sum));
+    s.push_str(&format!(
+        "\"min_ns\": {}, ",
+        if snap.count == 0 { 0 } else { snap.min }
+    ));
+    s.push_str(&format!("\"max_ns\": {}, ", snap.max));
+    s.push_str(&format!(
+        "\"mean_ns\": {}, ",
+        fmt_f64(snap.mean().unwrap_or(0.0))
+    ));
+    for (q, _, short) in QUANTILES {
+        s.push_str(&format!(
+            "\"{}_ns\": {}, ",
+            short,
+            snap.quantile(q).unwrap_or(0)
+        ));
+    }
+    // Trim the trailing ", ".
+    s.truncate(s.len() - 2);
+    s
 }
 
 /// Format an f64 for JSON/Prometheus (finite; no NaN/inf in the output).

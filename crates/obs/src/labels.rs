@@ -1,0 +1,110 @@
+//! Labeled latency histograms: string-keyed histogram sets for dimensions
+//! that are not known at compile time.
+//!
+//! The [`Op`](crate::Op)-keyed registry covers the fixed vocabulary of
+//! buffer-manager operations; a multi-tenant front end additionally needs
+//! one histogram *per tenant* (and per request class), where the label set
+//! is configuration. Labeled histograms live in a global string-keyed
+//! registry, are created on first use, and are folded into
+//! [`Report::capture`](crate::Report::capture) alongside the per-op
+//! histograms.
+//!
+//! Hot-path cost: [`labeled_histogram`] takes a read lock and clones an
+//! `Arc` — callers that record per request should look the handle up once
+//! and keep it.
+
+use std::collections::HashMap;
+use std::sync::{Arc, OnceLock, RwLock};
+use std::time::Duration;
+
+use crate::hist::{HistogramSet, HistogramSnapshot};
+
+fn registry() -> &'static RwLock<HashMap<String, Arc<HistogramSet>>> {
+    static REG: OnceLock<RwLock<HashMap<String, Arc<HistogramSet>>>> = OnceLock::new();
+    REG.get_or_init(|| RwLock::new(HashMap::new()))
+}
+
+fn lock_read(
+    reg: &'static RwLock<HashMap<String, Arc<HistogramSet>>>,
+) -> std::sync::RwLockReadGuard<'static, HashMap<String, Arc<HistogramSet>>> {
+    reg.read().unwrap_or_else(|p| p.into_inner())
+}
+
+/// The histogram registered under `label`, created empty on first use.
+///
+/// Cache the returned `Arc` when recording per-request: the lookup takes
+/// the registry read lock.
+pub fn labeled_histogram(label: &str) -> Arc<HistogramSet> {
+    let reg = registry();
+    if let Some(h) = lock_read(reg).get(label) {
+        return Arc::clone(h);
+    }
+    let mut map = reg.write().unwrap_or_else(|p| p.into_inner());
+    Arc::clone(
+        map.entry(label.to_string())
+            .or_insert_with(|| Arc::new(HistogramSet::new())),
+    )
+}
+
+/// Record one duration under `label` (lookup included — prefer caching
+/// [`labeled_histogram`] on hot paths).
+pub fn record_labeled(label: &str, d: Duration) {
+    labeled_histogram(label).record(d.as_nanos().min(u128::from(u64::MAX)) as u64);
+}
+
+/// Snapshots of every labeled histogram holding at least one sample,
+/// sorted by label.
+pub fn labeled_snapshots() -> Vec<(String, HistogramSnapshot)> {
+    let mut out: Vec<(String, HistogramSnapshot)> = lock_read(registry())
+        .iter()
+        .filter_map(|(label, h)| {
+            let snap = h.snapshot();
+            (snap.count > 0).then(|| (label.clone(), snap))
+        })
+        .collect();
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    out
+}
+
+/// Drop every labeled histogram (between experiment phases). Handles
+/// cached by callers keep recording into detached sets that no longer
+/// appear in reports.
+pub fn reset_labeled() {
+    registry()
+        .write()
+        .unwrap_or_else(|p| p.into_inner())
+        .clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labeled_histograms_round_trip() {
+        let _g = crate::test_guard();
+        reset_labeled();
+        record_labeled("tenant0/get", Duration::from_micros(5));
+        record_labeled("tenant0/get", Duration::from_micros(7));
+        record_labeled("tenant1/get", Duration::from_micros(9));
+        labeled_histogram("tenant2/idle"); // never records; filtered out
+        let snaps = labeled_snapshots();
+        let labels: Vec<&str> = snaps.iter().map(|(l, _)| l.as_str()).collect();
+        assert_eq!(labels, ["tenant0/get", "tenant1/get"]);
+        assert_eq!(snaps[0].1.count, 2);
+        assert_eq!(snaps[1].1.count, 1);
+        reset_labeled();
+        assert!(labeled_snapshots().is_empty());
+    }
+
+    #[test]
+    fn same_label_shares_one_histogram() {
+        let _g = crate::test_guard();
+        reset_labeled();
+        let a = labeled_histogram("shared");
+        let b = labeled_histogram("shared");
+        a.record(100);
+        assert_eq!(b.snapshot().count, 1);
+        reset_labeled();
+    }
+}

@@ -29,12 +29,14 @@
 pub mod events;
 pub mod export;
 pub mod hist;
+pub mod labels;
 pub mod op;
 pub mod recorder;
 pub mod sampler;
 
 pub use export::{HistEntry, Report};
 pub use hist::{Histogram, HistogramSet, HistogramSnapshot};
+pub use labels::{labeled_histogram, labeled_snapshots, record_labeled, reset_labeled};
 pub use op::{Op, OP_COUNT};
 pub use recorder::{
     enabled, op_start, record_duration, record_op, record_since, sample_interval, set_enabled,

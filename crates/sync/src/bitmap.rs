@@ -23,14 +23,39 @@ const BITS: usize = 64;
 pub struct AtomicBitmap {
     words: Vec<AtomicU64>,
     len: usize,
+    /// Physical words allocated per logical 64-bit word: 1 for the dense
+    /// layout, [`PAD_STRIDE`] to give each logical word its own cache line.
+    stride: usize,
 }
+
+/// Stride (in `u64` words) that places each logical word on its own
+/// 64-byte cache line.
+const PAD_STRIDE: usize = crate::CACHE_LINE / std::mem::size_of::<u64>();
 
 impl AtomicBitmap {
     /// A bitmap of `len` bits, all clear.
     pub fn new(len: usize) -> Self {
+        Self::with_stride(len, 1)
+    }
+
+    /// A bitmap of `len` bits where every 64-bit word sits on its own
+    /// cache line.
+    ///
+    /// Costs 8x the (tiny) dense footprint — one byte per bit instead of
+    /// one bit — and in exchange concurrent writers of nearby bits never
+    /// bounce a shared line. Used for the CLOCK reference bits, which the
+    /// lock-free hit path sets on every buffer hit.
+    pub fn new_padded(len: usize) -> Self {
+        Self::with_stride(len, PAD_STRIDE)
+    }
+
+    fn with_stride(len: usize, stride: usize) -> Self {
         AtomicBitmap {
-            words: (0..len.div_ceil(BITS)).map(|_| AtomicU64::new(0)).collect(),
+            words: (0..len.div_ceil(BITS) * stride)
+                .map(|_| AtomicU64::new(0))
+                .collect(),
             len,
+            stride,
         }
     }
 
@@ -51,7 +76,7 @@ impl AtomicBitmap {
             "bit {bit} out of range for bitmap of {}",
             self.len
         );
-        (bit / BITS, 1u64 << (bit % BITS))
+        ((bit / BITS) * self.stride, 1u64 << (bit % BITS))
     }
 
     /// Set `bit`; returns the previous value.
@@ -87,11 +112,11 @@ impl AtomicBitmap {
             return None;
         }
         let start_word = (from % self.len) / BITS;
-        let nwords = self.words.len();
+        let nwords = self.words.len() / self.stride;
         for i in 0..nwords {
             let w = (start_word + i) % nwords;
             loop {
-                let cur = self.words[w].load(Ordering::Acquire);
+                let cur = self.words[w * self.stride].load(Ordering::Acquire);
                 let free = !cur;
                 if free == 0 {
                     break;
@@ -114,13 +139,14 @@ impl AtomicBitmap {
     pub fn count_ones(&self) -> usize {
         self.words
             .iter()
+            .step_by(self.stride)
             .map(|w| w.load(Ordering::Acquire).count_ones() as usize)
             .sum()
     }
 
     /// Clear every bit.
     pub fn clear_all(&self) {
-        for w in &self.words {
+        for w in self.words.iter().step_by(self.stride) {
             w.store(0, Ordering::Release);
         }
     }
@@ -233,6 +259,28 @@ mod tests {
         assert_eq!(all.len(), N, "every acquired bit must be unique");
         assert_eq!(b.count_ones(), N);
         assert_eq!(b.acquire_first_clear(0), None);
+    }
+
+    #[test]
+    fn padded_layout_behaves_like_dense() {
+        let b = AtomicBitmap::new_padded(130);
+        assert_eq!(b.len(), 130);
+        assert!(!b.set(0));
+        assert!(!b.set(63));
+        assert!(!b.set(64));
+        assert!(!b.set(129));
+        assert_eq!(b.count_ones(), 4);
+        assert!(b.get(64));
+        assert!(b.clear(64));
+        assert_eq!(b.count_ones(), 3);
+        b.clear_all();
+        assert_eq!(b.count_ones(), 0);
+        let mut got = Vec::new();
+        while let Some(bit) = b.acquire_first_clear(68) {
+            got.push(bit);
+        }
+        got.sort_unstable();
+        assert_eq!(got, (0..130).collect::<Vec<_>>());
     }
 
     #[test]

@@ -23,6 +23,7 @@ mod bitmap;
 mod chashmap;
 mod latch;
 mod optimistic;
+mod padded;
 mod pinword;
 
 pub use admission::AdmissionQueue;
@@ -30,4 +31,5 @@ pub use bitmap::AtomicBitmap;
 pub use chashmap::ConcurrentMap;
 pub use latch::{LatchReadGuard, LatchWriteGuard, RwLatch};
 pub use optimistic::{OptimisticError, VersionLatch};
+pub use padded::{CachePadded, StripedCounter, CACHE_LINE};
 pub use pinword::{PinAttempt, PinWord};

@@ -1,0 +1,172 @@
+//! Cache-line padding and striped counters for hot-path shared state.
+//!
+//! The lock-free hit path (manager `fetch_fast`) touches three kinds of
+//! shared memory per operation: the page's optimistic pin word, the CLOCK
+//! reference bit, and a handful of metrics counters. None of these need
+//! to be *shared* cache lines — a pin word for page A and a pin word for
+//! page B are logically independent — but without explicit layout control
+//! they end up packed together and every CAS drags a line across cores
+//! (false sharing). [`CachePadded`] gives a value its own 64-byte line;
+//! [`StripedCounter`] splits one logical counter across per-thread-striped
+//! lines so concurrent increments never collide.
+
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Cache-line size the layout types pad to. 64 bytes covers x86-64 and
+/// most aarch64 parts; over-padding on exotic hardware only wastes bytes.
+pub const CACHE_LINE: usize = 64;
+
+/// Aligns (and therefore pads) `T` to its own 64-byte cache line.
+///
+/// Dereferences to `T`, so wrapped atomics keep their call syntax:
+///
+/// ```
+/// use std::sync::atomic::{AtomicU64, Ordering};
+/// use spitfire_sync::CachePadded;
+/// let c = CachePadded::new(AtomicU64::new(0));
+/// c.fetch_add(1, Ordering::Relaxed);
+/// assert_eq!(c.load(Ordering::Relaxed), 1);
+/// assert_eq!(std::mem::align_of::<CachePadded<AtomicU64>>(), 64);
+/// ```
+#[derive(Debug, Default)]
+#[repr(align(64))]
+pub struct CachePadded<T>(T);
+
+impl<T> CachePadded<T> {
+    /// Wrap `value` on its own cache line.
+    pub const fn new(value: T) -> Self {
+        CachePadded(value)
+    }
+
+    /// Unwrap the inner value.
+    pub fn into_inner(self) -> T {
+        self.0
+    }
+}
+
+impl<T> Deref for CachePadded<T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<T> DerefMut for CachePadded<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.0
+    }
+}
+
+/// Stripes a monotone counter across [`STRIPES`](StripedCounter::STRIPES)
+/// cache-line-padded cells.
+///
+/// Each thread hashes to a fixed cell (threads are assigned round-robin on
+/// first use), so increments from different threads usually hit different
+/// cache lines and never contend the way a single `AtomicU64` does at high
+/// core counts. Reads ([`sum`](StripedCounter::sum)) fold all cells and are
+/// O(stripes) — fine for snapshots, wrong for per-op reads.
+#[derive(Debug, Default)]
+pub struct StripedCounter {
+    cells: [CachePadded<AtomicU64>; Self::STRIPES],
+}
+
+static NEXT_STRIPE: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Round-robin stripe assignment; reduced modulo `STRIPES` at use so
+    /// one global counter serves any number of striped counters.
+    static THREAD_STRIPE: usize = NEXT_STRIPE.fetch_add(1, Ordering::Relaxed);
+}
+
+impl StripedCounter {
+    /// Number of padded cells. Eight lines absorb the thread counts the
+    /// benches drive (32) with at most 4 threads per line.
+    pub const STRIPES: usize = 8;
+
+    /// A zeroed counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `n` on the calling thread's stripe.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        let s = THREAD_STRIPE.with(|s| *s) % Self::STRIPES;
+        self.cells[s].fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Increment by one on the calling thread's stripe.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Fold all stripes into the logical total.
+    pub fn sum(&self) -> u64 {
+        self.cells.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Zero every stripe. Concurrent increments may survive the reset,
+    /// exactly as with `AtomicU64::store(0)`.
+    pub fn reset(&self) {
+        for c in &self.cells {
+            c.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn padded_value_is_line_aligned() {
+        assert_eq!(std::mem::align_of::<CachePadded<u8>>(), CACHE_LINE);
+        assert_eq!(std::mem::size_of::<CachePadded<u8>>(), CACHE_LINE);
+        // An array of padded values puts each element on its own line.
+        let arr = [CachePadded::new(0u8), CachePadded::new(1u8)];
+        let a = &*arr[0] as *const u8 as usize;
+        let b = &*arr[1] as *const u8 as usize;
+        assert_eq!(b - a, CACHE_LINE);
+    }
+
+    #[test]
+    fn padded_derefs_both_ways() {
+        let mut c = CachePadded::new(7u32);
+        *c += 1;
+        assert_eq!(*c, 8);
+        assert_eq!(c.into_inner(), 8);
+    }
+
+    #[test]
+    fn striped_counter_sums_across_threads() {
+        let c = Arc::new(StripedCounter::new());
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        c.incr();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.sum(), 8000);
+        c.reset();
+        assert_eq!(c.sum(), 0);
+    }
+
+    #[test]
+    fn striped_counter_add_accumulates() {
+        let c = StripedCounter::new();
+        c.add(5);
+        c.add(7);
+        assert_eq!(c.sum(), 12);
+    }
+}

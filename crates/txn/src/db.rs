@@ -246,6 +246,12 @@ impl Database {
         self.table(id)
     }
 
+    /// Data-page ids of a table, for residency inspection (e.g. asking the
+    /// buffer manager which of a tenant's pages are DRAM-resident).
+    pub fn table_data_pages(&self, table_id: u32) -> Result<Vec<spitfire_core::PageId>> {
+        Ok(self.table(table_id)?.data_pages())
+    }
+
     pub(crate) fn index_handle(&self, id: u32) -> Result<Arc<BTree>> {
         self.index(id)
     }

@@ -21,6 +21,8 @@ pub enum TxnError {
     Duplicate,
     /// The transaction was already finished (commit/abort called twice).
     InactiveTransaction,
+    /// A transaction is already open on this session (nested `BEGIN`).
+    TransactionOpen,
     /// A log record exceeds the NVM log buffer capacity.
     LogRecordTooLarge(usize),
     /// A payload does not match the table's tuple size.
@@ -58,6 +60,7 @@ impl std::fmt::Display for TxnError {
             TxnError::NotFound => write!(f, "no visible version for key"),
             TxnError::Duplicate => write!(f, "key already exists"),
             TxnError::InactiveTransaction => write!(f, "transaction already finished"),
+            TxnError::TransactionOpen => write!(f, "a transaction is already open"),
             TxnError::LogRecordTooLarge(n) => {
                 write!(f, "log record of {n} bytes exceeds the NVM log buffer")
             }

@@ -24,14 +24,16 @@ mod db;
 mod error;
 mod maintenance;
 pub mod mvto;
+mod session;
 mod table;
 mod wal;
 
 pub use db::{Database, DbConfig, RecoveryStats, Transaction};
 pub use error::TxnError;
 pub use maintenance::{BackgroundFlusher, VacuumStats};
+pub use session::Session;
 pub use table::{Table, VersionHeader, NO_RID, VERSION_HEADER};
-pub use wal::{LogRecord, RecordKind, Wal, WalScanReport};
+pub use wal::{crc32, LogRecord, RecordKind, Wal, WalScanReport};
 
 /// Result alias for transaction-layer operations.
 pub type Result<T> = std::result::Result<T, TxnError>;

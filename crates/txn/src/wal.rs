@@ -171,8 +171,9 @@ impl LogRecord {
 }
 
 /// Simple CRC-32 (IEEE, bitwise — log framing is not a hot path relative
-/// to the emulated device delays).
-fn crc32(data: &[u8]) -> u32 {
+/// to the emulated device delays). Public so the server wire protocol can
+/// frame with the same checksum the log uses.
+pub fn crc32(data: &[u8]) -> u32 {
     let mut crc = 0xFFFF_FFFFu32;
     for &b in data {
         crc ^= b as u32;
