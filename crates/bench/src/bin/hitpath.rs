@@ -128,6 +128,7 @@ fn run_point(s: &Scenario, threads: usize, window: Duration) -> Point {
             std::thread::spawn(move || {
                 let mut ops = 0u64;
                 let mut i = t * (PAGES / threads.max(1));
+                // relaxed: stop flag is a window hint; an extra batch outside the window is timing noise.
                 while !stop.load(Ordering::Relaxed) {
                     // 1024 fetch/unpin pairs between stop checks.
                     for _ in 0..1024 {
@@ -138,17 +139,20 @@ fn run_point(s: &Scenario, threads: usize, window: Duration) -> Point {
                     }
                     ops += 1024;
                 }
+                // relaxed: throughput statistic folded after join.
                 total.fetch_add(ops, Ordering::Relaxed);
             })
         })
         .collect();
     let t0 = Instant::now();
     std::thread::sleep(window);
+    // relaxed: window hint (see the worker loop).
     stop.store(true, Ordering::Relaxed);
     for h in handles {
         h.join().unwrap();
     }
     let elapsed = t0.elapsed().as_secs_f64();
+    // relaxed: read after join; the join synchronizes.
     let ops = total.load(Ordering::Relaxed);
     let snap = spitfire_obs::registry().histogram(s.op).snapshot();
     let after = s.bm.metrics().delta(&before);

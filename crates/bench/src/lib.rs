@@ -346,6 +346,7 @@ impl Flusher {
         let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
         let stop2 = Arc::clone(&stop);
         let handle = std::thread::spawn(move || {
+            // relaxed: shutdown hint; the flusher may run one extra cycle.
             while !stop2.load(std::sync::atomic::Ordering::Relaxed) {
                 std::thread::sleep(period);
                 let _ = bm.flush_all_dirty();
@@ -360,6 +361,7 @@ impl Flusher {
 
 impl Drop for Flusher {
     fn drop(&mut self) {
+        // relaxed: shutdown hint (see the worker loop).
         self.stop.store(true, std::sync::atomic::Ordering::Relaxed);
         if let Some(h) = self.handle.take() {
             let _ = h.join();

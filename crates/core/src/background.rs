@@ -28,7 +28,7 @@
 //! them after recovery. Cycles additionally snapshot the manager's crash
 //! epoch and abort when it changes under them.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use spitfire_sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -85,6 +85,9 @@ impl MaintSignal {
     /// Wake the workers for an immediate cycle (free list dipped below the
     /// low watermark).
     pub(crate) fn kick(&self) {
+        // relaxed: the hint only dedups kicks; a suppressed kick is
+        // recovered by the workers' periodic timed wait, and the real
+        // signal travels through the mutex-protected state below.
         if self.kicked_hint.swap(true, Ordering::Relaxed) {
             return; // a kick is already pending
         }
@@ -240,6 +243,8 @@ fn worker_loop(bm: &Arc<BufferManager>, sig: &Arc<MaintSignal>, interval: Durati
                 }
                 if st.kicked {
                     st.kicked = false;
+                    // relaxed: hint reset; the authoritative flag lives
+                    // under the mutex (see `kick`).
                     sig.kicked_hint.store(false, Ordering::Relaxed);
                     break;
                 }
@@ -248,6 +253,7 @@ fn worker_loop(bm: &Arc<BufferManager>, sig: &Arc<MaintSignal>, interval: Durati
                 // racing a concurrent cycle).
                 if sig.work_cv.wait_for(&mut st, interval).timed_out() && !st.stop && !st.paused {
                     st.kicked = false;
+                    // relaxed: hint reset, as above.
                     sig.kicked_hint.store(false, Ordering::Relaxed);
                     break;
                 }

@@ -19,7 +19,7 @@
 
 use std::collections::HashMap;
 
-use parking_lot::Mutex;
+use spitfire_sync::lock::Mutex;
 
 use crate::types::{FrameId, PageId};
 

@@ -29,15 +29,15 @@
 //! serializes writers, and a reader that loses the race simply restarts
 //! into the mutex path.
 
+use spitfire_sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::cell::{Cell, RefCell};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::RwLock;
 use spitfire_device::{
     AccessPattern, DeviceError, DeviceStats, FaultInjector, NvmDevice, SsdDevice,
 };
 use spitfire_obs::{self as obs, Op};
+use spitfire_sync::lock::RwLock;
 use spitfire_sync::{AdmissionQueue, ConcurrentMap, PinAttempt};
 
 use crate::background::{CycleStats, MaintSignal, Maintenance};
@@ -188,6 +188,8 @@ impl BufferManager {
             admission,
             metrics,
             next_pid: AtomicU64::new(0),
+            // relaxed: id allocation only needs uniqueness, which the RMW
+            // gives regardless of ordering.
             mgr_id: NEXT_MGR_ID.fetch_add(1, Ordering::Relaxed),
             cache_epoch: AtomicU64::new(0),
             rng_threads: AtomicU64::new(0),
@@ -323,6 +325,8 @@ impl BufferManager {
         POLICY_RNG.with(|c| {
             let (id, mut s) = c.get();
             if id != self.mgr_id {
+                // relaxed: per-thread RNG seed ordinal; only uniqueness
+                // matters, not ordering against other memory.
                 let ord = self.rng_threads.fetch_add(1, Ordering::Relaxed);
                 // `| 1` keeps the xorshift state non-zero forever.
                 s = splitmix64(self.config.seed ^ splitmix64(ord)) | 1;
@@ -375,7 +379,7 @@ impl BufferManager {
     }
 
     fn descriptor(&self, pid: PageId) -> Result<Arc<SharedPageDesc>> {
-        // Relaxed suffices for this bounds check: a caller can only hold
+        // relaxed: suffices for this bounds check — a caller can only hold
         // a valid pid through some channel that happens-after the
         // `fetch_add` in `allocate_page` (a return value, a message, a
         // page read), and that edge makes the incremented counter visible
@@ -425,6 +429,42 @@ impl BufferManager {
         self.fetch(pid, AccessIntent::Write).map(WriteGuard::new)
     }
 
+    /// Cache-miss descriptor resolution for [`Self::fetch_fast`]: consult
+    /// the mapping table and install the result in the thread-local slot.
+    /// The mapping probe takes a shard read lock, which is why this lives
+    /// outside the `fastpath` lint region — a stably cached page never
+    /// gets here.
+    #[cold]
+    fn fast_resolve_miss(&self, slot: &mut Option<CachedDesc>, pid: PageId, epoch: u64) -> bool {
+        let Some(desc) = self.mapping.get(&pid.0) else {
+            return false;
+        };
+        *slot = Some(CachedDesc {
+            mgr: self.mgr_id,
+            epoch,
+            pid: pid.0,
+            desc,
+        });
+        true
+    }
+
+    /// Mapping-table fallback for [`Self::unpin_fast`] when the cache slot
+    /// was stolen by a colliding pid (or invalidated by a crash). After a
+    /// crash the descriptor may be gone entirely — the pin died with it,
+    /// and `PinWord::unpin` on a re-created descriptor is a harmless no-op
+    /// at count zero. Takes a shard read lock, hence outside the
+    /// `fastpath` lint region.
+    #[cold]
+    fn unpin_cold(&self, pid: PageId, in_dram_slot: bool) {
+        if let Some(desc) = self.mapping.get(&pid.0) {
+            desc.pin_word(in_dram_slot).unpin();
+        }
+    }
+
+    // xtask: fastpath-begin -- lock-free hit path (fetch_fast/unpin_fast).
+    // No lock types or acquisitions below; lock-taking fallbacks are the
+    // #[cold] helpers above, outside this region.
+
     /// The lock-free hit path. An uncontended DRAM hit costs one
     /// thread-local array probe, one pin-word CAS, one CLOCK-bitmap bit
     /// set, and two relaxed counter bumps — no mutex, no shard lock, no
@@ -446,16 +486,10 @@ impl BufferManager {
             let desc: &Arc<SharedPageDesc> = match slot {
                 Some(c) if c.mgr == self.mgr_id && c.epoch == epoch && c.pid == pid.0 => &c.desc,
                 _ => {
-                    let Some(desc) = self.mapping.get(&pid.0) else {
+                    if !self.fast_resolve_miss(slot, pid, epoch) {
                         return FastOutcome::NoDesc;
-                    };
-                    *slot = Some(CachedDesc {
-                        mgr: self.mgr_id,
-                        epoch,
-                        pid: pid.0,
-                        desc,
-                    });
-                    &slot.as_ref().expect("just stored").desc
+                    }
+                    &slot.as_ref().expect("just resolved").desc
                 }
             };
             // DRAM copy: one CAS pins it or we learn why not.
@@ -546,16 +580,11 @@ impl BufferManager {
             }
         });
         if !cached {
-            // Cache slot stolen by a colliding pid (or invalidated by a
-            // crash): the mapping table still resolves the descriptor.
-            // After a crash the descriptor may be gone entirely — the
-            // pin died with it, and `PinWord::unpin` on a re-created
-            // descriptor is a harmless no-op at count zero.
-            if let Some(desc) = self.mapping.get(&pid.0) {
-                desc.pin_word(in_dram_slot).unpin();
-            }
+            self.unpin_cold(pid, in_dram_slot);
         }
     }
+
+    // xtask: fastpath-end
 
     /// The descriptor-mutex fetch protocol (misses, migrations, waits).
     /// `promote` carries a promotion coin the fast path already drew for
@@ -916,6 +945,9 @@ impl BufferManager {
         } else {
             self.nvm_pool()
         };
+        // relaxed: a stale reading of the flag only routes this alloc
+        // through the wrong path (inline eviction vs. free-list pop);
+        // both paths are correct on their own.
         if self.maint_active.load(Ordering::Relaxed) {
             if let Some(f) = pool.try_alloc() {
                 let m = &self.config.maintenance;
@@ -1604,12 +1636,15 @@ impl BufferManager {
     /// Detach the maintenance signal and stop treating the service as
     /// active.
     pub(crate) fn detach_maint_signal(&self) {
+        // relaxed: see `alloc_frame` — allocators observing the flag late
+        // merely pick the other (still correct) allocation path.
         self.maint_active.store(false, Ordering::Relaxed);
         *self.maint.write() = None;
     }
 
     /// Flip the fast "workers are running" flag checked by `alloc_frame`.
     pub(crate) fn set_maint_active(&self, active: bool) {
+        // relaxed: see `alloc_frame`.
         self.maint_active.store(active, Ordering::Relaxed);
     }
 

@@ -1,7 +1,7 @@
 //! Buffer manager metrics: tier hits, migration-path counters, and the
 //! inclusivity ratio (paper §3.3, Table 2).
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use spitfire_sync::atomic::{AtomicU64, Ordering};
 
 use serde::{Deserialize, Serialize};
 use spitfire_sync::StripedCounter;
@@ -56,6 +56,27 @@ fn path_index(path: MigrationPath) -> usize {
         .expect("MigrationPath::ALL contains every variant")
 }
 
+/// Bump a monotone statistics counter.
+// relaxed: every plain-atomic counter in this file is a monotone
+// statistic read only by `snapshot`/probe methods; counters publish no
+// other memory, so no ordering is needed (striped counters make the
+// identical argument in `spitfire_sync::padded`).
+fn bump_n(c: &AtomicU64, n: u64) {
+    c.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Read a statistics counter (point-in-time, no cross-counter consistency).
+// relaxed: see `bump_n`.
+fn get(c: &AtomicU64) -> u64 {
+    c.load(Ordering::Relaxed)
+}
+
+/// Zero a statistics counter; racing bumps may survive by design.
+// relaxed: see `bump_n`.
+fn zero(c: &AtomicU64) {
+    c.store(0, Ordering::Relaxed);
+}
+
 impl BufferMetrics {
     /// Fresh zeroed counters.
     pub fn new() -> Self {
@@ -75,37 +96,37 @@ impl BufferMetrics {
 
     /// Record a request that had to go to SSD.
     pub fn record_ssd_fetch(&self) {
-        self.ssd_fetches.fetch_add(1, Ordering::Relaxed);
+        bump_n(&self.ssd_fetches, 1);
     }
 
     /// Record a page migration along `path`.
     pub fn record_migration(&self, path: MigrationPath) {
-        self.migrations[path_index(path)].fetch_add(1, Ordering::Relaxed);
+        bump_n(&self.migrations[path_index(path)], 1);
     }
 
     /// Record an eviction from the DRAM buffer.
     pub fn record_dram_eviction(&self) {
-        self.evictions_dram.fetch_add(1, Ordering::Relaxed);
+        bump_n(&self.evictions_dram, 1);
     }
 
     /// Record an eviction from the NVM buffer.
     pub fn record_nvm_eviction(&self) {
-        self.evictions_nvm.fetch_add(1, Ordering::Relaxed);
+        bump_n(&self.evictions_nvm, 1);
     }
 
     /// Record a clean DRAM page discarded on eviction.
     pub fn record_discard(&self) {
-        self.discards.fetch_add(1, Ordering::Relaxed);
+        bump_n(&self.discards, 1);
     }
 
     /// Record one retry of a device operation after a transient error.
     pub fn record_io_retry(&self) {
-        self.io_retries.fetch_add(1, Ordering::Relaxed);
+        bump_n(&self.io_retries, 1);
     }
 
     /// Record a device operation that failed fatally.
     pub fn record_io_fatal(&self) {
-        self.io_fatal.fetch_add(1, Ordering::Relaxed);
+        bump_n(&self.io_fatal, 1);
     }
 
     /// Record a fetch served lock-free by the optimistic pin fast path.
@@ -126,28 +147,28 @@ impl BufferMetrics {
     /// Record a fetch miss that fell back to inline eviction because the
     /// free list was empty (maintenance behind the low watermark).
     pub fn record_backpressure_fallback(&self) {
-        self.backpressure_fallbacks.fetch_add(1, Ordering::Relaxed);
+        bump_n(&self.backpressure_fallbacks, 1);
     }
 
     /// Record one maintenance cycle (worker wake-up or manual tick).
     pub fn record_maint_cycle(&self) {
-        self.maint_cycles.fetch_add(1, Ordering::Relaxed);
+        bump_n(&self.maint_cycles, 1);
     }
 
     /// Record `n` frames freed by maintenance pre-eviction.
     pub fn record_maint_evictions(&self, n: u64) {
-        self.maint_evictions.fetch_add(n, Ordering::Relaxed);
+        bump_n(&self.maint_evictions, n);
     }
 
     /// Record `n` dirty pages written back by a maintenance batch.
     pub fn record_maint_writebacks(&self, n: u64) {
-        self.maint_writebacks.fetch_add(n, Ordering::Relaxed);
+        bump_n(&self.maint_writebacks, n);
     }
 
     /// Current backpressure-fallback count (single relaxed load; the
     /// admission-control pressure probe reads this on every decision).
     pub fn backpressure_fallbacks(&self) -> u64 {
-        self.backpressure_fallbacks.load(Ordering::Relaxed)
+        get(&self.backpressure_fallbacks)
     }
 
     /// Point-in-time copy of all counters.
@@ -155,25 +176,25 @@ impl BufferMetrics {
         MetricsSnapshot {
             dram_hits: self.dram_hits.sum(),
             nvm_hits: self.nvm_hits.sum(),
-            ssd_fetches: self.ssd_fetches.load(Ordering::Relaxed),
+            ssd_fetches: get(&self.ssd_fetches),
             migrations: MigrationPath::ALL
                 .iter()
-                .map(|p| self.migrations[path_index(*p)].load(Ordering::Relaxed))
+                .map(|p| get(&self.migrations[path_index(*p)]))
                 .collect::<Vec<_>>()
                 .try_into()
                 .expect("sized by MigrationPath::ALL"),
-            evictions_dram: self.evictions_dram.load(Ordering::Relaxed),
-            evictions_nvm: self.evictions_nvm.load(Ordering::Relaxed),
-            discards: self.discards.load(Ordering::Relaxed),
-            io_retries: self.io_retries.load(Ordering::Relaxed),
-            io_fatal: self.io_fatal.load(Ordering::Relaxed),
+            evictions_dram: get(&self.evictions_dram),
+            evictions_nvm: get(&self.evictions_nvm),
+            discards: get(&self.discards),
+            io_retries: get(&self.io_retries),
+            io_fatal: get(&self.io_fatal),
             fetch_fast: self.fetch_fast.sum(),
             fetch_fallbacks: self.fetch_fallbacks.sum(),
             pin_restarts: self.pin_restarts.sum(),
-            backpressure_fallbacks: self.backpressure_fallbacks.load(Ordering::Relaxed),
-            maint_cycles: self.maint_cycles.load(Ordering::Relaxed),
-            maint_evictions: self.maint_evictions.load(Ordering::Relaxed),
-            maint_writebacks: self.maint_writebacks.load(Ordering::Relaxed),
+            backpressure_fallbacks: get(&self.backpressure_fallbacks),
+            maint_cycles: get(&self.maint_cycles),
+            maint_evictions: get(&self.maint_evictions),
+            maint_writebacks: get(&self.maint_writebacks),
         }
     }
 
@@ -181,22 +202,22 @@ impl BufferMetrics {
     pub fn reset(&self) {
         self.dram_hits.reset();
         self.nvm_hits.reset();
-        self.ssd_fetches.store(0, Ordering::Relaxed);
+        zero(&self.ssd_fetches);
         for m in &self.migrations {
-            m.store(0, Ordering::Relaxed);
+            zero(m);
         }
-        self.evictions_dram.store(0, Ordering::Relaxed);
-        self.evictions_nvm.store(0, Ordering::Relaxed);
-        self.discards.store(0, Ordering::Relaxed);
-        self.io_retries.store(0, Ordering::Relaxed);
-        self.io_fatal.store(0, Ordering::Relaxed);
+        zero(&self.evictions_dram);
+        zero(&self.evictions_nvm);
+        zero(&self.discards);
+        zero(&self.io_retries);
+        zero(&self.io_fatal);
         self.fetch_fast.reset();
         self.fetch_fallbacks.reset();
         self.pin_restarts.reset();
-        self.backpressure_fallbacks.store(0, Ordering::Relaxed);
-        self.maint_cycles.store(0, Ordering::Relaxed);
-        self.maint_evictions.store(0, Ordering::Relaxed);
-        self.maint_writebacks.store(0, Ordering::Relaxed);
+        zero(&self.backpressure_fallbacks);
+        zero(&self.maint_cycles);
+        zero(&self.maint_evictions);
+        zero(&self.maint_writebacks);
     }
 }
 

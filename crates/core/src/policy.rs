@@ -18,7 +18,7 @@
 //! ([`NvmAdmission::Queue`], paper §1/§6.5) and never admits SSD reads to
 //! NVM (`N_r = 0`).
 
-use std::sync::atomic::{AtomicU32, AtomicU8, Ordering};
+use spitfire_sync::atomic::{AtomicU32, AtomicU8, Ordering};
 
 use serde::{Deserialize, Serialize};
 
@@ -151,6 +151,10 @@ impl PolicyCell {
 
     /// Replace the active policy.
     pub fn store(&self, policy: MigrationPolicy) {
+        // relaxed: the four probability fields are independent knobs; a
+        // reader observing a half-updated policy just flips coins with a
+        // mix of old and new probabilities, which is harmless — every
+        // individual value is valid.
         self.dr.store(Self::to_fixed(policy.dr), Ordering::Relaxed);
         self.dw.store(Self::to_fixed(policy.dw), Ordering::Relaxed);
         self.nr.store(Self::to_fixed(policy.nr), Ordering::Relaxed);
@@ -159,11 +163,14 @@ impl PolicyCell {
             NvmAdmission::Probabilistic => 0,
             NvmAdmission::Queue => 1,
         };
+        // relaxed: same torn-update argument as the probability fields.
         self.admission.store(adm, Ordering::Relaxed);
     }
 
     /// Snapshot of the active policy.
     pub fn load(&self) -> MigrationPolicy {
+        // relaxed: advisory snapshot; fields may mix concurrent updates
+        // (see `store`), and each value alone is meaningful.
         MigrationPolicy {
             dr: self.dr.load(Ordering::Relaxed) as f64 / SCALE as f64,
             dw: self.dw.load(Ordering::Relaxed) as f64 / SCALE as f64,
@@ -179,6 +186,8 @@ impl PolicyCell {
 
     #[inline]
     fn flip(threshold: &AtomicU32, draw: u32) -> bool {
+        // relaxed: a coin flip against a possibly-stale threshold is still
+        // a valid draw from either the old or new policy.
         let t = threshold.load(Ordering::Relaxed);
         // draw is uniform in [0, SCALE); t == SCALE always passes.
         draw % SCALE < t
@@ -210,6 +219,7 @@ impl PolicyCell {
 
     #[inline]
     fn flip_with(threshold: &AtomicU32, draw: impl FnOnce() -> u32) -> bool {
+        // relaxed: same stale-threshold argument as `flip`.
         let t = threshold.load(Ordering::Relaxed);
         // Policy-draw elision: degenerate probabilities are the common
         // case on hot paths (⟨0,0,·,·⟩ measurement configs, the eager
@@ -252,6 +262,8 @@ impl PolicyCell {
     /// Whether the queue mechanism decides NVM admission.
     #[inline]
     pub fn uses_admission_queue(&self) -> bool {
+        // relaxed: either the old or new admission mode is acceptable
+        // during a policy change; the flag guards no other memory.
         self.admission.load(Ordering::Relaxed) == 1
     }
 }

@@ -1,7 +1,7 @@
 //! Per-tier buffer pools: frame allocation, CLOCK replacement state, and
 //! device-backed frame I/O.
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use spitfire_sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use spitfire_device::{
@@ -211,6 +211,8 @@ impl Pool {
     /// Number of free frames, from the O(1) counter (may trail the bitmap
     /// by concurrent in-flight transitions; fine for watermark decisions).
     pub(crate) fn free_frames(&self) -> usize {
+        // relaxed: advisory watermark reading; the bitmap is the source
+        // of truth and this counter may trail it (see the doc comment).
         self.free_count.load(Ordering::Relaxed)
     }
 
@@ -251,10 +253,13 @@ impl Pool {
 
     /// Try to claim a free frame without evicting.
     pub(crate) fn try_alloc(&self) -> Option<FrameId> {
+        // relaxed: the hand is only a search-start hint; any value works.
         let hint = self.hand.load(Ordering::Relaxed);
         let bit = self
             .occupied
             .acquire_first_clear(hint % self.n_frames.max(1))?;
+        // relaxed: the bitmap's acquiring RMW is the synchronizing claim;
+        // the counter is an advisory mirror for watermark checks.
         self.free_count.fetch_sub(1, Ordering::Relaxed);
         Some(FrameId(bit as u32))
     }
@@ -277,6 +282,7 @@ impl Pool {
         self.owners[i].store(NO_OWNER, Ordering::Release);
         self.ref_bits.clear(i);
         if self.occupied.clear(i) {
+            // relaxed: advisory mirror of the bitmap (see `try_alloc`).
             self.free_count.fetch_add(1, Ordering::Relaxed);
         }
     }
@@ -305,6 +311,8 @@ impl Pool {
         // then guaranteed to find one unless everything is re-referenced
         // concurrently.
         for _ in 0..self.n_frames * 2 {
+            // relaxed: the hand is a rotor, not a lock; concurrent sweeps
+            // interleaving over it only change which frame each inspects.
             let i = self.hand.fetch_add(1, Ordering::Relaxed) % self.n_frames;
             if !self.occupied.get(i) {
                 continue;
@@ -426,6 +434,8 @@ impl Pool {
     pub(crate) fn adopt(&self, frame: FrameId, pid: PageId) {
         let i = frame.0 as usize;
         if !self.occupied.set(i) {
+            // relaxed: recovery runs single-threaded before the pool is
+            // shared; the counter mirrors the bitmap (see `try_alloc`).
             self.free_count.fetch_sub(1, Ordering::Relaxed);
         }
         self.owners[i].store(pid.0, Ordering::Release);

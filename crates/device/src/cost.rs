@@ -111,12 +111,14 @@ impl CostModel {
 
     /// The current time scale.
     pub fn scale(&self) -> TimeScale {
+        // relaxed: the scale is a standalone tuning knob; a stale reading is just the previous scale, which is valid.
         TimeScale(f64::from_bits(self.scale_bits.load(Ordering::Relaxed)))
     }
 
     /// Change the time scale. Harnesses disable delays (`TimeScale::ZERO`)
     /// during load phases and restore `TimeScale::REAL` for measurement.
     pub fn set_scale(&self, scale: TimeScale) {
+        // relaxed: see `scale`.
         self.scale_bits.store(scale.0.to_bits(), Ordering::Relaxed);
     }
 

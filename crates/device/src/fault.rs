@@ -232,6 +232,7 @@ impl RuleState {
     fn next_u64(&self) -> u64 {
         let state = self
             .rng
+            // relaxed: RNG state needs atomicity only; any interleaving of draws is an equally valid random sequence.
             .fetch_add(GOLDEN, Ordering::Relaxed)
             .wrapping_add(GOLDEN);
         splitmix64(state)
@@ -283,6 +284,7 @@ impl FaultInjector {
 
     /// Snapshot the fault counters.
     pub fn stats(&self) -> FaultStats {
+        // relaxed: advisory snapshot of fault statistics counters.
         let transient = self.transient.load(Ordering::Relaxed);
         let fatal = self.fatal.load(Ordering::Relaxed);
         let latency = self.latency.load(Ordering::Relaxed);
@@ -307,6 +309,7 @@ impl FaultInjector {
             if !rs.rule.matches(device, op, offset) {
                 continue;
             }
+            // relaxed: fault statistics counters; no ordering needed.
             self.matched.fetch_add(1, Ordering::Relaxed);
             let nth = rs.matched.fetch_add(1, Ordering::Relaxed) + 1;
             let fires = match rs.rule.trigger {
@@ -321,14 +324,17 @@ impl FaultInjector {
             self.note(device, op, offset);
             match rs.rule.kind {
                 FaultKind::Transient => {
+                    // relaxed: fault statistics counter.
                     self.transient.fetch_add(1, Ordering::Relaxed);
                     return Outcome::Fail(DeviceError::InjectedTransient { op: op.label() });
                 }
                 FaultKind::Fatal => {
+                    // relaxed: fault statistics counter.
                     self.fatal.fetch_add(1, Ordering::Relaxed);
                     return Outcome::Fail(DeviceError::InjectedFatal { op: op.label() });
                 }
                 FaultKind::LatencyUs(us) => {
+                    // relaxed: fault statistics counter.
                     self.latency.fetch_add(1, Ordering::Relaxed);
                     if us > 0 {
                         std::thread::sleep(Duration::from_micros(us));
@@ -336,12 +342,14 @@ impl FaultInjector {
                     return Outcome::Proceed;
                 }
                 FaultKind::TornWrite => {
+                    // relaxed: fault statistics counter.
                     self.torn.fetch_add(1, Ordering::Relaxed);
                     let blocks = len.div_ceil(MEDIA_BLOCK).max(1);
                     let surviving = (rs.next_u64() % blocks as u64) as usize;
                     return Outcome::Truncate(len.min(surviving * MEDIA_BLOCK));
                 }
                 FaultKind::DropFlush => {
+                    // relaxed: fault statistics counter.
                     self.dropped_flush.fetch_add(1, Ordering::Relaxed);
                     return Outcome::Drop;
                 }

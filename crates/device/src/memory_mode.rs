@@ -69,11 +69,13 @@ impl MemoryModeDevice {
 
     /// DRAM-cache hits since creation.
     pub fn cache_hits(&self) -> u64 {
+        // relaxed: advisory statistic.
         self.hits.load(Ordering::Relaxed)
     }
 
     /// DRAM-cache misses since creation.
     pub fn cache_misses(&self) -> u64 {
+        // relaxed: advisory statistic.
         self.misses.load(Ordering::Relaxed)
     }
 
@@ -92,6 +94,7 @@ impl MemoryModeDevice {
         let dirty_flag = if write { TAG_DIRTY } else { 0 };
         let desired = TAG_VALID | dirty_flag | (block & TAG_INDEX);
 
+        // relaxed: tags are an emulated-cache hit/miss model; they gate accounting, never real data.
         let old = tag.load(Ordering::Relaxed);
         let hit = old & TAG_VALID != 0 && old & TAG_INDEX == block & TAG_INDEX;
         if hit {
@@ -99,6 +102,7 @@ impl MemoryModeDevice {
             tag.store(old | desired, Ordering::Relaxed);
             return;
         }
+        // relaxed: miss statistic.
         self.misses.fetch_add(1, Ordering::Relaxed);
         // Write back a dirty victim at NVM write speed.
         if old & TAG_VALID != 0 && old & TAG_DIRTY != 0 {
@@ -112,6 +116,7 @@ impl MemoryModeDevice {
             .nvm_cost
             .charge_read(MEMORY_MODE_BLOCK, AccessPattern::Random);
         self.stats.record_read(eff);
+        // relaxed: tag update for the emulation model (see the hit-check above).
         tag.store(desired, Ordering::Relaxed);
     }
 

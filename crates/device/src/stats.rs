@@ -29,12 +29,14 @@ impl DeviceStats {
 
     /// Record a read of `bytes` effective bytes.
     pub fn record_read(&self, bytes: usize) {
+        // relaxed: device statistics counters publish no other memory; snapshots and resets are advisory.
         self.read_ops.fetch_add(1, Ordering::Relaxed);
         self.bytes_read.fetch_add(bytes as u64, Ordering::Relaxed);
     }
 
     /// Record a write of `bytes` effective bytes.
     pub fn record_write(&self, bytes: usize) {
+        // relaxed: statistics counters, as above.
         self.write_ops.fetch_add(1, Ordering::Relaxed);
         self.bytes_written
             .fetch_add(bytes as u64, Ordering::Relaxed);
@@ -43,17 +45,20 @@ impl DeviceStats {
     /// Record a `clwb` of `bytes` bytes.
     pub fn record_flush(&self, bytes: usize) {
         self.bytes_flushed
+            // relaxed: statistics counter, as above.
             .fetch_add(bytes as u64, Ordering::Relaxed);
     }
 
     /// Record an `sfence`.
     pub fn record_fence(&self) {
+        // relaxed: statistics counter, as above.
         self.fences.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Point-in-time copy of all counters.
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
+            // relaxed: advisory snapshot; no cross-counter consistency is claimed.
             read_ops: self.read_ops.load(Ordering::Relaxed),
             write_ops: self.write_ops.load(Ordering::Relaxed),
             bytes_read: self.bytes_read.load(Ordering::Relaxed),
@@ -65,6 +70,7 @@ impl DeviceStats {
 
     /// Reset all counters to zero (used between experiment phases).
     pub fn reset(&self) {
+        // relaxed: racing increments may survive the reset by design.
         self.read_ops.store(0, Ordering::Relaxed);
         self.write_ops.store(0, Ordering::Relaxed);
         self.bytes_read.store(0, Ordering::Relaxed);

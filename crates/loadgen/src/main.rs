@@ -92,6 +92,7 @@ fn client_loop(
             Err(_) if attempt + 1 < 50 => std::thread::sleep(Duration::from_millis(20)),
             Err(e) => {
                 eprintln!("loadgen: connect failed: {e}");
+                // relaxed: load-report statistic.
                 totals.protocol_errors.fetch_add(1, Ordering::Relaxed);
                 return;
             }
@@ -104,6 +105,7 @@ fn client_loop(
     let value = vec![0xABu8; spec.value_bytes.min(64)];
     let mut request_id = 0u64;
 
+    // relaxed: the stop flag is a shutdown hint; workers may run one extra iteration.
     while !stop.load(Ordering::Relaxed) {
         let key = zipf.sample(&mut rng);
         let read = rng.gen_range(0..100u32) < spec.read_pct;
@@ -137,6 +139,7 @@ fn client_loop(
                 Ok(Some(raw)) => match decode_reply(&raw) {
                     Ok(f) => f.reply,
                     Err(_) => {
+                        // relaxed: load-report statistic.
                         totals.protocol_errors.fetch_add(1, Ordering::Relaxed);
                         return;
                     }
@@ -150,6 +153,7 @@ fn client_loop(
                     code,
                     ..
                 } => {
+                    // relaxed: load-report statistics; the stop re-check is the same shutdown hint as the loop condition.
                     totals.retries.fetch_add(1, Ordering::Relaxed);
                     if matches!(
                         code,
@@ -158,6 +162,7 @@ fn client_loop(
                     ) {
                         totals.sheds.fetch_add(1, Ordering::Relaxed);
                     }
+                    // relaxed: shutdown hint, as the loop condition.
                     if stop.load(Ordering::Relaxed) {
                         return;
                     }
@@ -165,6 +170,7 @@ fn client_loop(
                     backoff *= 4;
                 }
                 Reply::Error { .. } => {
+                    // relaxed: load-report statistic.
                     totals.errors.fetch_add(1, Ordering::Relaxed);
                     done = true;
                     break;
@@ -176,6 +182,7 @@ fn client_loop(
             }
         }
         if done {
+            // relaxed: load-report statistic.
             totals.ops.fetch_add(1, Ordering::Relaxed);
             hist.record(t0.elapsed().as_nanos() as u64);
         } else {
@@ -221,6 +228,7 @@ fn run_phase(spec: &RunSpec) -> Vec<TenantResult> {
     }
     let t0 = Instant::now();
     std::thread::sleep(Duration::from_secs_f64(spec.secs));
+    // relaxed: shutdown hint (see the worker loop).
     stop.store(true, Ordering::Relaxed);
     for h in handles {
         let _ = h.join();
@@ -232,12 +240,14 @@ fn run_phase(spec: &RunSpec) -> Vec<TenantResult> {
         .map(|&(tenant, conns)| {
             let t = &totals[tenant as usize];
             let snap = hists[tenant as usize].snapshot();
+            // relaxed: final report reads after all workers joined; the join is the synchronization.
             let ops = t.ops.load(Ordering::Relaxed);
             TenantResult {
                 tenant,
                 conns,
                 ops,
                 ops_per_sec: ops as f64 / elapsed,
+                // relaxed: joined-worker reads, as above.
                 errors: t.errors.load(Ordering::Relaxed),
                 sheds: t.sheds.load(Ordering::Relaxed),
                 retries: t.retries.load(Ordering::Relaxed),

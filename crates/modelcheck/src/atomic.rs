@@ -1,0 +1,297 @@
+//! Instrumented drop-in replacements for `std::sync::atomic` types.
+//!
+//! Inside a model execution (i.e. on a thread spawned by the
+//! [`Checker`](crate::Checker)), every operation routes through the
+//! engine's scheduler and memory model. Outside one — normal unit tests,
+//! or a `--cfg spitfire_modelcheck` build of a crate whose other tests
+//! don't use the checker — operations fall through to the real atomic, so
+//! instrumented code keeps working unmodeled.
+//!
+//! Each instrumented atomic lazily registers itself with the current
+//! execution's engine on first use and caches the assigned location id
+//! keyed by execution id, so statics and long-lived objects re-register
+//! cleanly across the thousands of executions one exploration runs.
+
+use std::sync::atomic::AtomicU64 as RawCache;
+pub use std::sync::atomic::Ordering;
+
+use crate::engine::{with_ctx, Ctx};
+
+/// Bits reserved for the location id inside the per-atomic cache word;
+/// the execution id occupies the rest.
+const LOC_BITS: u32 = 20;
+const LOC_MASK: u64 = (1 << LOC_BITS) - 1;
+
+trait Scalar: Copy {
+    fn to_bits(self) -> u64;
+    fn from_bits(bits: u64) -> Self;
+}
+
+macro_rules! int_scalar {
+    ($ty:ty) => {
+        impl Scalar for $ty {
+            #[inline]
+            fn to_bits(self) -> u64 {
+                self as u64
+            }
+            #[inline]
+            fn from_bits(bits: u64) -> Self {
+                bits as $ty
+            }
+        }
+    };
+}
+
+int_scalar!(u8);
+int_scalar!(u32);
+int_scalar!(u64);
+int_scalar!(usize);
+int_scalar!(i64);
+
+impl Scalar for bool {
+    #[inline]
+    fn to_bits(self) -> u64 {
+        self as u64
+    }
+    #[inline]
+    fn from_bits(bits: u64) -> Self {
+        bits != 0
+    }
+}
+
+macro_rules! instrumented_atomic {
+    ($name:ident, $ty:ty, $raw:ty) => {
+        /// Instrumented counterpart of the std atomic of the same name.
+        pub struct $name {
+            real: $raw,
+            /// Packed `exec_id << LOC_BITS | loc`; 0 = unregistered.
+            loc: RawCache,
+        }
+
+        impl $name {
+            pub const fn new(v: $ty) -> Self {
+                Self {
+                    real: <$raw>::new(v),
+                    loc: RawCache::new(0),
+                }
+            }
+
+            /// Location id within the current execution, registering on
+            /// first touch.
+            fn loc(&self, ctx: &Ctx) -> usize {
+                // relaxed: the loc cache is write-once per (execution, atomic); a racing re-registration is idempotent and the engine hands out the id under its own lock.
+                let packed = self.loc.load(Ordering::Relaxed);
+                let eid = ctx.engine.exec_id();
+                if packed >> LOC_BITS == eid {
+                    return (packed & LOC_MASK) as usize;
+                }
+                // relaxed: reading our own initial value for registration; modeled accesses never go through `real` directly.
+                let init = self.real.load(Ordering::Relaxed).to_bits();
+                let id = ctx.engine.register_atomic(init);
+                debug_assert!((id as u64) < (1 << LOC_BITS));
+                self.loc
+                    // relaxed: idempotent cache publish, as above.
+                    .store((eid << LOC_BITS) | id as u64, Ordering::Relaxed);
+                id
+            }
+
+            pub fn load(&self, ord: Ordering) -> $ty {
+                match with_ctx(|c| c.engine.atomic_load(c.tid, self.loc(c), ord)) {
+                    Some(bits) => Scalar::from_bits(bits),
+                    None => self.real.load(ord),
+                }
+            }
+
+            pub fn store(&self, val: $ty, ord: Ordering) {
+                match with_ctx(|c| {
+                    c.engine
+                        .atomic_store(c.tid, self.loc(c), val.to_bits(), ord)
+                }) {
+                    Some(()) => {}
+                    None => self.real.store(val, ord),
+                }
+            }
+
+            pub fn swap(&self, val: $ty, ord: Ordering) -> $ty {
+                match with_ctx(|c| {
+                    c.engine
+                        .atomic_rmw(c.tid, self.loc(c), ord, ord, "swap", |_| {
+                            Some(val.to_bits())
+                        })
+                        .0
+                }) {
+                    Some(bits) => Scalar::from_bits(bits),
+                    None => self.real.swap(val, ord),
+                }
+            }
+
+            pub fn compare_exchange(
+                &self,
+                current: $ty,
+                new: $ty,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$ty, $ty> {
+                match with_ctx(|c| {
+                    c.engine
+                        .atomic_rmw(c.tid, self.loc(c), success, failure, "cas", |old| {
+                            (old == current.to_bits()).then_some(new.to_bits())
+                        })
+                }) {
+                    Some((old, true)) => Ok(Scalar::from_bits(old)),
+                    Some((old, false)) => Err(Scalar::from_bits(old)),
+                    None => self.real.compare_exchange(current, new, success, failure),
+                }
+            }
+
+            /// Strengthening: the model's weak CAS never fails spuriously,
+            /// so loops relying on eventual success terminate and the
+            /// explored state space stays finite.
+            pub fn compare_exchange_weak(
+                &self,
+                current: $ty,
+                new: $ty,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$ty, $ty> {
+                self.compare_exchange(current, new, success, failure)
+            }
+        }
+
+        impl Default for $name {
+            fn default() -> Self {
+                Self::new(Scalar::from_bits(0))
+            }
+        }
+
+        impl std::fmt::Debug for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                // Reading engine state here would need the baton; show the
+                // un-modeled value, which is exact outside a model run.
+                f.debug_tuple(stringify!($name))
+                    // relaxed: Debug output is advisory.
+                    .field(&self.real.load(Ordering::Relaxed))
+                    .finish()
+            }
+        }
+    };
+}
+
+macro_rules! instrumented_fetch_ops {
+    ($name:ident, $ty:ty, $raw:ty) => {
+        impl $name {
+            pub fn fetch_add(&self, n: $ty, ord: Ordering) -> $ty {
+                self.rmw_typed(
+                    ord,
+                    "fetch_add",
+                    |v| v.wrapping_add(n),
+                    |r| r.fetch_add(n, ord),
+                )
+            }
+
+            pub fn fetch_sub(&self, n: $ty, ord: Ordering) -> $ty {
+                self.rmw_typed(
+                    ord,
+                    "fetch_sub",
+                    |v| v.wrapping_sub(n),
+                    |r| r.fetch_sub(n, ord),
+                )
+            }
+
+            pub fn fetch_and(&self, n: $ty, ord: Ordering) -> $ty {
+                self.rmw_typed(ord, "fetch_and", |v| v & n, |r| r.fetch_and(n, ord))
+            }
+
+            pub fn fetch_or(&self, n: $ty, ord: Ordering) -> $ty {
+                self.rmw_typed(ord, "fetch_or", |v| v | n, |r| r.fetch_or(n, ord))
+            }
+
+            pub fn fetch_xor(&self, n: $ty, ord: Ordering) -> $ty {
+                self.rmw_typed(ord, "fetch_xor", |v| v ^ n, |r| r.fetch_xor(n, ord))
+            }
+
+            pub fn fetch_max(&self, n: $ty, ord: Ordering) -> $ty {
+                self.rmw_typed(ord, "fetch_max", |v| v.max(n), |r| r.fetch_max(n, ord))
+            }
+
+            pub fn fetch_min(&self, n: $ty, ord: Ordering) -> $ty {
+                self.rmw_typed(ord, "fetch_min", |v| v.min(n), |r| r.fetch_min(n, ord))
+            }
+
+            fn rmw_typed(
+                &self,
+                ord: Ordering,
+                name: &'static str,
+                f: impl Fn($ty) -> $ty,
+                fallback: impl FnOnce(&$raw) -> $ty,
+            ) -> $ty {
+                match with_ctx(|c| {
+                    c.engine
+                        .atomic_rmw(c.tid, self.loc(c), ord, ord, name, |old| {
+                            Some(f(Scalar::from_bits(old)).to_bits())
+                        })
+                        .0
+                }) {
+                    Some(bits) => Scalar::from_bits(bits),
+                    None => fallback(&self.real),
+                }
+            }
+        }
+    };
+}
+
+instrumented_atomic!(AtomicU8, u8, std::sync::atomic::AtomicU8);
+instrumented_atomic!(AtomicU32, u32, std::sync::atomic::AtomicU32);
+instrumented_atomic!(AtomicU64, u64, std::sync::atomic::AtomicU64);
+instrumented_atomic!(AtomicUsize, usize, std::sync::atomic::AtomicUsize);
+instrumented_atomic!(AtomicI64, i64, std::sync::atomic::AtomicI64);
+instrumented_atomic!(AtomicBool, bool, std::sync::atomic::AtomicBool);
+
+instrumented_fetch_ops!(AtomicU8, u8, std::sync::atomic::AtomicU8);
+instrumented_fetch_ops!(AtomicU32, u32, std::sync::atomic::AtomicU32);
+instrumented_fetch_ops!(AtomicU64, u64, std::sync::atomic::AtomicU64);
+instrumented_fetch_ops!(AtomicUsize, usize, std::sync::atomic::AtomicUsize);
+instrumented_fetch_ops!(AtomicI64, i64, std::sync::atomic::AtomicI64);
+
+impl AtomicBool {
+    pub fn fetch_or(&self, n: bool, ord: Ordering) -> bool {
+        match with_ctx(|c| {
+            c.engine
+                .atomic_rmw(c.tid, self.loc(c), ord, ord, "fetch_or", |old| {
+                    Some((Scalar::from_bits(old) || n).to_bits())
+                })
+                .0
+        }) {
+            Some(bits) => Scalar::from_bits(bits),
+            None => self.real.fetch_or(n, ord),
+        }
+    }
+
+    pub fn fetch_and(&self, n: bool, ord: Ordering) -> bool {
+        match with_ctx(|c| {
+            c.engine
+                .atomic_rmw(c.tid, self.loc(c), ord, ord, "fetch_and", |old| {
+                    Some((Scalar::from_bits(old) && n).to_bits())
+                })
+                .0
+        }) {
+            Some(bits) => Scalar::from_bits(bits),
+            None => self.real.fetch_and(n, ord),
+        }
+    }
+}
+
+/// Memory fence. Modeled as a `SeqCst` fence regardless of `ord`
+/// (strengthening — see the engine docs).
+pub fn fence(ord: Ordering) {
+    if with_ctx(|c| c.engine.fence(c.tid, ord)).is_none() {
+        std::sync::atomic::fence(ord);
+    }
+}
+
+/// Compiler fence: no cross-thread effect, so the model ignores it.
+pub fn compiler_fence(ord: Ordering) {
+    if with_ctx(|_| ()).is_none() {
+        std::sync::atomic::compiler_fence(ord);
+    }
+}

@@ -1,0 +1,86 @@
+//! A data-race-detecting cell for non-atomic shared state.
+//!
+//! [`RaceCell`] holds plain data that the surrounding protocol claims is
+//! protected by happens-before (a lock, or publish/acquire on an atomic).
+//! Inside a model execution every access is checked with vector clocks:
+//! two accesses, at least one a write, with no happens-before between
+//! them, fail the execution as a data race — in *any* schedule, without
+//! needing the racing operations to physically interleave. This is the
+//! detector that catches a `Release` store downgraded to `Relaxed` even
+//! when the racy value read happens to look benign.
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::AtomicU64 as RawCache;
+use std::sync::atomic::Ordering;
+
+use crate::engine::{with_ctx, Ctx};
+
+const LOC_BITS: u32 = 20;
+const LOC_MASK: u64 = (1 << LOC_BITS) - 1;
+
+/// Plain shared data with model-checked race detection. Outside a model
+/// run accesses are unchecked and unsynchronized — this is a test-harness
+/// type, not a general-purpose cell.
+pub struct RaceCell<T> {
+    value: UnsafeCell<T>,
+    loc: RawCache,
+}
+
+// SAFETY: inside a model run the engine serializes all access (one thread
+// holds the baton at a time) and flags unsynchronized access pairs as
+// failures; outside one, RaceCell is only used single-threaded by tests.
+unsafe impl<T: Send> Sync for RaceCell<T> {}
+
+impl<T: Copy> RaceCell<T> {
+    pub const fn new(value: T) -> Self {
+        Self {
+            value: UnsafeCell::new(value),
+            loc: RawCache::new(0),
+        }
+    }
+
+    fn loc(&self, ctx: &Ctx) -> usize {
+        // relaxed: write-once loc cache; racing registrations are idempotent (see `atomic.rs`).
+        let packed = self.loc.load(Ordering::Relaxed);
+        let eid = ctx.engine.exec_id();
+        if packed >> LOC_BITS == eid {
+            return (packed & LOC_MASK) as usize;
+        }
+        let id = ctx.engine.register_cell();
+        debug_assert!((id as u64) < (1 << LOC_BITS));
+        self.loc
+            // relaxed: idempotent cache publish, as above.
+            .store((eid << LOC_BITS) | id as u64, Ordering::Relaxed);
+        id
+    }
+
+    /// Read the value, failing the execution on a read/write race.
+    pub fn get(&self) -> T {
+        with_ctx(|c| c.engine.cell_read(c.tid, self.loc(c)));
+        // SAFETY: in a model run we hold the scheduler baton (cell_read
+        // returned), so no other model thread executes concurrently;
+        // outside one the cell is single-threaded by contract.
+        unsafe { *self.value.get() }
+    }
+
+    /// Write the value, failing the execution on a write/any race.
+    pub fn set(&self, value: T) {
+        with_ctx(|c| c.engine.cell_write(c.tid, self.loc(c)));
+        // SAFETY: as in `get`; the baton serializes the actual access.
+        unsafe { *self.value.get() = value }
+    }
+
+    /// Read-modify-write as one unchecked step (still a write access for
+    /// race detection purposes).
+    pub fn update(&self, f: impl FnOnce(T) -> T) {
+        with_ctx(|c| c.engine.cell_write(c.tid, self.loc(c)));
+        // SAFETY: as in `get`; the baton serializes the actual access.
+        unsafe { *self.value.get() = f(*self.value.get()) }
+    }
+}
+
+impl<T: Copy + std::fmt::Debug> std::fmt::Debug for RaceCell<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("RaceCell(..)")
+    }
+}

@@ -1,0 +1,64 @@
+//! Vector clocks over the (small, fixed) set of model threads.
+
+/// Maximum number of model threads one exploration may create, including
+/// the model main thread. Interleaving exploration is exponential in
+/// thread count; protocols are checked with 2–3 threads (plus main), so a
+/// small fixed bound keeps clocks copyable and comparisons branch-free.
+pub const MAX_THREADS: usize = 5;
+
+/// A fixed-width vector clock: `clock[t]` is the number of operations of
+/// model thread `t` that happen-before the owner's current point.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VClock {
+    lamport: [u32; MAX_THREADS],
+}
+
+impl VClock {
+    /// The zero clock (happens-before everything's start).
+    pub const fn new() -> Self {
+        VClock {
+            lamport: [0; MAX_THREADS],
+        }
+    }
+
+    /// Advance the owner's own component (one more local operation).
+    #[inline]
+    pub fn bump(&mut self, t: usize) -> u32 {
+        self.lamport[t] += 1;
+        self.lamport[t]
+    }
+
+    /// Pointwise maximum: after `self.join(o)`, everything ordered before
+    /// `o` is ordered before the owner too.
+    #[inline]
+    pub fn join(&mut self, other: &VClock) {
+        for (a, b) in self.lamport.iter_mut().zip(other.lamport.iter()) {
+            *a = (*a).max(*b);
+        }
+    }
+
+    /// Whether an event stamped (`thread`, `stamp`) happens-before a point
+    /// with this clock.
+    #[inline]
+    pub fn covers(&self, thread: usize, stamp: u32) -> bool {
+        self.lamport[thread] >= stamp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_is_pointwise_max() {
+        let mut a = VClock::new();
+        let mut b = VClock::new();
+        a.bump(0);
+        a.bump(0);
+        b.bump(1);
+        a.join(&b);
+        assert!(a.covers(0, 2) && !a.covers(0, 3));
+        assert!(a.covers(1, 1));
+        assert!(!a.covers(1, 2));
+    }
+}

@@ -1,0 +1,268 @@
+//! The exploration driver: depth-first enumeration of every recorded
+//! choice (thread schedules and weak-memory value reads), with sleep-set
+//! partial-order reduction and optional preemption bounding.
+
+use std::sync::Arc;
+
+use crate::engine::{run_execution, ChoiceKind, ExecOpts, PrefixEntry, DEFAULT_MAX_OPS};
+use crate::Mutation;
+
+/// One node on the DFS stack: a choice point, its options (and their
+/// sleep flags) as recorded by the engine, and the option index currently
+/// being explored. Sleeping options are never explored.
+struct Node {
+    kind: ChoiceKind,
+    options: Vec<usize>,
+    asleep: Vec<bool>,
+    idx: usize,
+}
+
+impl Node {
+    /// Next explorable option index after `self.idx`, skipping sleepers.
+    fn next_idx(&self) -> Option<usize> {
+        ((self.idx + 1)..self.options.len()).find(|&i| !self.asleep[i])
+    }
+}
+
+/// Summary of a completed (bug-free) exploration.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Executions actually run, including pruned ones.
+    pub executions: usize,
+    /// Executions cut short by sleep-set equivalence.
+    pub pruned: usize,
+    /// Longest operation count seen in one execution.
+    pub max_ops: usize,
+}
+
+/// A bug the explorer found, with the schedule that exposes it.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    pub message: String,
+    /// Executions run before the bug surfaced.
+    pub executions: usize,
+}
+
+#[derive(Debug, Clone)]
+pub enum CheckResult {
+    Pass(Report),
+    Fail(Failure),
+    /// The execution budget ran out before the state space was exhausted.
+    /// Neither a pass nor a bug: the check must be re-scoped (fewer
+    /// threads/operations) or given a larger budget.
+    BoundExceeded {
+        executions: usize,
+    },
+}
+
+impl CheckResult {
+    /// Unwrap a completed, bug-free exploration.
+    #[track_caller]
+    pub fn assert_pass(self) -> Report {
+        match self {
+            CheckResult::Pass(r) => r,
+            CheckResult::Fail(f) => panic!(
+                "model check failed after {} executions:\n{}",
+                f.executions, f.message
+            ),
+            CheckResult::BoundExceeded { executions } => panic!(
+                "state space not exhausted within {executions} executions; \
+                 the check proves nothing — shrink the model or raise the budget"
+            ),
+        }
+    }
+
+    /// Unwrap an expected failure (mutation kill tests).
+    #[track_caller]
+    pub fn assert_fail(self) -> Failure {
+        match self {
+            CheckResult::Fail(f) => f,
+            CheckResult::Pass(r) => panic!(
+                "expected the model checker to find a bug, but {} executions \
+                 ({} pruned) all passed — the mutant survived",
+                r.executions, r.pruned
+            ),
+            CheckResult::BoundExceeded { executions } => panic!(
+                "state space not exhausted within {executions} executions and \
+                 no bug found"
+            ),
+        }
+    }
+
+    pub fn found_bug(&self) -> bool {
+        matches!(self, CheckResult::Fail(_))
+    }
+}
+
+/// Configures and runs an exhaustive interleaving exploration.
+///
+/// ```
+/// use spitfire_modelcheck::{atomic::AtomicU64, atomic::Ordering, thread, Checker};
+/// use std::sync::Arc;
+///
+/// Checker::new()
+///     .check(|| {
+///         let x = Arc::new(AtomicU64::new(0));
+///         let x2 = Arc::clone(&x);
+///         let t = thread::spawn(move || x2.fetch_add(1, Ordering::AcqRel));
+///         x.fetch_add(1, Ordering::AcqRel);
+///         t.join();
+///         assert_eq!(x.load(Ordering::Acquire), 2);
+///     })
+///     .assert_pass();
+/// ```
+#[derive(Debug, Clone)]
+pub struct Checker {
+    max_executions: usize,
+    max_ops: usize,
+    preemption_bound: Option<usize>,
+    mutation: Option<Mutation>,
+}
+
+impl Default for Checker {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Checker {
+    pub fn new() -> Self {
+        Checker {
+            // Generous default: the ported protocols explore a few
+            // hundred to a few tens of thousands of executions.
+            max_executions: 300_000,
+            max_ops: DEFAULT_MAX_OPS,
+            preemption_bound: None,
+            mutation: None,
+        }
+    }
+
+    /// Cap on executions before giving up with `BoundExceeded`.
+    pub fn max_executions(mut self, n: usize) -> Self {
+        self.max_executions = n;
+        self
+    }
+
+    /// Cap on operations within one execution (livelock guard).
+    pub fn max_ops(mut self, n: usize) -> Self {
+        self.max_ops = n;
+        self
+    }
+
+    /// CHESS-style preemption bound: once a schedule has forced `n`
+    /// preemptions, threads run to their next blocking point. Unbounded
+    /// (fully exhaustive) by default.
+    pub fn preemption_bound(mut self, n: usize) -> Self {
+        self.preemption_bound = Some(n);
+        self
+    }
+
+    /// Activate a seeded mutation for this exploration; instrumented code
+    /// observes it via [`crate::mutation_active`].
+    pub fn mutation(mut self, m: Mutation) -> Self {
+        self.mutation = Some(m);
+        self
+    }
+
+    /// Explore every schedule (and weak-memory read) of `f`.
+    ///
+    /// `f` runs once per execution on a fresh model main thread; it must
+    /// create its shared state inside the closure (or reset it) so
+    /// executions are independent.
+    pub fn check(&self, f: impl Fn() + Send + Sync + 'static) -> CheckResult {
+        let f: Arc<dyn Fn() + Send + Sync> = Arc::new(f);
+        let opts = ExecOpts {
+            max_ops: self.max_ops,
+            preemption_bound: self.preemption_bound,
+        };
+        let mut stack: Vec<Node> = Vec::new();
+        let mut executions = 0usize;
+        let mut pruned = 0usize;
+        let mut max_ops_seen = 0usize;
+        loop {
+            // Replay prefix: the stack's current picks, with explored
+            // sibling threads entering the sleep set at each node.
+            let prefix: Vec<PrefixEntry> = stack
+                .iter()
+                .map(|n| PrefixEntry {
+                    picked: n.idx,
+                    sleep_add: match n.kind {
+                        ChoiceKind::Thread => n.options[..n.idx].to_vec(),
+                        ChoiceKind::Value => Vec::new(),
+                    },
+                })
+                .collect();
+            let out = run_execution(&f, prefix, opts, self.mutation);
+            executions += 1;
+            if std::env::var_os("MC_DEBUG").is_some() {
+                eprintln!(
+                    "exec {executions}: stack={} trace={} pruned={} fail={} ops={}",
+                    stack.len(),
+                    out.trace.len(),
+                    out.pruned,
+                    out.failure.is_some(),
+                    out.ops
+                );
+            }
+            max_ops_seen = max_ops_seen.max(out.ops);
+            if out.pruned {
+                pruned += 1;
+            }
+            if let Some(message) = out.failure {
+                return CheckResult::Fail(Failure {
+                    message,
+                    executions,
+                });
+            }
+            if executions >= self.max_executions {
+                return CheckResult::BoundExceeded { executions };
+            }
+            // The engine must have replayed our prefix faithfully.
+            assert!(
+                out.trace.len() >= stack.len(),
+                "replay diverged: {} recorded choices for a {}-deep prefix \
+                 (internal checker bug)",
+                out.trace.len(),
+                stack.len()
+            );
+            for (i, node) in stack.iter().enumerate() {
+                assert_eq!(
+                    out.trace[i].picked, node.idx,
+                    "replay diverged at choice {i} (internal checker bug)"
+                );
+            }
+            // Extend the stack with the fresh (default-pick) choices this
+            // execution appended past the prefix.
+            for c in out.trace.into_iter().skip(stack.len()) {
+                stack.push(Node {
+                    kind: c.kind,
+                    options: c.options,
+                    asleep: c.asleep,
+                    idx: c.picked,
+                });
+            }
+            // Backtrack: advance the deepest choice with an unexplored,
+            // non-sleeping option.
+            loop {
+                match stack.last_mut() {
+                    None => {
+                        return CheckResult::Pass(Report {
+                            executions,
+                            pruned,
+                            max_ops: max_ops_seen,
+                        })
+                    }
+                    Some(top) => match top.next_idx() {
+                        Some(i) => {
+                            top.idx = i;
+                            break;
+                        }
+                        None => {
+                            stack.pop();
+                        }
+                    },
+                }
+            }
+        }
+    }
+}

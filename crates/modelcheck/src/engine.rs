@@ -1,0 +1,1051 @@
+//! The execution engine: runs one controlled interleaving of a model
+//! program, with every shared-memory operation passing through a
+//! cooperative scheduler and an operational release/acquire memory model.
+//!
+//! # How one execution works
+//!
+//! Model threads are real OS threads, but exactly one runs at a time: each
+//! instrumented operation first *announces* itself and parks at a schedule
+//! point; a controller (the thread that called [`run_execution`]) picks
+//! which parked thread proceeds. Picking is a recorded *choice*; so is the
+//! selection of which store a weakly-ordered load observes. The DFS driver
+//! in `dfs.rs` replays prefixes of recorded choices to enumerate every
+//! interleaving.
+//!
+//! # Memory model
+//!
+//! Each atomic location keeps its full modification order as a list of
+//! stores, each stamped with the writer's vector clock. A load may observe
+//! any store that is not hidden by coherence (per-thread floors) or by
+//! happens-before (a load must not observe a store older than the newest
+//! one that happens-before it). `Acquire` loads joining a `Release` store's
+//! clock is the *only* way cross-thread happens-before is created by
+//! atomics — so a store or load incorrectly downgraded to `Relaxed` yields
+//! executions where another thread reads stale values or races, which the
+//! assertions and the [`RaceCell`](crate::cell::RaceCell) detector turn
+//! into reported bugs.
+//!
+//! Deliberate strengthenings (all reduce the set of explored behaviors on
+//! paths the repo's protocols do not rely on; documented in DESIGN.md §7):
+//! `SeqCst` loads read only the latest store; a failed `compare_exchange`
+//! reads the latest store; `compare_exchange_weak` never fails spuriously;
+//! fences are treated as `SeqCst` fences.
+
+use std::any::Any;
+use std::collections::VecDeque;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+use crate::clock::{VClock, MAX_THREADS};
+use crate::Mutation;
+
+/// Sentinel "thread id" meaning the controller holds the baton.
+const CONTROLLER: usize = usize::MAX;
+
+/// Cap on operations per execution; exceeding it means a schedule-dependent
+/// livelock (or a model program far too big to explore) and is reported as
+/// a failure rather than hanging the test.
+pub(crate) const DEFAULT_MAX_OPS: usize = 20_000;
+
+/// What a shared-memory operation touches, for dependence analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum LocRef {
+    /// An instrumented atomic location.
+    Atomic(usize),
+    /// A [`RaceCell`](crate::cell::RaceCell) location.
+    Cell(usize),
+    /// A model mutex / rwlock.
+    Lock(usize),
+    /// A model thread (join / exit).
+    Thread(usize),
+}
+
+/// One announced operation: where it acts and whether it can write.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct OpDesc {
+    pub loc: LocRef,
+    pub write: bool,
+    pub name: &'static str,
+}
+
+/// Two operations are dependent when reordering them can change the
+/// outcome: same location, at least one side writing. Lock and thread
+/// operations are announced as writes, so they are dependent with every
+/// operation on the same object.
+fn dependent(a: &OpDesc, b: &OpDesc) -> bool {
+    a.loc == b.loc && (a.write || b.write)
+}
+
+/// Why a thread cannot run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BlockReason {
+    Join(usize),
+    Lock { id: usize, write: bool },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    /// Executing user code (holds the baton, or is starting up).
+    Running,
+    /// Parked at a schedule point with an announced operation.
+    Parked,
+    /// Waiting for a lock or a join target.
+    Blocked(BlockReason),
+    Finished,
+}
+
+struct ThreadSlot {
+    status: Status,
+    clock: VClock,
+    announced: Option<OpDesc>,
+    blocked: Option<BlockReason>,
+    /// Result of the thread body, for `JoinHandle::join`.
+    result: Option<Box<dyn Any + Send>>,
+}
+
+/// One store in a location's modification order.
+#[derive(Debug, Clone)]
+struct Store {
+    val: u64,
+    writer: usize,
+    stamp: u32,
+    /// Clock an acquiring reader synchronizes with; `None` for a store
+    /// that heads no release sequence (a `Relaxed` store).
+    release: Option<VClock>,
+}
+
+struct Location {
+    stores: Vec<Store>,
+    /// Coherence floor per thread: the index of the oldest store this
+    /// thread may still observe (reads never go backwards).
+    floor: [usize; MAX_THREADS],
+}
+
+#[derive(Default)]
+struct LockState {
+    writer: Option<usize>,
+    readers: u32,
+    /// Clock of the last write-unlock; joined by every acquirer.
+    write_release: VClock,
+    /// Join of all read-unlock clocks since; joined by write acquirers.
+    read_release: VClock,
+}
+
+#[derive(Default)]
+struct CellState {
+    writer: Option<(usize, u32)>,
+    reads: Vec<(usize, u32)>,
+}
+
+/// Kind of a recorded nondeterministic choice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ChoiceKind {
+    /// Which parked thread runs next; options are thread ids.
+    Thread,
+    /// Which store a load observes; options are store indices.
+    Value,
+}
+
+/// One recorded choice point with every option that was available.
+///
+/// For thread choices, `asleep` flags options the sleep set suppresses at
+/// this point: the engine never picks them by default and the DFS driver
+/// skips exploring them (a sleeping thread's next op commutes with
+/// everything executed since a sibling branch explored it). The choice
+/// structure itself stays a function of `options` alone, so replaying a
+/// prefix never shifts choice positions.
+#[derive(Debug, Clone)]
+pub(crate) struct Choice {
+    pub kind: ChoiceKind,
+    pub options: Vec<usize>,
+    /// Per-option sleep flags; all-false for value choices.
+    pub asleep: Vec<bool>,
+    /// Index into `options` that this execution took.
+    pub picked: usize,
+}
+
+/// A forced pick for replay, plus the sleep-set additions the DFS driver
+/// derived from already-explored sibling branches.
+#[derive(Debug, Clone)]
+pub(crate) struct PrefixEntry {
+    pub picked: usize,
+    pub sleep_add: Vec<usize>,
+}
+
+/// Everything the DFS driver needs from one finished execution.
+pub(crate) struct ExecOutcome {
+    pub trace: Vec<Choice>,
+    pub failure: Option<String>,
+    /// The execution was cut short because every runnable thread was in
+    /// the sleep set — an interleaving equivalent to one already explored.
+    pub pruned: bool,
+    pub ops: usize,
+}
+
+struct EngineState {
+    threads: Vec<ThreadSlot>,
+    locations: Vec<Location>,
+    locks: Vec<LockState>,
+    cells: Vec<CellState>,
+    /// Approximate SC order: joined by every `SeqCst` operation.
+    sc: VClock,
+    trace: Vec<Choice>,
+    prefix: Vec<PrefixEntry>,
+    /// Baton holder: a thread id, or [`CONTROLLER`].
+    active: usize,
+    last_thread: usize,
+    preemptions: usize,
+    sleep: [bool; MAX_THREADS],
+    ops: usize,
+    oplog: Vec<(usize, OpDesc)>,
+    failure: Option<String>,
+    pruned: bool,
+    abort: bool,
+}
+
+/// Panic payload used to unwind model threads when an execution aborts;
+/// swallowed by the per-thread `catch_unwind`.
+struct AbortToken;
+
+/// Options threaded from [`crate::Checker`] into each execution.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ExecOpts {
+    pub max_ops: usize,
+    pub preemption_bound: Option<usize>,
+}
+
+pub(crate) struct Engine {
+    state: Mutex<EngineState>,
+    cv: Condvar,
+    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    opts: ExecOpts,
+    mutation: Option<Mutation>,
+    /// Unique per execution; instrumented atomics key their cached
+    /// location id on it so stale ids from a previous execution are
+    /// re-registered instead of misused.
+    exec_id: u64,
+}
+
+static NEXT_EXEC_ID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+
+thread_local! {
+    static CTX: std::cell::RefCell<Option<Ctx>> = const { std::cell::RefCell::new(None) };
+}
+
+#[derive(Clone)]
+pub(crate) struct Ctx {
+    pub engine: Arc<Engine>,
+    pub tid: usize,
+}
+
+/// Run `f` with the calling thread's model context, if it is a model
+/// thread inside an execution.
+pub(crate) fn with_ctx<R>(f: impl FnOnce(&Ctx) -> R) -> Option<R> {
+    CTX.with(|c| c.borrow().as_ref().map(f))
+}
+
+/// Model-thread index of the calling thread (`None` outside a model run).
+pub fn current_thread_index() -> Option<usize> {
+    with_ctx(|c| c.tid)
+}
+
+/// Whether `m` is the active mutation of the calling thread's execution.
+pub fn mutation_active(m: Mutation) -> bool {
+    with_ctx(|c| c.engine.mutation == Some(m)).unwrap_or(false)
+}
+
+impl Engine {
+    fn new(prefix: Vec<PrefixEntry>, opts: ExecOpts, mutation: Option<Mutation>) -> Self {
+        Engine {
+            state: Mutex::new(EngineState {
+                threads: Vec::new(),
+                locations: Vec::new(),
+                locks: Vec::new(),
+                cells: Vec::new(),
+                sc: VClock::new(),
+                trace: Vec::new(),
+                prefix,
+                active: CONTROLLER,
+                last_thread: 0,
+                preemptions: 0,
+                sleep: [false; MAX_THREADS],
+                ops: 0,
+                oplog: Vec::new(),
+                failure: None,
+                pruned: false,
+                abort: false,
+            }),
+            cv: Condvar::new(),
+            handles: Mutex::new(Vec::new()),
+            opts,
+            mutation,
+            // relaxed: execution ids need uniqueness only.
+            exec_id: NEXT_EXEC_ID.fetch_add(1, Ordering::Relaxed),
+        }
+    }
+
+    pub(crate) fn exec_id(&self) -> u64 {
+        self.exec_id
+    }
+
+    // ---- registration -----------------------------------------------------
+
+    pub(crate) fn register_atomic(&self, init: u64) -> usize {
+        let mut st = self.state.lock().unwrap();
+        st.locations.push(Location {
+            // The initial value acts as a store that happens-before every
+            // access (writer 0 at stamp 0 is covered by every clock).
+            stores: vec![Store {
+                val: init,
+                writer: 0,
+                stamp: 0,
+                release: Some(VClock::new()),
+            }],
+            floor: [0; MAX_THREADS],
+        });
+        st.locations.len() - 1
+    }
+
+    pub(crate) fn register_lock(&self) -> usize {
+        let mut st = self.state.lock().unwrap();
+        st.locks.push(LockState::default());
+        st.locks.len() - 1
+    }
+
+    pub(crate) fn register_cell(&self) -> usize {
+        let mut st = self.state.lock().unwrap();
+        st.cells.push(CellState::default());
+        st.cells.len() - 1
+    }
+
+    // ---- scheduling core --------------------------------------------------
+
+    /// Park at a schedule point announcing `desc`; returns once the
+    /// controller hands this thread the baton.
+    fn schedule_point(&self, tid: usize, desc: OpDesc) {
+        let mut st = self.state.lock().unwrap();
+        st.threads[tid].announced = Some(desc);
+        st.threads[tid].status = Status::Parked;
+        // Hand the baton back; only the controller can re-grant it.
+        st.active = CONTROLLER;
+        self.cv.notify_all();
+        while !st.abort && st.active != tid {
+            st = self.cv.wait(st).unwrap();
+        }
+        if st.abort {
+            drop(st);
+            panic::panic_any(AbortToken);
+        }
+        st.threads[tid].status = Status::Running;
+    }
+
+    /// Schedule, then begin the operation: bumps the op counter, applies
+    /// the sleep-set wake rule, and returns the state lock so the caller
+    /// can apply the operation's memory effects atomically.
+    fn op_point(&self, tid: usize, desc: OpDesc) -> MutexGuard<'_, EngineState> {
+        self.schedule_point(tid, desc);
+        let mut st = self.state.lock().unwrap();
+        st.ops += 1;
+        if st.ops > self.opts.max_ops {
+            self.fail(
+                st,
+                format!(
+                    "execution exceeded {} operations (schedule-dependent livelock?)",
+                    self.opts.max_ops
+                ),
+            );
+        }
+        // Wake rule: a sleeping thread stays asleep only while every
+        // executed operation is independent of its announced one.
+        for t in 0..st.threads.len() {
+            if st.sleep[t] {
+                if let Some(a) = st.threads[t].announced {
+                    if dependent(&a, &desc) {
+                        st.sleep[t] = false;
+                    }
+                }
+            }
+        }
+        st.oplog.push((tid, desc));
+        st
+    }
+
+    /// Record a failure, abort the execution, and unwind the caller.
+    fn fail(&self, mut st: MutexGuard<'_, EngineState>, msg: String) -> ! {
+        if st.failure.is_none() {
+            let log = render_oplog(&st.oplog, &st.threads);
+            st.failure = Some(format!("{msg}\n{log}"));
+        }
+        st.abort = true;
+        self.cv.notify_all();
+        drop(st);
+        panic::panic_any(AbortToken);
+    }
+
+    /// Consume (or record) one nondeterministic choice among `options`,
+    /// returning the chosen element. Fresh (beyond-prefix) choices take
+    /// the first non-sleeping option.
+    fn consume_choice(
+        &self,
+        st: &mut EngineState,
+        kind: ChoiceKind,
+        options: Vec<usize>,
+        asleep: Vec<bool>,
+    ) -> usize {
+        let at = st.trace.len();
+        let picked = if at < st.prefix.len() {
+            let e = &st.prefix[at];
+            for &t in &e.sleep_add {
+                st.sleep[t] = true;
+            }
+            e.picked
+        } else {
+            asleep.iter().position(|&a| !a).unwrap_or(0)
+        };
+        debug_assert!(picked < options.len(), "replay diverged from recording");
+        let value = options[picked];
+        st.trace.push(Choice {
+            kind,
+            options,
+            asleep,
+            picked,
+        });
+        value
+    }
+
+    /// The controller: repeatedly waits for every model thread to park,
+    /// then decides which one runs next, until the model program finishes,
+    /// fails, or is pruned.
+    fn controller_loop(&self) {
+        loop {
+            let mut st = self.state.lock().unwrap();
+            while st.threads.iter().any(|t| t.status == Status::Running) && st.failure.is_none() {
+                st = self.cv.wait(st).unwrap();
+            }
+            if st.failure.is_some() || st.abort {
+                st.abort = true;
+                self.cv.notify_all();
+                return;
+            }
+            // Unblock threads whose resource became available. All
+            // eligible waiters become runnable; the schedule choice picks
+            // the winner and losers re-block.
+            for t in 0..st.threads.len() {
+                if let Status::Blocked(reason) = st.threads[t].status {
+                    let free = match reason {
+                        BlockReason::Join(target) => st.threads[target].status == Status::Finished,
+                        BlockReason::Lock { id, write } => {
+                            let l = &st.locks[id];
+                            if write {
+                                l.writer.is_none() && l.readers == 0
+                            } else {
+                                l.writer.is_none()
+                            }
+                        }
+                    };
+                    if free {
+                        st.threads[t].status = Status::Parked;
+                    }
+                }
+            }
+            let runnable: Vec<usize> = (0..st.threads.len())
+                .filter(|&t| st.threads[t].status == Status::Parked)
+                .collect();
+            if runnable.is_empty() {
+                if st.threads.iter().all(|t| t.status == Status::Finished) {
+                    st.abort = true;
+                    self.cv.notify_all();
+                    return; // normal completion
+                }
+                let blocked: Vec<String> = st
+                    .threads
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, t)| match t.status {
+                        Status::Blocked(r) => Some(format!("T{i} on {r:?}")),
+                        _ => None,
+                    })
+                    .collect();
+                let log = render_oplog(&st.oplog, &st.threads);
+                st.failure = Some(format!("deadlock: {}\n{log}", blocked.join(", ")));
+                st.abort = true;
+                self.cv.notify_all();
+                return;
+            }
+            // Deterministic option order: continuing the last-run thread
+            // first keeps the default DFS path context-switch-free.
+            let last = st.last_thread;
+            let mut options = runnable;
+            options.sort_unstable();
+            if let Some(pos) = options.iter().position(|&t| t == last) {
+                options.remove(pos);
+                options.insert(0, last);
+            }
+            // Preemption bounding (CHESS-style): once the budget is
+            // spent, a thread that can continue must continue.
+            if let Some(bound) = self.opts.preemption_bound {
+                if st.preemptions >= bound && options.contains(&last) {
+                    options = vec![last];
+                }
+            }
+            // Sleep-set reduction: a sleeping thread's next op commutes
+            // with everything run since a sibling branch explored it, so
+            // it is never picked; if every option sleeps, the rest of
+            // this interleaving is equivalent to an explored one.
+            let asleep: Vec<bool> = options.iter().map(|&t| st.sleep[t]).collect();
+            if asleep.iter().all(|&a| a) {
+                st.pruned = true;
+                st.abort = true;
+                self.cv.notify_all();
+                return;
+            }
+            let pick = if options.len() == 1 {
+                options[0]
+            } else {
+                self.consume_choice(&mut st, ChoiceKind::Thread, options, asleep)
+            };
+            if pick != last
+                && st
+                    .threads
+                    .get(last)
+                    .is_some_and(|t| t.status == Status::Parked)
+            {
+                st.preemptions += 1;
+            }
+            st.last_thread = pick;
+            // The controller makes the status transition itself: if it
+            // only set `active` and looped, it would observe the pick
+            // still Parked until the OS thread wakes and would record
+            // spurious extra choices.
+            st.threads[pick].status = Status::Running;
+            st.active = pick;
+            self.cv.notify_all();
+        }
+    }
+
+    // ---- atomics ----------------------------------------------------------
+
+    fn acquire_ish(ord: Ordering) -> bool {
+        matches!(ord, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst)
+    }
+
+    fn release_ish(ord: Ordering) -> bool {
+        matches!(ord, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst)
+    }
+
+    pub(crate) fn atomic_load(&self, tid: usize, loc: usize, ord: Ordering) -> u64 {
+        let mut st = self.op_point(
+            tid,
+            OpDesc {
+                loc: LocRef::Atomic(loc),
+                write: false,
+                name: "load",
+            },
+        );
+        let clock = st.threads[tid].clock;
+        let n = st.locations[loc].stores.len();
+        // Happens-before floor: the newest store this thread is
+        // guaranteed to see; anything older is hidden.
+        let hb_floor = st.locations[loc]
+            .stores
+            .iter()
+            .rposition(|s| clock.covers(s.writer, s.stamp))
+            .expect("initial store is always covered");
+        let floor = hb_floor.max(st.locations[loc].floor[tid]);
+        let idx = if ord == Ordering::SeqCst {
+            // Strengthening: SC loads read the latest store.
+            n - 1
+        } else {
+            // Newest-first so the default DFS path behaves like a
+            // sequentially consistent run.
+            let candidates: Vec<usize> = (floor..n).rev().collect();
+            if candidates.len() == 1 {
+                candidates[0]
+            } else {
+                let flags = vec![false; candidates.len()];
+                self.consume_choice(&mut st, ChoiceKind::Value, candidates, flags)
+            }
+        };
+        st.locations[loc].floor[tid] = idx;
+        let (val, release) = {
+            let s = &st.locations[loc].stores[idx];
+            (s.val, s.release)
+        };
+        if Self::acquire_ish(ord) {
+            if let Some(rel) = release {
+                st.threads[tid].clock.join(&rel);
+            }
+            if ord == Ordering::SeqCst {
+                let sc = st.sc;
+                st.threads[tid].clock.join(&sc);
+            }
+        }
+        val
+    }
+
+    pub(crate) fn atomic_store(&self, tid: usize, loc: usize, val: u64, ord: Ordering) {
+        let mut st = self.op_point(
+            tid,
+            OpDesc {
+                loc: LocRef::Atomic(loc),
+                write: true,
+                name: "store",
+            },
+        );
+        if ord == Ordering::SeqCst {
+            let sc = st.sc;
+            st.threads[tid].clock.join(&sc);
+        }
+        let stamp = st.threads[tid].clock.bump(tid);
+        let clock = st.threads[tid].clock;
+        if ord == Ordering::SeqCst {
+            st.sc.join(&clock);
+        }
+        let release = Self::release_ish(ord).then_some(clock);
+        st.locations[loc].stores.push(Store {
+            val,
+            writer: tid,
+            stamp,
+            release,
+        });
+        let last = st.locations[loc].stores.len() - 1;
+        st.locations[loc].floor[tid] = last;
+    }
+
+    /// Shared RMW core: reads the latest store (modification-order
+    /// atomicity), writes `f(old)` if it returns `Some`, and returns the
+    /// old value. Release sequences are preserved: the new store carries
+    /// the previous head's release clock even when the RMW is relaxed.
+    pub(crate) fn atomic_rmw(
+        &self,
+        tid: usize,
+        loc: usize,
+        success: Ordering,
+        failure: Ordering,
+        name: &'static str,
+        f: impl FnOnce(u64) -> Option<u64>,
+    ) -> (u64, bool) {
+        let mut st = self.op_point(
+            tid,
+            OpDesc {
+                loc: LocRef::Atomic(loc),
+                write: true,
+                name,
+            },
+        );
+        let last_idx = st.locations[loc].stores.len() - 1;
+        let (old, prev_release) = {
+            let s = &st.locations[loc].stores[last_idx];
+            (s.val, s.release)
+        };
+        st.locations[loc].floor[tid] = last_idx;
+        match f(old) {
+            Some(new) => {
+                if Self::acquire_ish(success) {
+                    if let Some(rel) = prev_release {
+                        st.threads[tid].clock.join(&rel);
+                    }
+                }
+                if success == Ordering::SeqCst {
+                    let sc = st.sc;
+                    st.threads[tid].clock.join(&sc);
+                }
+                let stamp = st.threads[tid].clock.bump(tid);
+                let clock = st.threads[tid].clock;
+                if success == Ordering::SeqCst {
+                    st.sc.join(&clock);
+                }
+                let release = if Self::release_ish(success) {
+                    let mut r = prev_release.unwrap_or_default();
+                    r.join(&clock);
+                    Some(r)
+                } else {
+                    prev_release
+                };
+                st.locations[loc].stores.push(Store {
+                    val: new,
+                    writer: tid,
+                    stamp,
+                    release,
+                });
+                let l = st.locations[loc].stores.len() - 1;
+                st.locations[loc].floor[tid] = l;
+                (old, true)
+            }
+            None => {
+                // Strengthening: a failed CAS reads the latest store.
+                if Self::acquire_ish(failure) {
+                    if let Some(rel) = prev_release {
+                        st.threads[tid].clock.join(&rel);
+                    }
+                }
+                (old, false)
+            }
+        }
+    }
+
+    /// Fence, approximated as a SeqCst fence regardless of `ord`
+    /// (strengthening; the repo's protocols use no standalone fences).
+    pub(crate) fn fence(&self, tid: usize, _ord: Ordering) {
+        let mut st = self.op_point(
+            tid,
+            OpDesc {
+                loc: LocRef::Thread(tid),
+                write: false,
+                name: "fence",
+            },
+        );
+        let sc = st.sc;
+        st.threads[tid].clock.join(&sc);
+        st.threads[tid].clock.bump(tid);
+        let clock = st.threads[tid].clock;
+        st.sc.join(&clock);
+    }
+
+    // ---- plain cells (data-race detection) --------------------------------
+
+    pub(crate) fn cell_read(&self, tid: usize, loc: usize) {
+        let mut st = self.op_point(
+            tid,
+            OpDesc {
+                loc: LocRef::Cell(loc),
+                write: false,
+                name: "cell.read",
+            },
+        );
+        let clock = st.threads[tid].clock;
+        if let Some((w, stamp)) = st.cells[loc].writer {
+            if !clock.covers(w, stamp) {
+                self.fail(
+                    st,
+                    format!("data race: T{tid} reads a cell concurrently written by T{w}"),
+                );
+            }
+        }
+        let stamp = st.threads[tid].clock.bump(tid);
+        st.cells[loc].reads.push((tid, stamp));
+    }
+
+    pub(crate) fn cell_write(&self, tid: usize, loc: usize) {
+        let mut st = self.op_point(
+            tid,
+            OpDesc {
+                loc: LocRef::Cell(loc),
+                write: true,
+                name: "cell.write",
+            },
+        );
+        let clock = st.threads[tid].clock;
+        if let Some((w, stamp)) = st.cells[loc].writer {
+            if !clock.covers(w, stamp) {
+                self.fail(
+                    st,
+                    format!("data race: T{tid} writes a cell concurrently written by T{w}"),
+                );
+            }
+        }
+        if let Some(&(r, stamp)) = st.cells[loc]
+            .reads
+            .iter()
+            .find(|&&(r, stamp)| !clock.covers(r, stamp))
+        {
+            let _ = stamp;
+            self.fail(
+                st,
+                format!("data race: T{tid} writes a cell concurrently read by T{r}"),
+            );
+        }
+        let stamp = st.threads[tid].clock.bump(tid);
+        st.cells[loc].writer = Some((tid, stamp));
+        st.cells[loc].reads.clear();
+    }
+
+    // ---- locks ------------------------------------------------------------
+
+    pub(crate) fn lock_acquire(&self, tid: usize, id: usize, write: bool) {
+        let name = if write { "lock.write" } else { "lock.read" };
+        loop {
+            let mut st = self.op_point(
+                tid,
+                OpDesc {
+                    loc: LocRef::Lock(id),
+                    write: true,
+                    name,
+                },
+            );
+            let available = {
+                let l = &st.locks[id];
+                if write {
+                    l.writer.is_none() && l.readers == 0
+                } else {
+                    l.writer.is_none()
+                }
+            };
+            if available {
+                let (wrel, rrel) = (st.locks[id].write_release, st.locks[id].read_release);
+                if write {
+                    st.locks[id].writer = Some(tid);
+                    st.threads[tid].clock.join(&wrel);
+                    st.threads[tid].clock.join(&rrel);
+                } else {
+                    st.locks[id].readers += 1;
+                    st.threads[tid].clock.join(&wrel);
+                }
+                return;
+            }
+            // Held: hand the baton back and wait to be rescheduled once
+            // the controller sees the resource free.
+            st.threads[tid].status = Status::Blocked(BlockReason::Lock { id, write });
+            st.active = CONTROLLER;
+            self.cv.notify_all();
+            while !st.abort && st.active != tid {
+                st = self.cv.wait(st).unwrap();
+            }
+            if st.abort {
+                drop(st);
+                panic::panic_any(AbortToken);
+            }
+            st.threads[tid].status = Status::Running;
+            // Another waiter may have won the re-race; loop and re-check.
+        }
+    }
+
+    pub(crate) fn lock_release(&self, tid: usize, id: usize, write: bool) {
+        let name = if write {
+            "lock.write_unlock"
+        } else {
+            "lock.read_unlock"
+        };
+        let mut st = self.op_point(
+            tid,
+            OpDesc {
+                loc: LocRef::Lock(id),
+                write: true,
+                name,
+            },
+        );
+        st.threads[tid].clock.bump(tid);
+        let clock = st.threads[tid].clock;
+        if write {
+            debug_assert_eq!(st.locks[id].writer, Some(tid));
+            st.locks[id].writer = None;
+            st.locks[id].write_release = clock;
+        } else {
+            debug_assert!(st.locks[id].readers > 0);
+            st.locks[id].readers -= 1;
+            st.locks[id].read_release.join(&clock);
+        }
+    }
+
+    // ---- threads ----------------------------------------------------------
+
+    /// Register a new model thread inheriting the parent's clock; returns
+    /// its id. The OS thread is spawned by the caller (`thread::spawn`).
+    pub(crate) fn register_thread(&self, parent: Option<usize>) -> usize {
+        let mut st = self.state.lock().unwrap();
+        let tid = st.threads.len();
+        assert!(
+            tid < MAX_THREADS,
+            "model programs are limited to {MAX_THREADS} threads (exploration is \
+             exponential in thread count)"
+        );
+        let mut clock = match parent {
+            Some(p) => {
+                st.threads[p].clock.bump(p);
+                st.threads[p].clock
+            }
+            None => VClock::new(),
+        };
+        clock.bump(tid);
+        st.threads.push(ThreadSlot {
+            status: Status::Running,
+            clock,
+            announced: None,
+            blocked: None,
+            result: None,
+        });
+        let _ = st.threads[tid].blocked;
+        tid
+    }
+
+    pub(crate) fn push_handle(&self, h: std::thread::JoinHandle<()>) {
+        self.handles.lock().unwrap().push(h);
+    }
+
+    /// Body wrapper for every model thread (including the root).
+    pub(crate) fn run_thread<T: Send + 'static>(
+        self: &Arc<Self>,
+        tid: usize,
+        body: impl FnOnce() -> T,
+    ) {
+        CTX.with(|c| {
+            *c.borrow_mut() = Some(Ctx {
+                engine: Arc::clone(self),
+                tid,
+            })
+        });
+        let result = panic::catch_unwind(AssertUnwindSafe(|| {
+            // Park before running any user code: exactly one model thread
+            // executes between schedule points, which keeps lazy location
+            // registration (and thus replay) deterministic.
+            self.schedule_point(
+                tid,
+                OpDesc {
+                    loc: LocRef::Thread(tid),
+                    write: false,
+                    name: "start",
+                },
+            );
+            body()
+        }));
+        CTX.with(|c| *c.borrow_mut() = None);
+        let mut st = self.state.lock().unwrap();
+        match result {
+            Ok(v) => {
+                st.threads[tid].result = Some(Box::new(v));
+            }
+            Err(payload) => {
+                if payload.downcast_ref::<AbortToken>().is_none() && st.failure.is_none() {
+                    let msg = payload
+                        .downcast_ref::<&str>()
+                        .map(|s| s.to_string())
+                        .or_else(|| payload.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "model thread panicked".to_string());
+                    let log = render_oplog(&st.oplog, &st.threads);
+                    st.failure = Some(format!("T{tid} panicked: {msg}\n{log}"));
+                    st.abort = true;
+                }
+            }
+        }
+        // Thread exit is a dependence target for joiners.
+        let desc = OpDesc {
+            loc: LocRef::Thread(tid),
+            write: true,
+            name: "exit",
+        };
+        for t in 0..st.threads.len() {
+            if st.sleep[t] {
+                if let Some(a) = st.threads[t].announced {
+                    if dependent(&a, &desc) {
+                        st.sleep[t] = false;
+                    }
+                }
+            }
+        }
+        st.threads[tid].status = Status::Finished;
+        self.cv.notify_all();
+    }
+
+    /// Join a model thread: blocks until it finishes, joins its final
+    /// clock, and returns its boxed result.
+    pub(crate) fn join_thread(&self, tid: usize, target: usize) -> Box<dyn Any + Send> {
+        loop {
+            let mut st = self.op_point(
+                tid,
+                OpDesc {
+                    loc: LocRef::Thread(target),
+                    write: true,
+                    name: "join",
+                },
+            );
+            if st.threads[target].status == Status::Finished {
+                let clock = st.threads[target].clock;
+                st.threads[tid].clock.join(&clock);
+                if let Some(r) = st.threads[target].result.take() {
+                    return r;
+                }
+                // Result already taken or thread aborted: unwind quietly.
+                drop(st);
+                panic::panic_any(AbortToken);
+            }
+            st.threads[tid].status = Status::Blocked(BlockReason::Join(target));
+            st.active = CONTROLLER;
+            self.cv.notify_all();
+            while !st.abort && st.active != tid {
+                st = self.cv.wait(st).unwrap();
+            }
+            if st.abort {
+                drop(st);
+                panic::panic_any(AbortToken);
+            }
+            st.threads[tid].status = Status::Running;
+        }
+    }
+}
+
+fn render_oplog(oplog: &[(usize, OpDesc)], _threads: &[ThreadSlot]) -> String {
+    let mut out = String::from("schedule:");
+    let shown = oplog.len().min(200);
+    for (tid, desc) in &oplog[oplog.len() - shown..] {
+        let loc = match desc.loc {
+            LocRef::Atomic(i) => format!("a{i}"),
+            LocRef::Cell(i) => format!("c{i}"),
+            LocRef::Lock(i) => format!("l{i}"),
+            LocRef::Thread(i) => format!("t{i}"),
+        };
+        out.push_str(&format!(" T{tid}:{}@{loc}", desc.name));
+    }
+    out
+}
+
+/// Run one complete execution of `f` under `prefix`, returning the
+/// recorded trace and outcome.
+pub(crate) fn run_execution(
+    f: &Arc<dyn Fn() + Send + Sync>,
+    prefix: Vec<PrefixEntry>,
+    opts: ExecOpts,
+    mutation: Option<Mutation>,
+) -> ExecOutcome {
+    let engine = Arc::new(Engine::new(prefix, opts, mutation));
+    let root = engine.register_thread(None);
+    debug_assert_eq!(root, 0);
+    {
+        let engine2 = Arc::clone(&engine);
+        let f2 = Arc::clone(f);
+        let h = std::thread::Builder::new()
+            .name("model-main".into())
+            .spawn(move || engine2.run_thread(root, move || f2()))
+            .expect("spawn model main");
+        engine.push_handle(h);
+    }
+    engine.controller_loop();
+    // Release every surviving thread and collect the OS handles.
+    {
+        let mut st = engine.state.lock().unwrap();
+        st.abort = true;
+        engine.cv.notify_all();
+    }
+    let handles: Vec<_> = std::mem::take(&mut *engine.handles.lock().unwrap());
+    let mut queue: VecDeque<_> = handles.into();
+    while let Some(h) = queue.pop_front() {
+        let _ = h.join();
+        // Joining one thread may have spawned none, but late registration
+        // of handles is possible while others unwind.
+        let mut more = engine.handles.lock().unwrap();
+        queue.extend(more.drain(..));
+    }
+    let st = engine.state.lock().unwrap();
+    ExecOutcome {
+        trace: st.trace.clone(),
+        failure: st.failure.clone(),
+        pruned: st.pruned,
+        ops: st.ops,
+    }
+}
+
+/// Spawn a model thread from inside a model program (used by
+/// [`crate::thread::spawn`]).
+pub(crate) fn spawn_model_thread<T: Send + 'static>(
+    body: impl FnOnce() -> T + Send + 'static,
+) -> crate::thread::JoinHandle<T> {
+    let ctx = with_ctx(Clone::clone).expect("modelcheck::thread::spawn outside a model run");
+    let tid = ctx.engine.register_thread(Some(ctx.tid));
+    let engine2 = Arc::clone(&ctx.engine);
+    let h = std::thread::Builder::new()
+        .name(format!("model-{tid}"))
+        .spawn(move || engine2.run_thread(tid, body))
+        .expect("spawn model thread");
+    ctx.engine.push_handle(h);
+    crate::thread::JoinHandle::new(ctx.engine, tid)
+}

@@ -1,0 +1,241 @@
+//! Model-aware `Mutex` / `RwLock` with the (non-poisoning) parking_lot
+//! surface the repo uses.
+//!
+//! The data lives under a real `std::sync` lock so the fallback path is
+//! sound; inside a model execution the engine's lock state decides who
+//! may acquire (making blocking, contention, and deadlock explorable) and
+//! carries the happens-before clocks. The real lock is then uncontended
+//! by construction, so the inner `try_lock` never fails.
+
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::AtomicU64 as RawCache;
+use std::sync::atomic::Ordering;
+
+use crate::engine::{with_ctx, Ctx};
+
+const LOC_BITS: u32 = 20;
+const LOC_MASK: u64 = (1 << LOC_BITS) - 1;
+
+fn register(cache: &RawCache, ctx: &Ctx) -> usize {
+    // relaxed: write-once lock-id cache; racing registrations are idempotent (see `atomic.rs`).
+    let packed = cache.load(Ordering::Relaxed);
+    let eid = ctx.engine.exec_id();
+    if packed >> LOC_BITS == eid {
+        return (packed & LOC_MASK) as usize;
+    }
+    let id = ctx.engine.register_lock();
+    debug_assert!((id as u64) < (1 << LOC_BITS));
+    // relaxed: idempotent cache publish, as above.
+    cache.store((eid << LOC_BITS) | id as u64, Ordering::Relaxed);
+    id
+}
+
+/// Mutual exclusion with model-checked blocking and happens-before.
+pub struct Mutex<T> {
+    inner: std::sync::Mutex<T>,
+    loc: RawCache,
+}
+
+impl<T> Mutex<T> {
+    pub const fn new(value: T) -> Self {
+        Self {
+            inner: std::sync::Mutex::new(value),
+            loc: RawCache::new(0),
+        }
+    }
+
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        let modeled = with_ctx(|c| {
+            c.engine.lock_acquire(c.tid, register(&self.loc, c), true);
+        })
+        .is_some();
+        let inner = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        MutexGuard {
+            lock: self,
+            inner: Some(inner),
+            modeled,
+        }
+    }
+
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+pub struct MutexGuard<'a, T> {
+    lock: &'a Mutex<T>,
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+    modeled: bool,
+}
+
+impl<T> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard alive")
+    }
+}
+
+impl<T> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard alive")
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Release the real lock before the model lock, so by the time
+        // another model thread is granted the model lock the real one is
+        // free.
+        drop(self.inner.take());
+        // During a panic unwind the execution is aborting anyway, and a
+        // nested model call would panic inside a destructor (an abort).
+        if self.modeled && !std::thread::panicking() {
+            with_ctx(|c| {
+                c.engine
+                    .lock_release(c.tid, register(&self.lock.loc, c), true)
+            });
+        }
+    }
+}
+
+/// Reader-writer lock with model-checked blocking and happens-before.
+pub struct RwLock<T> {
+    inner: std::sync::RwLock<T>,
+    loc: RawCache,
+}
+
+impl<T> RwLock<T> {
+    pub const fn new(value: T) -> Self {
+        Self {
+            inner: std::sync::RwLock::new(value),
+            loc: RawCache::new(0),
+        }
+    }
+
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        let modeled = with_ctx(|c| {
+            c.engine.lock_acquire(c.tid, register(&self.loc, c), false);
+        })
+        .is_some();
+        let inner = self
+            .inner
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        RwLockReadGuard {
+            lock: self,
+            inner: Some(inner),
+            modeled,
+        }
+    }
+
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        let modeled = with_ctx(|c| {
+            c.engine.lock_acquire(c.tid, register(&self.loc, c), true);
+        })
+        .is_some();
+        let inner = self
+            .inner
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        RwLockWriteGuard {
+            lock: self,
+            inner: Some(inner),
+            modeled,
+        }
+    }
+
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+pub struct RwLockReadGuard<'a, T> {
+    lock: &'a RwLock<T>,
+    inner: Option<std::sync::RwLockReadGuard<'a, T>>,
+    modeled: bool,
+}
+
+impl<T> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard alive")
+    }
+}
+
+impl<T> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        drop(self.inner.take());
+        // During a panic unwind the execution is aborting anyway, and a
+        // nested model call would panic inside a destructor (an abort).
+        if self.modeled && !std::thread::panicking() {
+            with_ctx(|c| {
+                c.engine
+                    .lock_release(c.tid, register(&self.lock.loc, c), false)
+            });
+        }
+    }
+}
+
+pub struct RwLockWriteGuard<'a, T> {
+    lock: &'a RwLock<T>,
+    inner: Option<std::sync::RwLockWriteGuard<'a, T>>,
+    modeled: bool,
+}
+
+impl<T> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard alive")
+    }
+}
+
+impl<T> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard alive")
+    }
+}
+
+impl<T> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        drop(self.inner.take());
+        // During a panic unwind the execution is aborting anyway, and a
+        // nested model call would panic inside a destructor (an abort).
+        if self.modeled && !std::thread::panicking() {
+            with_ctx(|c| {
+                c.engine
+                    .lock_release(c.tid, register(&self.lock.loc, c), true)
+            });
+        }
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Self::new(T::default())
+    }
+}
+
+impl<T: Default> Default for RwLock<T> {
+    fn default() -> Self {
+        Self::new(T::default())
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Mutex(..)")
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("RwLock(..)")
+    }
+}

@@ -1,0 +1,46 @@
+//! Model-thread spawn/join, mirroring the `std::thread` subset protocol
+//! tests need. Only usable from inside a model execution; ported library
+//! code never spawns threads, so no fallback path is provided.
+
+use std::marker::PhantomData;
+use std::sync::Arc;
+
+use crate::engine::{self, Engine};
+
+pub struct JoinHandle<T> {
+    engine: Arc<Engine>,
+    tid: usize,
+    _result: PhantomData<T>,
+}
+
+impl<T: 'static> JoinHandle<T> {
+    pub(crate) fn new(engine: Arc<Engine>, tid: usize) -> Self {
+        Self {
+            engine,
+            tid,
+            _result: PhantomData,
+        }
+    }
+
+    /// Block (in model time) until the thread finishes and return its
+    /// result. A panicking target aborts the whole execution with its
+    /// message, so unlike `std` there is no `Err` case to surface here.
+    pub fn join(self) -> T {
+        let me = engine::current_thread_index().expect("join outside a model run");
+        *self
+            .engine
+            .join_thread(me, self.tid)
+            .downcast::<T>()
+            .expect("join result type")
+    }
+}
+
+/// Spawn a model thread. The closure runs under the scheduler: each of
+/// its instrumented operations becomes a schedule point.
+pub fn spawn<T: Send + 'static>(body: impl FnOnce() -> T + Send + 'static) -> JoinHandle<T> {
+    engine::spawn_model_thread(body)
+}
+
+/// Model-scheduler hint; a no-op (the scheduler already owns all
+/// interleaving decisions, so there is nothing to yield to).
+pub fn yield_now() {}

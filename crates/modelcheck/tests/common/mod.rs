@@ -1,0 +1,182 @@
+//! Model-checked protocol bodies shared by the exhaustive protocol tests
+//! (`protocols.rs`, which assert they pass) and the mutation kill tests
+//! (`mutants.rs`, which assert the checker finds the seeded bug).
+//!
+//! Each body is one closed scenario over 2–3 model threads: it builds its
+//! shared state fresh, races the protocol's fast path against its slow
+//! path, and asserts the protocol's invariant. Invariants are expressed
+//! either as plain assertions or as [`RaceCell`] accesses — the latter
+//! lets the checker's vector-clock race detector prove the *absence* of
+//! required happens-before edges, which a value assertion alone can miss.
+
+use std::hash::{BuildHasherDefault, DefaultHasher};
+use std::sync::Arc;
+
+use spitfire_modelcheck::cell::RaceCell;
+use spitfire_modelcheck::thread;
+use spitfire_sync::{AtomicBitmap, ConcurrentMap, PinAttempt, PinWord, StripedCounter};
+
+/// PinWord quiescence: a transition may only proceed after `close()`
+/// returns zero, and the last reader's page access must happen-before the
+/// transition's page write.
+///
+/// Kills `PinCloseRelaxed` (closer stops acquiring the draining unpin),
+/// `PinUnpinRelaxed` (reader stops releasing its page read), and
+/// `PinBlindPin` (a pin lands after quiescence was claimed): all three
+/// surface as a data race on `page`.
+pub fn pin_quiescence() {
+    let word = Arc::new(PinWord::new());
+    let page = Arc::new(RaceCell::new(0u64));
+    word.open(1);
+
+    let w = Arc::clone(&word);
+    let p = Arc::clone(&page);
+    let reader = thread::spawn(move || {
+        if let PinAttempt::Pinned(frame) = w.try_pin() {
+            assert_eq!(frame, 1, "pinned against a frame that was never open");
+            // The protected read: must be ordered before any transition
+            // that observed a zero pin count.
+            let _ = p.get();
+            w.unpin();
+        }
+    });
+
+    if word.close() == 0 {
+        // Quiescent: no optimistic pin exists and none can be taken.
+        page.set(42);
+    } else {
+        // Reader still draining; abort the transition.
+        word.open(1);
+    }
+    reader.join();
+}
+
+/// PinWord open/pin publication: a pinner that wins its CAS must observe
+/// the payload written by the `open` it pinned against, never a stale
+/// frame id.
+///
+/// Kills `PinOpenRelaxed`: without the release on `open`'s CAS the reader
+/// can see the OPEN bit but read the pre-open payload.
+pub fn pin_open_payload() {
+    let word = Arc::new(PinWord::new());
+    let w = Arc::clone(&word);
+    let reader = thread::spawn(move || {
+        if let PinAttempt::Pinned(frame) = w.try_pin() {
+            assert_eq!(frame, 7, "pin observed OPEN without the payload store");
+            w.unpin();
+        }
+    });
+    word.open(7);
+    reader.join();
+}
+
+/// Eviction racing the fetch fast path: after `close()` proves
+/// quiescence the frame is reused for another page and the word reopens
+/// with the new frame id. A racing pinner must either restart
+/// (`Raced`/`Closed`) or land a pin whose frame id matches the bytes in
+/// the frame — never read page B's bytes under a page A pin.
+///
+/// Kills `PinBlindPin`: the check-then-increment pin slips in around the
+/// close/reopen and pairs frame id 1 with page B's contents (or races
+/// the rewrite itself).
+pub fn pin_eviction_frame_reuse() {
+    let word = Arc::new(PinWord::new());
+    let frame = Arc::new(RaceCell::new(100u64));
+    word.open(1);
+
+    let w = Arc::clone(&word);
+    let f = Arc::clone(&frame);
+    let reader = thread::spawn(move || match w.try_pin() {
+        PinAttempt::Pinned(1) => {
+            assert_eq!(f.get(), 100, "page A pin read page B bytes");
+            w.unpin();
+        }
+        PinAttempt::Pinned(2) => {
+            assert_eq!(f.get(), 200, "page B pin read stale page A bytes");
+            w.unpin();
+        }
+        PinAttempt::Pinned(other) => panic!("pinned unknown frame {other}"),
+        PinAttempt::Raced | PinAttempt::Closed => {}
+    });
+
+    if word.close() == 0 {
+        // Evict page A, reuse the frame for page B.
+        frame.set(200);
+        word.open(2);
+    } else {
+        word.open(1);
+    }
+    reader.join();
+}
+
+/// ConcurrentMap read-lock upgrade: two threads missing on the same key
+/// concurrently must agree on one stored value (the re-probe under the
+/// write lock discards the loser's speculative value).
+///
+/// Kills `MapUpgradeNoRecheck`: without the re-probe both missers
+/// install their own value and return descriptors that are not the same
+/// allocation.
+///
+/// The map is built with a deterministic hasher: the default
+/// `RandomState` would vary shard choice across executions and break the
+/// checker's schedule replay.
+pub fn map_get_or_insert() {
+    type Hasher = BuildHasherDefault<DefaultHasher>;
+    let map: Arc<ConcurrentMap<u64, Arc<u64>, Hasher>> =
+        Arc::new(ConcurrentMap::with_hasher(Hasher::default()));
+    let m = Arc::clone(&map);
+    let t = thread::spawn(move || m.get_or_insert_with(7, || Arc::new(1)));
+    let mine = map.get_or_insert_with(7, || Arc::new(2));
+    let theirs = t.join();
+    assert!(
+        Arc::ptr_eq(&mine, &theirs),
+        "racing missers observed different descriptors for one page"
+    );
+    let stored = map.get(&7).expect("key present after insert");
+    assert!(
+        Arc::ptr_eq(&mine, &stored),
+        "returned value is not the stored one"
+    );
+}
+
+/// StripedCounter merge: increments from every stripe — including two
+/// threads folded onto the *same* stripe — survive into `sum()`.
+///
+/// Kills `CounterAddSplit`: the torn load-then-store loses one of the
+/// same-stripe increments. Under the model checker, stripes derive from
+/// the model thread index mod 2, so the main thread (index 0) and the
+/// second spawned thread (index 2) deliberately collide.
+pub fn counter_merge() {
+    let counter = Arc::new(StripedCounter::new());
+    let c1 = Arc::clone(&counter);
+    let t1 = thread::spawn(move || c1.add(1));
+    let c2 = Arc::clone(&counter);
+    let t2 = thread::spawn(move || c2.add(1));
+    counter.add(1);
+    t1.join();
+    t2.join();
+    assert_eq!(counter.sum(), 3, "a striped increment was lost");
+}
+
+/// AtomicBitmap touch vs sweep: a reference-bit touch racing the clock
+/// hand's clear and a frame acquisition on the same word must all
+/// survive — single-word RMWs never lose each other's updates.
+///
+/// Kills `BitmapSetSplit`: the torn set either erases the concurrent
+/// clear (bit 1 resurrected) or is itself erased (bit 3 lost).
+pub fn bitmap_touch_sweep() {
+    let bits = Arc::new(AtomicBitmap::new(64));
+    bits.set(1);
+    let b = Arc::clone(&bits);
+    let toucher = thread::spawn(move || {
+        b.set(3);
+    });
+    // The sweep: clear a cold page's reference bit, then claim a frame.
+    bits.clear(1);
+    assert!(bits.try_acquire(5), "frame 5 was free");
+    toucher.join();
+    assert!(bits.get(3), "reference-bit touch was lost");
+    assert!(!bits.get(1), "cleared bit resurrected by a racing touch");
+    assert!(bits.get(5), "acquired frame bit was lost");
+    assert_eq!(bits.count_ones(), 2);
+}

@@ -1,0 +1,108 @@
+//! Mutation kill tests: evidence the model checker has teeth.
+//!
+//! Each test activates one seeded mutation — a deliberately broken
+//! variant of a protocol, compiled behind `cfg(spitfire_modelcheck)` in
+//! `spitfire-sync` — and asserts the explorer *finds* the bug
+//! (`assert_fail`). A checker that passed the protocols but also passed
+//! these mutants would be vacuous; CI runs both.
+//!
+//! Run with:
+//!
+//! ```text
+//! RUSTFLAGS='--cfg spitfire_modelcheck' cargo test -p spitfire-modelcheck
+//! ```
+
+#![cfg(spitfire_modelcheck)]
+
+mod common;
+
+use spitfire_modelcheck::{Checker, Mutation};
+
+#[test]
+fn open_without_release_is_killed() {
+    let failure = Checker::new()
+        .mutation(Mutation::PinOpenRelaxed)
+        .check(common::pin_open_payload)
+        .assert_fail();
+    assert!(
+        failure.message.contains("payload store"),
+        "{}",
+        failure.message
+    );
+}
+
+#[test]
+fn close_without_acquire_is_killed() {
+    // The weakened close no longer synchronizes with the draining unpin:
+    // the transition's page write races the reader's page read.
+    let failure = Checker::new()
+        .mutation(Mutation::PinCloseRelaxed)
+        .check(common::pin_quiescence)
+        .assert_fail();
+    assert!(failure.message.contains("data race"), "{}", failure.message);
+}
+
+#[test]
+fn unpin_without_release_is_killed() {
+    let failure = Checker::new()
+        .mutation(Mutation::PinUnpinRelaxed)
+        .check(common::pin_quiescence)
+        .assert_fail();
+    assert!(failure.message.contains("data race"), "{}", failure.message);
+}
+
+#[test]
+fn blind_pin_is_killed() {
+    // Check-then-increment lets a pin land after close() observed zero:
+    // the reader holds a "pin" on a frame being rewritten.
+    Checker::new()
+        .mutation(Mutation::PinBlindPin)
+        .check(common::pin_eviction_frame_reuse)
+        .assert_fail();
+}
+
+#[test]
+fn blind_pin_breaks_quiescence_too() {
+    Checker::new()
+        .mutation(Mutation::PinBlindPin)
+        .check(common::pin_quiescence)
+        .assert_fail();
+}
+
+#[test]
+fn torn_bitmap_set_is_killed() {
+    Checker::new()
+        .mutation(Mutation::BitmapSetSplit)
+        .check(common::bitmap_touch_sweep)
+        .assert_fail();
+}
+
+#[test]
+fn torn_counter_add_is_killed() {
+    let failure = Checker::new()
+        .mutation(Mutation::CounterAddSplit)
+        .check(common::counter_merge)
+        .assert_fail();
+    assert!(failure.message.contains("lost"), "{}", failure.message);
+}
+
+#[test]
+fn map_upgrade_without_recheck_is_killed() {
+    let failure = Checker::new()
+        .mutation(Mutation::MapUpgradeNoRecheck)
+        .check(common::map_get_or_insert)
+        .assert_fail();
+    assert!(
+        failure.message.contains("descriptor"),
+        "{}",
+        failure.message
+    );
+}
+
+/// The mutations are seeded into `spitfire-sync` behind runtime switches;
+/// with no mutation active the same bodies must still pass (guards
+/// against a hook that accidentally fires unconditionally).
+#[test]
+fn no_mutation_means_no_bug() {
+    Checker::new().check(common::pin_quiescence).assert_pass();
+}

@@ -63,6 +63,7 @@ thread_local! {
     static LOCAL_RING: Arc<Ring> = {
         let reg = registry();
         let ring = Arc::new(Ring {
+            // relaxed: thread-slot allocation needs uniqueness only.
             thread: reg.next_thread.fetch_add(1, Ordering::Relaxed),
             buf: Mutex::new(RingBuf { events: Vec::new(), head: 0 }),
         });

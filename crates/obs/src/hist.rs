@@ -75,6 +75,7 @@ impl Histogram {
     /// Record one value (nanoseconds). Lock-free; relaxed atomics only.
     #[inline]
     pub fn record(&self, v: u64) {
+        // relaxed: histogram cells are independent statistics; recordings publish no other memory.
         self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(v, Ordering::Relaxed);
@@ -88,6 +89,7 @@ impl Histogram {
             buckets: self
                 .buckets
                 .iter()
+                // relaxed: advisory snapshot; buckets may tear against count/sum, which percentile reporting tolerates.
                 .map(|b| b.load(Ordering::Relaxed))
                 .collect(),
             count: self.count.load(Ordering::Relaxed),
@@ -100,6 +102,7 @@ impl Histogram {
     /// Zero all counters.
     pub fn reset(&self) {
         for b in self.buckets.iter() {
+            // relaxed: racing recordings may survive the reset by design.
             b.store(0, Ordering::Relaxed);
         }
         self.count.store(0, Ordering::Relaxed);
@@ -163,6 +166,7 @@ fn thread_shard() -> usize {
     SHARD.with(|s| {
         let mut id = s.get();
         if id == usize::MAX {
+            // relaxed: thread-id allocation needs uniqueness only.
             id = NEXT.fetch_add(1, Ordering::Relaxed);
             s.set(id);
         }

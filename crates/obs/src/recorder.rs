@@ -37,6 +37,7 @@ thread_local! {
 /// Is latency recording enabled? Single relaxed load; safe on hot paths.
 #[inline(always)]
 pub fn enabled() -> bool {
+    // relaxed: enable flag is a hint; a stale reading records or skips one extra event.
     ENABLED.load(Ordering::Relaxed)
 }
 
@@ -48,6 +49,7 @@ pub fn set_enabled(on: bool) {
 /// Is structured event tracing enabled (implies recording work per event)?
 #[inline(always)]
 pub fn tracing_enabled() -> bool {
+    // relaxed: see `enabled`.
     TRACING.load(Ordering::Relaxed)
 }
 
@@ -59,6 +61,7 @@ pub fn set_tracing(on: bool) {
 /// How many `op_start` calls share one timestamp (1 = time every call).
 #[inline]
 pub fn sample_interval() -> u32 {
+    // relaxed: sampling knob; any recent value is acceptable.
     SAMPLE_INTERVAL.load(Ordering::Relaxed)
 }
 
@@ -77,6 +80,7 @@ pub fn op_start() -> Option<Instant> {
     if !enabled() {
         return None;
     }
+    // relaxed: sampling knob, as `sample_interval`.
     let n = SAMPLE_INTERVAL.load(Ordering::Relaxed);
     if n <= 1 {
         return Some(Instant::now());

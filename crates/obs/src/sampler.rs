@@ -73,6 +73,7 @@ pub fn set_gauge(name: &str, value: f64) {
     {
         let manual = reg.manual.lock().unwrap();
         if let Some(cell) = manual.get(name) {
+            // relaxed: the cell holds a self-contained f64 gauge; readers accept any published value.
             cell.store(value.to_bits(), Ordering::Relaxed);
             return;
         }
@@ -82,6 +83,7 @@ pub fn set_gauge(name: &str, value: f64) {
         .unwrap()
         .entry(name.to_string())
         .or_insert_with(|| AtomicU64::new(0))
+        // relaxed: self-contained gauge cell, as above.
         .store(value.to_bits(), Ordering::Relaxed);
 }
 
@@ -103,6 +105,7 @@ pub fn gauge_values() -> Vec<(String, f64)> {
     {
         let manual = reg.manual.lock().unwrap();
         for (name, bits) in manual.iter() {
+            // relaxed: advisory gauge read.
             out.push((name.clone(), f64::from_bits(bits.load(Ordering::Relaxed))));
         }
     }

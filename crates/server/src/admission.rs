@@ -143,6 +143,7 @@ impl TenantState {
 
     /// Total sheds across all causes.
     pub fn shed_total(&self) -> u64 {
+        // relaxed: advisory statistics; the sum may tear across concurrent sheds, which a monitoring probe tolerates.
         self.shed_queue.load(Ordering::Relaxed)
             + self.shed_pressure.load(Ordering::Relaxed)
             + self.shed_quota.load(Ordering::Relaxed)
@@ -199,16 +200,19 @@ impl Admission {
 
     /// Current queued-or-executing request count.
     pub fn inflight(&self) -> usize {
+        // relaxed: advisory occupancy gauge; being off by in-flight transitions is fine for monitoring.
         self.inflight.load(Ordering::Relaxed)
     }
 
     /// Raise or clear the memory-pressure shed signal (monitor thread).
     pub fn set_pressure(&self, shed: bool) {
+        // relaxed: the pressure flag is a shed hint; a late observer admits or sheds one extra request, both acceptable.
         self.pressure.store(u8::from(shed), Ordering::Relaxed);
     }
 
     /// Whether the pressure signal is currently raised.
     pub fn under_pressure(&self) -> bool {
+        // relaxed: see `set_pressure`.
         self.pressure.load(Ordering::Relaxed) != 0
     }
 
@@ -219,6 +223,7 @@ impl Admission {
         let t = &self.tenants[tenant as usize];
         if !finishing {
             if conn_depth >= self.config.per_conn_queue {
+                // relaxed: shed counters are statistics; the inflight reading is an advisory gauge — admission tolerates small overshoot around the limit.
                 t.shed_queue.fetch_add(1, Ordering::Relaxed);
                 return Verdict::Shed(ErrorCode::Overload, "connection queue full");
             }
@@ -227,6 +232,7 @@ impl Admission {
                 return Verdict::Shed(ErrorCode::Overload, "server at in-flight limit");
             }
             if self.config.pressure_shedding && self.under_pressure() {
+                // relaxed: shed statistics; the token bucket itself is mutex-protected.
                 t.shed_pressure.fetch_add(1, Ordering::Relaxed);
                 return Verdict::Shed(ErrorCode::Overload, "buffer memory pressure");
             }
@@ -237,6 +243,7 @@ impl Admission {
                 }
             }
         }
+        // relaxed: admission statistic plus the advisory inflight gauge (see above).
         t.admitted.fetch_add(1, Ordering::Relaxed);
         self.inflight.fetch_add(1, Ordering::Relaxed);
         Verdict::Admit
@@ -245,6 +252,7 @@ impl Admission {
     /// Release one admitted request (completed, or discarded on
     /// disconnect).
     pub fn release(&self) {
+        // relaxed: advisory gauge decrement; no memory is published through it.
         let prev = self.inflight.fetch_sub(1, Ordering::Relaxed);
         debug_assert!(prev > 0, "release without admit");
     }

@@ -119,6 +119,7 @@ pub struct Conn {
 
 impl Schedulable for Conn {
     fn tenant(&self) -> u32 {
+        // relaxed: the tenant pin is written once by the connection's own handler; cross-thread readers accept any snapshot.
         self.tenant.load(Ordering::Relaxed)
     }
 }
@@ -128,6 +129,7 @@ impl Conn {
         if self.closed.load(Ordering::Acquire) {
             return;
         }
+        // relaxed: see `tenant` — write-once pin, advisory readers.
         let tenant = self.tenant.load(Ordering::Relaxed);
         let frame = encode_reply(opcode, tenant, request_id, reply);
         let mut w = self.write.lock();
@@ -270,11 +272,13 @@ impl Server {
 
     /// Total protocol errors observed (malformed / corrupt frames).
     pub fn protocol_errors(&self) -> u64 {
+        // relaxed: advisory statistic.
         self.shared.protocol_errors.load(Ordering::Relaxed)
     }
 
     /// Whether a stop has been requested (locally or via SHUTDOWN frame).
     pub fn stop_requested(&self) -> bool {
+        // relaxed: shutdown flag; a late observer just loops once more before noticing.
         self.shared.stop.load(Ordering::Relaxed)
     }
 
@@ -322,6 +326,7 @@ impl Shared {
              \"dram_free\": {}, \"dram_low\": {}, \
              \"nvm_free\": {}, \"nvm_low\": {}, \"tenants\": [",
             self.conns.lock().len(),
+            // relaxed: stats-frame snapshot; all fields are advisory counters with no cross-field consistency claim.
             self.accepted.load(Ordering::Relaxed),
             self.admission.inflight(),
             self.admission.under_pressure(),
@@ -343,6 +348,7 @@ impl Shared {
                  \"ok_ops\": {}, \"err_ops\": {}}}",
                 i,
                 t.weight,
+                // relaxed: advisory per-tenant statistics, as above.
                 t.admitted.load(Ordering::Relaxed),
                 t.shed_queue.load(Ordering::Relaxed),
                 t.shed_pressure.load(Ordering::Relaxed),
@@ -402,6 +408,7 @@ fn accept_loop(shared: &Arc<Shared>, listener: TcpListener) {
     while !shared.stop.load(Ordering::Acquire) {
         match listener.accept() {
             Ok((stream, _)) => {
+                // relaxed: the accept counter is a statistic and the conn id needs only the uniqueness the RMW provides.
                 shared.accepted.fetch_add(1, Ordering::Relaxed);
                 let _ = stream.set_nodelay(true);
                 let write = match stream.try_clone() {
@@ -446,6 +453,7 @@ fn reader_loop(shared: &Arc<Shared>, conn: &Arc<Conn>) {
             Ok(req) => req,
             Err(_) => {
                 // Framing may be lost after a bad frame; reply and close.
+                // relaxed: protocol-error statistic.
                 shared.protocol_errors.fetch_add(1, Ordering::Relaxed);
                 conn.send(
                     Opcode::Stats,
@@ -471,6 +479,7 @@ fn reader_loop(shared: &Arc<Shared>, conn: &Arc<Conn>) {
 fn handle_request(shared: &Arc<Shared>, conn: &Arc<Conn>, req: Request) -> bool {
     let opcode = req.cmd.opcode();
     if req.tenant as usize >= shared.admission.tenant_count() {
+        // relaxed: protocol-error statistic.
         shared.protocol_errors.fetch_add(1, Ordering::Relaxed);
         conn.send(
             opcode,
@@ -484,6 +493,7 @@ fn handle_request(shared: &Arc<Shared>, conn: &Arc<Conn>, req: Request) -> bool 
         return true;
     }
     // Pin the connection's tenant on first use.
+    // relaxed: the tenant pin is only written by this connection's handler thread (the atomic serves cross-thread advisory reads); the error counter is a statistic.
     let pinned = conn.tenant.load(Ordering::Relaxed);
     if pinned == TENANT_UNSET {
         conn.tenant.store(req.tenant, Ordering::Relaxed);
@@ -645,6 +655,7 @@ fn execute(shared: &Arc<Shared>, conn: &Arc<Conn>, item: Queued) {
     drop(session);
     let tenant = shared.admission.tenant(req.tenant);
     if matches!(reply, Reply::Error { .. }) {
+        // relaxed: per-tenant op statistics.
         tenant.err_ops.fetch_add(1, Ordering::Relaxed);
     } else {
         tenant.ok_ops.fetch_add(1, Ordering::Relaxed);

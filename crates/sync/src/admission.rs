@@ -13,7 +13,7 @@
 
 use std::collections::{HashSet, VecDeque};
 
-use parking_lot::Mutex;
+use crate::lock::Mutex;
 
 struct Inner {
     fifo: VecDeque<u64>,
@@ -158,13 +158,14 @@ mod tests {
     #[test]
     fn concurrent_considers_never_lose_ids() {
         use std::sync::Arc;
+        const PER: u64 = if cfg!(miri) { 20 } else { 200 };
         let q = Arc::new(AdmissionQueue::new(1024));
         let handles: Vec<_> = (0..4u64)
             .map(|t| {
                 let q = Arc::clone(&q);
                 std::thread::spawn(move || {
                     let mut admitted = 0u64;
-                    for i in 0..200 {
+                    for i in 0..PER {
                         let pid = t * 1000 + i;
                         assert!(!q.consider(pid), "first consideration must deny");
                         if q.consider(pid) {
@@ -177,6 +178,6 @@ mod tests {
             .collect();
         let total: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
         // Capacity is ample, so every second consideration admits.
-        assert_eq!(total, 4 * 200);
+        assert_eq!(total, 4 * PER);
     }
 }

@@ -1,0 +1,17 @@
+//! The atomics facade: `std::sync::atomic` in normal builds, the
+//! instrumented spitfire-modelcheck shims under `--cfg spitfire_modelcheck`.
+//!
+//! Every protocol module in this crate (and the hot-path modules in
+//! spitfire-core) imports atomics from here instead of `std` directly —
+//! `cargo xtask lint` enforces it. That single import switch is what lets
+//! the model-check test suite drive the *production* protocol code, not a
+//! copy, through exhaustive interleaving exploration.
+//!
+//! In normal builds this module is a pure re-export: same types, same
+//! codegen, zero cost.
+
+#[cfg(not(spitfire_modelcheck))]
+pub use std::sync::atomic::*;
+
+#[cfg(spitfire_modelcheck)]
+pub use spitfire_modelcheck::atomic::*;

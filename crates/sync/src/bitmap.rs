@@ -5,7 +5,7 @@
 //! bitmap \[40\]; this is the same idea: all bit operations are single-word
 //! atomics, so the clock hand never takes a lock).
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use crate::atomic::{AtomicU64, Ordering};
 
 const BITS: usize = 64;
 
@@ -82,6 +82,15 @@ impl AtomicBitmap {
     /// Set `bit`; returns the previous value.
     pub fn set(&self, bit: usize) -> bool {
         let (w, mask) = self.locate(bit);
+        // Mutant BitmapSetSplit tears the RMW into load-then-store; the
+        // touch-vs-sweep model check must catch the lost update (a touch
+        // or a concurrent frame acquisition silently erased).
+        #[cfg(spitfire_modelcheck)]
+        if spitfire_modelcheck::mutation_active(spitfire_modelcheck::Mutation::BitmapSetSplit) {
+            let cur = self.words[w].load(Ordering::Acquire);
+            self.words[w].store(cur | mask, Ordering::Release);
+            return cur & mask != 0;
+        }
         self.words[w].fetch_or(mask, Ordering::AcqRel) & mask != 0
     }
 
@@ -236,7 +245,7 @@ mod tests {
 
     #[test]
     fn concurrent_acquire_all_distinct() {
-        const N: usize = 256;
+        const N: usize = if cfg!(miri) { 64 } else { 256 };
         let b = Arc::new(AtomicBitmap::new(N));
         let handles: Vec<_> = (0..8)
             .map(|t| {

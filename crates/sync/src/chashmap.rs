@@ -9,7 +9,7 @@
 use std::collections::HashMap;
 use std::hash::{BuildHasher, Hash, RandomState};
 
-use parking_lot::RwLock;
+use crate::lock::RwLock;
 
 /// Number of lock shards; power of two.
 const SHARDS: usize = 64;
@@ -99,6 +99,16 @@ impl<K: Hash + Eq, V: Clone, S: BuildHasher + Clone> ConcurrentMap<K, V, S> {
         }
         let value = make();
         let mut guard = shard.write();
+        // Mutant MapUpgradeNoRecheck skips the re-probe under the write
+        // lock: two racing missers then install distinct values and
+        // disagree on the page's descriptor, which the read-lock-upgrade
+        // model check asserts against.
+        #[cfg(spitfire_modelcheck)]
+        if spitfire_modelcheck::mutation_active(spitfire_modelcheck::Mutation::MapUpgradeNoRecheck)
+        {
+            guard.insert(key, value.clone());
+            return value;
+        }
         guard.entry(key).or_insert_with(|| value).clone()
     }
 
@@ -202,7 +212,7 @@ mod tests {
     fn concurrent_inserts_distinct_keys() {
         let m: Arc<ConcurrentMap<u64, u64>> = Arc::new(ConcurrentMap::new());
         const THREADS: u64 = 8;
-        const PER: u64 = 500;
+        const PER: u64 = if cfg!(miri) { 50 } else { 500 };
         let handles: Vec<_> = (0..THREADS)
             .map(|t| {
                 let m = Arc::clone(&m);

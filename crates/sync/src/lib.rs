@@ -18,10 +18,36 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+/// Expand to `$strong` normally; under `cfg(spitfire_modelcheck)`, weaken
+/// to `$weak` while the named [`spitfire_modelcheck::Mutation`] is active.
+///
+/// This is how the mutation *kill tests* seed deliberately broken protocol
+/// variants (a downgraded memory ordering) into the production code
+/// without a per-mutant build: the checker activates one mutation per
+/// exploration and must detect it. Normal builds see only `$strong`.
+macro_rules! mutant_ordering {
+    ($mutation:ident, $strong:expr, $weak:expr) => {{
+        #[cfg(spitfire_modelcheck)]
+        {
+            if spitfire_modelcheck::mutation_active(spitfire_modelcheck::Mutation::$mutation) {
+                $weak
+            } else {
+                $strong
+            }
+        }
+        #[cfg(not(spitfire_modelcheck))]
+        {
+            $strong
+        }
+    }};
+}
+
 mod admission;
+pub mod atomic;
 mod bitmap;
 mod chashmap;
 mod latch;
+pub mod lock;
 mod optimistic;
 mod padded;
 mod pinword;

@@ -1,0 +1,11 @@
+//! The lock facade: parking_lot in normal builds, the model-aware shims
+//! under `--cfg spitfire_modelcheck` (which make blocking, contention and
+//! lock-order deadlocks explorable by the checker).
+//!
+//! Companion to [`crate::atomic`]; see that module for the rationale.
+
+#[cfg(not(spitfire_modelcheck))]
+pub use parking_lot::{Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+#[cfg(spitfire_modelcheck)]
+pub use spitfire_modelcheck::lock::{Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};

@@ -11,7 +11,8 @@
 //! lines so concurrent increments never collide.
 
 use std::ops::{Deref, DerefMut};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+use crate::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// Cache-line size the layout types pad to. 64 bytes covers x86-64 and
 /// most aarch64 parts; over-padding on exotic hardware only wastes bytes.
@@ -77,7 +78,23 @@ static NEXT_STRIPE: AtomicUsize = AtomicUsize::new(0);
 thread_local! {
     /// Round-robin stripe assignment; reduced modulo `STRIPES` at use so
     /// one global counter serves any number of striped counters.
+    // relaxed: the stripe id only spreads threads across cells; any value
+    // is correct, so no ordering with other memory is needed.
     static THREAD_STRIPE: usize = NEXT_STRIPE.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Stripe index for the calling thread.
+///
+/// Under the model checker, stripes derive from the model thread index
+/// (folded onto two stripes so same-stripe collisions are explorable with
+/// 2–3 threads) instead of the thread-local round-robin draw, which would
+/// not be replay-deterministic across executions.
+fn thread_stripe() -> usize {
+    #[cfg(spitfire_modelcheck)]
+    if let Some(t) = spitfire_modelcheck::current_thread_index() {
+        return t % 2;
+    }
+    THREAD_STRIPE.with(|s| *s) % StripedCounter::STRIPES
 }
 
 impl StripedCounter {
@@ -93,7 +110,19 @@ impl StripedCounter {
     /// Add `n` on the calling thread's stripe.
     #[inline]
     pub fn add(&self, n: u64) {
-        let s = THREAD_STRIPE.with(|s| *s) % Self::STRIPES;
+        let s = thread_stripe();
+        // Mutant CounterAddSplit tears the RMW into load-then-store; the
+        // merge model check must catch the lost same-stripe increment.
+        // relaxed: mutant code — the breakage under test is the torn
+        // RMW, not the ordering.
+        #[cfg(spitfire_modelcheck)]
+        if spitfire_modelcheck::mutation_active(spitfire_modelcheck::Mutation::CounterAddSplit) {
+            let cur = self.cells[s].load(Ordering::Relaxed);
+            self.cells[s].store(cur + n, Ordering::Relaxed);
+            return;
+        }
+        // relaxed: counters are monotone and only folded by `sum`; no
+        // other memory is published through them.
         self.cells[s].fetch_add(n, Ordering::Relaxed);
     }
 
@@ -105,6 +134,8 @@ impl StripedCounter {
 
     /// Fold all stripes into the logical total.
     pub fn sum(&self) -> u64 {
+        // relaxed: a statistical snapshot; stripes are folded without any
+        // cross-stripe consistency claim.
         self.cells.iter().map(|c| c.load(Ordering::Relaxed)).sum()
     }
 
@@ -112,6 +143,8 @@ impl StripedCounter {
     /// exactly as with `AtomicU64::store(0)`.
     pub fn reset(&self) {
         for c in &self.cells {
+            // relaxed: counters publish nothing; racing increments may
+            // survive the reset by design.
             c.store(0, Ordering::Relaxed);
         }
     }
@@ -143,12 +176,13 @@ mod tests {
 
     #[test]
     fn striped_counter_sums_across_threads() {
+        const PER: u64 = if cfg!(miri) { 50 } else { 1000 };
         let c = Arc::new(StripedCounter::new());
         let handles: Vec<_> = (0..8)
             .map(|_| {
                 let c = Arc::clone(&c);
                 std::thread::spawn(move || {
-                    for _ in 0..1000 {
+                    for _ in 0..PER {
                         c.incr();
                     }
                 })
@@ -157,7 +191,7 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
-        assert_eq!(c.sum(), 8000);
+        assert_eq!(c.sum(), 8 * PER);
         c.reset();
         assert_eq!(c.sum(), 0);
     }

@@ -46,7 +46,7 @@
 //! single pin attempt is suspended, which the slow path's mutex
 //! serialization makes unreachable in practice.
 
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use crate::atomic::{AtomicU32, AtomicU64, Ordering};
 
 /// Low 32 bits: optimistic pin count.
 const PIN_MASK: u64 = (1 << 32) - 1;
@@ -93,6 +93,22 @@ impl PinWord {
     /// On [`PinAttempt::Pinned`] the returned payload is the frame id the
     /// slow path stored in the `open` call this pin was granted against.
     pub fn try_pin(&self) -> PinAttempt {
+        // Mutant PinBlindPin replaces the full-word CAS below with a
+        // check-then-increment, losing the "no pin lands after close
+        // observed zero" guarantee; the eviction-vs-pin model check must
+        // catch the pin that slips in after quiescence was claimed.
+        #[cfg(spitfire_modelcheck)]
+        if spitfire_modelcheck::mutation_active(spitfire_modelcheck::Mutation::PinBlindPin) {
+            let w = self.word.load(Ordering::Acquire);
+            if w & OPEN == 0 {
+                return PinAttempt::Closed;
+            }
+            // relaxed: mutant code — the breakage under test is the
+            // missing full-word CAS, not this payload read.
+            let payload = self.payload.load(Ordering::Relaxed);
+            self.word.fetch_add(1, Ordering::AcqRel);
+            return PinAttempt::Pinned(payload);
+        }
         let mut w = self.word.load(Ordering::Acquire);
         let was_open = w & OPEN != 0;
         loop {
@@ -104,10 +120,11 @@ impl PinWord {
                 };
             }
             debug_assert!(w & PIN_MASK < PIN_MASK, "optimistic pin count overflow");
-            // Safe to read here: if the word changes (close, or close +
-            // re-open with a different frame) the CAS below fails and we
-            // re-read. The acquire load above pairs with `open`'s release
-            // CAS, making this payload store visible.
+            // relaxed: the CAS below validates this read — if the word
+            // changed (close, or close + re-open with a different frame)
+            // the CAS fails and we re-read. The acquire load above pairs
+            // with `open`'s release CAS, making this payload store
+            // visible.
             let payload = self.payload.load(Ordering::Relaxed);
             match self
                 .word
@@ -126,16 +143,23 @@ impl PinWord {
     /// so a late unpin must never underflow into the OPEN/version bits.
     /// (The mutex pin path has the same tolerance via `saturating_sub`.)
     pub fn unpin(&self) {
+        // relaxed: just a CAS seed; the CAS validates the value and
+        // carries the ordering.
         let mut w = self.word.load(Ordering::Relaxed);
         loop {
             if w & PIN_MASK == 0 {
                 return;
             }
             // Release: the reader's page accesses happen-before a closer
-            // observing the decremented count.
+            // observing the decremented count. (Mutant PinUnpinRelaxed
+            // drops the release; the quiescence model check must then see
+            // the reader's page access race the transition.)
+            // relaxed: the weak arm is the seeded mutant; the CAS
+            // failure order is a plain re-read of the seed.
+            let success = mutant_ordering!(PinUnpinRelaxed, Ordering::Release, Ordering::Relaxed);
             match self
                 .word
-                .compare_exchange_weak(w, w - 1, Ordering::Release, Ordering::Relaxed)
+                .compare_exchange_weak(w, w - 1, success, Ordering::Relaxed)
             {
                 Ok(_) => return,
                 Err(cur) => w = cur,
@@ -147,6 +171,8 @@ impl PinWord {
     /// (descriptor mutex held). Idempotent: re-opening an open word only
     /// refreshes the payload.
     pub fn open(&self, frame: u32) {
+        // relaxed: the payload store is published by the opening CAS's
+        // release below; the word load is just a CAS seed.
         self.payload.store(frame, Ordering::Relaxed);
         let mut w = self.word.load(Ordering::Relaxed);
         loop {
@@ -155,10 +181,15 @@ impl PinWord {
             }
             let new = (w | OPEN).wrapping_add(VERSION_STEP);
             // Release publishes the payload store above to pinners whose
-            // acquire load sees the OPEN bit.
+            // acquire load sees the OPEN bit. (Mutant PinOpenRelaxed drops
+            // the release; a pinner may then read a stale frame id, which
+            // the pin model check asserts against.)
+            // relaxed: the weak arm is the seeded mutant; the CAS
+            // failure order is a plain re-read of the seed.
+            let success = mutant_ordering!(PinOpenRelaxed, Ordering::Release, Ordering::Relaxed);
             match self
                 .word
-                .compare_exchange_weak(w, new, Ordering::Release, Ordering::Relaxed)
+                .compare_exchange_weak(w, new, success, Ordering::Relaxed)
             {
                 Ok(_) => return,
                 Err(cur) => w = cur,
@@ -182,9 +213,14 @@ impl PinWord {
             let new = (w & !OPEN).wrapping_add(VERSION_STEP);
             // AcqRel: acquire pairs with draining unpins' release (their
             // page reads happen-before a zero count observed here).
+            // (Mutant PinCloseRelaxed drops both sides; the quiescence
+            // model check must then see the last reader's page access race
+            // the transition that trusted the zero count.)
+            // relaxed: the weak arm is the seeded mutant only.
+            let success = mutant_ordering!(PinCloseRelaxed, Ordering::AcqRel, Ordering::Relaxed);
             match self
                 .word
-                .compare_exchange_weak(w, new, Ordering::AcqRel, Ordering::Acquire)
+                .compare_exchange_weak(w, new, success, Ordering::Acquire)
             {
                 Ok(prev) => return (prev & PIN_MASK) as u32,
                 Err(cur) => w = cur,
@@ -201,6 +237,14 @@ impl PinWord {
     /// only `try_pin` gives an authoritative answer).
     pub fn is_open(&self) -> bool {
         self.word.load(Ordering::Acquire) & OPEN != 0
+    }
+
+    /// Version counter (diagnostics and tests). Every *effective* open or
+    /// close transition bumps it exactly once; idempotent re-opens and
+    /// re-closes do not. It is what invalidates a pinner's CAS across a
+    /// close/re-open, so tests assert its exact arithmetic.
+    pub fn version(&self) -> u64 {
+        self.word.load(Ordering::Acquire) / VERSION_STEP
     }
 }
 
@@ -317,8 +361,11 @@ mod tests {
             })
             .collect();
 
+        // Miri explores this loop orders of magnitude slower; a handful of
+        // transitions still exercises every code path.
+        const TRANSITIONS: u32 = if cfg!(miri) { 10 } else { 200 };
         let mut transitions = 0u32;
-        while transitions < 200 {
+        while transitions < TRANSITIONS {
             if w.close() == 0 {
                 // No optimistic pins and none can be taken: transition.
                 resident.store(false, Ordering::Relaxed);

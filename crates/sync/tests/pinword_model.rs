@@ -33,6 +33,10 @@ struct Model {
     open: bool,
     pins: u32,
     payload: u32,
+    /// Bumped once per *effective* open/close transition (idempotent
+    /// re-opens and re-closes leave it alone) — the exact arithmetic
+    /// `PinWord::version` documents.
+    version: u64,
 }
 
 proptest! {
@@ -45,13 +49,20 @@ proptest! {
                 Step::Open(p) => {
                     word.open(p);
                     // Opening always refreshes the payload (idempotent on
-                    // the OPEN bit only).
+                    // the OPEN bit only); only a closed→open transition
+                    // bumps the version.
+                    if !model.open {
+                        model.version += 1;
+                    }
                     model.open = true;
                     model.payload = p;
                 }
                 Step::Close => {
                     let reported = word.close();
                     prop_assert_eq!(reported, model.pins, "close must report pins");
+                    if model.open {
+                        model.version += 1;
+                    }
                     model.open = false;
                 }
                 Step::TryPin => match word.try_pin() {
@@ -74,6 +85,7 @@ proptest! {
             }
             prop_assert_eq!(word.is_open(), model.open);
             prop_assert_eq!(word.pins(), model.pins);
+            prop_assert_eq!(word.version(), model.version, "version must count effective transitions");
         }
     }
 }

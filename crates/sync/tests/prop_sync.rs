@@ -52,6 +52,39 @@ proptest! {
         prop_assert_eq!(claimed.len(), expected_free);
     }
 
+    /// The padded (byte-per-bit) bitmap layout must be observationally
+    /// identical to the dense one under any op sequence — same returns
+    /// from set/clear/get/try_acquire, same acquisition order, same
+    /// popcount. The layouts share the index math, so a divergence means
+    /// the stride generalization broke one of them.
+    #[test]
+    fn bitmap_padded_matches_dense(
+        len in 1..300usize,
+        ops in proptest::collection::vec((0..300usize, 0..6u8), 1..200),
+    ) {
+        let dense = AtomicBitmap::new(len);
+        let padded = AtomicBitmap::new_padded(len);
+        prop_assert_eq!(dense.len(), padded.len());
+        for &(bit, op) in &ops {
+            let bit = bit % len;
+            match op {
+                0 => prop_assert_eq!(padded.set(bit), dense.set(bit)),
+                1 => prop_assert_eq!(padded.clear(bit), dense.clear(bit)),
+                2 => prop_assert_eq!(padded.get(bit), dense.get(bit)),
+                3 => prop_assert_eq!(padded.try_acquire(bit), dense.try_acquire(bit)),
+                4 => prop_assert_eq!(
+                    padded.acquire_first_clear(bit),
+                    dense.acquire_first_clear(bit)
+                ),
+                _ => {
+                    padded.clear_all();
+                    dense.clear_all();
+                }
+            }
+            prop_assert_eq!(padded.count_ones(), dense.count_ones());
+        }
+    }
+
     /// The concurrent map must match `HashMap` sequentially.
     #[test]
     fn concurrent_map_matches_model(

@@ -173,6 +173,7 @@ impl Database {
     /// Committed / aborted transaction counts.
     pub fn txn_stats(&self) -> (u64, u64) {
         (
+            // relaxed: advisory transaction statistics.
             self.commits.load(Ordering::Relaxed),
             self.aborts.load(Ordering::Relaxed),
         )
@@ -499,6 +500,7 @@ impl Database {
         txn.active = false;
         self.retire(txn);
         if txn.writes.is_empty() {
+            // relaxed: commit statistic.
             self.commits.fetch_add(1, Ordering::Relaxed);
             spitfire_obs::record_op(spitfire_obs::Op::TxnCommit, obs_t, txn.id, "");
             return Ok(()); // read-only: nothing to log or stamp
@@ -552,6 +554,7 @@ impl Database {
                 table.write_header(w.old_rid, old_hdr)?;
             }
         }
+        // relaxed: commit statistic.
         self.commits.fetch_add(1, Ordering::Relaxed);
         spitfire_obs::record_op(spitfire_obs::Op::TxnCommit, obs_t, txn.id, "");
         Ok(())
@@ -604,6 +607,7 @@ impl Database {
                 payload: Vec::new(),
             })?;
         }
+        // relaxed: abort statistic.
         self.aborts.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
@@ -802,6 +806,7 @@ impl std::fmt::Debug for Database {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Database")
             .field("tables", &self.tables.read().len())
+            // relaxed: debug snapshot of advisory statistics.
             .field("commits", &self.commits.load(Ordering::Relaxed))
             .field("aborts", &self.aborts.load(Ordering::Relaxed))
             .finish_non_exhaustive()

@@ -142,6 +142,7 @@ impl BackgroundFlusher {
         let handle = std::thread::spawn(move || {
             let bm = Arc::clone(db.buffer_manager());
             let batch = bm.config().maintenance.batch.max(1);
+            // relaxed: shutdown hint; the flusher may run one extra batch.
             while !stop2.load(std::sync::atomic::Ordering::Relaxed) {
                 std::thread::sleep(period);
                 let _ = bm.flush_all_dirty();
@@ -157,6 +158,7 @@ impl BackgroundFlusher {
 
 impl Drop for BackgroundFlusher {
     fn drop(&mut self) {
+        // relaxed: shutdown hint (see the worker loop).
         self.stop.store(true, std::sync::atomic::Ordering::Relaxed);
         if let Some(h) = self.handle.take() {
             let _ = h.join();

@@ -478,6 +478,7 @@ impl std::fmt::Debug for Wal {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Wal")
             .field("pending_bytes", &self.pending_bytes())
+            // relaxed: debug snapshot; the allocator's RMW provides the uniqueness that matters.
             .field("file_pages", &self.next_file_page.load(Ordering::Relaxed))
             .finish_non_exhaustive()
     }

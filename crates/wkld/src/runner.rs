@@ -112,12 +112,14 @@ where
                 let mut local_committed = 0u64;
                 let mut local_attempted = 0u64;
                 let mut local_samples: Vec<Duration> = Vec::new();
+                // relaxed: stop/measuring flags are phase hints; an op attributed to the wrong side of a phase boundary is measurement noise, not an error.
                 while !stop.load(Ordering::Relaxed) {
                     // Sample every 32nd operation's latency (cheap enough
                     // to leave on; two clock reads per 32 ops).
                     let timed = local_attempted.is_multiple_of(32);
                     let start = timed.then(Instant::now);
                     let ok = op(t, &mut rng);
+                    // relaxed: phase hint, as above.
                     if measuring.load(Ordering::Relaxed) {
                         if let Some(start) = start {
                             let d = start.elapsed();
@@ -131,6 +133,7 @@ where
                         // Flush local counts periodically so epoch sampling
                         // sees fresh numbers.
                         if local_attempted >= 64 {
+                            // relaxed: throughput counters are statistics drained by the progress reporter; exact totals come after join.
                             attempted.fetch_add(local_attempted, Ordering::Relaxed);
                             committed.fetch_add(local_committed, Ordering::Relaxed);
                             local_attempted = 0;
@@ -138,6 +141,7 @@ where
                         }
                     }
                 }
+                // relaxed: final flush; the scope join below synchronizes the report reads.
                 attempted.fetch_add(local_attempted, Ordering::Relaxed);
                 committed.fetch_add(local_committed, Ordering::Relaxed);
                 samples.lock().append(&mut local_samples);
@@ -156,6 +160,7 @@ where
     let mut latency_samples = samples.into_inner();
     latency_samples.sort_unstable();
     RunReport {
+        // relaxed: read after scope join; the join is the synchronization.
         committed: committed.load(Ordering::Relaxed),
         attempted: attempted.load(Ordering::Relaxed),
         elapsed,
@@ -200,17 +205,21 @@ where
             let stop = &stop;
             let mut rng = SmallRng::seed_from_u64(seed ^ (t as u64).wrapping_mul(0x51_7CC1));
             scope.spawn(move || {
+                // relaxed: shutdown hint; one extra iteration is harmless.
                 while !stop.load(Ordering::Relaxed) {
                     if op(t, &mut rng) {
+                        // relaxed: throughput statistic.
                         committed.fetch_add(1, Ordering::Relaxed);
                     }
                 }
             });
         }
+        // relaxed: progress sampling reads are advisory between epochs.
         let mut last = committed.load(Ordering::Relaxed);
         for e in 0..n_epochs {
             let start = Instant::now();
             std::thread::sleep(epoch);
+            // relaxed: advisory progress sample, as above.
             let now = committed.load(Ordering::Relaxed);
             let sample = EpochSample {
                 epoch: e,

@@ -357,6 +357,7 @@ impl Tpcc {
 
             let h = self
                 .history_seq
+                // relaxed: history ids need uniqueness only.
                 .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
             let mut hist = vec![0u8; SZ_HISTORY];
             put_u64(&mut hist, 0, amount);

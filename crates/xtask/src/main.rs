@@ -1,0 +1,354 @@
+//! Workspace automation (`cargo xtask <task>`).
+//!
+//! The only task so far is `lint`: the atomics-discipline lint that CI
+//! runs tree-wide. It is textual on purpose — no syn, no rustc plumbing,
+//! no dependencies — because the disciplines it enforces are *comment*
+//! conventions and module-level import rules that a line scanner checks
+//! reliably:
+//!
+//! 1. **`relaxed`** — every `Ordering::Relaxed` in non-test code carries
+//!    a `// relaxed:` justification on the same line or within the
+//!    [`JUSTIFY_WINDOW`] lines above it. Relaxed is the one ordering
+//!    whose correctness argument lives entirely outside the type system;
+//!    the comment is where that argument goes (and what review + the
+//!    model checker audit).
+//! 2. **`safety`** — every `unsafe` token likewise carries a
+//!    `// SAFETY:` comment. Complements `#![deny(unsafe_op_in_unsafe_fn)]`
+//!    (workspace lints), which forces the *block*; this forces the
+//!    *argument*.
+//! 3. **`fastpath`** — no lock types or lock acquisitions inside the
+//!    lock-free fast path: all of `crates/sync/src/pinword.rs`, plus any
+//!    region bracketed by `// xtask: fastpath-begin` /
+//!    `// xtask: fastpath-end` markers (the manager's `fetch_fast` /
+//!    `unpin_fast` hot sections). A mutex creeping into these regions is
+//!    exactly the regression the lock-free hit path exists to prevent.
+//! 4. **`facade`** — `crates/sync` and `crates/core` must not import
+//!    `std::sync::atomic` directly; everything goes through the
+//!    `spitfire_sync::atomic` facade so `--cfg spitfire_modelcheck`
+//!    builds route every atomic through the model checker. An atomic
+//!    that bypasses the facade is invisible to the checker — silently
+//!    unverified.
+//!
+//! Test modules (`#[cfg(test)]`) are exempt from rules 1, 2 and 4: test
+//! code freely uses relaxed counters and raw atomics, and verifying the
+//! tests is the job of the tests themselves. The lint skips everything
+//! from a `#[cfg(test)]` attribute line onward (test modules sit at the
+//! bottom of files in this codebase). `crates/xtask` itself and
+//! `vendor/` are excluded from the walk: the lint's own source contains
+//! the needles it scans for, and vendored third-party code follows its
+//! own conventions.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// How many lines above a flagged token a justification comment may sit.
+/// Large enough for a short paragraph, small enough that a comment
+/// cannot accidentally cover an unrelated site a screen away.
+const JUSTIFY_WINDOW: usize = 8;
+
+/// Fast-path region markers (see module docs, rule 3).
+const FASTPATH_BEGIN: &str = "xtask: fastpath-begin";
+const FASTPATH_END: &str = "xtask: fastpath-end";
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("lint") => lint(),
+        Some(other) => {
+            eprintln!("xtask: unknown task `{other}` (try `cargo xtask lint`)");
+            ExitCode::FAILURE
+        }
+        None => {
+            eprintln!("xtask: no task given (try `cargo xtask lint`)");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+struct Finding {
+    file: PathBuf,
+    line: usize,
+    rule: &'static str,
+    message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file.display(),
+            self.line,
+            self.rule,
+            self.message
+        )
+    }
+}
+
+fn lint() -> ExitCode {
+    let root = workspace_root();
+    let mut files = Vec::new();
+    collect_rs_files(&root.join("crates"), &mut files);
+    files.sort();
+    let mut findings = Vec::new();
+    let mut checked = 0usize;
+    for file in &files {
+        // The lint scans for its own needle strings; linting itself would
+        // only ever flag them.
+        if file.starts_with(root.join("crates/xtask")) {
+            continue;
+        }
+        let Ok(text) = std::fs::read_to_string(file) else {
+            findings.push(Finding {
+                file: file.clone(),
+                line: 0,
+                rule: "io",
+                message: "unreadable file".into(),
+            });
+            continue;
+        };
+        checked += 1;
+        lint_file(&root, file, &text, &mut findings);
+    }
+    if findings.is_empty() {
+        println!("xtask lint: {checked} files clean");
+        ExitCode::SUCCESS
+    } else {
+        for f in &findings {
+            println!("{f}");
+        }
+        println!(
+            "xtask lint: {} finding(s) in {checked} files",
+            findings.len()
+        );
+        ExitCode::FAILURE
+    }
+}
+
+/// The workspace root, two levels up from this crate's manifest (the
+/// binary may be invoked from any CWD via the `cargo xtask` alias).
+fn workspace_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/xtask has a workspace root two levels up")
+        .to_path_buf()
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            // Integration tests and benches are test code — exempt for
+            // the same reason `#[cfg(test)]` modules are.
+            let name = entry.file_name();
+            if name == "tests" || name == "benches" {
+                continue;
+            }
+            collect_rs_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// The code portion of a line: everything before a `//` comment. Naive
+/// about `//` inside string literals, which the codebase's conventions
+/// make a non-issue (no slash-bearing string constants near atomics).
+fn code_part(line: &str) -> &str {
+    match line.find("//") {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+/// Does `line` or any of the `JUSTIFY_WINDOW` raw lines above it carry
+/// `needle` (a justification tag, lowercase) inside a comment?
+fn justified(lines: &[&str], idx: usize, needle: &str) -> bool {
+    let lo = idx.saturating_sub(JUSTIFY_WINDOW);
+    lines[lo..=idx].iter().any(|l| {
+        l.find("//")
+            .is_some_and(|c| l[c..].to_ascii_lowercase().contains(needle))
+    })
+}
+
+/// Does the code part contain `unsafe` as a standalone token (not part
+/// of `unsafe_op_in_unsafe_fn` or another identifier)?
+fn has_unsafe_token(code: &str) -> bool {
+    let mut rest = code;
+    while let Some(i) = rest.find("unsafe") {
+        let before_ok = rest[..i]
+            .chars()
+            .next_back()
+            .map_or(true, |c| !c.is_alphanumeric() && c != '_');
+        let after = &rest[i + "unsafe".len()..];
+        let after_ok = after
+            .chars()
+            .next()
+            .map_or(true, |c| !c.is_alphanumeric() && c != '_');
+        if before_ok && after_ok {
+            return true;
+        }
+        rest = after;
+    }
+    false
+}
+
+fn lint_file(root: &Path, file: &Path, text: &str, findings: &mut Vec<Finding>) {
+    let rel = file.strip_prefix(root).unwrap_or(file);
+    let rel_str = rel.to_string_lossy().replace('\\', "/");
+    let lines: Vec<&str> = text.lines().collect();
+
+    let facade_scoped = (rel_str.starts_with("crates/sync/src")
+        || rel_str.starts_with("crates/core/src"))
+        && rel_str != "crates/sync/src/atomic.rs"
+        && rel_str != "crates/sync/src/lock.rs";
+    let whole_file_fastpath = rel_str == "crates/sync/src/pinword.rs";
+
+    let mut in_fastpath = whole_file_fastpath;
+    let mut fastpath_open_line = 0usize;
+
+    for (i, raw) in lines.iter().enumerate() {
+        let lineno = i + 1;
+        // Test modules are exempt (and sit at the bottom of each file).
+        if raw.trim() == "#[cfg(test)]" {
+            break;
+        }
+        let code = code_part(raw);
+
+        // Region markers live in comments, so match the raw line.
+        if raw.contains(FASTPATH_BEGIN) {
+            if in_fastpath {
+                findings.push(Finding {
+                    file: rel.to_path_buf(),
+                    line: lineno,
+                    rule: "fastpath",
+                    message: format!(
+                        "nested `{FASTPATH_BEGIN}` (previous at line {fastpath_open_line})"
+                    ),
+                });
+            }
+            in_fastpath = true;
+            fastpath_open_line = lineno;
+            continue;
+        }
+        if raw.contains(FASTPATH_END) {
+            if !in_fastpath || whole_file_fastpath {
+                findings.push(Finding {
+                    file: rel.to_path_buf(),
+                    line: lineno,
+                    rule: "fastpath",
+                    message: format!("`{FASTPATH_END}` without matching begin"),
+                });
+            }
+            in_fastpath = whole_file_fastpath;
+            continue;
+        }
+
+        if code.contains("Ordering::Relaxed") && !justified(&lines, i, "relaxed:") {
+            findings.push(Finding {
+                file: rel.to_path_buf(),
+                line: lineno,
+                rule: "relaxed",
+                message: "`Ordering::Relaxed` without a `// relaxed:` justification".into(),
+            });
+        }
+
+        if has_unsafe_token(&code.replace("unsafe_op_in_unsafe_fn", ""))
+            && !justified(&lines, i, "safety:")
+        {
+            findings.push(Finding {
+                file: rel.to_path_buf(),
+                line: lineno,
+                rule: "safety",
+                message: "`unsafe` without a `// SAFETY:` comment".into(),
+            });
+        }
+
+        if facade_scoped && code.contains("std::sync::atomic") {
+            findings.push(Finding {
+                file: rel.to_path_buf(),
+                line: lineno,
+                rule: "facade",
+                message: "direct `std::sync::atomic` use; go through the \
+                          `spitfire_sync::atomic` facade"
+                    .into(),
+            });
+        }
+
+        if in_fastpath {
+            for needle in [
+                ".lock()",
+                ".try_lock(",
+                "Mutex",
+                "RwLock",
+                ".read()",
+                ".write()",
+            ] {
+                if code.contains(needle) {
+                    findings.push(Finding {
+                        file: rel.to_path_buf(),
+                        line: lineno,
+                        rule: "fastpath",
+                        message: format!(
+                            "`{needle}` inside a lock-free fast-path region \
+                             (opened at line {fastpath_open_line})"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    if in_fastpath && !whole_file_fastpath {
+        findings.push(Finding {
+            file: rel.to_path_buf(),
+            line: fastpath_open_line,
+            rule: "fastpath",
+            message: format!("`{FASTPATH_BEGIN}` never closed"),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unsafe_token_boundaries() {
+        assert!(has_unsafe_token("unsafe { x }"));
+        assert!(has_unsafe_token("pub unsafe fn f()"));
+        assert!(has_unsafe_token("unsafe impl Sync for X {}"));
+        assert!(!has_unsafe_token("unsafe_op_in_unsafe_fn"));
+        assert!(!has_unsafe_token("not_unsafe_here"));
+        assert!(!has_unsafe_token("let safe = 1;"));
+    }
+
+    #[test]
+    fn justification_window() {
+        let lines = vec![
+            "// relaxed: counter only",
+            "",
+            "x.fetch_add(1, Ordering::Relaxed);",
+        ];
+        assert!(justified(&lines, 2, "relaxed:"));
+        let far: Vec<&str> = std::iter::once("// relaxed: too far")
+            .chain(std::iter::repeat_n("", JUSTIFY_WINDOW + 1))
+            .chain(std::iter::once("x.load(Ordering::Relaxed);"))
+            .collect();
+        assert!(!justified(&far, far.len() - 1, "relaxed:"));
+    }
+
+    #[test]
+    fn comments_do_not_trip_code_rules() {
+        assert_eq!(
+            code_part("x.load(o); // Ordering::Relaxed mention"),
+            "x.load(o); "
+        );
+        assert!(!code_part("// unsafe in a comment").contains("unsafe"));
+    }
+}
