@@ -21,11 +21,11 @@ use spitfire_chaos::{
 const USAGE: &str = "usage: chaos_recovery [--seed N] [--schedule S] [--txns N] [--keys N] \
      [--fault-probability P] [--matrix]
   --seed N               rng seed for ops and crash points (default 1)
-  --schedule S           every-K-fences | every-N-ops | at-op-N | random | none
+  --schedule S           every-K-fences | every-N-ops | at-op-N | mid-checkpoint-M | random | none
   --txns N               transactions per run (default 200)
   --keys N               key-space size (default 16)
   --fault-probability P  background transient-fault rate, e.g. 0.01 (default 0)
-  --matrix               run the fixed CI grid (seeds 1..=8 x 4 schedules)";
+  --matrix               run the fixed CI grid (seeds 1..=8 x 5 schedules)";
 
 /// Background-noise plan: transient errors on every device path plus
 /// occasional write-latency spikes. The rate is kept low enough that
@@ -106,14 +106,15 @@ fn main() -> ExitCode {
                 Some(n) => seed = n,
                 None => return usage_error("--seed needs an integer"),
             },
-            "--schedule" => {
-                match value(&mut i).as_deref().and_then(CrashSchedule::parse) {
-                    Some(s) => schedule = s,
-                    None => return usage_error(
-                        "--schedule needs every-K-fences | every-N-ops | at-op-N | random | none",
-                    ),
+            "--schedule" => match value(&mut i).as_deref().and_then(CrashSchedule::parse) {
+                Some(s) => schedule = s,
+                None => {
+                    return usage_error(
+                        "--schedule needs every-K-fences | every-N-ops | at-op-N | \
+                         mid-checkpoint-M | random | none",
+                    )
                 }
-            }
+            },
             "--txns" => match value(&mut i).and_then(|v| v.parse().ok()) {
                 Some(n) => txns = n,
                 None => return usage_error("--txns needs an integer"),
@@ -150,6 +151,7 @@ fn main() -> ExitCode {
             CrashSchedule::EveryKFences(8),
             CrashSchedule::EveryNOps(37),
             CrashSchedule::RandomOps,
+            CrashSchedule::MidCheckpoint(2),
         ];
         let mut failures = 0u32;
         for seed in 1..=8u64 {
@@ -163,7 +165,7 @@ fn main() -> ExitCode {
             eprintln!("{failures} run(s) violated recovery invariants");
             return ExitCode::FAILURE;
         }
-        println!("matrix clean: 32/32 runs upheld every invariant");
+        println!("matrix clean: 40/40 runs upheld every invariant");
         return ExitCode::SUCCESS;
     }
 

@@ -8,8 +8,11 @@ use std::sync::Arc;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use spitfire_core::{BufferManager, BufferManagerConfig, MigrationPolicy};
-use spitfire_device::{FaultInjector, FaultPlan, FaultStats, PersistenceTracking, TimeScale};
-use spitfire_txn::{Database, DbConfig, TxnError};
+use spitfire_device::{
+    FaultInjector, FaultKind, FaultOp, FaultPlan, FaultRule, FaultStats, PersistenceTracking,
+    TimeScale, Trigger,
+};
+use spitfire_txn::{Database, DbConfig, SnapshotConfig, TxnError};
 use spitfire_wkld::{YcsbConfig, YcsbMix, YcsbOpStream};
 
 const PAGE: usize = 1024;
@@ -27,13 +30,19 @@ pub enum CrashSchedule {
     EveryNOps(u64),
     /// Crash at seeded-random operation counts (1..=64 ops apart).
     RandomOps,
+    /// Sabotage every `m`th checkpoint: a one-shot fatal fault kills the
+    /// snapshot-generation write partway through its block stream, then
+    /// the explorer crashes. Recovery must fall back to the last
+    /// *installed* generation plus the (untruncated) WAL tail.
+    MidCheckpoint(u64),
     /// Never crash mid-run (one final crash still happens at the end).
     None,
 }
 
 impl CrashSchedule {
     /// Parse a CLI spelling: `every-K-fences`, `every-N-ops`, `at-op-N`
-    /// (alias for `every-N-ops`), `random`, or `none`.
+    /// (alias for `every-N-ops`), `mid-checkpoint-M`, `random`, or
+    /// `none`.
     pub fn parse(s: &str) -> Option<CrashSchedule> {
         match s {
             "random" => return Some(CrashSchedule::RandomOps),
@@ -51,6 +60,9 @@ impl CrashSchedule {
         if let Some(n) = s.strip_prefix("at-op-") {
             return n.parse().ok().map(CrashSchedule::EveryNOps);
         }
+        if let Some(m) = s.strip_prefix("mid-checkpoint-") {
+            return m.parse().ok().map(CrashSchedule::MidCheckpoint);
+        }
         None
     }
 
@@ -60,6 +72,7 @@ impl CrashSchedule {
             CrashSchedule::EveryKFences(k) => format!("every-{k}-fences"),
             CrashSchedule::EveryNOps(n) => format!("every-{n}-ops"),
             CrashSchedule::RandomOps => "random".to_string(),
+            CrashSchedule::MidCheckpoint(m) => format!("mid-checkpoint-{m}"),
             CrashSchedule::None => "none".to_string(),
         }
     }
@@ -148,6 +161,15 @@ fn database() -> Database {
     )
     .expect("create database");
     db.create_table(TABLE, TUPLE).expect("create table");
+    // Every chaos run exercises the instant-restart path: explicit
+    // checkpoints write snapshot generations, and crash_and_verify's
+    // recoveries load them (falling back to full WAL replay only before
+    // the first generation exists). `full_every: 3` mixes full and
+    // incremental generations within one run.
+    db.enable_snapshots(SnapshotConfig {
+        full_every: 3,
+        ..SnapshotConfig::default()
+    });
     db
 }
 
@@ -271,18 +293,63 @@ pub fn run(config: &ChaosConfig) -> Verdict {
         _ => u64::MAX,
     };
 
+    let mut ckpt_attempts: u64 = 0;
+
     'txns: for t in 0..config.txns {
         v.txns_run += 1;
         // One deterministic maintenance cycle per transaction boundary.
         maintenance.tick();
         if let Some(every) = config.checkpoint_every {
             if t > 0 && t % every == 0 {
-                // Quiescent here: no transaction is in flight. A failed
-                // checkpoint is safe — the flush error surfaces before
-                // the log is truncated, so no records are dropped.
-                match db.checkpoint() {
-                    Ok(_) => v.checkpoints += 1,
-                    Err(_) => v.io_failures += 1,
+                ckpt_attempts += 1;
+                let sabotage = matches!(
+                    config.schedule,
+                    CrashSchedule::MidCheckpoint(m) if ckpt_attempts.is_multiple_of(m.max(1))
+                );
+                if sabotage {
+                    // Kill this checkpoint partway through: a one-shot
+                    // fatal fault on the k-th snapshot-store write leaves
+                    // a partial (never-installed) generation behind, then
+                    // the plug is pulled. Recovery must ignore the
+                    // partial blocks and restart from the last installed
+                    // generation plus the WAL tail, which the failed
+                    // checkpoint must not have truncated.
+                    // A full (SSD-backed) generation writes only index
+                    // runs plus a manifest, so even the smallest
+                    // generation has two store writes: alternate between
+                    // killing the first and second.
+                    let kth = 1 + (config.seed ^ ckpt_attempts) % 2;
+                    let plan = FaultPlan::new(config.seed.wrapping_add(ckpt_attempts)).rule(
+                        FaultRule::any(Trigger::NthOp(kth), FaultKind::Fatal).on_op(FaultOp::Write),
+                    );
+                    db.set_snapshot_fault_injector(Some(Arc::new(FaultInjector::new(plan))));
+                    if db.checkpoint().is_ok() {
+                        v.violations
+                            .push("sabotaged checkpoint unexpectedly succeeded".to_string());
+                    }
+                    // Restore the run-wide background-noise injector (or
+                    // none) before recovery reads the store.
+                    db.set_snapshot_fault_injector(injector.clone());
+                    maintenance.pause_for_crash();
+                    crash_and_verify(
+                        &db,
+                        &model,
+                        &uncertain,
+                        config.keys,
+                        &mut v,
+                        config.expect_clean_log,
+                    );
+                    maintenance.resume();
+                    v.crashes += 1;
+                } else {
+                    // Quiescent here: no transaction is in flight. A
+                    // failed checkpoint is safe — the error surfaces
+                    // before the generation is installed and before the
+                    // log is truncated, so no records are dropped.
+                    match db.checkpoint() {
+                        Ok(_) => v.checkpoints += 1,
+                        Err(_) => v.io_failures += 1,
+                    }
                 }
             }
         }
@@ -367,7 +434,7 @@ pub fn run(config: &ChaosConfig) -> Verdict {
                             next_fence_crash += k;
                         }
                     }
-                    CrashSchedule::None => {}
+                    CrashSchedule::MidCheckpoint(_) | CrashSchedule::None => {}
                 }
                 // Park maintenance across the crash (no-op in tick mode,
                 // but keeps the lifecycle protocol honest) and schedule a

@@ -57,6 +57,7 @@ fn every_schedule_survives_with_fault_noise() {
         CrashSchedule::EveryKFences(3),
         CrashSchedule::EveryNOps(17),
         CrashSchedule::RandomOps,
+        CrashSchedule::MidCheckpoint(1),
         CrashSchedule::None,
     ] {
         let v = spitfire_chaos::run(&ChaosConfig {
@@ -142,6 +143,7 @@ fn schedule_parsing_round_trips() {
         ("every-4-fences", CrashSchedule::EveryKFences(4)),
         ("every-37-ops", CrashSchedule::EveryNOps(37)),
         ("at-op-12", CrashSchedule::EveryNOps(12)),
+        ("mid-checkpoint-2", CrashSchedule::MidCheckpoint(2)),
         ("random", CrashSchedule::RandomOps),
         ("none", CrashSchedule::None),
     ] {

@@ -12,6 +12,7 @@
 //! protocol of §5.2 is designed to allow.
 
 use parking_lot::{Condvar, Mutex};
+use spitfire_sync::atomic::AtomicU64;
 use spitfire_sync::{CachePadded, PinWord};
 
 use crate::types::{FrameId, PageId};
@@ -153,6 +154,10 @@ pub(crate) struct SharedPageDesc {
     pub dram_pin: CachePadded<PinWord>,
     /// Optimistic pin word for the NVM copy (own cache line).
     pub nvm_pin: CachePadded<PinWord>,
+    /// Last checkpoint epoch this page was recorded dirty in — a hint that
+    /// lets `mark_dirty` skip the shared dirty-set mutex for repeat writes
+    /// within one epoch. `u64::MAX` = never recorded.
+    pub ckpt_epoch: AtomicU64,
 }
 
 impl SharedPageDesc {
@@ -164,6 +169,7 @@ impl SharedPageDesc {
             cond: Condvar::new(),
             dram_pin: CachePadded::new(PinWord::new()),
             nvm_pin: CachePadded::new(PinWord::new()),
+            ckpt_epoch: AtomicU64::new(u64::MAX),
         }
     }
 

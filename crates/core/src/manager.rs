@@ -135,6 +135,14 @@ pub struct BufferManager {
     /// True while maintenance workers are running — the allocation path
     /// checks this flag (relaxed) before paying for watermark math.
     maint_active: AtomicBool,
+    /// Checkpoint dirty-epoch tracking: the current epoch number, bumped by
+    /// [`BufferManager::drain_dirty_epoch`].
+    dirty_epoch: AtomicU64,
+    /// Pages whose content changed since the last epoch drain. The
+    /// per-descriptor `ckpt_epoch` hint keeps repeat writers off this
+    /// mutex; an incremental checkpoint drains it to learn which page
+    /// images to copy.
+    dirty_since: parking_lot::Mutex<std::collections::BTreeSet<u64>>,
 }
 
 impl BufferManager {
@@ -196,6 +204,8 @@ impl BufferManager {
             mini,
             maint: RwLock::new(None),
             maint_active: AtomicBool::new(false),
+            dirty_epoch: AtomicU64::new(0),
+            dirty_since: parking_lot::Mutex::new(std::collections::BTreeSet::new()),
             config,
         })
     }
@@ -1781,12 +1791,62 @@ impl BufferManager {
         let Some(desc) = self.mapping.get(&pid.0) else {
             return;
         };
-        let mut st = desc.state.lock();
-        if let Some(CopyState::Resident { dirty, .. } | CopyState::Busy { dirty, .. }) =
-            st.slot_mut(in_dram_slot)
         {
-            *dirty = true;
+            let mut st = desc.state.lock();
+            if let Some(CopyState::Resident { dirty, .. } | CopyState::Busy { dirty, .. }) =
+                st.slot_mut(in_dram_slot)
+            {
+                *dirty = true;
+            }
         }
+        self.note_dirty_epoch(&desc);
+    }
+
+    /// Record `desc`'s page in the current checkpoint dirty epoch. This is
+    /// the single content-mutation hook: every guard write funnels through
+    /// `mark_dirty`, so draining the set yields exactly the pages whose
+    /// images an incremental checkpoint must copy.
+    fn note_dirty_epoch(&self, desc: &SharedPageDesc) {
+        // relaxed: fast-path skip hint only. A stale read can at worst
+        // take the mutex below unnecessarily; it can never skip a page
+        // that belongs in the current epoch, because the hint is written
+        // under the set mutex with the then-current epoch, and the epoch
+        // only advances under that same mutex.
+        let hint = desc.ckpt_epoch.load(Ordering::Relaxed);
+        // relaxed: see above — re-read under the mutex before recording.
+        if hint == self.dirty_epoch.load(Ordering::Relaxed) {
+            return;
+        }
+        let mut set = self.dirty_since.lock();
+        set.insert(desc.pid.0);
+        // relaxed: written under the set mutex, paired with the re-read in
+        // the fast path above.
+        desc.ckpt_epoch
+            .store(self.dirty_epoch.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// Number of pages dirtied since the last [`Self::drain_dirty_epoch`].
+    pub fn dirty_epoch_len(&self) -> usize {
+        self.dirty_since.lock().len()
+    }
+
+    /// Start a new checkpoint epoch and return the pages dirtied during
+    /// the previous one. The caller (the incremental checkpointer) copies
+    /// these page images; writes racing with the drain land in the new
+    /// epoch and are picked up by the next checkpoint.
+    pub fn drain_dirty_epoch(&self) -> Vec<PageId> {
+        let mut set = self.dirty_since.lock();
+        // relaxed: the epoch bump is published by the set mutex; `mark_dirty`
+        // re-reads it under the same mutex before stamping its hint.
+        self.dirty_epoch.fetch_add(1, Ordering::Relaxed);
+        std::mem::take(&mut *set).into_iter().map(PageId).collect()
+    }
+
+    /// Put pages back into the dirty-epoch set after a failed checkpoint so
+    /// the next attempt re-copies them.
+    pub fn merge_dirty_epoch(&self, pids: &[PageId]) {
+        let mut set = self.dirty_since.lock();
+        set.extend(pids.iter().map(|p| p.0));
     }
 
     /// The inclusivity ratio of the DRAM and NVM buffers (paper §3.3,
@@ -2090,6 +2150,10 @@ impl BufferManager {
     /// [`spitfire_device::PersistenceTracking::Full`].
     pub fn simulate_crash(&self) {
         self.mapping.clear();
+        // The dirty-epoch set tracked volatile state that just died with
+        // the mapping table; recovery repopulates it through `mark_dirty`
+        // as redo rewrites pages.
+        self.dirty_since.lock().clear();
         // Release-bump *after* clearing: a fast path that observes the new
         // epoch (Acquire) also observes the cleared table and cannot
         // re-cache a dead descriptor under it.
@@ -2144,6 +2208,37 @@ impl BufferManager {
             self.next_pid.fetch_max(pid.0 + 1, Ordering::AcqRel);
         }
         recovered
+    }
+
+    /// Install a snapshot page image during recovery: write it to the SSD
+    /// home location and, if the NVM scan adopted a (possibly *older*)
+    /// persistent copy of the same page, overwrite that copy too so it
+    /// cannot shadow the image. An NVM copy can predate the snapshot —
+    /// the page may have been re-dirtied in DRAM and flushed again after
+    /// its NVM write-back — so NVM content must not take precedence here.
+    /// Any effects newer than the image are reconstructed by the WAL-tail
+    /// replay that follows. The caller batches images and calls
+    /// [`BufferManager::sync_ssd`] once at the end.
+    pub fn install_page_image(&self, pid: PageId, image: &[u8]) -> Result<()> {
+        assert_eq!(image.len(), self.config.page_size, "page image size");
+        retry_device_io(&self.metrics, "snapshot install", || {
+            self.ssd.write_page(pid.0, image)
+        })?;
+        self.next_pid.fetch_max(pid.0 + 1, Ordering::AcqRel);
+        let Some(desc) = self.mapping.get(&pid.0) else {
+            return Ok(());
+        };
+        let st = desc.state.lock();
+        if let Some(CopyState::Resident {
+            frame: FrameRef::Full(frame),
+            ..
+        }) = &st.nvm
+        {
+            let pool = self.nvm_pool();
+            pool.write(*frame, 0, image, AccessPattern::Sequential)?;
+            pool.persist(*frame, 0, image.len())?;
+        }
+        Ok(())
     }
 
     /// Restore the page-id allocator after recovery (ids present only on

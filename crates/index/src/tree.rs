@@ -113,6 +113,65 @@ impl BTree {
         }
     }
 
+    /// Build a tree in one pass from sorted, strictly-ascending
+    /// `(key, value)` entries — snapshot recovery's index rebuild path.
+    /// Leaves are packed directly and inner levels assembled bottom-up:
+    /// no per-key descent, no latching (the tree is private until
+    /// returned). Panics in debug builds if `entries` is not sorted with
+    /// unique keys.
+    pub fn bulk_load(bm: Arc<BufferManager>, entries: &[(u64, u64)]) -> Result<Self> {
+        if entries.is_empty() {
+            return Self::new(bm);
+        }
+        debug_assert!(
+            entries.windows(2).all(|w| w[0].0 < w[1].0),
+            "bulk_load requires sorted unique keys"
+        );
+        let capacity = (bm.config().page_size - crate::node::HEADER) / crate::node::ENTRY;
+        // Pack to ~7/8 so early post-recovery inserts do not split every
+        // node they touch.
+        let fill = (capacity - capacity / 8).max(1);
+
+        // Leaves: allocate ids up front so each can name its right sibling.
+        let n_leaves = entries.len().div_ceil(fill);
+        let leaf_pids = (0..n_leaves)
+            .map(|_| bm.allocate_page())
+            .collect::<std::result::Result<Vec<_>, _>>()?;
+        let mut level: Vec<(u64, PageId)> = Vec::with_capacity(n_leaves);
+        for (i, chunk) in entries.chunks(fill).enumerate() {
+            let pid = leaf_pids[i];
+            let sibling = leaf_pids.get(i + 1).map_or(NO_SIBLING, |p| p.0);
+            let guard = bm.fetch(pid, AccessIntent::Write)?;
+            let node = Node::new(guard);
+            node.format(NodeTag::Leaf, sibling)?;
+            node.write_entries(0, chunk)?;
+            node.set_count(chunk.len())?;
+            level.push((chunk[0].0, pid));
+        }
+        // Inner levels bottom-up until one node remains. Each inner node
+        // takes `fill + 1` children: the leftmost via `aux`, the rest as
+        // (first-key, child) separator entries — matching `child_for`.
+        while level.len() > 1 {
+            let mut next: Vec<(u64, PageId)> = Vec::with_capacity(level.len().div_ceil(fill + 1));
+            for group in level.chunks(fill + 1) {
+                let pid = bm.allocate_page()?;
+                let guard = bm.fetch(pid, AccessIntent::Write)?;
+                let node = Node::new(guard);
+                node.format(NodeTag::Inner, group[0].1 .0)?;
+                let seps: Vec<(u64, u64)> = group[1..].iter().map(|&(k, p)| (k, p.0)).collect();
+                node.write_entries(0, &seps)?;
+                node.set_count(seps.len())?;
+                next.push((group[0].0, pid));
+            }
+            level = next;
+        }
+        Ok(BTree {
+            bm,
+            root: RwLock::new(level[0].1),
+            latches: ConcurrentMap::new(),
+        })
+    }
+
     /// The current root page id (persist this to reopen the tree).
     pub fn root_page(&self) -> PageId {
         *self.root.read()

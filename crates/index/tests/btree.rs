@@ -243,3 +243,77 @@ fn reopen_from_root_page() {
         assert_eq!(t2.get(k).unwrap(), Some(k));
     }
 }
+
+fn small_page_bm() -> Arc<BufferManager> {
+    let config = BufferManagerConfig::builder()
+        .page_size(512)
+        .dram_capacity(64 * 512)
+        .nvm_capacity(256 * (512 + 64))
+        .policy(MigrationPolicy::lazy())
+        .time_scale(TimeScale::ZERO)
+        .build()
+        .unwrap();
+    Arc::new(BufferManager::new(config).unwrap())
+}
+
+#[test]
+fn bulk_load_matches_model_and_scans() {
+    let entries: Vec<(u64, u64)> = (0..5000u64).map(|k| (k * 3, k * 3 + 1)).collect();
+    let t = BTree::bulk_load(small_page_bm(), &entries).unwrap();
+    for &(k, v) in &entries {
+        assert_eq!(t.get(k).unwrap(), Some(v), "key {k}");
+    }
+    assert_eq!(t.get(1).unwrap(), None);
+    assert!(t.height().unwrap() >= 3, "5000 keys in 31-key nodes");
+    // Full range scan through the leaf sibling chain.
+    let mut got = Vec::new();
+    let mut start = 0u64;
+    loop {
+        let chunk = t.scan_from(start, 700).unwrap();
+        let Some(&(last, _)) = chunk.last() else {
+            break;
+        };
+        got.extend_from_slice(&chunk);
+        if last == u64::MAX {
+            break;
+        }
+        start = last + 1;
+    }
+    assert_eq!(got, entries);
+}
+
+#[test]
+fn bulk_load_edge_sizes() {
+    // Empty.
+    let t = BTree::bulk_load(small_page_bm(), &[]).unwrap();
+    assert_eq!(t.get(0).unwrap(), None);
+    assert_eq!(t.insert(5, 50).unwrap(), None);
+    assert_eq!(t.get(5).unwrap(), Some(50));
+    // Single entry.
+    let t = BTree::bulk_load(small_page_bm(), &[(9, 90)]).unwrap();
+    assert_eq!(t.get(9).unwrap(), Some(90));
+    // Exactly one full leaf plus one spilled key (31-key nodes).
+    let entries: Vec<(u64, u64)> = (0..28u64).map(|k| (k, k)).collect();
+    let t = BTree::bulk_load(small_page_bm(), &entries).unwrap();
+    for &(k, v) in &entries {
+        assert_eq!(t.get(k).unwrap(), Some(v));
+    }
+}
+
+#[test]
+fn bulk_loaded_tree_accepts_mutations() {
+    let entries: Vec<(u64, u64)> = (0..2000u64).map(|k| (k * 2, k)).collect();
+    let t = BTree::bulk_load(small_page_bm(), &entries).unwrap();
+    // Insert between the bulk-loaded keys, forcing splits in packed leaves.
+    for k in 0..2000u64 {
+        assert_eq!(t.insert(k * 2 + 1, k + 1_000_000).unwrap(), None);
+    }
+    for k in 0..2000u64 {
+        assert_eq!(t.get(k * 2).unwrap(), Some(k));
+        assert_eq!(t.get(k * 2 + 1).unwrap(), Some(k + 1_000_000));
+    }
+    // Overwrite and remove still behave.
+    assert_eq!(t.insert(0, 77).unwrap(), Some(0));
+    assert_eq!(t.remove(2).unwrap(), Some(1));
+    assert_eq!(t.get(2).unwrap(), None);
+}

@@ -48,10 +48,12 @@ pub enum Op {
     /// An optimistic pin attempt that raced a page transition and
     /// restarted into the descriptor-mutex slow path.
     PinRestart,
+    /// One database checkpoint (legacy flush or snapshot generation).
+    Checkpoint,
 }
 
 /// Number of [`Op`] variants (size of the histogram registry).
-pub const OP_COUNT: usize = 18;
+pub const OP_COUNT: usize = 19;
 
 impl Op {
     /// All variants, in index order.
@@ -74,6 +76,7 @@ impl Op {
         Op::FaultInjected,
         Op::IoRetry,
         Op::PinRestart,
+        Op::Checkpoint,
     ];
 
     /// Dense index of this variant.
@@ -103,6 +106,7 @@ impl Op {
             Op::FaultInjected => "fault_injected",
             Op::IoRetry => "io_retry",
             Op::PinRestart => "pin_restart",
+            Op::Checkpoint => "checkpoint",
         }
     }
 }

@@ -319,12 +319,26 @@ impl Shared {
     fn stats_json(&self) -> String {
         let p = self.bm.pressure();
         let (commits, aborts) = self.db.txn_stats();
+        // Snapshot/WAL health: generation 0 and zeroed checkpoint fields
+        // mean no snapshot engine is attached (or none has completed).
+        let (snapshot_generation, last_checkpoint_ms, last_checkpoint_pages) =
+            match self.db.snapshot_engine() {
+                Some(engine) => (
+                    engine.generation(),
+                    engine.last_checkpoint_micros() as f64 / 1000.0,
+                    engine.last_checkpoint_pages(),
+                ),
+                None => (0, 0.0, 0),
+            };
         let mut s = format!(
             "{{\"conns\": {}, \"accepted\": {}, \"inflight\": {}, \
              \"under_pressure\": {}, \"protocol_errors\": {}, \
              \"commits\": {}, \"aborts\": {}, \
              \"dram_free\": {}, \"dram_low\": {}, \
-             \"nvm_free\": {}, \"nvm_low\": {}, \"tenants\": [",
+             \"nvm_free\": {}, \"nvm_low\": {}, \
+             \"wal_bytes\": {}, \"snapshot_generation\": {}, \
+             \"last_checkpoint_ms\": {}, \"last_checkpoint_pages\": {}, \
+             \"tenants\": [",
             self.conns.lock().len(),
             // relaxed: stats-frame snapshot; all fields are advisory counters with no cross-field consistency claim.
             self.accepted.load(Ordering::Relaxed),
@@ -337,6 +351,10 @@ impl Shared {
             p.dram_low,
             p.nvm_free,
             p.nvm_low,
+            self.db.wal().log_bytes(),
+            snapshot_generation,
+            last_checkpoint_ms,
+            last_checkpoint_pages,
         );
         for (i, t) in self.admission.tenants().iter().enumerate() {
             if i > 0 {

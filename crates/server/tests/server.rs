@@ -170,6 +170,11 @@ fn commands_round_trip_over_tcp() {
         Reply::Stats(json) => {
             assert!(json.contains("\"tenants\""), "stats json: {json}");
             assert!(json.contains("\"ok_ops\""));
+            assert!(json.contains("\"wal_bytes\""), "stats json: {json}");
+            // No snapshot engine is attached in this config, so the
+            // gauges report the zero placeholders.
+            assert!(json.contains("\"snapshot_generation\": 0"));
+            assert!(json.contains("\"last_checkpoint_pages\": 0"));
         }
         other => panic!("expected stats, got {other:?}"),
     }

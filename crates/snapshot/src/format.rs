@@ -1,0 +1,285 @@
+//! On-disk layout of snapshot blocks, manifests, and the superblock.
+//!
+//! All integers are little-endian. A store page is `BLOCK_HEADER` bytes of
+//! header followed by a payload whose capacity equals the database page
+//! size, so one page-image block carries exactly one buffer-pool page.
+//!
+//! Block header (48 bytes):
+//!
+//! | off | size | field                                        |
+//! |-----|------|----------------------------------------------|
+//! | 0   | 8    | magic `SPIFBLK1`                             |
+//! | 8   | 4    | CRC-32 over bytes `12..48+payload_len`       |
+//! | 12  | 1    | kind (1 page image, 2 index run, 3 manifest) |
+//! | 13  | 3    | zero padding                                 |
+//! | 16  | 4    | tag (table id for index runs, else 0)        |
+//! | 20  | 4    | payload length in bytes                      |
+//! | 24  | 8    | generation number                            |
+//! | 32  | 8    | sequence number within the generation        |
+//! | 40  | 8    | aux (page id for page images, else 0)        |
+
+use crate::{crc32, Result, SnapshotError};
+
+/// Bytes of header preceding every block payload.
+pub const BLOCK_HEADER: usize = 48;
+
+/// Most generations a superblock may list. The store garbage-collects down
+/// to the chains of the two newest generations well before this bound; it
+/// exists so the superblock always fits one page.
+pub const MAX_SUPERBLOCK_GENERATIONS: usize = 32;
+
+pub(crate) const BLOCK_MAGIC: u64 = 0x5350_4946_424C_4B31; // "SPIFBLK1"
+pub(crate) const SUPER_MAGIC: u64 = 0x5350_4946_5355_5031; // "SPIFSUP1"
+pub(crate) const MANIFEST_MAGIC: u64 = 0x5350_4946_4D41_4E31; // "SPIFMAN1"
+
+/// What a snapshot block carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockKind {
+    /// One buffer-pool page image; `aux` is the page id.
+    PageImage,
+    /// A run of sorted `(key, rid)` index entries; `tag` is the table id.
+    IndexRun,
+    /// The generation's trailing manifest.
+    Manifest,
+}
+
+impl BlockKind {
+    fn to_byte(self) -> u8 {
+        match self {
+            BlockKind::PageImage => 1,
+            BlockKind::IndexRun => 2,
+            BlockKind::Manifest => 3,
+        }
+    }
+
+    fn from_byte(b: u8) -> Option<Self> {
+        match b {
+            1 => Some(BlockKind::PageImage),
+            2 => Some(BlockKind::IndexRun),
+            3 => Some(BlockKind::Manifest),
+            _ => None,
+        }
+    }
+}
+
+/// A decoded block header plus borrowed payload.
+pub(crate) struct Block<'a> {
+    pub kind: BlockKind,
+    pub tag: u32,
+    pub gen: u64,
+    pub seq: u64,
+    pub aux: u64,
+    pub payload: &'a [u8],
+}
+
+/// Frame `payload` into `page` (a full store page) as a checksummed block.
+pub(crate) fn encode_block(
+    page: &mut [u8],
+    kind: BlockKind,
+    tag: u32,
+    gen: u64,
+    seq: u64,
+    aux: u64,
+    payload: &[u8],
+) {
+    assert!(payload.len() <= page.len() - BLOCK_HEADER);
+    page.fill(0);
+    page[0..8].copy_from_slice(&BLOCK_MAGIC.to_le_bytes());
+    page[12] = kind.to_byte();
+    page[16..20].copy_from_slice(&tag.to_le_bytes());
+    page[20..24].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+    page[24..32].copy_from_slice(&gen.to_le_bytes());
+    page[32..40].copy_from_slice(&seq.to_le_bytes());
+    page[40..48].copy_from_slice(&aux.to_le_bytes());
+    page[BLOCK_HEADER..BLOCK_HEADER + payload.len()].copy_from_slice(payload);
+    let crc = crc32(&page[12..BLOCK_HEADER + payload.len()]);
+    page[8..12].copy_from_slice(&crc.to_le_bytes());
+}
+
+/// Decode and CRC-check one store page as a block.
+pub(crate) fn decode_block(page: &[u8]) -> Result<Block<'_>> {
+    if page.len() < BLOCK_HEADER {
+        return Err(SnapshotError::Corrupt("short block"));
+    }
+    let u64_at = |o: usize| u64::from_le_bytes(page[o..o + 8].try_into().unwrap());
+    let u32_at = |o: usize| u32::from_le_bytes(page[o..o + 4].try_into().unwrap());
+    if u64_at(0) != BLOCK_MAGIC {
+        return Err(SnapshotError::Corrupt("bad block magic"));
+    }
+    let payload_len = u32_at(20) as usize;
+    if payload_len > page.len() - BLOCK_HEADER {
+        return Err(SnapshotError::Corrupt("bad block payload length"));
+    }
+    if u32_at(8) != crc32(&page[12..BLOCK_HEADER + payload_len]) {
+        return Err(SnapshotError::Corrupt("block CRC mismatch"));
+    }
+    let kind =
+        BlockKind::from_byte(page[12]).ok_or(SnapshotError::Corrupt("unknown block kind"))?;
+    Ok(Block {
+        kind,
+        tag: u32_at(16),
+        gen: u64_at(24),
+        seq: u64_at(32),
+        aux: u64_at(40),
+        payload: &page[BLOCK_HEADER..BLOCK_HEADER + payload_len],
+    })
+}
+
+/// Per-table metadata recorded in the manifest so recovery can reopen a
+/// table without the legacy reverse slot-allocator scan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TableMeta {
+    /// Table id.
+    pub id: u32,
+    /// Fixed tuple payload size in bytes.
+    pub tuple_size: u32,
+    /// First page of the table's catalog chain.
+    pub catalog_head: u64,
+    /// Slot-allocator high-water mark at the checkpoint fence.
+    pub allocated_slots: u64,
+}
+
+/// The checksummed manifest that closes a generation. Everything recovery
+/// needs besides the page images, index runs, and the WAL tail lives here.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Manifest {
+    /// This generation's number.
+    pub generation: u64,
+    /// Parent generation (0 for a full snapshot).
+    pub parent: u64,
+    /// Whether this generation is a full snapshot (chain base).
+    pub full: bool,
+    /// WAL fence: recovery replays only records with LSN ≥ this.
+    pub fence_lsn: u64,
+    /// Root catalog page id of the database.
+    pub catalog_root: u64,
+    /// Page-allocator high-water mark at the fence.
+    pub next_page_id: u64,
+    /// Timestamp-oracle value at the fence.
+    pub oracle_ts: u64,
+    /// Transaction-id counter at the fence.
+    pub next_txn_id: u64,
+    /// Number of page-image blocks in this generation.
+    pub page_images: u64,
+    /// Per-table metadata.
+    pub tables: Vec<TableMeta>,
+}
+
+const MANIFEST_FIXED: usize = 80;
+const TABLE_META: usize = 24;
+
+impl Manifest {
+    pub(crate) fn encode(&self) -> Vec<u8> {
+        let mut out = vec![0u8; MANIFEST_FIXED + self.tables.len() * TABLE_META];
+        out[0..8].copy_from_slice(&MANIFEST_MAGIC.to_le_bytes());
+        out[8..16].copy_from_slice(&self.generation.to_le_bytes());
+        out[16..24].copy_from_slice(&self.parent.to_le_bytes());
+        out[24..32].copy_from_slice(&self.fence_lsn.to_le_bytes());
+        out[32..40].copy_from_slice(&self.catalog_root.to_le_bytes());
+        out[40..48].copy_from_slice(&self.next_page_id.to_le_bytes());
+        out[48..56].copy_from_slice(&self.oracle_ts.to_le_bytes());
+        out[56..64].copy_from_slice(&self.next_txn_id.to_le_bytes());
+        out[64..72].copy_from_slice(&self.page_images.to_le_bytes());
+        out[72..76].copy_from_slice(&(self.tables.len() as u32).to_le_bytes());
+        out[76..80].copy_from_slice(&u32::from(self.full).to_le_bytes());
+        for (i, t) in self.tables.iter().enumerate() {
+            let o = MANIFEST_FIXED + i * TABLE_META;
+            out[o..o + 4].copy_from_slice(&t.id.to_le_bytes());
+            out[o + 4..o + 8].copy_from_slice(&t.tuple_size.to_le_bytes());
+            out[o + 8..o + 16].copy_from_slice(&t.catalog_head.to_le_bytes());
+            out[o + 16..o + 24].copy_from_slice(&t.allocated_slots.to_le_bytes());
+        }
+        out
+    }
+
+    pub(crate) fn decode(payload: &[u8]) -> Result<Manifest> {
+        if payload.len() < MANIFEST_FIXED {
+            return Err(SnapshotError::Corrupt("short manifest"));
+        }
+        let u64_at = |o: usize| u64::from_le_bytes(payload[o..o + 8].try_into().unwrap());
+        let u32_at = |o: usize| u32::from_le_bytes(payload[o..o + 4].try_into().unwrap());
+        if u64_at(0) != MANIFEST_MAGIC {
+            return Err(SnapshotError::Corrupt("bad manifest magic"));
+        }
+        let n_tables = u32_at(72) as usize;
+        if payload.len() < MANIFEST_FIXED + n_tables * TABLE_META {
+            return Err(SnapshotError::Corrupt("short manifest table list"));
+        }
+        let tables = (0..n_tables)
+            .map(|i| {
+                let o = MANIFEST_FIXED + i * TABLE_META;
+                TableMeta {
+                    id: u32_at(o),
+                    tuple_size: u32_at(o + 4),
+                    catalog_head: u64_at(o + 8),
+                    allocated_slots: u64_at(o + 16),
+                }
+            })
+            .collect();
+        Ok(Manifest {
+            generation: u64_at(8),
+            parent: u64_at(16),
+            full: u32_at(76) != 0,
+            fence_lsn: u64_at(24),
+            catalog_root: u64_at(32),
+            next_page_id: u64_at(40),
+            oracle_ts: u64_at(48),
+            next_txn_id: u64_at(56),
+            page_images: u64_at(64),
+            tables,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_round_trip_and_crc() {
+        let mut page = vec![0u8; BLOCK_HEADER + 256];
+        let payload: Vec<u8> = (0..200u32).map(|i| (i * 7) as u8).collect();
+        encode_block(&mut page, BlockKind::PageImage, 0, 3, 17, 42, &payload);
+        let b = decode_block(&page).unwrap();
+        assert_eq!(b.kind, BlockKind::PageImage);
+        assert_eq!((b.gen, b.seq, b.aux), (3, 17, 42));
+        assert_eq!(b.payload, &payload[..]);
+
+        // Any flipped payload bit must fail the CRC.
+        page[BLOCK_HEADER + 100] ^= 0x40;
+        assert!(matches!(
+            decode_block(&page),
+            Err(SnapshotError::Corrupt("block CRC mismatch"))
+        ));
+    }
+
+    #[test]
+    fn manifest_round_trip() {
+        let m = Manifest {
+            generation: 9,
+            parent: 8,
+            full: false,
+            fence_lsn: 123_456,
+            catalog_root: 0,
+            next_page_id: 77,
+            oracle_ts: 1000,
+            next_txn_id: 55,
+            page_images: 12,
+            tables: vec![
+                TableMeta {
+                    id: 1,
+                    tuple_size: 64,
+                    catalog_head: 2,
+                    allocated_slots: 500,
+                },
+                TableMeta {
+                    id: 7,
+                    tuple_size: 128,
+                    catalog_head: 9,
+                    allocated_slots: 0,
+                },
+            ],
+        };
+        assert_eq!(Manifest::decode(&m.encode()).unwrap(), m);
+    }
+}

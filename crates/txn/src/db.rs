@@ -83,7 +83,8 @@ impl Transaction {
 /// Counters reported by [`Database::recover`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RecoveryStats {
-    /// Committed transactions found in the log.
+    /// Committed transactions found in the log (tail only on the
+    /// snapshot path).
     pub committed: usize,
     /// Loser transactions (no commit record).
     pub losers: usize,
@@ -93,25 +94,39 @@ pub struct RecoveryStats {
     pub undone: usize,
     /// Pages reconstructed from the NVM buffer scan.
     pub nvm_pages: usize,
-    /// Index entries rebuilt from table scans.
+    /// Index entries rebuilt (table scans on the legacy path, snapshot
+    /// dump bulk-loads on the instant-restart path).
     pub index_entries: usize,
+    /// Snapshot generation restored (0 = full-history recovery).
+    pub snapshot_generation: u64,
+    /// Page images installed from the snapshot chain.
+    pub snapshot_pages: usize,
 }
 
 /// A transactional multi-table database over one buffer manager.
 pub struct Database {
-    bm: Arc<BufferManager>,
-    wal: Wal,
+    pub(crate) bm: Arc<BufferManager>,
+    pub(crate) wal: Wal,
     /// Timestamp oracle (assigns begin timestamps, single-ts MVTO).
-    oracle: AtomicU64,
-    txn_ids: AtomicU64,
-    root_catalog: PageId,
-    tables: RwLock<HashMap<u32, Arc<Table>>>,
-    indexes: RwLock<HashMap<u32, Arc<BTree>>>,
+    pub(crate) oracle: AtomicU64,
+    pub(crate) txn_ids: AtomicU64,
+    pub(crate) root_catalog: PageId,
+    pub(crate) tables: RwLock<HashMap<u32, Arc<Table>>>,
+    pub(crate) indexes: RwLock<HashMap<u32, Arc<BTree>>>,
     locks: KeyLocks,
     commits: AtomicU64,
     aborts: AtomicU64,
     /// Timestamps of in-flight transactions (vacuum watermark).
-    active: parking_lot::Mutex<std::collections::BTreeSet<u64>>,
+    pub(crate) active: parking_lot::Mutex<std::collections::BTreeSet<u64>>,
+    /// Checkpoint fence gate: [`Database::begin`] holds it shared for an
+    /// instant; the checkpointer holds it exclusively while it waits for
+    /// the active set to drain and captures its fence (see `checkpoint`).
+    pub(crate) fence_gate: RwLock<()>,
+    /// Attached snapshot engine (None = legacy checkpoints).
+    pub(crate) snapshots: RwLock<Option<Arc<crate::checkpoint::SnapshotEngine>>>,
+    /// Serializes checkpoints (one writer streams into the store at a
+    /// time).
+    pub(crate) ckpt_serial: parking_lot::Mutex<()>,
 }
 
 impl Database {
@@ -150,6 +165,9 @@ impl Database {
             commits: AtomicU64::new(0),
             aborts: AtomicU64::new(0),
             active: parking_lot::Mutex::new(std::collections::BTreeSet::new()),
+            fence_gate: RwLock::new(()),
+            snapshots: RwLock::new(None),
+            ckpt_serial: parking_lot::Mutex::new(()),
         })
     }
 
@@ -168,6 +186,9 @@ impl Database {
     pub fn set_time_scale(&self, scale: spitfire_device::TimeScale) {
         self.bm.admin().set_time_scale(scale);
         self.wal.set_time_scale(scale);
+        if let Some(engine) = self.snapshot_engine() {
+            engine.store().set_time_scale(scale);
+        }
     }
 
     /// Committed / aborted transaction counts.
@@ -185,6 +206,18 @@ impl Database {
         let (commits, aborts) = self.txn_stats();
         report.add_counter("txn_commits", commits);
         report.add_counter("txn_aborts", aborts);
+        report.add_gauge("wal_bytes", self.wal.log_bytes() as f64);
+        if let Some(engine) = self.snapshot_engine() {
+            report.add_gauge("snapshot_generation", engine.generation() as f64);
+            report.add_gauge(
+                "last_checkpoint_ms",
+                engine.last_checkpoint_micros() as f64 / 1000.0,
+            );
+            report.add_gauge(
+                "last_checkpoint_pages",
+                engine.last_checkpoint_pages() as f64,
+            );
+        }
         self.bm.fill_obs_report(report);
     }
 
@@ -196,6 +229,29 @@ impl Database {
         let w = Arc::downgrade(self);
         spitfire_obs::register_gauge("active_txns", move || {
             w.upgrade().map(|db| db.active.lock().len() as f64)
+        });
+        let w = Arc::downgrade(self);
+        spitfire_obs::register_gauge("wal_bytes", move || {
+            w.upgrade().map(|db| db.wal.log_bytes() as f64)
+        });
+        let w = Arc::downgrade(self);
+        spitfire_obs::register_gauge("snapshot_generation", move || {
+            w.upgrade()
+                .map(|db| db.snapshot_engine().map_or(0.0, |e| e.generation() as f64))
+        });
+        let w = Arc::downgrade(self);
+        spitfire_obs::register_gauge("last_checkpoint_ms", move || {
+            w.upgrade().map(|db| {
+                db.snapshot_engine()
+                    .map_or(0.0, |e| e.last_checkpoint_micros() as f64 / 1000.0)
+            })
+        });
+        let w = Arc::downgrade(self);
+        spitfire_obs::register_gauge("last_checkpoint_pages", move || {
+            w.upgrade().map(|db| {
+                db.snapshot_engine()
+                    .map_or(0.0, |e| e.last_checkpoint_pages() as f64)
+            })
         });
     }
 
@@ -261,8 +317,11 @@ impl Database {
         self.locks.lock(table, key)
     }
 
-    /// Begin a transaction.
+    /// Begin a transaction. Briefly holds the checkpoint fence gate
+    /// shared: a checkpoint that is waiting for the active set to drain
+    /// blocks new transactions here until its fence is captured.
     pub fn begin(&self) -> Transaction {
+        let _gate = self.fence_gate.read();
         let ts = self.oracle.fetch_add(1, Ordering::AcqRel);
         self.active.lock().insert(ts);
         Transaction {
@@ -612,52 +671,31 @@ impl Database {
         Ok(())
     }
 
-    /// Checkpoint: flush dirty DRAM pages, write dirty NVM-resident pages
-    /// back to SSD in batches (one fsync per batch), then truncate the
-    /// log. NVM pages are persistent, so flushing them is not needed for
-    /// *correctness* — but giving them durable SSD images lets the log
-    /// truncate past them and lets later evictions discard them without
-    /// inline write-backs. Must run at a quiescent point (no in-flight
-    /// transactions). Returns the number of pages flushed across both
-    /// tiers.
-    pub fn checkpoint(&self) -> Result<usize> {
-        let mut flushed = self.bm.flush_all_dirty()?;
-        let batch = self.bm.config().maintenance.batch.max(1);
-        loop {
-            let n = self.bm.flush_nvm_dirty(batch)?;
-            if n == 0 {
-                break;
-            }
-            flushed += n;
-        }
-        self.wal.truncate()?;
-        self.wal.append(&LogRecord {
-            kind: RecordKind::Checkpoint,
-            txn: 0,
-            table: 0,
-            key: 0,
-            rid: NO_RID,
-            prev_rid: NO_RID,
-            prev_lsn: NO_RID,
-            payload: Vec::new(),
-        })?;
-        Ok(flushed)
-    }
-
     /// Install (or clear) a fault injector on every device the database
-    /// touches: all buffer-manager tiers plus both WAL devices.
+    /// touches: all buffer-manager tiers, both WAL devices, and the
+    /// snapshot store when one is attached.
     pub fn set_fault_injector(&self, injector: Option<Arc<spitfire_device::FaultInjector>>) {
         self.bm.admin().set_fault_injector(injector.clone());
-        self.wal.set_fault_injector(injector);
+        self.wal.set_fault_injector(injector.clone());
+        if let Some(engine) = self.snapshot_engine() {
+            engine.store().set_fault_injector(injector);
+        }
     }
 
     /// Simulate a crash: volatile state everywhere is dropped, unflushed
-    /// NVM lines roll back.
+    /// NVM lines roll back, and the snapshot store drops unsynced blocks.
     pub fn simulate_crash(&self) {
         self.bm.simulate_crash();
         self.wal.simulate_crash();
+        if let Some(engine) = self.snapshot_engine() {
+            engine.store().simulate_crash();
+        }
         self.tables.write().clear();
         self.indexes.write().clear();
+        // In-flight transactions died with the process; without this,
+        // their abandoned timestamps would pin the vacuum watermark and
+        // make every future checkpoint report contention.
+        self.active.lock().clear();
     }
 
     /// Recover after a crash (paper §5.2, Recovery):
@@ -674,6 +712,15 @@ impl Database {
             ..RecoveryStats::default()
         };
         self.bm.recover_page_allocator();
+
+        // Instant restart: restore the newest valid snapshot chain and
+        // replay only the WAL tail past its fence. Falls through to the
+        // full-history path when no generation is restorable.
+        if let Some(engine) = self.snapshot_engine() {
+            if self.recover_from_snapshot(&engine, &mut stats)?.is_some() {
+                return Ok(stats);
+            }
+        }
 
         // Reload the table catalog.
         {
@@ -701,11 +748,58 @@ impl Database {
             }
         }
 
-        // Analysis.
+        // Analysis, redo, and undo over the full log.
         let records = self.wal.read_all()?;
+        let outcome = self.replay_records(&records, &mut stats)?;
+        let mut max_ts = outcome.max_ts;
+
+        // Also clear any dangling markers left by transactions that never
+        // reached the log for some writes (stamping raced the crash) —
+        // without a commit record they are losers by definition; committed
+        // transactions' slots were rewritten by redo above.
+        // (Handled implicitly: markers only survive on slots whose log
+        // records exist, because every install appends before returning.)
+
+        // Rebuild indexes from table scans.
+        {
+            let tables = self.tables.read();
+            let mut indexes = self.indexes.write();
+            for (id, table) in tables.iter() {
+                let index = Arc::new(BTree::new(Arc::clone(&self.bm))?);
+                for rid in 0..table.allocated_slots() {
+                    let hdr = table.read_header(rid)?;
+                    if hdr.begin == 0 || hdr.begin == ABORTED || is_marker(hdr.begin) {
+                        continue;
+                    }
+                    max_ts = max_ts.max(hdr.begin + 1).max(hdr.read_ts + 1);
+                    // Newest committed version: open-ended interval.
+                    if hdr.end == INF || is_marker(hdr.end) {
+                        index.insert(hdr.key, rid)?;
+                        stats.index_entries += 1;
+                    }
+                }
+                indexes.insert(*id, index);
+            }
+        }
+
+        self.oracle.fetch_max(max_ts, Ordering::AcqRel);
+        self.txn_ids.fetch_max(outcome.max_txn, Ordering::AcqRel);
+        Ok(stats)
+    }
+
+    /// Analysis + redo + undo over `records`, in log order. Shared by
+    /// full-history recovery (every surviving record) and instant restart
+    /// (the tail past the snapshot fence). Updates `stats` and returns
+    /// the winner map and timestamp watermarks.
+    pub(crate) fn replay_records(
+        &self,
+        records: &[LogRecord],
+        stats: &mut RecoveryStats,
+    ) -> Result<ReplayOutcome> {
+        // Analysis.
         let mut commit_ts: HashMap<u64, u64> = HashMap::new();
         let mut seen: HashMap<u64, bool> = HashMap::new(); // txn -> has writes
-        for r in &records {
+        for r in records {
             match r.kind {
                 RecordKind::Commit => {
                     commit_ts.insert(r.txn, r.rid);
@@ -722,7 +816,7 @@ impl Database {
         // Redo winners / undo losers, in log order.
         let mut max_ts = 2u64;
         let mut max_txn = 1u64;
-        for r in &records {
+        for r in records {
             max_txn = max_txn.max(r.txn + 1);
             match r.kind {
                 RecordKind::Update | RecordKind::Insert => {
@@ -766,40 +860,22 @@ impl Database {
                 _ => {}
             }
         }
-
-        // Also clear any dangling markers left by transactions that never
-        // reached the log for some writes (stamping raced the crash) —
-        // without a commit record they are losers by definition; committed
-        // transactions' slots were rewritten by redo above.
-        // (Handled implicitly: markers only survive on slots whose log
-        // records exist, because every install appends before returning.)
-
-        // Rebuild indexes from table scans.
-        {
-            let tables = self.tables.read();
-            let mut indexes = self.indexes.write();
-            for (id, table) in tables.iter() {
-                let index = Arc::new(BTree::new(Arc::clone(&self.bm))?);
-                for rid in 0..table.allocated_slots() {
-                    let hdr = table.read_header(rid)?;
-                    if hdr.begin == 0 || hdr.begin == ABORTED || is_marker(hdr.begin) {
-                        continue;
-                    }
-                    max_ts = max_ts.max(hdr.begin + 1).max(hdr.read_ts + 1);
-                    // Newest committed version: open-ended interval.
-                    if hdr.end == INF || is_marker(hdr.end) {
-                        index.insert(hdr.key, rid)?;
-                        stats.index_entries += 1;
-                    }
-                }
-                indexes.insert(*id, index);
-            }
-        }
-
-        self.oracle.fetch_max(max_ts, Ordering::AcqRel);
-        self.txn_ids.fetch_max(max_txn, Ordering::AcqRel);
-        Ok(stats)
+        Ok(ReplayOutcome {
+            commit_ts,
+            max_ts,
+            max_txn,
+        })
     }
+}
+
+/// What [`Database::replay_records`] learned from one replay pass.
+pub(crate) struct ReplayOutcome {
+    /// Winner transactions and their commit timestamps.
+    pub commit_ts: HashMap<u64, u64>,
+    /// One past the largest timestamp observed (oracle floor).
+    pub max_ts: u64,
+    /// One past the largest transaction id observed.
+    pub max_txn: u64,
 }
 
 impl std::fmt::Debug for Database {

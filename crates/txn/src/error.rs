@@ -34,6 +34,13 @@ pub enum TxnError {
     },
     /// Unknown table id.
     UnknownTable(u32),
+    /// A checkpoint could not reach a quiescent point: transactions were
+    /// still in flight when the bounded wait expired. Retry once they
+    /// finish (same contract as [`TxnError::TransactionOpen`] on a
+    /// session: the caller backs off instead of corrupting state).
+    CheckpointContended,
+    /// The snapshot store failed.
+    Snapshot(spitfire_snapshot::SnapshotError),
 }
 
 impl TxnError {
@@ -44,7 +51,7 @@ impl TxnError {
     /// need to match variant names to decide.
     pub fn is_retryable(&self) -> bool {
         match self {
-            TxnError::Conflict => true,
+            TxnError::Conflict | TxnError::CheckpointContended => true,
             TxnError::Buffer(e) => e.is_retryable(),
             _ => false,
         }
@@ -71,6 +78,10 @@ impl std::fmt::Display for TxnError {
                 )
             }
             TxnError::UnknownTable(t) => write!(f, "unknown table {t}"),
+            TxnError::CheckpointContended => {
+                write!(f, "checkpoint contended: transactions in flight; retry")
+            }
+            TxnError::Snapshot(e) => write!(f, "snapshot error: {e}"),
         }
     }
 }
@@ -80,6 +91,7 @@ impl std::error::Error for TxnError {
         match self {
             TxnError::Buffer(e) => Some(e),
             TxnError::Index(e) => Some(e),
+            TxnError::Snapshot(e) => Some(e),
             _ => None,
         }
     }
@@ -94,6 +106,12 @@ impl From<BufferError> for TxnError {
 impl From<spitfire_device::DeviceError> for TxnError {
     fn from(e: spitfire_device::DeviceError) -> Self {
         TxnError::Buffer(BufferError::Device(e))
+    }
+}
+
+impl From<spitfire_snapshot::SnapshotError> for TxnError {
+    fn from(e: spitfire_snapshot::SnapshotError) -> Self {
+        TxnError::Snapshot(e)
     }
 }
 

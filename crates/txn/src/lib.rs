@@ -20,6 +20,7 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+mod checkpoint;
 mod db;
 mod error;
 mod maintenance;
@@ -28,12 +29,13 @@ mod session;
 mod table;
 mod wal;
 
+pub use checkpoint::{CheckpointStats, SnapshotConfig, SnapshotEngine};
 pub use db::{Database, DbConfig, RecoveryStats, Transaction};
 pub use error::TxnError;
 pub use maintenance::{BackgroundFlusher, VacuumStats};
 pub use session::Session;
 pub use table::{Table, VersionHeader, NO_RID, VERSION_HEADER};
-pub use wal::{crc32, LogRecord, RecordKind, Wal, WalScanReport};
+pub use wal::{crc32, LogRecord, RecordKind, Wal, WalFence, WalScanReport};
 
 /// Result alias for transaction-layer operations.
 pub type Result<T> = std::result::Result<T, TxnError>;

@@ -135,7 +135,10 @@ impl BackgroundFlusher {
     /// flushes dirty DRAM pages, then writes back one batch of dirty NVM
     /// pages (batch size from the buffer manager's maintenance config) —
     /// spreading the NVM drain over passes instead of stalling one pass
-    /// on a full sweep.
+    /// on a full sweep. When a snapshot engine is attached, each pass
+    /// also checkpoints if the live WAL has crossed the configured
+    /// threshold ([`Database::checkpoint_if_due`]); a contended
+    /// checkpoint is simply retried next period.
     pub fn start(db: Arc<Database>, period: Duration) -> Self {
         let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
         let stop2 = Arc::clone(&stop);
@@ -147,6 +150,7 @@ impl BackgroundFlusher {
                 std::thread::sleep(period);
                 let _ = bm.flush_all_dirty();
                 let _ = bm.flush_nvm_dirty(batch);
+                let _ = db.checkpoint_if_due();
             }
         });
         BackgroundFlusher {

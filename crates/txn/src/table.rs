@@ -137,6 +137,24 @@ impl Table {
         Ok(table)
     }
 
+    /// Reopen a table with a known slot watermark (snapshot recovery).
+    /// Skips the full-table allocator scan of [`Table::open`] — the
+    /// manifest recorded `allocated_slots` at the checkpoint fence, and
+    /// WAL-tail redo raises the watermark past it via
+    /// [`Table::write_version`]'s `fetch_max`.
+    pub fn open_with_slots(
+        bm: Arc<BufferManager>,
+        id: u32,
+        tuple_size: usize,
+        catalog_head: PageId,
+        allocated_slots: u64,
+    ) -> Result<Self> {
+        let table = Table::with_layout(bm, id, tuple_size, catalog_head);
+        table.load_catalog()?;
+        table.next_slot.store(allocated_slots, Ordering::Release);
+        Ok(table)
+    }
+
     /// The catalog head page id (persist in the database root catalog).
     pub fn catalog_head(&self) -> PageId {
         self.catalog_head

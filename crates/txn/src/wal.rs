@@ -172,18 +172,10 @@ impl LogRecord {
 
 /// Simple CRC-32 (IEEE, bitwise — log framing is not a hot path relative
 /// to the emulated device delays). Public so the server wire protocol can
-/// frame with the same checksum the log uses.
-pub fn crc32(data: &[u8]) -> u32 {
-    let mut crc = 0xFFFF_FFFFu32;
-    for &b in data {
-        crc ^= b as u32;
-        for _ in 0..8 {
-            let mask = (crc & 1).wrapping_neg();
-            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
-        }
-    }
-    !crc
-}
+/// frame with the same checksum the log uses. The implementation lives in
+/// `spitfire-snapshot` (snapshot blocks use the same checksum) and is
+/// re-exported here to keep the historical `spitfire_txn::crc32` path.
+pub use spitfire_snapshot::crc32;
 
 /// The write-ahead log: NVM ring buffer + SSD log file.
 pub struct Wal {
@@ -197,6 +189,14 @@ pub struct Wal {
     /// SSD log file: fixed-size pages appended in sequence.
     file: SsdDevice,
     next_file_page: AtomicU64,
+    /// First live log-file page: pages below this were truncated away by a
+    /// checkpoint fence ([`Wal::truncate_to`]). Persisted below
+    /// [`DATA_BASE`] like the other cursors.
+    file_base_page: AtomicU64,
+    /// LSN of the first byte of `file_base_page` — the stream position the
+    /// live log starts at. `log_bytes()` and per-record LSN assignment in
+    /// [`Wal::read_all_checked`] are measured from here.
+    base_lsn: AtomicU64,
     /// Drain threshold (fraction of the buffer).
     drain_at: usize,
     page_size: usize,
@@ -217,11 +217,34 @@ const DATA_BASE: usize = 64;
 /// restart can re-open the log file at the right length.
 const FILE_PAGES_AT: usize = 8;
 
+/// Byte offset of the persistent first-live-file-page cursor.
+const FILE_BASE_AT: usize = 16;
+
+/// Byte offset of the persistent base LSN (stream position of the first
+/// live file page).
+const BASE_LSN_AT: usize = 24;
+
+/// A WAL fence: the durable log position captured by a checkpoint. All
+/// records appended before the fence have `LSN < lsn` and live entirely in
+/// file pages below `file_page` (the fence is taken after a full drain, so
+/// the NVM buffer is empty and no record straddles it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WalFence {
+    /// First LSN past the fence.
+    pub lsn: u64,
+    /// First log-file page past the fence.
+    pub file_page: u64,
+}
+
 /// Outcome of a checked log scan ([`Wal::read_all_checked`]).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct WalScanReport {
     /// Records decoded, in replay order (file portion, then NVM buffer).
     pub records: Vec<LogRecord>,
+    /// Parallel to `records`: each record's LSN (stream offset of its
+    /// first byte). Snapshot recovery replays only records with
+    /// `lsn >= fence_lsn`.
+    pub lsns: Vec<u64>,
     /// Bytes reassembled from the SSD log-file pages.
     pub file_bytes: usize,
     /// Bytes of the file stream consumed by CRC-valid frames.
@@ -251,13 +274,27 @@ impl Wal {
             state: Mutex::new(WalState { head: DATA_BASE }),
             file: SsdDevice::with_tracking(page_size, scale, tracking),
             next_file_page: AtomicU64::new(0),
+            file_base_page: AtomicU64::new(0),
+            base_lsn: AtomicU64::new(0),
             drain_at: buffer_bytes * 3 / 4,
             page_size,
             lsn: AtomicU64::new(0),
         };
         wal.persist_head(DATA_BASE)?;
         wal.persist_file_pages(0)?;
+        wal.persist_word(FILE_BASE_AT, 0)?;
+        wal.persist_word(BASE_LSN_AT, 0)?;
         Ok(wal)
+    }
+
+    /// Persist one u64 cursor in the reserved region below [`DATA_BASE`].
+    fn persist_word(&self, at: usize, value: u64) -> Result<()> {
+        wal_retry(|| {
+            self.nvm
+                .write(at, &value.to_le_bytes(), AccessPattern::Random)?;
+            self.nvm.persist(at, 8)
+        })?;
+        Ok(())
     }
 
     fn persist_head(&self, head: usize) -> Result<()> {
@@ -350,6 +387,58 @@ impl Wal {
         self.drain_locked(&mut state)
     }
 
+    /// Capture a fence: drain the NVM buffer so every appended record is
+    /// in the log file, then record the durable log position. Used by the
+    /// checkpointer; see [`WalFence`].
+    pub fn fence(&self) -> Result<WalFence> {
+        let mut state = self.state.lock();
+        self.drain_locked(&mut state)?;
+        Ok(WalFence {
+            lsn: self.lsn.load(Ordering::Acquire),
+            file_page: self.next_file_page.load(Ordering::Acquire),
+        })
+    }
+
+    /// Logically truncate everything before `fence`: subsequent scans
+    /// start at `fence.file_page` with LSNs measured from `fence.lsn`. No
+    /// pages move — this only advances the persistent base cursors. A
+    /// checkpoint truncates to the *previous* generation's fence so a
+    /// CRC-mismatch fallback one generation still finds its WAL tail.
+    ///
+    /// The base LSN is persisted before the base page: a crash between the
+    /// two makes the next scan label the leftover prefix with LSNs at or
+    /// above the fence, so recovery replays extra (idempotent) records —
+    /// never skips live ones.
+    pub fn truncate_to(&self, fence: WalFence) -> Result<()> {
+        let _state = self.state.lock();
+        if fence.lsn <= self.base_lsn.load(Ordering::Acquire) {
+            return Ok(());
+        }
+        self.base_lsn.store(fence.lsn, Ordering::Release);
+        self.persist_word(BASE_LSN_AT, fence.lsn)?;
+        self.file_base_page
+            .store(fence.file_page, Ordering::Release);
+        self.persist_word(FILE_BASE_AT, fence.file_page)?;
+        Ok(())
+    }
+
+    /// Bytes of live log: everything appended past the last truncation
+    /// point (including records still pending in the NVM buffer). The
+    /// checkpoint trigger compares this against its threshold.
+    pub fn log_bytes(&self) -> u64 {
+        self.lsn.load(Ordering::Acquire) - self.base_lsn.load(Ordering::Acquire)
+    }
+
+    /// LSN one past the last appended byte.
+    pub fn current_lsn(&self) -> u64 {
+        self.lsn.load(Ordering::Acquire)
+    }
+
+    /// LSN the live log starts at (the last truncation point).
+    pub fn base_lsn(&self) -> u64 {
+        self.base_lsn.load(Ordering::Acquire)
+    }
+
     /// Truncate the log after a checkpoint: everything before the
     /// checkpoint record is obsolete.
     pub fn truncate(&self) -> Result<()> {
@@ -357,6 +446,14 @@ impl Wal {
         // Recycle the SSD file by restarting the page sequence.
         self.next_file_page.store(0, Ordering::Release);
         self.persist_file_pages(0)?;
+        self.file_base_page.store(0, Ordering::Release);
+        self.persist_word(FILE_BASE_AT, 0)?;
+        // Pending NVM records are discarded with the head reset below, but
+        // their bytes were already counted into the LSN cursor: the empty
+        // log logically starts at the current LSN.
+        let lsn = self.lsn.load(Ordering::Acquire);
+        self.base_lsn.store(lsn, Ordering::Release);
+        self.persist_word(BASE_LSN_AT, lsn)?;
         state.head = DATA_BASE;
         self.persist_head(DATA_BASE)?;
         Ok(())
@@ -369,18 +466,43 @@ impl Wal {
         self.nvm.simulate_crash();
         self.file.simulate_crash();
         let mut word = [0u8; 8];
-        if self
-            .nvm
-            .read(FILE_PAGES_AT, &mut word, AccessPattern::Random)
-            .is_ok()
-        {
-            self.next_file_page
-                .store(u64::from_le_bytes(word), Ordering::Release);
+        let mut read_word = |at: usize| -> Option<u64> {
+            self.nvm
+                .read(at, &mut word, AccessPattern::Random)
+                .ok()
+                .map(|()| u64::from_le_bytes(word))
+        };
+        if let Some(n) = read_word(FILE_PAGES_AT) {
+            self.next_file_page.store(n, Ordering::Release);
         }
-        if self.nvm.read(0, &mut word, AccessPattern::Random).is_ok() {
-            let head = (u64::from_le_bytes(word) as usize).clamp(DATA_BASE, self.nvm.capacity());
+        if let Some(base) = read_word(FILE_BASE_AT) {
+            self.file_base_page.store(base, Ordering::Release);
+        }
+        if let Some(base_lsn) = read_word(BASE_LSN_AT) {
+            self.base_lsn.store(base_lsn, Ordering::Release);
+        }
+        if let Some(head) = read_word(0) {
+            let head = (head as usize).clamp(DATA_BASE, self.nvm.capacity());
             self.state.lock().head = head;
         }
+        // Recompute the volatile LSN cursor from the durable state: base
+        // LSN plus the surviving file-stream bytes plus the live NVM
+        // region. Un-synced file pages evaporated with the crash, but
+        // their records still sit in the NVM buffer (the drain recycles it
+        // only after the fsync), so they are counted exactly once.
+        let mut lsn = self.base_lsn.load(Ordering::Acquire);
+        let mut page = vec![0u8; self.page_size];
+        let base = self.file_base_page.load(Ordering::Acquire);
+        let n_pages = self.next_file_page.load(Ordering::Acquire);
+        for pid in base..n_pages {
+            if self.file.read_page(pid, &mut page).is_err() {
+                break;
+            }
+            let valid = u32::from_le_bytes(page[..4].try_into().expect("4 bytes")) as usize;
+            lsn += valid.min(self.page_size - 4) as u64;
+        }
+        lsn += (self.state.lock().head - DATA_BASE) as u64;
+        self.lsn.store(lsn, Ordering::Release);
     }
 
     /// Read the full log back: SSD file pages in order, then the live
@@ -398,12 +520,16 @@ impl Wal {
     /// NVM buffer yet, so those records are still decoded from NVM.
     pub fn read_all_checked(&self) -> Result<WalScanReport> {
         let mut report = WalScanReport::default();
+        let base_lsn = self.base_lsn.load(Ordering::Acquire);
         // SSD file portion. Pages are contiguous records chunked at page
-        // boundaries, so reassemble the byte stream first.
+        // boundaries, so reassemble the byte stream first. Pages below the
+        // base cursor were truncated by a checkpoint fence.
+        let file_base = self.file_base_page.load(Ordering::Acquire);
         let n_pages = self.next_file_page.load(Ordering::Acquire);
-        let mut stream = Vec::with_capacity((n_pages as usize) * self.page_size);
+        let mut stream =
+            Vec::with_capacity(n_pages.saturating_sub(file_base) as usize * self.page_size);
         let mut page = vec![0u8; self.page_size];
-        for pid in 0..n_pages {
+        for pid in file_base..n_pages {
             match wal_retry(|| self.file.read_page(pid, &mut page)) {
                 Ok(()) => {}
                 Err(DeviceError::PageNotFound(_)) => break,
@@ -414,7 +540,8 @@ impl Wal {
             stream.extend_from_slice(&page[4..4 + valid]);
         }
         report.file_bytes = stream.len();
-        report.file_consumed = decode_stream(&stream, &mut report.records);
+        report.file_consumed =
+            decode_stream(&stream, base_lsn, &mut report.records, &mut report.lsns);
         if report.file_consumed < report.file_bytes {
             // Torn/corrupt bytes inside the file stream: everything after
             // them — including the NVM region, which is later in the log —
@@ -422,7 +549,8 @@ impl Wal {
             report.corrupt = true;
             return Ok(report);
         }
-        // NVM buffer portion: head offset is persistent.
+        // NVM buffer portion: head offset is persistent. Its records sit
+        // in the stream directly after the drained file bytes.
         let mut head_bytes = [0u8; 8];
         wal_retry(|| self.nvm.read(0, &mut head_bytes, AccessPattern::Random))?;
         let head = (u64::from_le_bytes(head_bytes) as usize).clamp(DATA_BASE, self.nvm.capacity());
@@ -433,7 +561,9 @@ impl Wal {
                     .read(DATA_BASE, &mut buf, AccessPattern::Sequential)
             })?;
             report.nvm_bytes = buf.len();
-            report.nvm_consumed = decode_stream(&buf, &mut report.records);
+            let nvm_base = base_lsn + report.file_bytes as u64;
+            report.nvm_consumed =
+                decode_stream(&buf, nvm_base, &mut report.records, &mut report.lsns);
             if report.nvm_consumed < report.nvm_bytes {
                 report.corrupt = true;
             }
@@ -464,11 +594,18 @@ impl Wal {
 }
 
 /// Decode frames from `buf` until the first invalid one; returns the
-/// number of bytes consumed by valid frames.
-fn decode_stream(buf: &[u8], out: &mut Vec<LogRecord>) -> usize {
+/// number of bytes consumed by valid frames. Each record's LSN is
+/// `base_lsn` plus its offset in `buf`.
+fn decode_stream(
+    buf: &[u8],
+    base_lsn: u64,
+    out: &mut Vec<LogRecord>,
+    lsns: &mut Vec<u64>,
+) -> usize {
     let mut consumed = 0;
     while let Some((rec, used)) = LogRecord::decode(&buf[consumed..]) {
         out.push(rec);
+        lsns.push(base_lsn + consumed as u64);
         consumed += used;
     }
     consumed
@@ -687,6 +824,154 @@ mod tests {
         // still in the persistent NVM buffer.
         w.simulate_crash();
         assert_eq!(w.read_all().unwrap(), expect);
+    }
+
+    #[test]
+    fn scan_reports_parallel_lsns() {
+        let w = wal();
+        let mut expect_lsns = Vec::new();
+        let mut at = 0u64;
+        for i in 0..6u64 {
+            let r = record(i, RecordKind::Update, &[i as u8; 50]);
+            let lsn = w.append(&r).unwrap();
+            assert_eq!(lsn, at);
+            expect_lsns.push(at);
+            at += r.frame_len() as u64;
+        }
+        // LSNs survive the move from NVM to the file: drain mid-stream.
+        w.drain().unwrap();
+        w.append(&record(6, RecordKind::Commit, &[])).unwrap();
+        expect_lsns.push(at);
+        let report = w.read_all_checked().unwrap();
+        assert_eq!(report.records.len(), report.lsns.len());
+        assert_eq!(report.lsns, expect_lsns);
+        assert_eq!(w.current_lsn(), w.log_bytes());
+    }
+
+    #[test]
+    fn corrupt_mid_record_cuts_the_clean_prefix() {
+        let w = wal();
+        for i in 0..4u64 {
+            w.append(&record(i, RecordKind::Update, &[i as u8; 40]))
+                .unwrap();
+        }
+        // Flip one payload byte in the middle of the *second* record,
+        // directly in the persistent NVM buffer.
+        let second_at = DATA_BASE + record(0, RecordKind::Update, &[0u8; 40]).frame_len();
+        let mut b = [0u8; 1];
+        w.nvm
+            .read(second_at + FRAME_HEADER + 10, &mut b, AccessPattern::Random)
+            .unwrap();
+        b[0] ^= 0x01;
+        w.nvm
+            .write(second_at + FRAME_HEADER + 10, &b, AccessPattern::Random)
+            .unwrap();
+        w.nvm.persist(second_at + FRAME_HEADER + 10, 1).unwrap();
+
+        let report = w.read_all_checked().unwrap();
+        assert!(report.corrupt, "mid-record corruption must be flagged");
+        // Only the first record survives: the CRC failure ends the stream
+        // even though records 3 and 4 are intact after the bad frame.
+        assert_eq!(report.records.len(), 1);
+        assert_eq!(report.records[0].txn, 0);
+        assert!(report.nvm_consumed < report.nvm_bytes);
+    }
+
+    #[test]
+    fn clean_scan_consumes_both_regions_exactly() {
+        let w = wal();
+        for i in 0..5u64 {
+            w.append(&record(i, RecordKind::Update, &[1u8; 80]))
+                .unwrap();
+        }
+        w.drain().unwrap();
+        w.append(&record(9, RecordKind::Commit, &[])).unwrap();
+        let report = w.read_all_checked().unwrap();
+        assert!(!report.corrupt);
+        assert_eq!(report.file_consumed, report.file_bytes);
+        assert_eq!(report.nvm_consumed, report.nvm_bytes);
+        assert_eq!(report.records.len(), 6);
+    }
+
+    #[test]
+    fn truncation_interplay_with_corrupt_tail() {
+        let w = wal();
+        for i in 0..5u64 {
+            w.append(&record(i, RecordKind::Update, b"pre")).unwrap();
+        }
+        w.drain().unwrap();
+        w.truncate().unwrap();
+        // Post-truncation records only; the old file pages must not leak
+        // back into the scan.
+        for i in 10..13u64 {
+            w.append(&record(i, RecordKind::Update, &[2u8; 30]))
+                .unwrap();
+        }
+        let report = w.read_all_checked().unwrap();
+        assert!(!report.corrupt);
+        assert_eq!(
+            report.records.iter().map(|r| r.txn).collect::<Vec<_>>(),
+            vec![10, 11, 12]
+        );
+        // LSNs keep counting across the truncation (monotonic stream).
+        assert_eq!(report.lsns[0], w.base_lsn());
+        // Now corrupt the newest record's tail: the clean prefix is the
+        // post-truncation records minus the damaged one.
+        let head = w.state.lock().head;
+        let last_len = record(12, RecordKind::Update, &[2u8; 30]).frame_len();
+        let at = head - last_len + FRAME_HEADER;
+        w.nvm.write(at, &[0xEE], AccessPattern::Random).unwrap();
+        w.nvm.persist(at, 1).unwrap();
+        let report = w.read_all_checked().unwrap();
+        assert!(report.corrupt);
+        assert_eq!(
+            report.records.iter().map(|r| r.txn).collect::<Vec<_>>(),
+            vec![10, 11]
+        );
+    }
+
+    #[test]
+    fn fence_and_truncate_to_keep_only_the_tail() {
+        let w = wal();
+        for i in 0..5u64 {
+            w.append(&record(i, RecordKind::Update, &[3u8; 60]))
+                .unwrap();
+        }
+        let fence = w.fence().unwrap();
+        assert_eq!(w.pending_bytes(), 0, "fence drains the buffer");
+        for i in 5..8u64 {
+            w.append(&record(i, RecordKind::Update, &[4u8; 60]))
+                .unwrap();
+        }
+        // Before truncation the full stream is visible; the fence splits
+        // it by LSN.
+        let report = w.read_all_checked().unwrap();
+        let past: Vec<u64> = report
+            .records
+            .iter()
+            .zip(&report.lsns)
+            .filter(|(_, &lsn)| lsn >= fence.lsn)
+            .map(|(r, _)| r.txn)
+            .collect();
+        assert_eq!(past, vec![5, 6, 7]);
+
+        w.truncate_to(fence).unwrap();
+        let tail_len = 3 * record(0, RecordKind::Update, &[0u8; 60]).frame_len() as u64;
+        assert_eq!(w.log_bytes(), tail_len);
+        let report = w.read_all_checked().unwrap();
+        assert_eq!(
+            report.records.iter().map(|r| r.txn).collect::<Vec<_>>(),
+            vec![5, 6, 7]
+        );
+        assert!(report.lsns.iter().all(|&l| l >= fence.lsn));
+
+        // The cursors and the recomputed LSN survive a crash.
+        w.simulate_crash();
+        assert_eq!(w.base_lsn(), fence.lsn);
+        assert_eq!(w.log_bytes(), tail_len);
+        let report = w.read_all_checked().unwrap();
+        assert_eq!(report.records.len(), 3);
+        assert_eq!(report.lsns[0], fence.lsn);
     }
 
     #[test]
