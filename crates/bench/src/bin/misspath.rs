@@ -67,6 +67,7 @@ fn manager() -> Arc<BufferManager> {
         .policy(MigrationPolicy::lazy())
         .persistence(PersistenceTracking::Counters)
         .time_scale(TimeScale::ZERO) // load phase: no emulated delays
+        .ssd_backend(spitfire_bench::ssd_backend_from_env())
         .build()
         .expect("valid config");
     Arc::new(BufferManager::new(config).expect("buffer manager"))

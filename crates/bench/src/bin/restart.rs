@@ -60,6 +60,7 @@ fn database() -> Arc<Database> {
         .policy(MigrationPolicy::lazy())
         .persistence(PersistenceTracking::Full)
         .time_scale(TimeScale::ZERO)
+        .ssd_backend(spitfire_bench::ssd_backend_from_env())
         .build()
         .expect("valid config");
     let bm = Arc::new(BufferManager::new(config).expect("buffer manager"));

@@ -29,7 +29,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use spitfire_core::{BufferManager, BufferManagerConfig, MigrationPolicy};
-use spitfire_device::{PersistenceTracking, TimeScale};
+use spitfire_device::{PersistenceTracking, SsdBackendConfig, TimeScale};
 use spitfire_txn::{Database, DbConfig};
 use spitfire_wkld::{RunnerConfig, TpccConfig, YcsbConfig, YcsbMix};
 
@@ -95,6 +95,19 @@ pub fn runner(threads: usize) -> RunnerConfig {
     }
 }
 
+/// SSD backend selected by `SPITFIRE_SSD_FILE`: set (non-`"0"`) to back
+/// the SSD tier with a real file (`FileSsdDevice`, O_DIRECT where the
+/// filesystem supports it, unlinked temp file) instead of the in-memory
+/// emulation. Lets every experiment binary rerun against real storage
+/// for an emulated-vs-file delta without a separate build.
+pub fn ssd_backend_from_env() -> SsdBackendConfig {
+    if std::env::var("SPITFIRE_SSD_FILE").is_ok_and(|v| v != "0") {
+        SsdBackendConfig::File { path: None }
+    } else {
+        SsdBackendConfig::Emulated
+    }
+}
+
 /// Build a three-tier buffer manager with the given capacities in bytes.
 pub fn three_tier(dram: usize, nvm: usize, policy: MigrationPolicy) -> Arc<BufferManager> {
     let config = BufferManagerConfig::builder()
@@ -104,6 +117,7 @@ pub fn three_tier(dram: usize, nvm: usize, policy: MigrationPolicy) -> Arc<Buffe
         .policy(policy)
         .persistence(PersistenceTracking::Counters)
         .time_scale(TimeScale::REAL)
+        .ssd_backend(ssd_backend_from_env())
         .build()
         .expect("valid experiment config");
     let bm = Arc::new(BufferManager::new(config).expect("buffer manager"));
@@ -122,7 +136,8 @@ pub fn manager_with(
     let builder = BufferManagerConfig::builder()
         .page_size(PAGE)
         .persistence(PersistenceTracking::Counters)
-        .time_scale(TimeScale::REAL);
+        .time_scale(TimeScale::REAL)
+        .ssd_backend(ssd_backend_from_env());
     let config = f(builder).build().expect("valid experiment config");
     let bm = Arc::new(BufferManager::new(config).expect("buffer manager"));
     if spitfire_obs::enabled() {

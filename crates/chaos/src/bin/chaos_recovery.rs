@@ -19,13 +19,15 @@ use spitfire_chaos::{
 };
 
 const USAGE: &str = "usage: chaos_recovery [--seed N] [--schedule S] [--txns N] [--keys N] \
-     [--fault-probability P] [--matrix]
+     [--fault-probability P] [--file-ssd] [--matrix]
   --seed N               rng seed for ops and crash points (default 1)
-  --schedule S           every-K-fences | every-N-ops | at-op-N | mid-checkpoint-M | random | none
+  --schedule S           every-K-fences | every-N-ops | at-op-N | every-K-migrations |
+                         mid-checkpoint-M | torn-ssd-writes | random | none
   --txns N               transactions per run (default 200)
   --keys N               key-space size (default 16)
   --fault-probability P  background transient-fault rate, e.g. 0.01 (default 0)
-  --matrix               run the fixed CI grid (seeds 1..=8 x 5 schedules)";
+  --file-ssd             back the SSD tier with a real file (O_DIRECT when supported)
+  --matrix               run the fixed CI grid (seeds 1..=8 x 7 schedules)";
 
 /// Background-noise plan: transient errors on every device path plus
 /// occasional write-latency spikes. The rate is kept low enough that
@@ -72,13 +74,21 @@ fn print_verdict(seed: u64, schedule: &CrashSchedule, v: &Verdict) {
     }
 }
 
-fn run_one(seed: u64, schedule: CrashSchedule, txns: u64, keys: u64, p: f64) -> bool {
+fn run_one(
+    seed: u64,
+    schedule: CrashSchedule,
+    txns: u64,
+    keys: u64,
+    p: f64,
+    file_ssd: bool,
+) -> bool {
     let config = ChaosConfig {
         seed,
         schedule,
         txns,
         keys,
         plan: noise_plan(seed, p),
+        file_ssd,
         ..ChaosConfig::default()
     };
     let v = spitfire_chaos::run(&config);
@@ -92,6 +102,7 @@ fn main() -> ExitCode {
     let mut txns = 200u64;
     let mut keys = 16u64;
     let mut probability = 0.0f64;
+    let mut file_ssd = false;
     let mut matrix = false;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -111,7 +122,8 @@ fn main() -> ExitCode {
                 None => {
                     return usage_error(
                         "--schedule needs every-K-fences | every-N-ops | at-op-N | \
-                         mid-checkpoint-M | random | none",
+                         every-K-migrations | mid-checkpoint-M | torn-ssd-writes | \
+                         random | none",
                     )
                 }
             },
@@ -127,6 +139,7 @@ fn main() -> ExitCode {
                 Some(p) => probability = p,
                 None => return usage_error("--fault-probability needs a float"),
             },
+            "--file-ssd" => file_ssd = true,
             "--matrix" => matrix = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
@@ -142,21 +155,27 @@ fn main() -> ExitCode {
 
     if matrix {
         // The CI grid: fixed seeds x crash schedules, with background
-        // transient noise. Only recoverable faults are injected here —
-        // torn writes and dropped flushes are exercised by targeted
-        // detection tests instead, since a silently dropped fsync is
-        // genuine (and intentional) data loss.
+        // transient noise. Torn WAL writes and dropped flushes stay out
+        // of the grid (a silently dropped fsync is genuine, intentional
+        // data loss — targeted detection tests cover those); the
+        // torn-ssd-writes schedule is safe to include because it pairs
+        // every torn SSD page write with failing syncs, so the torn image
+        // can never be trusted. It always runs file-backed; --file-ssd
+        // flips the remaining schedules onto the real-file backend too.
         let schedules = [
             CrashSchedule::EveryKFences(2),
             CrashSchedule::EveryKFences(8),
             CrashSchedule::EveryNOps(37),
             CrashSchedule::RandomOps,
             CrashSchedule::MidCheckpoint(2),
+            CrashSchedule::EveryKMigrations(2),
+            CrashSchedule::TornSsdWrites,
         ];
         let mut failures = 0u32;
+        let total = 8 * schedules.len();
         for seed in 1..=8u64 {
             for schedule in schedules {
-                if !run_one(seed, schedule, txns, keys, 0.01) {
+                if !run_one(seed, schedule, txns, keys, 0.01, file_ssd) {
                     failures += 1;
                 }
             }
@@ -165,11 +184,12 @@ fn main() -> ExitCode {
             eprintln!("{failures} run(s) violated recovery invariants");
             return ExitCode::FAILURE;
         }
-        println!("matrix clean: 40/40 runs upheld every invariant");
+        let backend = if file_ssd { "file-backed" } else { "emulated" };
+        println!("matrix clean: {total}/{total} runs upheld every invariant ({backend} SSD)");
         return ExitCode::SUCCESS;
     }
 
-    if run_one(seed, schedule, txns, keys, probability) {
+    if run_one(seed, schedule, txns, keys, probability, file_ssd) {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE

@@ -9,8 +9,8 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use spitfire_core::{BufferManager, BufferManagerConfig, MigrationPolicy};
 use spitfire_device::{
-    FaultInjector, FaultKind, FaultOp, FaultPlan, FaultRule, FaultStats, PersistenceTracking,
-    TimeScale, Trigger,
+    DeviceKind, FaultInjector, FaultKind, FaultOp, FaultPlan, FaultRule, FaultStats,
+    PersistenceTracking, SsdBackendConfig, TimeScale, Trigger,
 };
 use spitfire_txn::{Database, DbConfig, SnapshotConfig, TxnError};
 use spitfire_wkld::{YcsbConfig, YcsbMix, YcsbOpStream};
@@ -35,17 +35,32 @@ pub enum CrashSchedule {
     /// the explorer crashes. Recovery must fall back to the last
     /// *installed* generation plus the (untruncated) WAL tail.
     MidCheckpoint(u64),
+    /// Crash whenever the buffer manager's migration counters (completed
+    /// paths plus shadow-commit aborts) have advanced by `k` since the
+    /// previous crash — the plug-pull lands right on the heels of
+    /// migration activity, the most adversarial points for the
+    /// shadow-copy protocol's commit/abort windows.
+    EveryKMigrations(u64),
+    /// Torn-write sabotage on the SSD tier (forces the real-file
+    /// `FileSsdDevice` backend): page writes tear at `MEDIA_BLOCK`
+    /// granularity while every SSD `sync` fails, so a torn image can land
+    /// on the device but can never be made durable — the buffer manager
+    /// must keep the upper-tier copy dirty and authoritative, and the
+    /// crash rollback discards the torn bytes. Crashes land at
+    /// seeded-random op counts like [`CrashSchedule::RandomOps`].
+    TornSsdWrites,
     /// Never crash mid-run (one final crash still happens at the end).
     None,
 }
 
 impl CrashSchedule {
     /// Parse a CLI spelling: `every-K-fences`, `every-N-ops`, `at-op-N`
-    /// (alias for `every-N-ops`), `mid-checkpoint-M`, `random`, or
-    /// `none`.
+    /// (alias for `every-N-ops`), `every-K-migrations`,
+    /// `mid-checkpoint-M`, `torn-ssd-writes`, `random`, or `none`.
     pub fn parse(s: &str) -> Option<CrashSchedule> {
         match s {
             "random" => return Some(CrashSchedule::RandomOps),
+            "torn-ssd-writes" => return Some(CrashSchedule::TornSsdWrites),
             "none" => return Some(CrashSchedule::None),
             _ => {}
         }
@@ -55,6 +70,9 @@ impl CrashSchedule {
             }
             if let Some(n) = rest.strip_suffix("-ops") {
                 return n.parse().ok().map(CrashSchedule::EveryNOps);
+            }
+            if let Some(k) = rest.strip_suffix("-migrations") {
+                return k.parse().ok().map(CrashSchedule::EveryKMigrations);
             }
         }
         if let Some(n) = s.strip_prefix("at-op-") {
@@ -73,6 +91,8 @@ impl CrashSchedule {
             CrashSchedule::EveryNOps(n) => format!("every-{n}-ops"),
             CrashSchedule::RandomOps => "random".to_string(),
             CrashSchedule::MidCheckpoint(m) => format!("mid-checkpoint-{m}"),
+            CrashSchedule::EveryKMigrations(k) => format!("every-{k}-migrations"),
+            CrashSchedule::TornSsdWrites => "torn-ssd-writes".to_string(),
             CrashSchedule::None => "none".to_string(),
         }
     }
@@ -99,6 +119,11 @@ pub struct ChaosConfig {
     /// the invariant then is that the checksum *detects* it, which
     /// `read_all_checked` reports rather than mis-replaying).
     pub expect_clean_log: bool,
+    /// Back the SSD tier with a real file ([`SsdBackendConfig::File`],
+    /// auto-removed temp file) instead of the in-memory emulation, so the
+    /// whole invariant suite runs against genuine block-device I/O.
+    /// [`CrashSchedule::TornSsdWrites`] forces this on.
+    pub file_ssd: bool,
 }
 
 impl Default for ChaosConfig {
@@ -111,6 +136,7 @@ impl Default for ChaosConfig {
             checkpoint_every: Some(64),
             plan: None,
             expect_clean_log: true,
+            file_ssd: false,
         }
     }
 }
@@ -142,7 +168,13 @@ pub struct Verdict {
     pub violations: Vec<String>,
 }
 
-fn database() -> Database {
+fn database(chaos: &ChaosConfig) -> Database {
+    let file_ssd = chaos.file_ssd || matches!(chaos.schedule, CrashSchedule::TornSsdWrites);
+    let ssd_backend = if file_ssd {
+        SsdBackendConfig::File { path: None }
+    } else {
+        SsdBackendConfig::Emulated
+    };
     let config = BufferManagerConfig::builder()
         .page_size(PAGE)
         .dram_capacity(16 * PAGE)
@@ -150,6 +182,7 @@ fn database() -> Database {
         .policy(MigrationPolicy::lazy())
         .persistence(PersistenceTracking::Full)
         .time_scale(TimeScale::ZERO)
+        .ssd_backend(ssd_backend)
         .build()
         .expect("static config");
     let db = Database::create(
@@ -254,11 +287,36 @@ fn crash_and_verify(
 /// (single-threaded; every random draw comes from seeded generators).
 pub fn run(config: &ChaosConfig) -> Verdict {
     let mut v = Verdict::default();
-    let db = database();
-    let injector = config
-        .plan
-        .clone()
-        .map(|plan| Arc::new(FaultInjector::new(plan)));
+    let db = database(config);
+    let plan = match config.schedule {
+        CrashSchedule::TornSsdWrites => {
+            // Tear SSD page writes (silently persisting only a
+            // MEDIA_BLOCK prefix) while failing every SSD sync. A torn
+            // image may sit on the device, but without a successful sync
+            // the buffer manager never marks the page clean, so the
+            // upper-tier copy stays dirty and authoritative and the
+            // crash rollback discards the torn bytes — committed data
+            // must survive purely from NVM + WAL + snapshots.
+            let base = config
+                .plan
+                .clone()
+                .unwrap_or_else(|| FaultPlan::new(config.seed));
+            Some(
+                base.rule(
+                    FaultRule::any(Trigger::Probability(0.25), FaultKind::TornWrite)
+                        .on_device(DeviceKind::Ssd)
+                        .on_op(FaultOp::Write),
+                )
+                .rule(
+                    FaultRule::any(Trigger::Always, FaultKind::Fatal)
+                        .on_device(DeviceKind::Ssd)
+                        .on_op(FaultOp::Sync),
+                ),
+            )
+        }
+        _ => config.plan.clone(),
+    };
+    let injector = plan.map(|plan| Arc::new(FaultInjector::new(plan)));
     db.set_fault_injector(injector.clone());
 
     // Background maintenance in deterministic (tick) mode: cycles run
@@ -283,13 +341,23 @@ pub fn run(config: &ChaosConfig) -> Verdict {
 
     let mut ops: u64 = 0;
     let fences = |db: &Database| db.wal().nvm_stats().snapshot().fences;
+    // Total migration activity: every completed path plus every shadow
+    // commit that aborted. Monotone across crash/recover cycles.
+    let migrations = |db: &Database| {
+        let m = db.buffer_manager().metrics();
+        m.migrations.iter().sum::<u64>() + m.migrations_aborted
+    };
     let mut next_fence_crash = match config.schedule {
         CrashSchedule::EveryKFences(k) => fences(&db) + k.max(1),
         _ => u64::MAX,
     };
     let mut next_op_crash = match config.schedule {
         CrashSchedule::EveryNOps(n) => n.max(1),
-        CrashSchedule::RandomOps => 1 + rng.gen::<u64>() % 64,
+        CrashSchedule::RandomOps | CrashSchedule::TornSsdWrites => 1 + rng.gen::<u64>() % 64,
+        _ => u64::MAX,
+    };
+    let mut next_mig_crash = match config.schedule {
+        CrashSchedule::EveryKMigrations(k) => migrations(&db) + k.max(1),
         _ => u64::MAX,
     };
 
@@ -415,7 +483,9 @@ pub fn run(config: &ChaosConfig) -> Verdict {
             // interrupted transaction becomes a recovery loser and its
             // writes must NOT survive — the resurrection check above
             // stays strict for them.
-            let crash_now = ops >= next_op_crash || fences(&db) >= next_fence_crash;
+            let crash_now = ops >= next_op_crash
+                || fences(&db) >= next_fence_crash
+                || migrations(&db) >= next_mig_crash;
             if crash_now {
                 match config.schedule {
                     CrashSchedule::EveryNOps(n) => {
@@ -424,7 +494,7 @@ pub fn run(config: &ChaosConfig) -> Verdict {
                             next_op_crash += n;
                         }
                     }
-                    CrashSchedule::RandomOps => {
+                    CrashSchedule::RandomOps | CrashSchedule::TornSsdWrites => {
                         next_op_crash = ops + 1 + rng.gen::<u64>() % 64;
                     }
                     CrashSchedule::EveryKFences(k) => {
@@ -432,6 +502,13 @@ pub fn run(config: &ChaosConfig) -> Verdict {
                         let now = fences(&db);
                         while next_fence_crash <= now {
                             next_fence_crash += k;
+                        }
+                    }
+                    CrashSchedule::EveryKMigrations(k) => {
+                        let k = k.max(1);
+                        let now = migrations(&db);
+                        while next_mig_crash <= now {
+                            next_mig_crash += k;
                         }
                     }
                     CrashSchedule::MidCheckpoint(_) | CrashSchedule::None => {}

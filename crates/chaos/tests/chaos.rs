@@ -58,6 +58,8 @@ fn every_schedule_survives_with_fault_noise() {
         CrashSchedule::EveryNOps(17),
         CrashSchedule::RandomOps,
         CrashSchedule::MidCheckpoint(1),
+        CrashSchedule::EveryKMigrations(2),
+        CrashSchedule::TornSsdWrites,
         CrashSchedule::None,
     ] {
         let v = spitfire_chaos::run(&ChaosConfig {
@@ -143,7 +145,9 @@ fn schedule_parsing_round_trips() {
         ("every-4-fences", CrashSchedule::EveryKFences(4)),
         ("every-37-ops", CrashSchedule::EveryNOps(37)),
         ("at-op-12", CrashSchedule::EveryNOps(12)),
+        ("every-2-migrations", CrashSchedule::EveryKMigrations(2)),
         ("mid-checkpoint-2", CrashSchedule::MidCheckpoint(2)),
+        ("torn-ssd-writes", CrashSchedule::TornSsdWrites),
         ("random", CrashSchedule::RandomOps),
         ("none", CrashSchedule::None),
     ] {

@@ -97,6 +97,14 @@ pub(crate) struct PageState {
     pub dram: Option<CopyState>,
     /// The NVM-resident copy, if any.
     pub nvm: Option<CopyState>,
+    /// A shadow-copy operation (migration or write-back) is in flight on
+    /// the DRAM copy. The slot stays `Resident` — readers keep pinning and
+    /// the fast path keeps serving — but at most one shadow operation may
+    /// claim a copy, and tier transitions must stand down until it
+    /// resolves.
+    pub shadow_dram: bool,
+    /// Same for the NVM copy.
+    pub shadow_nvm: bool,
 }
 
 impl PageState {

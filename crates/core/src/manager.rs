@@ -28,6 +28,16 @@
 //! layers compose: the word proves residency to readers, the mutex
 //! serializes writers, and a reader that loses the race simply restarts
 //! into the mutex path.
+//!
+//! With [`BufferManagerConfig::shadow_migrations`] (the default), DRAM↔NVM
+//! moves and eviction/checkpoint write-backs of full-frame copies use
+//! *shadow copies* instead of closing the pin word across the transfer:
+//! the bytes are copied to the destination while the source stays open and
+//! `Resident`, and the transition commits through
+//! [`spitfire_sync::PinWord::shadow_commit`] only if no write overlapped
+//! the copy window and every pin drained. Readers never stall behind a
+//! migration; a raced copy is simply discarded and the source stays
+//! authoritative. See DESIGN.md "Shadow-copy migrations".
 
 use spitfire_sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::cell::{Cell, RefCell};
@@ -38,7 +48,7 @@ use spitfire_device::{
 };
 use spitfire_obs::{self as obs, Op};
 use spitfire_sync::lock::RwLock;
-use spitfire_sync::{AdmissionQueue, ConcurrentMap, PinAttempt};
+use spitfire_sync::{AdmissionQueue, ConcurrentMap, PinAttempt, ShadowOutcome, ShadowToken};
 
 use crate::background::{CycleStats, MaintSignal, Maintenance};
 use crate::config::{BufferManagerConfig, Hierarchy};
@@ -77,6 +87,19 @@ static NEXT_MGR_ID: AtomicU64 = AtomicU64::new(1);
 /// sets are far smaller than this; collisions just fall back to the
 /// mapping table.
 const DESC_CACHE_SLOTS: usize = 64;
+
+/// Spin budget a shadow-copy commit spends draining optimistic pins
+/// (see [`spitfire_sync::PinWord::shadow_commit`]). Live readers hold a
+/// pin for a handful of loads, so a short budget drains them; a pin that
+/// outlasts it belongs to a descheduled thread or to a writer blocked on
+/// *our* descriptor mutex — spinning longer would deadlock on the latter,
+/// so the commit aborts and the migration retries later.
+const SHADOW_COMMIT_SPIN: u32 = 128;
+
+/// An NVM victim staged for batched SSD write-back: descriptor, source
+/// frame, shadow token (present when the copy was claimed non-blockingly),
+/// and the staged page image.
+type StagedWriteback = (Arc<SharedPageDesc>, FrameId, Option<ShadowToken>, Vec<u8>);
 
 /// One per-thread descriptor cache entry: valid for a single manager
 /// generation (`mgr`, `epoch`).
@@ -187,11 +210,13 @@ impl BufferManager {
         let mini = config
             .mini_pages
             .then(|| MiniSlabs::new(page, config.fine_grained.expect("validated")));
+        let ssd = SsdDevice::with_backend(page, scale, config.persistence, &config.ssd_backend)
+            .map_err(BufferError::Device)?;
         Ok(BufferManager {
             mapping: ConcurrentMap::new(),
             tier1,
             nvm,
-            ssd: SsdDevice::with_tracking(page, scale, config.persistence),
+            ssd,
             policy: PolicyCell::new(config.policy),
             admission,
             metrics,
@@ -633,7 +658,9 @@ impl BufferManager {
                         });
                     }
                     Some(_) => {
+                        let stall_t = obs::op_start();
                         desc.cond.wait(&mut st);
+                        obs::record_op(Op::ReaderStall, stall_t, pid.0, "dram");
                         continue;
                     }
                     None => {}
@@ -646,10 +673,14 @@ impl BufferManager {
                         let f = frame.frame();
                         let cur_pins = *pins;
                         let dirty0 = *dirty;
+                        // A shadow operation owns this copy's transitions:
+                        // serve in place rather than promote from under it.
+                        let shadowed = st.shadow_nvm;
                         // Consume the fast path's coin if it drew one;
                         // otherwise draw here (lazily). Never both — a
                         // double draw would square the probability.
                         let want_promote = self.tier1.is_some()
+                            && !shadowed
                             && match promote_hint.take() {
                                 Some(p) => p,
                                 None => match intent {
@@ -657,11 +688,45 @@ impl BufferManager {
                                     AccessIntent::Write => self.policy.flip_dw_with(|| self.draw()),
                                 },
                             };
-                        // Promotion needs exclusive access to the NVM copy;
-                        // if it is pinned, serve from NVM instead (§5.2's
-                        // drain, formulated as only starting when drained).
-                        // Optimistic pins count too: closing the word is
-                        // what proves there are none and stops new ones.
+                        // Non-blocking shadow promotion (the default): copy
+                        // NVM→DRAM while the NVM word stays open, so hit-path
+                        // readers never stall behind the move. Whole-page
+                        // copies only — the fine-grained path keeps the
+                        // blocking protocol (its granule I/O needs the mutex
+                        // anyway).
+                        if want_promote
+                            && cur_pins == 0
+                            && self.config.shadow_migrations
+                            && self.config.fine_grained.is_none()
+                        {
+                            if let Some(token) = desc.nvm_pin.shadow_begin() {
+                                st.shadow_nvm = true;
+                                drop(st);
+                                match self.promote_shadow(desc, f, token) {
+                                    Ok(Some(guard)) => {
+                                        obs::record_op(Op::FetchNvmHit, obs_t, pid.0, "dram");
+                                        return Ok(guard);
+                                    }
+                                    Ok(None) => {
+                                        // Aborted (raced a write, readers
+                                        // draining, or no DRAM frame): the
+                                        // NVM copy is untouched — serve it
+                                        // in place on the retry.
+                                        promote_hint = Some(false);
+                                        st = desc.state.lock();
+                                        continue;
+                                    }
+                                    Err(e) => return Err(e),
+                                }
+                            }
+                        }
+                        // Blocking promotion (shadow migrations disabled or
+                        // fine-grained). Promotion needs exclusive access to
+                        // the NVM copy; if it is pinned, serve from NVM
+                        // instead (§5.2's drain, formulated as only starting
+                        // when drained). Optimistic pins count too: closing
+                        // the word is what proves there are none and stops
+                        // new ones.
                         let drained = !want_promote || cur_pins > 0 || {
                             let fast_pins = desc.nvm_pin.close();
                             if fast_pins > 0 {
@@ -731,7 +796,9 @@ impl BufferManager {
                         }
                     }
                     Some(_) => {
+                        let stall_t = obs::op_start();
                         desc.cond.wait(&mut st);
+                        obs::record_op(Op::ReaderStall, stall_t, pid.0, "nvm");
                         continue;
                     }
                     None => {}
@@ -872,6 +939,113 @@ impl BufferManager {
             in_dram_slot: true,
             optimistic: false,
         })
+    }
+
+    /// Non-blocking shadow-copy promotion NVM → DRAM (path ⑥ without the
+    /// reader stall). On entry `st.shadow_nvm` is set and the NVM slot is
+    /// untouched — still `Resident` with its word open — so both the
+    /// optimistic fast path and the mutex slow path keep serving the NVM
+    /// copy throughout the copy window. The transition commits through
+    /// [`spitfire_sync::PinWord::shadow_commit`]: zero pins (mutex *and*
+    /// optimistic) plus an unchanged version prove no write overlapped the
+    /// window. Returns `Ok(None)` when the migration aborted — the NVM
+    /// copy stays authoritative and the caller serves it in place.
+    fn promote_shadow(
+        &self,
+        desc: &SharedPageDesc,
+        nvm_frame: FrameId,
+        token: ShadowToken,
+    ) -> Result<Option<PageGuard<'_>>> {
+        let mig_t = obs::op_start();
+        let page = self.config.page_size;
+        let dram_frame = match self.alloc_frame(true) {
+            Ok(f) => f,
+            Err(e) => {
+                let mut st = desc.state.lock();
+                st.shadow_nvm = false;
+                desc.cond.notify_all();
+                drop(st);
+                if matches!(e, BufferError::NoFrames { .. }) {
+                    self.metrics.record_migration_aborted();
+                    return Ok(None);
+                }
+                return Err(e);
+            }
+        };
+        // The copy window: the source stays open, so a racing writer may be
+        // mutating these bytes as we read them. The arena contract allows
+        // that (torn bytes, never memory unsafety) because the copy is
+        // validated before install — shadow_commit aborts if any write
+        // bumped the version, and the torn copy is discarded.
+        let copy_res = with_page_buf(page, |buf| -> Result<()> {
+            self.nvm_pool()
+                .read(nvm_frame, 0, buf, AccessPattern::Sequential)?;
+            self.tier1_pool()
+                .write(dram_frame, 0, buf, AccessPattern::Sequential)?;
+            Ok(())
+        });
+        if let Err(e) = copy_res {
+            let mut st = desc.state.lock();
+            st.shadow_nvm = false;
+            desc.cond.notify_all();
+            drop(st);
+            self.tier1_pool().free(dram_frame);
+            return Err(e);
+        }
+        self.tier1_pool().set_owner(dram_frame, desc.pid);
+        let mut st = desc.state.lock();
+        st.shadow_nvm = false;
+        // The shadow flag kept the slots stable (exclusions in eviction,
+        // flush, and fetch): NVM is still `Resident` and no DRAM copy
+        // appeared; only pins and the dirty flag may have moved. A
+        // mutex-held pin may be a writer whose bytes are not yet
+        // version-stamped, so commit demands zero of those too.
+        let mutex_pins = match &st.nvm {
+            Some(CopyState::Resident { pins, .. }) => *pins,
+            _ => u32::MAX,
+        };
+        let committed = mutex_pins == 0 && {
+            let stall_t = obs::op_start();
+            let outcome = desc.nvm_pin.shadow_commit(&token, SHADOW_COMMIT_SPIN);
+            obs::record_op(Op::MigrationStall, stall_t, desc.pid.0, "nvm");
+            match outcome {
+                ShadowOutcome::Committed => true,
+                ShadowOutcome::RacedWrite | ShadowOutcome::Draining => {
+                    // shadow_commit left the word closed: reopen it so the
+                    // fast path resumes on the (still authoritative) copy.
+                    Self::reopen_nvm_word(desc, &st);
+                    false
+                }
+            }
+        };
+        if !committed {
+            desc.cond.notify_all();
+            drop(st);
+            self.tier1_pool().free(dram_frame);
+            self.metrics.record_migration_aborted();
+            return Ok(None);
+        }
+        // Committed: the NVM word is closed with zero pins and the copied
+        // bytes are proven current. Install the DRAM copy; the NVM word
+        // stays closed (a DRAM copy shadows it — same as blocking
+        // promotion).
+        st.dram = Some(CopyState::Resident {
+            frame: FrameRef::Full(dram_frame),
+            pins: 1,
+            dirty: false,
+        });
+        desc.dram_pin.open(dram_frame.0);
+        desc.cond.notify_all();
+        drop(st);
+        self.metrics.record_migration(MigrationPath::NvmToDram);
+        obs::record_op(Op::MigNvmToDram, mig_t, desc.pid.0, "dram");
+        Ok(Some(PageGuard {
+            bm: self,
+            pid: desc.pid,
+            kind: GuardKind::FullDram(dram_frame),
+            in_dram_slot: true,
+            optimistic: false,
+        }))
     }
 
     /// Load a page from SSD into the chosen tier (paths ① / ④). The
@@ -1035,6 +1209,10 @@ impl BufferManager {
         let Some(mut st) = desc.state.try_lock() else {
             return false;
         };
+        if st.shadow_dram || st.shadow_nvm {
+            // A shadow operation owns this page's transitions right now.
+            return false;
+        }
         let Some(CopyState::Resident {
             frame,
             pins: 0,
@@ -1049,6 +1227,15 @@ impl BufferManager {
         let fref = frame.clone();
         let dirty = *dirty;
         let fine = !matches!(fref, FrameRef::Full(_));
+
+        // Dirty full-frame copies take the non-blocking shadow write-back:
+        // the device write runs while the copy stays `Resident` and its
+        // word open, so readers never stall behind it. Clean copies are
+        // discarded without I/O (nothing to shadow) and fine/mini copies
+        // keep the blocking path (granule write-back needs the mutex).
+        if self.config.shadow_migrations && dirty && !fine {
+            return self.evict_dram_shadow(desc, st, fref);
+        }
 
         // Stop optimistic pinners before committing to the eviction: a
         // non-zero fast count means readers are mid-access — re-open and
@@ -1127,6 +1314,181 @@ impl BufferManager {
         if !self.execute_dram_eviction(desc, fref, plan) {
             return false;
         }
+        self.metrics.record_dram_eviction();
+        obs::record_op(Op::EvictDram, evict_t, desc.pid.0, "dram");
+        true
+    }
+
+    /// Non-blocking shadow-copy eviction of a dirty full-frame DRAM copy:
+    /// the write-back I/O runs while the copy stays `Resident` and its pin
+    /// word open, so hit-path readers never stall behind the device write.
+    /// The slot transition commits only if no write overlapped the copy
+    /// window (version unchanged) and every pin — mutex and optimistic —
+    /// drained; otherwise the DRAM copy stays resident, dirty, and
+    /// authoritative, and the destination bytes (which may be torn) are
+    /// either re-marked dirty (merge) or left as an unsynced, superseded
+    /// SSD image. Takes the descriptor lock held by [`Self::try_evict_dram`].
+    fn evict_dram_shadow(
+        &self,
+        desc: &SharedPageDesc,
+        mut st: parking_lot::MutexGuard<'_, PageState>,
+        fref: FrameRef,
+    ) -> bool {
+        let Some(token) = desc.dram_pin.shadow_begin() else {
+            return false;
+        };
+        // Decide the plan under the lock — the same decision tree as the
+        // blocking path, minus the fine-grained arm. A pre-existing NVM
+        // copy is marked `Busy` for the duration (it is the merge target).
+        let merge_nf = match &st.nvm {
+            Some(CopyState::Resident {
+                frame: nf,
+                pins: 0,
+                dirty: nvm_dirty,
+            }) => {
+                let nvm_frame = nf.frame();
+                let d = *nvm_dirty;
+                st.nvm = Some(CopyState::Busy {
+                    frame: FrameRef::Full(nvm_frame),
+                    pins: 0,
+                    dirty: d,
+                });
+                Some(nvm_frame)
+            }
+            Some(_) => return false,
+            None => None,
+        };
+        let admit = merge_nf.is_none()
+            && self.nvm.is_some()
+            && if self.policy.uses_admission_queue() {
+                self.admission
+                    .as_ref()
+                    .expect("queue exists when NVM pool exists")
+                    .consider(desc.pid.0)
+            } else {
+                self.policy.flip_nw_with(|| self.draw())
+            };
+        st.shadow_dram = true;
+        drop(st);
+
+        let evict_t = obs::op_start();
+        let mig_t = obs::op_start();
+        let page = self.config.page_size;
+        // The copy window: racing writers may tear the bytes we read — the
+        // commit's version check discards such a copy.
+        let copy_down = |nf: FrameId, header: bool| -> Result<()> {
+            with_page_buf(page, |buf| -> Result<()> {
+                self.tier1_pool()
+                    .read(fref.frame(), 0, buf, AccessPattern::Sequential)?;
+                let pool = self.nvm_pool();
+                pool.write(nf, 0, buf, AccessPattern::Sequential)?;
+                pool.persist(nf, 0, page)?;
+                if header {
+                    pool.write_frame_header(nf, desc.pid)?;
+                }
+                Ok(())
+            })
+        };
+        // (io_ok, destination NVM frame, freshly admitted?, migration path)
+        let (io_ok, dest_nf, admitted, path) = match merge_nf {
+            Some(nf) => (
+                copy_down(nf, false).is_ok(),
+                Some(nf),
+                false,
+                MigrationPath::DramToNvm,
+            ),
+            None => {
+                let mut outcome = None;
+                if admit {
+                    if let Ok(nf) = self.alloc_frame(false) {
+                        if copy_down(nf, true).is_ok() {
+                            self.nvm_pool().set_owner(nf, desc.pid);
+                            outcome = Some((true, Some(nf), true, MigrationPath::DramToNvm));
+                        } else {
+                            // Give the claimed frame back (scrubbing any
+                            // partially-written header so recovery cannot
+                            // adopt it) and fall back to the SSD leg.
+                            let _ = self.nvm_pool().clear_frame_header(nf);
+                            self.nvm_pool().free(nf);
+                        }
+                    }
+                }
+                outcome.unwrap_or_else(|| {
+                    // Same as the blocking path: the eviction write is left
+                    // unsynced; durability barriers (checkpoint, NVM
+                    // write-back) sync before relying on SSD images.
+                    (
+                        self.write_dram_copy_to_ssd(desc, &fref).is_ok(),
+                        None,
+                        false,
+                        MigrationPath::DramToSsd,
+                    )
+                })
+            }
+        };
+
+        let mut st = desc.state.lock();
+        st.shadow_dram = false;
+        let mutex_pins = match &st.dram {
+            Some(CopyState::Resident { pins, .. }) => *pins,
+            _ => u32::MAX,
+        };
+        let committed = io_ok && mutex_pins == 0 && {
+            let stall_t = obs::op_start();
+            let outcome = desc.dram_pin.shadow_commit(&token, SHADOW_COMMIT_SPIN);
+            obs::record_op(Op::MigrationStall, stall_t, desc.pid.0, "dram");
+            matches!(outcome, ShadowOutcome::Committed)
+        };
+        if !committed {
+            // Abort: the DRAM copy stays Resident, dirty, authoritative.
+            // An attempted shadow_commit left the word closed — reopen it
+            // (open() is a no-op if we never got that far).
+            Self::reopen_dram_word(desc, &st);
+            if let Some(nf) = merge_nf {
+                // The merge may have landed torn bytes in the NVM copy:
+                // keep it dirty so it can never be discarded as clean.
+                st.nvm = Some(CopyState::Resident {
+                    frame: FrameRef::Full(nf),
+                    pins: 0,
+                    dirty: true,
+                });
+            }
+            desc.cond.notify_all();
+            drop(st);
+            if admitted {
+                // The freshly admitted frame was never linked into the
+                // descriptor; scrub its header and give it back.
+                let nf = dest_nf.expect("admitted implies a destination frame");
+                let _ = self.nvm_pool().clear_frame_header(nf);
+                self.nvm_pool().free(nf);
+            }
+            if io_ok {
+                self.metrics.record_migration_aborted();
+            }
+            return false;
+        }
+        // Committed: zero pins, version unchanged — the written-down bytes
+        // are proven current. Retire the DRAM copy.
+        st.dram = None;
+        if let Some(nf) = dest_nf {
+            st.nvm = Some(CopyState::Resident {
+                frame: FrameRef::Full(nf),
+                pins: 0,
+                dirty: true,
+            });
+        }
+        Self::reopen_nvm_word(desc, &st);
+        desc.cond.notify_all();
+        drop(st);
+        if let FrameRef::Full(f) = &fref {
+            self.tier1_pool().free(*f);
+        }
+        self.metrics.record_migration(path);
+        let (op, tier) = match path {
+            MigrationPath::DramToNvm => (Op::MigDramToNvm, "nvm"),
+            _ => (Op::MigDramToSsd, "ssd"),
+        };
+        obs::record_op(op, mig_t, desc.pid.0, tier);
         self.metrics.record_dram_eviction();
         obs::record_op(Op::EvictDram, evict_t, desc.pid.0, "dram");
         true
@@ -1334,12 +1696,27 @@ impl BufferManager {
     }
 
     /// Claim `victim`'s NVM copy for eviction or write-back: the copy must
-    /// be `Resident` with zero pins (mutex *and* optimistic), occupying
-    /// `victim`. On success the slot is `Busy`, the pin word closed, and
-    /// the copy's dirty flag is returned; `None` means back off and pick
-    /// another victim.
-    fn claim_nvm_victim(&self, desc: &SharedPageDesc, victim: FrameId) -> Option<bool> {
+    /// be `Resident` with zero mutex pins, occupying `victim`. `None`
+    /// means back off and pick another victim.
+    ///
+    /// Returns `(dirty, shadow_token)`. With shadow migrations enabled, a
+    /// *dirty* copy whose word is open is claimed non-blocking: the slot
+    /// stays `Resident`, `st.shadow_nvm` is set, and the token later
+    /// commits the transition via [`Self::commit_nvm_shadow`] once the
+    /// SSD image is durable — readers never stall behind the device
+    /// write + sync. Clean copies (no I/O ahead of the retirement) and
+    /// copies whose word is already closed (a DRAM copy shadows them, so
+    /// readers use DRAM and a blocking claim stalls nobody) take the
+    /// legacy claim: slot `Busy`, word closed, token `None`.
+    fn claim_nvm_victim(
+        &self,
+        desc: &SharedPageDesc,
+        victim: FrameId,
+    ) -> Option<(bool, Option<ShadowToken>)> {
         let mut st = desc.state.try_lock()?;
+        if st.shadow_nvm || st.shadow_dram {
+            return None;
+        }
         let Some(CopyState::Resident {
             frame,
             pins: 0,
@@ -1352,6 +1729,12 @@ impl BufferManager {
             return None;
         }
         let dirty = *dirty;
+        if dirty && self.config.shadow_migrations {
+            if let Some(token) = desc.nvm_pin.shadow_begin() {
+                st.shadow_nvm = true;
+                return Some((dirty, Some(token)));
+            }
+        }
         // Stop optimistic pinners; back off if any are mid-access. (The
         // word is already closed whenever a DRAM copy shadows this one.)
         let fast_pins = desc.nvm_pin.close();
@@ -1364,7 +1747,81 @@ impl BufferManager {
             pins: 0,
             dirty,
         });
-        Some(dirty)
+        Some((dirty, None))
+    }
+
+    /// Commit a shadow-claimed NVM write-back after its SSD image is
+    /// durable: the copy may be retired only if no write overlapped the
+    /// copy window (version unchanged) and every pin drained. On success
+    /// the slot is left `Busy` with the word closed — exclusively claimed,
+    /// so [`Self::finish_nvm_eviction`] can clear the frame header outside
+    /// the mutex. On abort the copy stays `Resident` and dirty: the synced
+    /// SSD image may be stale or torn, but the NVM bytes and frame header
+    /// remain authoritative for both runtime reads and crash recovery.
+    fn commit_nvm_shadow(
+        &self,
+        desc: &SharedPageDesc,
+        victim: FrameId,
+        token: &ShadowToken,
+    ) -> bool {
+        let mut st = desc.state.lock();
+        st.shadow_nvm = false;
+        let mutex_pins = match &st.nvm {
+            Some(CopyState::Resident { pins, .. }) => *pins,
+            _ => u32::MAX,
+        };
+        if mutex_pins != 0 {
+            self.metrics.record_migration_aborted();
+            desc.cond.notify_all();
+            return false;
+        }
+        let stall_t = obs::op_start();
+        let outcome = desc.nvm_pin.shadow_commit(token, SHADOW_COMMIT_SPIN);
+        obs::record_op(Op::MigrationStall, stall_t, desc.pid.0, "nvm");
+        match outcome {
+            ShadowOutcome::Committed => {
+                st.nvm = Some(CopyState::Busy {
+                    frame: FrameRef::Full(victim),
+                    pins: 0,
+                    dirty: false,
+                });
+                desc.cond.notify_all();
+                true
+            }
+            ShadowOutcome::RacedWrite | ShadowOutcome::Draining => {
+                // shadow_commit left the word closed; the copy is still
+                // Resident (and still dirty) — reopen so readers resume.
+                Self::reopen_nvm_word(desc, &st);
+                self.metrics.record_migration_aborted();
+                desc.cond.notify_all();
+                false
+            }
+        }
+    }
+
+    /// Abort a shadow-claimed NVM write-back before commit (I/O failed):
+    /// the copy never left `Resident` and its word was never closed, so
+    /// only the claim flag needs clearing.
+    fn abort_nvm_shadow(&self, desc: &SharedPageDesc) {
+        let mut st = desc.state.lock();
+        st.shadow_nvm = false;
+        desc.cond.notify_all();
+    }
+
+    /// Release a write-back claim without retiring the copy: shadow claims
+    /// just clear the flag (the copy never left `Resident`; keep it
+    /// dirty), legacy claims restore `Resident` dirty and reopen the word.
+    fn unclaim_nvm_writeback(
+        &self,
+        desc: &SharedPageDesc,
+        victim: FrameId,
+        token: Option<&ShadowToken>,
+    ) {
+        if token.is_some() {
+            self.abort_nvm_shadow(desc);
+        } else {
+            self.restore_nvm_resident(desc, victim, true);
+        }
     }
 
     /// Restore a claimed NVM copy to `Resident` (after a failed or
@@ -1396,7 +1853,7 @@ impl BufferManager {
     /// Evict the NVM copy of `desc` if it occupies `victim` and is
     /// evictable (paths ⑤ / discard).
     fn try_evict_nvm(&self, desc: &SharedPageDesc, victim: FrameId) -> bool {
-        let Some(dirty) = self.claim_nvm_victim(desc, victim) else {
+        let Some((dirty, token)) = self.claim_nvm_victim(desc, victim) else {
             return false;
         };
         let evict_t = obs::op_start();
@@ -1406,7 +1863,10 @@ impl BufferManager {
             // The SSD image must be *synced* before the NVM frame header is
             // cleared: the header is what recovery uses to find this page in
             // NVM, so dropping it while the SSD copy is still in the volatile
-            // write cache would lose the page on a crash.
+            // write cache would lose the page on a crash. (Under a shadow
+            // claim the bytes may additionally be torn by a racing writer —
+            // the commit below discards the write-back in that case, and the
+            // retained header keeps the NVM copy authoritative.)
             let res = with_page_buf(page, |buf| -> Result<()> {
                 self.nvm_pool()
                     .read(victim, 0, buf, AccessPattern::Sequential)?;
@@ -1416,9 +1876,22 @@ impl BufferManager {
                 })?;
                 Ok(())
             });
-            if res.is_err() {
-                self.restore_nvm_resident(desc, victim, true);
-                return false;
+            match &token {
+                Some(token) => {
+                    if res.is_err() {
+                        self.abort_nvm_shadow(desc);
+                        return false;
+                    }
+                    if !self.commit_nvm_shadow(desc, victim, token) {
+                        return false;
+                    }
+                }
+                None => {
+                    if res.is_err() {
+                        self.restore_nvm_resident(desc, victim, true);
+                        return false;
+                    }
+                }
             }
             self.metrics.record_migration(MigrationPath::NvmToSsd);
             obs::record_op(Op::MigNvmToSsd, mig_t, desc.pid.0, "ssd");
@@ -1429,48 +1902,74 @@ impl BufferManager {
     }
 
     /// Evict a batch of *claimed dirty* NVM copies with a single fsync:
-    /// every page is written to SSD (retrying transients per page), then
-    /// one sync barrier makes the whole batch durable, and only then are
-    /// the frame headers cleared — the same sync-before-header-clear
-    /// ordering as [`Self::try_evict_nvm`], amortized over the batch.
-    /// Pages whose write fails are restored `Resident` dirty; a failed
-    /// sync restores the whole batch (headers untouched, nothing lost).
+    /// the page images are staged and submitted as one sorted multi-page
+    /// write ([`SsdDevice::write_pages`] — coalesced into few large
+    /// direct-I/O submissions on the file backend), then one sync barrier
+    /// makes the whole batch durable, and only then are the frame headers
+    /// cleared — the same sync-before-header-clear ordering as
+    /// [`Self::try_evict_nvm`], amortized over the batch. A failed read,
+    /// write, or sync releases the claims with every copy still dirty
+    /// (nothing was retired, so the retry is idempotent). Shadow-claimed
+    /// entries (token present) additionally commit per page: a copy whose
+    /// version moved or whose readers did not drain stays resident dirty.
     /// Returns the number of frames freed.
-    fn evict_nvm_batch(&self, batch: Vec<(Arc<SharedPageDesc>, FrameId)>) -> usize {
+    fn evict_nvm_batch(
+        &self,
+        batch: Vec<(Arc<SharedPageDesc>, FrameId, Option<ShadowToken>)>,
+    ) -> usize {
         let page = self.config.page_size;
-        let mut written: Vec<(Arc<SharedPageDesc>, FrameId)> = Vec::with_capacity(batch.len());
-        for (desc, victim) in batch {
-            let res = with_page_buf(page, |buf| -> Result<()> {
-                self.nvm_pool()
-                    .read(victim, 0, buf, AccessPattern::Sequential)?;
-                retry_device_io_n(
-                    &self.metrics,
-                    "nvm batch write-back",
-                    MAINT_RETRY_LIMIT,
-                    || self.ssd.write_page(desc.pid.0, buf),
-                )?;
-                Ok(())
-            });
-            match res {
-                Ok(()) => written.push((desc, victim)),
-                Err(_) => self.restore_nvm_resident(&desc, victim, true),
+        // Stage every image in memory so the device sees one submission
+        // (maintenance batches are small — default 4 pages).
+        let mut staged: Vec<StagedWriteback> = Vec::with_capacity(batch.len());
+        for (desc, victim, token) in batch {
+            let mut buf = vec![0u8; page];
+            match self
+                .nvm_pool()
+                .read(victim, 0, &mut buf, AccessPattern::Sequential)
+            {
+                Ok(()) => staged.push((desc, victim, token, buf)),
+                Err(_) => self.unclaim_nvm_writeback(&desc, victim, token.as_ref()),
             }
         }
-        if written.is_empty() {
+        if staged.is_empty() {
             return 0;
         }
-        if retry_device_io(&self.metrics, "nvm batch sync", || self.ssd.sync()).is_err() {
-            for (desc, victim) in written {
-                self.restore_nvm_resident(&desc, victim, true);
+        let mut submission: Vec<(u64, &[u8])> = staged
+            .iter()
+            .map(|(desc, _, _, buf)| (desc.pid.0, buf.as_slice()))
+            .collect();
+        let write_res = retry_device_io_n(
+            &self.metrics,
+            "nvm batch write-back",
+            MAINT_RETRY_LIMIT,
+            || self.ssd.write_pages(&mut submission).map(|_| ()),
+        );
+        let synced = write_res.is_ok()
+            && retry_device_io(&self.metrics, "nvm batch sync", || self.ssd.sync()).is_ok();
+        drop(submission);
+        if !synced {
+            // Nothing was retired and nothing synced: the copies stay
+            // authoritative and a later cycle retries the whole batch.
+            for (desc, victim, token, _) in staged {
+                self.unclaim_nvm_writeback(&desc, victim, token.as_ref());
             }
             return 0;
         }
-        let n = written.len();
-        for (desc, victim) in written {
-            self.metrics.record_migration(MigrationPath::NvmToSsd);
-            self.finish_nvm_eviction(&desc, victim);
+        let mut n = 0usize;
+        for (desc, victim, token, _) in staged {
+            let retired = match &token {
+                Some(token) => self.commit_nvm_shadow(&desc, victim, token),
+                None => true,
+            };
+            if retired {
+                self.metrics.record_migration(MigrationPath::NvmToSsd);
+                self.finish_nvm_eviction(&desc, victim);
+                n += 1;
+            }
         }
-        self.metrics.record_maint_writebacks(n as u64);
+        if n > 0 {
+            self.metrics.record_maint_writebacks(n as u64);
+        }
         n
     }
 
@@ -1487,7 +1986,7 @@ impl BufferManager {
         }
         let mut pids = Vec::new();
         self.mapping.for_each(|pid, _| pids.push(*pid));
-        let mut claimed: Vec<(Arc<SharedPageDesc>, FrameId)> = Vec::new();
+        let mut claimed: Vec<(Arc<SharedPageDesc>, FrameId, Option<ShadowToken>)> = Vec::new();
         for pid in pids {
             if claimed.len() >= max {
                 break;
@@ -1498,6 +1997,9 @@ impl BufferManager {
             let Some(mut st) = desc.state.try_lock() else {
                 continue;
             };
+            if st.shadow_nvm || st.shadow_dram {
+                continue;
+            }
             // A dirty or transitioning DRAM copy shadows the NVM bytes.
             if matches!(
                 &st.dram,
@@ -1518,6 +2020,19 @@ impl BufferManager {
                 continue;
             };
             let victim = frame.frame();
+            if self.config.shadow_migrations {
+                if let Some(token) = desc.nvm_pin.shadow_begin() {
+                    // Non-blocking claim: the copy stays Resident with its
+                    // word open, so readers keep hitting it for the whole
+                    // batch write + sync.
+                    st.shadow_nvm = true;
+                    drop(st);
+                    claimed.push((desc, victim, Some(token)));
+                    continue;
+                }
+                // Word already closed: a clean DRAM copy shadows this one
+                // (readers use DRAM), so the blocking claim stalls nobody.
+            }
             let fast_pins = desc.nvm_pin.close();
             if fast_pins > 0 {
                 Self::reopen_nvm_word(&desc, &st);
@@ -1529,45 +2044,63 @@ impl BufferManager {
                 dirty: true,
             });
             drop(st);
-            claimed.push((desc, victim));
+            claimed.push((desc, victim, None));
         }
         if claimed.is_empty() {
             return Ok(0);
         }
         let page = self.config.page_size;
-        let mut written: Vec<(Arc<SharedPageDesc>, FrameId)> = Vec::with_capacity(claimed.len());
+        // Stage the images and submit them as one sorted multi-page write
+        // ([`SsdDevice::write_pages`] — coalesced into few large direct-I/O
+        // submissions on the file backend); one sync then covers the batch.
+        let mut staged: Vec<StagedWriteback> = Vec::with_capacity(claimed.len());
         let mut first_err: Option<BufferError> = None;
-        for (desc, victim) in claimed {
-            let res = with_page_buf(page, |buf| -> Result<()> {
-                self.nvm_pool()
-                    .read(victim, 0, buf, AccessPattern::Sequential)?;
-                retry_device_io(&self.metrics, "nvm flush write", || {
-                    self.ssd.write_page(desc.pid.0, buf)
-                })?;
-                Ok(())
-            });
-            match res {
-                Ok(()) => written.push((desc, victim)),
+        for (desc, victim, token) in claimed {
+            let mut buf = vec![0u8; page];
+            match self
+                .nvm_pool()
+                .read(victim, 0, &mut buf, AccessPattern::Sequential)
+            {
+                Ok(()) => staged.push((desc, victim, token, buf)),
                 Err(e) => {
-                    self.restore_nvm_resident(&desc, victim, true);
+                    self.unclaim_nvm_writeback(&desc, victim, token.as_ref());
                     first_err.get_or_insert(e);
                 }
             }
         }
-        if written.is_empty() {
+        if staged.is_empty() {
             return match first_err {
                 Some(e) => Err(e),
                 None => Ok(0),
             };
         }
+        let mut submission: Vec<(u64, &[u8])> = staged
+            .iter()
+            .map(|(desc, _, _, buf)| (desc.pid.0, buf.as_slice()))
+            .collect();
         // One sync covers the batch; a page is only marked clean once its
         // SSD image is durable (otherwise eviction could discard it while
         // the image sits in the volatile write cache).
-        match retry_device_io(&self.metrics, "nvm flush sync", || self.ssd.sync()) {
+        let res = retry_device_io(&self.metrics, "nvm flush write", || {
+            self.ssd.write_pages(&mut submission).map(|_| ())
+        })
+        .and_then(|()| retry_device_io(&self.metrics, "nvm flush sync", || self.ssd.sync()));
+        drop(submission);
+        match res {
             Ok(()) => {
-                let n = written.len();
-                for (desc, victim) in written {
-                    self.restore_nvm_resident(&desc, victim, false);
+                let mut n = 0usize;
+                for (desc, victim, token) in staged.into_iter().map(|(d, v, t, _)| (d, v, t)) {
+                    match token {
+                        Some(token) => {
+                            if self.finish_nvm_flush_shadow(&desc, &token) {
+                                n += 1;
+                            }
+                        }
+                        None => {
+                            self.restore_nvm_resident(&desc, victim, false);
+                            n += 1;
+                        }
+                    }
                 }
                 self.metrics.record_maint_writebacks(n as u64);
                 match first_err {
@@ -1576,12 +2109,41 @@ impl BufferManager {
                 }
             }
             Err(e) => {
-                for (desc, victim) in written {
-                    self.restore_nvm_resident(&desc, victim, true);
+                for (desc, victim, token, _) in staged {
+                    self.unclaim_nvm_writeback(&desc, victim, token.as_ref());
                 }
                 Err(e)
             }
         }
+    }
+
+    /// Finish a shadow-claimed NVM flush after the batch sync: mark the
+    /// copy clean only if the synced image is provably the current bytes —
+    /// the version is unchanged since the copy began and no pin (mutex or
+    /// optimistic) is live (a pinned guard may be a writer whose bytes
+    /// landed in the copy window but whose version bump has not happened
+    /// yet). A copy that raced a write stays dirty — its synced SSD image
+    /// may be stale or torn — and a later flush retries it. The word was
+    /// never closed, so readers never stalled. Returns whether the copy
+    /// went clean.
+    fn finish_nvm_flush_shadow(&self, desc: &SharedPageDesc, token: &ShadowToken) -> bool {
+        let mut st = desc.state.lock();
+        st.shadow_nvm = false;
+        let mutex_pins = match &st.nvm {
+            Some(CopyState::Resident { pins, .. }) => *pins,
+            _ => u32::MAX,
+        };
+        let clean =
+            mutex_pins == 0 && desc.nvm_pin.pins() == 0 && desc.nvm_pin.shadow_still_clean(token);
+        if clean {
+            if let Some(CopyState::Resident { dirty, .. }) = &mut st.nvm {
+                *dirty = false;
+            }
+        } else {
+            self.metrics.record_migration_aborted();
+        }
+        desc.cond.notify_all();
+        clean
     }
 
     /// Create a [`Maintenance`] service handle for this manager (requires
@@ -1731,7 +2293,8 @@ impl BufferManager {
                 break;
             }
             let freed_before = freed;
-            let mut dirty_batch: Vec<(Arc<SharedPageDesc>, FrameId)> = Vec::new();
+            let mut dirty_batch: Vec<(Arc<SharedPageDesc>, FrameId, Option<ShadowToken>)> =
+                Vec::new();
             while dirty_batch.len() < batch
                 && pool.free_frames() + dirty_batch.len() < target
                 && attempts < budget
@@ -1748,11 +2311,11 @@ impl BufferManager {
                 };
                 match self.claim_nvm_victim(&desc, victim) {
                     // Clean copy: durable on SSD already, drop it now.
-                    Some(false) => {
+                    Some((false, _)) => {
                         self.finish_nvm_eviction(&desc, victim);
                         freed += 1;
                     }
-                    Some(true) => dirty_batch.push((desc, victim)),
+                    Some((true, token)) => dirty_batch.push((desc, victim, token)),
                     None => {}
                 }
             }
@@ -1798,6 +2361,12 @@ impl BufferManager {
             {
                 *dirty = true;
             }
+            // Stamp the write end onto the pin word: a shadow copy taken
+            // during this write's window observes the bump and discards its
+            // (possibly torn) copy. Bumping while the guard's pin is still
+            // held is what makes the shadow commit's drain + version
+            // re-check airtight — see `PinWord::shadow_commit`.
+            desc.pin_word(in_dram_slot).bump_version();
         }
         self.note_dirty_epoch(&desc);
     }
@@ -1981,6 +2550,7 @@ impl BufferManager {
         report.add_counter("maint_cycles", m.maint_cycles);
         report.add_counter("maint_evictions", m.maint_evictions);
         report.add_counter("maint_writebacks", m.maint_writebacks);
+        report.add_counter("migrations_aborted", m.migrations_aborted);
         for path in MigrationPath::ALL {
             let label = path.label().replace("->", "_to_");
             report.add_counter(format!("migrations_{label}"), m.path(path));
@@ -2033,6 +2603,11 @@ impl BufferManager {
             return Ok(false);
         };
         let mut st = desc.state.lock();
+        if st.shadow_dram || st.shadow_nvm {
+            // A shadow operation owns this page's transitions right now;
+            // the checkpointer will come back.
+            return Ok(false);
+        }
         let Some(CopyState::Resident {
             frame,
             pins: 0,
@@ -2060,6 +2635,9 @@ impl BufferManager {
             Some(_) => return Ok(false), // NVM copy pinned or in transition
             None => None,
         };
+        if self.config.shadow_migrations {
+            return self.flush_page_shadow(&desc, st, fref, nvm_target);
+        }
         // Stop optimistic pinners on the DRAM copy; skip this flush if
         // readers are mid-access (the checkpointer will come back).
         let fast_pins = desc.dram_pin.close();
@@ -2128,6 +2706,92 @@ impl BufferManager {
             }
         }
         Ok(true)
+    }
+
+    /// Non-blocking checkpoint flush: write the dirty DRAM copy down
+    /// without ever closing its pin word, so hit-path readers never stall
+    /// behind the checkpointer's device write + sync. The copy is marked
+    /// clean only if the flushed image is provably untorn — no pin (mutex
+    /// or optimistic) outstanding and no version bump since the copy began.
+    /// Otherwise the page stays dirty and the caller gets `Ok(false)`: the
+    /// checkpointer must treat a raced flush as *not flushed*, because the
+    /// synced SSD image may be torn or stale and must not let the WAL
+    /// truncate past this page. Takes the descriptor lock held by
+    /// [`Self::flush_page`].
+    fn flush_page_shadow(
+        &self,
+        desc: &SharedPageDesc,
+        mut st: parking_lot::MutexGuard<'_, PageState>,
+        fref: FrameRef,
+        nvm_target: Option<FrameId>,
+    ) -> Result<bool> {
+        let Some(token) = desc.dram_pin.shadow_begin() else {
+            return Ok(false);
+        };
+        st.shadow_dram = true;
+        if let Some(nf) = nvm_target {
+            // The reconcile target is exclusively ours for the duration.
+            st.nvm = Some(CopyState::Busy {
+                frame: FrameRef::Full(nf),
+                pins: 0,
+                dirty: true,
+            });
+        }
+        drop(st);
+        let page = self.config.page_size;
+        let res = match nvm_target {
+            Some(nf) => with_page_buf(page, |buf| -> Result<()> {
+                self.tier1_pool()
+                    .read(fref.frame(), 0, buf, AccessPattern::Sequential)?;
+                let pool = self.nvm_pool();
+                pool.write(nf, 0, buf, AccessPattern::Sequential)?;
+                pool.persist(nf, 0, page)?;
+                Ok(())
+            }),
+            // A flush is a durability point (checkpoints and catalog writes
+            // rely on it), so it must survive a crash: sync.
+            None => self
+                .write_dram_copy_to_ssd(desc, &fref)
+                .and_then(|()| retry_device_io(&self.metrics, "flush sync", || self.ssd.sync())),
+        };
+        let mut st = desc.state.lock();
+        st.shadow_dram = false;
+        if let Some(nf) = nvm_target {
+            // Dirty regardless of outcome: the NVM copy now holds either
+            // the reconciled bytes (which supersede its old content) or a
+            // torn/partial merge — in both cases it must be written down
+            // before being discarded.
+            st.nvm = Some(CopyState::Resident {
+                frame: FrameRef::Full(nf),
+                pins: 0,
+                dirty: true,
+            });
+        }
+        // Mark clean only if the flushed image is provably the current
+        // bytes: version unchanged since the copy began AND no pin live. A
+        // pinned guard may be a writer whose bytes landed in the copy
+        // window but whose version bump has not happened yet; the pin
+        // checks close that window (a guard write bumps before its unpin).
+        let mutex_pins = match &st.dram {
+            Some(CopyState::Resident { pins, .. }) => *pins,
+            _ => u32::MAX,
+        };
+        let clean = res.is_ok()
+            && mutex_pins == 0
+            && desc.dram_pin.pins() == 0
+            && desc.dram_pin.shadow_still_clean(&token);
+        if clean {
+            if let Some(CopyState::Resident { dirty, .. }) = &mut st.dram {
+                *dirty = false;
+            }
+        }
+        desc.cond.notify_all();
+        drop(st);
+        if res.is_ok() && !clean {
+            self.metrics.record_migration_aborted();
+        }
+        res?;
+        Ok(clean)
     }
 
     /// Flush every dirty, unpinned DRAM page to SSD. Returns the number of
@@ -2284,6 +2948,8 @@ impl BufferManager {
         }
         self.mapping.for_each(|pid, desc| {
             let st = desc.state.lock();
+            assert!(!st.shadow_dram, "page {pid}: dram shadow op in flight");
+            assert!(!st.shadow_nvm, "page {pid}: nvm shadow op in flight");
             assert_eq!(mutex_pins(&st.dram), 0, "page {pid}: dram mutex pins");
             assert_eq!(mutex_pins(&st.nvm), 0, "page {pid}: nvm mutex pins");
             assert_eq!(desc.dram_pin.pins(), 0, "page {pid}: dram fast pins");

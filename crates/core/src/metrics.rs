@@ -47,6 +47,10 @@ pub struct BufferMetrics {
     maint_evictions: AtomicU64,
     /// Dirty pages written back by maintenance in batches.
     maint_writebacks: AtomicU64,
+    /// Shadow-copy migrations aborted at commit because a concurrent write
+    /// (or an undrained reader) invalidated the copy; the source copy
+    /// stayed authoritative and the operation was retried or degraded.
+    migrations_aborted: AtomicU64,
 }
 
 fn path_index(path: MigrationPath) -> usize {
@@ -165,6 +169,11 @@ impl BufferMetrics {
         bump_n(&self.maint_writebacks, n);
     }
 
+    /// Record a shadow-copy migration aborted at commit.
+    pub fn record_migration_aborted(&self) {
+        bump_n(&self.migrations_aborted, 1);
+    }
+
     /// Current backpressure-fallback count (single relaxed load; the
     /// admission-control pressure probe reads this on every decision).
     pub fn backpressure_fallbacks(&self) -> u64 {
@@ -195,6 +204,7 @@ impl BufferMetrics {
             maint_cycles: get(&self.maint_cycles),
             maint_evictions: get(&self.maint_evictions),
             maint_writebacks: get(&self.maint_writebacks),
+            migrations_aborted: get(&self.migrations_aborted),
         }
     }
 
@@ -218,6 +228,7 @@ impl BufferMetrics {
         zero(&self.maint_cycles);
         zero(&self.maint_evictions);
         zero(&self.maint_writebacks);
+        zero(&self.migrations_aborted);
     }
 }
 
@@ -257,6 +268,9 @@ pub struct MetricsSnapshot {
     pub maint_evictions: u64,
     /// Dirty pages written back by maintenance batches.
     pub maint_writebacks: u64,
+    /// Shadow-copy migrations aborted at commit (copy raced a write or
+    /// readers failed to drain within the spin budget).
+    pub migrations_aborted: u64,
 }
 
 impl MetricsSnapshot {
@@ -302,6 +316,7 @@ impl MetricsSnapshot {
             maint_cycles: self.maint_cycles - earlier.maint_cycles,
             maint_evictions: self.maint_evictions - earlier.maint_evictions,
             maint_writebacks: self.maint_writebacks - earlier.maint_writebacks,
+            migrations_aborted: self.migrations_aborted - earlier.migrations_aborted,
         }
     }
 }

@@ -23,6 +23,16 @@ use crate::Result;
 /// latches (paper §5.2). Bounds are always checked; only range-disjointness
 /// is delegated to the caller. A violation is a logic bug in the caller and
 /// results in torn bytes, never memory unsafety outside the arena.
+///
+/// One *sanctioned* overlap exists: shadow-copy migrations deliberately
+/// read a page while writers may be mutating it (a validated-discard
+/// read). The copy is never used unless the page's pin-word version check
+/// proves no write overlapped the copy window; a torn copy is discarded.
+/// Such reads are still data races in the C++/Rust memory-model sense —
+/// ThreadSanitizer would flag them — but they cannot produce memory
+/// unsafety here, and staleness is excluded by the version protocol (see
+/// `spitfire_sync::PinWord::shadow_commit` and DESIGN.md "Shadow-copy
+/// migrations").
 pub(crate) struct Arena {
     data: UnsafeCell<Box<[u8]>>,
     capacity: usize,

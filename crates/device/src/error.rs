@@ -36,6 +36,13 @@ pub enum DeviceError {
         /// Label of the intercepted entry point.
         op: &'static str,
     },
+    /// A real operating-system I/O error from a file-backed device.
+    Io {
+        /// Label of the failing entry point (`"open"`, `"read"`, ...).
+        op: &'static str,
+        /// The OS error rendered as text.
+        message: String,
+    },
 }
 
 impl DeviceError {
@@ -79,6 +86,9 @@ impl fmt::Display for DeviceError {
             }
             DeviceError::InjectedFatal { op } => {
                 write!(f, "injected fatal I/O error during {op}")
+            }
+            DeviceError::Io { op, message } => {
+                write!(f, "I/O error during {op}: {message}")
             }
         }
     }

@@ -33,6 +33,7 @@ mod cost;
 mod dram;
 mod error;
 pub mod fault;
+mod file_ssd;
 mod memory_mode;
 mod nvm;
 mod profile;
@@ -45,10 +46,11 @@ pub use error::DeviceError;
 pub use fault::{
     FaultInjector, FaultKind, FaultOp, FaultPlan, FaultRule, FaultStats, Trigger, MEDIA_BLOCK,
 };
+pub use file_ssd::FileSsdDevice;
 pub use memory_mode::MemoryModeDevice;
 pub use nvm::{NvmDevice, PersistenceTracking};
 pub use profile::{DeviceKind, DeviceProfile};
-pub use ssd::SsdDevice;
+pub use ssd::{SsdBackendConfig, SsdDevice};
 pub use stats::{DeviceStats, StatsSnapshot};
 
 /// Result alias used throughout the device crate.

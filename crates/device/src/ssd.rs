@@ -1,6 +1,9 @@
-//! Emulated SSD: block-addressable page store with SSD-speed cost accounting.
+//! SSD page store: block-addressable page device with SSD-speed cost
+//! accounting, backed by either an emulated in-memory arena or a real
+//! file with direct I/O ([`crate::FileSsdDevice`]).
 
 use std::collections::{HashMap, HashSet};
+use std::path::PathBuf;
 use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
@@ -8,13 +11,31 @@ use parking_lot::{Mutex, RwLock};
 use crate::cost::{AccessPattern, CostModel, TimeScale};
 use crate::error::DeviceError;
 use crate::fault::{FaultInjector, FaultOp, Outcome};
+use crate::file_ssd::FileSsdDevice;
 use crate::nvm::PersistenceTracking;
 use crate::profile::{DeviceKind, DeviceProfile};
 use crate::stats::DeviceStats;
 use crate::Result;
 
-/// Number of lock shards for the page map; power of two.
+/// Number of lock shards for the emulated page map; power of two.
 const SHARDS: usize = 64;
+
+/// Which store implementation backs an [`SsdDevice`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub enum SsdBackendConfig {
+    /// The emulated in-memory arena with cost-model delays (the default;
+    /// deterministic, no filesystem dependency).
+    #[default]
+    Emulated,
+    /// A real file written through `pwrite`/`pread` with `O_DIRECT` when
+    /// the filesystem supports it. Emulated delays are disabled — the
+    /// device's own latency is the measurement. `path: None` uses a
+    /// unique temporary file removed when the device drops.
+    File {
+        /// Backing-file path; `None` for an auto-removed temp file.
+        path: Option<PathBuf>,
+    },
+}
 
 /// Durability bookkeeping mirroring an OS page cache: writes land in the
 /// volatile page map and only become crash-safe once [`SsdDevice::sync`]
@@ -26,22 +47,34 @@ struct SyncedImage {
     dirty: Mutex<HashSet<u64>>,
 }
 
-/// Emulated Optane SSD (P4800X): whole-page reads and writes only.
+/// The two store implementations behind the shared fault/cost/stats
+/// plumbing of [`SsdDevice`].
+enum Backend {
+    Mem {
+        shards: Vec<RwLock<HashMap<u64, Box<[u8]>>>>,
+        durability: Option<SyncedImage>,
+    },
+    File(FileSsdDevice),
+}
+
+/// SSD page store: whole-page reads and writes only.
 ///
 /// Unlike [`crate::NvmDevice`], the CPU cannot address individual bytes —
 /// every transfer moves an entire page, which is the defining property that
 /// makes a DRAM (or NVM) buffer mandatory for SSD-resident data (paper §1).
 ///
-/// The store is an unbounded sharded hash map from page id to page image;
-/// capacity accounting is the caller's concern (the database simply grows
-/// the SSD as pages are allocated, as in the paper's experiments where the
-/// SSD always holds the whole database).
+/// The default backend is an unbounded sharded hash map from page id to
+/// page image with emulated Optane-SSD (P4800X) timing; capacity
+/// accounting is the caller's concern (the database simply grows the SSD
+/// as pages are allocated, as in the paper's experiments where the SSD
+/// always holds the whole database). [`SsdDevice::with_backend`] selects
+/// a real backing file instead ([`SsdBackendConfig::File`]); fault
+/// injection, stats, and the durability model behave identically on both.
 pub struct SsdDevice {
-    shards: Vec<RwLock<HashMap<u64, Box<[u8]>>>>,
+    backend: Backend,
     page_size: usize,
     cost: CostModel,
     stats: Arc<DeviceStats>,
-    durability: Option<SyncedImage>,
     injector: RwLock<Option<Arc<FaultInjector>>>,
 }
 
@@ -66,23 +99,63 @@ impl SsdDevice {
     ) -> Self {
         let mut dev = Self::with_profile(page_size, DeviceProfile::optane_ssd(), scale);
         if tracking == PersistenceTracking::Full {
-            dev.durability = Some(SyncedImage {
-                synced: Mutex::new(HashMap::new()),
-                dirty: Mutex::new(HashSet::new()),
-            });
+            if let Backend::Mem { durability, .. } = &mut dev.backend {
+                *durability = Some(SyncedImage {
+                    synced: Mutex::new(HashMap::new()),
+                    dirty: Mutex::new(HashSet::new()),
+                });
+            }
         }
         dev
     }
 
-    /// An SSD with a custom profile.
+    /// An SSD with the chosen backend ([`SsdBackendConfig`]). The file
+    /// backend propagates open errors; the emulated backend is infallible.
+    pub fn with_backend(
+        page_size: usize,
+        scale: TimeScale,
+        tracking: PersistenceTracking,
+        backend: &SsdBackendConfig,
+    ) -> Result<Self> {
+        match backend {
+            SsdBackendConfig::Emulated => Ok(Self::with_tracking(page_size, scale, tracking)),
+            SsdBackendConfig::File { path } => {
+                let file = FileSsdDevice::new(
+                    page_size,
+                    path.clone(),
+                    tracking == PersistenceTracking::Full,
+                )?;
+                let mut dev = Self::with_profile(page_size, DeviceProfile::optane_ssd(), scale);
+                dev.backend = Backend::File(file);
+                Ok(dev)
+            }
+        }
+    }
+
+    /// An SSD with a custom profile (emulated backend).
     pub fn with_profile(page_size: usize, profile: DeviceProfile, scale: TimeScale) -> Self {
         SsdDevice {
-            shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+            backend: Backend::Mem {
+                shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+                durability: None,
+            },
             page_size,
             cost: CostModel::new(profile, scale),
             stats: Arc::new(DeviceStats::new()),
-            durability: None,
             injector: RwLock::new(None),
+        }
+    }
+
+    /// Whether this device is backed by a real file (no emulated delays).
+    pub fn is_file_backed(&self) -> bool {
+        matches!(self.backend, Backend::File(_))
+    }
+
+    /// The file backend, when active (diagnostics: path, direct-I/O flag).
+    pub fn file_backend(&self) -> Option<&FileSsdDevice> {
+        match &self.backend {
+            Backend::File(f) => Some(f),
+            Backend::Mem { .. } => None,
         }
     }
 
@@ -106,8 +179,12 @@ impl SsdDevice {
         }
     }
 
-    fn mark_dirty(&self, pid: u64) {
-        if let Some(d) = &self.durability {
+    fn mem_mark_dirty(&self, pid: u64) {
+        if let Backend::Mem {
+            durability: Some(d),
+            ..
+        } = &self.backend
+        {
             d.dirty.lock().insert(pid);
         }
     }
@@ -127,13 +204,17 @@ impl SsdDevice {
         self.cost.profile()
     }
 
-    /// Change the emulated-delay scale.
+    /// Change the emulated-delay scale (no effect on the file backend,
+    /// whose latency is the real device's).
     pub fn set_time_scale(&self, scale: TimeScale) {
         self.cost.set_scale(scale);
     }
 
     fn shard(&self, pid: u64) -> &RwLock<HashMap<u64, Box<[u8]>>> {
-        &self.shards[(pid as usize) & (SHARDS - 1)]
+        let Backend::Mem { shards, .. } = &self.backend else {
+            unreachable!("shard() is only called on the emulated backend");
+        };
+        &shards[(pid as usize) & (SHARDS - 1)]
     }
 
     /// Read page `pid` into `buf` (must be exactly one page long).
@@ -147,20 +228,29 @@ impl SsdDevice {
         if let Outcome::Fail(e) = self.fault(FaultOp::Read, pid, buf.len()) {
             return Err(e);
         }
-        {
-            let shard = self.shard(pid).read();
-            let page = shard.get(&pid).ok_or(DeviceError::PageNotFound(pid))?;
-            buf.copy_from_slice(page);
+        match &self.backend {
+            Backend::Mem { .. } => {
+                {
+                    let shard = self.shard(pid).read();
+                    let page = shard.get(&pid).ok_or(DeviceError::PageNotFound(pid))?;
+                    buf.copy_from_slice(page);
+                }
+                let eff = self.cost.charge_read(self.page_size, AccessPattern::Random);
+                self.stats.record_read(eff);
+            }
+            Backend::File(f) => {
+                f.read_page(pid, buf)?;
+                self.stats.record_read(self.page_size);
+            }
         }
-        let eff = self.cost.charge_read(self.page_size, AccessPattern::Random);
-        self.stats.record_read(eff);
         Ok(())
     }
 
-    /// Store `data[..keep]` as page `pid`. For a torn write (`keep` short of
-    /// a full page) an existing page keeps its old tail bytes and a fresh
-    /// page gets a zero tail — the page "exists" either way.
-    fn store(&self, pid: u64, data: &[u8], keep: usize) {
+    /// Store `data[..keep]` as page `pid` in the emulated arena. For a
+    /// torn write (`keep` short of a full page) an existing page keeps its
+    /// old tail bytes and a fresh page gets a zero tail — the page
+    /// "exists" either way.
+    fn mem_store(&self, pid: u64, data: &[u8], keep: usize) {
         let mut shard = self.shard(pid).write();
         match shard.get_mut(&pid) {
             Some(page) => page[..keep].copy_from_slice(&data[..keep]),
@@ -172,10 +262,7 @@ impl SsdDevice {
         }
     }
 
-    /// Write `data` (exactly one page) as page `pid`, creating it if absent.
-    ///
-    /// Volatile until [`SsdDevice::sync`] when durability tracking is on.
-    pub fn write_page(&self, pid: u64, data: &[u8]) -> Result<()> {
+    fn write_page_inner(&self, pid: u64, data: &[u8], pattern: AccessPattern) -> Result<()> {
         if data.len() != self.page_size {
             return Err(DeviceError::BadPageSize {
                 expected: self.page_size,
@@ -187,17 +274,31 @@ impl SsdDevice {
             Outcome::Truncate(keep) => keep,
             Outcome::Proceed | Outcome::Drop => data.len(),
         };
-        self.store(pid, data, keep);
-        self.mark_dirty(pid);
-        let eff = self
-            .cost
-            .charge_write(self.page_size, AccessPattern::Random);
-        self.stats.record_write(eff);
+        match &self.backend {
+            Backend::Mem { .. } => {
+                self.mem_store(pid, data, keep);
+                self.mem_mark_dirty(pid);
+                let eff = self.cost.charge_write(self.page_size, pattern);
+                self.stats.record_write(eff);
+            }
+            Backend::File(f) => {
+                f.write_page(pid, data, keep)?;
+                self.stats.record_write(self.page_size);
+            }
+        }
         Ok(())
     }
 
+    /// Write `data` (exactly one page) as page `pid`, creating it if absent.
+    ///
+    /// Volatile until [`SsdDevice::sync`] when durability tracking is on.
+    pub fn write_page(&self, pid: u64, data: &[u8]) -> Result<()> {
+        self.write_page_inner(pid, data, AccessPattern::Random)
+    }
+
     /// Append-style sequential write used by the log writer: identical to
-    /// [`SsdDevice::write_page`] but charged at sequential-write rates.
+    /// [`SsdDevice::write_page`] but charged at sequential-write rates
+    /// and always replacing the full page image.
     pub fn append_page(&self, pid: u64, data: &[u8]) -> Result<()> {
         if data.len() != self.page_size {
             return Err(DeviceError::BadPageSize {
@@ -210,69 +311,135 @@ impl SsdDevice {
             Outcome::Truncate(keep) => keep,
             Outcome::Proceed | Outcome::Drop => data.len(),
         };
-        {
-            let mut shard = self.shard(pid).write();
-            let mut page = vec![0u8; self.page_size].into_boxed_slice();
-            page[..keep].copy_from_slice(&data[..keep]);
-            shard.insert(pid, page);
+        match &self.backend {
+            Backend::Mem { .. } => {
+                {
+                    let mut shard = self.shard(pid).write();
+                    let mut page = vec![0u8; self.page_size].into_boxed_slice();
+                    page[..keep].copy_from_slice(&data[..keep]);
+                    shard.insert(pid, page);
+                }
+                self.mem_mark_dirty(pid);
+                let eff = self
+                    .cost
+                    .charge_write(self.page_size, AccessPattern::Sequential);
+                self.stats.record_write(eff);
+            }
+            Backend::File(f) => {
+                f.write_page(pid, data, keep)?;
+                self.stats.record_write(self.page_size);
+            }
         }
-        self.mark_dirty(pid);
-        let eff = self
-            .cost
-            .charge_write(self.page_size, AccessPattern::Sequential);
-        self.stats.record_write(eff);
         Ok(())
     }
 
-    /// Durability barrier (emulated fsync): make every write since the last
-    /// sync crash-safe. A no-op without durability tracking. A dropped-flush
+    /// Submit a batch of pages as one sorted multi-page write (the
+    /// maintenance/checkpoint write-back fast path): page ids are sorted,
+    /// contiguous runs are coalesced into single submissions on the file
+    /// backend, and the whole batch is charged at sequential-write rates.
+    /// The caller issues the single [`SsdDevice::sync`] that makes the
+    /// batch durable.
+    ///
+    /// When a fault injector is attached the batch degrades to per-page
+    /// writes so every page gets its own fault decision (torn writes,
+    /// per-page transients) exactly as if [`SsdDevice::write_page`] had
+    /// been called in a loop. Returns the number of device submissions.
+    pub fn write_pages(&self, pages: &mut Vec<(u64, &[u8])>) -> Result<usize> {
+        for (_, data) in pages.iter() {
+            if data.len() != self.page_size {
+                return Err(DeviceError::BadPageSize {
+                    expected: self.page_size,
+                    got: data.len(),
+                });
+            }
+        }
+        let faulted = self.injector.read().is_some();
+        if let (Backend::File(f), false) = (&self.backend, faulted) {
+            let n = f.write_pages(pages)?;
+            for _ in pages.iter() {
+                self.stats.record_write(self.page_size);
+            }
+            return Ok(n);
+        }
+        pages.sort_unstable_by_key(|(pid, _)| *pid);
+        for (pid, data) in pages.iter() {
+            self.write_page_inner(*pid, data, AccessPattern::Sequential)?;
+        }
+        Ok(pages.len())
+    }
+
+    /// Durability barrier (fsync): make every write since the last sync
+    /// crash-safe. A no-op for the emulated backend without durability
+    /// tracking; a real `fdatasync` on the file backend. A dropped-flush
     /// fault returns `Ok` while leaving the pages volatile.
     pub fn sync(&self) -> Result<()> {
-        let Some(d) = &self.durability else {
-            return Ok(());
-        };
         match self.fault(FaultOp::Sync, 0, 0) {
             Outcome::Fail(e) => return Err(e),
             Outcome::Drop => return Ok(()),
             Outcome::Proceed | Outcome::Truncate(_) => {}
         }
-        let dirty: Vec<u64> = d.dirty.lock().drain().collect();
-        let mut bytes = 0usize;
-        let mut synced = d.synced.lock();
-        for pid in dirty {
-            if let Some(page) = self.shard(pid).read().get(&pid) {
-                bytes += page.len();
-                synced.insert(pid, page.clone());
+        match &self.backend {
+            Backend::Mem { durability, .. } => {
+                let Some(d) = durability else {
+                    return Ok(());
+                };
+                let dirty: Vec<u64> = d.dirty.lock().drain().collect();
+                let mut bytes = 0usize;
+                let mut synced = d.synced.lock();
+                for pid in dirty {
+                    if let Some(page) = self.shard(pid).read().get(&pid) {
+                        bytes += page.len();
+                        synced.insert(pid, page.clone());
+                    }
+                }
+                self.stats.record_flush(bytes);
+                self.stats.record_fence();
+            }
+            Backend::File(f) => {
+                let bytes = f.sync()?;
+                self.stats.record_flush(bytes);
+                self.stats.record_fence();
             }
         }
-        self.stats.record_flush(bytes);
-        self.stats.record_fence();
         Ok(())
     }
 
-    /// Model power loss: roll the page map back to the last synced image,
-    /// discarding every un-synced write — the block-device analogue of
-    /// [`crate::NvmDevice::simulate_crash`]. A no-op without tracking.
+    /// Model power loss: roll the page store back to the last synced
+    /// image, discarding every un-synced write — the block-device analogue
+    /// of [`crate::NvmDevice::simulate_crash`]. A no-op without tracking.
     pub fn simulate_crash(&self) {
-        let Some(d) = &self.durability else { return };
-        d.dirty.lock().clear();
-        let synced = d.synced.lock();
-        for shard in &self.shards {
-            shard.write().clear();
-        }
-        for (pid, page) in synced.iter() {
-            self.shard(*pid).write().insert(*pid, page.clone());
+        match &self.backend {
+            Backend::Mem {
+                shards, durability, ..
+            } => {
+                let Some(d) = durability else { return };
+                d.dirty.lock().clear();
+                let synced = d.synced.lock();
+                for shard in shards {
+                    shard.write().clear();
+                }
+                for (pid, page) in synced.iter() {
+                    self.shard(*pid).write().insert(*pid, page.clone());
+                }
+            }
+            Backend::File(f) => f.simulate_crash(),
         }
     }
 
     /// Whether page `pid` exists on the device.
     pub fn contains(&self, pid: u64) -> bool {
-        self.shard(pid).read().contains_key(&pid)
+        match &self.backend {
+            Backend::Mem { .. } => self.shard(pid).read().contains_key(&pid),
+            Backend::File(f) => f.contains(pid),
+        }
     }
 
     /// Number of pages currently stored.
     pub fn page_count(&self) -> usize {
-        self.shards.iter().map(|s| s.read().len()).sum()
+        match &self.backend {
+            Backend::Mem { shards, .. } => shards.iter().map(|s| s.read().len()).sum(),
+            Backend::File(f) => f.page_count(),
+        }
     }
 
     /// Occupied capacity in bytes.
@@ -283,10 +450,13 @@ impl SsdDevice {
     /// Highest page id stored, if any (used by recovery to restore the
     /// page allocator).
     pub fn max_page_id(&self) -> Option<u64> {
-        self.shards
-            .iter()
-            .filter_map(|s| s.read().keys().max().copied())
-            .max()
+        match &self.backend {
+            Backend::Mem { shards, .. } => shards
+                .iter()
+                .filter_map(|s| s.read().keys().max().copied())
+                .max(),
+            Backend::File(f) => f.max_page_id(),
+        }
     }
 }
 
@@ -295,6 +465,7 @@ impl std::fmt::Debug for SsdDevice {
         f.debug_struct("SsdDevice")
             .field("page_size", &self.page_size)
             .field("pages", &self.page_count())
+            .field("file_backed", &self.is_file_backed())
             .finish_non_exhaustive()
     }
 }
@@ -305,6 +476,16 @@ mod tests {
 
     fn ssd() -> SsdDevice {
         SsdDevice::new(4096, TimeScale::ZERO)
+    }
+
+    fn file_ssd(tracking: PersistenceTracking) -> SsdDevice {
+        SsdDevice::with_backend(
+            4096,
+            TimeScale::ZERO,
+            tracking,
+            &SsdBackendConfig::File { path: None },
+        )
+        .expect("file-backed ssd")
     }
 
     #[test]
@@ -427,5 +608,52 @@ mod tests {
         // Clean sync flushes nothing new but still fences.
         d.sync().unwrap();
         assert_eq!(d.stats().snapshot().bytes_flushed, 8192);
+    }
+
+    #[test]
+    fn file_backend_round_trip_and_crash_model() {
+        let d = file_ssd(PersistenceTracking::Full);
+        assert!(d.is_file_backed());
+        d.write_page(1, &vec![1u8; 4096]).unwrap();
+        d.sync().unwrap();
+        d.write_page(1, &vec![9u8; 4096]).unwrap();
+        d.write_page(2, &vec![2u8; 4096]).unwrap();
+        d.simulate_crash();
+        let mut buf = vec![0u8; 4096];
+        d.read_page(1, &mut buf).unwrap();
+        assert_eq!(buf[0], 1, "file page rolled back to synced image");
+        assert!(!d.contains(2));
+        let s = d.stats().snapshot();
+        assert!(s.read_ops >= 1 && s.write_ops >= 3 && s.fences == 1);
+    }
+
+    #[test]
+    fn file_backend_batched_writes() {
+        let d = file_ssd(PersistenceTracking::Counters);
+        let pages: Vec<Vec<u8>> = (0..4u8).map(|i| vec![i + 1; 4096]).collect();
+        let mut batch: Vec<(u64, &[u8])> = vec![
+            (3, &pages[0]),
+            (1, &pages[1]),
+            (2, &pages[2]),
+            (9, &pages[3]),
+        ];
+        let submissions = d.write_pages(&mut batch).unwrap();
+        assert_eq!(submissions, 2, "1..=3 coalesce, 9 stands alone");
+        d.sync().unwrap();
+        let mut buf = vec![0u8; 4096];
+        d.read_page(2, &mut buf).unwrap();
+        assert_eq!(buf[0], 3);
+        assert_eq!(d.page_count(), 4);
+    }
+
+    #[test]
+    fn batched_writes_on_emulated_backend_match_per_page() {
+        let d = SsdDevice::with_tracking(4096, TimeScale::ZERO, PersistenceTracking::Full);
+        let a = vec![5u8; 4096];
+        let b = vec![6u8; 4096];
+        let mut batch: Vec<(u64, &[u8])> = vec![(7, &a), (8, &b)];
+        assert_eq!(d.write_pages(&mut batch).unwrap(), 2);
+        d.simulate_crash();
+        assert!(!d.contains(7), "batched writes are volatile until sync");
     }
 }

@@ -69,4 +69,8 @@ pub enum Mutation {
     /// write lock: two racing missers insert distinct values and observe
     /// different descriptors for the same page.
     MapUpgradeNoRecheck,
+    /// `PinWord::shadow_commit` skips the version re-check after closing
+    /// the word: a shadow copy that raced a writer commits anyway and the
+    /// write is lost when the stale copy is installed.
+    ShadowSkipVersionCheck,
 }

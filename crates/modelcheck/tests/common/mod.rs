@@ -14,7 +14,10 @@ use std::sync::Arc;
 
 use spitfire_modelcheck::cell::RaceCell;
 use spitfire_modelcheck::thread;
-use spitfire_sync::{AtomicBitmap, ConcurrentMap, PinAttempt, PinWord, StripedCounter};
+use spitfire_sync::atomic::{AtomicU64, Ordering};
+use spitfire_sync::{
+    AtomicBitmap, ConcurrentMap, PinAttempt, PinWord, ShadowOutcome, StripedCounter,
+};
 
 /// PinWord quiescence: a transition may only proceed after `close()`
 /// returns zero, and the last reader's page access must happen-before the
@@ -105,6 +108,109 @@ pub fn pin_eviction_frame_reuse() {
         word.open(2);
     } else {
         word.open(1);
+    }
+    reader.join();
+}
+
+/// Shadow-copy migration vs an optimistic writer: the migrator snapshots
+/// the page while the word stays open, then `shadow_commit` may install
+/// the snapshot only if no write overlapped the copy window. A writer
+/// publishes its write with `bump_version()` *before* unpinning, so a
+/// commit that observed zero pins has also observed every bump — a stale
+/// snapshot must never be installed (lost update).
+///
+/// Page content is an instrumented atomic rather than a [`RaceCell`]
+/// because the migrator's snapshot read *legitimately* races the writer's
+/// store: the protocol's job is to detect the race via the version and
+/// discard the snapshot, not to prevent the access. A vector-clock race
+/// on the bytes is therefore expected; staleness of a *committed* copy is
+/// the bug.
+///
+/// Kills `ShadowSkipVersionCheck`: without the version re-check after the
+/// drain, an interleaving where the writer stores + bumps + unpins during
+/// the copy window commits the pre-write snapshot.
+pub fn shadow_copy_no_lost_update() {
+    let word = Arc::new(PinWord::new());
+    let content = Arc::new(AtomicU64::new(10));
+    word.open(1);
+
+    let w = Arc::clone(&word);
+    let c = Arc::clone(&content);
+    let writer = thread::spawn(move || {
+        if let PinAttempt::Pinned(_) = w.try_pin() {
+            // relaxed: the write is published by bump_version's AcqRel RMW
+            // on the pin word, which the committer's zero-pin observation
+            // orders after; content itself needs no stronger ordering.
+            c.store(20, Ordering::Relaxed);
+            w.bump_version();
+            w.unpin();
+        }
+    });
+
+    let token = word.shadow_begin().expect("source word is open");
+    // The copy window: snapshot the page while readers/writers stay live.
+    // relaxed: staleness is detected via the version check, not via this
+    // load's ordering.
+    let snapshot = content.load(Ordering::Relaxed);
+    match word.shadow_commit(&token, 2) {
+        ShadowOutcome::Committed => {
+            // relaxed: writer (if any) is fully drained and version-checked.
+            assert_eq!(
+                snapshot,
+                content.load(Ordering::Relaxed),
+                "stale shadow copy committed: concurrent write lost"
+            );
+            // Retire the source mapping; reopen against the destination.
+            word.open(2);
+        }
+        ShadowOutcome::RacedWrite | ShadowOutcome::Draining => {
+            // Abort: discard the snapshot, the source stays authoritative.
+            word.open(1);
+        }
+    }
+    writer.join();
+}
+
+/// Shadow-copy retirement vs an optimistic reader: after `shadow_commit`
+/// returns `Committed` the old copy is quiescent — no optimistic pin is
+/// live and none can land — so retiring (scrubbing/reusing) the source
+/// frame must not race any reader's page access.
+///
+/// Kills `PinBlindPin` through the shadow path: a check-then-increment
+/// pin lands after `shadow_commit`'s internal `close()` claimed
+/// quiescence, so the retirement write races the late reader's read.
+pub fn shadow_retire_after_quiescence() {
+    let word = Arc::new(PinWord::new());
+    let src = Arc::new(RaceCell::new(11u64));
+    word.open(1);
+
+    let w = Arc::clone(&word);
+    let s = Arc::clone(&src);
+    let reader = thread::spawn(move || match w.try_pin() {
+        PinAttempt::Pinned(1) => {
+            // Optimistic read of the source copy: must be ordered before
+            // any retirement that observed a zero pin count.
+            let _ = s.get();
+            w.unpin();
+        }
+        PinAttempt::Pinned(2) => {
+            // Landed on the destination copy after the migration
+            // committed; the source is retired and must not be touched.
+            w.unpin();
+        }
+        PinAttempt::Pinned(other) => panic!("pinned unknown frame {other}"),
+        PinAttempt::Raced | PinAttempt::Closed => {}
+    });
+
+    let token = word.shadow_begin().expect("source word is open");
+    match word.shadow_commit(&token, 2) {
+        ShadowOutcome::Committed => {
+            // Quiescent and unchanged: retire the source copy. A live
+            // reader pin here would be a race on `src`.
+            src.set(999);
+            word.open(2);
+        }
+        ShadowOutcome::RacedWrite | ShadowOutcome::Draining => word.open(1),
     }
     reader.join();
 }

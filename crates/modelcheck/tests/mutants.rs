@@ -87,6 +87,32 @@ fn torn_counter_add_is_killed() {
 }
 
 #[test]
+fn shadow_skip_version_check_is_killed() {
+    // Without the post-drain version re-check, a writer that stores,
+    // bumps, and unpins inside the copy window goes unnoticed and the
+    // stale snapshot commits.
+    let failure = Checker::new()
+        .mutation(Mutation::ShadowSkipVersionCheck)
+        .check(common::shadow_copy_no_lost_update)
+        .assert_fail();
+    assert!(failure.message.contains("stale"), "{}", failure.message);
+}
+
+#[test]
+fn blind_pin_breaks_shadow_retirement_too() {
+    // Check-then-increment lets a reader's pin land after shadow_commit's
+    // internal close() claimed quiescence: the source-frame retirement
+    // races the reader's page access. (PinCloseRelaxed, by contrast, is
+    // NOT killed through this path: the post-drain version re-check's
+    // Acquire load recovers the unpin edge via the close RMW's release
+    // sequence — shadow_commit is redundantly safe against it.)
+    Checker::new()
+        .mutation(Mutation::PinBlindPin)
+        .check(common::shadow_retire_after_quiescence)
+        .assert_fail();
+}
+
+#[test]
 fn map_upgrade_without_recheck_is_killed() {
     let failure = Checker::new()
         .mutation(Mutation::MapUpgradeNoRecheck)

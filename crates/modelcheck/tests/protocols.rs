@@ -39,6 +39,22 @@ fn pinword_eviction_vs_fetch_fast_exhaustive() {
 }
 
 #[test]
+fn shadow_copy_no_lost_update_exhaustive() {
+    let report = Checker::new()
+        .check(common::shadow_copy_no_lost_update)
+        .assert_pass();
+    assert!(report.executions > 1, "scenario has no concurrency");
+}
+
+#[test]
+fn shadow_retire_after_quiescence_exhaustive() {
+    let report = Checker::new()
+        .check(common::shadow_retire_after_quiescence)
+        .assert_pass();
+    assert!(report.executions > 1, "scenario has no concurrency");
+}
+
+#[test]
 fn concurrent_map_read_lock_upgrade_exhaustive() {
     let report = Checker::new()
         .check(common::map_get_or_insert)

@@ -50,10 +50,17 @@ pub enum Op {
     PinRestart,
     /// One database checkpoint (legacy flush or snapshot generation).
     Checkpoint,
+    /// Time a shadow-copy migration commit spent draining optimistic
+    /// readers (the `shadow_commit` spin), successful or aborted.
+    MigrationStall,
+    /// Time a fetch spent blocked on the descriptor condvar waiting for a
+    /// copy in a transitional state — the reader-visible stall that
+    /// shadow-copy migrations are designed to eliminate.
+    ReaderStall,
 }
 
 /// Number of [`Op`] variants (size of the histogram registry).
-pub const OP_COUNT: usize = 19;
+pub const OP_COUNT: usize = 21;
 
 impl Op {
     /// All variants, in index order.
@@ -77,6 +84,8 @@ impl Op {
         Op::IoRetry,
         Op::PinRestart,
         Op::Checkpoint,
+        Op::MigrationStall,
+        Op::ReaderStall,
     ];
 
     /// Dense index of this variant.
@@ -107,6 +116,8 @@ impl Op {
             Op::IoRetry => "io_retry",
             Op::PinRestart => "pin_restart",
             Op::Checkpoint => "checkpoint",
+            Op::MigrationStall => "migration_stall",
+            Op::ReaderStall => "reader_stall",
         }
     }
 }

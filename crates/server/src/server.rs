@@ -318,6 +318,7 @@ impl Shared {
     /// Build the STATS reply payload (hand-rolled JSON, like `obs`).
     fn stats_json(&self) -> String {
         let p = self.bm.pressure();
+        let m = self.bm.metrics();
         let (commits, aborts) = self.db.txn_stats();
         // Snapshot/WAL health: generation 0 and zeroed checkpoint fields
         // mean no snapshot engine is attached (or none has completed).
@@ -338,6 +339,7 @@ impl Shared {
              \"nvm_free\": {}, \"nvm_low\": {}, \
              \"wal_bytes\": {}, \"snapshot_generation\": {}, \
              \"last_checkpoint_ms\": {}, \"last_checkpoint_pages\": {}, \
+             \"migrations_aborted\": {}, \
              \"tenants\": [",
             self.conns.lock().len(),
             // relaxed: stats-frame snapshot; all fields are advisory counters with no cross-field consistency claim.
@@ -355,6 +357,7 @@ impl Shared {
             snapshot_generation,
             last_checkpoint_ms,
             last_checkpoint_pages,
+            m.migrations_aborted,
         );
         for (i, t) in self.admission.tenants().iter().enumerate() {
             if i > 0 {

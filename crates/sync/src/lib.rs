@@ -58,4 +58,4 @@ pub use chashmap::ConcurrentMap;
 pub use latch::{LatchReadGuard, LatchWriteGuard, RwLatch};
 pub use optimistic::{OptimisticError, VersionLatch};
 pub use padded::{CachePadded, StripedCounter, CACHE_LINE};
-pub use pinword::{PinAttempt, PinWord};
+pub use pinword::{PinAttempt, PinWord, ShadowOutcome, ShadowToken};

@@ -55,6 +55,42 @@ const OPEN: u64 = 1 << 32;
 /// Version counter step (bits 33..).
 const VERSION_STEP: u64 = 1 << 33;
 
+/// Version snapshot taken by [`PinWord::shadow_begin`]; consumed by
+/// [`PinWord::shadow_commit`] or [`PinWord::shadow_still_clean`].
+///
+/// Not `Clone`/`Copy` on purpose: a token witnesses exactly one
+/// begin→commit attempt, and an aborted attempt must re-begin.
+#[derive(Debug)]
+pub struct ShadowToken {
+    version: u64,
+}
+
+impl ShadowToken {
+    /// The version recorded at `shadow_begin` (diagnostics and tests).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+}
+
+/// Outcome of a [`PinWord::shadow_commit`] attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShadowOutcome {
+    /// The word is closed, no optimistic pins remain, and no write
+    /// intervened since `shadow_begin`: the shadow copy is faithful and
+    /// the caller may install it and retire the source copy.
+    Committed,
+    /// A writer bumped the version during the copy window — the shadow
+    /// copy may be stale. The word is left *closed*; the caller must
+    /// re-open it (abort) or restart the copy.
+    RacedWrite,
+    /// Optimistic pins did not drain within the spin budget. The word is
+    /// left *closed*; the caller must re-open it (abort) and retry later.
+    /// A pinned writer that has not yet recorded its write blocks on the
+    /// descriptor mutex the caller holds, so an unbounded wait here would
+    /// deadlock — the budget is what makes the protocol abort instead.
+    Draining,
+}
+
 /// Outcome of one optimistic pin attempt.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PinAttempt {
@@ -228,6 +264,97 @@ impl PinWord {
         }
     }
 
+    /// Bump the version without touching the OPEN bit or the pin count —
+    /// the write-end marker of the shadow-copy protocol. Called (under
+    /// the descriptor mutex) when a writer finishes mutating the copy's
+    /// bytes, so a concurrent [`PinWord::shadow_commit`] observes that
+    /// its copy raced a write and aborts.
+    pub fn bump_version(&self) {
+        // AcqRel: the writer's byte stores happen-before any commit that
+        // observes the bumped version (the descriptor mutex also orders
+        // the two, but the word must not be weaker than its observers).
+        self.word.fetch_add(VERSION_STEP, Ordering::AcqRel);
+    }
+
+    /// Begin a shadow copy of the resident copy this word protects:
+    /// record the current version *without closing the word*, so
+    /// optimistic readers keep hitting the source copy while the caller
+    /// copies it into the destination tier. Slow path only (descriptor
+    /// mutex held). Returns `None` if the word is closed (no stably
+    /// resident copy to shadow).
+    pub fn shadow_begin(&self) -> Option<ShadowToken> {
+        let w = self.word.load(Ordering::Acquire);
+        if w & OPEN == 0 {
+            return None;
+        }
+        Some(ShadowToken {
+            version: w / VERSION_STEP,
+        })
+    }
+
+    /// Attempt to commit a shadow copy begun with [`PinWord::shadow_begin`]:
+    /// close the word (stopping new optimistic pins), verify no write
+    /// bumped the version during the copy window, and wait up to
+    /// `spin_budget` iterations for outstanding optimistic pins to drain.
+    /// Slow path only (descriptor mutex held).
+    ///
+    /// On [`ShadowOutcome::Committed`] the word is closed with zero pins:
+    /// the copy is proven faithful and quiescent, and the caller installs
+    /// the shadow copy / retires the source. On the two failure outcomes
+    /// the word is also left closed and the caller must re-open it to
+    /// abort (see each variant's docs). The version check is what makes
+    /// the copy *transactional*: a writer's `bump_version` between begin
+    /// and commit invalidates the token, because the bytes the caller
+    /// copied may predate that write.
+    pub fn shadow_commit(&self, token: &ShadowToken, spin_budget: u32) -> ShadowOutcome {
+        let mut pins = self.close();
+        // Mutant ShadowSkipVersionCheck drops the staleness test below:
+        // a copy that raced a writer then commits anyway, and the shadow
+        // protocol model check must observe the lost update.
+        #[cfg(spitfire_modelcheck)]
+        let skip_check = spitfire_modelcheck::mutation_active(
+            spitfire_modelcheck::Mutation::ShadowSkipVersionCheck,
+        );
+        #[cfg(not(spitfire_modelcheck))]
+        let skip_check = false;
+        // The close above bumped the version exactly once; any other
+        // delta means a writer (or a foreign transition) intervened.
+        let expected = token.version.wrapping_add(1);
+        if !skip_check && self.word.load(Ordering::Acquire) / VERSION_STEP != expected {
+            return ShadowOutcome::RacedWrite;
+        }
+        let mut budget = spin_budget;
+        while pins > 0 {
+            if budget == 0 {
+                return ShadowOutcome::Draining;
+            }
+            budget -= 1;
+            std::hint::spin_loop();
+            pins = self.pins();
+        }
+        // Re-check after the drain. A pinned writer bumps the version
+        // *before* it unpins, and both are RMWs on this same word, so any
+        // load that observes the zero pin count also observes the bump in
+        // the word's modification order — a write that completed during
+        // the drain cannot slip past this check.
+        if !skip_check && self.word.load(Ordering::Acquire) / VERSION_STEP != expected {
+            return ShadowOutcome::RacedWrite;
+        }
+        ShadowOutcome::Committed
+    }
+
+    /// Whether the shadow copy begun with `token` is still faithful:
+    /// the word is open and no write bumped the version. Slow path only
+    /// (descriptor mutex held). This is the commit check for shadow
+    /// *write-backs* that never close the word at all (`flush_page`):
+    /// because the flushed bytes only mark the copy clean, a racing
+    /// write needs no quiescence wait — a stale flush is simply detected
+    /// and the copy stays dirty.
+    pub fn shadow_still_clean(&self, token: &ShadowToken) -> bool {
+        let w = self.word.load(Ordering::Acquire);
+        w & OPEN != 0 && w / VERSION_STEP == token.version
+    }
+
     /// Current optimistic pin count (diagnostics and tests).
     pub fn pins(&self) -> u32 {
         (self.word.load(Ordering::Acquire) & PIN_MASK) as u32
@@ -321,6 +448,91 @@ mod tests {
         w.unpin();
         assert_eq!(w.pins(), 0);
         assert!(!w.is_open());
+    }
+
+    #[test]
+    fn shadow_commit_on_quiescent_word() {
+        let w = PinWord::new();
+        w.open(4);
+        let t = w.shadow_begin().expect("open word");
+        // No readers, no writes: commit succeeds and leaves the word
+        // closed (the caller installs the new copy before re-opening).
+        assert_eq!(w.shadow_commit(&t, 0), ShadowOutcome::Committed);
+        assert!(!w.is_open());
+        assert_eq!(w.pins(), 0);
+    }
+
+    #[test]
+    fn shadow_begin_requires_open_word() {
+        let w = PinWord::new();
+        assert!(w.shadow_begin().is_none());
+    }
+
+    #[test]
+    fn shadow_commit_detects_racing_write() {
+        let w = PinWord::new();
+        w.open(4);
+        let t = w.shadow_begin().unwrap();
+        w.bump_version(); // a writer finished during the copy window
+        assert_eq!(w.shadow_commit(&t, 16), ShadowOutcome::RacedWrite);
+        // Abort: the caller re-opens and a fresh attempt can succeed.
+        w.open(4);
+        let t = w.shadow_begin().unwrap();
+        assert_eq!(w.shadow_commit(&t, 0), ShadowOutcome::Committed);
+    }
+
+    #[test]
+    fn shadow_commit_times_out_on_pinned_readers() {
+        let w = PinWord::new();
+        w.open(4);
+        let t = w.shadow_begin().unwrap();
+        assert_eq!(w.try_pin(), PinAttempt::Pinned(4));
+        assert_eq!(w.shadow_commit(&t, 8), ShadowOutcome::Draining);
+        assert!(!w.is_open(), "failed commit leaves the word closed");
+        w.unpin();
+        w.open(4);
+        let t = w.shadow_begin().unwrap();
+        assert_eq!(w.shadow_commit(&t, 0), ShadowOutcome::Committed);
+    }
+
+    #[test]
+    fn shadow_commit_drains_within_budget() {
+        let w = Arc::new(PinWord::new());
+        w.open(2);
+        assert_eq!(w.try_pin(), PinAttempt::Pinned(2));
+        let t = w.shadow_begin().unwrap();
+        let unpinner = {
+            let w = Arc::clone(&w);
+            std::thread::spawn(move || w.unpin())
+        };
+        // A generous budget outlasts the unpinning thread.
+        assert_eq!(w.shadow_commit(&t, u32::MAX), ShadowOutcome::Committed);
+        unpinner.join().unwrap();
+    }
+
+    #[test]
+    fn shadow_still_clean_tracks_writes_and_closes() {
+        let w = PinWord::new();
+        w.open(6);
+        let t = w.shadow_begin().unwrap();
+        assert!(w.shadow_still_clean(&t));
+        w.bump_version();
+        assert!(!w.shadow_still_clean(&t), "a write dirties the token");
+        w.close();
+        assert!(!w.shadow_still_clean(&t), "a closed word is never clean");
+    }
+
+    #[test]
+    fn bump_version_preserves_open_and_pins() {
+        let w = PinWord::new();
+        w.open(3);
+        assert_eq!(w.try_pin(), PinAttempt::Pinned(3));
+        let v = w.version();
+        w.bump_version();
+        assert_eq!(w.version(), v + 1);
+        assert!(w.is_open());
+        assert_eq!(w.pins(), 1);
+        w.unpin();
     }
 
     /// A closer and many pinners race; the closer only proceeds on a zero
