@@ -3,6 +3,7 @@
 use spitfire_device::{PersistenceTracking, SsdBackendConfig, TimeScale};
 
 use crate::policy::MigrationPolicy;
+use crate::replacement::PolicyConfig;
 
 /// Default page size: 16 KB, as in HyMem and the paper's experiments.
 pub const DEFAULT_PAGE_SIZE: usize = 16 * 1024;
@@ -212,6 +213,10 @@ pub struct BufferManagerConfig {
     /// SSD backing store: the in-memory emulation (default) or a real
     /// file with direct I/O.
     pub ssd_backend: SsdBackendConfig,
+    /// Replacement policy for the DRAM (tier 1) pool.
+    pub dram_policy: PolicyConfig,
+    /// Replacement policy for the NVM (tier 2) pool.
+    pub nvm_policy: PolicyConfig,
 }
 
 impl BufferManagerConfig {
@@ -238,6 +243,8 @@ impl BufferManagerConfig {
             maintenance: MaintenanceConfig::default(),
             shadow_migrations: true,
             ssd_backend: SsdBackendConfig::default(),
+            dram_policy: PolicyConfig::Clock,
+            nvm_policy: PolicyConfig::Clock,
         }
     }
 
@@ -419,6 +426,18 @@ impl BufferManagerConfigBuilder {
     /// Choose the SSD backing store (default: in-memory emulation).
     pub fn ssd_backend(mut self, backend: SsdBackendConfig) -> Self {
         self.config.ssd_backend = backend;
+        self
+    }
+
+    /// Choose the DRAM pool's replacement policy (default: CLOCK).
+    pub fn dram_policy(mut self, policy: PolicyConfig) -> Self {
+        self.config.dram_policy = policy;
+        self
+    }
+
+    /// Choose the NVM pool's replacement policy (default: CLOCK).
+    pub fn nvm_policy(mut self, policy: PolicyConfig) -> Self {
+        self.config.nvm_policy = policy;
         self
     }
 

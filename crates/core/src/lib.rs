@@ -107,6 +107,7 @@ pub mod manager;
 pub mod metrics;
 pub mod policy;
 mod pool;
+pub mod replacement;
 mod types;
 
 pub use background::{CycleStats, Maintenance};
@@ -116,9 +117,10 @@ pub use config::{
 pub use error::BufferError;
 pub use guard::{PageGuard, ReadGuard, WriteGuard};
 pub use manager::{Admin, BufferManager, MemoryPressure};
-pub use metrics::MetricsSnapshot;
+pub use metrics::{MetricsSnapshot, ShadowPath};
 pub use policy::{MigrationPolicy, NvmAdmission, PolicyCell};
-pub use types::{AccessIntent, MigrationPath, PageId, Tier};
+pub use replacement::{PolicyConfig, ReplacementPolicy};
+pub use types::{AccessIntent, FrameId, MigrationPath, PageId, Tier};
 
 /// Result alias for buffer manager operations.
 pub type Result<T> = std::result::Result<T, BufferError>;

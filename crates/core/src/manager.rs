@@ -57,7 +57,7 @@ use crate::error::BufferError;
 use crate::fgpage::MiniSlabs;
 use crate::guard::{GuardKind, PageGuard, ReadGuard, WriteGuard};
 use crate::io::{retry_device_io, retry_device_io_n, MAINT_RETRY_LIMIT};
-use crate::metrics::{inclusivity_ratio, BufferMetrics, MetricsSnapshot};
+use crate::metrics::{inclusivity_ratio, BufferMetrics, MetricsSnapshot, ShadowPath};
 use crate::policy::{MigrationPolicy, PolicyCell};
 use crate::pool::Pool;
 use crate::types::{AccessIntent, FrameId, MigrationPath, PageId, Tier};
@@ -182,19 +182,28 @@ impl BufferManager {
                     config.dram_capacity,
                     page,
                     scale,
+                    config.dram_policy,
                     Arc::clone(&metrics),
                 )),
                 None,
             )
         } else {
-            let t1 = (config.dram_capacity > 0)
-                .then(|| Pool::dram(config.dram_capacity, page, scale, Arc::clone(&metrics)));
+            let t1 = (config.dram_capacity > 0).then(|| {
+                Pool::dram(
+                    config.dram_capacity,
+                    page,
+                    scale,
+                    config.dram_policy,
+                    Arc::clone(&metrics),
+                )
+            });
             let t2 = (config.nvm_capacity > 0).then(|| {
                 Pool::nvm(
                     config.nvm_capacity,
                     page,
                     scale,
                     config.persistence,
+                    config.nvm_policy,
                     Arc::clone(&metrics),
                 )
             });
@@ -261,24 +270,9 @@ impl BufferManager {
     }
 
     /// Administrative handle grouping every runtime mutator — see
-    /// [`Admin`]. The former free-standing setters are deprecated shims
-    /// over this.
+    /// [`Admin`].
     pub fn admin(&self) -> Admin<'_> {
         Admin { bm: self }
-    }
-
-    /// Swap the active migration policy (used by the adaptive tuner, §4).
-    #[deprecated(since = "0.1.0", note = "use `bm.admin().set_policy(..)`")]
-    pub fn set_policy(&self, policy: MigrationPolicy) {
-        self.admin().set_policy(policy);
-    }
-
-    /// Change the emulated-delay scale on every device at runtime. Load
-    /// phases run at [`spitfire_device::TimeScale::ZERO`] (no delays),
-    /// measurement at `REAL`; counters are unaffected.
-    #[deprecated(since = "0.1.0", note = "use `bm.admin().set_time_scale(..)`")]
-    pub fn set_time_scale(&self, scale: spitfire_device::TimeScale) {
-        self.admin().set_time_scale(scale);
     }
 
     /// Buffer metrics counters.
@@ -383,14 +377,6 @@ impl BufferManager {
             self.ssd.write_page(pid.0, &zeros)
         })?;
         Ok(pid)
-    }
-
-    /// Install (or clear) a fault injector on every device in the
-    /// hierarchy. Chaos harness entry point; `None` restores fault-free
-    /// operation.
-    #[deprecated(since = "0.1.0", note = "use `bm.admin().set_fault_injector(..)`")]
-    pub fn set_fault_injector(&self, injector: Option<Arc<FaultInjector>>) {
-        self.admin().set_fault_injector(injector);
     }
 
     /// Force an fsync barrier on the SSD: everything written so far
@@ -966,7 +952,7 @@ impl BufferManager {
                 desc.cond.notify_all();
                 drop(st);
                 if matches!(e, BufferError::NoFrames { .. }) {
-                    self.metrics.record_migration_aborted();
+                    self.metrics.record_shadow_abort(ShadowPath::Promote);
                     return Ok(None);
                 }
                 return Err(e);
@@ -1022,9 +1008,10 @@ impl BufferManager {
             desc.cond.notify_all();
             drop(st);
             self.tier1_pool().free(dram_frame);
-            self.metrics.record_migration_aborted();
+            self.metrics.record_shadow_abort(ShadowPath::Promote);
             return Ok(None);
         }
+        self.metrics.record_shadow_commit(ShadowPath::Promote);
         // Committed: the NVM word is closed with zero pins and the copied
         // bytes are proven current. Install the DRAM copy; the NVM word
         // stays closed (a DRAM copy shadows it — same as blocking
@@ -1463,10 +1450,11 @@ impl BufferManager {
                 self.nvm_pool().free(nf);
             }
             if io_ok {
-                self.metrics.record_migration_aborted();
+                self.metrics.record_shadow_abort(ShadowPath::Evict);
             }
             return false;
         }
+        self.metrics.record_shadow_commit(ShadowPath::Evict);
         // Committed: zero pins, version unchanged — the written-down bytes
         // are proven current. Retire the DRAM copy.
         st.dram = None;
@@ -1771,7 +1759,7 @@ impl BufferManager {
             _ => u32::MAX,
         };
         if mutex_pins != 0 {
-            self.metrics.record_migration_aborted();
+            self.metrics.record_shadow_abort(ShadowPath::Evict);
             desc.cond.notify_all();
             return false;
         }
@@ -1785,6 +1773,7 @@ impl BufferManager {
                     pins: 0,
                     dirty: false,
                 });
+                self.metrics.record_shadow_commit(ShadowPath::Evict);
                 desc.cond.notify_all();
                 true
             }
@@ -1792,7 +1781,7 @@ impl BufferManager {
                 // shadow_commit left the word closed; the copy is still
                 // Resident (and still dirty) — reopen so readers resume.
                 Self::reopen_nvm_word(desc, &st);
-                self.metrics.record_migration_aborted();
+                self.metrics.record_shadow_abort(ShadowPath::Evict);
                 desc.cond.notify_all();
                 false
             }
@@ -2139,8 +2128,9 @@ impl BufferManager {
             if let Some(CopyState::Resident { dirty, .. }) = &mut st.nvm {
                 *dirty = false;
             }
+            self.metrics.record_shadow_commit(ShadowPath::Flush);
         } else {
-            self.metrics.record_migration_aborted();
+            self.metrics.record_shadow_abort(ShadowPath::Flush);
         }
         desc.cond.notify_all();
         clean
@@ -2228,8 +2218,8 @@ impl BufferManager {
     }
 
     /// One maintenance cycle: refill each pool's free list up to its high
-    /// watermark by evicting CLOCK victims, batching dirty-NVM write-backs
-    /// behind a single fsync. Called from maintenance worker threads and
+    /// watermark by evicting replacement-policy victims, batching dirty-NVM
+    /// write-backs behind a single fsync. Called from maintenance worker threads and
     /// from deterministic [`Maintenance::tick`]s; safe (but pointless) to
     /// call concurrently with itself. The cycle snapshots the crash epoch
     /// and aborts when `simulate_crash` invalidates it mid-cycle.
@@ -2253,25 +2243,35 @@ impl BufferManager {
         stats
     }
 
-    /// Refill the DRAM free list to `target` frames by evicting CLOCK
-    /// victims. DRAM evictions need no batching: their SSD write-backs are
-    /// not individually synced (durability comes from WAL/checkpoint
-    /// syncs), so there is no per-op fsync to amortize.
+    /// Refill the DRAM free list to `target` frames by evicting
+    /// replacement-policy victims. DRAM evictions need no write-back
+    /// batching (their SSD writes are not individually synced — durability
+    /// comes from WAL/checkpoint syncs), but victims are still *selected*
+    /// in batches so queue-based policies lock once per batch.
     fn refill_dram(&self, pool: &Pool, target: usize, epoch0: u64) -> usize {
         let mut freed = 0;
         let budget = pool.n_frames() * 2 + 16;
-        for _ in 0..budget {
-            if pool.free_frames() >= target || self.cache_epoch.load(Ordering::Acquire) != epoch0 {
+        let mut attempts = 0;
+        let mut victims: Vec<FrameId> = Vec::new();
+        while attempts < budget {
+            let free = pool.free_frames();
+            if free >= target || self.cache_epoch.load(Ordering::Acquire) != epoch0 {
                 break;
             }
-            let Some(victim) = pool.next_victim() else {
+            let want = (target - free).min(budget - attempts).max(1);
+            victims.clear();
+            pool.next_victims(want, &mut victims);
+            if victims.is_empty() {
                 break;
-            };
-            let evicted = match pool.owner(victim) {
-                Some(vpid) => self.try_evict(true, victim, vpid),
-                None => self.try_evict_slab(victim),
-            };
-            freed += usize::from(evicted);
+            }
+            for victim in victims.drain(..) {
+                attempts += 1;
+                let evicted = match pool.owner(victim) {
+                    Some(vpid) => self.try_evict(true, victim, vpid),
+                    None => self.try_evict_slab(victim),
+                };
+                freed += usize::from(evicted);
+            }
         }
         freed
     }
@@ -2295,14 +2295,19 @@ impl BufferManager {
             let freed_before = freed;
             let mut dirty_batch: Vec<(Arc<SharedPageDesc>, FrameId, Option<ShadowToken>)> =
                 Vec::new();
-            while dirty_batch.len() < batch
-                && pool.free_frames() + dirty_batch.len() < target
-                && attempts < budget
-            {
+            // One policy call per batch: queue-based policies take their
+            // internal lock once here instead of once per candidate.
+            let want = batch
+                .min(budget - attempts)
+                .min(target.saturating_sub(pool.free_frames()))
+                .max(1);
+            let mut cands: Vec<FrameId> = Vec::new();
+            pool.next_victims(want, &mut cands);
+            if cands.is_empty() {
+                break;
+            }
+            for victim in cands {
                 attempts += 1;
-                let Some(victim) = pool.next_victim() else {
-                    break;
-                };
                 let Some(vpid) = pool.owner(victim) else {
                     continue;
                 };
@@ -2517,6 +2522,18 @@ impl BufferManager {
         gauge(self, "backpressure_fallbacks", |bm| {
             bm.metrics().backpressure_fallbacks as f64
         });
+        // Per-path shadow-migration abort rates: aborts / (aborts +
+        // commits). A rising promote rate means foreground writes are
+        // racing promotions; evict/flush rates expose write-back pressure.
+        gauge(self, "shadow_abort_rate_promote", |bm| {
+            bm.metrics().shadow_abort_rate(ShadowPath::Promote)
+        });
+        gauge(self, "shadow_abort_rate_evict", |bm| {
+            bm.metrics().shadow_abort_rate(ShadowPath::Evict)
+        });
+        gauge(self, "shadow_abort_rate_flush", |bm| {
+            bm.metrics().shadow_abort_rate(ShadowPath::Flush)
+        });
         for (tier, label) in [(Tier::Dram, "dram"), (Tier::Nvm, "nvm"), (Tier::Ssd, "ssd")] {
             let w = Arc::downgrade(self);
             obs::register_gauge(format!("{label}_bytes_read"), move || {
@@ -2551,6 +2568,17 @@ impl BufferManager {
         report.add_counter("maint_evictions", m.maint_evictions);
         report.add_counter("maint_writebacks", m.maint_writebacks);
         report.add_counter("migrations_aborted", m.migrations_aborted);
+        for path in ShadowPath::ALL {
+            let name = path.name();
+            report.add_counter(
+                format!("shadow_aborts_{name}"),
+                m.shadow_aborts[path as usize],
+            );
+            report.add_counter(
+                format!("shadow_commits_{name}"),
+                m.shadow_commits[path as usize],
+            );
+        }
         for path in MigrationPath::ALL {
             let label = path.label().replace("->", "_to_");
             report.add_counter(format!("migrations_{label}"), m.path(path));
@@ -2591,6 +2619,12 @@ impl BufferManager {
         gauge("policy_nw", p.nw);
         gauge("buffer_hit_ratio", m.buffer_hit_ratio());
         gauge("inclusivity", self.inclusivity());
+        for path in ShadowPath::ALL {
+            gauge(
+                &format!("shadow_abort_rate_{}", path.name()),
+                m.shadow_abort_rate(path),
+            );
+        }
         report.gauges.extend(fresh);
     }
 
@@ -2787,8 +2821,12 @@ impl BufferManager {
         }
         desc.cond.notify_all();
         drop(st);
-        if res.is_ok() && !clean {
-            self.metrics.record_migration_aborted();
+        if res.is_ok() {
+            if clean {
+                self.metrics.record_shadow_commit(ShadowPath::Flush);
+            } else {
+                self.metrics.record_shadow_abort(ShadowPath::Flush);
+            }
         }
         res?;
         Ok(clean)
@@ -2903,13 +2941,6 @@ impl BufferManager {
             pool.persist(*frame, 0, image.len())?;
         }
         Ok(())
-    }
-
-    /// Restore the page-id allocator after recovery (ids present only on
-    /// SSD are the caller's to account for, e.g. from a catalog page).
-    #[deprecated(since = "0.1.0", note = "use `bm.admin().set_next_page_id(..)`")]
-    pub fn set_next_page_id(&self, next: u64) {
-        self.admin().set_next_page_id(next);
     }
 
     /// Restore the page-id allocator from the persistent devices: the SSD

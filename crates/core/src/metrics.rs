@@ -51,6 +51,41 @@ pub struct BufferMetrics {
     /// (or an undrained reader) invalidated the copy; the source copy
     /// stayed authoritative and the operation was retried or degraded.
     migrations_aborted: AtomicU64,
+    /// Shadow aborts broken down by migration path, indexed by
+    /// [`ShadowPath`] discriminant. Sums to `migrations_aborted`.
+    shadow_aborts: [AtomicU64; ShadowPath::ALL.len()],
+    /// Shadow commits by path: the success-side denominator for the
+    /// per-path abort-rate gauges.
+    shadow_commits: [AtomicU64; ShadowPath::ALL.len()],
+}
+
+/// Which shadow-copy migration path an abort or commit happened on.
+/// Per-path rates matter because the paths fail for different reasons:
+/// promotions race foreground writes, evictions race late readers, and
+/// flushes race re-dirtying.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ShadowPath {
+    /// Upward migration (SSD/NVM → DRAM, or SSD → NVM admission).
+    Promote,
+    /// Downward eviction (DRAM → NVM/SSD, NVM → SSD).
+    Evict,
+    /// Dirty write-back that leaves the page resident (checkpoint or
+    /// maintenance flush).
+    Flush,
+}
+
+impl ShadowPath {
+    /// Every path, in discriminant order (indexes the per-path counters).
+    pub const ALL: [ShadowPath; 3] = [ShadowPath::Promote, ShadowPath::Evict, ShadowPath::Flush];
+
+    /// Stable lowercase name (used in gauge names and reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            ShadowPath::Promote => "promote",
+            ShadowPath::Evict => "evict",
+            ShadowPath::Flush => "flush",
+        }
+    }
 }
 
 fn path_index(path: MigrationPath) -> usize {
@@ -169,9 +204,27 @@ impl BufferMetrics {
         bump_n(&self.maint_writebacks, n);
     }
 
-    /// Record a shadow-copy migration aborted at commit.
-    pub fn record_migration_aborted(&self) {
+    /// Record a shadow-copy migration aborted at commit on `path` (also
+    /// bumps the path-agnostic `migrations_aborted` total).
+    pub fn record_shadow_abort(&self, path: ShadowPath) {
         bump_n(&self.migrations_aborted, 1);
+        bump_n(&self.shadow_aborts[path as usize], 1);
+    }
+
+    /// Record a shadow-copy migration that committed on `path`.
+    pub fn record_shadow_commit(&self, path: ShadowPath) {
+        bump_n(&self.shadow_commits[path as usize], 1);
+    }
+
+    /// Abort count for one shadow path (single relaxed load; the obs
+    /// gauges read this on every scrape).
+    pub fn shadow_aborts(&self, path: ShadowPath) -> u64 {
+        get(&self.shadow_aborts[path as usize])
+    }
+
+    /// Commit count for one shadow path.
+    pub fn shadow_commits(&self, path: ShadowPath) -> u64 {
+        get(&self.shadow_commits[path as usize])
     }
 
     /// Current backpressure-fallback count (single relaxed load; the
@@ -205,6 +258,8 @@ impl BufferMetrics {
             maint_evictions: get(&self.maint_evictions),
             maint_writebacks: get(&self.maint_writebacks),
             migrations_aborted: get(&self.migrations_aborted),
+            shadow_aborts: ShadowPath::ALL.map(|p| get(&self.shadow_aborts[p as usize])),
+            shadow_commits: ShadowPath::ALL.map(|p| get(&self.shadow_commits[p as usize])),
         }
     }
 
@@ -229,6 +284,9 @@ impl BufferMetrics {
         zero(&self.maint_evictions);
         zero(&self.maint_writebacks);
         zero(&self.migrations_aborted);
+        for c in self.shadow_aborts.iter().chain(self.shadow_commits.iter()) {
+            zero(c);
+        }
     }
 }
 
@@ -271,12 +329,28 @@ pub struct MetricsSnapshot {
     /// Shadow-copy migrations aborted at commit (copy raced a write or
     /// readers failed to drain within the spin budget).
     pub migrations_aborted: u64,
+    /// Shadow aborts by path, indexed like [`ShadowPath::ALL`]
+    /// (promote, evict, flush). Sums to `migrations_aborted`.
+    pub shadow_aborts: [u64; 3],
+    /// Shadow commits by path, indexed like [`ShadowPath::ALL`].
+    pub shadow_commits: [u64; 3],
 }
 
 impl MetricsSnapshot {
     /// Count for one migration path.
     pub fn path(&self, path: MigrationPath) -> u64 {
         self.migrations[path_index(path)]
+    }
+
+    /// Shadow abort rate for one path: aborts / (aborts + commits), or 0
+    /// when the path never ran.
+    pub fn shadow_abort_rate(&self, path: ShadowPath) -> f64 {
+        let a = self.shadow_aborts[path as usize];
+        let total = a + self.shadow_commits[path as usize];
+        if total == 0 {
+            return 0.0;
+        }
+        a as f64 / total as f64
     }
 
     /// Total buffer requests observed.
@@ -317,6 +391,12 @@ impl MetricsSnapshot {
             maint_evictions: self.maint_evictions - earlier.maint_evictions,
             maint_writebacks: self.maint_writebacks - earlier.maint_writebacks,
             migrations_aborted: self.migrations_aborted - earlier.migrations_aborted,
+            shadow_aborts: std::array::from_fn(|i| {
+                self.shadow_aborts[i] - earlier.shadow_aborts[i]
+            }),
+            shadow_commits: std::array::from_fn(|i| {
+                self.shadow_commits[i] - earlier.shadow_commits[i]
+            }),
         }
     }
 }
@@ -376,6 +456,27 @@ mod tests {
         let d = b.delta(&a);
         assert_eq!(d.dram_hits, 1);
         assert_eq!(d.path(MigrationPath::DramToNvm), 1);
+    }
+
+    #[test]
+    fn shadow_paths_split_the_abort_total() {
+        let m = BufferMetrics::new();
+        m.record_shadow_abort(ShadowPath::Promote);
+        m.record_shadow_abort(ShadowPath::Evict);
+        m.record_shadow_abort(ShadowPath::Evict);
+        m.record_shadow_commit(ShadowPath::Evict);
+        m.record_shadow_commit(ShadowPath::Flush);
+        let s = m.snapshot();
+        assert_eq!(s.migrations_aborted, 3);
+        assert_eq!(s.shadow_aborts, [1, 2, 0]);
+        assert_eq!(s.shadow_commits, [0, 1, 1]);
+        assert!((s.shadow_abort_rate(ShadowPath::Evict) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(s.shadow_abort_rate(ShadowPath::Flush), 0.0);
+        // A path that never ran reports rate 0, not NaN.
+        let empty = MetricsSnapshot::default();
+        assert_eq!(empty.shadow_abort_rate(ShadowPath::Promote), 0.0);
+        m.reset();
+        assert_eq!(m.snapshot(), MetricsSnapshot::default());
     }
 
     #[test]

@@ -1,5 +1,5 @@
-//! Per-tier buffer pools: frame allocation, CLOCK replacement state, and
-//! device-backed frame I/O.
+//! Per-tier buffer pools: frame allocation, pluggable replacement state,
+//! and device-backed frame I/O.
 
 use spitfire_sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -12,6 +12,7 @@ use spitfire_sync::AtomicBitmap;
 
 use crate::io::retry_device_io;
 use crate::metrics::BufferMetrics;
+use crate::replacement::{PolicyConfig, ReplacementPolicy};
 use crate::types::{FrameId, PageId};
 use crate::Result;
 
@@ -71,10 +72,11 @@ impl PoolDevice {
 
 /// One tier's buffer pool.
 ///
-/// The pool owns frame allocation (a lock-free bitmap), the CLOCK
-/// replacement state (reference bits + hand), the frame→page ownership
-/// table, and the device I/O for frame contents. Pin counts and dirty bits
-/// live in the shared page descriptors (paper Figure 4), not here.
+/// The pool owns frame allocation (a lock-free bitmap), a pluggable
+/// [`ReplacementPolicy`] (reference-tracking + victim selection), the
+/// frame→page ownership table, and the device I/O for frame contents. Pin
+/// counts and dirty bits live in the shared page descriptors (paper
+/// Figure 4), not here.
 pub(crate) struct Pool {
     device: PoolDevice,
     page_size: usize,
@@ -84,9 +86,10 @@ pub(crate) struct Pool {
     header: usize,
     n_frames: usize,
     occupied: AtomicBitmap,
-    ref_bits: AtomicBitmap,
+    /// Replacement policy: hears about every allocation (`admit`), free
+    /// (`evict`), and buffer hit (`touch`), and names eviction victims.
+    policy: Box<dyn ReplacementPolicy>,
     owners: Vec<AtomicU64>,
-    hand: AtomicUsize,
     /// Cheap O(1) free-frame count (the bitmap is the source of truth;
     /// this trails it by at most the in-flight alloc/free window). Kept for
     /// the watermark checks on the fetch path and in maintenance workers,
@@ -103,6 +106,7 @@ impl Pool {
         capacity: usize,
         page_size: usize,
         scale: TimeScale,
+        policy: PolicyConfig,
         metrics: Arc<BufferMetrics>,
     ) -> Self {
         let n_frames = capacity / page_size;
@@ -111,6 +115,7 @@ impl Pool {
             page_size,
             0,
             n_frames,
+            policy,
             metrics,
         )
     }
@@ -122,6 +127,7 @@ impl Pool {
         dram_cache: usize,
         page_size: usize,
         scale: TimeScale,
+        policy: PolicyConfig,
         metrics: Arc<BufferMetrics>,
     ) -> Self {
         let n_frames = nvm_capacity / page_size;
@@ -130,6 +136,7 @@ impl Pool {
             page_size,
             0,
             n_frames,
+            policy,
             metrics,
         )
     }
@@ -141,6 +148,7 @@ impl Pool {
         page_size: usize,
         scale: TimeScale,
         tracking: PersistenceTracking,
+        policy: PolicyConfig,
         metrics: Arc<BufferMetrics>,
     ) -> Self {
         let stride = page_size + NVM_FRAME_HEADER;
@@ -152,6 +160,7 @@ impl Pool {
             page_size,
             NVM_FRAME_HEADER,
             n_frames.max(if capacity >= page_size { 1 } else { 0 }),
+            policy,
             metrics,
         )
     }
@@ -161,6 +170,7 @@ impl Pool {
         page_size: usize,
         header: usize,
         n_frames: usize,
+        policy: PolicyConfig,
         metrics: Arc<BufferMetrics>,
     ) -> Self {
         Pool {
@@ -170,13 +180,8 @@ impl Pool {
             header,
             n_frames,
             occupied: AtomicBitmap::new(n_frames),
-            // Padded: every buffer hit sets a reference bit, so the CLOCK
-            // bitmap is hit-path-hot; the dense layout packs 64 frames'
-            // bits per cache line and hits on neighboring frames would
-            // bounce it between cores.
-            ref_bits: AtomicBitmap::new_padded(n_frames),
+            policy: policy.build(n_frames),
             owners: (0..n_frames).map(|_| AtomicU64::new(NO_OWNER)).collect(),
-            hand: AtomicUsize::new(0),
             free_count: AtomicUsize::new(n_frames),
             metrics,
         }
@@ -201,6 +206,11 @@ impl Pool {
     #[allow(dead_code)]
     pub(crate) fn page_size(&self) -> usize {
         self.page_size
+    }
+
+    /// Name of the replacement policy this pool runs.
+    pub(crate) fn policy_name(&self) -> &'static str {
+        self.policy.name()
     }
 
     /// Number of occupied frames (snapshot).
@@ -251,23 +261,27 @@ impl Pool {
         }
     }
 
-    /// Try to claim a free frame without evicting.
+    /// Try to claim a free frame without evicting. The claimed frame is
+    /// admitted to the replacement policy immediately — mini-page slab
+    /// frames never receive an owner, so admission cannot wait for
+    /// [`Pool::set_owner`].
     pub(crate) fn try_alloc(&self) -> Option<FrameId> {
-        // relaxed: the hand is only a search-start hint; any value works.
-        let hint = self.hand.load(Ordering::Relaxed);
+        let hint = self.policy.alloc_hint();
         let bit = self
             .occupied
             .acquire_first_clear(hint % self.n_frames.max(1))?;
         // relaxed: the bitmap's acquiring RMW is the synchronizing claim;
         // the counter is an advisory mirror for watermark checks.
         self.free_count.fetch_sub(1, Ordering::Relaxed);
-        Some(FrameId(bit as u32))
+        let frame = FrameId(bit as u32);
+        self.policy.admit(frame);
+        Some(frame)
     }
 
-    /// Record `frame` as holding `pid` and give it a reference bit.
+    /// Record `frame` as holding `pid` (the policy already admitted it in
+    /// [`Pool::try_alloc`]).
     pub(crate) fn set_owner(&self, frame: FrameId, pid: PageId) {
         self.owners[frame.0 as usize].store(pid.0, Ordering::Release);
-        self.ref_bits.set(frame.0 as usize);
     }
 
     /// The page currently owning `frame`, if any.
@@ -280,49 +294,31 @@ impl Pool {
     pub(crate) fn free(&self, frame: FrameId) {
         let i = frame.0 as usize;
         self.owners[i].store(NO_OWNER, Ordering::Release);
-        self.ref_bits.clear(i);
+        self.policy.evict(frame);
         if self.occupied.clear(i) {
             // relaxed: advisory mirror of the bitmap (see `try_alloc`).
             self.free_count.fetch_add(1, Ordering::Relaxed);
         }
     }
 
-    /// Mark `frame` recently used (CLOCK reference bit).
+    /// Mark `frame` recently used. Hit-path hot: delegates to the
+    /// policy's lock-free `touch`.
     pub(crate) fn touch(&self, frame: FrameId) {
-        // Test-first: if the bit is already set (the common case for a hot
-        // frame) a plain load keeps the line in the Shared state everywhere,
-        // where an unconditional fetch_or would invalidate it on every hit.
-        let i = frame.0 as usize;
-        if !self.ref_bits.get(i) {
-            self.ref_bits.set(i);
-        }
+        self.policy.touch(frame);
     }
 
-    /// Advance the CLOCK hand to the next eviction candidate: an occupied
-    /// frame whose reference bit is clear. Reference bits seen along the
-    /// way get their second chance (cleared). Returns `None` when a bounded
-    /// sweep finds no candidate (e.g. everything is freshly referenced and
-    /// pinned).
+    /// Ask the replacement policy for the next eviction candidate. The
+    /// caller re-validates (owner, pins, shadow ops) and simply asks again
+    /// if the eviction fails.
     pub(crate) fn next_victim(&self) -> Option<FrameId> {
-        if self.n_frames == 0 {
-            return None;
-        }
-        // Two full sweeps: the first clears reference bits, the second is
-        // then guaranteed to find one unless everything is re-referenced
-        // concurrently.
-        for _ in 0..self.n_frames * 2 {
-            // relaxed: the hand is a rotor, not a lock; concurrent sweeps
-            // interleaving over it only change which frame each inspects.
-            let i = self.hand.fetch_add(1, Ordering::Relaxed) % self.n_frames;
-            if !self.occupied.get(i) {
-                continue;
-            }
-            if self.ref_bits.clear(i) {
-                continue; // had a reference bit; second chance
-            }
-            return Some(FrameId(i as u32));
-        }
-        None
+        self.policy.victim(&self.occupied)
+    }
+
+    /// Batched victim selection for maintenance workers: up to `max`
+    /// candidates in one policy call (queue-based policies lock once per
+    /// batch instead of once per frame).
+    pub(crate) fn next_victims(&self, max: usize, out: &mut Vec<FrameId>) {
+        self.policy.victims(&self.occupied, max, out);
     }
 
     fn content_base(&self, frame: FrameId) -> usize {
@@ -439,7 +435,7 @@ impl Pool {
             self.free_count.fetch_sub(1, Ordering::Relaxed);
         }
         self.owners[i].store(pid.0, Ordering::Release);
-        self.ref_bits.set(i);
+        self.policy.admit(frame);
     }
 }
 
@@ -449,6 +445,7 @@ impl std::fmt::Debug for Pool {
             .field("frames", &self.n_frames)
             .field("occupied", &self.occupied_frames())
             .field("page_size", &self.page_size)
+            .field("policy", &self.policy_name())
             .finish()
     }
 }
@@ -458,10 +455,15 @@ mod tests {
     use super::*;
 
     fn dram_pool(frames: usize) -> Pool {
+        dram_pool_with(frames, PolicyConfig::Clock)
+    }
+
+    fn dram_pool_with(frames: usize, policy: PolicyConfig) -> Pool {
         Pool::dram(
             frames * 4096,
             4096,
             TimeScale::ZERO,
+            policy,
             Arc::new(BufferMetrics::new()),
         )
     }
@@ -497,8 +499,8 @@ mod tests {
         for (i, f) in frames.iter().enumerate() {
             p.set_owner(*f, PageId(i as u64));
         }
-        // All frames have their reference bit set; the first sweep clears
-        // them, then the second finds a victim.
+        // All frames have their reference bit set (admission); the first
+        // sweep clears them, then the second finds a victim.
         let v = p.next_victim().expect("a victim after ref bits cleared");
         assert!(frames.contains(&v));
         // Touch a frame: it survives the next victim search longer.
@@ -522,9 +524,50 @@ mod tests {
     fn empty_pool_has_no_victims() {
         let p = dram_pool(2);
         assert!(p.next_victim().is_none());
-        let zero = Pool::dram(0, 4096, TimeScale::ZERO, Arc::new(BufferMetrics::new()));
+        let zero = Pool::dram(
+            0,
+            4096,
+            TimeScale::ZERO,
+            PolicyConfig::Clock,
+            Arc::new(BufferMetrics::new()),
+        );
         assert!(zero.next_victim().is_none());
         assert!(zero.try_alloc().is_none());
+    }
+
+    #[test]
+    fn non_clock_policies_track_unowned_frames() {
+        // Mini-page slab frames are allocated but never set_owner'd; the
+        // policy must still name them as victims or slabs pin the pool
+        // full forever.
+        for policy in [PolicyConfig::Sieve, PolicyConfig::TwoQ] {
+            let p = dram_pool_with(4, policy);
+            let frames: Vec<FrameId> = (0..4).map(|_| p.try_alloc().unwrap()).collect();
+            // No owners set at all. Every frame must eventually be named.
+            let mut named = std::collections::HashSet::new();
+            for _ in 0..16 {
+                if let Some(v) = p.next_victim() {
+                    named.insert(v);
+                }
+            }
+            for f in &frames {
+                assert!(named.contains(f), "{policy}: frame {f:?} never named");
+            }
+        }
+    }
+
+    #[test]
+    fn batched_victims_cover_the_pool() {
+        for policy in [PolicyConfig::Clock, PolicyConfig::Sieve, PolicyConfig::TwoQ] {
+            let p = dram_pool_with(4, policy);
+            for _ in 0..4 {
+                p.try_alloc().unwrap();
+            }
+            let mut out = Vec::new();
+            p.next_victims(3, &mut out);
+            assert!(!out.is_empty(), "{policy}: no batched victims");
+            assert!(out.len() <= 3, "{policy}: batch over max");
+        }
     }
 
     #[test]
@@ -544,6 +587,7 @@ mod tests {
             4096,
             TimeScale::ZERO,
             PersistenceTracking::Counters,
+            PolicyConfig::Clock,
             Arc::new(BufferMetrics::new()),
         );
         assert_eq!(p.n_frames(), 4);
@@ -565,6 +609,7 @@ mod tests {
             4096,
             TimeScale::ZERO,
             PersistenceTracking::Full,
+            PolicyConfig::Clock,
             Arc::new(BufferMetrics::new()),
         );
         let f = p.try_alloc().unwrap();
@@ -604,6 +649,7 @@ mod tests {
             4096,
             TimeScale::ZERO,
             PersistenceTracking::Counters,
+            PolicyConfig::Clock,
             Arc::new(BufferMetrics::new()),
         );
         p.adopt(FrameId(1), PageId(55));

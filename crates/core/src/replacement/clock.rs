@@ -1,0 +1,149 @@
+//! CLOCK second-chance replacement (the original hard-wired policy,
+//! extracted behind [`ReplacementPolicy`] bit-for-bit).
+
+use spitfire_sync::atomic::{AtomicUsize, Ordering};
+use spitfire_sync::AtomicBitmap;
+
+use super::ReplacementPolicy;
+use crate::types::FrameId;
+
+/// CLOCK: one reference bit per frame plus a rotating hand.
+///
+/// `touch` sets the frame's reference bit (test-first, so hot frames cost
+/// a plain load); `victim` sweeps the occupancy bitmap from the hand,
+/// clearing reference bits as second chances and returning the first
+/// occupied frame found without one. Wholly lock-free.
+pub struct ClockPolicy {
+    /// Padded: every buffer hit sets a reference bit, so this bitmap is
+    /// hit-path-hot; a dense layout would pack 64 frames' bits per cache
+    /// line and bounce it between cores on hits to neighboring frames.
+    ref_bits: AtomicBitmap,
+    hand: AtomicUsize,
+    n_frames: usize,
+}
+
+impl ClockPolicy {
+    /// A CLOCK instance for a pool of `n_frames` frames.
+    pub fn new(n_frames: usize) -> Self {
+        ClockPolicy {
+            ref_bits: AtomicBitmap::new_padded(n_frames),
+            hand: AtomicUsize::new(0),
+            n_frames,
+        }
+    }
+}
+
+impl ReplacementPolicy for ClockPolicy {
+    fn name(&self) -> &'static str {
+        "clock"
+    }
+
+    fn touch(&self, frame: FrameId) {
+        // Test-first: if the bit is already set (the common case for a hot
+        // frame) a plain load keeps the line in the Shared state everywhere,
+        // where an unconditional fetch_or would invalidate it on every hit.
+        let i = frame.0 as usize;
+        if !self.ref_bits.get(i) {
+            self.ref_bits.set(i);
+        }
+    }
+
+    fn admit(&self, frame: FrameId) {
+        // A freshly claimed frame starts with its reference bit set so it
+        // survives the sweep currently in flight.
+        self.ref_bits.set(frame.0 as usize);
+    }
+
+    fn evict(&self, frame: FrameId) {
+        self.ref_bits.clear(frame.0 as usize);
+    }
+
+    /// Advance the CLOCK hand to the next eviction candidate: an occupied
+    /// frame whose reference bit is clear. Reference bits seen along the
+    /// way get their second chance (cleared). Returns `None` when a bounded
+    /// sweep finds no candidate (e.g. everything is freshly referenced and
+    /// pinned).
+    fn victim(&self, occupied: &AtomicBitmap) -> Option<FrameId> {
+        if self.n_frames == 0 {
+            return None;
+        }
+        // Two full sweeps: the first clears reference bits, the second is
+        // then guaranteed to find one unless everything is re-referenced
+        // concurrently.
+        for _ in 0..self.n_frames * 2 {
+            // relaxed: the hand is a rotor, not a lock; concurrent sweeps
+            // interleaving over it only change which frame each inspects.
+            let i = self.hand.fetch_add(1, Ordering::Relaxed) % self.n_frames;
+            if !occupied.get(i) {
+                continue;
+            }
+            if self.ref_bits.clear(i) {
+                continue; // had a reference bit; second chance
+            }
+            return Some(FrameId(i as u32));
+        }
+        None
+    }
+
+    fn alloc_hint(&self) -> usize {
+        // Start allocation scans at the hand: frames the sweep just
+        // vacated sit right behind it.
+        // relaxed: the hand is only a search-start hint; any value works.
+        self.hand.load(Ordering::Relaxed)
+    }
+}
+
+impl std::fmt::Debug for ClockPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClockPolicy")
+            .field("frames", &self.n_frames)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn full(n: usize) -> (ClockPolicy, AtomicBitmap) {
+        let p = ClockPolicy::new(n);
+        let occ = AtomicBitmap::new(n);
+        for i in 0..n {
+            occ.set(i);
+            p.admit(FrameId(i as u32));
+        }
+        (p, occ)
+    }
+
+    #[test]
+    fn second_chances_then_victim() {
+        let (p, occ) = full(3);
+        // All frames have their reference bit set; the first sweep clears
+        // them, then the second finds a victim.
+        let v = p.victim(&occ).expect("a victim after ref bits cleared");
+        assert!((v.0 as usize) < 3);
+        // Touch a frame: it survives the next victim search longer.
+        p.touch(FrameId(1));
+        let v2 = p.victim(&occ).expect("victim");
+        assert_ne!(v2, FrameId(1));
+    }
+
+    #[test]
+    fn skips_unoccupied() {
+        let p = ClockPolicy::new(4);
+        let occ = AtomicBitmap::new(4);
+        occ.set(2);
+        p.admit(FrameId(2));
+        // Only frame 2 is occupied; after its second chance it must be the
+        // victim.
+        assert_eq!(p.victim(&occ), Some(FrameId(2)));
+    }
+
+    #[test]
+    fn empty_pool_has_no_victims() {
+        let p = ClockPolicy::new(2);
+        assert!(p.victim(&AtomicBitmap::new(2)).is_none());
+        let zero = ClockPolicy::new(0);
+        assert!(zero.victim(&AtomicBitmap::new(0)).is_none());
+    }
+}

@@ -1,0 +1,245 @@
+//! SIEVE replacement (Zhang et al., NSDI '24): insertion-ordered queue,
+//! one visited bit per frame, and a hand that moves from old to new
+//! evicting the first unvisited frame. Hot frames are never relinked —
+//! the hit path only sets a bit — so `touch` stays as cheap as CLOCK's.
+
+use parking_lot::Mutex;
+use spitfire_sync::atomic::{AtomicUsize, Ordering};
+use spitfire_sync::AtomicBitmap;
+
+use super::ReplacementPolicy;
+use crate::types::FrameId;
+
+/// Sentinel link: "no node".
+const NIL: u32 = u32::MAX;
+
+/// Intrusive insertion-order list over dense frame ids, plus the SIEVE
+/// hand. Only taken on admit/evict/victim — never on the hit path.
+struct SieveState {
+    /// Toward newer frames (`next[tail]` is the second-oldest).
+    next: Vec<u32>,
+    /// Toward older frames (`prev[head]` is the second-newest).
+    prev: Vec<u32>,
+    in_list: Vec<bool>,
+    /// Newest admitted frame.
+    head: u32,
+    /// Oldest admitted frame (where a fresh hand starts).
+    tail: u32,
+    /// Next frame the sweep examines; `NIL` restarts at the tail.
+    hand: u32,
+    len: usize,
+}
+
+impl SieveState {
+    fn unlink(&mut self, i: usize) {
+        if !self.in_list[i] {
+            return;
+        }
+        let (p, n) = (self.prev[i], self.next[i]);
+        if self.hand == i as u32 {
+            self.hand = n;
+        }
+        match p {
+            NIL => self.tail = n,
+            p => self.next[p as usize] = n,
+        }
+        match n {
+            NIL => self.head = p,
+            n => self.prev[n as usize] = p,
+        }
+        self.in_list[i] = false;
+        self.len -= 1;
+    }
+
+    fn push_head(&mut self, i: usize) {
+        self.prev[i] = self.head;
+        self.next[i] = NIL;
+        if self.head != NIL {
+            self.next[self.head as usize] = i as u32;
+        }
+        self.head = i as u32;
+        if self.tail == NIL {
+            self.tail = i as u32;
+        }
+        self.in_list[i] = true;
+        self.len += 1;
+    }
+}
+
+/// SIEVE policy: lock-free visited bits on the hit path, an insertion
+/// queue under a mutex on the (already synchronized) alloc/evict paths.
+pub struct SievePolicy {
+    /// Padded for the same reason as CLOCK's reference bits: every buffer
+    /// hit may set a visited bit, and dense bits would share cache lines.
+    visited: AtomicBitmap,
+    state: Mutex<SieveState>,
+    /// Rotor spreading allocation scan starts across the bitmap.
+    alloc_rotor: AtomicUsize,
+    n_frames: usize,
+}
+
+impl SievePolicy {
+    /// A SIEVE instance for a pool of `n_frames` frames.
+    pub fn new(n_frames: usize) -> Self {
+        SievePolicy {
+            visited: AtomicBitmap::new_padded(n_frames),
+            state: Mutex::new(SieveState {
+                next: vec![NIL; n_frames],
+                prev: vec![NIL; n_frames],
+                in_list: vec![false; n_frames],
+                head: NIL,
+                tail: NIL,
+                hand: NIL,
+                len: 0,
+            }),
+            alloc_rotor: AtomicUsize::new(0),
+            n_frames,
+        }
+    }
+
+    fn victim_locked(&self, st: &mut SieveState) -> Option<FrameId> {
+        if st.len == 0 {
+            return None;
+        }
+        let mut cur = if st.hand != NIL { st.hand } else { st.tail };
+        // Two passes: the first may clear every visited bit, the second
+        // then finds the oldest unvisited frame.
+        for _ in 0..st.len * 2 + 2 {
+            if cur == NIL {
+                cur = st.tail;
+                if cur == NIL {
+                    return None;
+                }
+            }
+            let i = cur as usize;
+            let nxt = st.next[i];
+            st.hand = nxt;
+            if self.visited.get(i) {
+                self.visited.clear(i);
+                cur = nxt;
+                continue;
+            }
+            return Some(FrameId(cur));
+        }
+        None
+    }
+}
+
+impl ReplacementPolicy for SievePolicy {
+    fn name(&self) -> &'static str {
+        "sieve"
+    }
+
+    fn touch(&self, frame: FrameId) {
+        // Test-first, like CLOCK: a hot frame costs one shared load.
+        let i = frame.0 as usize;
+        if !self.visited.get(i) {
+            self.visited.set(i);
+        }
+    }
+
+    fn admit(&self, frame: FrameId) {
+        let i = frame.0 as usize;
+        // New frames start unvisited: surviving the first sweep requires a
+        // real (re-)reference.
+        self.visited.clear(i);
+        let mut st = self.state.lock();
+        if !st.in_list[i] {
+            st.push_head(i);
+        }
+    }
+
+    fn evict(&self, frame: FrameId) {
+        let i = frame.0 as usize;
+        self.visited.clear(i);
+        self.state.lock().unlink(i);
+    }
+
+    fn victim(&self, _occupied: &AtomicBitmap) -> Option<FrameId> {
+        self.victim_locked(&mut self.state.lock())
+    }
+
+    fn victims(&self, _occupied: &AtomicBitmap, max: usize, out: &mut Vec<FrameId>) {
+        // One lock acquisition per maintenance batch instead of per frame.
+        let mut st = self.state.lock();
+        for _ in 0..max {
+            match self.victim_locked(&mut st) {
+                Some(f) => out.push(f),
+                None => break,
+            }
+        }
+    }
+
+    fn alloc_hint(&self) -> usize {
+        // relaxed: monotone rotor, only used to spread allocation scan
+        // start positions; no ordering needed.
+        self.alloc_rotor.fetch_add(1, Ordering::Relaxed) % self.n_frames.max(1)
+    }
+}
+
+impl std::fmt::Debug for SievePolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SievePolicy")
+            .field("frames", &self.n_frames)
+            .field("tracked", &self.state.lock().len)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn full(n: usize) -> (SievePolicy, AtomicBitmap) {
+        let p = SievePolicy::new(n);
+        let occ = AtomicBitmap::new(n);
+        for i in 0..n {
+            occ.set(i);
+            p.admit(FrameId(i as u32));
+        }
+        (p, occ)
+    }
+
+    #[test]
+    fn evicts_oldest_unvisited_first() {
+        let (p, occ) = full(4);
+        // Nothing visited: the oldest admitted frame (0) goes first.
+        assert_eq!(p.victim(&occ), Some(FrameId(0)));
+        // Visit frame 1: the hand skips it (clearing the bit) and takes 2.
+        p.touch(FrameId(1));
+        assert_eq!(p.victim(&occ), Some(FrameId(2)));
+    }
+
+    #[test]
+    fn visited_frames_get_one_more_round() {
+        let (p, occ) = full(2);
+        p.touch(FrameId(0));
+        p.touch(FrameId(1));
+        // Both visited: the first pass clears, the wrap evicts the oldest.
+        assert_eq!(p.victim(&occ), Some(FrameId(0)));
+    }
+
+    #[test]
+    fn unlink_fixes_hand_and_order() {
+        let (p, occ) = full(3);
+        assert_eq!(p.victim(&occ), Some(FrameId(0)));
+        occ.clear(0);
+        p.evict(FrameId(0));
+        // Hand sits on frame 1 now; re-admitting 0 puts it at the head
+        // (newest), so the sweep order is 1, 2, then 0.
+        occ.set(0);
+        p.admit(FrameId(0));
+        assert_eq!(p.victim(&occ), Some(FrameId(1)));
+        assert_eq!(p.victim(&occ), Some(FrameId(2)));
+        assert_eq!(p.victim(&occ), Some(FrameId(0)));
+    }
+
+    #[test]
+    fn empty_has_no_victim() {
+        let p = SievePolicy::new(3);
+        assert!(p.victim(&AtomicBitmap::new(3)).is_none());
+        // Double-evict and evict-without-admit are harmless no-ops.
+        p.evict(FrameId(1));
+        assert!(p.victim(&AtomicBitmap::new(3)).is_none());
+    }
+}

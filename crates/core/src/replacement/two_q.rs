@@ -1,0 +1,336 @@
+//! Scan-resistant LRU-2Q replacement (Johnson & Shasha, VLDB '94,
+//! adapted to a lock-free hit path).
+//!
+//! Frames enter a probationary FIFO (`A1in`). Promotion into the
+//! protected main queue (`Am`) happens *lazily at victim time* and only
+//! for frames touched at least twice since admission — a one-pass scan
+//! touches each page once (the access that loaded it), so scan pages die
+//! in `A1in` without displacing the hot set in `Am`. The hit path sets at
+//! most one bit in a padded bitmap; all structural moves happen under a
+//! mutex on the (already synchronized) victim/admit/evict paths.
+
+use parking_lot::Mutex;
+use spitfire_sync::atomic::{AtomicUsize, Ordering};
+use spitfire_sync::AtomicBitmap;
+
+use super::ReplacementPolicy;
+use crate::types::FrameId;
+
+/// Sentinel link: "no node".
+const NIL: u32 = u32::MAX;
+
+/// Not on any queue.
+const L_NONE: u8 = 0;
+/// On the probationary FIFO.
+const L_A1: u8 = 1;
+/// On the protected main queue.
+const L_AM: u8 = 2;
+
+#[derive(Clone, Copy)]
+struct Queue {
+    head: u32,
+    tail: u32,
+    len: usize,
+}
+
+impl Queue {
+    const EMPTY: Queue = Queue {
+        head: NIL,
+        tail: NIL,
+        len: 0,
+    };
+}
+
+/// Intrusive links shared by both queues (a frame is on at most one).
+struct TwoQState {
+    /// Toward the head (newer end) of the owning queue.
+    next: Vec<u32>,
+    /// Toward the tail (older end) of the owning queue.
+    prev: Vec<u32>,
+    list: Vec<u8>,
+    a1: Queue,
+    am: Queue,
+}
+
+impl TwoQState {
+    fn queue_mut(&mut self, which: u8) -> &mut Queue {
+        if which == L_A1 {
+            &mut self.a1
+        } else {
+            &mut self.am
+        }
+    }
+
+    fn unlink(&mut self, i: usize) {
+        let which = self.list[i];
+        if which == L_NONE {
+            return;
+        }
+        let (p, n) = (self.prev[i], self.next[i]);
+        let q = self.queue_mut(which);
+        if q.tail == i as u32 {
+            q.tail = n;
+        }
+        if q.head == i as u32 {
+            q.head = p;
+        }
+        q.len -= 1;
+        if p != NIL {
+            self.next[p as usize] = n;
+        }
+        if n != NIL {
+            self.prev[n as usize] = p;
+        }
+        self.list[i] = L_NONE;
+    }
+
+    fn push_head(&mut self, i: usize, which: u8) {
+        let head = self.queue_mut(which).head;
+        self.prev[i] = head;
+        self.next[i] = NIL;
+        if head != NIL {
+            self.next[head as usize] = i as u32;
+        }
+        let q = self.queue_mut(which);
+        q.head = i as u32;
+        if q.tail == NIL {
+            q.tail = i as u32;
+        }
+        q.len += 1;
+        self.list[i] = which;
+    }
+
+    /// Move `i` to the head of `which` (promotion or second-chance
+    /// rotation).
+    fn move_to(&mut self, i: usize, which: u8) {
+        self.unlink(i);
+        self.push_head(i, which);
+    }
+}
+
+/// LRU-2Q policy: two touched bits per frame on the hit path, two
+/// intrusive queues under a mutex everywhere else.
+pub struct TwoQPolicy {
+    /// Set by the first touch since admission. Padded like CLOCK's
+    /// reference bits — hit-path-hot.
+    touched_once: AtomicBitmap,
+    /// Set by the second and later touches; this is the bit that earns
+    /// promotion out of the probationary FIFO and survival in `Am`.
+    touched_again: AtomicBitmap,
+    state: Mutex<TwoQState>,
+    /// Rotor spreading allocation scan starts across the bitmap.
+    alloc_rotor: AtomicUsize,
+    n_frames: usize,
+}
+
+impl TwoQPolicy {
+    /// A 2Q instance for a pool of `n_frames` frames.
+    pub fn new(n_frames: usize) -> Self {
+        TwoQPolicy {
+            touched_once: AtomicBitmap::new_padded(n_frames),
+            touched_again: AtomicBitmap::new_padded(n_frames),
+            state: Mutex::new(TwoQState {
+                next: vec![NIL; n_frames],
+                prev: vec![NIL; n_frames],
+                list: vec![L_NONE; n_frames],
+                a1: Queue::EMPTY,
+                am: Queue::EMPTY,
+            }),
+            alloc_rotor: AtomicUsize::new(0),
+            n_frames,
+        }
+    }
+
+    fn victim_locked(&self, st: &mut TwoQState) -> Option<FrameId> {
+        let total = st.a1.len + st.am.len;
+        if total == 0 {
+            return None;
+        }
+        // Keep roughly a quarter of the tracked frames probationary
+        // (2Q's Kin); at or above that, evictions come from A1in, so
+        // protected Am frames only age out once probation has drained
+        // below target.
+        let a1_target = (total / 4).max(1);
+        // Frames examined on Am without finding an unreferenced one; once
+        // a full pass came up empty, fall back to evicting probation.
+        let mut am_seen = 0usize;
+        for _ in 0..2 * total + 4 {
+            let use_a1 =
+                st.a1.len > 0 && (st.a1.len >= a1_target || st.am.len == 0 || am_seen >= st.am.len);
+            if use_a1 {
+                let t = st.a1.tail;
+                let i = t as usize;
+                if self.touched_again.get(i) {
+                    // Touched at least twice while on probation: promote.
+                    // The bit is consumed — surviving Am requires fresh
+                    // touches.
+                    self.touched_again.clear(i);
+                    st.move_to(i, L_AM);
+                    continue;
+                }
+                // Scan-resistance in action: at most once-touched, evict.
+                // Rotate to the head so a rejected (pinned) candidate does
+                // not wedge the tail.
+                st.move_to(i, L_A1);
+                return Some(FrameId(t));
+            } else if st.am.len > 0 {
+                let t = st.am.tail;
+                let i = t as usize;
+                st.move_to(i, L_AM);
+                if self.touched_again.get(i) {
+                    // Second chance, CLOCK-style.
+                    self.touched_again.clear(i);
+                    am_seen += 1;
+                    continue;
+                }
+                return Some(FrameId(t));
+            } else {
+                return None;
+            }
+        }
+        None
+    }
+}
+
+impl ReplacementPolicy for TwoQPolicy {
+    fn name(&self) -> &'static str {
+        "2q"
+    }
+
+    fn touch(&self, frame: FrameId) {
+        // Test-first on both bits: a hot frame (both set) costs two shared
+        // loads and zero stores.
+        let i = frame.0 as usize;
+        if !self.touched_once.get(i) {
+            self.touched_once.set(i);
+        } else if !self.touched_again.get(i) {
+            self.touched_again.set(i);
+        }
+    }
+
+    fn admit(&self, frame: FrameId) {
+        let i = frame.0 as usize;
+        self.touched_once.clear(i);
+        self.touched_again.clear(i);
+        let mut st = self.state.lock();
+        if st.list[i] == L_NONE {
+            st.push_head(i, L_A1);
+        }
+    }
+
+    fn evict(&self, frame: FrameId) {
+        let i = frame.0 as usize;
+        self.touched_once.clear(i);
+        self.touched_again.clear(i);
+        self.state.lock().unlink(i);
+    }
+
+    fn victim(&self, _occupied: &AtomicBitmap) -> Option<FrameId> {
+        self.victim_locked(&mut self.state.lock())
+    }
+
+    fn victims(&self, _occupied: &AtomicBitmap, max: usize, out: &mut Vec<FrameId>) {
+        // One lock acquisition per maintenance batch instead of per frame.
+        let mut st = self.state.lock();
+        for _ in 0..max {
+            match self.victim_locked(&mut st) {
+                Some(f) => out.push(f),
+                None => break,
+            }
+        }
+    }
+
+    fn alloc_hint(&self) -> usize {
+        // relaxed: monotone rotor, only used to spread allocation scan
+        // start positions; no ordering needed.
+        self.alloc_rotor.fetch_add(1, Ordering::Relaxed) % self.n_frames.max(1)
+    }
+}
+
+impl std::fmt::Debug for TwoQPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let st = self.state.lock();
+        f.debug_struct("TwoQPolicy")
+            .field("frames", &self.n_frames)
+            .field("a1_len", &st.a1.len)
+            .field("am_len", &st.am.len)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn occ(n: usize) -> AtomicBitmap {
+        let b = AtomicBitmap::new(n);
+        for i in 0..n {
+            b.set(i);
+        }
+        b
+    }
+
+    /// Simulate the manager's wiring: admission plus the touch from the
+    /// access that loaded the page.
+    fn load(p: &TwoQPolicy, f: FrameId) {
+        p.admit(f);
+        p.touch(f);
+    }
+
+    #[test]
+    fn once_touched_frames_die_in_probation() {
+        let p = TwoQPolicy::new(8);
+        let occ = occ(8);
+        // Hot pair: loaded and re-touched (≥ 2 accesses).
+        for f in [FrameId(0), FrameId(1)] {
+            load(&p, f);
+            p.touch(f);
+        }
+        // Scan: loaded once each, never touched again.
+        for i in 2..8 {
+            load(&p, FrameId(i));
+        }
+        // Victims must be exactly the scan frames; the hot pair gets
+        // promoted to Am on the way.
+        let mut victims = Vec::new();
+        for _ in 0..6 {
+            let v = p.victim(&occ).expect("victim");
+            occ.clear(v.0 as usize);
+            p.evict(v);
+            victims.push(v.0);
+        }
+        victims.sort_unstable();
+        assert_eq!(victims, vec![2, 3, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn am_uses_second_chances() {
+        let p = TwoQPolicy::new(4);
+        let occ = occ(4);
+        for i in 0..4 {
+            load(&p, FrameId(i));
+            p.touch(FrameId(i)); // everyone promoted eventually
+        }
+        // Re-touch only frame 3 after its promotion bit is consumed.
+        let first = p.victim(&occ).expect("victim");
+        p.touch(FrameId(3));
+        p.touch(FrameId(3));
+        assert_ne!(first, FrameId(3), "tail order starts at the oldest");
+        occ.clear(first.0 as usize);
+        p.evict(first);
+        let second = p.victim(&occ).expect("victim");
+        assert_ne!(second, FrameId(3), "re-touched Am frame must survive");
+    }
+
+    #[test]
+    fn empty_and_idempotent_ops() {
+        let p = TwoQPolicy::new(3);
+        assert!(p.victim(&AtomicBitmap::new(3)).is_none());
+        p.evict(FrameId(2)); // never admitted: no-op
+        p.admit(FrameId(1));
+        p.admit(FrameId(1)); // double admit: no-op
+        let b = AtomicBitmap::new(3);
+        b.set(1);
+        assert_eq!(p.victim(&b), Some(FrameId(1)));
+    }
+}

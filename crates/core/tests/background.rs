@@ -253,22 +253,3 @@ fn steady_state_has_no_backpressure() {
     maintenance.stop();
     bm.assert_quiescent();
 }
-
-/// The deprecated runtime mutators still compile and delegate to the
-/// `admin()` handle.
-#[test]
-#[allow(deprecated)]
-fn deprecated_mutator_shims_still_work() {
-    let bm = manager(MaintenanceConfig::default(), MigrationPolicy::lazy());
-    bm.set_policy(MigrationPolicy::eager());
-    bm.set_time_scale(TimeScale::ZERO);
-    bm.set_fault_injector(None);
-    bm.set_next_page_id(100);
-    let pid = bm.allocate_page().unwrap();
-    assert!(pid.0 >= 100, "set_next_page_id shim must raise the floor");
-    fill(&bm, pid, 0xAB);
-    let g = bm.fetch_read(pid).unwrap();
-    let mut b = [0u8; 4];
-    g.read(0, &mut b).unwrap();
-    assert_eq!(b, [0xAB; 4]);
-}

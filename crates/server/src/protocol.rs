@@ -16,8 +16,9 @@
 //!     24     …  body        opcode-specific payload
 //! ```
 //!
-//! The CRC reuses the WAL's checksum helper ([`spitfire_txn::crc32`]), so
-//! the wire format and the log format corrupt-detect identically. A
+//! The CRC is the canonical [`spitfire_sync::crc32`] — the same checksum
+//! the WAL framing and the snapshot block headers use — so the wire
+//! format and the log format corrupt-detect identically. A
 //! receiver rejects frames that are truncated, oversized, version-skewed,
 //! or checksum-mismatched *before* interpreting the body.
 //!
@@ -39,7 +40,8 @@
 //! [`TxnError::is_retryable`](spitfire_txn::TxnError::is_retryable) so a
 //! client can retry without parsing server error strings.
 
-use spitfire_txn::{crc32, TxnError};
+use spitfire_sync::crc32;
+use spitfire_txn::TxnError;
 
 /// Protocol version carried in every frame header.
 pub const PROTOCOL_VERSION: u8 = 1;

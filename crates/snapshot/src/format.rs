@@ -18,7 +18,9 @@
 //! | 32  | 8    | sequence number within the generation        |
 //! | 40  | 8    | aux (page id for page images, else 0)        |
 
-use crate::{crc32, Result, SnapshotError};
+use spitfire_sync::crc32;
+
+use crate::{Result, SnapshotError};
 
 /// Bytes of header preceding every block payload.
 pub const BLOCK_HEADER: usize = 48;

@@ -26,7 +26,9 @@ use spitfire_device::{
 use crate::format::{
     decode_block, encode_block, BlockKind, Manifest, TableMeta, BLOCK_HEADER, SUPER_MAGIC,
 };
-use crate::{crc32, snap_retry, Result, SnapshotError, MAX_SUPERBLOCK_GENERATIONS};
+use spitfire_sync::crc32;
+
+use crate::{snap_retry, Result, SnapshotError, MAX_SUPERBLOCK_GENERATIONS};
 
 const SUPER_HEADER: usize = 16;
 const SUPER_ENTRY: usize = 48;

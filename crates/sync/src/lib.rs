@@ -46,6 +46,7 @@ mod admission;
 pub mod atomic;
 mod bitmap;
 mod chashmap;
+mod crc32;
 mod latch;
 pub mod lock;
 mod optimistic;
@@ -55,6 +56,7 @@ mod pinword;
 pub use admission::AdmissionQueue;
 pub use bitmap::AtomicBitmap;
 pub use chashmap::ConcurrentMap;
+pub use crc32::crc32;
 pub use latch::{LatchReadGuard, LatchWriteGuard, RwLatch};
 pub use optimistic::{OptimisticError, VersionLatch};
 pub use padded::{CachePadded, StripedCounter, CACHE_LINE};

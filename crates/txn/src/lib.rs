@@ -35,7 +35,7 @@ pub use error::TxnError;
 pub use maintenance::{BackgroundFlusher, VacuumStats};
 pub use session::Session;
 pub use table::{Table, VersionHeader, NO_RID, VERSION_HEADER};
-pub use wal::{crc32, LogRecord, RecordKind, Wal, WalFence, WalScanReport};
+pub use wal::{LogRecord, RecordKind, Wal, WalFence, WalScanReport};
 
 /// Result alias for transaction-layer operations.
 pub type Result<T> = std::result::Result<T, TxnError>;

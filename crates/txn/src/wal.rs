@@ -19,6 +19,7 @@ use parking_lot::Mutex;
 use spitfire_device::{
     AccessPattern, DeviceError, FaultInjector, NvmDevice, PersistenceTracking, SsdDevice, TimeScale,
 };
+use spitfire_sync::crc32;
 
 use crate::error::TxnError;
 use crate::Result;
@@ -169,13 +170,6 @@ impl LogRecord {
         ))
     }
 }
-
-/// Simple CRC-32 (IEEE, bitwise — log framing is not a hot path relative
-/// to the emulated device delays). Public so the server wire protocol can
-/// frame with the same checksum the log uses. The implementation lives in
-/// `spitfire-snapshot` (snapshot blocks use the same checksum) and is
-/// re-exported here to keep the historical `spitfire_txn::crc32` path.
-pub use spitfire_snapshot::crc32;
 
 /// The write-ahead log: NVM ring buffer + SSD log file.
 pub struct Wal {

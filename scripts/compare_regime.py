@@ -1,0 +1,170 @@
+#!/usr/bin/env python3
+"""Diff two BENCH_regime.json files and fail on replacement-policy regression.
+
+Usage:
+    compare_regime.py BASELINE NEW [--tolerance 0.10] [--absolute]
+                      [--p99-floor-us 50] [--strict-scan]
+
+The regime matrix (crates/bench/src/bin/regime_matrix.rs) emits one cell
+per (regime, policy). This script enforces, in order:
+
+1. **Structure** — NEW contains every (regime, policy) cell BASELINE has,
+   covering all three policies (clock, sieve, 2q) and at least four
+   regimes. A silently dropped cell is a regression in coverage.
+2. **Scan resistance** — in the `scan` regime, 2Q's DRAM hit rate exceeds
+   CLOCK's. Checked on BASELINE (the committed record) always, and on NEW
+   too with `--strict-scan`.
+3. **Throughput** — per cell, ops/s may not regress by more than
+   `--tolerance` (default 10%). By default cells are *regime-normalized*
+   first: each cell's ops/s is divided by the mean ops/s of its regime in
+   the same file, so machine-speed differences between the baseline box
+   and the CI runner cancel and only a policy's *relative* standing is
+   compared. `--absolute` compares raw ops/s instead (same-machine runs).
+4. **p99 latency** — per cell, (normalized) p99 may not rise by more than
+   `--tolerance`. Cells where both p99 values sit under `--p99-floor-us`
+   are skipped: single-digit-microsecond quantiles are timer noise.
+
+Exit status: 0 clean, 1 any regression, 2 usage/input error.
+"""
+
+import argparse
+import json
+import sys
+
+POLICIES = ("clock", "sieve", "2q")
+MIN_REGIMES = 4
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"error: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    cells = {(c["regime"], c["policy"]): c for c in doc.get("cells", [])}
+    if not cells:
+        print(f"error: {path} has no cells", file=sys.stderr)
+        sys.exit(2)
+    return doc, cells
+
+
+def regime_means(cells, key):
+    """Mean of `key` per regime (for machine-portable normalization)."""
+    sums = {}
+    for (regime, _), c in cells.items():
+        s, n = sums.get(regime, (0.0, 0))
+        sums[regime] = (s + c[key], n + 1)
+    return {r: s / n for r, (s, n) in sums.items() if n}
+
+
+def normalized(cells, key):
+    means = regime_means(cells, key)
+    return {
+        k: (c[key] / means[k[0]] if means.get(k[0]) else 0.0)
+        for k, c in cells.items()
+    }
+
+
+def check_scan(cells, label, failures):
+    two_q = cells.get(("scan", "2q"))
+    clock = cells.get(("scan", "clock"))
+    if two_q is None or clock is None:
+        failures.append(f"{label}: scan regime missing 2q/clock cells")
+        return
+    if two_q["dram_hit_rate"] <= clock["dram_hit_rate"]:
+        failures.append(
+            f"{label}: scan regime not scan-resistant — 2q DRAM hit rate "
+            f"{two_q['dram_hit_rate']:.4f} <= clock {clock['dram_hit_rate']:.4f}"
+        )
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline")
+    ap.add_argument("new")
+    ap.add_argument("--tolerance", type=float, default=0.10,
+                    help="allowed fractional regression per cell (default 0.10)")
+    ap.add_argument("--absolute", action="store_true",
+                    help="compare raw values instead of regime-normalized ones")
+    ap.add_argument("--p99-floor-us", type=float, default=50.0,
+                    help="skip p99 comparison when both values are below this")
+    ap.add_argument("--strict-scan", action="store_true",
+                    help="require the scan-resistance invariant on NEW too")
+    args = ap.parse_args()
+
+    _, base = load(args.baseline)
+    _, new = load(args.new)
+    failures = []
+
+    # 1. Structure.
+    missing = sorted(k for k in base if k not in new)
+    for k in missing:
+        failures.append(f"cell {k[0]}/{k[1]} present in baseline, missing in new run")
+    new_regimes = {r for r, _ in new}
+    new_policies = {p for _, p in new}
+    if len(new_regimes) < MIN_REGIMES:
+        failures.append(
+            f"new run covers {len(new_regimes)} regimes (< {MIN_REGIMES}): "
+            f"{sorted(new_regimes)}"
+        )
+    for p in POLICIES:
+        if p not in new_policies:
+            failures.append(f"new run is missing policy {p!r}")
+
+    # 2. Scan resistance.
+    check_scan(base, "baseline", failures)
+    if args.strict_scan:
+        check_scan(new, "new run", failures)
+
+    # 3/4. Per-cell throughput and p99.
+    if args.absolute:
+        base_tput = {k: c["ops_per_sec"] for k, c in base.items()}
+        new_tput = {k: c["ops_per_sec"] for k, c in new.items()}
+        base_p99 = {k: c["p99_us"] for k, c in base.items()}
+        new_p99 = {k: c["p99_us"] for k, c in new.items()}
+        mode = "absolute"
+    else:
+        base_tput = normalized(base, "ops_per_sec")
+        new_tput = normalized(new, "ops_per_sec")
+        base_p99 = normalized(base, "p99_us")
+        new_p99 = normalized(new, "p99_us")
+        mode = "regime-normalized"
+
+    compared = 0
+    for k in sorted(base):
+        if k not in new:
+            continue
+        compared += 1
+        regime, policy = k
+        b, n = base_tput[k], new_tput[k]
+        if b > 0 and n < b * (1.0 - args.tolerance):
+            failures.append(
+                f"{regime}/{policy}: {mode} throughput regressed "
+                f"{b:.3f} -> {n:.3f} ({(n / b - 1.0) * 100:+.1f}%)"
+            )
+        if base[k].get("scan") or new[k].get("scan"):
+            continue  # bimodal latency (point ops vs sweeps): p99 is noise
+        raw_b = base[k]["p99_us"]
+        raw_n = new[k]["p99_us"]
+        if raw_b < args.p99_floor_us and raw_n < args.p99_floor_us:
+            continue  # microsecond-scale quantiles are timer noise
+        b, n = base_p99[k], new_p99[k]
+        if b > 0 and n > b * (1.0 + args.tolerance):
+            failures.append(
+                f"{regime}/{policy}: {mode} p99 regressed "
+                f"{b:.3f} -> {n:.3f} ({(n / b - 1.0) * 100:+.1f}%)"
+            )
+
+    print(f"compared {compared} cells ({mode}, tolerance {args.tolerance:.0%})")
+    if failures:
+        print(f"REGRESSION: {len(failures)} failure(s)")
+        for f in failures:
+            print(f"  - {f}")
+        return 1
+    print("OK: no replacement-policy regression")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
